@@ -1,0 +1,42 @@
+//! The eight SIMD² benchmark applications (paper Table 4, §5.2).
+//!
+//! Every application ships in the paper's three configurations:
+//!
+//! 1. **state-of-the-art GPU baseline** — a from-scratch reimplementation
+//!    of the algorithm class the paper's baseline uses (blocked
+//!    Floyd–Warshall for ECL-APSP / CUDA-FW, Kruskal + union-find for
+//!    cudaMST, per-vertex bitset BFS for cuBool, a brute-force scan for
+//!    kNN-CUDA), serving as the correctness oracle and the baseline cost
+//!    profile;
+//! 2. **SIMD² on CUDA cores** — the matrix-based algorithm run through the
+//!    full-precision reference backend (the cuASR/CUTLASS configuration);
+//! 3. **SIMD² with SIMD² units** — the same algorithm through the tiled
+//!    fp16 functional backend (and, in the timing model, the SIMD² pipe).
+//!
+//! | App | op | baseline |
+//! |-----|----|----------|
+//! | APSP  | min-plus | blocked Floyd–Warshall (ECL-APSP) |
+//! | APLP  | max-plus | topological DP / FW on reversed-weight DAG (ECL-APSP) |
+//! | MCP   | max-min  | FW transitive closure variant (CUDA-FW) |
+//! | MAXRP | max-mul  | FW variant (CUDA-FW) |
+//! | MINRP | min-mul  | FW variant on DAGs (CUDA-FW) |
+//! | MST   | min-max  | Kruskal + union-find (cudaMST) |
+//! | GTC   | or-and   | per-vertex bitset BFS (cuBool) |
+//! | KNN   | plus-norm| brute-force distance scan (kNN-CUDA) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aplp;
+pub mod apsp;
+pub mod gtc;
+pub mod knn;
+pub mod mst;
+pub mod paths;
+pub mod registry;
+pub mod timing;
+pub mod unionfind;
+
+pub use registry::{AppKind, AppSpec};
+pub use timing::{AppTiming, Config};
+pub use unionfind::UnionFind;

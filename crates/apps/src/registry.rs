@@ -1,0 +1,161 @@
+//! Application registry — paper Table 4 as data.
+
+use simd2_matrix::gen::InputScale;
+use simd2_semiring::OpKind;
+
+/// The eight benchmark applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    /// All-pairs shortest path.
+    Apsp,
+    /// All-pairs critical (longest) path.
+    Aplp,
+    /// Maximum capacity path.
+    Mcp,
+    /// Maximum reliability path.
+    MaxRp,
+    /// Minimum reliability path.
+    MinRp,
+    /// Minimum spanning tree / forest.
+    Mst,
+    /// Graph transitive closure.
+    Gtc,
+    /// K-nearest neighbours.
+    Knn,
+}
+
+/// Static description of one application (a row of Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppSpec {
+    /// The application.
+    pub kind: AppKind,
+    /// Short figure label.
+    pub label: &'static str,
+    /// Full name.
+    pub full_name: &'static str,
+    /// The SIMD² operation its kernel uses.
+    pub op: OpKind,
+    /// The baseline implementation it is compared against.
+    pub baseline_source: &'static str,
+    /// Base ("Small") input dimension from Table 4; Medium/Large are 2×/4×.
+    pub small_dimension: usize,
+}
+
+impl AppKind {
+    /// All eight applications in figure order.
+    pub fn all() -> [AppKind; 8] {
+        [
+            AppKind::Apsp,
+            AppKind::Aplp,
+            AppKind::Mcp,
+            AppKind::MaxRp,
+            AppKind::MinRp,
+            AppKind::Mst,
+            AppKind::Gtc,
+            AppKind::Knn,
+        ]
+    }
+
+    /// The Table 4 row for this application.
+    pub fn spec(self) -> AppSpec {
+        match self {
+            AppKind::Apsp => AppSpec {
+                kind: self,
+                label: "APSP",
+                full_name: "All Pair Shortest Path",
+                op: OpKind::MinPlus,
+                baseline_source: "ECL-APSP",
+                small_dimension: 4096,
+            },
+            AppKind::Aplp => AppSpec {
+                kind: self,
+                label: "APLP",
+                full_name: "All Pair Critical Path",
+                op: OpKind::MaxPlus,
+                baseline_source: "ECL-APSP",
+                small_dimension: 4096,
+            },
+            AppKind::Mcp => AppSpec {
+                kind: self,
+                label: "MCP",
+                full_name: "Maximum Capacity Path",
+                op: OpKind::MaxMin,
+                baseline_source: "CUDA-FW",
+                small_dimension: 4096,
+            },
+            AppKind::MaxRp => AppSpec {
+                kind: self,
+                label: "MAXRP",
+                full_name: "Maximum Reliability Path",
+                op: OpKind::MaxMul,
+                baseline_source: "CUDA-FW",
+                small_dimension: 4096,
+            },
+            AppKind::MinRp => AppSpec {
+                kind: self,
+                label: "MINRP",
+                full_name: "Minimum Reliability Path",
+                op: OpKind::MinMul,
+                baseline_source: "CUDA-FW",
+                small_dimension: 4096,
+            },
+            AppKind::Mst => AppSpec {
+                kind: self,
+                label: "MST",
+                full_name: "Minimum Spanning Tree",
+                op: OpKind::MinMax,
+                baseline_source: "CUDA MST (Kruskal)",
+                small_dimension: 1024,
+            },
+            AppKind::Gtc => AppSpec {
+                kind: self,
+                label: "GTC",
+                full_name: "Graph Transitive Closure",
+                op: OpKind::OrAnd,
+                baseline_source: "cuBool",
+                small_dimension: 2048,
+            },
+            AppKind::Knn => AppSpec {
+                kind: self,
+                label: "KNN",
+                full_name: "K-Nearest Neighbor",
+                op: OpKind::PlusNorm,
+                baseline_source: "kNN-CUDA",
+                small_dimension: 4096,
+            },
+        }
+    }
+
+    /// Problem dimension at an input scale.
+    pub fn dimension(self, scale: InputScale) -> usize {
+        scale.dimension(self.spec().small_dimension)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_eight_distinct_ops() {
+        let ops: std::collections::HashSet<OpKind> =
+            AppKind::all().iter().map(|a| a.spec().op).collect();
+        assert_eq!(ops.len(), 8);
+        assert!(!ops.contains(&OpKind::PlusMul), "GEMM itself is not a benchmark app");
+    }
+
+    #[test]
+    fn table4_scales() {
+        assert_eq!(AppKind::Apsp.dimension(InputScale::Small), 4096);
+        assert_eq!(AppKind::Apsp.dimension(InputScale::Medium), 8192);
+        assert_eq!(AppKind::Apsp.dimension(InputScale::Large), 16384);
+        assert_eq!(AppKind::Mst.dimension(InputScale::Large), 4096);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            AppKind::all().iter().map(|a| a.spec().label).collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

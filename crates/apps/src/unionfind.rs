@@ -1,0 +1,122 @@
+//! Disjoint-set forest (union-find) — the substrate of the Kruskal MST
+//! baseline.
+
+/// Union-find with path compression and union by rank.
+///
+/// # Example
+///
+/// ```
+/// use simd2_apps::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0), "already connected");
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set (compressing the path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_chain() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(uf.union(3, 4));
+        assert_eq!(uf.component_count(), 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(2, 3));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 4));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 2));
+        assert!(!uf.union(0, 2));
+        assert!(!uf.union(2, 0));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..8 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut uf = UnionFind::new(2);
+        assert!(!uf.union(1, 1));
+        assert_eq!(uf.component_count(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: every application's SIMD²-ized implementation
+//! agrees with its independent baseline algorithm across random sizes and
+//! seeds.
+
+use proptest::prelude::*;
+use simd2::backend::ReferenceBackend;
+use simd2::solve::ClosureAlgorithm;
+use simd2_apps::{aplp, apsp, gtc, knn, mst, paths};
+use simd2_semiring::OpKind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn apsp_agrees_with_blocked_fw(n in 8usize..48, seed in 0u64..10_000) {
+        let g = apsp::generate(n, seed);
+        let want = apsp::baseline(&g);
+        let mut be = ReferenceBackend::new();
+        let got = apsp::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
+        prop_assert_eq!(got.closure, want);
+    }
+
+    #[test]
+    fn aplp_agrees_with_topological_dp(n in 8usize..48, seed in 0u64..10_000) {
+        let g = aplp::generate(n, seed);
+        let want = aplp::baseline(&g);
+        let mut be = ReferenceBackend::new();
+        let got = aplp::simd2(&mut be, &g, ClosureAlgorithm::BellmanFord, true);
+        prop_assert_eq!(got.closure, want);
+    }
+
+    #[test]
+    fn mcp_agrees_with_fw(n in 8usize..40, seed in 0u64..10_000) {
+        let g = paths::generate_mcp(n, seed);
+        let want = paths::baseline(OpKind::MaxMin, &g);
+        let mut be = ReferenceBackend::new();
+        let got = paths::simd2(&mut be, OpKind::MaxMin, &g, ClosureAlgorithm::Leyzorek, true);
+        prop_assert_eq!(got.closure, want);
+    }
+
+    #[test]
+    fn minrp_agrees_with_fw_on_dags(n in 8usize..40, seed in 0u64..10_000) {
+        let g = paths::generate_minrp(n, seed);
+        let want = paths::baseline(OpKind::MinMul, &g);
+        let mut be = ReferenceBackend::new();
+        let got = paths::simd2(&mut be, OpKind::MinMul, &g, ClosureAlgorithm::Leyzorek, true);
+        let diff = got.closure.max_abs_diff(&want).unwrap();
+        prop_assert!(diff <= 1e-6, "diff {diff}");
+    }
+
+    #[test]
+    fn mst_agrees_with_kruskal(n in 8usize..40, p in 0.05f64..0.4, seed in 0u64..10_000) {
+        let g = mst::generate(n, p, seed);
+        let want = mst::baseline(&g);
+        let mut be = ReferenceBackend::new();
+        let (got, _) = mst::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gtc_agrees_with_bitset_bfs(n in 8usize..72, seed in 0u64..10_000) {
+        let g = gtc::generate(n, seed);
+        let want = gtc::baseline(&g);
+        let mut be = ReferenceBackend::new();
+        let got = gtc::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
+        prop_assert_eq!(got.closure, want);
+    }
+
+    #[test]
+    fn knn_has_perfect_recall_on_reference_backend(n in 10usize..40, seed in 0u64..10_000) {
+        let pts = knn::generate(n, seed);
+        let want = knn::baseline(&pts, 4);
+        let mut be = ReferenceBackend::new();
+        let got = knn::simd2(&mut be, &pts, 4);
+        prop_assert_eq!(knn::recall(&want, &got), 1.0);
+    }
+
+    #[test]
+    fn mst_total_weight_never_exceeds_any_spanning_construction(
+        n in 6usize..24, seed in 0u64..10_000
+    ) {
+        use simd2_apps::UnionFind;
+        let g = mst::generate(n, 0.2, seed);
+        let tree = mst::baseline(&g);
+        // Greedy construction in raw edge order is a valid spanning
+        // forest; the MST must weigh no more.
+        let mut uf = UnionFind::new(n);
+        let mut total = 0.0f64;
+        for (u, v, w) in g.edges() {
+            if u < v && uf.union(u, v) {
+                total += f64::from(w);
+            }
+        }
+        prop_assert!(tree.total_weight <= total + 1e-9);
+    }
+}

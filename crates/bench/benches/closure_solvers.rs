@@ -1,0 +1,33 @@
+//! Criterion: Bellman-Ford vs Leyzorek closure solvers (the §6.4
+//! algorithmic comparison, functional side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simd2::backend::ReferenceBackend;
+use simd2::solve::{closure, ClosureAlgorithm};
+use simd2_matrix::gen;
+use simd2_semiring::OpKind;
+
+fn bench_closures(c: &mut Criterion) {
+    let g = gen::connected_gnp_graph(96, 0.08, 1.0, 9.0, 7);
+    let adj = g.adjacency(OpKind::MinPlus);
+    let mut group = c.benchmark_group("closure_96");
+    for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
+        for convergence in [true, false] {
+            let label = format!(
+                "{}{}",
+                alg.label(),
+                if convergence { "+conv" } else { "-conv" }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &alg, |bench, &alg| {
+                bench.iter(|| {
+                    let mut be = ReferenceBackend::new();
+                    closure(&mut be, OpKind::MinPlus, &adj, alg, convergence).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closures);
+criterion_main!(benches);

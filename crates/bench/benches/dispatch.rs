@@ -1,0 +1,30 @@
+//! Criterion: dynamic (per-element opcode dispatch) vs monomorphised
+//! (cuASR-style template) kernels — the cost of treating the operation
+//! as data, which the hardware pays once at decode but naive software
+//! pays per scalar step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simd2::typed::{mmo_tiled, mmo_typed_tiled};
+use simd2_matrix::{gen, reference, Matrix};
+use simd2_semiring::{MinPlus, OpKind};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let n = 96;
+    let a = gen::random_matrix(n, n, 0.0, 9.0, 1);
+    let b = gen::random_matrix(n, n, 0.0, 9.0, 2);
+    let acc = Matrix::filled(n, n, f32::INFINITY);
+    let mut group = c.benchmark_group("dispatch_96");
+    group.bench_function("dynamic_per_element", |bench| {
+        bench.iter(|| reference::mmo(OpKind::MinPlus, &a, &b, &acc).unwrap());
+    });
+    group.bench_function("typed_tiled", |bench| {
+        bench.iter(|| mmo_typed_tiled::<MinPlus>(&a, &b, &acc).unwrap());
+    });
+    group.bench_function("dynamic_bridge_tiled", |bench| {
+        bench.iter(|| mmo_tiled(OpKind::MinPlus, &a, &b, &acc).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: warp-level ISA executor throughput (load/mmo/store stream).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simd2_isa::{asm, Executor, SharedMemory};
+use simd2_matrix::Matrix;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut mem = SharedMemory::new(4096);
+    mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.5));
+    mem.write_matrix(256, 16, &Matrix::filled(16, 16, 2.5));
+    let prog = asm::parse(
+        "simd2.load.f16 %m0, [0], 16
+         simd2.load.f16 %m1, [256], 16
+         simd2.fill %m2, inf
+         simd2.minplus %m2, %m0, %m1, %m2
+         simd2.minplus %m2, %m0, %m1, %m2
+         simd2.minplus %m2, %m0, %m1, %m2
+         simd2.minplus %m2, %m0, %m1, %m2
+         simd2.store.f32 [512], %m2, 16",
+    )
+    .unwrap();
+    c.bench_function("isa_executor/4mmo_stream", |bench| {
+        bench.iter(|| {
+            let mut exec = Executor::new(mem.clone());
+            exec.run(&prog).unwrap()
+        });
+    });
+    let words: Vec<u64> = prog.iter().map(|i| i.encode()).collect();
+    c.bench_function("isa_decode/8instr", |bench| {
+        bench.iter(|| {
+            words
+                .iter()
+                .map(|&w| simd2_isa::Instruction::decode(w).unwrap())
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

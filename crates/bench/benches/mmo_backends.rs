@@ -1,0 +1,29 @@
+//! Criterion: whole-matrix `D = C ⊕ (A ⊗ B)` across backends and
+//! operations — the functional-kernel counterpart of Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simd2::backend::{Backend, ReferenceBackend, TiledBackend};
+use simd2_matrix::{gen, Matrix};
+use simd2_semiring::ALL_OPS;
+
+fn bench_backends(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("mmo_64");
+    for op in ALL_OPS {
+        let a = gen::random_operands_for(op, n, n, 1);
+        let b = gen::random_operands_for(op, n, n, 2);
+        let acc = Matrix::filled(n, n, op.reduce_identity_f32());
+        group.bench_with_input(BenchmarkId::new("reference", op.name()), &op, |bench, &op| {
+            let mut be = ReferenceBackend::new();
+            bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_fp16", op.name()), &op, |bench, &op| {
+            let mut be = TiledBackend::new();
+            bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

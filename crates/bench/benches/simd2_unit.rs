@@ -1,0 +1,24 @@
+//! Criterion: single-tile SIMD² unit throughput per operation — the
+//! latency-parity contract of §3.2 at the functional level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simd2_matrix::Tile;
+use simd2_mxu::Simd2Unit;
+use simd2_semiring::ALL_OPS;
+
+fn bench_unit(c: &mut Criterion) {
+    let unit = Simd2Unit::new();
+    let a = Tile::<16>::from_fn(|r, col| ((r * 16 + col) % 13) as f32 * 0.25);
+    let b = Tile::<16>::from_fn(|r, col| ((r + 5 * col) % 11) as f32 * 0.5);
+    let mut group = c.benchmark_group("unit_tile16");
+    for op in ALL_OPS {
+        let acc = Tile::<16>::splat(op.reduce_identity_f32());
+        group.bench_with_input(BenchmarkId::from_parameter(op.name()), &op, |bench, &op| {
+            bench.iter(|| unit.execute(op, &a, &b, &acc));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: semiring spGEMM across sparsities — the functional kernel
+//! behind the Figure 14 study and the §6.5 GAMMA extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simd2_matrix::gen;
+use simd2_semiring::OpKind;
+use simd2_sparse::Csr;
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_256");
+    for sparsity in [0.90, 0.99, 0.999] {
+        let d = gen::random_sparse_matrix(256, sparsity, 5);
+        let a = Csr::from_dense(&d, 0.0);
+        group.bench_with_input(
+            BenchmarkId::new("plus_mul", format!("{sparsity}")),
+            &a,
+            |bench, a| bench.iter(|| a.spgemm(OpKind::PlusMul, a)),
+        );
+    }
+    // Semiring variant on a graph adjacency.
+    let g = gen::gnp_graph(256, 0.02, 1.0, 9.0, 3);
+    let adj = Csr::from_dense(&g.adjacency(OpKind::MinPlus), f32::INFINITY);
+    group.bench_function("min_plus/graph", |bench| {
+        bench.iter(|| adj.spgemm(OpKind::MinPlus, &adj));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation (§3.2 design choice): operand precision. The paper chose
+//! fp16-in/fp32-out and rejected fixed-precision int8 because "for many
+//! algorithms, we find fixed-precision format cannot converge to the same
+//! result as baseline fp32". This harness demonstrates both halves on the
+//! functional stack: the selection algebras are bit-exact at fp16, the
+//! multiplicative ones drift slightly, and int8 breaks APSP outright.
+
+use simd2::backend::TiledBackend;
+use simd2::solve::ClosureAlgorithm;
+use simd2::validate::compare_outputs;
+use simd2_apps::{apsp, paths};
+use simd2_bench::Table;
+use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::OpKind;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let modes = [
+        ("fp32", PrecisionMode::Fp32Input),
+        ("fp16 (paper)", PrecisionMode::Fp16Input),
+        ("int8", PrecisionMode::Int8Input),
+    ];
+    let mut t = Table::new(
+        format!("Operand-precision ablation at n = {n} (max |diff| vs fp32 baseline algorithm)"),
+        &["app", "mode", "max abs diff", "verdict"],
+    );
+
+    // APSP: integer weights scaled so optimal distances exceed the int8
+    // range (but stay fp16-exact) — int8 saturates at 127 and breaks.
+    let g = apsp::generate(n, 9).map_weights(|w| w * 8.0);
+    let oracle = apsp::baseline(&g);
+    for (name, mode) in modes {
+        let mut be = TiledBackend::with_unit(Simd2Unit::with_precision(mode));
+        let got = apsp::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
+        let v = compare_outputs("apsp", &oracle, &got.closure, 0.0);
+        t.row(&[
+            "APSP".to_owned(),
+            name.to_owned(),
+            format!("{:.3e}", v.max_abs_diff),
+            if v.passed() { "converges" } else { "DOES NOT CONVERGE" }.to_owned(),
+        ]);
+    }
+
+    // MAXRP: products in (0,1] — fp16 drifts slightly, int8 collapses the
+    // whole probability resolution.
+    let g = paths::generate_maxrp(n, 9);
+    let oracle = paths::baseline(OpKind::MaxMul, &g);
+    for (name, mode) in modes {
+        let mut be = TiledBackend::with_unit(Simd2Unit::with_precision(mode));
+        let got = paths::simd2(&mut be, OpKind::MaxMul, &g, ClosureAlgorithm::Leyzorek, true);
+        let v = compare_outputs("maxrp", &oracle, &got.closure, 0.02);
+        t.row(&[
+            "MAXRP".to_owned(),
+            name.to_owned(),
+            format!("{:.3e}", v.max_abs_diff),
+            if v.passed() { "converges" } else { "DOES NOT CONVERGE" }.to_owned(),
+        ]);
+    }
+    t.print();
+}

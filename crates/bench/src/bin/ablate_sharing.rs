@@ -1,0 +1,57 @@
+//! Ablation (§3.1/§6.1 design choice): how much area does datapath
+//! sharing save, pairwise and cumulatively? The paper's headline: the
+//! combined unit costs 0.69 MMA-equivalents versus 2.96 for dedicated
+//! accelerators, and a mirror pair like min-mul/max-mul shares so much
+//! circuitry that supporting both costs 11.82% instead of 2×103%.
+
+use simd2_bench::Table;
+use simd2_mxu::AreaModel;
+use simd2_semiring::{OpKind, EXTENDED_OPS};
+
+fn main() {
+    let mut t = Table::new(
+        "Mirror-pair sharing: combined increment vs sum of per-op increments",
+        &["pair", "each standalone", "sum standalone", "combined w/ MMA", "sharing saves"],
+    );
+    for (a, b) in [
+        (OpKind::MinPlus, OpKind::MaxPlus),
+        (OpKind::MinMul, OpKind::MaxMul),
+        (OpKind::MinMax, OpKind::MaxMin),
+    ] {
+        let standalone = AreaModel::standalone(a).relative_area();
+        let combined = AreaModel::combined(&[a, b]).relative_area();
+        let separate_increment =
+            2.0 * (AreaModel::combined(&[a]).relative_area() - 1.0);
+        t.row(&[
+            format!("{} + {}", a.name(), b.name()),
+            format!("{standalone:.2}"),
+            format!("{:.2}", 2.0 * standalone),
+            format!("{combined:.2}"),
+            format!("{:.0}%", 100.0 * (1.0 - (combined - 1.0) / separate_increment)),
+        ]);
+    }
+    t.print();
+    println!();
+
+    let mut c = Table::new(
+        "Cumulative build-up of the full SIMD2 unit",
+        &["ops included", "combined area", "sum of standalone accelerators"],
+    );
+    let mut set: Vec<OpKind> = Vec::new();
+    let mut standalone_sum = 1.0; // the MMA unit itself
+    for op in EXTENDED_OPS {
+        set.push(op);
+        standalone_sum += AreaModel::standalone(op).relative_area();
+        c.row(&[
+            format!("MMA + {} ext ops", set.len()),
+            format!("{:.2}", AreaModel::combined(&set).relative_area()),
+            format!("{standalone_sum:.2}"),
+        ]);
+    }
+    c.print();
+    let full = AreaModel::combined(&EXTENDED_OPS).relative_area() - 1.0;
+    println!(
+        "\nDedicated accelerators cost {:.1}x the combined design's overhead (paper: > 4x).",
+        AreaModel::standalone_total() / full
+    );
+}

@@ -1,0 +1,37 @@
+//! Ablation (§3.1 design choice): SIMD² units integrated into GPU SMs vs
+//! a standalone SIMD² accelerator across a host interconnect. The paper
+//! argues for integration because "matrix operations just serve as the
+//! core computation" — pre/post-processing and convergence checks need
+//! collocated scalar/vector cores. This harness quantifies the claim.
+
+use simd2::solve::ClosureAlgorithm;
+use simd2_apps::{AppKind, AppTiming, Config};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::Gpu;
+use simd2_matrix::gen::InputScale;
+
+fn main() {
+    let model = AppTiming::new(Gpu::default());
+    let mut t = Table::new(
+        "Integrated (GPU SM) vs standalone SIMD2 accelerator, speedup over baseline (small)",
+        &["app", "integrated", "standalone ASIC", "integration buys"],
+    );
+    for app in AppKind::all() {
+        let n = app.dimension(InputScale::Small);
+        let iters = model.iterations(app, n, ClosureAlgorithm::Leyzorek, true);
+        let base = model.baseline_time(app, n);
+        let integrated = model.simd2_time(app, n, iters, true, Config::Simd2Units);
+        let standalone = model.standalone_simd2_time(app, n, iters, true);
+        t.row(&[
+            app.spec().label.to_owned(),
+            fmt_speedup(integrated.speedup_over(base)),
+            fmt_speedup(standalone.speedup_over(base)),
+            format!("{:.2}x", standalone.get() / integrated.get()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nConvergence-checked closures lose most of their gain across a host link —\n\
+         the §3.1 argument for building SIMD2 into the SM rather than beside it."
+    );
+}

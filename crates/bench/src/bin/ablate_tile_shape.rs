@@ -1,0 +1,50 @@
+//! Ablation (Table 5(c) design choice): 4x4 vs 8x8 SIMD2 units, priced
+//! on the cycle-level SM pipeline simulator and the area model — the
+//! performance-per-area trade behind the paper's 4x4 design point.
+
+use simd2_bench::Table;
+use simd2_gpu::sim::{tile_mmo_program, SmPipeline};
+use simd2_mxu::timing::UnitTiming;
+use simd2_mxu::AreaModel;
+use simd2_semiring::OpKind;
+
+fn main() {
+    let warps = 8usize;
+    let k_tiles = 32usize;
+    let programs: Vec<_> = (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, k_tiles)).collect();
+    let mut t = Table::new(
+        format!("Tile-shape ablation: {warps} warps x {k_tiles} ISA mmos on one sub-core"),
+        &["unit", "cycles", "cycles/mmo", "SIMD2 util", "area (rel)", "perf/area"],
+    );
+    let shapes = [
+        ("4x4 (paper)", UnitTiming::simd2_4x4(), 4usize),
+        ("8x8", UnitTiming { tile_side: 8, latency_cycles: 4, initiation_interval: 1 }, 8),
+    ];
+    let mut results = Vec::new();
+    for (name, unit, side) in shapes {
+        let stats = SmPipeline::with_unit(unit).simulate(&programs);
+        // The SIMD2 overhead ratio is shape-invariant (§6.1), so the full
+        // unit scales with the MMA shape factor.
+        let area = AreaModel::shape_scale(side) / AreaModel::shape_scale(4)
+            * AreaModel::combined(&simd2_semiring::EXTENDED_OPS).relative_area();
+        let perf = 1.0 / stats.cycles as f64;
+        results.push((name, stats, area, perf));
+        let (_, ref s, a, p) = results[results.len() - 1];
+        t.row(&[
+            name.to_owned(),
+            s.cycles.to_string(),
+            format!("{:.1}", s.cycles_per_mmo()),
+            format!("{:.0}%", 100.0 * s.simd2_utilization()),
+            format!("{a:.2}"),
+            format!("{:.3}", p / a * 1.0e4),
+        ]);
+    }
+    t.print();
+    let speedup = results[0].1.cycles as f64 / results[1].1.cycles as f64;
+    let area_cost = results[1].2 / results[0].2;
+    println!(
+        "\n8x8 is {speedup:.2}x faster but {area_cost:.1}x larger: {:.2}x perf/area — \
+         the 4x4 point wins on efficiency, matching the paper's design choice.",
+        speedup / area_cost
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 9: per-operation microbenchmark speedups on square
+//! matrices, SIMD2 units vs the CUDA-core implementation.
+//!
+//! Pass `--validate` to additionally run the functional cross-check
+//! (tiled fp16 backend vs fp32 reference) at a host-tractable size.
+
+use simd2::micro::{fig9_sizes, MicroBench};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::{geomean, Gpu};
+use simd2_semiring::ALL_OPS;
+
+fn main() {
+    let validate = std::env::args().any(|a| a == "--validate");
+    let gpu = Gpu::default();
+    let sizes = fig9_sizes();
+    let mut header: Vec<String> = vec!["op".into()];
+    header.extend(sizes.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 9: microbenchmark speedup, SIMD2 units over CUDA cores (square NxN)",
+        &header_refs,
+    );
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for op in ALL_OPS {
+        let mut row = vec![op.name().to_owned()];
+        for (i, &n) in sizes.iter().enumerate() {
+            let s = MicroBench::square(op, n).time(&gpu).speedup();
+            per_size[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        t.row(&row);
+    }
+    let mut gm = vec!["GMEAN".to_owned()];
+    for col in &per_size {
+        gm.push(fmt_speedup(geomean(col)));
+    }
+    t.row(&gm);
+    t.print();
+
+    if validate {
+        println!();
+        let mut v = Table::new(
+            "Functional cross-check at 64x64x64 (max |fp16-unit - fp32-ref| element error)",
+            &["op", "max abs diff"],
+        );
+        for op in ALL_OPS {
+            let diff = MicroBench::square(op, 64).validate(1);
+            v.row(&[op.name().to_owned(), format!("{diff:.3e}")]);
+        }
+        v.print();
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 10: microbenchmark speedups on non-square shapes.
+
+use simd2::micro::{fig10_shapes, MicroBench};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::{geomean, Gpu};
+use simd2_semiring::ALL_OPS;
+
+fn main() {
+    let gpu = Gpu::default();
+    let shapes = fig10_shapes();
+    let mut header: Vec<String> = vec!["op".into()];
+    header.extend(shapes.iter().map(|(l, _, _, _)| (*l).to_owned()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 10: microbenchmark speedup on non-square shapes",
+        &header_refs,
+    );
+    let mut per_shape: Vec<Vec<f64>> = vec![Vec::new(); shapes.len()];
+    for op in ALL_OPS {
+        let mut row = vec![op.name().to_owned()];
+        for (i, &(_, m, n, k)) in shapes.iter().enumerate() {
+            let s = MicroBench { op, m, n, k }.time(&gpu).speedup();
+            per_shape[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        t.row(&row);
+    }
+    let mut gm = vec!["GMEAN".to_owned()];
+    for col in &per_shape {
+        gm.push(fmt_speedup(geomean(col)));
+    }
+    t.row(&gm);
+    t.print();
+}

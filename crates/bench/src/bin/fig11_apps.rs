@@ -1,0 +1,47 @@
+//! Regenerates Figure 11: application kernel speedups over the
+//! state-of-the-art GPU baselines, in both SIMD2 configurations, across
+//! the three Table-4 input scales.
+
+use simd2_apps::{AppKind, AppTiming, Config};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::{geomean, Gpu};
+use simd2_matrix::gen::InputScale;
+
+fn main() {
+    let model = AppTiming::new(Gpu::default());
+    for config in [Config::Simd2Units, Config::Simd2CudaCores] {
+        let mut t = Table::new(
+            format!("Figure 11: speedup of `{}` over baseline", config.label()),
+            &["app", "small", "medium", "large"],
+        );
+        let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for app in AppKind::all() {
+            let mut row = vec![app.spec().label.to_owned()];
+            for (i, scale) in InputScale::all().into_iter().enumerate() {
+                let n = app.dimension(scale);
+                let s = model.speedup(app, n, config);
+                per_scale[i].push(s);
+                row.push(fmt_speedup(s));
+            }
+            t.row(&row);
+        }
+        let mut gm = vec!["GMEAN".to_owned()];
+        for col in &per_scale {
+            gm.push(fmt_speedup(geomean(col)));
+        }
+        t.row(&gm);
+        t.print();
+        println!();
+    }
+    // Peak speedup quoted in the abstract.
+    let mut best = (0.0f64, String::new());
+    for app in AppKind::all() {
+        for scale in InputScale::all() {
+            let s = model.speedup(app, app.dimension(scale), Config::Simd2Units);
+            if s > best.0 {
+                best = (s, format!("{} / {}", app.spec().label, scale.label()));
+            }
+        }
+    }
+    println!("Peak SIMD2-unit speedup: {} ({})", fmt_speedup(best.0), best.1);
+}

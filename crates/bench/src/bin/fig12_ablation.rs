@@ -1,0 +1,41 @@
+//! Regenerates Figure 12: algorithmic ablation — Leyzorek with/without
+//! convergence checks, and all-pairs Bellman-Ford — against the same
+//! baselines as Figure 11 (SIMD2-unit configuration).
+
+use simd2::solve::ClosureAlgorithm;
+use simd2_apps::{AppKind, AppTiming, Config};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::Gpu;
+use simd2_matrix::gen::InputScale;
+
+fn main() {
+    let model = AppTiming::new(Gpu::default());
+    let variants: [(&str, ClosureAlgorithm, bool); 4] = [
+        ("Leyzorek + convergence", ClosureAlgorithm::Leyzorek, true),
+        ("Leyzorek w/o convergence", ClosureAlgorithm::Leyzorek, false),
+        ("Bellman-Ford + convergence", ClosureAlgorithm::BellmanFord, true),
+        ("Bellman-Ford w/o convergence", ClosureAlgorithm::BellmanFord, false),
+    ];
+    for scale in [InputScale::Small, InputScale::Large] {
+        let mut t = Table::new(
+            format!("Figure 12: algorithm ablation, speedup over baseline ({})", scale.label()),
+            &["app", variants[0].0, variants[1].0, variants[2].0, variants[3].0],
+        );
+        for app in AppKind::all() {
+            if app == AppKind::Knn {
+                continue; // KNN has no closure loop to ablate
+            }
+            let n = app.dimension(scale);
+            let base = model.baseline_time(app, n);
+            let mut row = vec![app.spec().label.to_owned()];
+            for &(_, alg, conv) in &variants {
+                let iters = model.iterations(app, n, alg, conv);
+                let time = model.simd2_time(app, n, iters, conv, Config::Simd2Units);
+                row.push(fmt_speedup(time.speedup_over(base)));
+            }
+            t.row(&row);
+        }
+        t.print();
+        println!();
+    }
+}

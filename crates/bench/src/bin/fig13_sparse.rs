@@ -1,0 +1,42 @@
+//! Regenerates Figure 13: application speedups with the structured-
+//! sparsity (2:4) SIMD2 tile pipe, and the gain over dense SIMD2 units.
+
+use simd2::solve::ClosureAlgorithm;
+use simd2_apps::{AppKind, AppTiming, Config};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::{geomean, Gpu};
+use simd2_matrix::gen::InputScale;
+
+fn main() {
+    let model = AppTiming::new(Gpu::default());
+    let mut t = Table::new(
+        "Figure 13: sparse SIMD2 unit speedup over baseline (and vs dense SIMD2)",
+        &["app", "small", "medium", "large", "vs dense (medium)"],
+    );
+    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut peak = 0.0f64;
+    for app in AppKind::all() {
+        let mut row = vec![app.spec().label.to_owned()];
+        for (i, scale) in InputScale::all().into_iter().enumerate() {
+            let n = app.dimension(scale);
+            let s = model.speedup(app, n, Config::Simd2SparseUnits);
+            per_scale[i].push(s);
+            peak = peak.max(s);
+            row.push(fmt_speedup(s));
+        }
+        let n = app.dimension(InputScale::Medium);
+        let iters = model.iterations(app, n, ClosureAlgorithm::Leyzorek, true);
+        let dense = model.simd2_time(app, n, iters, true, Config::Simd2Units);
+        let sparse = model.simd2_time(app, n, iters, true, Config::Simd2SparseUnits);
+        row.push(fmt_speedup(sparse.speedup_over(dense)));
+        t.row(&row);
+    }
+    let mut gm = vec!["GMEAN".to_owned()];
+    for col in &per_scale {
+        gm.push(fmt_speedup(geomean(col)));
+    }
+    gm.push(String::new());
+    t.row(&gm);
+    t.print();
+    println!("Peak sparse-SIMD2 speedup: {}", fmt_speedup(peak));
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 14: cuSPARSE-style spGEMM vs dense Tensor-Core GEMM
+//! across sparsities and sizes, including the OOM wall at 16384.
+
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_gpu::Gpu;
+use simd2_sparse::model::{crossover_point, fig14_sizes, fig14_sparsities};
+
+fn main() {
+    let gpu = Gpu::default();
+    let sparsities = fig14_sparsities();
+    let mut header: Vec<String> = vec!["size".into()];
+    header.extend(sparsities.iter().map(|s| format!("{:.2}%", s * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 14: spGEMM speedup over dense Tensor-Core GEMM (OOM = exceeds 10 GB)",
+        &header_refs,
+    );
+    for n in fig14_sizes() {
+        let mut row = vec![n.to_string()];
+        for &s in &sparsities {
+            let p = crossover_point(&gpu, n, s);
+            row.push(match p.speedup() {
+                Some(sp) => fmt_speedup(sp),
+                None => "OOM".to_owned(),
+            });
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!();
+    println!(
+        "Dense fp16-operand GEMM footprint at 32768^2: {:.1} GB (fits the 10 GB device)",
+        (2.0 * 32768.0f64 * 32768.0 * 2.0 + 32768.0f64 * 32768.0 * 4.0) / 1.0e9
+    );
+}

@@ -1,0 +1,59 @@
+//! Runs every experiment harness in sequence, teeing each one's output to
+//! `results/<name>.txt` — one command to regenerate the whole evaluation.
+//!
+//! ```text
+//! cargo run --release -p simd2-bench --bin reproduce_all
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "table4_apps",
+    "table5_area",
+    "fig09_micro",
+    "fig10_nonsquare",
+    "fig11_apps",
+    "fig12_ablation",
+    "fig13_sparse",
+    "fig14_crossover",
+    "ablate_sharing",
+    "ablate_fused_vector",
+    "ablate_tile_shape",
+    "ablate_precision",
+    "ablate_standalone",
+    "validate_apps",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let bin_dir = me.parent().expect("exe has a parent dir").to_path_buf();
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("create results/ directory");
+    let mut failures = 0usize;
+    for name in HARNESSES {
+        let exe = bin_dir.join(name);
+        if !exe.exists() {
+            eprintln!("skipping {name}: {} not built (build with --bins)", exe.display());
+            failures += 1;
+            continue;
+        }
+        print!("running {name:<22}… ");
+        let output = Command::new(&exe).output().expect("spawn harness");
+        let path = out_dir.join(format!("{name}.txt"));
+        fs::write(&path, &output.stdout).expect("write result file");
+        if output.status.success() {
+            println!("ok -> {}", path.display());
+        } else {
+            failures += 1;
+            println!("FAILED (status {:?})", output.status.code());
+            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} harness(es) failed or were missing");
+        std::process::exit(1);
+    }
+    println!("\nall experiments regenerated under results/");
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 4: the application / baseline / input inventory.
+
+use simd2_apps::AppKind;
+use simd2_bench::Table;
+use simd2_matrix::gen::InputScale;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 4: benchmark applications, baselines and input dimensions",
+        &["Application", "Label", "SIMD2 op", "Baseline source", "Small", "Medium", "Large"],
+    );
+    for app in AppKind::all() {
+        let s = app.spec();
+        t.row(&[
+            s.full_name.to_owned(),
+            s.label.to_owned(),
+            s.op.ptx_mnemonic().to_owned(),
+            s.baseline_source.to_owned(),
+            app.dimension(InputScale::Small).to_string(),
+            app.dimension(InputScale::Medium).to_string(),
+            app.dimension(InputScale::Large).to_string(),
+        ]);
+    }
+    t.print();
+}

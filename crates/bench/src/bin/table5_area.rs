@@ -1,0 +1,77 @@
+//! Regenerates Table 5 (area) plus the §6.1 power and die-level numbers.
+
+use simd2_bench::Table;
+use simd2_mxu::{AreaModel, DieModel, PowerModel};
+use simd2_semiring::precision::Precision;
+use simd2_semiring::{EXTENDED_OPS};
+
+fn main() {
+    // (a) Adding instructions to the MMA unit.
+    let mut a = Table::new(
+        "Table 5(a): combined-unit area relative to the 16-bit MMA baseline",
+        &["Supported ops", "Area (rel)", "Area (mm2 @45nm)"],
+    );
+    let full = AreaModel::combined(&EXTENDED_OPS);
+    a.row(&[
+        "MMA + all SIMD2 insts".to_owned(),
+        format!("{:.2}", full.relative_area()),
+        format!("{:.2}", full.area_mm2_45nm()),
+    ]);
+    for op in EXTENDED_OPS {
+        let m = AreaModel::combined(&[op]);
+        a.row(&[
+            format!("MMA + {}", op.name()),
+            format!("{:.2}", m.relative_area()),
+            format!("{:.2}", m.area_mm2_45nm()),
+        ]);
+    }
+    a.print();
+    println!();
+
+    // (b) Standalone accelerators.
+    let mut b = Table::new(
+        "Table 5(b): standalone per-op accelerators",
+        &["Supported op", "Area (rel)"],
+    );
+    for op in EXTENDED_OPS {
+        b.row(&[op.name().to_owned(), format!("{:.2}", AreaModel::standalone(op).relative_area())]);
+    }
+    b.row(&["total".to_owned(), format!("{:.2}", AreaModel::standalone_total())]);
+    b.print();
+    println!();
+
+    // (c) Precision scaling.
+    let mut c = Table::new(
+        "Table 5(c): precision scaling (relative to 16-bit MMA)",
+        &["Unit", "8-bit", "16-bit", "32-bit", "64-bit"],
+    );
+    let fmt_row = |name: &str, f: &dyn Fn(Precision) -> f64| {
+        let mut row = vec![name.to_owned()];
+        for p in Precision::all() {
+            row.push(format!("{:.2}", f(p)));
+        }
+        row
+    };
+    c.row(&fmt_row("MMA only", &AreaModel::mma_at_precision));
+    c.row(&fmt_row("MMA + all SIMD2 insts", &AreaModel::full_simd2_at_precision));
+    c.print();
+    println!();
+
+    // Shape scaling + power + die (§6.1 prose numbers).
+    println!("8x8-tile MMA unit: {:.2}x the 4x4 baseline (overhead ratio constant)",
+        AreaModel::shape_scale(8) / AreaModel::shape_scale(4));
+    println!(
+        "Power: MMA {:.2} W -> full SIMD2 {:.2} W (+{:.2} W)",
+        PowerModel::MMA_WATTS,
+        PowerModel::combined_watts(&EXTENDED_OPS),
+        PowerModel::combined_watts(&EXTENDED_OPS) - PowerModel::MMA_WATTS
+    );
+    let die = DieModel::rtx3080();
+    println!(
+        "Die: SIMD2 unit adds {:.3} mm2/SM @8N = {:.1}% of an SM = {:.1}% of the {} SM die",
+        die.simd2_overhead_mm2(),
+        100.0 * die.sm_overhead_fraction(),
+        100.0 * die.die_overhead_fraction(),
+        die.sm_count()
+    );
+}

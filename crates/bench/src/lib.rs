@@ -1,0 +1,25 @@
+//! Experiment harness: regenerates every table and figure of the SIMD²
+//! paper.
+//!
+//! One binary per experiment (see `src/bin/`); this library holds the
+//! shared table-rendering and result-recording helpers. Criterion
+//! micro-benchmarks over the functional kernels live under `benches/`.
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table4_apps`    | Table 4 (application/baseline/input inventory) |
+//! | `table5_area`    | Table 5(a)(b)(c) + §6.1 power & die overheads |
+//! | `fig09_micro`    | Figure 9 (square microbenchmarks) |
+//! | `fig10_nonsquare`| Figure 10 (non-square microbenchmarks) |
+//! | `fig11_apps`     | Figure 11 (application speedups, 3 configs) |
+//! | `fig12_ablation` | Figure 12 (algorithm/convergence ablation) |
+//! | `fig13_sparse`   | Figure 13 (sparse SIMD² units) |
+//! | `fig14_crossover`| Figure 14 (spGEMM vs dense crossover + OOM) |
+//! | `validate_apps`  | §5.1 correctness validation sweep |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::Table;

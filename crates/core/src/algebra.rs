@@ -1,0 +1,225 @@
+//! Ergonomic algebra-tagged matrices.
+//!
+//! [`SemiringMatrix<S>`] pairs a dense matrix with its algebra at the
+//! *type* level, GraphBLAS-style: `&a * &b` is the semiring product,
+//! `&a + &b` the element-wise `⊕`, and `a.closure()` the fixed point —
+//! so application code reads like the math in the paper's Table 1 while
+//! still running through the SIMD² backends underneath.
+//!
+//! ```
+//! use simd2::algebra::SemiringMatrix;
+//! use simd2_matrix::Matrix;
+//! use simd2_semiring::MinPlus;
+//!
+//! let adj = SemiringMatrix::<MinPlus>::from_matrix(Matrix::from_rows(&[
+//!     &[0.0, 2.0, f32::INFINITY],
+//!     &[f32::INFINITY, 0.0, 3.0],
+//!     &[f32::INFINITY, f32::INFINITY, 0.0],
+//! ]));
+//! let two_hop = &adj * &adj;          // min-plus matrix product
+//! assert_eq!(two_hop[(0, 2)], 5.0);
+//! let all_pairs = adj.closure();      // Kleene star / APSP
+//! assert_eq!(all_pairs[(0, 2)], 5.0);
+//! ```
+
+use std::marker::PhantomData;
+use std::ops::{Add, Index, Mul};
+
+use simd2_matrix::{Matrix, ShapeError};
+use simd2_semiring::{OpKind, Semiring};
+
+use crate::backend::{Backend, ReferenceBackend};
+use crate::solve::{self, ClosureAlgorithm};
+
+/// A dense matrix tagged with its semiring-like algebra.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemiringMatrix<S: Semiring<Elem = f32>> {
+    inner: Matrix,
+    _algebra: PhantomData<S>,
+}
+
+impl<S: Semiring<Elem = f32>> SemiringMatrix<S> {
+    /// Wraps an existing matrix.
+    pub fn from_matrix(inner: Matrix) -> Self {
+        Self { inner, _algebra: PhantomData }
+    }
+
+    /// An `n × n` identity under this algebra: `⊗`-identity diagonal,
+    /// `⊕`-identity elsewhere — the unit of `*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algebra has no `⊗` identity (plus-norm).
+    pub fn identity(n: usize) -> Self {
+        let diag = S::KIND
+            .combine_identity_f32()
+            .unwrap_or_else(|| panic!("{} has no ⊗ identity", S::KIND));
+        Self::from_matrix(Matrix::diagonal(n, diag, S::KIND.reduce_identity_f32()))
+    }
+
+    /// The algebra this matrix computes under.
+    pub fn op(&self) -> OpKind {
+        S::KIND
+    }
+
+    /// Borrow of the untagged matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.inner
+    }
+
+    /// Unwraps to the untagged matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.inner
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.inner.shape()
+    }
+
+    /// Semiring product with an explicit accumulator: `C ⊕ (self ⊗ rhs)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on incompatible shapes.
+    pub fn mmo(&self, rhs: &Self, acc: &Self) -> Result<Self, ShapeError> {
+        let d = ReferenceBackend::new().mmo(S::KIND, &self.inner, &rhs.inner, &acc.inner)?;
+        Ok(Self::from_matrix(d))
+    }
+
+    /// The closure (Kleene star) of a square matrix under this algebra —
+    /// e.g. all-pairs shortest paths for min-plus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or the algebra has no
+    /// fixed-point closure (plus-mul / plus-norm).
+    pub fn closure(&self) -> Self {
+        let mut be = ReferenceBackend::new();
+        let r = solve::closure(&mut be, S::KIND, &self.inner, ClosureAlgorithm::Leyzorek, true)
+            .expect("square matrix required");
+        Self::from_matrix(r.closure)
+    }
+}
+
+impl<S: Semiring<Elem = f32>> Index<(usize, usize)> for SemiringMatrix<S> {
+    type Output = f32;
+    fn index(&self, idx: (usize, usize)) -> &f32 {
+        &self.inner[idx]
+    }
+}
+
+impl<S: Semiring<Elem = f32>> Mul for &SemiringMatrix<S> {
+    type Output = SemiringMatrix<S>;
+
+    /// The semiring matrix product `⊕ₖ (self ⊗ rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes (use [`SemiringMatrix::mmo`] for a
+    /// fallible variant).
+    fn mul(self, rhs: &SemiringMatrix<S>) -> SemiringMatrix<S> {
+        let acc = SemiringMatrix::<S>::from_matrix(Matrix::filled(
+            self.inner.rows(),
+            rhs.inner.cols(),
+            S::KIND.reduce_identity_f32(),
+        ));
+        self.mmo(rhs, &acc).expect("operand shapes must be compatible")
+    }
+}
+
+impl<S: Semiring<Elem = f32>> Add for &SemiringMatrix<S> {
+    type Output = SemiringMatrix<S>;
+
+    /// Element-wise `⊕`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    fn add(self, rhs: &SemiringMatrix<S>) -> SemiringMatrix<S> {
+        let d = simd2_matrix::reference::ewise_reduce(S::KIND, &self.inner, &rhs.inner)
+            .expect("operand shapes must match");
+        SemiringMatrix::from_matrix(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::gen;
+    use simd2_semiring::{MaxMin, MinPlus, OrAnd};
+
+    fn adj() -> SemiringMatrix<MinPlus> {
+        let g = gen::connected_gnp_graph(12, 0.25, 1.0, 9.0, 3);
+        SemiringMatrix::from_matrix(g.adjacency(OpKind::MinPlus))
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = adj();
+        let id = SemiringMatrix::<MinPlus>::identity(12);
+        assert_eq!((&a * &id).as_matrix(), a.as_matrix());
+        assert_eq!((&id * &a).as_matrix(), a.as_matrix());
+    }
+
+    #[test]
+    fn product_matches_reference_mmo() {
+        let a = adj();
+        let prod = &a * &a;
+        let want = simd2_matrix::reference::mmo(
+            OpKind::MinPlus,
+            a.as_matrix(),
+            a.as_matrix(),
+            &Matrix::filled(12, 12, f32::INFINITY),
+        )
+        .unwrap();
+        assert_eq!(prod.into_matrix(), want);
+    }
+
+    #[test]
+    fn closure_is_a_multiplicative_fixed_point() {
+        let a = adj();
+        let star = a.closure();
+        let advanced = &star * &star;
+        assert_eq!(advanced.as_matrix(), star.as_matrix());
+        assert_eq!(star.op(), OpKind::MinPlus);
+    }
+
+    #[test]
+    fn ewise_add_is_the_reduce() {
+        let a = SemiringMatrix::<MinPlus>::from_matrix(Matrix::from_rows(&[&[3.0, 9.0]]));
+        let b = SemiringMatrix::<MinPlus>::from_matrix(Matrix::from_rows(&[&[5.0, 1.0]]));
+        let c = &a + &b;
+        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!(c[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn works_across_algebras() {
+        let g = gen::connected_gnp_graph(10, 0.3, 1.0, 9.0, 7);
+        let cap = SemiringMatrix::<MaxMin>::from_matrix(g.adjacency(OpKind::MaxMin));
+        let star = cap.closure();
+        // Capacities only improve with more path choices.
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!(star[(i, j)] >= cap[(i, j)]);
+            }
+        }
+        let reach = SemiringMatrix::<OrAnd>::from_matrix(g.reachability());
+        let closed = reach.closure();
+        assert!(closed.as_matrix().as_slice().iter().all(|&x| x == 1.0), "strongly connected");
+    }
+
+    #[test]
+    fn shapes_and_accessors() {
+        let a = adj();
+        assert_eq!(a.shape(), (12, 12));
+        assert_eq!(a.as_matrix().rows(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ⊗ identity")]
+    fn plus_norm_has_no_identity_matrix() {
+        let _ = SemiringMatrix::<simd2_semiring::PlusNorm>::identity(4);
+    }
+}

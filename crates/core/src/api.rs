@@ -1,0 +1,276 @@
+//! The low-level SIMD² programming interface (paper Table 3).
+//!
+//! Each function maps one-to-one onto an ISA instruction: declaring a
+//! [`MatrixFragment`] reserves a matrix register, `fill_matrix` /
+//! `load_matrix` / `store_matrix` and [`WarpContext::mmo`] append the
+//! corresponding instruction, and [`WarpContext::run`] executes the
+//! accumulated program on the warp-level executor. The shapes and data
+//! types are fixed by the hardware (16×16, fp16 operands / fp32
+//! accumulators), exactly as the paper's interface restricts them.
+//!
+//! ```
+//! use simd2::api::{FragmentKind, WarpContext};
+//! use simd2_matrix::Matrix;
+//! use simd2_semiring::OpKind;
+//!
+//! let mut ctx = WarpContext::new(4096);
+//! ctx.write_input(0, 16, &Matrix::filled(16, 16, 1.0));
+//! ctx.write_input(256, 16, &Matrix::filled(16, 16, 2.0));
+//! let a = ctx.matrix(FragmentKind::MatrixA)?;
+//! let b = ctx.matrix(FragmentKind::MatrixB)?;
+//! let acc = ctx.matrix(FragmentKind::Accumulator)?;
+//! ctx.load_matrix(a, 0, 16);
+//! ctx.load_matrix(b, 256, 16);
+//! ctx.fill_matrix(acc, f32::INFINITY);
+//! ctx.mmo(OpKind::MinPlus, acc, a, b, acc);
+//! ctx.store_matrix(512, acc, 16);
+//! let stats = ctx.run()?;
+//! assert_eq!(stats.total_mmos(), 1);
+//! assert_eq!(ctx.read_output(512, 16, 16, 16)[(0, 0)], 3.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use simd2_isa::{Dtype, ExecError, ExecStats, Executor, Instruction, MatrixReg, SharedMemory,
+    MATRIX_REG_COUNT};
+use simd2_matrix::Matrix;
+
+/// Role of a matrix fragment, mirroring the `matrix_type` template
+/// argument of `simd2::matrix<matrix_type, m, n, k, data_type>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FragmentKind {
+    /// Left operand — fp16 element type.
+    MatrixA,
+    /// Right operand — fp16 element type.
+    MatrixB,
+    /// Accumulator / result — fp32 element type.
+    Accumulator,
+}
+
+impl FragmentKind {
+    /// The element type loads of this fragment use.
+    pub fn dtype(self) -> Dtype {
+        match self {
+            FragmentKind::MatrixA | FragmentKind::MatrixB => Dtype::Fp16,
+            FragmentKind::Accumulator => Dtype::Fp32,
+        }
+    }
+}
+
+/// A declared matrix fragment: a reserved matrix register with a role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixFragment {
+    reg: MatrixReg,
+    kind: FragmentKind,
+}
+
+impl MatrixFragment {
+    /// The underlying register.
+    pub fn reg(&self) -> MatrixReg {
+        self.reg
+    }
+
+    /// The fragment's role.
+    pub fn kind(&self) -> FragmentKind {
+        self.kind
+    }
+}
+
+/// Error from the low-level API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiError {
+    /// All matrix registers are reserved.
+    OutOfRegisters,
+    /// Underlying execution fault.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::OutOfRegisters => {
+                write!(f, "all {MATRIX_REG_COUNT} matrix registers are reserved")
+            }
+            ApiError::Exec(e) => write!(f, "execution fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<ExecError> for ApiError {
+    fn from(e: ExecError) -> Self {
+        ApiError::Exec(e)
+    }
+}
+
+/// A warp's view of the SIMD² programming interface: register allocation,
+/// program construction, shared memory, and execution.
+#[derive(Debug)]
+pub struct WarpContext {
+    executor: Executor,
+    program: Vec<Instruction>,
+    next_reg: u8,
+}
+
+impl WarpContext {
+    /// Creates a context with `shared_elements` `f32` words of shared
+    /// memory.
+    pub fn new(shared_elements: usize) -> Self {
+        Self {
+            executor: Executor::new(SharedMemory::new(shared_elements)),
+            program: Vec::new(),
+            next_reg: 0,
+        }
+    }
+
+    /// `simd2::matrix<…>`: declares a fragment, reserving a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::OutOfRegisters`] when the register file is
+    /// exhausted.
+    pub fn matrix(&mut self, kind: FragmentKind) -> Result<MatrixFragment, ApiError> {
+        if (self.next_reg as usize) >= MATRIX_REG_COUNT {
+            return Err(ApiError::OutOfRegisters);
+        }
+        let reg = MatrixReg::new(self.next_reg);
+        self.next_reg += 1;
+        Ok(MatrixFragment { reg, kind })
+    }
+
+    /// `simd2::fillmatrix`: fills the fragment with a value.
+    pub fn fill_matrix(&mut self, frag: MatrixFragment, value: f32) {
+        self.program.push(Instruction::Fill { dst: frag.reg, value });
+    }
+
+    /// `simd2::loadmatrix`: loads a 16×16 tile from shared memory
+    /// (`ld` = leading dimension), with the fragment's element type.
+    pub fn load_matrix(&mut self, frag: MatrixFragment, addr: u32, ld: u32) {
+        self.program.push(Instruction::Load {
+            dst: frag.reg,
+            dtype: frag.kind.dtype(),
+            addr,
+            ld,
+        });
+    }
+
+    /// `simd2::mmo`: appends the arithmetic operation `d = c ⊕ (a ⊗ b)`.
+    pub fn mmo(
+        &mut self,
+        op: simd2_semiring::OpKind,
+        d: MatrixFragment,
+        a: MatrixFragment,
+        b: MatrixFragment,
+        c: MatrixFragment,
+    ) {
+        self.program.push(Instruction::Mmo {
+            op,
+            d: d.reg,
+            a: a.reg,
+            b: b.reg,
+            c: c.reg,
+        });
+    }
+
+    /// `simd2::storematrix`: stores a fragment to shared memory.
+    pub fn store_matrix(&mut self, addr: u32, frag: MatrixFragment, ld: u32) {
+        self.program.push(Instruction::Store { src: frag.reg, addr, ld });
+    }
+
+    /// Stages host data into shared memory before [`Self::run`].
+    pub fn write_input(&mut self, addr: usize, ld: usize, m: &Matrix) {
+        self.executor.memory_mut().write_matrix(addr, ld, m);
+    }
+
+    /// Reads results back after [`Self::run`].
+    pub fn read_output(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Matrix {
+        self.executor.memory().read_matrix(addr, ld, rows, cols)
+    }
+
+    /// The accumulated program (for inspection / disassembly).
+    pub fn program(&self) -> &[Instruction] {
+        &self.program
+    }
+
+    /// Executes the accumulated program and clears it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution fault, if any.
+    pub fn run(&mut self) -> Result<ExecStats, ApiError> {
+        let program = std::mem::take(&mut self.program);
+        Ok(self.executor.run(&program)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::OpKind;
+
+    #[test]
+    fn fragment_dtypes_follow_roles() {
+        assert_eq!(FragmentKind::MatrixA.dtype(), Dtype::Fp16);
+        assert_eq!(FragmentKind::MatrixB.dtype(), Dtype::Fp16);
+        assert_eq!(FragmentKind::Accumulator.dtype(), Dtype::Fp32);
+    }
+
+    #[test]
+    fn register_allocation_is_linear_and_bounded() {
+        let mut ctx = WarpContext::new(256);
+        for i in 0..MATRIX_REG_COUNT {
+            let f = ctx.matrix(FragmentKind::MatrixA).unwrap();
+            assert_eq!(f.reg().index(), i);
+        }
+        assert_eq!(ctx.matrix(FragmentKind::MatrixB), Err(ApiError::OutOfRegisters));
+    }
+
+    #[test]
+    fn program_is_built_then_cleared() {
+        let mut ctx = WarpContext::new(2048);
+        let a = ctx.matrix(FragmentKind::MatrixA).unwrap();
+        ctx.fill_matrix(a, 1.0);
+        assert_eq!(ctx.program().len(), 1);
+        ctx.run().unwrap();
+        assert!(ctx.program().is_empty());
+    }
+
+    #[test]
+    fn full_min_plus_flow() {
+        let mut ctx = WarpContext::new(4096);
+        ctx.write_input(0, 16, &Matrix::filled(16, 16, 2.0));
+        ctx.write_input(256, 16, &Matrix::filled(16, 16, 3.0));
+        let a = ctx.matrix(FragmentKind::MatrixA).unwrap();
+        let b = ctx.matrix(FragmentKind::MatrixB).unwrap();
+        let acc = ctx.matrix(FragmentKind::Accumulator).unwrap();
+        ctx.load_matrix(a, 0, 16);
+        ctx.load_matrix(b, 256, 16);
+        ctx.fill_matrix(acc, f32::INFINITY);
+        ctx.mmo(OpKind::MinPlus, acc, a, b, acc);
+        ctx.store_matrix(512, acc, 16);
+        let stats = ctx.run().unwrap();
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.fills, 1);
+        assert_eq!(stats.stores, 1);
+        let out = ctx.read_output(512, 16, 16, 16);
+        assert!(out.as_slice().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn exec_faults_surface_as_api_errors() {
+        let mut ctx = WarpContext::new(16); // too small for a tile
+        let a = ctx.matrix(FragmentKind::MatrixA).unwrap();
+        ctx.load_matrix(a, 0, 16);
+        match ctx.run() {
+            Err(ApiError::Exec(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ApiError::OutOfRegisters.to_string().contains("16"));
+    }
+}

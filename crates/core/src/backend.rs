@@ -1,0 +1,422 @@
+//! Whole-matrix `D = C ⊕ (A ⊗ B)` execution backends.
+//!
+//! The evaluation framework (paper Figure 8) swaps the library that
+//! implements the SIMD² API between a CUDA-core backend (correctness
+//! validation, and the "SIMD² on CUDA cores" configuration) and a
+//! Tensor-Core-emulation backend ("SIMD² with SIMD² units"). The
+//! [`Backend`] trait is that seam; every backend also counts the tile
+//! operations it performs, which is the statistic the performance model
+//! charges cycles for.
+
+use simd2_matrix::reference;
+use simd2_matrix::tiling::{self, TileGrid};
+use simd2_matrix::{Matrix, ShapeError, ISA_TILE};
+use simd2_mxu::Simd2Unit;
+use simd2_semiring::OpKind;
+
+use simd2_isa::{Dtype, ExecStats, Executor, Instruction, MatrixReg, SharedMemory};
+
+/// Running totals of the work a backend has performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Whole-matrix `mmo` invocations.
+    pub matrix_mmos: u64,
+    /// 16×16 tile-level operations (what one `simd2.mmo` instruction or
+    /// one wmma call performs).
+    pub tile_mmos: u64,
+    /// Tile loads (operand movement).
+    pub tile_loads: u64,
+    /// Tile stores.
+    pub tile_stores: u64,
+}
+
+/// A whole-matrix SIMD² operation engine.
+///
+/// Implementations must produce results equivalent to
+/// [`simd2_matrix::reference::mmo`] up to the backend's declared
+/// precision; this is checked by the validation framework and the
+/// cross-backend tests.
+pub trait Backend {
+    /// Short human-readable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Whether operands pass through fp16 (reduced precision).
+    fn reduced_precision(&self) -> bool;
+
+    /// Executes `D = C ⊕ (A ⊗ B)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when operand shapes are incompatible.
+    fn mmo(&mut self, op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix)
+        -> Result<Matrix, ShapeError>;
+
+    /// Work counters accumulated so far.
+    fn op_count(&self) -> OpCount;
+
+    /// Resets the work counters.
+    fn reset_count(&mut self);
+}
+
+/// Plain-loop fp32 backend — the correctness oracle, standing in for the
+/// cuASR/CUTLASS CUDA-core library of §5.1.
+///
+/// Tile counters are still maintained (as if the computation were
+/// partitioned into 16×16 tiles) so both configurations report comparable
+/// statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceBackend {
+    count: OpCount,
+}
+
+impl ReferenceBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference (CUDA cores, fp32)"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        false
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, ShapeError> {
+        let d = reference::mmo(op, a, b, c)?;
+        let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
+        self.count.matrix_mmos += 1;
+        self.count.tile_mmos += grid.tile_ops() as u64;
+        self.count.tile_loads += (2 * grid.tile_ops() + grid.output_tiles()) as u64;
+        self.count.tile_stores += grid.output_tiles() as u64;
+        Ok(d)
+    }
+
+    fn op_count(&self) -> OpCount {
+        self.count
+    }
+
+    fn reset_count(&mut self) {
+        self.count = OpCount::default();
+    }
+}
+
+/// Tiled functional SIMD²-unit backend: partitions operands into 16×16
+/// tiles and drives a [`Simd2Unit`] per tile step, with fp16 operand
+/// quantisation — the functional semantics of the proposed hardware.
+#[derive(Clone, Debug, Default)]
+pub struct TiledBackend {
+    unit: Simd2Unit,
+    count: OpCount,
+}
+
+impl TiledBackend {
+    /// Creates the backend with the default fp16-input unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the backend over a specific unit configuration.
+    pub fn with_unit(unit: Simd2Unit) -> Self {
+        Self { unit, count: OpCount::default() }
+    }
+}
+
+impl Backend for TiledBackend {
+    fn name(&self) -> &'static str {
+        "SIMD2 units (tiled, fp16 operands)"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        matches!(self.unit.precision(), simd2_mxu::PrecisionMode::Fp16Input)
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, ShapeError> {
+        reference::check_mmo_shapes(a, b, c)?;
+        let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
+        let mut d = Matrix::zeros(a.rows(), b.cols());
+        for (ti, tj) in grid.output_coords() {
+            // Accumulate across the k tiles, starting from the C tile —
+            // exactly the Figure 6 inner loop.
+            let mut acc = tiling::load_c_tile::<ISA_TILE>(op, c, ti, tj);
+            self.count.tile_loads += 1;
+            for tk in 0..grid.k_tiles {
+                let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
+                let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
+                acc = self.unit.execute(op, &at, &bt, &acc);
+                self.count.tile_loads += 2;
+                self.count.tile_mmos += 1;
+            }
+            tiling::store_d_tile(&mut d, &acc, ti, tj);
+            self.count.tile_stores += 1;
+        }
+        self.count.matrix_mmos += 1;
+        Ok(d)
+    }
+
+    fn op_count(&self) -> OpCount {
+        self.count
+    }
+
+    fn reset_count(&mut self) {
+        self.count = OpCount::default();
+    }
+}
+
+/// ISA-level backend: emits a real SIMD² instruction stream per output
+/// tile and runs it through the warp-level [`Executor`] — the deepest
+/// (and slowest) path through the stack, used to validate that the ISA,
+/// assembler and executor compose into correct whole-matrix results.
+#[derive(Debug, Default)]
+pub struct IsaBackend {
+    count: OpCount,
+    exec_stats: ExecStats,
+}
+
+impl IsaBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative ISA-level execution statistics.
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec_stats
+    }
+}
+
+impl Backend for IsaBackend {
+    fn name(&self) -> &'static str {
+        "SIMD2 ISA executor"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        true
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, ShapeError> {
+        reference::check_mmo_shapes(a, b, c)?;
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
+        let grid = TileGrid::new(m, n, k, ISA_TILE);
+        let pads = tiling::pad_values(op);
+        let (mp, np, kp) =
+            (grid.m_tiles * ISA_TILE, grid.n_tiles * ISA_TILE, grid.k_tiles * ISA_TILE);
+
+        // Shared-memory layout: A | B | C/D, padded to tile multiples.
+        let a_base = 0usize;
+        let b_base = mp * kp;
+        let c_base = b_base + kp * np;
+        let total = c_base + mp * np;
+        let mut mem = SharedMemory::new(total);
+
+        let pad_write = |mem: &mut SharedMemory, base: usize, ld: usize, src: &Matrix,
+                         rows: usize, cols: usize, fill: f32| {
+            let padded = Matrix::from_fn(rows, cols, |r, c| src.get(r, c).unwrap_or(fill));
+            mem.write_matrix(base, ld, &padded);
+        };
+        pad_write(&mut mem, a_base, kp, a, mp, kp, pads.operand);
+        pad_write(&mut mem, b_base, np, b, kp, np, pads.operand);
+        pad_write(&mut mem, c_base, np, c, mp, np, pads.accumulator);
+
+        // One program: for each output tile, load C, stream the k tiles,
+        // store D in place of C.
+        let (ra, rb, rc) = (MatrixReg::new(0), MatrixReg::new(1), MatrixReg::new(2));
+        let mut program: Vec<Instruction> = Vec::new();
+        for (ti, tj) in grid.output_coords() {
+            let c_addr = (c_base + ti * ISA_TILE * np + tj * ISA_TILE) as u32;
+            program.push(Instruction::Load {
+                dst: rc,
+                dtype: Dtype::Fp32,
+                addr: c_addr,
+                ld: np as u32,
+            });
+            for tk in 0..grid.k_tiles {
+                let a_addr = (a_base + ti * ISA_TILE * kp + tk * ISA_TILE) as u32;
+                let b_addr = (b_base + tk * ISA_TILE * np + tj * ISA_TILE) as u32;
+                program.push(Instruction::Load {
+                    dst: ra,
+                    dtype: Dtype::Fp16,
+                    addr: a_addr,
+                    ld: kp as u32,
+                });
+                program.push(Instruction::Load {
+                    dst: rb,
+                    dtype: Dtype::Fp16,
+                    addr: b_addr,
+                    ld: np as u32,
+                });
+                program.push(Instruction::Mmo { op, d: rc, a: ra, b: rb, c: rc });
+            }
+            program.push(Instruction::Store { src: rc, addr: c_addr, ld: np as u32 });
+        }
+
+        let mut exec = Executor::new(mem);
+        let stats = exec.run(&program).expect("internal layout is in bounds");
+        self.count.matrix_mmos += 1;
+        self.count.tile_mmos += stats.total_mmos();
+        self.count.tile_loads += stats.loads;
+        self.count.tile_stores += stats.stores;
+        self.exec_stats.loads += stats.loads;
+        self.exec_stats.stores += stats.stores;
+        self.exec_stats.fills += stats.fills;
+        for (op, n) in stats.mmos {
+            *self.exec_stats.mmos.entry(op).or_insert(0) += n;
+        }
+
+        let padded_d = exec.memory().read_matrix(c_base, np, mp, np);
+        Ok(Matrix::from_fn(m, n, |r, c| padded_d[(r, c)]))
+    }
+
+    fn op_count(&self) -> OpCount {
+        self.count
+    }
+
+    fn reset_count(&mut self) {
+        self.count = OpCount::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::gen;
+    use simd2_semiring::precision::quantize_f16;
+    use simd2_semiring::ALL_OPS;
+
+    fn operands(op: OpKind, m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
+        let mut a = gen::random_operands_for(op, m, k, 42);
+        let mut b = gen::random_operands_for(op, k, n, 43);
+        // Quantise inputs so fp32 reference and fp16 backends agree exactly
+        // except for additive-reduction rounding.
+        for v in a.as_mut_slice() {
+            *v = quantize_f16(*v);
+        }
+        for v in b.as_mut_slice() {
+            *v = quantize_f16(*v);
+        }
+        let c = Matrix::filled(m, n, op.reduce_identity_f32());
+        (a, b, c)
+    }
+
+    fn tol(op: OpKind, k: usize) -> f32 {
+        match op {
+            OpKind::PlusMul | OpKind::PlusNorm => 1e-3 * k as f32,
+            _ => 0.0,
+        }
+    }
+
+    #[test]
+    fn tiled_backend_matches_reference_all_ops() {
+        for op in ALL_OPS {
+            let (a, b, c) = operands(op, 20, 36, 52); // ragged shapes
+            let want = ReferenceBackend::new().mmo(op, &a, &b, &c).unwrap();
+            let got = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
+            let diff = got.max_abs_diff(&want).unwrap();
+            assert!(diff <= tol(op, 52), "{op}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn isa_backend_matches_tiled_backend() {
+        for op in ALL_OPS {
+            let (a, b, c) = operands(op, 18, 33, 17);
+            let tiled = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
+            let isa = IsaBackend::new().mmo(op, &a, &b, &c).unwrap();
+            // Same unit, same tiling order ⇒ bit-identical.
+            assert_eq!(tiled, isa, "{op}");
+        }
+    }
+
+    #[test]
+    fn tile_counts_match_grid_arithmetic() {
+        let op = OpKind::MinPlus;
+        let (a, b, c) = operands(op, 40, 40, 40);
+        let mut be = TiledBackend::new();
+        be.mmo(op, &a, &b, &c).unwrap();
+        // 40 → 3 tiles per dim: 27 tile mmos, 9 output tiles.
+        let count = be.op_count();
+        assert_eq!(count.matrix_mmos, 1);
+        assert_eq!(count.tile_mmos, 27);
+        assert_eq!(count.tile_stores, 9);
+        assert_eq!(count.tile_loads, 9 + 2 * 27);
+        be.reset_count();
+        assert_eq!(be.op_count(), OpCount::default());
+    }
+
+    #[test]
+    fn isa_backend_counts_agree_with_tiled() {
+        let op = OpKind::OrAnd;
+        let (a, b, c) = operands(op, 32, 32, 32);
+        let mut t = TiledBackend::new();
+        let mut i = IsaBackend::new();
+        t.mmo(op, &a, &b, &c).unwrap();
+        i.mmo(op, &a, &b, &c).unwrap();
+        assert_eq!(t.op_count().tile_mmos, i.op_count().tile_mmos);
+        assert_eq!(t.op_count().tile_stores, i.op_count().tile_stores);
+        assert_eq!(i.exec_stats().mmos[&op], 8);
+    }
+
+    #[test]
+    fn reference_backend_is_full_precision() {
+        let mut be = ReferenceBackend::new();
+        assert!(!be.reduced_precision());
+        // 0.1 is not fp16-exact; the reference must not quantise it.
+        let a = Matrix::filled(1, 1, 0.1);
+        let b = Matrix::filled(1, 1, 1.0);
+        let c = Matrix::zeros(1, 1);
+        let d = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert_eq!(d[(0, 0)], 0.1);
+    }
+
+    #[test]
+    fn tiled_backend_quantises() {
+        let mut be = TiledBackend::new();
+        assert!(be.reduced_precision());
+        let a = Matrix::filled(1, 1, 0.1);
+        let b = Matrix::filled(1, 1, 1.0);
+        let c = Matrix::zeros(1, 1);
+        let d = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert_eq!(d[(0, 0)], quantize_f16(0.1));
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(5, 4);
+        let c = Matrix::zeros(4, 4);
+        assert!(ReferenceBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
+        assert!(TiledBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
+        assert!(IsaBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let names = [
+            ReferenceBackend::new().name(),
+            TiledBackend::new().name(),
+            IsaBackend::new().name(),
+        ];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

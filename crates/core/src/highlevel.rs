@@ -1,0 +1,152 @@
+//! The high-level SIMD² interface (paper §4, Figure 6).
+//!
+//! "These high-level functions allow the programmer to simply specify the
+//! memory locations of datasets and implicitly handle the
+//! tiling/partitioning of datasets and algorithms." Here each function
+//! accepts whole matrices of arbitrary shape, tiles them to the hardware's
+//! 16×16 granularity with algebra-appropriate padding, and streams the
+//! tiles through the functional SIMD² backend.
+//!
+//! ```
+//! use simd2::highlevel::simd2_minplus;
+//! use simd2_matrix::Matrix;
+//!
+//! // One Bellman-Ford relaxation step on a 3-vertex graph.
+//! let adj = Matrix::from_rows(&[
+//!     &[0.0, 1.0, f32::INFINITY],
+//!     &[f32::INFINITY, 0.0, 2.0],
+//!     &[f32::INFINITY, f32::INFINITY, 0.0],
+//! ]);
+//! let d = simd2_minplus(&adj, &adj, &adj)?;
+//! assert_eq!(d[(0, 2)], 3.0); // 0→1→2 discovered
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use simd2_matrix::{Matrix, ShapeError};
+use simd2_semiring::OpKind;
+
+use crate::backend::{Backend, TiledBackend};
+
+/// Generic high-level entry point: `D = C ⊕ (A ⊗ B)` for any of the nine
+/// operations, implicit tiling, fp16 operand semantics.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] when operand shapes are incompatible.
+pub fn simd2_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, ShapeError> {
+    TiledBackend::new().mmo(op, a, b, c)
+}
+
+macro_rules! highlevel_fn {
+    ($(#[$doc:meta])* $name:ident, $op:expr) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`ShapeError`] when operand shapes are incompatible.
+        pub fn $name(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, ShapeError> {
+            simd2_mmo($op, a, b, c)
+        }
+    };
+}
+
+highlevel_fn!(
+    /// `D = C + A·B` — matrix-multiply-accumulate.
+    simd2_mma,
+    OpKind::PlusMul
+);
+highlevel_fn!(
+    /// `D = C min (A minplus B)` — shortest-path relaxation (Figure 6).
+    simd2_minplus,
+    OpKind::MinPlus
+);
+highlevel_fn!(
+    /// `D = C max (A maxplus B)` — critical-path relaxation.
+    simd2_maxplus,
+    OpKind::MaxPlus
+);
+highlevel_fn!(
+    /// `D = C min (A minmul B)` — minimum-reliability relaxation.
+    simd2_minmul,
+    OpKind::MinMul
+);
+highlevel_fn!(
+    /// `D = C max (A maxmul B)` — maximum-reliability relaxation.
+    simd2_maxmul,
+    OpKind::MaxMul
+);
+highlevel_fn!(
+    /// `D = C min (A minmax B)` — minimax / spanning-tree relaxation.
+    simd2_minmax,
+    OpKind::MinMax
+);
+highlevel_fn!(
+    /// `D = C max (A maxmin B)` — maximum-capacity relaxation.
+    simd2_maxmin,
+    OpKind::MaxMin
+);
+highlevel_fn!(
+    /// `D = C ∨ (A orand B)` — transitive-closure step on boolean
+    /// matrices encoded as `0.0`/`1.0`.
+    simd2_orand,
+    OpKind::OrAnd
+);
+highlevel_fn!(
+    /// `D = C + Σₖ (Aᵢₖ − Bₖⱼ)²` — pairwise squared-L2 accumulation.
+    simd2_addnorm,
+    OpKind::PlusNorm
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::reference;
+    use simd2_semiring::ALL_OPS;
+
+    #[test]
+    fn named_functions_match_generic_entry() {
+        let a = Matrix::from_fn(8, 8, |r, c| ((r + c) % 4) as f32 * 0.5);
+        let b = Matrix::from_fn(8, 8, |r, c| ((r * c) % 3) as f32 * 0.25);
+        type Hl = fn(&Matrix, &Matrix, &Matrix) -> Result<Matrix, ShapeError>;
+        let table: [(OpKind, Hl); 9] = [
+            (OpKind::PlusMul, simd2_mma),
+            (OpKind::MinPlus, simd2_minplus),
+            (OpKind::MaxPlus, simd2_maxplus),
+            (OpKind::MinMul, simd2_minmul),
+            (OpKind::MaxMul, simd2_maxmul),
+            (OpKind::MinMax, simd2_minmax),
+            (OpKind::MaxMin, simd2_maxmin),
+            (OpKind::OrAnd, simd2_orand),
+            (OpKind::PlusNorm, simd2_addnorm),
+        ];
+        for (op, f) in table {
+            let c = Matrix::filled(8, 8, op.reduce_identity_f32());
+            assert_eq!(f(&a, &b, &c).unwrap(), simd2_mmo(op, &a, &b, &c).unwrap(), "{op}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_shapes_are_tiled_transparently() {
+        // 17×23×31 is maximally ragged against the 16-wide tile.
+        for op in ALL_OPS {
+            let a = Matrix::from_fn(17, 31, |r, c| ((r * 31 + c) % 5) as f32 * 0.25 + 0.25);
+            let b = Matrix::from_fn(31, 23, |r, c| ((r * 23 + c) % 7) as f32 * 0.125 + 0.125);
+            let c = Matrix::filled(17, 23, op.reduce_identity_f32());
+            let got = simd2_mmo(op, &a, &b, &c).unwrap();
+            let want = reference::mmo(op, &a, &b, &c).unwrap();
+            let tol = match op {
+                OpKind::PlusMul | OpKind::PlusNorm => 1e-3,
+                _ => 0.0,
+            };
+            assert!(got.max_abs_diff(&want).unwrap() <= tol, "{op}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(3, 4);
+        let c = Matrix::zeros(4, 4);
+        assert!(simd2_minplus(&a, &b, &c).is_err());
+    }
+}

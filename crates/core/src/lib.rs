@@ -1,0 +1,40 @@
+//! SIMD²: the programming model and paradigm (the paper's contribution).
+//!
+//! This crate is the user-facing layer of the reproduction. It provides:
+//!
+//! * [`api`] — the *low-level* programming interface of paper Table 3
+//!   (`simd2::matrix` / `fillmatrix` / `loadmatrix` / `mmo` /
+//!   `storematrix`), each call mapping one-to-one onto an ISA instruction
+//!   executed by the warp-level executor;
+//! * [`backend`] — interchangeable whole-matrix `D = C ⊕ (A ⊗ B)`
+//!   engines: a plain-loop reference (the cuASR/CUTLASS-on-CUDA-cores
+//!   analogue used for correctness validation), a tiled functional SIMD²
+//!   backend with fp16-in/fp32-out semantics, and an ISA-level backend
+//!   that drives real instruction streams;
+//! * [`highlevel`] — the *high-level* interface of paper Figure 6
+//!   (`simd2_minplus(A, B, C, D, m, n, k)` and friends): arbitrary shapes,
+//!   implicit tiling/partitioning;
+//! * [`solve`] — the closure solvers of §4/§6.4: all-pairs Bellman-Ford
+//!   relaxation and Leyzorek repeated squaring, with and without
+//!   convergence checks, generic over any closure algebra;
+//! * [`micro`] — the §6.2 microbenchmark definitions (Figs 9–10);
+//! * [`validate`] — the §5.1 emulation-framework analogue: run a
+//!   SIMD²-ized implementation against a baseline, compare outputs under
+//!   reduced precision, and collect the operation statistics the
+//!   performance model consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod api;
+pub mod backend;
+pub mod highlevel;
+pub mod micro;
+pub mod program;
+pub mod solve;
+pub mod typed;
+pub mod validate;
+
+pub use backend::{Backend, IsaBackend, OpCount, ReferenceBackend, TiledBackend};
+pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

@@ -1,0 +1,146 @@
+//! Microbenchmark definitions (paper §6.2, Figures 9 and 10).
+//!
+//! A microbenchmark "repetitively invoke\[s\] the same SIMD² instructions"
+//! on synthetic inputs: one `m×n×k` matrix-matrix operation per
+//! measurement, compared between the CUDA-core implementation and the
+//! SIMD² units. Correctness of the two paths is checked functionally at
+//! host-tractable sizes; timing is produced by the GPU machine model at
+//! any size, including the paper's 16384².
+
+use simd2_gpu::{Gpu, Seconds};
+use simd2_matrix::{gen, Matrix};
+use simd2_semiring::OpKind;
+
+use crate::backend::{Backend, ReferenceBackend, TiledBackend};
+
+/// One microbenchmark point: an operation and a shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MicroBench {
+    /// The SIMD² operation under test.
+    pub op: OpKind,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+}
+
+impl MicroBench {
+    /// A square `n³` benchmark.
+    pub fn square(op: OpKind, n: usize) -> Self {
+        Self { op, m: n, n, k: n }
+    }
+
+    /// Timing of both configurations under the machine model.
+    pub fn time(&self, gpu: &Gpu) -> MicroResult {
+        let cuda = gpu.cuda_mmo_time(self.op, self.m, self.n, self.k);
+        let simd2 = gpu.simd2_mmo_time(self.op, self.m, self.n, self.k);
+        MicroResult { bench: *self, cuda, simd2 }
+    }
+
+    /// Functional cross-check at the benchmark's shape: runs the tiled
+    /// SIMD² backend against the fp32 reference on seeded inputs and
+    /// returns the worst element error. Intended for host-tractable sizes.
+    pub fn validate(&self, seed: u64) -> f32 {
+        let a = gen::random_operands_for(self.op, self.m, self.k, seed);
+        let b = gen::random_operands_for(self.op, self.k, self.n, seed ^ 1);
+        let c = Matrix::filled(self.m, self.n, self.op.reduce_identity_f32());
+        let want = ReferenceBackend::new().mmo(self.op, &a, &b, &c).unwrap();
+        let got = TiledBackend::new().mmo(self.op, &a, &b, &c).unwrap();
+        got.max_abs_diff(&want).unwrap()
+    }
+}
+
+/// Modelled timing of one microbenchmark point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MicroResult {
+    /// The benchmark.
+    pub bench: MicroBench,
+    /// CUDA-core implementation time.
+    pub cuda: Seconds,
+    /// SIMD²-unit implementation time.
+    pub simd2: Seconds,
+}
+
+impl MicroResult {
+    /// Speedup of SIMD² units over the CUDA-core implementation.
+    pub fn speedup(&self) -> f64 {
+        self.simd2.speedup_over(self.cuda)
+    }
+}
+
+/// The square input sizes swept by Figure 9.
+pub fn fig9_sizes() -> Vec<usize> {
+    vec![256, 512, 1024, 2048, 4096, 8192, 16384]
+}
+
+/// The non-square shapes swept by Figure 10 (`(label, m, n, k)`).
+pub fn fig10_shapes() -> Vec<(&'static str, usize, usize, usize)> {
+    vec![
+        ("wide-k (8192x8192x512)", 8192, 8192, 512),
+        ("deep-k (512x512x16384)", 512, 512, 16384),
+        ("tall (16384x1024x1024)", 16384, 1024, 1024),
+        ("flat (1024x16384x1024)", 1024, 16384, 1024),
+        ("panel (16384x16384x256)", 16384, 16384, 256),
+        ("sliver (256x16384x16384)", 256, 16384, 16384),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::ALL_OPS;
+
+    #[test]
+    fn functional_validation_is_tight_at_small_sizes() {
+        for op in ALL_OPS {
+            let diff = MicroBench::square(op, 48).validate(9);
+            let tol = match op {
+                OpKind::PlusMul | OpKind::PlusNorm => 0.15, // fp16 inputs, k=48
+                OpKind::MinMul | OpKind::MaxMul => 1e-3,
+                _ => 1e-3,
+            };
+            assert!(diff <= tol, "{op}: {diff}");
+        }
+    }
+
+    #[test]
+    fn or_and_validates_bit_exactly() {
+        // Boolean inputs are fp16-exact, so or-and is error-free; the
+        // min/max selection algebras only deviate by the one-time operand
+        // quantisation.
+        assert_eq!(MicroBench::square(OpKind::OrAnd, 32).validate(5), 0.0);
+        for op in [OpKind::MinMax, OpKind::MaxMin] {
+            let diff = MicroBench::square(op, 32).validate(5);
+            assert!(diff <= simd2_semiring::precision::F16_MAX_RELATIVE_ERROR, "{op}: {diff}");
+        }
+    }
+
+    #[test]
+    fn timing_speedups_are_positive_and_saturating() {
+        let gpu = Gpu::default();
+        for op in ALL_OPS {
+            let small = MicroBench::square(op, 256).time(&gpu).speedup();
+            let large = MicroBench::square(op, 16384).time(&gpu).speedup();
+            assert!(large > small, "{op}: {small} vs {large}");
+            assert!(large > 3.0, "{op}: {large}");
+        }
+    }
+
+    #[test]
+    fn nonsquare_shapes_still_win() {
+        let gpu = Gpu::default();
+        for (label, m, n, k) in fig10_shapes() {
+            let r = MicroBench { op: OpKind::MinPlus, m, n, k }.time(&gpu);
+            assert!(r.speedup() > 1.0, "{label}: {}", r.speedup());
+        }
+    }
+
+    #[test]
+    fn sweep_definitions() {
+        assert_eq!(fig9_sizes().len(), 7);
+        assert!(fig9_sizes().windows(2).all(|w| w[1] == w[0] * 2));
+        assert_eq!(fig10_shapes().len(), 6);
+    }
+}

@@ -1,0 +1,447 @@
+//! Closure solvers: the algorithmic layer of the SIMD² applications.
+//!
+//! All the path-style applications reduce to computing the *closure* of an
+//! adjacency matrix under a semiring-like algebra — the fixed point of
+//! repeated relaxation. Two algorithms from the paper (§4, §6.4):
+//!
+//! * **All-pairs Bellman-Ford** (Figure 7): `D ← D ⊕ (D ⊗ A)` — extends
+//!   every path by one edge per iteration; up to `|V| − 1` iterations.
+//! * **Leyzorek's algorithm** (repeated squaring): `D ← D ⊕ (D ⊗ D)` —
+//!   doubles path lengths per iteration; at most `⌈log₂|V|⌉` iterations.
+//!
+//! Both support the optional *convergence check* of Figure 7's
+//! `check_convergence`: real graphs have small diameters, so the fixed
+//! point arrives long before the worst-case bound, and an element-wise
+//! comparison per iteration buys early exit (§6.4 quantifies the cost of
+//! turning it off).
+
+use simd2_matrix::{Matrix, ShapeError};
+use simd2_semiring::OpKind;
+
+use crate::backend::Backend;
+
+/// Which relaxation scheme drives the closure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClosureAlgorithm {
+    /// All-pairs Bellman-Ford: one-edge extension per iteration.
+    BellmanFord,
+    /// Leyzorek repeated squaring: path-length doubling per iteration.
+    Leyzorek,
+}
+
+impl ClosureAlgorithm {
+    /// Worst-case iteration count for an `n`-vertex graph.
+    pub fn worst_case_iterations(self, n: usize) -> usize {
+        match self {
+            ClosureAlgorithm::BellmanFord => n.saturating_sub(1).max(1),
+            ClosureAlgorithm::Leyzorek => {
+                let mut iters = 0;
+                let mut reach = 1usize;
+                while reach < n.saturating_sub(1).max(1) {
+                    reach *= 2;
+                    iters += 1;
+                }
+                iters.max(1)
+            }
+        }
+    }
+
+    /// Display label used by the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClosureAlgorithm::BellmanFord => "Bellman-Ford",
+            ClosureAlgorithm::Leyzorek => "Leyzorek",
+        }
+    }
+}
+
+/// Work statistics of one closure run — the numbers the performance model
+/// charges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClosureStats {
+    /// Relaxation iterations actually executed.
+    pub iterations: usize,
+    /// Whole-matrix `mmo` operations.
+    pub matrix_mmos: usize,
+    /// Convergence checks executed (element-wise matrix compares).
+    pub convergence_checks: usize,
+    /// Whether the run exited early at a fixed point.
+    pub converged_early: bool,
+}
+
+/// A computed closure plus its statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosureResult {
+    /// The closure matrix (e.g. all-pairs distances).
+    pub closure: Matrix,
+    /// Work performed.
+    pub stats: ClosureStats,
+}
+
+/// Element-wise fixed-point check (`check_convergence` in Figure 7) —
+/// exact comparison, which idempotent algebras reach exactly.
+pub fn check_convergence(prev: &Matrix, next: &Matrix) -> bool {
+    prev == next
+}
+
+/// Computes the closure of `adj` under `op` with the given algorithm.
+///
+/// `adj` must already be an adjacency matrix in `op`'s algebra (no-edge
+/// encoding off-diagonal, `⊗` identity on the diagonal — see
+/// [`simd2_matrix::Graph::adjacency`]). When `convergence` is false, the
+/// worst-case iteration count runs unconditionally (§6.4's ablation).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `adj` is not square.
+///
+/// # Panics
+///
+/// Panics if `op` is not a closure algebra (idempotent `⊕` with a no-edge
+/// encoding) — plus-mul and plus-norm do not have fixed-point closures.
+pub fn closure<B: Backend>(
+    backend: &mut B,
+    op: OpKind,
+    adj: &Matrix,
+    algorithm: ClosureAlgorithm,
+    convergence: bool,
+) -> Result<ClosureResult, ShapeError> {
+    assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
+    if !adj.is_square() {
+        return Err(ShapeError::new("adjacency matrix", (adj.rows(), adj.rows()), adj.shape()));
+    }
+    let n = adj.rows();
+    let max_iters = algorithm.worst_case_iterations(n);
+    let mut dist = adj.clone();
+    let mut stats = ClosureStats::default();
+    for _ in 0..max_iters {
+        let next = match algorithm {
+            // dist ⊕ (dist ⊗ adj): extend every path by one edge.
+            ClosureAlgorithm::BellmanFord => backend.mmo(op, &dist, adj, &dist)?,
+            // dist ⊕ (dist ⊗ dist): double path lengths.
+            ClosureAlgorithm::Leyzorek => backend.mmo(op, &dist, &dist, &dist)?,
+        };
+        stats.iterations += 1;
+        stats.matrix_mmos += 1;
+        if convergence {
+            stats.convergence_checks += 1;
+            if check_convergence(&dist, &next) {
+                stats.converged_early = true;
+                dist = next;
+                break;
+            }
+        }
+        dist = next;
+    }
+    Ok(ClosureResult { closure: dist, stats })
+}
+
+/// Reference closure via textbook Floyd–Warshall generalised over the
+/// algebra — `O(n³)` scalar, full fp32; the oracle the matrix solvers are
+/// validated against.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square or `op` is not a closure algebra.
+pub fn floyd_warshall_closure(op: OpKind, adj: &Matrix) -> Matrix {
+    assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
+    assert!(adj.is_square());
+    let n = adj.rows();
+    let mut d = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            for j in 0..n {
+                d[(i, j)] = op.reduce_f32(d[(i, j)], op.combine_f32(dik, d[(k, j)]));
+            }
+        }
+    }
+    d
+}
+
+/// Evaluates a path's value under `op`: the `⊗`-combination of its edge
+/// weights (the `⊗` identity for a single-vertex path).
+///
+/// Returns `None` if any hop is missing from `adj`.
+pub fn path_value(op: OpKind, adj: &Matrix, path: &[usize]) -> Option<f32> {
+    let no_edge = op.no_edge_f32()?;
+    let mut acc = op.combine_identity_f32()?;
+    for hop in path.windows(2) {
+        let w = adj[(hop[0], hop[1])];
+        if w == no_edge {
+            return None;
+        }
+        acc = op.combine_f32(acc, w);
+    }
+    Some(acc)
+}
+
+/// Reconstructs one optimal path `src → dst` from an adjacency matrix and
+/// its closure — the answer-extraction step applications need after the
+/// matrix solve (the closure itself only stores optimal *values*).
+///
+/// Uses depth-first descent with backtracking: an edge `(v, u)` is taken
+/// when `A(v,u) ⊗ D(u,dst)` reproduces `D(v,dst)` exactly; ties are
+/// resolved by vertex order, revisits are pruned. Exactness holds for the
+/// fp32 selection algebras (min/max/or) where closures are computed
+/// without rounding.
+///
+/// Returns `None` when `dst` is unreachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `op` is not a closure algebra or the matrices disagree in
+/// shape.
+pub fn reconstruct_path(
+    op: OpKind,
+    adj: &Matrix,
+    closure: &Matrix,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
+    assert_eq!(adj.shape(), closure.shape(), "adjacency and closure must agree");
+    let n = adj.rows();
+    let no_edge = op.no_edge_f32().expect("closure algebra");
+    if closure[(src, dst)] == no_edge && src != dst {
+        return None;
+    }
+    let mut path = vec![src];
+    let mut visited = vec![false; n];
+    visited[src] = true;
+    fn dfs(
+        op: OpKind,
+        adj: &Matrix,
+        closure: &Matrix,
+        no_edge: f32,
+        dst: usize,
+        path: &mut Vec<usize>,
+        visited: &mut [bool],
+    ) -> bool {
+        let v = *path.last().expect("path is never empty");
+        if v == dst {
+            return true;
+        }
+        let target = closure[(v, dst)];
+        for u in 0..adj.rows() {
+            if visited[u] || adj[(v, u)] == no_edge {
+                continue;
+            }
+            // The edge must lie on an optimal continuation.
+            let via = op.combine_f32(adj[(v, u)], closure[(u, dst)]);
+            if via != target {
+                continue;
+            }
+            visited[u] = true;
+            path.push(u);
+            if dfs(op, adj, closure, no_edge, dst, path, visited) {
+                return true;
+            }
+            path.pop();
+            // Leave `visited[u]` set: a vertex that cannot complete the
+            // path under this prefix cannot complete it under a longer
+            // one either (closure values are prefix-independent).
+        }
+        false
+    }
+    if dfs(op, adj, closure, no_edge, dst, &mut path, &mut visited) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ReferenceBackend, TiledBackend};
+    use simd2_matrix::{gen, Graph};
+
+    fn line_graph() -> Graph {
+        // 0 →1→ 1 →2→ 2 →3→ 3 (weights are the edge numbers)
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        g
+    }
+
+    #[test]
+    fn bellman_ford_min_plus_on_line() {
+        let adj = line_graph().adjacency(OpKind::MinPlus);
+        let mut be = ReferenceBackend::new();
+        let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
+            .unwrap();
+        assert_eq!(r.closure[(0, 3)], 6.0);
+        assert_eq!(r.closure[(0, 2)], 3.0);
+        assert_eq!(r.closure[(3, 0)], f32::INFINITY);
+        assert_eq!(r.closure[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn leyzorek_matches_bellman_ford() {
+        let g = gen::connected_gnp_graph(24, 0.15, 1.0, 9.0, 7);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let mut be = ReferenceBackend::new();
+        let bf = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
+            .unwrap();
+        let ley =
+            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+        assert_eq!(bf.closure, ley.closure);
+        assert!(ley.stats.iterations <= bf.stats.iterations);
+    }
+
+    #[test]
+    fn both_match_floyd_warshall_across_algebras() {
+        for op in [OpKind::MinPlus, OpKind::MinMax, OpKind::MaxMin, OpKind::OrAnd] {
+            let g = gen::connected_gnp_graph(18, 0.2, 1.0, 7.0, 13);
+            let adj = match op {
+                OpKind::OrAnd => g.reachability(),
+                _ => g.adjacency(op),
+            };
+            let want = floyd_warshall_closure(op, &adj);
+            let mut be = ReferenceBackend::new();
+            for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
+                let r = closure(&mut be, op, &adj, alg, true).unwrap();
+                assert_eq!(r.closure, want, "{op} {alg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_backend_reaches_same_fixed_point() {
+        // Integer weights are fp16-exact ⇒ the reduced-precision backend
+        // must match the fp32 oracle bit-for-bit on min/max algebras.
+        let g = gen::integer_weight_graph(20, 0.25, 15, 3);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let want = floyd_warshall_closure(OpKind::MinPlus, &adj);
+        let mut be = TiledBackend::new();
+        let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true)
+            .unwrap();
+        assert_eq!(r.closure, want);
+        assert!(be.op_count().tile_mmos > 0);
+    }
+
+    #[test]
+    fn convergence_check_exits_early() {
+        // Diameter-3 line graph: BF converges after ~3 productive
+        // iterations, far below the worst case of n−1.
+        let mut g = Graph::new(32);
+        for v in 0..3 {
+            g.add_edge(v, v + 1, 1.0);
+        }
+        let adj = g.adjacency(OpKind::MinPlus);
+        let mut be = ReferenceBackend::new();
+        let with = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
+            .unwrap();
+        assert!(with.stats.converged_early);
+        assert!(with.stats.iterations <= 5);
+        let without =
+            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, false)
+                .unwrap();
+        assert!(!without.stats.converged_early);
+        assert_eq!(without.stats.iterations, 31);
+        assert_eq!(with.closure, without.closure);
+        assert_eq!(without.stats.convergence_checks, 0);
+    }
+
+    #[test]
+    fn worst_case_iteration_bounds() {
+        assert_eq!(ClosureAlgorithm::BellmanFord.worst_case_iterations(1024), 1023);
+        assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(1024), 10);
+        assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(1025), 10);
+        assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(2), 1);
+        assert_eq!(ClosureAlgorithm::BellmanFord.worst_case_iterations(1), 1);
+    }
+
+    #[test]
+    fn max_plus_critical_path_on_dag() {
+        let g = gen::random_dag(16, 0.3, 1.0, 5.0, 11);
+        let adj = g.adjacency(OpKind::MaxPlus);
+        let want = floyd_warshall_closure(OpKind::MaxPlus, &adj);
+        let mut be = ReferenceBackend::new();
+        let r =
+            closure(&mut be, OpKind::MaxPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+        assert_eq!(r.closure, want);
+        // Critical path lengths are ≥ direct edges.
+        for (s, d, w) in g.edges() {
+            assert!(r.closure[(s, d)] >= w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no fixed-point closure")]
+    fn plus_mul_is_rejected() {
+        let adj = Matrix::zeros(4, 4);
+        let mut be = ReferenceBackend::new();
+        let _ = closure(&mut be, OpKind::PlusMul, &adj, ClosureAlgorithm::Leyzorek, true);
+    }
+
+    #[test]
+    fn non_square_is_an_error() {
+        let adj = Matrix::zeros(4, 5);
+        let mut be = ReferenceBackend::new();
+        assert!(
+            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).is_err()
+        );
+    }
+
+    #[test]
+    fn path_reconstruction_min_plus() {
+        let adj = line_graph().adjacency(OpKind::MinPlus);
+        let d = floyd_warshall_closure(OpKind::MinPlus, &adj);
+        let path = reconstruct_path(OpKind::MinPlus, &adj, &d, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert_eq!(path_value(OpKind::MinPlus, &adj, &path), Some(6.0));
+        // Unreachable direction.
+        assert_eq!(reconstruct_path(OpKind::MinPlus, &adj, &d, 3, 0), None);
+        // Trivial path.
+        assert_eq!(reconstruct_path(OpKind::MinPlus, &adj, &d, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn path_reconstruction_recovers_closure_values_on_random_graphs() {
+        for op in [OpKind::MinPlus, OpKind::MaxMin, OpKind::MinMax, OpKind::OrAnd] {
+            for seed in [3u64, 11, 29] {
+                let g = gen::connected_gnp_graph(16, 0.2, 1.0, 9.0, seed);
+                let adj = match op {
+                    OpKind::OrAnd => g.reachability(),
+                    _ => g.adjacency(op),
+                };
+                let d = floyd_warshall_closure(op, &adj);
+                for src in 0..16 {
+                    for dst in 0..16 {
+                        if src == dst {
+                            continue;
+                        }
+                        let path = reconstruct_path(op, &adj, &d, src, dst)
+                            .unwrap_or_else(|| panic!("{op} seed {seed}: {src}->{dst}"));
+                        assert_eq!(*path.first().unwrap(), src);
+                        assert_eq!(*path.last().unwrap(), dst);
+                        assert!(path.len() <= 16, "simple path");
+                        let v = path_value(op, &adj, &path).unwrap();
+                        assert_eq!(v, d[(src, dst)], "{op} seed {seed}: {src}->{dst} {path:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_value_rejects_missing_hops() {
+        let adj = line_graph().adjacency(OpKind::MinPlus);
+        assert_eq!(path_value(OpKind::MinPlus, &adj, &[0, 2]), None, "no direct 0->2 edge");
+        assert_eq!(path_value(OpKind::MinPlus, &adj, &[1]), Some(0.0), "⊗ identity");
+    }
+
+    #[test]
+    fn stats_count_mmos() {
+        let g = gen::connected_gnp_graph(16, 0.3, 1.0, 5.0, 5);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let mut be = ReferenceBackend::new();
+        let r =
+            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, false).unwrap();
+        assert_eq!(r.stats.matrix_mmos, r.stats.iterations);
+        assert_eq!(be.op_count().matrix_mmos as usize, r.stats.iterations);
+    }
+}

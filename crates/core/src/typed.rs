@@ -1,0 +1,170 @@
+//! Statically-dispatched (monomorphised) tiled kernels.
+//!
+//! The dynamic [`crate::backend`] engines dispatch on [`OpKind`] per
+//! scalar step — faithful to hardware decoding, but not how a software
+//! library like cuASR structures its kernels: there, each semiring
+//! instantiates a *template* and the compiler specialises the whole
+//! kernel. This module is that counterpart: tiled `D = C ⊕ (A ⊗ B)`
+//! generic over the [`Semiring`] trait, with register-blocked inner
+//! loops the optimiser can unroll and vectorise per algebra.
+//!
+//! Results are bit-identical to the dynamic reference path (checked by
+//! tests); this is purely the static-dispatch story — and the engine the
+//! criterion benches use to measure the dispatch overhead itself.
+
+use simd2_matrix::reference::check_mmo_shapes;
+use simd2_matrix::{Matrix, ShapeError};
+use simd2_semiring::{OpKind, Semiring};
+
+/// Tile side of the register-blocked kernel.
+const BLOCK: usize = 16;
+
+/// Monomorphised tiled `D = C ⊕ (A ⊗ B)` over a typed semiring
+/// (full fp32 — the cuASR-on-CUDA-cores analogue).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] when operand shapes are incompatible.
+///
+/// # Example
+///
+/// ```
+/// use simd2::typed::mmo_typed_tiled;
+/// use simd2_matrix::Matrix;
+/// use simd2_semiring::MinPlus;
+///
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[f32::INFINITY, 0.0]]);
+/// let c = Matrix::filled(2, 2, f32::INFINITY);
+/// let d = mmo_typed_tiled::<MinPlus>(&a, &a, &c)?;
+/// assert_eq!(d[(0, 1)], 1.0);
+/// # Ok::<(), simd2_matrix::ShapeError>(())
+/// ```
+pub fn mmo_typed_tiled<S: Semiring<Elem = f32>>(
+    a: &Matrix,
+    b: &Matrix,
+    c: &Matrix,
+) -> Result<Matrix, ShapeError> {
+    check_mmo_shapes(a, b, c)?;
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let mut d = Matrix::from_fn(m, n, |_, _| S::reduce_identity());
+    // k-outer blocking: accumulate partial reductions tile by tile, the
+    // same dataflow the hardware unit pipelines.
+    for k0 in (0..k).step_by(BLOCK) {
+        let k1 = (k0 + BLOCK).min(k);
+        for i in 0..m {
+            let arow = a.row(i);
+            let drow = d.row_mut(i);
+            for (kk, &av) in arow.iter().enumerate().take(k1).skip(k0) {
+                let brow = b.row(kk);
+                for (dv, &bv) in drow.iter_mut().zip(brow) {
+                    *dv = S::fma(*dv, av, bv);
+                }
+            }
+        }
+    }
+    // Fold the accumulator in last, matching the reference semantics.
+    for i in 0..m {
+        let crow = c.row(i);
+        let drow = d.row_mut(i);
+        for (dv, &cv) in drow.iter_mut().zip(crow) {
+            *dv = S::reduce(cv, *dv);
+        }
+    }
+    Ok(d)
+}
+
+/// Dynamic-to-static bridge: runs the monomorphised kernel for a runtime
+/// [`OpKind`] (one virtual dispatch per *matrix*, not per element).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] when operand shapes are incompatible.
+pub fn mmo_tiled(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, ShapeError> {
+    struct V<'m>(&'m Matrix, &'m Matrix, &'m Matrix);
+    impl simd2_semiring::F32SemiringVisitor for V<'_> {
+        type Output = Result<Matrix, ShapeError>;
+        fn visit<S: Semiring<Elem = f32>>(self) -> Self::Output {
+            mmo_typed_tiled::<S>(self.0, self.1, self.2)
+        }
+    }
+    simd2_semiring::visit_f32_semiring(op, V(a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::{gen, reference};
+    use simd2_semiring::{MaxMin, MinPlus, OrAnd, ALL_OPS};
+
+    #[test]
+    fn typed_tiled_matches_reference_on_selection_algebras() {
+        // Non-additive reductions are order-insensitive ⇒ bit-exact.
+        let a = gen::random_matrix(37, 53, 0.0, 9.0, 1);
+        let b = gen::random_matrix(53, 29, 0.0, 9.0, 2);
+        for op in [OpKind::MinPlus, OpKind::MaxMin, OpKind::MinMax, OpKind::OrAnd] {
+            let a = gen::random_operands_for(op, 37, 53, 3);
+            let b = gen::random_operands_for(op, 53, 29, 4);
+            let c = Matrix::filled(37, 29, op.reduce_identity_f32());
+            let want = reference::mmo(op, &a, &b, &c).unwrap();
+            let got = mmo_tiled(op, &a, &b, &c).unwrap();
+            assert_eq!(got, want, "{op}");
+        }
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn typed_tiled_matches_reference_on_all_ops_within_rounding() {
+        for op in ALL_OPS {
+            let a = gen::random_operands_for(op, 24, 40, 5);
+            let b = gen::random_operands_for(op, 40, 18, 6);
+            let c = Matrix::filled(24, 18, op.reduce_identity_f32());
+            let want = reference::mmo(op, &a, &b, &c).unwrap();
+            let got = mmo_tiled(op, &a, &b, &c).unwrap();
+            let tol = match op {
+                OpKind::PlusMul | OpKind::PlusNorm => 1e-4,
+                _ => 0.0,
+            };
+            let diff = got.max_abs_diff(&want).unwrap();
+            assert!(diff <= tol, "{op}: {diff}");
+        }
+    }
+
+    #[test]
+    fn static_entry_points_agree_with_dynamic_bridge() {
+        let a = gen::random_matrix(20, 20, 0.0, 5.0, 7);
+        let c = Matrix::filled(20, 20, f32::INFINITY);
+        assert_eq!(
+            mmo_typed_tiled::<MinPlus>(&a, &a, &c).unwrap(),
+            mmo_tiled(OpKind::MinPlus, &a, &a, &c).unwrap()
+        );
+        let c = Matrix::filled(20, 20, f32::NEG_INFINITY);
+        assert_eq!(
+            mmo_typed_tiled::<MaxMin>(&a, &a, &c).unwrap(),
+            mmo_tiled(OpKind::MaxMin, &a, &a, &c).unwrap()
+        );
+    }
+
+    #[test]
+    fn boolean_kernel_is_exact() {
+        let a = gen::random_bool_matrix(33, 33, 0.3, 9);
+        let c = Matrix::zeros(33, 33);
+        let want = reference::mmo(OpKind::OrAnd, &a, &a, &c).unwrap();
+        assert_eq!(mmo_typed_tiled::<OrAnd>(&a, &a, &c).unwrap(), want);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(3, 4);
+        let c = Matrix::zeros(3, 4);
+        assert!(mmo_typed_tiled::<MinPlus>(&a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn empty_k_reduces_only_c() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = Matrix::filled(2, 2, 5.0);
+        assert_eq!(mmo_typed_tiled::<MinPlus>(&a, &b, &c).unwrap(), c);
+    }
+}

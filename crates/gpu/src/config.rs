@@ -1,0 +1,142 @@
+//! Machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU-class machine with SIMD² units.
+///
+/// Defaults model the paper's testbed, an RTX 3080 (GA102, Ampere): 68
+/// SMs, 128 fp32 CUDA lanes per SM, 4 tensor/SIMD² units per SM, 10 GB of
+/// device memory at 760 GB/s.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sm_count: usize,
+    /// fp32 CUDA lanes per SM (ops issued per cycle at full rate).
+    pub cuda_lanes_per_sm: usize,
+    /// SIMD²/Tensor units per SM.
+    pub simd2_units_per_sm: usize,
+    /// `⊗`-lane operations one SIMD² unit retires per cycle (a pipelined
+    /// 4×4 unit retires 4³ = 64).
+    pub lane_ops_per_unit: usize,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth, GB/s.
+    pub dram_bw_gbps: f64,
+    /// Device memory capacity, bytes.
+    pub dram_capacity_bytes: u64,
+    /// Fixed cost of one kernel launch, seconds.
+    pub kernel_launch_seconds: f64,
+    /// Half-saturation input dimension of the SIMD² pipe: utilisation is
+    /// `n / (n + this)` for an `n × n` operand (wave quantisation +
+    /// pipeline fill; drives the Fig 9 ramp).
+    pub simd2_half_sat_dim: f64,
+    /// Half-saturation input dimension of plain CUDA-core kernels (vector
+    /// kernels saturate much earlier).
+    pub cuda_half_sat_dim: f64,
+    /// Structured-sparsity throughput multiplier of the sparse SIMD²/
+    /// Tensor pipe (2:4 sparsity doubles throughput on Ampere).
+    pub sparse_tensor_speedup: f64,
+}
+
+impl GpuConfig {
+    /// The paper's testbed: RTX 3080 with SIMD² units in place of its
+    /// Tensor Cores.
+    pub fn rtx3080() -> Self {
+        Self {
+            name: "RTX 3080-class (SIMD2)".to_owned(),
+            sm_count: 68,
+            cuda_lanes_per_sm: 128,
+            simd2_units_per_sm: 4,
+            lane_ops_per_unit: 64,
+            clock_ghz: 1.71,
+            dram_bw_gbps: 760.0,
+            dram_capacity_bytes: 10 * 1024 * 1024 * 1024,
+            kernel_launch_seconds: 5.0e-6,
+            simd2_half_sat_dim: 200.0,
+            cuda_half_sat_dim: 48.0,
+            sparse_tensor_speedup: 2.0,
+        }
+    }
+
+    /// The previous-generation part referenced in §6.3 ("the RTX 3080 GPU
+    /// has twice as many CUDA cores than the previous generation"): an
+    /// RTX 2080-class machine.
+    pub fn previous_gen() -> Self {
+        Self {
+            name: "RTX 2080-class".to_owned(),
+            sm_count: 46,
+            cuda_lanes_per_sm: 64,
+            simd2_units_per_sm: 8,
+            lane_ops_per_unit: 32,
+            clock_ghz: 1.71,
+            dram_bw_gbps: 448.0,
+            dram_capacity_bytes: 8 * 1024 * 1024 * 1024,
+            kernel_launch_seconds: 5.0e-6,
+            simd2_half_sat_dim: 200.0,
+            cuda_half_sat_dim: 48.0,
+            sparse_tensor_speedup: 1.0,
+        }
+    }
+
+    /// Peak CUDA-lane op throughput, ops/second (full-rate classes).
+    pub fn cuda_ops_per_second(&self) -> f64 {
+        self.sm_count as f64 * self.cuda_lanes_per_sm as f64 * self.clock_ghz * 1.0e9
+    }
+
+    /// Peak SIMD² lane-op throughput, ops/second.
+    pub fn simd2_ops_per_second(&self) -> f64 {
+        self.sm_count as f64
+            * self.simd2_units_per_sm as f64
+            * self.lane_ops_per_unit as f64
+            * self.clock_ghz
+            * 1.0e9
+    }
+
+    /// Device memory bandwidth, bytes/second.
+    pub fn dram_bytes_per_second(&self) -> f64 {
+        self.dram_bw_gbps * 1.0e9
+    }
+
+    /// Whether an allocation plan of `bytes` fits device memory.
+    pub fn fits_in_memory(&self, bytes: u64) -> bool {
+        bytes <= self.dram_capacity_bytes
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::rtx3080()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3080_headline_numbers() {
+        let g = GpuConfig::rtx3080();
+        // ~29.8 TFLOP/s fp32 fma → 14.9 G ops/lane-issue terms ≈ 128*68*1.71G.
+        let cuda = g.cuda_ops_per_second();
+        assert!((cuda - 14.88e12).abs() / 14.88e12 < 0.01, "{cuda:e}");
+        // SIMD² pipe: 4 units × 64 lanes = 2× the CUDA lane count.
+        assert_eq!(g.simd2_ops_per_second() / cuda, 2.0);
+        assert!(g.fits_in_memory(10 * 1024 * 1024 * 1024));
+        assert!(!g.fits_in_memory(10 * 1024 * 1024 * 1024 + 1));
+    }
+
+    #[test]
+    fn previous_gen_has_half_the_cuda_lanes() {
+        let new = GpuConfig::rtx3080();
+        let old = GpuConfig::previous_gen();
+        assert_eq!(new.cuda_lanes_per_sm, old.cuda_lanes_per_sm * 2);
+        assert!(old.cuda_ops_per_second() < new.cuda_ops_per_second() / 2.0);
+    }
+
+    #[test]
+    fn default_is_the_testbed() {
+        assert_eq!(GpuConfig::default(), GpuConfig::rtx3080());
+    }
+}

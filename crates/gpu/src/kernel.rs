@@ -1,0 +1,392 @@
+//! Whole-kernel cost estimation.
+//!
+//! A kernel is priced as `launch_overhead + max(compute_time, memory_time)`
+//! — the classic roofline. Compute time follows the issue-slot model in
+//! [`crate::cost`] (CUDA path) or the lane throughput of the SIMD² pipe,
+//! both derated by size-dependent utilisation.
+
+use serde::{Deserialize, Serialize};
+use simd2_semiring::OpKind;
+
+use crate::config::GpuConfig;
+use crate::cost::{cuda_op_cost, effective_dim, utilisation};
+
+/// A wall-clock duration produced by the model, seconds.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// The value in seconds.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1.0e3
+    }
+
+    /// `a / b` as a speedup factor.
+    pub fn speedup_over(self, other: Seconds) -> f64 {
+        other.0 / self.0
+    }
+}
+
+impl std::ops::Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+/// Generic kernel description for custom (non-mmo) kernels — the shape the
+/// application baselines are priced through.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// Inner-loop element steps the kernel performs.
+    pub element_steps: f64,
+    /// Issue slots per element step (see [`crate::cost`]).
+    pub slots_per_step: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+    /// Kernel launches in this phase (serialised launches each pay the
+    /// fixed overhead — this is what makes phase-per-vertex baselines like
+    /// Floyd–Warshall launch-bound at small sizes).
+    pub launches: u64,
+    /// Fraction of peak issue rate the kernel sustains (algorithmic
+    /// inefficiency: divergence, limited parallelism, sync barriers).
+    pub efficiency: f64,
+}
+
+/// The machine model: prices kernels against a [`GpuConfig`].
+///
+/// # Example
+///
+/// ```
+/// use simd2_gpu::{Gpu, GpuConfig};
+/// use simd2_semiring::OpKind;
+///
+/// let gpu = Gpu::new(GpuConfig::rtx3080());
+/// let n = 4096;
+/// let cuda = gpu.cuda_mmo_time(OpKind::MinPlus, n, n, n);
+/// let simd2 = gpu.simd2_mmo_time(OpKind::MinPlus, n, n, n);
+/// assert!(simd2.get() < cuda.get()); // SIMD² wins at this size
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gpu {
+    config: GpuConfig,
+}
+
+impl Gpu {
+    /// Creates a model over the given machine description.
+    pub fn new(config: GpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// The underlying machine description.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Time for a custom kernel profile.
+    pub fn kernel_time(&self, p: &KernelProfile) -> Seconds {
+        let eff = p.efficiency.clamp(1.0e-6, 1.0);
+        let compute =
+            p.element_steps * p.slots_per_step / (self.config.cuda_ops_per_second() * eff);
+        let memory = p.bytes / self.config.dram_bytes_per_second();
+        Seconds(p.launches as f64 * self.config.kernel_launch_seconds + compute.max(memory))
+    }
+
+    /// Time of one `m×n×k` matrix-matrix operation implemented on CUDA
+    /// cores (the "SIMD² on CUDA cores" configuration, and the per-op
+    /// microbenchmark baseline).
+    pub fn cuda_mmo_time(&self, op: OpKind, m: usize, n: usize, k: usize) -> Seconds {
+        let steps = m as f64 * n as f64 * k as f64;
+        let slots = cuda_op_cost(op).total_slots();
+        let eff = utilisation(effective_dim(m, n, k), self.config.cuda_half_sat_dim);
+        // Shared-memory-blocked kernel: operands are re-read once per
+        // 64-wide output block; accumulators stream once.
+        let block = 128.0;
+        let bytes = 4.0
+            * ((m * k) as f64 * (n as f64 / block).ceil()
+                + (k * n) as f64 * (m as f64 / block).ceil())
+            + 8.0 * (m * n) as f64;
+        let compute = steps * slots / (self.config.cuda_ops_per_second() * eff);
+        let memory = bytes / self.config.dram_bytes_per_second();
+        Seconds(self.config.kernel_launch_seconds + compute.max(memory))
+    }
+
+    /// Time of one `m×n×k` matrix-matrix operation on the SIMD² units
+    /// (dimensions are padded to the 16-element ISA tile).
+    pub fn simd2_mmo_time(&self, op: OpKind, m: usize, n: usize, k: usize) -> Seconds {
+        let _ = op; // identical latency for all nine ops by design (§3.2)
+        let pad = |x: usize| x.div_ceil(16) * 16;
+        let (mp, np, kp) = (pad(m), pad(n), pad(k));
+        let lane_ops = mp as f64 * np as f64 * kp as f64;
+        let eff = utilisation(effective_dim(mp, np, kp), self.config.simd2_half_sat_dim);
+        // fp16 operands; same blocked reuse pattern with wider blocks
+        // (tile-granular staging through shared memory).
+        let block = 512.0;
+        let bytes = 2.0
+            * ((mp * kp) as f64 * (np as f64 / block).ceil()
+                + (kp * np) as f64 * (mp as f64 / block).ceil())
+            + 8.0 * (mp * np) as f64;
+        let compute = lane_ops / (self.config.simd2_ops_per_second() * eff);
+        let memory = bytes / self.config.dram_bytes_per_second();
+        Seconds(self.config.kernel_launch_seconds + compute.max(memory))
+    }
+
+    /// Time of one `m×n×k` operation on *sparse* SIMD² units with 2:4
+    /// structured-sparsity operands (Fig 13): the tile pipe runs at
+    /// `sparse_tensor_speedup ×` throughput; data volume of the compressed
+    /// operand halves.
+    pub fn sparse_simd2_mmo_time(&self, op: OpKind, m: usize, n: usize, k: usize) -> Seconds {
+        let dense = self.simd2_mmo_time(op, m, n, k);
+        let launch = self.config.kernel_launch_seconds;
+        Seconds(launch + (dense.get() - launch) / self.config.sparse_tensor_speedup)
+    }
+
+    /// Time of an element-wise kernel over `elements` values performing
+    /// `slots` issue slots each (convergence checks, epilogues).
+    pub fn elementwise_time(&self, elements: usize, slots: f64) -> Seconds {
+        let bytes = elements as f64 * 8.0; // read old + new value
+        let compute = elements as f64 * slots / self.config.cuda_ops_per_second();
+        let memory = bytes / self.config.dram_bytes_per_second();
+        Seconds(self.config.kernel_launch_seconds + compute.max(memory))
+    }
+
+    /// Host↔device transfer time for `bytes` over PCIe-4 x16 (~25 GB/s).
+    pub fn transfer_time(&self, bytes: u64) -> Seconds {
+        Seconds(bytes as f64 / 25.0e9)
+    }
+
+    /// Active energy of an `m×n×k` operation on the SIMD² units, joules:
+    /// per-unit active power (the §6.1 synthesis numbers, scaled from the
+    /// 4×4 unit to the chip's unit count) over the kernel's runtime, plus
+    /// a fixed SM/memory base draw.
+    pub fn simd2_mmo_energy_joules(&self, op: OpKind, m: usize, n: usize, k: usize) -> f64 {
+        let t = self.simd2_mmo_time(op, m, n, k).get();
+        let units = (self.config.sm_count * self.config.simd2_units_per_sm) as f64;
+        let unit_power = simd2_mxu::area::PowerModel::combined_watts(
+            &simd2_semiring::EXTENDED_OPS,
+        ) * PROCESS_POWER_SCALE_45NM_TO_8N;
+        t * (units * unit_power + BASE_BOARD_WATTS)
+    }
+
+    /// Active energy of the same operation on CUDA cores, joules.
+    pub fn cuda_mmo_energy_joules(&self, op: OpKind, m: usize, n: usize, k: usize) -> f64 {
+        let t = self.cuda_mmo_time(op, m, n, k).get();
+        t * (CUDA_CORE_ARRAY_WATTS + BASE_BOARD_WATTS)
+    }
+}
+
+/// Non-compute board draw charged to every kernel (memory, fabric, I/O).
+pub const BASE_BOARD_WATTS: f64 = 110.0;
+
+/// Dynamic-power scale from the 45 nm synthesis node to Samsung 8N —
+/// the same generational gap the §6.1 area scaling bridges
+/// (capacitance and V² both shrink with the process).
+pub const PROCESS_POWER_SCALE_45NM_TO_8N: f64 = 0.1;
+
+/// Active power of the full CUDA-core array at sustained issue
+/// (RTX 3080-class: ~320 W board minus the base draw).
+pub const CUDA_CORE_ARRAY_WATTS: f64 = 210.0;
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Self::new(GpuConfig::default())
+    }
+}
+
+/// Geometric mean helper used by every figure harness.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::{ALL_OPS, EXTENDED_OPS};
+
+    fn speedup(gpu: &Gpu, op: OpKind, n: usize) -> f64 {
+        gpu.simd2_mmo_time(op, n, n, n).speedup_over(gpu.cuda_mmo_time(op, n, n, n))
+    }
+
+    #[test]
+    fn saturated_per_op_speedups_match_fig9() {
+        let gpu = Gpu::default();
+        let n = 16384;
+        // Paper Fig 9: plus-mul/plus-norm lowest (≈3.1–5.96), min/max-plus
+        // and min/max-mul around 8–13, the shared-port trio up to 15.8.
+        let s_pm = speedup(&gpu, OpKind::PlusMul, n);
+        assert!((2.8..=3.4).contains(&s_pm), "plus-mul {s_pm}");
+        let s_pn = speedup(&gpu, OpKind::PlusNorm, n);
+        assert!((4.0..=6.0).contains(&s_pn), "plus-norm {s_pn}");
+        for op in [OpKind::MinPlus, OpKind::MaxPlus] {
+            let s = speedup(&gpu, op, n);
+            assert!((11.0..=14.0).contains(&s), "{op} {s}");
+        }
+        for op in [OpKind::MinMul, OpKind::MaxMul] {
+            let s = speedup(&gpu, op, n);
+            assert!((9.0..=12.0).contains(&s), "{op} {s}");
+        }
+        for op in [OpKind::MinMax, OpKind::MaxMin, OpKind::OrAnd] {
+            let s = speedup(&gpu, op, n);
+            assert!((13.0..=15.8).contains(&s), "{op} {s}");
+        }
+    }
+
+    #[test]
+    fn gmean_lands_in_paper_band() {
+        let gpu = Gpu::default();
+        for n in [1024, 4096, 16384] {
+            let sp: Vec<f64> = ALL_OPS.iter().map(|&op| speedup(&gpu, op, n)).collect();
+            let g = geomean(&sp);
+            assert!((8.0..=10.8).contains(&g), "n={n}: gmean {g}");
+        }
+    }
+
+    #[test]
+    fn speedup_ramps_with_size_and_saturates() {
+        let gpu = Gpu::default();
+        let sizes = [512, 1024, 2048, 4096, 8192, 16384];
+        let mut prev = 0.0;
+        for n in sizes {
+            let s = speedup(&gpu, OpKind::MinPlus, n);
+            assert!(s > prev, "n={n}: {s} <= {prev}");
+            prev = s;
+        }
+        // Saturation: the last doubling adds < 5%.
+        let s8 = speedup(&gpu, OpKind::MinPlus, 8192);
+        let s16 = speedup(&gpu, OpKind::MinPlus, 16384);
+        assert!(s16 / s8 < 1.05);
+    }
+
+    #[test]
+    fn all_simd2_ops_cost_the_same_on_units() {
+        let gpu = Gpu::default();
+        let base = gpu.simd2_mmo_time(OpKind::PlusMul, 1024, 1024, 1024);
+        for op in EXTENDED_OPS {
+            assert_eq!(gpu.simd2_mmo_time(op, 1024, 1024, 1024), base, "{op}");
+        }
+    }
+
+    #[test]
+    fn padding_charges_ragged_shapes() {
+        let gpu = Gpu::default();
+        let exact = gpu.simd2_mmo_time(OpKind::PlusMul, 1024, 1024, 1024);
+        let ragged = gpu.simd2_mmo_time(OpKind::PlusMul, 1009, 1009, 1009);
+        assert_eq!(exact, ragged, "1009 pads to 1024");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let gpu = Gpu::default();
+        let t = gpu.simd2_mmo_time(OpKind::PlusMul, 16, 16, 16);
+        assert!(t.get() < 2.0 * gpu.config().kernel_launch_seconds * 1.5);
+        assert!(t.get() >= gpu.config().kernel_launch_seconds);
+    }
+
+    #[test]
+    fn sparse_pipe_doubles_throughput() {
+        let gpu = Gpu::default();
+        let n = 8192;
+        let dense = gpu.simd2_mmo_time(OpKind::MinPlus, n, n, n);
+        let sparse = gpu.sparse_simd2_mmo_time(OpKind::MinPlus, n, n, n);
+        let ratio = dense.get() / sparse.get();
+        assert!((1.9..=2.05).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn custom_kernel_roofline() {
+        let gpu = Gpu::default();
+        // Memory-bound profile: few steps, many bytes.
+        let mem_bound = KernelProfile {
+            element_steps: 1.0e6,
+            slots_per_step: 1.0,
+            bytes: 76.0e9,
+            launches: 1,
+            efficiency: 1.0,
+        };
+        let t = gpu.kernel_time(&mem_bound);
+        assert!((t.get() - 0.1).abs() < 0.01, "{t:?}"); // 76 GB / 760 GB/s
+        // Compute-bound profile.
+        let cpu_bound = KernelProfile {
+            element_steps: 14.88e12,
+            slots_per_step: 1.0,
+            bytes: 1.0,
+            launches: 1,
+            efficiency: 1.0,
+        };
+        assert!((gpu.kernel_time(&cpu_bound).get() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn launches_accumulate() {
+        let gpu = Gpu::default();
+        let p = KernelProfile {
+            element_steps: 1.0,
+            slots_per_step: 1.0,
+            bytes: 1.0,
+            launches: 1000,
+            efficiency: 1.0,
+        };
+        assert!(gpu.kernel_time(&p).get() >= 1000.0 * gpu.config().kernel_launch_seconds);
+    }
+
+    #[test]
+    fn previous_gen_is_slower_on_cuda_path() {
+        let new = Gpu::new(GpuConfig::rtx3080());
+        let old = Gpu::new(GpuConfig::previous_gen());
+        let t_new = new.cuda_mmo_time(OpKind::MinPlus, 4096, 4096, 4096);
+        let t_old = old.cuda_mmo_time(OpKind::MinPlus, 4096, 4096, 4096);
+        assert!(t_old.get() > 2.0 * t_new.get());
+    }
+
+    #[test]
+    fn seconds_arithmetic() {
+        let a = Seconds(0.5);
+        let b = Seconds(0.25);
+        assert_eq!((a + b).get(), 0.75);
+        assert_eq!(b.speedup_over(a), 2.0);
+        assert_eq!(a.as_millis(), 500.0);
+        let total: Seconds = [a, b, b].into_iter().sum();
+        assert_eq!(total.get(), 1.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[4.0, 1.0]), 2.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simd2_wins_on_energy_too() {
+        // Same work, ~10× less time at comparable board power ⇒ the
+        // energy gap tracks the speedup within a small factor.
+        let gpu = Gpu::default();
+        let n = 8192;
+        let e_cuda = gpu.cuda_mmo_energy_joules(OpKind::MinPlus, n, n, n);
+        let e_simd2 = gpu.simd2_mmo_energy_joules(OpKind::MinPlus, n, n, n);
+        let energy_gain = e_cuda / e_simd2;
+        let speedup = gpu
+            .simd2_mmo_time(OpKind::MinPlus, n, n, n)
+            .speedup_over(gpu.cuda_mmo_time(OpKind::MinPlus, n, n, n));
+        assert!(energy_gain > 1.0, "{energy_gain}");
+        assert!((energy_gain / speedup - 1.0).abs() < 0.5, "{energy_gain} vs {speedup}");
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let gpu = Gpu::default();
+        assert!((gpu.transfer_time(25_000_000_000).get() - 1.0).abs() < 1e-9);
+    }
+}

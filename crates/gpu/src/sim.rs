@@ -1,0 +1,508 @@
+//! Cycle-level SM pipeline simulator for SIMD² instruction streams.
+//!
+//! The analytical roofline in [`crate::kernel`] prices kernels from
+//! aggregate instruction mixes. This module complements it with a
+//! *microarchitectural* model in the spirit of Accel-Sim's Tensor-Core
+//! modelling (the paper cites Accel-Sim as the source of its 4×4 unit
+//! configuration): an in-order, scoreboarded SM sub-core front-end
+//! issuing a warp-level SIMD² instruction stream to two back-end units —
+//!
+//! * the **LSU** handles `simd2.load` / `simd2.store` (a 16×16 tile is
+//!   256 elements, moved 128 lanes per cycle ⇒ 2 cycles of port
+//!   occupancy, plus shared-memory latency before the destination
+//!   register is ready),
+//! * the **SIMD² unit** handles `simd2.mmo` (a 16×16×16 ISA operation is
+//!   64 pipelined 4×4 tile steps ⇒ 64 cycles of unit occupancy, cf.
+//!   [`simd2_mxu::timing::UnitTiming`]).
+//!
+//! Multiple warps are interleaved by a greedy-oldest scheduler, which is
+//! what hides the tile-pipe latency exactly as on real hardware; the
+//! tests check that simulated steady-state throughput converges to the
+//! analytic model's 64-cycles-per-mmo bound once enough warps are
+//! resident.
+
+use simd2_isa::Instruction;
+use simd2_mxu::timing::UnitTiming;
+
+/// Latency (cycles) from LSU issue until a loaded tile register is ready.
+pub const SHARED_MEM_LATENCY: u32 = 24;
+
+/// Cycles a tile load/store occupies the LSU port (256 elements / 128
+/// lanes).
+pub const LSU_OCCUPANCY: u32 = 2;
+
+/// Outcome of simulating an instruction stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total cycles until the last instruction retires.
+    pub cycles: u64,
+    /// Instructions issued (across all warps).
+    pub instructions: u64,
+    /// `simd2.mmo` instructions issued.
+    pub mmos: u64,
+    /// Cycles the SIMD² unit was busy.
+    pub simd2_busy: u64,
+    /// Cycles the LSU was busy.
+    pub lsu_busy: u64,
+    /// Issue slots lost to scoreboard (data-dependency) stalls.
+    pub dependency_stalls: u64,
+    /// Issue slots lost to structural (unit-busy) stalls.
+    pub structural_stalls: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of cycles the SIMD² unit was busy — the utilisation the
+    /// analytic model approximates with its saturation curve.
+    pub fn simd2_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.simd2_busy as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average cycles per `mmo` (∞ if none ran).
+    pub fn cycles_per_mmo(&self) -> f64 {
+        if self.mmos == 0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.mmos as f64
+        }
+    }
+}
+
+/// Per-warp architectural state inside the pipeline model.
+#[derive(Clone, Debug)]
+struct WarpState {
+    program: Vec<Instruction>,
+    pc: usize,
+    /// Cycle at which each matrix register becomes readable/writable.
+    reg_ready: [u64; simd2_isa::MATRIX_REG_COUNT],
+}
+
+impl WarpState {
+    fn done(&self) -> bool {
+        self.pc >= self.program.len()
+    }
+}
+
+/// Operands an instruction reads / the register it writes.
+fn deps(instr: &Instruction) -> (Vec<usize>, Option<usize>) {
+    match *instr {
+        Instruction::Fill { dst, .. } => (vec![], Some(dst.index())),
+        Instruction::Load { dst, .. } => (vec![], Some(dst.index())),
+        Instruction::Store { src, .. } => (vec![src.index()], None),
+        Instruction::Mmo { d, a, b, c, .. } => {
+            (vec![a.index(), b.index(), c.index()], Some(d.index()))
+        }
+    }
+}
+
+/// An in-order, scoreboarded SM sub-core executing SIMD² warps.
+///
+/// # Example
+///
+/// ```
+/// use simd2_gpu::SmPipeline;
+/// use simd2_isa::asm;
+///
+/// let prog = asm::parse(
+///     "simd2.load.f16 %m0, [0], 16
+///      simd2.load.f16 %m1, [256], 16
+///      simd2.fill %m2, 0.0
+///      simd2.mma %m2, %m0, %m1, %m2
+///      simd2.store.f32 [512], %m2, 16",
+/// )?;
+/// let stats = SmPipeline::new().simulate(&[prog]);
+/// assert_eq!(stats.mmos, 1);
+/// assert!(stats.cycles > 64, "one mmo occupies the unit for 64 cycles");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmPipeline {
+    unit: UnitTiming,
+}
+
+impl Default for SmPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SmPipeline {
+    /// A pipeline around the synthesised 4×4 SIMD² unit.
+    pub fn new() -> Self {
+        Self { unit: UnitTiming::simd2_4x4() }
+    }
+
+    /// A pipeline around a custom unit timing (tile-shape ablations).
+    pub fn with_unit(unit: UnitTiming) -> Self {
+        Self { unit }
+    }
+
+    /// Cycles one ISA-level 16×16×16 `mmo` occupies the SIMD² unit.
+    fn mmo_occupancy(&self) -> u64 {
+        let steps = (16 / self.unit.tile_side).pow(3) as u64;
+        steps * self.unit.initiation_interval as u64
+    }
+
+    /// Latency from `mmo` issue to destination-register availability.
+    fn mmo_latency(&self) -> u64 {
+        self.mmo_occupancy() + self.unit.latency_cycles as u64
+    }
+
+    /// Simulates one instruction stream per warp, all resident on one
+    /// sub-core, greedy-oldest-first issue, one instruction per cycle.
+    pub fn simulate(&self, warp_programs: &[Vec<Instruction>]) -> PipelineStats {
+        let mut warps: Vec<WarpState> = warp_programs
+            .iter()
+            .map(|p| WarpState {
+                program: p.clone(),
+                pc: 0,
+                reg_ready: [0; simd2_isa::MATRIX_REG_COUNT],
+            })
+            .collect();
+        let mut stats = PipelineStats::default();
+        let mut cycle: u64 = 0;
+        // Cycle at which each back-end unit frees up.
+        let mut simd2_free: u64 = 0;
+        let mut lsu_free: u64 = 0;
+        let mut last_retire: u64 = 0;
+
+        while warps.iter().any(|w| !w.done()) {
+            // Pick the oldest ready warp (lowest index with issuable head).
+            let mut issued = false;
+            let mut saw_dependency_stall = false;
+            let mut saw_structural_stall = false;
+            for w in warps.iter_mut() {
+                if w.done() {
+                    continue;
+                }
+                let instr = w.program[w.pc];
+                let (reads, write) = deps(&instr);
+                // Scoreboard: all sources ready, destination not in flight.
+                let ready = reads.iter().all(|&r| w.reg_ready[r] <= cycle)
+                    && write.is_none_or(|d| w.reg_ready[d] <= cycle);
+                if !ready {
+                    saw_dependency_stall = true;
+                    continue;
+                }
+                // Structural: the target unit must be free this cycle.
+                let (unit_free, occupancy, latency) = match instr {
+                    Instruction::Mmo { .. } => {
+                        (&mut simd2_free, self.mmo_occupancy(), self.mmo_latency())
+                    }
+                    Instruction::Load { .. } | Instruction::Store { .. } => (
+                        &mut lsu_free,
+                        u64::from(LSU_OCCUPANCY),
+                        u64::from(LSU_OCCUPANCY + SHARED_MEM_LATENCY),
+                    ),
+                    Instruction::Fill { .. } => (&mut lsu_free, 0, 1),
+                };
+                if *unit_free > cycle {
+                    saw_structural_stall = true;
+                    continue;
+                }
+                // Issue.
+                *unit_free = cycle + occupancy;
+                match instr {
+                    Instruction::Mmo { .. } => {
+                        stats.mmos += 1;
+                        stats.simd2_busy += occupancy;
+                    }
+                    Instruction::Load { .. } | Instruction::Store { .. } => {
+                        stats.lsu_busy += occupancy;
+                    }
+                    Instruction::Fill { .. } => {}
+                }
+                if let Some(d) = write {
+                    w.reg_ready[d] = cycle + latency;
+                }
+                last_retire = last_retire.max(cycle + latency);
+                w.pc += 1;
+                stats.instructions += 1;
+                issued = true;
+                break; // one issue slot per cycle
+            }
+            if !issued {
+                if saw_dependency_stall {
+                    stats.dependency_stalls += 1;
+                }
+                if saw_structural_stall && !saw_dependency_stall {
+                    stats.structural_stalls += 1;
+                }
+                // Jump to the next interesting cycle to keep the loop
+                // linear in events rather than cycles.
+                let mut next = u64::MAX;
+                for w in &warps {
+                    if w.done() {
+                        continue;
+                    }
+                    let (reads, write) = deps(&w.program[w.pc]);
+                    for &r in &reads {
+                        if w.reg_ready[r] > cycle {
+                            next = next.min(w.reg_ready[r]);
+                        }
+                    }
+                    if let Some(d) = write {
+                        if w.reg_ready[d] > cycle {
+                            next = next.min(w.reg_ready[d]);
+                        }
+                    }
+                }
+                for free in [simd2_free, lsu_free] {
+                    if free > cycle {
+                        next = next.min(free);
+                    }
+                }
+                cycle = if next == u64::MAX { cycle + 1 } else { next };
+                continue;
+            }
+            cycle += 1;
+        }
+        stats.cycles = last_retire.max(cycle);
+        stats
+    }
+}
+
+/// Grid-level simulation: distributes warp programs across every SIMD²
+/// unit of a whole GPU (each unit fronted by its own [`SmPipeline`]) and
+/// reports the slowest unit — the kernel's wall-clock in cycles.
+///
+/// This is the bridge from the single-unit microarchitecture model to the
+/// chip-level analytic model: with enough warps per unit, grid cycles
+/// approach `total_mmos × 64 / total_units`.
+#[derive(Clone, Debug)]
+pub struct GridSim {
+    pipeline: SmPipeline,
+    total_units: usize,
+    warps_per_unit: usize,
+}
+
+impl GridSim {
+    /// A grid of `total_units` SIMD² units, each fed by up to
+    /// `warps_per_unit` resident warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(pipeline: SmPipeline, total_units: usize, warps_per_unit: usize) -> Self {
+        assert!(total_units > 0 && warps_per_unit > 0);
+        Self { pipeline, total_units, warps_per_unit }
+    }
+
+    /// Simulates the kernel: warp programs are dealt round-robin to
+    /// units; within a unit, programs beyond the resident-warp budget are
+    /// concatenated onto the resident slots (tail effects included).
+    pub fn simulate(&self, warp_programs: &[Vec<Instruction>]) -> PipelineStats {
+        let mut worst = PipelineStats::default();
+        let mut aggregate = PipelineStats::default();
+        for unit in 0..self.total_units {
+            // Programs assigned to this unit.
+            let mine: Vec<&Vec<Instruction>> = warp_programs
+                .iter()
+                .skip(unit)
+                .step_by(self.total_units)
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            // Fold into at most `warps_per_unit` resident streams.
+            let mut slots: Vec<Vec<Instruction>> = vec![Vec::new(); self.warps_per_unit];
+            for (i, prog) in mine.iter().enumerate() {
+                slots[i % self.warps_per_unit].extend_from_slice(prog);
+            }
+            let stats = self.pipeline.simulate(&slots);
+            aggregate.instructions += stats.instructions;
+            aggregate.mmos += stats.mmos;
+            aggregate.simd2_busy += stats.simd2_busy;
+            aggregate.lsu_busy += stats.lsu_busy;
+            aggregate.dependency_stalls += stats.dependency_stalls;
+            aggregate.structural_stalls += stats.structural_stalls;
+            if stats.cycles > worst.cycles {
+                worst.cycles = stats.cycles;
+            }
+        }
+        aggregate.cycles = worst.cycles;
+        aggregate
+    }
+}
+
+/// Builds the warp program for one output tile of an `mmo` with `k_tiles`
+/// reduction tiles — the canonical load/load/mmo stream the backends
+/// emit, reusable by the simulator's callers and tests.
+pub fn tile_mmo_program(op: simd2_semiring::OpKind, k_tiles: usize) -> Vec<Instruction> {
+    use simd2_isa::{Dtype, MatrixReg};
+    let (ra, rb, rc) = (MatrixReg::new(0), MatrixReg::new(1), MatrixReg::new(2));
+    let mut prog = vec![Instruction::Load { dst: rc, dtype: Dtype::Fp32, addr: 0, ld: 16 }];
+    for t in 0..k_tiles {
+        prog.push(Instruction::Load {
+            dst: ra,
+            dtype: Dtype::Fp16,
+            addr: (256 + 512 * t) as u32,
+            ld: 16,
+        });
+        prog.push(Instruction::Load {
+            dst: rb,
+            dtype: Dtype::Fp16,
+            addr: (512 + 512 * t) as u32,
+            ld: 16,
+        });
+        prog.push(Instruction::Mmo { op, d: rc, a: ra, b: rb, c: rc });
+    }
+    prog.push(Instruction::Store { src: rc, addr: 0, ld: 16 });
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::OpKind;
+
+    #[test]
+    fn empty_and_trivial_programs() {
+        let p = SmPipeline::new();
+        let stats = p.simulate(&[]);
+        assert_eq!(stats.cycles, 0);
+        let stats = p.simulate(&[vec![]]);
+        assert_eq!(stats.instructions, 0);
+    }
+
+    #[test]
+    fn single_mmo_occupies_64_cycles() {
+        let p = SmPipeline::new();
+        assert_eq!(p.mmo_occupancy(), 64);
+        let prog = tile_mmo_program(OpKind::MinPlus, 1);
+        let stats = p.simulate(&[prog]);
+        assert_eq!(stats.mmos, 1);
+        assert_eq!(stats.simd2_busy, 64);
+        // loads (latency) + mmo (latency) + store.
+        assert!(stats.cycles > 64 + u64::from(SHARED_MEM_LATENCY));
+    }
+
+    #[test]
+    fn single_warp_is_dependency_limited() {
+        // One warp's serial C-register chain cannot keep the unit full.
+        let p = SmPipeline::new();
+        let prog = tile_mmo_program(OpKind::MinPlus, 16);
+        let stats = p.simulate(&[prog]);
+        assert!(stats.simd2_utilization() < 0.95, "{}", stats.simd2_utilization());
+        assert!(stats.dependency_stalls > 0);
+    }
+
+    #[test]
+    fn enough_warps_saturate_the_tile_pipe() {
+        // With several independent warps, steady-state throughput reaches
+        // the analytic bound of one mmo per 64 cycles.
+        let p = SmPipeline::new();
+        let programs: Vec<_> = (0..6).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let stats = p.simulate(&programs);
+        assert_eq!(stats.mmos, 6 * 16);
+        assert!(
+            stats.simd2_utilization() > 0.9,
+            "utilization {}",
+            stats.simd2_utilization()
+        );
+        let cpm = stats.cycles_per_mmo();
+        assert!((64.0..=75.0).contains(&cpm), "cycles/mmo {cpm}");
+    }
+
+    #[test]
+    fn utilization_grows_monotonically_with_warps() {
+        let p = SmPipeline::new();
+        let mut prev = 0.0;
+        for warps in [1usize, 2, 4, 8] {
+            let programs: Vec<_> =
+                (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+            let u = p.simulate(&programs).simd2_utilization();
+            assert!(u >= prev - 1e-9, "{warps} warps: {u} < {prev}");
+            prev = u;
+        }
+        assert!(prev > 0.8);
+    }
+
+    #[test]
+    fn all_ops_simulate_identically() {
+        // Latency parity: the stream timing is op-independent.
+        let p = SmPipeline::new();
+        let base = p.simulate(&[tile_mmo_program(OpKind::PlusMul, 4)]);
+        for op in simd2_semiring::EXTENDED_OPS {
+            let s = p.simulate(&[tile_mmo_program(op, 4)]);
+            assert_eq!(s.cycles, base.cycles, "{op}");
+        }
+    }
+
+    #[test]
+    fn store_waits_for_mmo_result() {
+        use simd2_isa::{Dtype, MatrixReg};
+        let p = SmPipeline::new();
+        let (ra, rc) = (MatrixReg::new(0), MatrixReg::new(2));
+        let prog = vec![
+            Instruction::Load { dst: ra, dtype: Dtype::Fp16, addr: 0, ld: 16 },
+            Instruction::Fill { dst: rc, value: 0.0 },
+            Instruction::Mmo { op: OpKind::PlusMul, d: rc, a: ra, b: ra, c: rc },
+            Instruction::Store { src: rc, addr: 0, ld: 16 },
+        ];
+        let stats = p.simulate(&[prog]);
+        // The store cannot issue before the mmo's full latency has passed.
+        assert!(stats.cycles >= u64::from(SHARED_MEM_LATENCY) + 64 + 4);
+        assert!(stats.dependency_stalls > 0);
+    }
+
+    #[test]
+    fn eight_by_eight_unit_halves_occupancy() {
+        let fat = UnitTiming { tile_side: 8, latency_cycles: 4, initiation_interval: 1 };
+        let p = SmPipeline::with_unit(fat);
+        assert_eq!(p.mmo_occupancy(), 8); // (16/8)^3
+        let programs: Vec<_> = (0..6).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let fast = p.simulate(&programs);
+        let slow = SmPipeline::new().simulate(&programs);
+        assert!(fast.cycles < slow.cycles / 3, "{} vs {}", fast.cycles, slow.cycles);
+    }
+
+    #[test]
+    fn grid_sim_divides_work_across_units() {
+        // 32 warps of 8 mmos each on 1 vs 8 units.
+        let programs: Vec<_> =
+            (0..32).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+        let one = GridSim::new(SmPipeline::new(), 1, 8).simulate(&programs);
+        let eight = GridSim::new(SmPipeline::new(), 8, 8).simulate(&programs);
+        assert_eq!(one.mmos, eight.mmos);
+        let ratio = one.cycles as f64 / eight.cycles as f64;
+        assert!((6.0..=8.5).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn saturated_grid_approaches_analytic_bound() {
+        let programs: Vec<_> =
+            (0..64).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let units = 4;
+        let stats = GridSim::new(SmPipeline::new(), units, 8).simulate(&programs);
+        let ideal = stats.mmos as f64 * 64.0 / units as f64;
+        let ratio = stats.cycles as f64 / ideal;
+        assert!((1.0..=1.2).contains(&ratio), "grid cycles {} vs ideal {ideal}", stats.cycles);
+    }
+
+    #[test]
+    fn empty_grid_units_are_skipped() {
+        // 2 programs over 8 units: 6 units idle, no panic.
+        let programs: Vec<_> =
+            (0..2).map(|_| tile_mmo_program(OpKind::OrAnd, 2)).collect();
+        let stats = GridSim::new(SmPipeline::new(), 8, 4).simulate(&programs);
+        assert_eq!(stats.mmos, 4);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_rejects_zero_units() {
+        let _ = GridSim::new(SmPipeline::new(), 0, 1);
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let s = PipelineStats::default();
+        assert_eq!(s.simd2_utilization(), 0.0);
+        assert_eq!(s.cycles_per_mmo(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,266 @@
+//! PTX-like assembly syntax for SIMD² programs.
+//!
+//! The textual form is exactly what [`Instruction`]'s `Display` impl
+//! prints; `;`-suffixed statements, blank lines and `//` comments are
+//! accepted. Example program (the inner loop of Figure 6's `simd2_minplus`
+//! kernel for one output tile):
+//!
+//! ```text
+//! // D(0,0) tile of a 32x32 min-plus mmo
+//! simd2.fill %m3, inf
+//! simd2.load.f32 %m2, [0], 32        // C tile
+//! simd2.load.f16 %m0, [1024], 32     // A(0,0)
+//! simd2.load.f16 %m1, [2048], 32     // B(0,0)
+//! simd2.minplus %m2, %m0, %m1, %m2
+//! simd2.store.f32 [0], %m2, 32
+//! ```
+
+use std::fmt;
+
+use simd2_semiring::OpKind;
+
+use crate::{Dtype, Instruction, MatrixReg, MATRIX_REG_COUNT};
+
+/// Error from assembling a SIMD² program text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<MatrixReg, AsmError> {
+    let body = tok
+        .strip_prefix("%m")
+        .ok_or_else(|| AsmError::new(line, format!("expected matrix register, got `{tok}`")))?;
+    let idx: usize = body
+        .parse()
+        .map_err(|_| AsmError::new(line, format!("bad register index `{tok}`")))?;
+    if idx >= MATRIX_REG_COUNT {
+        return Err(AsmError::new(line, format!("register {tok} out of range")));
+    }
+    Ok(MatrixReg::new(idx as u8))
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let body = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(line, format!("expected [address], got `{tok}`")))?;
+    let parsed = if let Some(hex) = body.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    };
+    parsed.map_err(|_| AsmError::new(line, format!("bad address `{tok}`")))
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<f32, AsmError> {
+    match tok {
+        "inf" | "+inf" => Ok(f32::INFINITY),
+        "-inf" => Ok(f32::NEG_INFINITY),
+        _ => tok
+            .parse()
+            .map_err(|_| AsmError::new(line, format!("bad fill value `{tok}`"))),
+    }
+}
+
+fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, AsmError> {
+    tok.parse().map_err(|_| AsmError::new(line, format!("bad {what} `{tok}`")))
+}
+
+/// Parses one statement (without comments / terminating `;`).
+fn parse_statement(stmt: &str, line: usize) -> Result<Instruction, AsmError> {
+    let mut parts = stmt.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("{mnemonic} expects {n} operands, got {}", operands.len()),
+            ))
+        }
+    };
+    match mnemonic {
+        "simd2.fill" => {
+            want(2)?;
+            Ok(Instruction::Fill {
+                dst: parse_reg(operands[0], line)?,
+                value: parse_value(operands[1], line)?,
+            })
+        }
+        "simd2.load.f16" | "simd2.load.f32" | "simd2.load" => {
+            want(3)?;
+            let dtype =
+                if mnemonic.ends_with(".f32") { Dtype::Fp32 } else { Dtype::Fp16 };
+            Ok(Instruction::Load {
+                dst: parse_reg(operands[0], line)?,
+                dtype,
+                addr: parse_addr(operands[1], line)?,
+                ld: parse_u32(operands[2], line, "leading dimension")?,
+            })
+        }
+        "simd2.store.f32" | "simd2.store" => {
+            want(3)?;
+            Ok(Instruction::Store {
+                addr: parse_addr(operands[0], line)?,
+                src: parse_reg(operands[1], line)?,
+                ld: parse_u32(operands[2], line, "leading dimension")?,
+            })
+        }
+        _ => {
+            let op: OpKind = mnemonic
+                .parse()
+                .map_err(|_| AsmError::new(line, format!("unknown mnemonic `{mnemonic}`")))?;
+            want(4)?;
+            Ok(Instruction::Mmo {
+                op,
+                d: parse_reg(operands[0], line)?,
+                a: parse_reg(operands[1], line)?,
+                b: parse_reg(operands[2], line)?,
+                c: parse_reg(operands[3], line)?,
+            })
+        }
+    }
+}
+
+/// Assembles a multi-line program text into instructions.
+///
+/// Blank lines and `//` comments are skipped; a trailing `;` per statement
+/// is allowed.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+pub fn parse(text: &str) -> Result<Vec<Instruction>, AsmError> {
+    let mut program = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let no_comment = raw.split("//").next().unwrap_or("");
+        let stmt = no_comment.trim().trim_end_matches(';').trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        program.push(parse_statement(stmt, line)?);
+    }
+    Ok(program)
+}
+
+/// Disassembles a program back to its textual form (one statement per
+/// line).
+pub fn print(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for instr in program {
+        out.push_str(&instr.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_print_roundtrip() {
+        let text = "\
+simd2.fill %m3, inf
+simd2.load.f32 %m2, [0], 32
+simd2.load.f16 %m0, [1024], 32
+simd2.load.f16 %m1, [0x800], 32
+simd2.minplus %m2, %m0, %m1, %m2
+simd2.store.f32 [0], %m2, 32
+";
+        let prog = parse(text).unwrap();
+        assert_eq!(prog.len(), 6);
+        let printed = print(&prog);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_semicolons() {
+        let text = "\n// header comment\nsimd2.fill %m0, 1.5;   // trailing\n\n";
+        let prog = parse(text).unwrap();
+        assert_eq!(prog, vec![Instruction::Fill { dst: MatrixReg::new(0), value: 1.5 }]);
+    }
+
+    #[test]
+    fn all_mmo_mnemonics_parse() {
+        for op in simd2_semiring::ALL_OPS {
+            let text = format!("{} %m0, %m1, %m2, %m3", op.ptx_mnemonic());
+            match parse(&text).unwrap()[0] {
+                Instruction::Mmo { op: got, .. } => assert_eq!(got, op),
+                ref other => panic!("parsed {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn negative_infinity_fill() {
+        match parse("simd2.fill %m1, -inf").unwrap()[0] {
+            Instruction::Fill { value, .. } => assert_eq!(value, f32::NEG_INFINITY),
+            ref other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("simd2.fill %m0, 1.0\nsimd2.bogus %m0").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(parse("simd2.minplus %m0, %m1, %m2").is_err());
+        assert!(parse("simd2.fill %m0").is_err());
+        assert!(parse("simd2.load.f16 %m0, [0]").is_err());
+    }
+
+    #[test]
+    fn register_range_checked() {
+        let err = parse("simd2.fill %m16, 0.0").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        assert!(parse("simd2.load.f16 %m0, 1024, 32").is_err());
+        assert!(parse("simd2.load.f16 %m0, [xyz], 32").is_err());
+    }
+
+    #[test]
+    fn bare_load_defaults_to_f16() {
+        match parse("simd2.load %m0, [0], 16").unwrap()[0] {
+            Instruction::Load { dtype, .. } => assert_eq!(dtype, Dtype::Fp16),
+            ref other => panic!("parsed {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Warp-level executor for SIMD² programs.
+//!
+//! Models the architectural state a warp sees: a 1-D shared-memory
+//! address space (element-addressed `f32` words), sixteen matrix registers
+//! of 16×16 elements each, and a functional [`Simd2Unit`] executing `mmo`
+//! instructions. Running a program yields both the final memory state and
+//! an [`ExecStats`] instruction mix, which is the input the GPU timing
+//! model charges cycles for — mirroring how the paper's validation flow
+//! "collect\[s\] the statistics regarding the total amount of various matrix
+//! operations and provide\[s\] the input for performance emulation" (§5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simd2_matrix::{Matrix, Tile, ISA_TILE};
+use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::OpKind;
+
+use crate::{Dtype, Instruction, MATRIX_REG_COUNT};
+
+/// Element-addressed shared-memory space backing `simd2.load`/`store`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SharedMemory {
+    data: Vec<f32>,
+}
+
+impl SharedMemory {
+    /// Allocates `elements` zero-initialised `f32` words.
+    pub fn new(elements: usize) -> Self {
+        Self { data: vec![0.0; elements] }
+    }
+
+    /// Size in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies a matrix into memory at `addr` with leading dimension `ld`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not fit.
+    pub fn write_matrix(&mut self, addr: usize, ld: usize, m: &Matrix) {
+        for r in 0..m.rows() {
+            let base = addr + r * ld;
+            self.data[base..base + m.cols()].copy_from_slice(m.row(r));
+        }
+    }
+
+    /// Reads a `rows × cols` matrix from `addr` with leading dimension
+    /// `ld`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of bounds.
+    pub fn read_matrix(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| self.data[addr + r * ld + c])
+    }
+
+    fn check_tile(&self, addr: u32, ld: u32) -> Result<(), ExecError> {
+        let addr = addr as usize;
+        let ld = ld as usize;
+        if ld < ISA_TILE {
+            return Err(ExecError::BadLeadingDimension { ld });
+        }
+        let last = addr + (ISA_TILE - 1) * ld + (ISA_TILE - 1);
+        if last >= self.data.len() {
+            return Err(ExecError::OutOfBounds { addr, last, size: self.data.len() });
+        }
+        Ok(())
+    }
+}
+
+/// Execution error: memory faults only — encoding-level errors are caught
+/// at decode/assemble time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Tile access past the end of shared memory.
+    OutOfBounds {
+        /// Base element address of the access.
+        addr: usize,
+        /// Last element address the tile would touch.
+        last: usize,
+        /// Shared memory size, elements.
+        size: usize,
+    },
+    /// Leading dimension smaller than the tile side (rows would overlap).
+    BadLeadingDimension {
+        /// The offending leading dimension.
+        ld: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { addr, last, size } => write!(
+                f,
+                "tile access at {addr} reaches element {last}, beyond shared memory size {size}"
+            ),
+            ExecError::BadLeadingDimension { ld } => {
+                write!(f, "leading dimension {ld} is smaller than the 16-element tile row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Instruction-mix statistics of one program run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// `simd2.load` count.
+    pub loads: u64,
+    /// `simd2.store` count.
+    pub stores: u64,
+    /// `simd2.fill` count.
+    pub fills: u64,
+    /// `simd2.mmo` count per operation.
+    pub mmos: BTreeMap<OpKind, u64>,
+}
+
+impl ExecStats {
+    /// Total `mmo` instructions across all operations.
+    pub fn total_mmos(&self) -> u64 {
+        self.mmos.values().sum()
+    }
+
+    /// Total instructions executed.
+    pub fn total_instructions(&self) -> u64 {
+        self.loads + self.stores + self.fills + self.total_mmos()
+    }
+
+    /// Elements moved between shared memory and the register file.
+    pub fn elements_moved(&self) -> u64 {
+        (self.loads + self.stores) * (ISA_TILE * ISA_TILE) as u64
+    }
+}
+
+/// The warp-level executor.
+///
+/// # Example
+///
+/// ```
+/// use simd2_isa::{asm, Executor, SharedMemory};
+/// use simd2_matrix::Matrix;
+///
+/// let mut mem = SharedMemory::new(1024);
+/// mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0));   // A
+/// mem.write_matrix(256, 16, &Matrix::filled(16, 16, 3.0)); // B
+/// let prog = asm::parse(
+///     "simd2.load.f16 %m0, [0], 16
+///      simd2.load.f16 %m1, [256], 16
+///      simd2.fill %m2, 0.0
+///      simd2.mma %m2, %m0, %m1, %m2
+///      simd2.store.f32 [512], %m2, 16",
+/// )?;
+/// let mut exec = Executor::new(mem);
+/// let stats = exec.run(&prog)?;
+/// assert_eq!(stats.total_mmos(), 1);
+/// assert_eq!(exec.memory().read_matrix(512, 16, 16, 16)[(0, 0)], 96.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Executor {
+    memory: SharedMemory,
+    regs: Vec<Tile<ISA_TILE>>,
+    unit: Simd2Unit,
+}
+
+impl Executor {
+    /// Creates an executor over the given shared memory, with the default
+    /// fp16-input datapath.
+    pub fn new(memory: SharedMemory) -> Self {
+        Self::with_unit(memory, Simd2Unit::new())
+    }
+
+    /// Creates an executor with an explicit unit configuration (e.g.
+    /// fp32-input for precision ablations).
+    pub fn with_unit(memory: SharedMemory, unit: Simd2Unit) -> Self {
+        Self { memory, regs: vec![Tile::splat(0.0); MATRIX_REG_COUNT], unit }
+    }
+
+    /// The shared memory (for reading results back).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.memory
+    }
+
+    /// Mutable shared-memory access (for staging inputs between runs).
+    pub fn memory_mut(&mut self) -> &mut SharedMemory {
+        &mut self.memory
+    }
+
+    /// Current contents of a matrix register.
+    pub fn reg(&self, index: usize) -> &Tile<ISA_TILE> {
+        &self.regs[index]
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on an out-of-bounds tile access.
+    pub fn step(&mut self, instr: Instruction, stats: &mut ExecStats) -> Result<(), ExecError> {
+        match instr {
+            Instruction::Fill { dst, value } => {
+                self.regs[dst.index()] = Tile::splat(value);
+                stats.fills += 1;
+            }
+            Instruction::Load { dst, dtype, addr, ld } => {
+                self.memory.check_tile(addr, ld)?;
+                let (addr, ld) = (addr as usize, ld as usize);
+                let quantise = matches!(
+                    (dtype, self.unit.precision()),
+                    (Dtype::Fp16, PrecisionMode::Fp16Input)
+                );
+                self.regs[dst.index()] = Tile::from_fn(|r, c| {
+                    let v = self.memory.data[addr + r * ld + c];
+                    if quantise {
+                        quantize_f16(v)
+                    } else {
+                        v
+                    }
+                });
+                stats.loads += 1;
+            }
+            Instruction::Mmo { op, d, a, b, c } => {
+                let result = self.unit.execute(
+                    op,
+                    &self.regs[a.index()],
+                    &self.regs[b.index()],
+                    &self.regs[c.index()],
+                );
+                self.regs[d.index()] = result;
+                *stats.mmos.entry(op).or_insert(0) += 1;
+            }
+            Instruction::Store { src, addr, ld } => {
+                self.memory.check_tile(addr, ld)?;
+                let (addr, ld) = (addr as usize, ld as usize);
+                let tile = self.regs[src.index()];
+                for (r, c, v) in tile.iter() {
+                    self.memory.data[addr + r * ld + c] = v;
+                }
+                stats.stores += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a whole program, returning its instruction-mix statistics.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first memory fault.
+    pub fn run(&mut self, program: &[Instruction]) -> Result<ExecStats, ExecError> {
+        let mut stats = ExecStats::default();
+        for &instr in program {
+            self.step(instr, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Runs a program collecting a per-instruction trace — the disassembly
+    /// plus a summary of each architectural effect, for debugging kernels.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first memory fault; the trace up to the
+    /// fault is discarded with it.
+    pub fn run_traced(
+        &mut self,
+        program: &[Instruction],
+    ) -> Result<(ExecStats, Vec<TraceEntry>), ExecError> {
+        let mut stats = ExecStats::default();
+        let mut trace = Vec::with_capacity(program.len());
+        for (pc, &instr) in program.iter().enumerate() {
+            self.step(instr, &mut stats)?;
+            let effect = match instr {
+                Instruction::Fill { dst, value } => {
+                    format!("%m{} <- splat({value})", dst.index())
+                }
+                Instruction::Load { dst, addr, .. } => {
+                    let t = &self.regs[dst.index()];
+                    format!("%m{} <- mem[{addr}..] (t[0][0]={})", dst.index(), t.get(0, 0))
+                }
+                Instruction::Mmo { d, .. } => {
+                    let t = &self.regs[d.index()];
+                    format!("%m{} <- mmo (d[0][0]={})", d.index(), t.get(0, 0))
+                }
+                Instruction::Store { src, addr, .. } => {
+                    format!("mem[{addr}..] <- %m{}", src.index())
+                }
+            };
+            trace.push(TraceEntry { pc, instr, effect });
+        }
+        Ok((stats, trace))
+    }
+}
+
+/// One line of an execution trace (see [`Executor::run_traced`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: usize,
+    /// The instruction executed.
+    pub instr: Instruction,
+    /// A short summary of its architectural effect.
+    pub effect: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>4}] {:<44} ; {}", self.pc, self.instr.to_string(), self.effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::MatrixReg;
+    use simd2_matrix::reference;
+
+    fn exec_with_inputs(a: &Matrix, b: &Matrix, c: &Matrix, op: OpKind) -> (Matrix, ExecStats) {
+        let mut mem = SharedMemory::new(4096);
+        mem.write_matrix(0, 16, a);
+        mem.write_matrix(256, 16, b);
+        mem.write_matrix(512, 16, c);
+        let prog = vec![
+            Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 0, ld: 16 },
+            Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp16, addr: 256, ld: 16 },
+            Instruction::Load { dst: MatrixReg::new(2), dtype: Dtype::Fp32, addr: 512, ld: 16 },
+            Instruction::Mmo {
+                op,
+                d: MatrixReg::new(3),
+                a: MatrixReg::new(0),
+                b: MatrixReg::new(1),
+                c: MatrixReg::new(2),
+            },
+            Instruction::Store { src: MatrixReg::new(3), addr: 768, ld: 16 },
+        ];
+        let mut exec = Executor::new(mem);
+        let stats = exec.run(&prog).unwrap();
+        (exec.memory().read_matrix(768, 16, 16, 16), stats)
+    }
+
+    #[test]
+    fn mmo_matches_reference_for_all_ops() {
+        // fp16-exact inputs so the ISA path agrees with the fp32 reference.
+        let a = Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) % 9) as f32 * 0.25);
+        let b = Matrix::from_fn(16, 16, |r, c| ((r + 3 * c) % 7) as f32 * 0.5);
+        for op in simd2_semiring::ALL_OPS {
+            let c = Matrix::filled(16, 16, op.reduce_identity_f32());
+            let (got, stats) = exec_with_inputs(&a, &b, &c, op);
+            let want = reference::mmo(op, &a, &b, &c).unwrap();
+            let tol = match op {
+                OpKind::PlusMul | OpKind::PlusNorm => 1e-4,
+                _ => 0.0,
+            };
+            assert!(got.max_abs_diff(&want).unwrap() <= tol, "{op}");
+            assert_eq!(stats.total_mmos(), 1);
+            assert_eq!(stats.loads, 3);
+            assert_eq!(stats.stores, 1);
+        }
+    }
+
+    #[test]
+    fn f16_loads_quantise_f32_loads_do_not() {
+        let mut mem = SharedMemory::new(1024);
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)); // not fp16-exact
+        let prog = asm::parse(
+            "simd2.load.f16 %m0, [0], 16
+             simd2.load.f32 %m1, [0], 16",
+        )
+        .unwrap();
+        let mut exec = Executor::new(mem);
+        exec.run(&prog).unwrap();
+        assert_eq!(exec.reg(0).get(0, 0), quantize_f16(0.1));
+        assert_eq!(exec.reg(1).get(0, 0), 0.1);
+    }
+
+    #[test]
+    fn fp32_unit_mode_disables_quantisation() {
+        let mut mem = SharedMemory::new(1024);
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1));
+        let prog = asm::parse("simd2.load.f16 %m0, [0], 16").unwrap();
+        let mut exec =
+            Executor::with_unit(mem, Simd2Unit::with_precision(PrecisionMode::Fp32Input));
+        exec.run(&prog).unwrap();
+        assert_eq!(exec.reg(0).get(0, 0), 0.1);
+    }
+
+    #[test]
+    fn fill_sets_whole_register() {
+        let prog = asm::parse("simd2.fill %m7, -inf").unwrap();
+        let mut exec = Executor::new(SharedMemory::new(256));
+        let stats = exec.run(&prog).unwrap();
+        assert!(exec.reg(7).iter().all(|(_, _, v)| v == f32::NEG_INFINITY));
+        assert_eq!(stats.fills, 1);
+    }
+
+    #[test]
+    fn strided_load_respects_leading_dimension() {
+        // A 32-column matrix in memory; load the tile starting at column 16.
+        let mut mem = SharedMemory::new(32 * 32);
+        let big = Matrix::from_fn(32, 32, |r, c| (r * 32 + c) as f32);
+        mem.write_matrix(0, 32, &big);
+        let prog = asm::parse("simd2.load.f16 %m0, [16], 32").unwrap();
+        let mut exec = Executor::new(mem);
+        exec.run(&prog).unwrap();
+        assert_eq!(exec.reg(0).get(0, 0), quantize_f16(16.0));
+        assert_eq!(exec.reg(0).get(1, 0), quantize_f16((32 + 16) as f32));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mem = SharedMemory::new(100); // too small for any tile
+        let prog = asm::parse("simd2.load.f16 %m0, [0], 16").unwrap();
+        let mut exec = Executor::new(mem);
+        match exec.run(&prog) {
+            Err(ExecError::OutOfBounds { size: 100, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn narrow_leading_dimension_faults() {
+        let mem = SharedMemory::new(10_000);
+        let prog = asm::parse("simd2.load.f16 %m0, [0], 8").unwrap();
+        let mut exec = Executor::new(mem);
+        assert_eq!(exec.run(&prog), Err(ExecError::BadLeadingDimension { ld: 8 }));
+    }
+
+    #[test]
+    fn store_after_fault_does_not_happen() {
+        let mut mem = SharedMemory::new(512);
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0));
+        let prog = asm::parse(
+            "simd2.load.f16 %m0, [0], 16
+             simd2.load.f16 %m1, [100000], 16
+             simd2.store.f32 [256], %m0, 16",
+        )
+        .unwrap();
+        let mut exec = Executor::new(mem);
+        assert!(exec.run(&prog).is_err());
+        // The store never executed.
+        assert_eq!(exec.memory().read_matrix(256, 16, 16, 16), Matrix::zeros(16, 16));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mem = SharedMemory::new(2048);
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0));
+        let prog = asm::parse(
+            "simd2.load.f16 %m0, [0], 16
+             simd2.fill %m1, 0.0
+             simd2.fill %m2, inf
+             simd2.minplus %m2, %m0, %m0, %m2
+             simd2.minplus %m2, %m0, %m0, %m2
+             simd2.mma %m1, %m0, %m0, %m1
+             simd2.store.f32 [512], %m2, 16",
+        )
+        .unwrap();
+        let mut exec = Executor::new(mem);
+        let stats = exec.run(&prog).unwrap();
+        assert_eq!(stats.mmos[&OpKind::MinPlus], 2);
+        assert_eq!(stats.mmos[&OpKind::PlusMul], 1);
+        assert_eq!(stats.total_mmos(), 3);
+        assert_eq!(stats.total_instructions(), 7);
+        assert_eq!(stats.elements_moved(), 2 * 256);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let mut mem = SharedMemory::new(2048);
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0));
+        let prog = asm::parse(
+            "simd2.load.f16 %m0, [0], 16
+             simd2.fill %m1, inf
+             simd2.minplus %m1, %m0, %m0, %m1
+             simd2.store.f32 [512], %m1, 16",
+        )
+        .unwrap();
+        let mut plain = Executor::new(mem.clone());
+        let plain_stats = plain.run(&prog).unwrap();
+        let mut traced = Executor::new(mem);
+        let (traced_stats, trace) = traced.run_traced(&prog).unwrap();
+        assert_eq!(plain_stats, traced_stats);
+        assert_eq!(plain.memory(), traced.memory());
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].pc, 0);
+        assert!(trace[0].effect.contains("%m0 <- mem[0..]"));
+        assert!(trace[2].effect.contains("mmo (d[0][0]=4"));
+        assert!(trace[3].to_string().contains("simd2.store"));
+    }
+
+    #[test]
+    fn traced_run_propagates_faults() {
+        let mut exec = Executor::new(SharedMemory::new(16));
+        let prog = asm::parse("simd2.load.f16 %m0, [0], 16").unwrap();
+        assert!(exec.run_traced(&prog).is_err());
+    }
+
+    #[test]
+    fn memory_matrix_roundtrip() {
+        let mut mem = SharedMemory::new(1000);
+        let m = Matrix::from_fn(7, 9, |r, c| (r * 9 + c) as f32);
+        mem.write_matrix(37, 20, &m);
+        assert_eq!(mem.read_matrix(37, 20, 7, 9), m);
+        assert!(!mem.is_empty());
+        assert_eq!(mem.len(), 1000);
+    }
+}

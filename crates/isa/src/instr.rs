@@ -1,0 +1,379 @@
+//! Instruction forms and their binary encoding.
+
+use std::fmt;
+
+use simd2_semiring::OpKind;
+
+/// Number of architectural matrix registers per warp.
+///
+/// Each register holds one 16×16 tile, physically striped across the
+/// warp's 32 threads' vector registers (8 elements per thread), exactly as
+/// wmma fragments are.
+pub const MATRIX_REG_COUNT: usize = 16;
+
+/// A matrix register name, `%m0` … `%m15`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixReg(u8);
+
+impl MatrixReg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MATRIX_REG_COUNT`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < MATRIX_REG_COUNT,
+            "matrix register %m{index} out of range"
+        );
+        Self(index)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MatrixReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%m{}", self.0)
+    }
+}
+
+/// Element type of a matrix transfer (paper Table 2: loads are fp16,
+/// stores are fp32; we allow fp32 loads for the accumulator operand, as
+/// wmma does for the `C` fragment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// IEEE binary16 — operand (`A`/`B`) transfers; values are quantised.
+    Fp16,
+    /// IEEE binary32 — accumulator (`C`) loads and all stores.
+    Fp32,
+}
+
+impl Dtype {
+    fn code(self) -> u64 {
+        match self {
+            Dtype::Fp16 => 0,
+            Dtype::Fp32 => 1,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Self> {
+        match c {
+            0 => Some(Dtype::Fp16),
+            1 => Some(Dtype::Fp32),
+            _ => None,
+        }
+    }
+
+    /// PTX-style suffix (`f16` / `f32`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Dtype::Fp16 => "f16",
+            Dtype::Fp32 => "f32",
+        }
+    }
+}
+
+/// One SIMD² instruction (paper Table 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instruction {
+    /// `simd2.fill %md, imm` — fill the target matrix with a value.
+    Fill {
+        /// Destination matrix register.
+        dst: MatrixReg,
+        /// Fill value.
+        value: f32,
+    },
+    /// `simd2.load.<dtype> %md, [addr], ld` — load a 16×16 matrix from the
+    /// shared-memory address space, rows `ld` elements apart.
+    Load {
+        /// Destination matrix register.
+        dst: MatrixReg,
+        /// Element type (fp16 operands are quantised on the way in).
+        dtype: Dtype,
+        /// Base element address in shared memory.
+        addr: u32,
+        /// Leading dimension, elements.
+        ld: u32,
+    },
+    /// `simd2.<op> %md, %ma, %mb, %mc` — the arithmetic matrix-matrix
+    /// operation `D = C ⊕ (A ⊗ B)`.
+    Mmo {
+        /// Operator pair.
+        op: OpKind,
+        /// Destination register `D`.
+        d: MatrixReg,
+        /// Left operand register `A`.
+        a: MatrixReg,
+        /// Right operand register `B`.
+        b: MatrixReg,
+        /// Accumulator register `C`.
+        c: MatrixReg,
+    },
+    /// `simd2.store.f32 [addr], %ms, ld` — store a 16×16 matrix.
+    Store {
+        /// Source matrix register.
+        src: MatrixReg,
+        /// Base element address in shared memory.
+        addr: u32,
+        /// Leading dimension, elements.
+        ld: u32,
+    },
+}
+
+// Encoding layout (64-bit word):
+//   bits 60..63  instruction class (0=fill, 1=load, 2=mmo, 3=store)
+//   fill : class | dst[4] @56 | f32 bits @0
+//   load : class | dst[4] @56 | dtype[1] @55 | ld[23] @32 | addr[32] @0
+//   mmo  : class | opcode[4] @56 | d[4] @52 | a[4] @48 | b[4] @44 | c[4] @40
+//   store: class | src[4] @56 | ld[23] @32 | addr[32] @0
+const CLASS_SHIFT: u32 = 60;
+const CLASS_FILL: u64 = 0;
+const CLASS_LOAD: u64 = 1;
+const CLASS_MMO: u64 = 2;
+const CLASS_STORE: u64 = 3;
+const LD_MAX: u32 = (1 << 23) - 1;
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u64,
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#018x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instruction {
+    /// Encodes the instruction to its 64-bit binary form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leading dimension exceeds the 23-bit encoding field.
+    pub fn encode(&self) -> u64 {
+        match *self {
+            Instruction::Fill { dst, value } => {
+                (CLASS_FILL << CLASS_SHIFT)
+                    | ((dst.index() as u64) << 56)
+                    | u64::from(value.to_bits())
+            }
+            Instruction::Load { dst, dtype, addr, ld } => {
+                assert!(ld <= LD_MAX, "leading dimension {ld} exceeds encoding field");
+                (CLASS_LOAD << CLASS_SHIFT)
+                    | ((dst.index() as u64) << 56)
+                    | (dtype.code() << 55)
+                    | (u64::from(ld) << 32)
+                    | u64::from(addr)
+            }
+            Instruction::Mmo { op, d, a, b, c } => {
+                (CLASS_MMO << CLASS_SHIFT)
+                    | (u64::from(op.opcode()) << 56)
+                    | ((d.index() as u64) << 52)
+                    | ((a.index() as u64) << 48)
+                    | ((b.index() as u64) << 44)
+                    | ((c.index() as u64) << 40)
+            }
+            Instruction::Store { src, addr, ld } => {
+                assert!(ld <= LD_MAX, "leading dimension {ld} exceeds encoding field");
+                (CLASS_STORE << CLASS_SHIFT)
+                    | ((src.index() as u64) << 56)
+                    | (u64::from(ld) << 32)
+                    | u64::from(addr)
+            }
+        }
+    }
+
+    /// Decodes a 64-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for unknown instruction classes, opcodes,
+    /// data types, or out-of-range register fields.
+    pub fn decode(word: u64) -> Result<Self, DecodeError> {
+        let err = |reason| DecodeError { word, reason };
+        let reg = |v: u64, reason| {
+            if (v as usize) < MATRIX_REG_COUNT {
+                Ok(MatrixReg::new(v as u8))
+            } else {
+                Err(err(reason))
+            }
+        };
+        match word >> CLASS_SHIFT {
+            CLASS_FILL => Ok(Instruction::Fill {
+                dst: reg((word >> 56) & 0xF, "bad fill dst register")?,
+                value: f32::from_bits((word & 0xFFFF_FFFF) as u32),
+            }),
+            CLASS_LOAD => Ok(Instruction::Load {
+                dst: reg((word >> 56) & 0xF, "bad load dst register")?,
+                dtype: Dtype::from_code((word >> 55) & 1).ok_or_else(|| err("bad dtype"))?,
+                ld: ((word >> 32) & u64::from(LD_MAX)) as u32,
+                addr: (word & 0xFFFF_FFFF) as u32,
+            }),
+            CLASS_MMO => Ok(Instruction::Mmo {
+                op: OpKind::from_opcode(((word >> 56) & 0xF) as u8)
+                    .ok_or_else(|| err("unknown mmo opcode"))?,
+                d: reg((word >> 52) & 0xF, "bad mmo d register")?,
+                a: reg((word >> 48) & 0xF, "bad mmo a register")?,
+                b: reg((word >> 44) & 0xF, "bad mmo b register")?,
+                c: reg((word >> 40) & 0xF, "bad mmo c register")?,
+            }),
+            CLASS_STORE => Ok(Instruction::Store {
+                src: reg((word >> 56) & 0xF, "bad store src register")?,
+                ld: ((word >> 32) & u64::from(LD_MAX)) as u32,
+                addr: (word & 0xFFFF_FFFF) as u32,
+            }),
+            _ => Err(err("unknown instruction class")),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// PTX-like assembly rendering, parseable by [`crate::asm::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Fill { dst, value } => write!(f, "simd2.fill {dst}, {value}"),
+            Instruction::Load { dst, dtype, addr, ld } => {
+                write!(f, "simd2.load.{} {dst}, [{addr}], {ld}", dtype.suffix())
+            }
+            Instruction::Mmo { op, d, a, b, c } => {
+                write!(f, "{} {d}, {a}, {b}, {c}", op.ptx_mnemonic())
+            }
+            Instruction::Store { src, addr, ld } => {
+                write!(f, "simd2.store.f32 [{addr}], {src}, {ld}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::ALL_OPS;
+
+    fn samples() -> Vec<Instruction> {
+        let mut v = vec![
+            Instruction::Fill { dst: MatrixReg::new(3), value: f32::INFINITY },
+            Instruction::Fill { dst: MatrixReg::new(0), value: -1.25 },
+            Instruction::Load {
+                dst: MatrixReg::new(15),
+                dtype: Dtype::Fp16,
+                addr: 0xDEAD_BEEF,
+                ld: 16384,
+            },
+            Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp32, addr: 0, ld: 16 },
+            Instruction::Store { src: MatrixReg::new(7), addr: 12345, ld: LD_MAX },
+        ];
+        for op in ALL_OPS {
+            v.push(Instruction::Mmo {
+                op,
+                d: MatrixReg::new(0),
+                a: MatrixReg::new(1),
+                b: MatrixReg::new(2),
+                c: MatrixReg::new(3),
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for instr in samples() {
+            let word = instr.encode();
+            assert_eq!(Instruction::decode(word).unwrap(), instr, "{instr}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_class() {
+        let err = Instruction::decode(0xF << CLASS_SHIFT).unwrap_err();
+        assert!(err.to_string().contains("class"));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        // MMO class with opcode 12 (only 0..=8 defined).
+        let word = (CLASS_MMO << CLASS_SHIFT) | (12u64 << 56);
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn fill_preserves_exact_bits() {
+        let v = f32::from_bits(0x7F80_0001); // a signalling NaN pattern
+        let i = Instruction::Fill { dst: MatrixReg::new(2), value: v };
+        match Instruction::decode(i.encode()).unwrap() {
+            Instruction::Fill { value, .. } => assert_eq!(value.to_bits(), v.to_bits()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds_checked() {
+        let _ = MatrixReg::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn ld_field_bounds_checked() {
+        let i = Instruction::Load {
+            dst: MatrixReg::new(0),
+            dtype: Dtype::Fp16,
+            addr: 0,
+            ld: LD_MAX + 1,
+        };
+        let _ = i.encode();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instruction::Mmo {
+                op: OpKind::MinPlus,
+                d: MatrixReg::new(3),
+                a: MatrixReg::new(0),
+                b: MatrixReg::new(1),
+                c: MatrixReg::new(2),
+            }
+            .to_string(),
+            "simd2.minplus %m3, %m0, %m1, %m2"
+        );
+        assert_eq!(
+            Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 64, ld: 16 }
+                .to_string(),
+            "simd2.load.f16 %m0, [64], 16"
+        );
+        assert_eq!(
+            Instruction::Store { src: MatrixReg::new(5), addr: 0, ld: 32 }.to_string(),
+            "simd2.store.f32 [0], %m5, 32"
+        );
+    }
+
+    #[test]
+    fn mmo_encodings_are_distinct_per_op() {
+        let mut words: Vec<u64> = ALL_OPS
+            .iter()
+            .map(|&op| {
+                Instruction::Mmo {
+                    op,
+                    d: MatrixReg::new(0),
+                    a: MatrixReg::new(1),
+                    b: MatrixReg::new(2),
+                    c: MatrixReg::new(3),
+                }
+                .encode()
+            })
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), ALL_OPS.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! The SIMD² instruction set architecture.
+//!
+//! Paper Table 2 defines the PTX-level ISA: two data-movement instructions
+//! (`simd2.load`, `simd2.store`) moving fixed-size 16×16 matrices between
+//! the 1-D shared-memory address space and the per-warp matrix register
+//! file, a fill instruction, and nine arithmetic `mmo` instructions
+//! (`simd2.mma`, `simd2.minplus`, …) sharing one data flow.
+//!
+//! This crate realises the ISA as data:
+//!
+//! * [`Instruction`] — the instruction forms with their operands,
+//! * binary encoding/decoding to 64-bit words ([`Instruction::encode`] /
+//!   [`Instruction::decode`]),
+//! * a PTX-like [`asm`] text syntax with assembler and disassembler,
+//! * [`exec`] — a warp-level executor: shared memory + matrix register
+//!   file + a functional [`simd2_mxu::Simd2Unit`], producing the
+//!   instruction-mix statistics the performance model consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod exec;
+mod instr;
+pub mod program;
+
+pub use exec::{ExecError, ExecStats, Executor, SharedMemory, TraceEntry};
+pub use program::{from_image, to_image, ImageError};
+pub use instr::{DecodeError, Dtype, Instruction, MatrixReg, MATRIX_REG_COUNT};

@@ -1,0 +1,191 @@
+//! Binary program images: serialise SIMD² instruction streams to a
+//! portable byte format.
+//!
+//! The image is a 16-byte header (magic, version, instruction count)
+//! followed by the little-endian 64-bit encodings of each instruction —
+//! the shape a driver would upload to the instruction front-end.
+
+use std::fmt;
+
+use crate::{DecodeError, Instruction};
+
+/// Magic bytes opening every program image.
+pub const MAGIC: [u8; 8] = *b"SIMD2PRG";
+
+/// Current image format version.
+pub const VERSION: u32 = 1;
+
+/// Error from loading a program image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image is shorter than its header or declared body.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The magic bytes do not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// An instruction word failed to decode.
+    BadInstruction {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The decode failure.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated { expected, got } => {
+                write!(f, "truncated program image: expected {expected} bytes, got {got}")
+            }
+            ImageError::BadMagic => write!(f, "not a SIMD2 program image (bad magic)"),
+            ImageError::BadVersion(v) => write!(f, "unsupported program image version {v}"),
+            ImageError::BadInstruction { index, source } => {
+                write!(f, "instruction {index}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::BadInstruction { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serialises a program to its binary image.
+pub fn to_image(program: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + program.len() * 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(program.len() as u32).to_le_bytes());
+    for instr in program {
+        out.extend_from_slice(&instr.encode().to_le_bytes());
+    }
+    out
+}
+
+/// Loads a program from its binary image.
+///
+/// # Errors
+///
+/// Returns an [`ImageError`] for malformed images (wrong magic/version,
+/// truncation, or undecodable instruction words).
+pub fn from_image(bytes: &[u8]) -> Result<Vec<Instruction>, ImageError> {
+    if bytes.len() < 16 {
+        return Err(ImageError::Truncated { expected: 16, got: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(ImageError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let expected = 16 + count * 8;
+    if bytes.len() < expected {
+        return Err(ImageError::Truncated { expected, got: bytes.len() });
+    }
+    let mut program = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = 16 + i * 8;
+        let word = u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
+        let instr = Instruction::decode(word)
+            .map_err(|source| ImageError::BadInstruction { index: i, source })?;
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    fn sample() -> Vec<Instruction> {
+        asm::parse(
+            "simd2.load.f16 %m0, [0], 16
+             simd2.load.f16 %m1, [256], 16
+             simd2.fill %m2, inf
+             simd2.minplus %m2, %m0, %m1, %m2
+             simd2.store.f32 [512], %m2, 16",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let prog = sample();
+        let img = to_image(&prog);
+        assert_eq!(img.len(), 16 + prog.len() * 8);
+        assert_eq!(from_image(&img).unwrap(), prog);
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let img = to_image(&[]);
+        assert_eq!(from_image(&img).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut img = to_image(&sample());
+        img[0] ^= 0xFF;
+        assert_eq!(from_image(&img), Err(ImageError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut img = to_image(&sample());
+        img[8] = 99;
+        assert_eq!(from_image(&img), Err(ImageError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let img = to_image(&sample());
+        let short = &img[..img.len() - 3];
+        match from_image(short) {
+            Err(ImageError::Truncated { expected, got }) => {
+                assert_eq!(expected, img.len());
+                assert_eq!(got, img.len() - 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(from_image(&img[..4]), Err(ImageError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_instruction_reports_index() {
+        let mut img = to_image(&sample());
+        // Clobber the 4th instruction's class nibble to an invalid value.
+        let off = 16 + 3 * 8 + 7;
+        img[off] = 0xF0;
+        match from_image(&img) {
+            Err(ImageError::BadInstruction { index: 3, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        let e = ImageError::BadVersion(7);
+        assert!(e.to_string().contains('7'));
+        assert!(e.source().is_none());
+        let mut img = to_image(&sample());
+        img[16 + 7] = 0xF0;
+        let e = from_image(&img).unwrap_err();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,332 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper evaluates on size-parameterised inputs (Table 4:
+//! 4096/8192/16384 vertices or points). We do not have its datasets, so
+//! every experiment draws from these deterministic generators instead; the
+//! seed is part of each experiment's identity so runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simd2_semiring::OpKind;
+
+use crate::{Graph, Matrix};
+
+/// Uniform random matrix with entries in `[lo, hi)`.
+pub fn random_matrix(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Random boolean matrix with the given density of ones.
+pub fn random_bool_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| if rng.gen_bool(density) { 1.0 } else { 0.0 })
+}
+
+/// Random matrix where a fraction `sparsity` of entries is exactly zero
+/// (the Fig 14 sweep input).
+pub fn random_sparse_matrix(n: usize, sparsity: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |_, _| {
+        if rng.gen_bool(sparsity) {
+            0.0
+        } else {
+            rng.gen_range(0.1f32..1.0)
+        }
+    })
+}
+
+/// Iterates the selected slot indices of a Bernoulli(`p`) process over
+/// `slots` positions in `O(selected)` time via geometric gap skipping.
+fn bernoulli_slots(slots: u64, p: f64, rng: &mut StdRng) -> Vec<u64> {
+    let mut out = Vec::new();
+    if p <= 0.0 || slots == 0 {
+        return out;
+    }
+    if p >= 1.0 {
+        return (0..slots).collect();
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut cur: u64 = 0;
+    loop {
+        // Geometric gap: number of failures before the next success.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / log1mp).floor() as u64;
+        cur = match cur.checked_add(gap) {
+            Some(c) if c < slots => c,
+            _ => break,
+        };
+        out.push(cur);
+        cur += 1;
+        if cur >= slots {
+            break;
+        }
+    }
+    out
+}
+
+/// Erdős–Rényi `G(n, p)` digraph with weights drawn from `[wlo, whi)`.
+///
+/// Weights are snapped to fp16-representable values so reduced-precision
+/// runs of the min/max algebras stay bit-exact (cf.
+/// [`simd2_semiring::precision`]). Runs in `O(edges)`, so paper-scale
+/// (16384-vertex) workloads generate instantly.
+pub fn gnp_graph(n: usize, p: f64, wlo: f32, whi: f32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for slot in bernoulli_slots((n * n) as u64, p, &mut rng) {
+        let (s, d) = ((slot / n as u64) as usize, (slot % n as u64) as usize);
+        if s != d {
+            let w = simd2_semiring::precision::quantize_f16(rng.gen_range(wlo..whi));
+            g.add_edge(s, d, w);
+        }
+    }
+    g
+}
+
+/// `G(n, p)` digraph that is guaranteed strongly connected: a random
+/// Hamiltonian cycle is added underneath the random edges. Keeps closure
+/// iteration counts bounded and distances finite.
+pub fn connected_gnp_graph(n: usize, p: f64, wlo: f32, whi: f32, seed: u64) -> Graph {
+    let mut g = gnp_graph(n, p, wlo, whi, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates with the auxiliary rng.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for i in 0..n {
+        let s = order[i];
+        let d = order[(i + 1) % n];
+        let w = simd2_semiring::precision::quantize_f16(rng.gen_range(wlo..whi));
+        g.add_edge(s, d, w);
+    }
+    g
+}
+
+/// Random DAG: edges only go from lower to higher vertex index (topological
+/// order is the identity). Used by the APLP (critical path) workload, where
+/// longest path is only well-defined on acyclic graphs.
+pub fn random_dag(n: usize, p: f64, wlo: f32, whi: f32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for slot in bernoulli_slots((n * n) as u64, p, &mut rng) {
+        let (s, d) = ((slot / n as u64) as usize, (slot % n as u64) as usize);
+        if s < d {
+            let w = simd2_semiring::precision::quantize_f16(rng.gen_range(wlo..whi));
+            g.add_edge(s, d, w);
+        }
+    }
+    g
+}
+
+/// Random undirected connected graph (for MST): random spanning tree plus
+/// extra `G(n, p)` edges, each added in both directions.
+pub fn random_connected_undirected(n: usize, p: f64, wlo: f32, whi: f32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Random spanning tree: attach each vertex i>0 to a random earlier one.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        let w = simd2_semiring::precision::quantize_f16(rng.gen_range(wlo..whi));
+        g.add_undirected_edge(u, v, w);
+    }
+    for slot in bernoulli_slots((n * n) as u64, p, &mut rng) {
+        let (u, v) = ((slot / n as u64) as usize, (slot % n as u64) as usize);
+        if u < v {
+            let w = simd2_semiring::precision::quantize_f16(rng.gen_range(wlo..whi));
+            g.add_undirected_edge(u, v, w);
+        }
+    }
+    g
+}
+
+/// Reliability graph: connected digraph with edge weights in `(0.5, 1.0)`
+/// interpreted as link success probabilities (MaxRP/MinRP workloads).
+pub fn reliability_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let base = connected_gnp_graph(n, p, 0.0, 1.0, seed);
+    base.map_weights(|w| {
+        // Map into (0.5, 1.0) and snap to fp16 so products stay stable.
+        simd2_semiring::precision::quantize_f16(0.5 + 0.5 * w.clamp(0.0, 0.999))
+    })
+}
+
+/// `count` points in `dims`-dimensional space, uniform in `[0, 1)^dims`,
+/// as a `count × dims` matrix (KNN workload).
+pub fn point_cloud(count: usize, dims: usize, seed: u64) -> Matrix {
+    random_matrix(count, dims, 0.0, 1.0, seed)
+}
+
+/// Lifts `op`-specific integer-friendly weights: graph whose weights are
+/// small integers (1..=maxw), exactly representable in fp16 — used by the
+/// bit-exactness validation tests.
+pub fn integer_weight_graph(n: usize, p: f64, maxw: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for slot in bernoulli_slots((n * n) as u64, p, &mut rng) {
+        let (s, d) = ((slot / n as u64) as usize, (slot % n as u64) as usize);
+        if s != d {
+            g.add_edge(s, d, rng.gen_range(1..=maxw) as f32);
+        }
+    }
+    g
+}
+
+/// The input scale triplet used in Table 4 / Fig 11 (`small`, `medium`,
+/// `large`), optionally scaled down by `shrink` for host-side functional
+/// runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputScale {
+    /// The paper's "Small" column.
+    Small,
+    /// The paper's "Medium" column.
+    Medium,
+    /// The paper's "Large" column.
+    Large,
+}
+
+impl InputScale {
+    /// All three scales in ascending order.
+    pub fn all() -> [InputScale; 3] {
+        [InputScale::Small, InputScale::Medium, InputScale::Large]
+    }
+
+    /// Label as printed in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputScale::Small => "small",
+            InputScale::Medium => "medium",
+            InputScale::Large => "large",
+        }
+    }
+
+    /// Dimension for a base size `base` (the paper's Small value):
+    /// Small = base, Medium = 2·base, Large = 4·base.
+    pub fn dimension(self, base: usize) -> usize {
+        match self {
+            InputScale::Small => base,
+            InputScale::Medium => base * 2,
+            InputScale::Large => base * 4,
+        }
+    }
+}
+
+/// Fills a matrix's zero entries as needed to reach a target adjacency for
+/// `op`: convenience used by microbenchmarks that need op-specific domains.
+pub fn random_operands_for(op: OpKind, m: usize, n: usize, seed: u64) -> Matrix {
+    match op {
+        OpKind::OrAnd => random_bool_matrix(m, n, 0.5, seed),
+        OpKind::MinMul | OpKind::MaxMul => random_matrix(m, n, 0.5, 1.0, seed),
+        _ => random_matrix(m, n, 0.0, 1.0, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 7));
+        assert_ne!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 8));
+        let a = gnp_graph(10, 0.3, 1.0, 5.0, 3);
+        let b = gnp_graph(10, 0.3, 1.0, 5.0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let g = gnp_graph(100, 0.2, 1.0, 2.0, 11);
+        let d = g.density();
+        assert!(d > 0.15 && d < 0.25, "density {d}");
+    }
+
+    #[test]
+    fn connected_graph_has_cycle_backbone() {
+        let g = connected_gnp_graph(20, 0.0, 1.0, 2.0, 5);
+        // p = 0: only the Hamiltonian cycle remains → exactly n edges.
+        assert_eq!(g.edge_count(), 20);
+        // Every vertex has at least one outgoing edge.
+        let nb = g.out_neighbors();
+        assert!(nb.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn dag_edges_point_forward() {
+        let g = random_dag(30, 0.3, 1.0, 4.0, 9);
+        assert!(g.edges().all(|(s, d, _)| s < d));
+    }
+
+    #[test]
+    fn undirected_graph_is_symmetric() {
+        let g = random_connected_undirected(15, 0.2, 1.0, 9.0, 13);
+        let adj = g.adjacency(simd2_semiring::OpKind::MinMax);
+        for u in 0..15 {
+            for v in 0..15 {
+                assert_eq!(adj[(u, v)], adj[(v, u)], "({u},{v})");
+            }
+        }
+        assert!(g.edge_count() >= 2 * 14, "at least the spanning tree");
+    }
+
+    #[test]
+    fn reliability_weights_in_half_open_unit() {
+        let g = reliability_graph(25, 0.3, 21);
+        assert!(g.edges().all(|(_, _, w)| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn weights_are_f16_exact() {
+        use simd2_semiring::precision::is_f16_exact;
+        let g = connected_gnp_graph(12, 0.4, 0.0, 100.0, 17);
+        assert!(g.edges().all(|(_, _, w)| is_f16_exact(w)));
+        let r = reliability_graph(12, 0.4, 17);
+        assert!(r.edges().all(|(_, _, w)| is_f16_exact(w)));
+    }
+
+    #[test]
+    fn sparse_matrix_sparsity() {
+        let m = random_sparse_matrix(64, 0.9, 23);
+        let density = m.density(0.0);
+        assert!(density > 0.05 && density < 0.15, "density {density}");
+    }
+
+    #[test]
+    fn point_cloud_shape() {
+        let pc = point_cloud(10, 3, 1);
+        assert_eq!(pc.shape(), (10, 3));
+        assert!(pc.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn input_scale_dimensions() {
+        assert_eq!(InputScale::Small.dimension(4096), 4096);
+        assert_eq!(InputScale::Medium.dimension(4096), 8192);
+        assert_eq!(InputScale::Large.dimension(4096), 16384);
+        assert_eq!(InputScale::all().map(|s| s.label()), ["small", "medium", "large"]);
+    }
+
+    #[test]
+    fn op_specific_operands_stay_in_domain() {
+        use simd2_semiring::ALL_OPS;
+        for op in ALL_OPS {
+            let m = random_operands_for(op, 8, 8, 31);
+            match op {
+                OpKind::OrAnd => {
+                    assert!(m.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+                }
+                OpKind::MinMul | OpKind::MaxMul => {
+                    assert!(m.as_slice().iter().all(|&x| (0.5..1.0).contains(&x)));
+                }
+                _ => assert!(m.as_slice().iter().all(|&x| (0.0..1.0).contains(&x))),
+            }
+        }
+    }
+
+    #[test]
+    fn integer_weight_graph_weights_are_integers() {
+        let g = integer_weight_graph(10, 0.5, 16, 3);
+        assert!(g.edges().all(|(_, _, w)| w.fract() == 0.0 && (1.0..=16.0).contains(&w)));
+    }
+}

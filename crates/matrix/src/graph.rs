@@ -1,0 +1,273 @@
+//! Graphs and their adjacency-matrix lifting.
+//!
+//! The SIMD²-ized graph applications (APSP, MST, transitive closure, …)
+//! operate on the graph's adjacency matrix under the appropriate algebra:
+//! missing edges hold the *no-edge* encoding and the diagonal holds the
+//! `⊗` identity (distance-to-self 0 for min-plus, reflexive `1` for
+//! or-and, …).
+
+use serde::{Deserialize, Serialize};
+use simd2_semiring::OpKind;
+
+use crate::Matrix;
+
+/// A directed weighted graph stored as an edge list.
+///
+/// # Example
+///
+/// ```
+/// use simd2_matrix::Graph;
+/// use simd2_semiring::OpKind;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 4.0);
+/// g.add_edge(1, 2, 3.0);
+/// let adj = g.adjacency(OpKind::MinPlus);
+/// assert_eq!(adj[(0, 1)], 4.0);
+/// assert_eq!(adj[(0, 0)], 0.0);               // self distance
+/// assert_eq!(adj[(0, 2)], f32::INFINITY);     // no direct edge
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    vertices: usize,
+    edges: Vec<(usize, usize, f32)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `vertices` vertices.
+    pub fn new(vertices: usize) -> Self {
+        Self { vertices, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `src → dst` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: usize, dst: usize, weight: f32) {
+        assert!(src < self.vertices && dst < self.vertices, "edge endpoint out of range");
+        self.edges.push((src, dst, weight));
+    }
+
+    /// Adds both `u → v` and `v → u` with the same weight.
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize, weight: f32) {
+        self.add_edge(u, v, weight);
+        self.add_edge(v, u, weight);
+    }
+
+    /// Iterator over `(src, dst, weight)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Density: edges / (V² − V) — the fill ratio off the diagonal.
+    pub fn density(&self) -> f64 {
+        let slots = self.vertices * self.vertices.saturating_sub(1);
+        if slots == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / slots as f64
+        }
+    }
+
+    /// Lifts the graph to its adjacency matrix under the algebra of `op`:
+    /// missing edges get [`OpKind::no_edge_f32`], the diagonal gets
+    /// [`OpKind::combine_identity_f32`], and parallel edges are resolved by
+    /// `⊕` (the better edge wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `op` is not a path algebra (no no-edge encoding), i.e.
+    /// for [`OpKind::PlusNorm`].
+    pub fn adjacency(&self, op: OpKind) -> Matrix {
+        let no_edge =
+            op.no_edge_f32().unwrap_or_else(|| panic!("{op} is not a path algebra"));
+        let diag = op.combine_identity_f32().unwrap_or(no_edge);
+        let mut m = Matrix::filled(self.vertices, self.vertices, no_edge);
+        for v in 0..self.vertices {
+            m[(v, v)] = diag;
+        }
+        for &(s, d, w) in &self.edges {
+            if s == d {
+                continue; // self loops never improve a closure
+            }
+            let cur = m[(s, d)];
+            m[(s, d)] = if cur == no_edge { w } else { op.reduce_f32(cur, w) };
+        }
+        m
+    }
+
+    /// Boolean reachability matrix (`1.0` where an edge exists, diagonal
+    /// reflexive) — the or-and starting point used by transitive closure.
+    pub fn reachability(&self) -> Matrix {
+        self.adjacency(OpKind::OrAnd)
+    }
+
+    /// Builds a graph back from an adjacency matrix under `op` (entries
+    /// equal to the no-edge encoding are skipped, the diagonal is skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adj` is not square or `op` is not a path algebra.
+    pub fn from_adjacency(op: OpKind, adj: &Matrix) -> Self {
+        assert!(adj.is_square(), "adjacency matrix must be square");
+        let no_edge =
+            op.no_edge_f32().unwrap_or_else(|| panic!("{op} is not a path algebra"));
+        let n = adj.rows();
+        let mut g = Graph::new(n);
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && adj[(s, d)] != no_edge {
+                    g.add_edge(s, d, adj[(s, d)]);
+                }
+            }
+        }
+        g
+    }
+
+    /// The graph with every edge reversed (used to turn longest-path DAG
+    /// problems into the max-plus recurrence, per the APLP setup).
+    pub fn reversed(&self) -> Self {
+        Self {
+            vertices: self.vertices,
+            edges: self.edges.iter().map(|&(s, d, w)| (d, s, w)).collect(),
+        }
+    }
+
+    /// The graph with every weight transformed by `f` (e.g. negation).
+    pub fn map_weights(&self, mut f: impl FnMut(f32) -> f32) -> Self {
+        Self {
+            vertices: self.vertices,
+            edges: self.edges.iter().map(|&(s, d, w)| (s, d, f(w))).collect(),
+        }
+    }
+
+    /// Out-neighbour list representation `adj[src] = [(dst, w), …]` used by
+    /// the classic (non-matrix) baseline algorithms.
+    pub fn out_neighbors(&self) -> Vec<Vec<(usize, f32)>> {
+        let mut adj = vec![Vec::new(); self.vertices];
+        for &(s, d, w) in &self.edges {
+            adj[s].push((d, w));
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(0, 2, 9.0);
+        g
+    }
+
+    #[test]
+    fn adjacency_min_plus() {
+        let adj = triangle().adjacency(OpKind::MinPlus);
+        assert_eq!(adj[(0, 1)], 1.0);
+        assert_eq!(adj[(0, 2)], 9.0);
+        assert_eq!(adj[(2, 0)], f32::INFINITY);
+        for v in 0..3 {
+            assert_eq!(adj[(v, v)], 0.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_or_and_is_reflexive_boolean() {
+        let adj = triangle().adjacency(OpKind::OrAnd);
+        assert_eq!(adj[(0, 1)], 1.0);
+        assert_eq!(adj[(1, 0)], 0.0);
+        for v in 0..3 {
+            assert_eq!(adj[(v, v)], 1.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_max_min_capacity() {
+        let adj = triangle().adjacency(OpKind::MaxMin);
+        assert_eq!(adj[(0, 1)], 1.0);
+        assert_eq!(adj[(2, 1)], f32::NEG_INFINITY, "missing edge has zero capacity");
+        assert_eq!(adj[(0, 0)], f32::INFINITY, "self capacity unbounded");
+    }
+
+    #[test]
+    fn parallel_edges_resolved_by_reduce() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 1, 3.0);
+        assert_eq!(g.adjacency(OpKind::MinPlus)[(0, 1)], 3.0, "shorter edge wins");
+        assert_eq!(g.adjacency(OpKind::MaxPlus)[(0, 1)], 5.0, "longer edge wins");
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 42.0);
+        assert_eq!(g.adjacency(OpKind::MinPlus)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a path algebra")]
+    fn plus_norm_has_no_adjacency() {
+        let _ = triangle().adjacency(OpKind::PlusNorm);
+    }
+
+    #[test]
+    fn from_adjacency_roundtrip() {
+        let g = triangle();
+        let adj = g.adjacency(OpKind::MinPlus);
+        let back = Graph::from_adjacency(OpKind::MinPlus, &adj);
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.edge_count(), 3);
+        assert_eq!(back.adjacency(OpKind::MinPlus), adj);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = triangle().reversed();
+        let adj = g.adjacency(OpKind::MinPlus);
+        assert_eq!(adj[(1, 0)], 1.0);
+        assert_eq!(adj[(0, 1)], f32::INFINITY);
+    }
+
+    #[test]
+    fn map_weights_transforms() {
+        let g = triangle().map_weights(|w| w * 2.0);
+        assert_eq!(g.adjacency(OpKind::MinPlus)[(1, 2)], 4.0);
+    }
+
+    #[test]
+    fn undirected_edges_and_neighbors() {
+        let mut g = Graph::new(3);
+        g.add_undirected_edge(0, 2, 1.5);
+        assert_eq!(g.edge_count(), 2);
+        let nb = g.out_neighbors();
+        assert_eq!(nb[0], vec![(2, 1.5)]);
+        assert_eq!(nb[2], vec![(0, 1.5)]);
+        assert!(nb[1].is_empty());
+    }
+
+    #[test]
+    fn density() {
+        let g = triangle();
+        assert!((g.density() - 0.5).abs() < 1e-12);
+        assert_eq!(Graph::new(1).density(), 0.0);
+        assert_eq!(Graph::new(0).density(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Const-generic square tiles — the operand granularity of SIMD²
+//! instructions.
+
+use crate::{Matrix, ShapeError};
+
+/// A square `N × N` tile of `f32` elements, row-major.
+///
+/// Tiles are the unit of work of a SIMD² instruction: `simd2.load` fills a
+/// tile register from shared memory, `simd2.mmo` combines three tiles into
+/// one, `simd2.store` writes a tile back. The ISA-visible shape is 16×16
+/// ([`crate::ISA_TILE`]); the hardware model decomposes that into 4×4
+/// ([`crate::UNIT_TILE`]) steps.
+///
+/// # Example
+///
+/// ```
+/// use simd2_matrix::Tile;
+///
+/// let mut t = Tile::<4>::splat(0.0);
+/// t.set(1, 2, 9.0);
+/// assert_eq!(t.get(1, 2), 9.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tile<const N: usize> {
+    data: [[f32; N]; N],
+}
+
+impl<const N: usize> Tile<N> {
+    /// A tile with every element equal to `value`.
+    pub fn splat(value: f32) -> Self {
+        Self { data: [[value; N]; N] }
+    }
+
+    /// A tile built by evaluating `f(row, col)`.
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut t = Self::splat(0.0);
+        for r in 0..N {
+            for c in 0..N {
+                t.data[r][c] = f(r, c);
+            }
+        }
+        t
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is `>= N`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row][col]
+    }
+
+    /// Writes `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is `>= N`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        self.data[row][col] = value;
+    }
+
+    /// Side length `N`.
+    #[inline]
+    pub fn side(&self) -> usize {
+        N
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..N).flat_map(move |r| (0..N).map(move |c| (r, c, self.data[r][c])))
+    }
+
+    /// Extracts the tile whose top-left corner is `(row0, col0)` in `m`.
+    /// Elements outside `m` (when the tile hangs over the edge) are filled
+    /// with `fill` — the tiling layer passes the `⊕` identity or the
+    /// no-edge encoding so padding never perturbs results.
+    pub fn load(m: &Matrix, row0: usize, col0: usize, fill: f32) -> Self {
+        Self::from_fn(|r, c| m.get(row0 + r, col0 + c).unwrap_or(fill))
+    }
+
+    /// Writes the tile into `m` at `(row0, col0)`, clipping at the matrix
+    /// boundary (the inverse of the padding applied by [`Tile::load`]).
+    pub fn store(&self, m: &mut Matrix, row0: usize, col0: usize) {
+        for r in 0..N {
+            for c in 0..N {
+                if row0 + r < m.rows() && col0 + c < m.cols() {
+                    m[(row0 + r, col0 + c)] = self.data[r][c];
+                }
+            }
+        }
+    }
+
+    /// Converts the tile to an `N × N` [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(N, N, |r, c| self.data[r][c])
+    }
+
+    /// Builds a tile from an `N × N` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `m` is not `N × N`.
+    pub fn try_from_matrix(m: &Matrix) -> Result<Self, ShapeError> {
+        if m.shape() != (N, N) {
+            return Err(ShapeError::new("tile source", (N, N), m.shape()));
+        }
+        Ok(Self::from_fn(|r, c| m[(r, c)]))
+    }
+
+    /// Largest absolute element difference to `other` (equal infinities
+    /// count as zero).
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        let mut worst = 0.0f32;
+        for r in 0..N {
+            for c in 0..N {
+                let (a, b) = (self.data[r][c], other.data[r][c]);
+                if a != b {
+                    worst = worst.max((a - b).abs());
+                }
+            }
+        }
+        worst
+    }
+}
+
+impl<const N: usize> Default for Tile<N> {
+    fn default() -> Self {
+        Self::splat(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_from_fn() {
+        let t = Tile::<3>::splat(2.5);
+        assert!(t.iter().all(|(_, _, v)| v == 2.5));
+        let u = Tile::<3>::from_fn(|r, c| (r * 3 + c) as f32);
+        assert_eq!(u.get(2, 1), 7.0);
+        assert_eq!(u.side(), 3);
+    }
+
+    #[test]
+    fn load_with_padding() {
+        let m = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as f32);
+        // Tile hangs over the right/bottom edges.
+        let t = Tile::<4>::load(&m, 3, 3, -1.0);
+        assert_eq!(t.get(0, 0), m[(3, 3)]);
+        assert_eq!(t.get(1, 1), m[(4, 4)]);
+        assert_eq!(t.get(2, 0), -1.0, "row 5 padded");
+        assert_eq!(t.get(0, 2), -1.0, "col 5 padded");
+    }
+
+    #[test]
+    fn store_clips_at_boundary() {
+        let mut m = Matrix::zeros(5, 5);
+        let t = Tile::<4>::splat(9.0);
+        t.store(&mut m, 3, 3);
+        assert_eq!(m[(4, 4)], 9.0);
+        assert_eq!(m[(3, 3)], 9.0);
+        // Nothing outside was touched (and no panic occurred).
+        assert_eq!(m[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn load_store_roundtrip_interior() {
+        let m = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32);
+        let t = Tile::<4>::load(&m, 2, 2, f32::NAN);
+        let mut out = Matrix::zeros(8, 8);
+        t.store(&mut out, 2, 2);
+        for r in 2..6 {
+            for c in 2..6 {
+                assert_eq!(out[(r, c)], m[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_conversions() {
+        let t = Tile::<4>::from_fn(|r, c| (r + c) as f32);
+        let m = t.to_matrix();
+        assert_eq!(Tile::<4>::try_from_matrix(&m).unwrap(), t);
+        let wrong = Matrix::zeros(3, 4);
+        assert!(Tile::<4>::try_from_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn diff_ignores_matching_infinities() {
+        let mut a = Tile::<2>::splat(f32::INFINITY);
+        let b = Tile::<2>::splat(f32::INFINITY);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        a.set(0, 0, 1.0);
+        assert_eq!(a.max_abs_diff(&b), f32::INFINITY);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Tile::<4>::default(), Tile::<4>::splat(0.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Padding and tile-grid arithmetic.
+//!
+//! The high-level SIMD² API accepts arbitrary matrix shapes and implicitly
+//! handles "tiling/partitioning of datasets" (paper §4). These helpers do
+//! that partitioning: rounding shapes up to the tile size, iterating the
+//! tile grid of an `M×N×K` operation, and loading/storing boundary tiles
+//! with algebra-appropriate padding so that ragged edges never change
+//! results.
+
+use simd2_semiring::OpKind;
+
+use crate::{Matrix, Tile};
+
+/// Rounds `x` up to the next multiple of `tile` (`tile > 0`).
+#[inline]
+pub fn round_up(x: usize, tile: usize) -> usize {
+    debug_assert!(tile > 0);
+    x.div_ceil(tile) * tile
+}
+
+/// Number of tiles covering `x` elements.
+#[inline]
+pub fn tiles_for(x: usize, tile: usize) -> usize {
+    x.div_ceil(tile)
+}
+
+/// Padding values that make out-of-range tile elements inert for a given
+/// operation.
+///
+/// * `A`/`B` operand padding uses the *no-edge* (⊗-annihilating) encoding,
+///   so padded lanes never win a reduction.
+/// * `C`/`D` accumulator padding uses the `⊕` identity.
+///
+/// Plus-norm has no annihilator; its padding strategy is instead to pad
+/// *both* operands with equal values so `(a−b)² = 0` contributes nothing to
+/// the `+` reduction, which `operand` encodes as `0.0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PadValues {
+    /// Fill value for `A` and `B` operand tiles.
+    pub operand: f32,
+    /// Fill value for `C`/`D` accumulator tiles.
+    pub accumulator: f32,
+}
+
+/// Returns the padding scheme for `op` (see [`PadValues`]).
+pub fn pad_values(op: OpKind) -> PadValues {
+    PadValues {
+        operand: op.no_edge_f32().unwrap_or(0.0),
+        accumulator: op.reduce_identity_f32(),
+    }
+}
+
+/// Geometry of a tiled `M×N×K` matrix-matrix operation.
+///
+/// # Example
+///
+/// ```
+/// use simd2_matrix::tiling::TileGrid;
+///
+/// let g = TileGrid::new(40, 40, 40, 16);
+/// assert_eq!((g.m_tiles, g.n_tiles, g.k_tiles), (3, 3, 3));
+/// assert_eq!(g.tile_ops(), 27);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Rows of the output, in elements.
+    pub m: usize,
+    /// Columns of the output, in elements.
+    pub n: usize,
+    /// Inner (reduction) dimension, in elements.
+    pub k: usize,
+    /// Tile side length.
+    pub tile: usize,
+    /// Tiles along `m`.
+    pub m_tiles: usize,
+    /// Tiles along `n`.
+    pub n_tiles: usize,
+    /// Tiles along `k`.
+    pub k_tiles: usize,
+}
+
+impl TileGrid {
+    /// Builds the grid for an `m×n` output with inner dimension `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile == 0`.
+    pub fn new(m: usize, n: usize, k: usize, tile: usize) -> Self {
+        assert!(tile > 0, "tile side must be positive");
+        Self {
+            m,
+            n,
+            k,
+            tile,
+            m_tiles: tiles_for(m, tile),
+            n_tiles: tiles_for(n, tile),
+            k_tiles: tiles_for(k, tile),
+        }
+    }
+
+    /// Total number of tile-level `mmo` operations (`m_tiles × n_tiles ×
+    /// k_tiles`) — the quantity the performance model charges for.
+    pub fn tile_ops(&self) -> usize {
+        self.m_tiles * self.n_tiles * self.k_tiles
+    }
+
+    /// Number of output tiles.
+    pub fn output_tiles(&self) -> usize {
+        self.m_tiles * self.n_tiles
+    }
+
+    /// Iterator over output tile coordinates `(ti, tj)` in row-major order.
+    pub fn output_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n_tiles = self.n_tiles;
+        (0..self.m_tiles).flat_map(move |ti| (0..n_tiles).map(move |tj| (ti, tj)))
+    }
+}
+
+/// Loads the `A` operand tile at grid coordinate `(ti, tk)`.
+pub fn load_a_tile<const T: usize>(op: OpKind, a: &Matrix, ti: usize, tk: usize) -> Tile<T> {
+    Tile::load(a, ti * T, tk * T, pad_values(op).operand)
+}
+
+/// Loads the `B` operand tile at grid coordinate `(tk, tj)`.
+pub fn load_b_tile<const T: usize>(op: OpKind, b: &Matrix, tk: usize, tj: usize) -> Tile<T> {
+    Tile::load(b, tk * T, tj * T, pad_values(op).operand)
+}
+
+/// Loads the `C` accumulator tile at grid coordinate `(ti, tj)`.
+pub fn load_c_tile<const T: usize>(op: OpKind, c: &Matrix, ti: usize, tj: usize) -> Tile<T> {
+    Tile::load(c, ti * T, tj * T, pad_values(op).accumulator)
+}
+
+/// Stores an output tile back at grid coordinate `(ti, tj)`, clipping at
+/// the true (unpadded) matrix boundary.
+pub fn store_d_tile<const T: usize>(d: &mut Matrix, tile: &Tile<T>, ti: usize, tj: usize) {
+    tile.store(d, ti * T, tj * T);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::ALL_OPS;
+
+    #[test]
+    fn round_up_and_tiles_for() {
+        assert_eq!(round_up(0, 16), 0);
+        assert_eq!(round_up(1, 16), 16);
+        assert_eq!(round_up(16, 16), 16);
+        assert_eq!(round_up(17, 16), 32);
+        assert_eq!(tiles_for(0, 16), 0);
+        assert_eq!(tiles_for(33, 16), 3);
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let g = TileGrid::new(100, 50, 70, 16);
+        assert_eq!(g.m_tiles, 7);
+        assert_eq!(g.n_tiles, 4);
+        assert_eq!(g.k_tiles, 5);
+        assert_eq!(g.tile_ops(), 140);
+        assert_eq!(g.output_tiles(), 28);
+        assert_eq!(g.output_coords().count(), 28);
+        assert_eq!(g.output_coords().next(), Some((0, 0)));
+        assert_eq!(g.output_coords().last(), Some((6, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile side")]
+    fn zero_tile_panics() {
+        let _ = TileGrid::new(4, 4, 4, 0);
+    }
+
+    #[test]
+    fn pad_values_are_inert_per_algebra() {
+        for op in ALL_OPS {
+            let pv = pad_values(op);
+            // A padded operand lane must never beat a real accumulator value.
+            let acc = match op {
+                simd2_semiring::OpKind::MinMul | simd2_semiring::OpKind::MaxMul => 0.5,
+                simd2_semiring::OpKind::OrAnd => 1.0,
+                _ => 3.0,
+            };
+            if op.no_edge_f32().is_some() {
+                assert_eq!(op.fma_f32(acc, pv.operand, pv.operand), acc, "{op}");
+            } else {
+                // plus-norm: equal padding values combine to 0, reduce (+) keeps acc.
+                assert_eq!(op.fma_f32(acc, pv.operand, pv.operand), acc, "{op}");
+            }
+            // The accumulator padding is the ⊕ identity.
+            assert_eq!(pv.accumulator, op.reduce_identity_f32(), "{op}");
+        }
+    }
+
+    #[test]
+    fn boundary_tiles_are_padded() {
+        use simd2_semiring::OpKind;
+        let a = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as f32 + 1.0);
+        let t: Tile<4> = load_a_tile(OpKind::MinPlus, &a, 1, 1);
+        // grid (1,1) starts at (4,4); only element (0,0) is in-range.
+        assert_eq!(t.get(0, 0), a[(4, 4)]);
+        assert_eq!(t.get(0, 1), f32::INFINITY);
+        assert_eq!(t.get(3, 3), f32::INFINITY);
+        let c: Tile<4> = load_c_tile(OpKind::MinPlus, &a, 1, 1);
+        assert_eq!(c.get(3, 3), f32::INFINITY);
+    }
+
+    #[test]
+    fn store_clips() {
+        let mut d = Matrix::zeros(5, 5);
+        let t = Tile::<4>::splat(2.0);
+        store_d_tile(&mut d, &t, 1, 1);
+        assert_eq!(d[(4, 4)], 2.0);
+        assert_eq!(d.as_slice().iter().filter(|&&x| x == 2.0).count(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Instruction latency/throughput of the SIMD² unit.
+//!
+//! The paper provisions the SIMD² unit to match the baseline MMA unit's
+//! clock period and throughput: "we carefully design the proposed
+//! extensions to make the timing of the SIMD² unit the same as the
+//! baseline … the modification never increases the critical path delay"
+//! (§6.1), and "all SIMD² arithmetic instructions have the same latency"
+//! (§3.2). This module encodes that contract so the GPU-level performance
+//! model can charge identical cycle costs to every `simd2.mmo`, which is
+//! also what makes the wmma-based performance-emulation methodology sound.
+
+use simd2_semiring::OpKind;
+
+/// Cycle-level timing of one SIMD² (or baseline MMA) unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UnitTiming {
+    /// Tile side the unit consumes per step (4 in the synthesised design).
+    pub tile_side: usize,
+    /// Pipeline latency of one tile operation, cycles.
+    pub latency_cycles: u32,
+    /// Issue interval between back-to-back tile operations, cycles
+    /// (1 = fully pipelined).
+    pub initiation_interval: u32,
+}
+
+impl Default for UnitTiming {
+    fn default() -> Self {
+        Self::simd2_4x4()
+    }
+}
+
+impl UnitTiming {
+    /// The synthesised 4×4 design point: 4-stage pipeline (operand read,
+    /// combine, reduce tree, accumulate/writeback), fully pipelined.
+    pub fn simd2_4x4() -> Self {
+        Self { tile_side: 4, latency_cycles: 4, initiation_interval: 1 }
+    }
+
+    /// The baseline MMA unit — identical timing by design (§6.1).
+    pub fn mma_4x4() -> Self {
+        Self::simd2_4x4()
+    }
+
+    /// Latency of one tile operation for the given op. Identical for all
+    /// nine ops — the invariant this type exists to express.
+    pub fn op_latency(&self, _op: OpKind) -> u32 {
+        self.latency_cycles
+    }
+
+    /// `⊗` lane operations (MACs or the op's equivalent) retired per
+    /// cycle once the pipeline is full: `side³` per tile op.
+    pub fn lane_ops_per_cycle(&self) -> f64 {
+        let per_tile = (self.tile_side * self.tile_side * self.tile_side) as f64;
+        per_tile / self.initiation_interval as f64
+    }
+
+    /// Cycles to stream `n_tile_ops` back-to-back tile operations through
+    /// one unit (pipeline fill + drain).
+    pub fn cycles_for(&self, n_tile_ops: usize) -> u64 {
+        if n_tile_ops == 0 {
+            return 0;
+        }
+        self.latency_cycles as u64
+            + (n_tile_ops as u64 - 1) * self.initiation_interval as u64
+    }
+
+    /// Cycles for a 16×16 ISA-level `simd2.mmo`, which the unit executes
+    /// as `(16/4)³ = 64` pipelined 4×4 tile steps.
+    pub fn cycles_for_isa_mmo(&self) -> u64 {
+        let steps_per_dim = 16 / self.tile_side;
+        self.cycles_for(steps_per_dim * steps_per_dim * steps_per_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_semiring::ALL_OPS;
+
+    #[test]
+    fn all_ops_share_one_latency() {
+        let t = UnitTiming::simd2_4x4();
+        let base = t.op_latency(OpKind::PlusMul);
+        for op in ALL_OPS {
+            assert_eq!(t.op_latency(op), base, "{op}");
+        }
+    }
+
+    #[test]
+    fn simd2_matches_mma_timing() {
+        assert_eq!(UnitTiming::simd2_4x4(), UnitTiming::mma_4x4());
+    }
+
+    #[test]
+    fn pipelining_math() {
+        let t = UnitTiming::simd2_4x4();
+        assert_eq!(t.cycles_for(0), 0);
+        assert_eq!(t.cycles_for(1), 4);
+        assert_eq!(t.cycles_for(10), 4 + 9);
+        assert_eq!(t.lane_ops_per_cycle(), 64.0);
+    }
+
+    #[test]
+    fn isa_mmo_is_64_tile_steps() {
+        let t = UnitTiming::simd2_4x4();
+        assert_eq!(t.cycles_for_isa_mmo(), t.cycles_for(64));
+    }
+}

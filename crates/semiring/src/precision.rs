@@ -1,0 +1,196 @@
+//! Reduced-precision numerics of the SIMD² data path.
+//!
+//! The paper's design point (§3.2): input operands are IEEE 754 binary16
+//! (`fp16`), the accumulator/output is binary32 (`fp32`). The correctness
+//! validation flow must therefore quantise inputs to fp16 before computing,
+//! to assess whether a SIMD²-ized algorithm still converges to the fp32
+//! baseline result.
+//!
+//! Table 5(c) additionally models 8-, 32- and 64-bit variants of the unit;
+//! [`Precision`] enumerates those design points for the area model.
+
+use half::f16;
+use serde::{Deserialize, Serialize};
+
+/// Operand precision of a matrix-unit design point (paper Table 5(c)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit inputs (int8-style), 32-bit accumulate.
+    Bits8,
+    /// 16-bit fp inputs, 32-bit fp accumulate — the paper's default.
+    Bits16,
+    /// 32-bit fp inputs and accumulate.
+    Bits32,
+    /// 64-bit fp inputs and accumulate.
+    Bits64,
+}
+
+impl Precision {
+    /// Input operand width in bits.
+    pub fn input_bits(self) -> u32 {
+        match self {
+            Precision::Bits8 => 8,
+            Precision::Bits16 => 16,
+            Precision::Bits32 => 32,
+            Precision::Bits64 => 64,
+        }
+    }
+
+    /// Accumulator width in bits (inputs narrower than 32 accumulate at 32).
+    pub fn accumulator_bits(self) -> u32 {
+        self.input_bits().max(32)
+    }
+
+    /// All four modelled precisions, narrowest first.
+    pub fn all() -> [Precision; 4] {
+        [Precision::Bits8, Precision::Bits16, Precision::Bits32, Precision::Bits64]
+    }
+}
+
+/// Rounds an `f32` through IEEE binary16, the way a `simd2.load` of an fp32
+/// source into an fp16 operand register would.
+///
+/// Values exceeding fp16 range become `±∞`, exactly as the hardware would
+/// saturate; this matters for the `no_edge` encodings, which are already
+/// infinite and survive quantisation unchanged.
+#[inline]
+pub fn quantize_f16(x: f32) -> f32 {
+    f16::from_f32(x).to_f32()
+}
+
+/// Quantises a whole slice in place (operand-matrix load).
+pub fn quantize_f16_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = quantize_f16(*x);
+    }
+}
+
+/// Returns a quantised copy of `xs`.
+pub fn quantized_f16(xs: &[f32]) -> Vec<f32> {
+    xs.iter().copied().map(quantize_f16).collect()
+}
+
+/// Maximum relative error introduced by a single fp16 quantisation of a
+/// normal value: half a unit in the last place of a 10-bit mantissa.
+pub const F16_MAX_RELATIVE_ERROR: f32 = 1.0 / 2048.0;
+
+/// Quantises through a symmetric signed 8-bit fixed-point grid with the
+/// given scale (`x ≈ q / scale`, `q ∈ [−127, 127]`), saturating at the
+/// range ends but passing `±∞` through (the no-edge encodings must
+/// survive any operand format).
+///
+/// This models the int8 operand mode the paper considered and rejected:
+/// "for many algorithms, we find fixed-precision format cannot converge
+/// to the same result as baseline fp32 implementations" (§3.2) — the
+/// `ablate_precision` experiment demonstrates exactly that failure.
+#[inline]
+pub fn quantize_int8(x: f32, scale: f32) -> f32 {
+    if x.is_infinite() || x.is_nan() {
+        return x;
+    }
+    let q = (x * scale).round().clamp(-127.0, 127.0);
+    q / scale
+}
+
+/// Absolute comparison tolerance for validating an fp16-input computation
+/// against an fp32 reference, given the magnitude scale and the reduction
+/// depth (number of `⊕` steps feeding one output element).
+///
+/// Each of the `depth` combined terms carries up to
+/// [`F16_MAX_RELATIVE_ERROR`] per quantised operand (two operands per `⊗`),
+/// and fp32 accumulation error is negligible next to that.
+pub fn f16_tolerance(magnitude: f32, depth: usize) -> f32 {
+    2.0 * F16_MAX_RELATIVE_ERROR * magnitude * depth.max(1) as f32
+}
+
+/// Whether `x` is exactly representable in fp16 (quantisation is lossless).
+///
+/// Path algebras whose weights are small integers — and the boolean
+/// `{0, 1}` domain of or-and — satisfy this, which is why min/max-style
+/// SIMD² algorithms converge bit-exactly even at reduced precision.
+pub fn is_f16_exact(x: f32) -> bool {
+    quantize_f16(x) == x || (x.is_nan() && quantize_f16(x).is_nan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_preserves_infinities_and_zero() {
+        assert_eq!(quantize_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(quantize_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert_eq!(quantize_f16(0.0), 0.0);
+        assert_eq!(quantize_f16(-0.0), -0.0);
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range_to_infinity() {
+        // fp16 max finite is 65504.
+        assert_eq!(quantize_f16(65504.0), 65504.0);
+        assert_eq!(quantize_f16(1.0e6), f32::INFINITY);
+        assert_eq!(quantize_f16(-1.0e6), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn small_integers_are_exact() {
+        for i in 0..=2048 {
+            assert!(is_f16_exact(i as f32), "{i}");
+        }
+        // 2049 is not representable (11-bit significand incl. hidden bit).
+        assert!(!is_f16_exact(2049.0));
+    }
+
+    #[test]
+    fn booleans_are_exact() {
+        assert!(is_f16_exact(0.0));
+        assert!(is_f16_exact(1.0));
+    }
+
+    #[test]
+    fn relative_error_bound_holds_for_normals() {
+        for &x in &[0.1f32, 0.3, 1.7, 123.456, 3.0e-3, 6.0e4] {
+            let q = quantize_f16(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= F16_MAX_RELATIVE_ERROR, "x={x} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn slice_and_copy_quantizers_agree() {
+        let src = vec![0.1f32, 2.5, -7.3, 1000.01];
+        let copied = quantized_f16(&src);
+        let mut inplace = src.clone();
+        quantize_f16_slice(&mut inplace);
+        assert_eq!(copied, inplace);
+        assert_ne!(copied, src, "0.1 and 1000.01 are not fp16-exact");
+    }
+
+    #[test]
+    fn tolerance_scales_with_depth_and_magnitude() {
+        assert!(f16_tolerance(1.0, 16) < f16_tolerance(1.0, 1024));
+        assert!(f16_tolerance(1.0, 16) < f16_tolerance(100.0, 16));
+        assert!(f16_tolerance(1.0, 0) > 0.0, "depth 0 clamps to 1");
+    }
+
+    #[test]
+    fn int8_quantiser_saturates_and_rounds() {
+        assert_eq!(quantize_int8(3.4, 1.0), 3.0);
+        assert_eq!(quantize_int8(3.6, 1.0), 4.0);
+        assert_eq!(quantize_int8(200.0, 1.0), 127.0);
+        assert_eq!(quantize_int8(-200.0, 1.0), -127.0);
+        assert_eq!(quantize_int8(f32::INFINITY, 1.0), f32::INFINITY);
+        // Finer scale trades range for resolution.
+        assert_eq!(quantize_int8(0.55, 10.0), 0.6);
+        assert_eq!(quantize_int8(20.0, 10.0), 12.7);
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(Precision::Bits8.input_bits(), 8);
+        assert_eq!(Precision::Bits8.accumulator_bits(), 32);
+        assert_eq!(Precision::Bits16.accumulator_bits(), 32);
+        assert_eq!(Precision::Bits64.accumulator_bits(), 64);
+        assert_eq!(Precision::all().len(), 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Algebraic property checks for semiring-like structures.
+//!
+//! The SIMD² tiling strategy is only sound when the algebra cooperates:
+//! splitting the `k` dimension across tiles requires `⊕` to be associative
+//! and commutative, and accumulating partial tiles into `C` requires the
+//! `⊕` identity to be a safe initial value. These helpers express those
+//! requirements as reusable predicates; the crate's proptest suite and the
+//! downstream tiling tests both build on them.
+//!
+//! Floating-point `+` is famously non-associative; the checks therefore take
+//! a tolerance. Min/max/boolean reductions are exact.
+
+use crate::OpKind;
+
+/// Outcome of a single property check over sampled values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropertyResult {
+    /// The property held on every sample.
+    Holds,
+    /// The property failed; carries a human-readable counterexample.
+    Fails(String),
+}
+
+impl PropertyResult {
+    /// `true` when the property held.
+    pub fn holds(&self) -> bool {
+        matches!(self, PropertyResult::Holds)
+    }
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    if a == b {
+        return true; // covers equal infinities
+    }
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Checks `(x ⊕ y) ⊕ z ≈ x ⊕ (y ⊕ z)` over all triples of `samples`.
+pub fn reduce_associative(op: OpKind, samples: &[f32], tol: f32) -> PropertyResult {
+    for &x in samples {
+        for &y in samples {
+            for &z in samples {
+                let l = op.reduce_f32(op.reduce_f32(x, y), z);
+                let r = op.reduce_f32(x, op.reduce_f32(y, z));
+                if !close(l, r, tol) {
+                    return PropertyResult::Fails(format!(
+                        "{op}: ({x} ⊕ {y}) ⊕ {z} = {l} but {x} ⊕ ({y} ⊕ {z}) = {r}"
+                    ));
+                }
+            }
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks `x ⊕ y = y ⊕ x` over all pairs of `samples`.
+pub fn reduce_commutative(op: OpKind, samples: &[f32], tol: f32) -> PropertyResult {
+    for &x in samples {
+        for &y in samples {
+            let l = op.reduce_f32(x, y);
+            let r = op.reduce_f32(y, x);
+            if !close(l, r, tol) {
+                return PropertyResult::Fails(format!("{op}: {x} ⊕ {y} = {l} ≠ {y} ⊕ {x} = {r}"));
+            }
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks that [`OpKind::reduce_identity_f32`] is a two-sided identity on
+/// `samples` (after or-and's boolean canonicalisation).
+pub fn reduce_identity(op: OpKind, samples: &[f32]) -> PropertyResult {
+    let id = op.reduce_identity_f32();
+    for &x in samples {
+        let canonical = if op == OpKind::OrAnd {
+            if x != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            x
+        };
+        if op.reduce_f32(id, x) != canonical || op.reduce_f32(x, id) != canonical {
+            return PropertyResult::Fails(format!(
+                "{op}: identity {id} does not fix {x} (got {} / {})",
+                op.reduce_f32(id, x),
+                op.reduce_f32(x, id)
+            ));
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks `x ⊕ x = x` (idempotence) — required by the convergence-check
+/// fixed-point iteration, and expected exactly when
+/// [`OpKind::reduce_is_idempotent`] says so.
+pub fn reduce_idempotent(op: OpKind, samples: &[f32]) -> PropertyResult {
+    for &x in samples {
+        let canonical = if op == OpKind::OrAnd {
+            if x != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            x
+        };
+        if op.reduce_f32(x, x) != canonical {
+            return PropertyResult::Fails(format!("{op}: {x} ⊕ {x} = {}", op.reduce_f32(x, x)));
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks `⊗` associativity — holds for the seven true path algebras, and
+/// is expected to *fail* for plus-norm (whose `⊗` is `(a−b)²`).
+pub fn combine_associative(op: OpKind, samples: &[f32], tol: f32) -> PropertyResult {
+    for &x in samples {
+        for &y in samples {
+            for &z in samples {
+                let l = op.combine_f32(op.combine_f32(x, y), z);
+                let r = op.combine_f32(x, op.combine_f32(y, z));
+                if !close(l, r, tol) {
+                    return PropertyResult::Fails(format!(
+                        "{op}: ({x} ⊗ {y}) ⊗ {z} = {l} but {x} ⊗ ({y} ⊗ {z}) = {r}"
+                    ));
+                }
+            }
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// Checks left/right distributivity `x ⊗ (y ⊕ z) ≈ (x ⊗ y) ⊕ (x ⊗ z)` —
+/// the law that lets the dot-product reduction be reordered/tiled freely.
+///
+/// Holds exactly for the min/max/boolean algebras over their domains; for
+/// plus-mul it holds up to rounding; for plus-norm it does not hold (and the
+/// KNN use never needs it: plus-norm is applied in a single pass).
+pub fn distributive(op: OpKind, samples: &[f32], tol: f32) -> PropertyResult {
+    for &x in samples {
+        for &y in samples {
+            for &z in samples {
+                let l = op.combine_f32(x, op.reduce_f32(y, z));
+                let r = op.reduce_f32(op.combine_f32(x, y), op.combine_f32(x, z));
+                if !close(l, r, tol) {
+                    return PropertyResult::Fails(format!(
+                        "{op}: {x} ⊗ ({y} ⊕ {z}) = {l} but ({x}⊗{y}) ⊕ ({x}⊗{z}) = {r}"
+                    ));
+                }
+            }
+        }
+    }
+    PropertyResult::Holds
+}
+
+/// In-domain sample values for each algebra, suitable for the property
+/// checks (reliabilities in `(0, 1]`, booleans in `{0, 1}`, …), including
+/// the `⊕` identity and, when defined, the no-edge encoding.
+pub fn domain_samples(op: OpKind) -> Vec<f32> {
+    let mut v: Vec<f32> = match op {
+        OpKind::MinMul | OpKind::MaxMul => vec![0.125, 0.25, 0.5, 0.75, 1.0],
+        OpKind::OrAnd => vec![0.0, 1.0],
+        OpKind::PlusMul | OpKind::PlusNorm => vec![-2.0, -0.5, 0.0, 0.5, 1.0, 3.0],
+        _ => vec![0.0, 0.5, 1.0, 2.0, 7.0, 64.0],
+    };
+    // The reduce identity is included except where it would leave the
+    // `⊗` domain entirely: max-mul's −∞ identity times the 0.0 no-edge
+    // encoding is NaN in fp, and the algebra is only ever reduced with it.
+    if op != OpKind::MaxMul {
+        v.push(op.reduce_identity_f32());
+    }
+    if let Some(ne) = op.no_edge_f32() {
+        if !v.contains(&ne) {
+            v.push(ne);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_OPS;
+
+    const EXACT: f32 = 0.0;
+    const FP: f32 = 1.0e-6;
+
+    #[test]
+    fn all_reductions_are_associative_and_commutative() {
+        for op in ALL_OPS {
+            let s = domain_samples(op);
+            assert!(reduce_associative(op, &s, FP).holds(), "{op} assoc");
+            assert!(reduce_commutative(op, &s, EXACT).holds(), "{op} comm");
+        }
+    }
+
+    #[test]
+    fn all_identities_hold() {
+        for op in ALL_OPS {
+            assert!(reduce_identity(op, &domain_samples(op)).holds(), "{op}");
+        }
+    }
+
+    #[test]
+    fn idempotence_matches_classification() {
+        for op in ALL_OPS {
+            let got = reduce_idempotent(op, &domain_samples(op)).holds();
+            // `x + x = x` only at 0/±∞; min/max/or are idempotent everywhere.
+            let expected = op.reduce_is_idempotent();
+            assert_eq!(got, expected, "{op}");
+        }
+    }
+
+    #[test]
+    fn combine_associativity_fails_only_for_plus_norm() {
+        for op in ALL_OPS {
+            let holds = combine_associative(op, &domain_samples(op), FP).holds();
+            assert_eq!(holds, op != OpKind::PlusNorm, "{op}");
+        }
+    }
+
+    #[test]
+    fn distributivity_holds_for_true_path_algebras() {
+        for op in [
+            OpKind::MinPlus,
+            OpKind::MaxPlus,
+            OpKind::MinMax,
+            OpKind::MaxMin,
+            OpKind::OrAnd,
+            OpKind::PlusMul,
+        ] {
+            assert!(distributive(op, &domain_samples(op), FP).holds(), "{op}");
+        }
+        // min-mul / max-mul distribute on the non-negative domain only —
+        // which is exactly the reliability domain they are used on.
+        for op in [OpKind::MinMul, OpKind::MaxMul] {
+            assert!(distributive(op, &domain_samples(op), FP).holds(), "{op}");
+        }
+        assert!(!distributive(OpKind::PlusNorm, &domain_samples(OpKind::PlusNorm), FP).holds());
+    }
+
+    #[test]
+    fn failure_carries_counterexample() {
+        let r = combine_associative(OpKind::PlusNorm, &[0.0, 1.0, 2.0], EXACT);
+        match r {
+            PropertyResult::Fails(msg) => assert!(msg.contains("plus-norm")),
+            PropertyResult::Holds => panic!("plus-norm ⊗ should not be associative"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over randomly sampled operands (not just the fixed
+//! domain samples used by the unit tests).
+
+use proptest::prelude::*;
+use simd2_semiring::precision::{is_f16_exact, quantize_f16};
+use simd2_semiring::properties::{self, PropertyResult};
+use simd2_semiring::{OpKind, ALL_OPS};
+
+/// Strategy producing an in-domain value for the given algebra.
+fn domain_value(op: OpKind) -> BoxedStrategy<f32> {
+    match op {
+        OpKind::MinMul | OpKind::MaxMul => (0.01f32..=1.0).boxed(),
+        OpKind::OrAnd => prop_oneof![Just(0.0f32), Just(1.0f32)].boxed(),
+        OpKind::PlusMul | OpKind::PlusNorm => (-100.0f32..=100.0).boxed(),
+        _ => (0.0f32..=1000.0).boxed(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    (0..ALL_OPS.len()).prop_map(|i| ALL_OPS[i])
+}
+
+proptest! {
+    #[test]
+    fn reduce_commutes(op in op_strategy(), seed in any::<u64>()) {
+        // Derive two domain values deterministically from the seed so the
+        // pair strategy matches the op drawn.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let x = domain_value(op).new_tree(&mut runner).unwrap().current();
+        let y = domain_value(op).new_tree(&mut runner).unwrap().current();
+        prop_assert_eq!(op.reduce_f32(x, y), op.reduce_f32(y, x));
+    }
+
+    #[test]
+    fn idempotent_reductions_are_fixed_points(x in 0.0f32..1000.0) {
+        for op in ALL_OPS {
+            if op.reduce_is_idempotent() && op != OpKind::OrAnd {
+                prop_assert_eq!(op.reduce_f32(x, x), x);
+            }
+        }
+    }
+
+    #[test]
+    fn min_style_reduce_never_increases(x in 0.0f32..1000.0, y in 0.0f32..1000.0) {
+        for op in [OpKind::MinPlus, OpKind::MinMul, OpKind::MinMax] {
+            let r = op.reduce_f32(x, y);
+            prop_assert!(r <= x && r <= y);
+            prop_assert!(r == x || r == y);
+        }
+        for op in [OpKind::MaxPlus, OpKind::MaxMul, OpKind::MaxMin] {
+            let r = op.reduce_f32(x, y);
+            prop_assert!(r >= x && r >= y);
+            prop_assert!(r == x || r == y);
+        }
+    }
+
+    #[test]
+    fn fma_with_no_edge_operand_is_inert(x in 0.0f32..1000.0, w in 0.0f32..1000.0) {
+        for op in ALL_OPS {
+            let Some(no_edge) = op.no_edge_f32() else { continue };
+            // Clamp w into domain for the multiplicative reliability algebras.
+            let w = match op {
+                OpKind::MinMul | OpKind::MaxMul => (w / 1000.0).clamp(0.001, 1.0),
+                OpKind::OrAnd => if w > 500.0 { 1.0 } else { 0.0 },
+                _ => w,
+            };
+            let x = match op {
+                OpKind::MinMul | OpKind::MaxMul => (x / 1000.0).clamp(0.001, 1.0),
+                OpKind::OrAnd => if x > 500.0 { 1.0 } else { 0.0 },
+                _ => x,
+            };
+            prop_assert_eq!(op.fma_f32(x, no_edge, w), x, "{} no-edge lhs", op);
+            prop_assert_eq!(op.fma_f32(x, w, no_edge), x, "{} no-edge rhs", op);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent(x in any::<f32>()) {
+        prop_assume!(!x.is_nan());
+        let q = quantize_f16(x);
+        prop_assert_eq!(quantize_f16(q), q);
+        prop_assert!(is_f16_exact(q));
+    }
+
+    #[test]
+    fn quantize_is_monotone(a in -1.0e5f32..1.0e5, b in -1.0e5f32..1.0e5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
+    }
+
+    #[test]
+    fn min_max_family_is_f16_exact_end_to_end(
+        x in 0u16..2048, y in 0u16..2048, z in 0u16..2048
+    ) {
+        // Integer weights ≤ 2048 survive fp16; hence min/max path algebras
+        // produce bit-identical results at reduced precision (paper §5.1).
+        let (x, y, z) = (f32::from(x), f32::from(y), f32::from(z));
+        for op in [OpKind::MinPlus, OpKind::MinMax, OpKind::MaxMin] {
+            let full = op.fma_f32(x, y, z);
+            let reduced = op.fma_f32(x, quantize_f16(y), quantize_f16(z));
+            prop_assert_eq!(full, reduced, "{}", op);
+        }
+    }
+}
+
+#[test]
+fn property_helpers_agree_with_random_sampling() {
+    for op in ALL_OPS {
+        let samples = properties::domain_samples(op);
+        assert!(matches!(properties::reduce_identity(op, &samples), PropertyResult::Holds));
+    }
+}

@@ -1,0 +1,312 @@
+//! Compressed-sparse-row matrices and semiring spGEMM.
+
+use simd2_matrix::Matrix;
+use simd2_semiring::OpKind;
+
+/// A compressed-sparse-row matrix of `f32` values.
+///
+/// The explicit-zero convention follows the algebra in use: "zero" means
+/// the `⊗`-annihilating no-edge value of the operation (plain `0.0` for
+/// plus-mul), and structurally-missing entries are implicitly that value.
+///
+/// # Example
+///
+/// ```
+/// use simd2_matrix::Matrix;
+/// use simd2_sparse::Csr;
+///
+/// let d = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]);
+/// let s = Csr::from_dense(&d, 0.0);
+/// assert_eq!(s.nnz(), 1);
+/// assert_eq!(s.to_dense(0.0), d);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from a dense one, treating `zero` as the
+    /// implicit value.
+    pub fn from_dense(m: &Matrix, zero: f32) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != zero {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Builds from explicit triplets `(row, col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates or duplicate entries.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut entries: Vec<(usize, usize, f32)> = triplets.into_iter().collect();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for (r, c, v) in entries {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            assert_ne!(prev, Some((r, c)), "duplicate entry at ({r},{c})");
+            prev = Some((r, c));
+            row_ptr[r + 1] += 1;
+            col_idx.push(c as u32);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored (explicit) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density of stored entries.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// One row's `(column, value)` pairs.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Expands back to dense with `zero` as the implicit value.
+    pub fn to_dense(&self, zero: f32) -> Matrix {
+        let mut m = Matrix::filled(self.rows, self.cols, zero);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Device bytes of the CSR image (fp32 values + 32-bit column indices
+    /// + row pointers) — the quantity the Fig 14 memory model sums.
+    pub fn device_bytes(&self) -> u64 {
+        (self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4) as u64
+    }
+
+    /// Gustavson-style sparse × sparse multiplication under the algebra of
+    /// `op`: `C(i,j) = ⊕ₖ A(i,k) ⊗ B(k,j)` over structurally present
+    /// pairs.
+    ///
+    /// This is exactly the computation a SIMD²-extended GAMMA accelerator
+    /// performs (§6.5): the classic row-wise product with the multiply
+    /// and add ALUs replaced by `⊗` and `⊕`.
+    ///
+    /// Combined values equal to `op`'s no-edge encoding are dropped from
+    /// the output (they are the implicit value).
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree or `op` has no no-edge
+    /// encoding (plus-norm is not a sparse path algebra).
+    pub fn spgemm(&self, op: OpKind, other: &Csr) -> Csr {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let zero =
+            op.no_edge_f32().unwrap_or_else(|| panic!("{op} has no sparse zero"));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        row_ptr.push(0);
+        // Dense accumulator row (the SPA of Gustavson's algorithm).
+        let mut acc = vec![op.reduce_identity_f32(); other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for (k, a_ik) in self.row_entries(i) {
+                for (j, b_kj) in other.row_entries(k) {
+                    if acc[j] == op.reduce_identity_f32() && !touched.contains(&j) {
+                        touched.push(j);
+                    }
+                    acc[j] = op.fma_f32(acc[j], a_ik, b_kj);
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                if acc[j] != zero && acc[j] != op.reduce_identity_f32() {
+                    col_idx.push(j as u32);
+                    values.push(acc[j]);
+                }
+                acc[j] = op.reduce_identity_f32();
+            }
+            touched.clear();
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows: self.rows, cols: other.cols, row_ptr, col_idx, values }
+    }
+
+    /// Upper bound on the intermediate products a Gustavson pass over
+    /// these operands generates (`Σᵢ Σ_{k∈row i} nnz(B row k)`), the
+    /// quantity that drives spGEMM workspace.
+    pub fn spgemm_products(&self, other: &Csr) -> u64 {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut total = 0u64;
+        for i in 0..self.rows {
+            for (k, _) in self.row_entries(i) {
+                total += (other.row_ptr[k + 1] - other.row_ptr[k]) as u64;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::{gen, reference};
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = gen::random_sparse_matrix(24, 0.8, 3);
+        let s = Csr::from_dense(&d, 0.0);
+        assert_eq!(s.to_dense(0.0), d);
+        assert_eq!(s.nnz(), d.as_slice().iter().filter(|&&x| x != 0.0).count());
+    }
+
+    #[test]
+    fn roundtrip_with_infinity_zero() {
+        // Path matrices use +inf as the implicit value.
+        let mut d = Matrix::filled(4, 4, f32::INFINITY);
+        d[(1, 2)] = 3.0;
+        d[(0, 0)] = 0.0;
+        let s = Csr::from_dense(&d, f32::INFINITY);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(f32::INFINITY), d);
+    }
+
+    #[test]
+    fn triplets_construction() {
+        let s = Csr::from_triplets(3, 3, [(2, 1, 5.0), (0, 0, 1.0), (0, 2, 2.0)]);
+        assert_eq!(s.nnz(), 3);
+        let d = s.to_dense(0.0);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(0, 2)], 2.0);
+        assert_eq!(d[(2, 1)], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_triplets_rejected() {
+        let _ = Csr::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0)]);
+    }
+
+    #[test]
+    fn spgemm_plus_mul_matches_dense_reference() {
+        let a_d = gen::random_sparse_matrix(20, 0.7, 5);
+        let b_d = gen::random_sparse_matrix(20, 0.7, 6);
+        let a = Csr::from_dense(&a_d, 0.0);
+        let b = Csr::from_dense(&b_d, 0.0);
+        let c = a.spgemm(OpKind::PlusMul, &b);
+        let want = reference::mmo(OpKind::PlusMul, &a_d, &b_d, &Matrix::zeros(20, 20)).unwrap();
+        assert!(c.to_dense(0.0).max_abs_diff(&want).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn spgemm_min_plus_matches_dense_reference() {
+        let g = gen::gnp_graph(16, 0.2, 1.0, 9.0, 7);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let a = Csr::from_dense(&adj, f32::INFINITY);
+        let c = a.spgemm(OpKind::MinPlus, &a);
+        let cid = Matrix::filled(16, 16, f32::INFINITY);
+        let want = reference::mmo(OpKind::MinPlus, &adj, &adj, &cid).unwrap();
+        assert_eq!(c.to_dense(f32::INFINITY), want);
+    }
+
+    #[test]
+    fn spgemm_or_and_reachability() {
+        let g = gen::gnp_graph(12, 0.25, 1.0, 2.0, 11);
+        let reach = g.reachability();
+        let a = Csr::from_dense(&reach, 0.0);
+        let two_hop = a.spgemm(OpKind::OrAnd, &a);
+        let want =
+            reference::mmo(OpKind::OrAnd, &reach, &reach, &Matrix::zeros(12, 12)).unwrap();
+        assert_eq!(two_hop.to_dense(0.0), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sparse zero")]
+    fn plus_norm_rejected() {
+        let s = Csr::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let _ = s.spgemm(OpKind::PlusNorm, &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Csr::from_dense(&Matrix::zeros(2, 3), 0.0);
+        let b = Csr::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let _ = a.spgemm(OpKind::PlusMul, &b);
+    }
+
+    #[test]
+    fn product_count_bounds_work() {
+        let a_d = gen::random_sparse_matrix(30, 0.9, 9);
+        let a = Csr::from_dense(&a_d, 0.0);
+        let products = a.spgemm_products(&a);
+        // Products ≈ n³ d² on average.
+        let expect = 30.0f64.powi(3) * 0.01;
+        assert!((products as f64) < expect * 5.0 + 50.0);
+        // The realised output nnz can never exceed the products generated.
+        let c = a.spgemm(OpKind::PlusMul, &a);
+        assert!(c.nnz() as u64 <= products);
+    }
+
+    #[test]
+    fn device_bytes_accounting() {
+        let s = Csr::from_triplets(4, 4, [(0, 0, 1.0), (3, 3, 1.0)]);
+        // 2 values + 2 col indices + 5 row pointers, 4 bytes each.
+        assert_eq!(s.device_bytes(), (2 + 2 + 5) * 4);
+        assert_eq!(s.density(), 2.0 / 16.0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let s = Csr::from_triplets(3, 3, [(1, 1, 2.0)]);
+        assert_eq!(s.row_entries(0).count(), 0);
+        assert_eq!(s.row_entries(2).count(), 0);
+        assert_eq!(s.row_entries(1).collect::<Vec<_>>(), vec![(1, 2.0)]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sparse-vs-dense cost models for the Figure 14 crossover study.
+//!
+//! Figure 14 compares NVIDIA's `spGEMM` (cuSPARSE, CSR inputs) against the
+//! dense Tensor-Core `gemmEx` (cuBLAS) across input sparsities and sizes.
+//! The published findings this model is calibrated to:
+//!
+//! * at 1024², cuSPARSE never outperforms cuBLAS (fixed analysis/format
+//!   overheads dominate),
+//! * at 4096², cuSPARSE wins only beyond ~99% sparsity,
+//! * larger and sparser inputs win by growing factors,
+//! * at 16384² with sparsity below ~90%, spGEMM exhausts the 10 GB device
+//!   memory (compressed formats backfire on relatively dense data), while
+//!   the dense path still fits a 32768² multiplication.
+
+use serde::{Deserialize, Serialize};
+use simd2_gpu::{Gpu, Seconds};
+use simd2_semiring::OpKind;
+
+/// Expected density of the spGEMM output `C = A·B` for uniformly random
+/// `n × n` operands of density `d`: `1 − (1 − d²)ⁿ`.
+pub fn output_density(n: usize, d: f64) -> f64 {
+    1.0 - (1.0 - d * d).powi(n as i32)
+}
+
+/// CSR device bytes for an `n × n` operand of density `d` (fp32 values +
+/// 32-bit column indices + row pointers).
+pub fn csr_bytes(n: usize, d: f64) -> f64 {
+    let nnz = (n * n) as f64 * d;
+    nnz * 8.0 + (n as f64 + 1.0) * 4.0
+}
+
+/// Peak device memory of a cuSPARSE-style spGEMM `C = A·B`:
+/// both CSR operands, the CSR output with a 2× construction workspace,
+/// and the expansion buffer of the row-products phase — 8 bytes per
+/// intermediate product amortised over 128-way chunking. The expansion
+/// term is what blows up on relatively dense large inputs.
+pub fn spgemm_peak_bytes(n: usize, d: f64) -> f64 {
+    let dc = output_density(n, d);
+    let products = (n as f64).powi(3) * d * d;
+    csr_bytes(n, d) * 2.0 + csr_bytes(n, dc) * 3.0 + products * 8.0 / 128.0
+}
+
+/// Modelled cuSPARSE spGEMM wall time: fixed analysis/setup passes, a
+/// per-stored-entry traversal cost (irregular, index-chasing), and the
+/// multiply-accumulate work itself at low sustained efficiency.
+pub fn spgemm_time(gpu: &Gpu, n: usize, d: f64) -> Seconds {
+    let dc = output_density(n, d);
+    let nnz_total = (n * n) as f64 * (2.0 * d + dc);
+    let products = (n as f64).powi(3) * d * d;
+    let fixed = 5.0e-4; // format analysis + size estimation passes
+    let traversal = nnz_total * 0.3e-9;
+    let compute = products * 2.0 / (gpu.config().cuda_ops_per_second() * 0.10);
+    Seconds(fixed + traversal + compute)
+}
+
+/// Dense Tensor-Core GEMM (`gemmEx`) time for the same problem.
+pub fn dense_gemm_time(gpu: &Gpu, n: usize) -> Seconds {
+    gpu.simd2_mmo_time(OpKind::PlusMul, n, n, n)
+}
+
+/// Device bytes of the dense path: three fp32 matrices (A, B, C).
+pub fn dense_bytes(n: usize) -> f64 {
+    3.0 * (n * n) as f64 * 4.0
+}
+
+/// One point of the Figure 14 sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrossoverPoint {
+    /// Matrix side length.
+    pub n: usize,
+    /// Input sparsity (fraction of zeros).
+    pub sparsity: f64,
+    /// spGEMM time, seconds — `None` when the run OOMs.
+    pub spgemm_seconds: Option<f64>,
+    /// Dense Tensor-Core GEMM time, seconds.
+    pub dense_seconds: f64,
+}
+
+impl CrossoverPoint {
+    /// Speedup of spGEMM over the dense path (`None` on OOM).
+    pub fn speedup(&self) -> Option<f64> {
+        self.spgemm_seconds.map(|s| self.dense_seconds / s)
+    }
+}
+
+/// Evaluates one `(n, sparsity)` point of the Fig 14 sweep.
+pub fn crossover_point(gpu: &Gpu, n: usize, sparsity: f64) -> CrossoverPoint {
+    let d = 1.0 - sparsity;
+    let dense_seconds = dense_gemm_time(gpu, n).get();
+    let spgemm_seconds = if gpu.config().fits_in_memory(spgemm_peak_bytes(n, d) as u64) {
+        Some(spgemm_time(gpu, n, d).get())
+    } else {
+        None
+    };
+    CrossoverPoint { n, sparsity, spgemm_seconds, dense_seconds }
+}
+
+/// The sparsity grid of Figure 14.
+pub fn fig14_sparsities() -> Vec<f64> {
+    vec![0.50, 0.80, 0.90, 0.95, 0.99, 0.995, 0.999, 0.9999]
+}
+
+/// The matrix sizes of Figure 14.
+pub fn fig14_sizes() -> Vec<usize> {
+    vec![1024, 4096, 16384]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::default()
+    }
+
+    #[test]
+    fn output_density_limits() {
+        assert_eq!(output_density(1024, 0.0), 0.0);
+        assert!(output_density(4096, 0.1) > 0.999, "dense products saturate");
+        let light = output_density(4096, 0.0001);
+        assert!(light < 0.01, "{light}");
+    }
+
+    #[test]
+    fn cusparse_never_wins_at_1024() {
+        let g = gpu();
+        for s in fig14_sparsities() {
+            let p = crossover_point(&g, 1024, s);
+            let sp = p.speedup().expect("1024 never OOMs");
+            assert!(sp < 1.0, "sparsity {s}: speedup {sp}");
+        }
+    }
+
+    #[test]
+    fn crossover_at_4096_sits_near_99_percent() {
+        let g = gpu();
+        let below = crossover_point(&g, 4096, 0.98).speedup().unwrap();
+        assert!(below < 1.0, "98%: {below}");
+        let above = crossover_point(&g, 4096, 0.995).speedup().unwrap();
+        assert!(above > 1.0, "99.5%: {above}");
+    }
+
+    #[test]
+    fn speedup_grows_with_sparsity() {
+        let g = gpu();
+        let mut prev = 0.0;
+        for s in [0.99, 0.995, 0.999, 0.9999] {
+            let sp = crossover_point(&g, 16384, s).speedup().unwrap();
+            assert!(sp > prev, "sparsity {s}: {sp} <= {prev}");
+            prev = sp;
+        }
+        assert!(prev > 10.0, "extremely sparse wins big: {prev}");
+    }
+
+    #[test]
+    fn oom_wall_below_90_percent_at_16384() {
+        let g = gpu();
+        for s in [0.50, 0.80] {
+            let p = crossover_point(&g, 16384, s);
+            assert!(p.spgemm_seconds.is_none(), "sparsity {s} should OOM");
+            assert!(p.speedup().is_none());
+        }
+        // At ≥ 95% it runs again.
+        assert!(crossover_point(&g, 16384, 0.95).spgemm_seconds.is_some());
+        // Small matrices never OOM even fully dense.
+        assert!(crossover_point(&g, 1024, 0.5).spgemm_seconds.is_some());
+    }
+
+    #[test]
+    fn dense_path_fits_32768() {
+        // §6.5: a 10 GB GPU accommodates at least a 32768² dense
+        // multiplication (fp16 operands; our conservative fp32 estimate is
+        // checked against a 12 GB bound, fp16 inputs against 10 GB).
+        let fp16_ab_fp32_c = 2.0 * (32768.0 * 32768.0) * 2.0 + 32768.0 * 32768.0 * 4.0;
+        assert!(gpu().config().fits_in_memory(fp16_ab_fp32_c as u64));
+    }
+
+    #[test]
+    fn compressed_format_backfires_when_dense() {
+        // CSR of a 50%-dense matrix is larger than the dense image.
+        assert!(csr_bytes(4096, 0.5) > (4096.0 * 4096.0) * 4.0);
+        // …but far smaller when extremely sparse.
+        assert!(csr_bytes(4096, 0.001) < (4096.0 * 4096.0) * 4.0 * 0.01);
+    }
+
+    #[test]
+    fn sweep_grids() {
+        assert_eq!(fig14_sizes(), vec![1024, 4096, 16384]);
+        assert!(fig14_sparsities().windows(2).all(|w| w[0] < w[1]));
+    }
+}

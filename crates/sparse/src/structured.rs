@@ -1,0 +1,298 @@
+//! 2:4 structured sparsity (the sparse Tensor-Core format of Fig 13).
+//!
+//! Ampere's sparse tensor pipe requires at most 2 non-zero values in every
+//! group of 4 consecutive elements along the reduction dimension; the
+//! hardware then skips the zero lanes for 2× throughput. The paper's
+//! sparse-SIMD² experiment "assume\[s\] the inputs are pre-processed and
+//! stored in the format required by the sparse Tensor Core" — this module
+//! is that pre-processing.
+
+use simd2_matrix::Matrix;
+use simd2_semiring::OpKind;
+
+/// Checks the 2:4 constraint along rows: at most 2 entries per aligned
+/// group of 4 differ from `zero` (the algebra's no-edge value).
+pub fn is_2_4_compliant(m: &Matrix, zero: f32) -> bool {
+    for r in 0..m.rows() {
+        for group in m.row(r).chunks(4) {
+            if group.iter().filter(|&&x| x != zero).count() > 2 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Prunes a matrix to 2:4 structure: in each aligned group of 4 along the
+/// row, the 2 entries whose magnitude ranks lowest (distance from `zero`,
+/// where `zero` may be `±∞` for path algebras) are replaced by `zero`.
+///
+/// For plus-mul this is the usual magnitude pruning; for a min-plus
+/// adjacency it keeps the two *shortest* edges per group (the entries most
+/// likely to matter), mirroring how one would sparsify a graph for the
+/// sparse pipe.
+pub fn prune_2_4(m: &Matrix, op: OpKind) -> Matrix {
+    let zero = op.no_edge_f32().unwrap_or(0.0);
+    let mut out = m.clone();
+    for r in 0..m.rows() {
+        let row = out.row_mut(r);
+        for group in row.chunks_mut(4) {
+            // Rank by "importance": how strongly the entry can influence a
+            // reduction, i.e. distance from the annihilating value.
+            let mut order: Vec<usize> = (0..group.len()).collect();
+            let importance = |x: f32| -> f32 {
+                if x == zero {
+                    return f32::NEG_INFINITY;
+                }
+                if zero.is_infinite() {
+                    // Path algebras: closer to 0 beats closer to ±∞.
+                    -x.abs()
+                } else {
+                    x.abs()
+                }
+            };
+            order.sort_by(|&a, &b| {
+                importance(group[b]).partial_cmp(&importance(group[a])).unwrap()
+            });
+            for &i in order.iter().skip(2) {
+                group[i] = zero;
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of entries pruned away by [`prune_2_4`] relative to the
+/// original non-`zero` population.
+pub fn pruning_loss(original: &Matrix, pruned: &Matrix, zero: f32) -> f64 {
+    let nnz_before = original.as_slice().iter().filter(|&&x| x != zero).count();
+    let nnz_after = pruned.as_slice().iter().filter(|&&x| x != zero).count();
+    if nnz_before == 0 {
+        0.0
+    } else {
+        1.0 - nnz_after as f64 / nnz_before as f64
+    }
+}
+
+/// Compressed device size of a 2:4 operand: half the values (fp16) plus
+/// 2-bit metadata per kept value — the memory-side benefit of the format.
+pub fn compressed_bytes(rows: usize, cols: usize) -> u64 {
+    let kept = (rows * cols) as u64 / 2;
+    kept * 2 + kept / 4 // fp16 payload + 2-bit indices
+}
+
+/// A matrix in the 2:4 compressed operand format: per aligned group of 4
+/// elements along each row, at most 2 values are stored together with
+/// their 2-bit in-group positions — exactly the layout the sparse tensor
+/// pipe consumes, which is how it skips the zero lanes for 2× throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Compressed24 {
+    rows: usize,
+    cols: usize,
+    zero: f32,
+    /// Two slots per group; absent values hold `zero` with index 0xFF.
+    values: Vec<f32>,
+    indices: Vec<u8>,
+}
+
+impl Compressed24 {
+    /// Compresses a 2:4-compliant matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending `(row, group)` coordinate if any group of 4
+    /// holds more than two non-`zero` values.
+    pub fn compress(m: &Matrix, zero: f32) -> Result<Self, (usize, usize)> {
+        let groups_per_row = m.cols().div_ceil(4);
+        let mut values = Vec::with_capacity(m.rows() * groups_per_row * 2);
+        let mut indices = Vec::with_capacity(values.capacity());
+        for r in 0..m.rows() {
+            for (gi, group) in m.row(r).chunks(4).enumerate() {
+                let mut slots = 0usize;
+                for (i, &v) in group.iter().enumerate() {
+                    if v != zero {
+                        if slots == 2 {
+                            return Err((r, gi));
+                        }
+                        values.push(v);
+                        indices.push(i as u8);
+                        slots += 1;
+                    }
+                }
+                for _ in slots..2 {
+                    values.push(zero);
+                    indices.push(0xFF);
+                }
+            }
+        }
+        Ok(Self { rows: m.rows(), cols: m.cols(), zero, values, indices })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the decompressed matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored (kept) non-`zero` values.
+    pub fn nnz(&self) -> usize {
+        self.indices.iter().filter(|&&i| i != 0xFF).count()
+    }
+
+    /// Expands back to the dense form.
+    pub fn decompress(&self) -> Matrix {
+        let mut m = Matrix::filled(self.rows, self.cols, self.zero);
+        let groups_per_row = self.cols.div_ceil(4);
+        for r in 0..self.rows {
+            for g in 0..groups_per_row {
+                let base = (r * groups_per_row + g) * 2;
+                for s in 0..2 {
+                    let idx = self.indices[base + s];
+                    if idx != 0xFF {
+                        let c = g * 4 + idx as usize;
+                        m[(r, c)] = self.values[base + s];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Device bytes of the compressed image (fp16 values + 2-bit indices,
+    /// rounded up per group).
+    pub fn device_bytes(&self) -> u64 {
+        (self.values.len() * 2) as u64 + (self.indices.len() as u64).div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2_matrix::gen;
+
+    #[test]
+    fn pruned_matrices_are_compliant() {
+        for op in [OpKind::PlusMul, OpKind::MinPlus, OpKind::MaxMin] {
+            let zero = op.no_edge_f32().unwrap();
+            let m = gen::random_matrix(16, 32, 0.5, 9.5, 3);
+            assert!(!is_2_4_compliant(&m, zero), "{op}: dense input starts non-compliant");
+            let p = prune_2_4(&m, op);
+            assert!(is_2_4_compliant(&p, zero), "{op}");
+        }
+    }
+
+    #[test]
+    fn already_sparse_groups_are_untouched() {
+        let mut m = Matrix::zeros(1, 8);
+        m[(0, 1)] = 5.0;
+        m[(0, 6)] = -2.0;
+        let p = prune_2_4(&m, OpKind::PlusMul);
+        assert_eq!(p, m);
+        assert_eq!(pruning_loss(&m, &p, 0.0), 0.0);
+    }
+
+    #[test]
+    fn plus_mul_keeps_largest_magnitudes() {
+        let m = Matrix::from_rows(&[&[1.0, -8.0, 3.0, 0.5]]);
+        let p = prune_2_4(&m, OpKind::PlusMul);
+        assert_eq!(p, Matrix::from_rows(&[&[0.0, -8.0, 3.0, 0.0]]));
+    }
+
+    #[test]
+    fn min_plus_keeps_shortest_edges() {
+        let inf = f32::INFINITY;
+        let m = Matrix::from_rows(&[&[4.0, 1.0, 9.0, 2.0]]);
+        let p = prune_2_4(&m, OpKind::MinPlus);
+        assert_eq!(p, Matrix::from_rows(&[&[inf, 1.0, inf, 2.0]]));
+    }
+
+    #[test]
+    fn loss_measures_half_of_dense() {
+        let m = gen::random_matrix(32, 32, 0.5, 1.5, 7);
+        let p = prune_2_4(&m, OpKind::PlusMul);
+        let loss = pruning_loss(&m, &p, 0.0);
+        assert!((loss - 0.5).abs() < 1e-6, "{loss}");
+    }
+
+    #[test]
+    fn ragged_tail_groups_handled() {
+        // 6 columns: one full group of 4 plus a tail of 2 (tail keeps ≤2).
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let p = prune_2_4(&m, OpKind::PlusMul);
+        assert!(is_2_4_compliant(&p, 0.0));
+        assert_eq!(p[(0, 4)], 5.0);
+        assert_eq!(p[(0, 5)], 6.0);
+    }
+
+    #[test]
+    fn compress_roundtrips_pruned_matrices() {
+        for op in [OpKind::PlusMul, OpKind::MinPlus] {
+            let zero = op.no_edge_f32().unwrap();
+            let m = prune_2_4(&gen::random_matrix(12, 20, 0.5, 9.5, 11), op);
+            let c = Compressed24::compress(&m, zero).unwrap();
+            assert_eq!(c.decompress(), m, "{op}");
+            assert_eq!(c.rows(), 12);
+            assert_eq!(c.cols(), 20);
+            // At most half the entries survive pruning.
+            assert!(c.nnz() <= 12 * 20 / 2);
+        }
+    }
+
+    #[test]
+    fn compress_rejects_dense_groups() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        assert_eq!(Compressed24::compress(&m, 0.0), Err((0, 0)));
+        // Second row, second group.
+        let mut m = Matrix::zeros(2, 8);
+        for c in 4..8 {
+            m[(1, c)] = 1.0;
+        }
+        assert_eq!(Compressed24::compress(&m, 0.0), Err((1, 1)));
+    }
+
+    #[test]
+    fn compressed_operand_computes_identically_to_pruned_dense() {
+        // The sparse pipe's contract: compute on the compressed operand
+        // equals compute on the pruned dense operand.
+        use simd2_matrix::reference;
+        let op = OpKind::MinPlus;
+        let zero = op.no_edge_f32().unwrap();
+        let a = prune_2_4(&gen::random_matrix(16, 16, 1.0, 9.0, 3), op);
+        let b = gen::random_matrix(16, 16, 1.0, 9.0, 4);
+        let cacc = Matrix::filled(16, 16, f32::INFINITY);
+        let compressed = Compressed24::compress(&a, zero).unwrap();
+        let via_compressed =
+            reference::mmo(op, &compressed.decompress(), &b, &cacc).unwrap();
+        let via_dense = reference::mmo(op, &a, &b, &cacc).unwrap();
+        assert_eq!(via_compressed, via_dense);
+    }
+
+    #[test]
+    fn compressed_image_is_smaller_than_dense_fp16() {
+        let m = prune_2_4(&gen::random_matrix(64, 64, 0.5, 9.5, 7), OpKind::PlusMul);
+        let c = Compressed24::compress(&m, 0.0).unwrap();
+        let dense_fp16 = (64 * 64 * 2) as u64;
+        assert!(c.device_bytes() < dense_fp16, "{} vs {dense_fp16}", c.device_bytes());
+        assert_eq!(c.device_bytes(), compressed_bytes(64, 64));
+    }
+
+    #[test]
+    fn ragged_columns_compress_too() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0, 5.0, 6.0]]);
+        let c = Compressed24::compress(&m, 0.0).unwrap();
+        assert_eq!(c.decompress(), m);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn compressed_size_is_quarter_of_fp32_dense() {
+        let dense_fp32 = 1024u64 * 1024 * 4;
+        let c = compressed_bytes(1024, 1024);
+        assert!(c * 4 < dense_fp32 * 2, "{c}");
+        assert_eq!(c, 1024 * 1024 / 2 * 2 + 1024 * 1024 / 8);
+    }
+}

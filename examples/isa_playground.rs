@@ -1,0 +1,81 @@
+//! The SIMD² ISA up close: write a kernel in PTX-like assembly, inspect
+//! its binary encoding, run it on the warp-level executor, and read the
+//! result back from shared memory.
+//!
+//! The program below is the inner loop of the paper's Figure 6
+//! (`simd2_minplus`) for one 16×16 output tile of a 32-wide problem: load
+//! the partial-result tile, stream the two k-tiles through
+//! `simd2.minplus`, store the tile back.
+//!
+//! Run with `cargo run --example isa_playground`.
+
+use simd2_repro::isa::{asm, Executor, Instruction, SharedMemory};
+use simd2_repro::matrix::Matrix;
+
+const KERNEL: &str = "
+// D(0,0) tile of a 32x32x32 min-plus matrix operation
+simd2.load.f32 %m2, [2048], 32     // C tile (fp32 accumulator)
+simd2.load.f16 %m0, [0], 32        // A(0,0)
+simd2.load.f16 %m1, [1024], 32     // B(0,0)
+simd2.minplus  %m2, %m0, %m1, %m2
+simd2.load.f16 %m0, [16], 32       // A(0,1)
+simd2.load.f16 %m1, [1536], 32     // B(1,0)
+simd2.minplus  %m2, %m0, %m1, %m2
+simd2.store.f32 [2048], %m2, 32
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Assemble.
+    let program = asm::parse(KERNEL)?;
+    println!("assembled {} instructions:", program.len());
+    for instr in &program {
+        let word = instr.encode();
+        let decoded = Instruction::decode(word)?;
+        assert_eq!(decoded, *instr, "encode/decode must round-trip");
+        println!("  {word:#018x}  {instr}");
+    }
+
+    // Stage inputs: a 32x32 min-plus problem, A and B random-ish integer
+    // distances, C seeded with +inf (no paths known yet).
+    let a = Matrix::from_fn(32, 32, |r, c| ((r * 7 + c * 3) % 9 + 1) as f32);
+    let b = Matrix::from_fn(32, 32, |r, c| ((r * 5 + c) % 11 + 1) as f32);
+    let c = Matrix::filled(32, 32, f32::INFINITY);
+    let mut mem = SharedMemory::new(4096);
+    mem.write_matrix(0, 32, &a); //     A at elements [0,    1024)
+    mem.write_matrix(1024, 32, &b); //  B at elements [1024, 2048)
+    mem.write_matrix(2048, 32, &c); //  C at elements [2048, 3072)
+
+    // Execute.
+    let mut exec = Executor::new(mem);
+    let stats = exec.run(&program)?;
+    println!(
+        "\nexecuted: {} loads, {} mmos, {} stores, {} elements moved",
+        stats.loads,
+        stats.total_mmos(),
+        stats.stores,
+        stats.elements_moved()
+    );
+
+    // Verify the tile against the whole-matrix reference.
+    let got = exec.memory().read_matrix(2048, 32, 16, 16);
+    let full = simd2_repro::matrix::reference::mmo(
+        simd2_repro::semiring::OpKind::MinPlus,
+        &a,
+        &b,
+        &c,
+    )?;
+    let want = Matrix::from_fn(16, 16, |r, col| full[(r, col)]);
+    assert_eq!(got, want, "ISA path must match the reference model");
+    println!("output tile matches the reference model ✓");
+    println!("D(0,0)[0..4][0..4]:");
+    for r in 0..4 {
+        println!(
+            "  {:5} {:5} {:5} {:5}",
+            got[(r, 0)],
+            got[(r, 1)],
+            got[(r, 2)],
+            got[(r, 3)]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Watching the SIMD² tile pipe fill: compile one matrix operation into
+//! per-warp instruction streams and sweep the resident-warp count on the
+//! cycle-level SM pipeline simulator.
+//!
+//! This is the microarchitectural "why" behind the Figure-9 speedup ramp:
+//! small problems cannot keep enough warps resident to cover the tile
+//! pipe's latency, so utilisation — and therefore speedup over CUDA
+//! cores — grows with input size until the pipe saturates.
+//!
+//! Run with `cargo run --release --example pipeline_sim`.
+
+use simd2_repro::core::program::compile_mmo;
+use simd2_repro::gpu::sim::SmPipeline;
+use simd2_repro::semiring::OpKind;
+
+fn main() {
+    let (m, n, k) = (128usize, 128, 128);
+    println!("lowering a {m}x{n}x{k} min-plus mmo to warp programs…\n");
+    println!("{:>6}  {:>9}  {:>11}  {:>10}  {:>9}", "warps", "cycles", "cycles/mmo", "SIMD2 util", "stalls");
+    let sim = SmPipeline::new();
+    for warps in [1usize, 2, 4, 8, 16] {
+        let kernel = compile_mmo(OpKind::MinPlus, m, n, k, warps);
+        let stats = sim.simulate(&kernel.warp_programs);
+        println!(
+            "{:>6}  {:>9}  {:>11.1}  {:>9.0}%  {:>9}",
+            warps,
+            stats.cycles,
+            stats.cycles_per_mmo(),
+            100.0 * stats.simd2_utilization(),
+            stats.dependency_stalls + stats.structural_stalls,
+        );
+    }
+    println!(
+        "\nThe analytic machine model prices one 16x16x16 mmo at 64 unit-cycles;\n\
+         the simulator converges to that bound once ~8 warps are resident —\n\
+         the latency-hiding behaviour the Fig 9 saturation curve abstracts."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the SIMD² programming model in five minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use simd2_repro::core::highlevel::{simd2_minplus, simd2_mmo};
+use simd2_repro::core::solve::{closure, ClosureAlgorithm};
+use simd2_repro::core::{Backend, TiledBackend};
+use simd2_repro::matrix::Graph;
+use simd2_repro::semiring::OpKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A semiring-like operation is just a (⊕, ⊗) pair. min-plus is the
+    //    shortest-path algebra: ⊗ extends a path, ⊕ keeps the better one.
+    let op = OpKind::MinPlus;
+    println!("{op}: acc ⊕ (a ⊗ b) = {}", op.fma_f32(7.0, 3.0, 2.0));
+
+    // 2. A tiny road network.
+    let mut g = Graph::new(4);
+    g.add_edge(0, 1, 3.0); // depot → A
+    g.add_edge(1, 2, 4.0); // A → B
+    g.add_edge(0, 2, 9.0); // depot → B (slow direct road)
+    g.add_edge(2, 3, 1.0); // B → customer
+    let adj = g.adjacency(op);
+
+    // 3. One SIMD² matrix operation: relax every path by one more edge.
+    //    (This is the `simd2.minplus` instruction at whole-matrix scale.)
+    let relaxed = simd2_minplus(&adj, &adj, &adj)?;
+    println!("after one relaxation, depot→B = {}", relaxed[(0, 2)]); // 7, via A
+
+    // 4. The closure solver iterates to the fixed point (Leyzorek's
+    //    repeated squaring with the convergence check of paper Fig. 7).
+    let mut backend = TiledBackend::new(); // fp16-operand SIMD² units
+    let result = closure(&mut backend, op, &adj, ClosureAlgorithm::Leyzorek, true)?;
+    println!(
+        "all-pairs distances after {} iterations ({} 16x16 tile ops):",
+        result.stats.iterations,
+        backend.op_count().tile_mmos
+    );
+    println!("{:?}", result.closure);
+    assert_eq!(result.closure[(0, 3)], 8.0); // depot → A → B → customer
+
+    // 5. The same machinery runs all nine operations — here, one or-and
+    //    step asks "who is reachable within two hops?".
+    let reach = g.reachability();
+    let two_hop = simd2_mmo(OpKind::OrAnd, &reach, &reach, &reach)?;
+    println!("depot reaches customer within two hops: {}", two_hop[(0, 3)] == 1.0);
+
+    // 6. Every operand moved through a SIMD² unit is fp16; accumulation is
+    //    fp32. Integer-weighted workloads like this one are bit-exact.
+    let fp32_oracle = {
+        let mut reference = simd2_repro::core::ReferenceBackend::new();
+        closure(&mut reference, op, &adj, ClosureAlgorithm::Leyzorek, true)?.closure
+    };
+    assert_eq!(result.closure, fp32_oracle);
+    println!("fp16 SIMD² result matches the fp32 oracle bit-for-bit");
+    Ok(())
+}

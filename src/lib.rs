@@ -1,0 +1,14 @@
+//! Umbrella crate for the SIMD² (ISCA 2022) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use simd2 as core;
+pub use simd2_apps as apps;
+pub use simd2_gpu as gpu;
+pub use simd2_isa as isa;
+pub use simd2_matrix as matrix;
+pub use simd2_mxu as mxu;
+pub use simd2_semiring as semiring;
+pub use simd2_sparse as sparse;

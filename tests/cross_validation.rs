@@ -1,0 +1,178 @@
+//! Cross-validation between independent layers of the reproduction:
+//! algebraic dualities, and the cycle-level simulator against the
+//! analytical machine model.
+
+use simd2_repro::apps::aplp;
+use simd2_repro::core::solve::{closure, ClosureAlgorithm};
+use simd2_repro::core::ReferenceBackend;
+use simd2_repro::gpu::sim::{tile_mmo_program, SmPipeline};
+use simd2_repro::gpu::{Gpu, GpuConfig};
+use simd2_repro::matrix::Matrix;
+use simd2_repro::semiring::OpKind;
+
+/// The paper's APLP construction: "extending … ECL-APSP with reversing
+/// the input weights on [the] DAG". Max-plus closure on weights `w` must
+/// equal the negation of min-plus closure on `−w` — the duality that lets
+/// a shortest-path engine answer longest-path queries.
+#[test]
+fn max_plus_is_negated_min_plus() {
+    let g = aplp::generate(48, 21);
+    let neg = g.map_weights(|w| -w);
+
+    let mut be = ReferenceBackend::new();
+    let maxplus = closure(
+        &mut be,
+        OpKind::MaxPlus,
+        &g.adjacency(OpKind::MaxPlus),
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap()
+    .closure;
+    let minplus = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &neg.adjacency(OpKind::MinPlus),
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap()
+    .closure;
+
+    let n = g.vertex_count();
+    let negated = Matrix::from_fn(n, n, |r, c| -minplus[(r, c)]);
+    assert_eq!(maxplus, negated);
+}
+
+/// Max-min (capacity) and min-max (bottleneck) are the same duality:
+/// negate the weights and the two algebras swap.
+#[test]
+fn max_min_is_negated_min_max() {
+    let g = simd2_repro::matrix::gen::connected_gnp_graph(24, 0.2, 1.0, 9.0, 5);
+    let neg = g.map_weights(|w| -w);
+    let mut be = ReferenceBackend::new();
+    let maxmin = closure(
+        &mut be,
+        OpKind::MaxMin,
+        &g.adjacency(OpKind::MaxMin),
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap()
+    .closure;
+    let minmax = closure(
+        &mut be,
+        OpKind::MinMax,
+        &neg.adjacency(OpKind::MinMax),
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap()
+    .closure;
+    let n = g.vertex_count();
+    let negated = Matrix::from_fn(n, n, |r, c| -minmax[(r, c)]);
+    assert_eq!(maxmin, negated);
+}
+
+/// The cycle-level pipeline simulator and the analytical roofline agree
+/// on steady-state SIMD² throughput: one 16×16×16 `mmo` per 64 cycles
+/// per unit — i.e. `lane_ops_per_unit` = 64 lane-ops/cycle.
+#[test]
+fn simulator_throughput_matches_analytic_model() {
+    let config = GpuConfig::rtx3080();
+    // Simulate a saturated sub-core unit.
+    let programs: Vec<_> =
+        (0..8).map(|_| tile_mmo_program(OpKind::MinPlus, 24)).collect();
+    let stats = SmPipeline::new().simulate(&programs);
+    let lane_ops = stats.mmos as f64 * 16.0 * 16.0 * 16.0;
+    let sim_lane_ops_per_cycle = lane_ops / stats.cycles as f64;
+    let analytic = config.lane_ops_per_unit as f64;
+    let ratio = sim_lane_ops_per_cycle / analytic;
+    assert!(
+        (0.85..=1.01).contains(&ratio),
+        "sim {sim_lane_ops_per_cycle} vs analytic {analytic} lane-ops/cycle"
+    );
+
+    // And the analytic whole-GPU time for a large mmo is consistent with
+    // scaling that per-unit rate across the chip.
+    let gpu = Gpu::new(config.clone());
+    let n = 8192usize;
+    let t = gpu.simd2_mmo_time(OpKind::MinPlus, n, n, n).get();
+    let total_lane_ops = (n as f64).powi(3);
+    let implied_rate = total_lane_ops / t;
+    let peak = config.sm_count as f64
+        * config.simd2_units_per_sm as f64
+        * analytic
+        * config.clock_ghz
+        * 1.0e9;
+    assert!(implied_rate <= peak, "cannot beat peak");
+    assert!(implied_rate >= 0.8 * peak, "large mmo should run near peak");
+}
+
+/// Latency hiding: the simulator shows exactly why the utilisation curve
+/// in the analytic model ramps with problem size — few resident warps
+/// (small problems) cannot cover the tile-pipe latency.
+#[test]
+fn warp_count_drives_utilisation_like_the_saturation_curve() {
+    let pipeline = SmPipeline::new();
+    let util = |warps: usize| {
+        let programs: Vec<_> =
+            (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+        pipeline.simulate(&programs).simd2_utilization()
+    };
+    let u1 = util(1);
+    let u8 = util(8);
+    assert!(u1 < 0.9, "single warp stalls: {u1}");
+    assert!(u8 > 0.9, "eight warps saturate: {u8}");
+    assert!(u8 > u1);
+}
+
+/// The f32 tropical algebra agrees with the exact i64 oracle on
+/// integer-weighted closures — the justification for trusting fp paths
+/// on integer workloads (and, transitively, the fp16 bit-exactness
+/// results).
+#[test]
+fn f32_min_plus_closure_matches_integer_oracle() {
+    use simd2_repro::semiring::{IntMinPlus, Semiring};
+    let g = simd2_repro::matrix::gen::integer_weight_graph(40, 0.2, 64, 17);
+    let n = g.vertex_count();
+    // Exact integer Floyd–Warshall.
+    let mut d_int = vec![i64::MAX; n * n];
+    for v in 0..n {
+        d_int[v * n + v] = 0;
+    }
+    for (s, dst, w) in g.edges() {
+        let slot = &mut d_int[s * n + dst];
+        *slot = (*slot).min(w as i64);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d_int[i * n + k];
+            for j in 0..n {
+                d_int[i * n + j] = IntMinPlus::fma(d_int[i * n + j], dik, d_int[k * n + j]);
+            }
+        }
+    }
+    // f32 closure on the fp16 SIMD²-unit backend.
+    let mut be = simd2_repro::core::TiledBackend::new();
+    let f = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &g.adjacency(OpKind::MinPlus),
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap()
+    .closure;
+    for i in 0..n {
+        for j in 0..n {
+            let exact = d_int[i * n + j];
+            let float = f[(i, j)];
+            if exact == i64::MAX {
+                assert_eq!(float, f32::INFINITY, "({i},{j})");
+            } else {
+                assert_eq!(float as i64, exact, "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's headline claims, asserted against the reproduction.
+//!
+//! Each test cites the claim it checks. Absolute testbed numbers cannot be
+//! expected to match an analytical model exactly; these assertions pin the
+//! *shape*: who wins, by roughly what factor, where crossovers fall.
+
+use simd2_repro::apps::timing::{AppTiming, Config};
+use simd2_repro::apps::AppKind;
+use simd2_repro::core::micro::MicroBench;
+use simd2_repro::gpu::{geomean, Gpu};
+use simd2_repro::matrix::gen::InputScale;
+use simd2_repro::mxu::{AreaModel, DieModel, PowerModel};
+use simd2_repro::semiring::{OpKind, ALL_OPS, EXTENDED_OPS};
+use simd2_repro::sparse::model as sparse_model;
+
+/// Abstract: "SIMD² provides up to 38.59× speedup and more than 10.63× on
+/// average over optimized CUDA programs."
+#[test]
+fn abstract_headline_speedups() {
+    let model = AppTiming::new(Gpu::default());
+    let mut all = Vec::new();
+    let mut peak = 0.0f64;
+    for app in AppKind::all() {
+        for scale in InputScale::all() {
+            let s = model.speedup(app, app.dimension(scale), Config::Simd2Units);
+            peak = peak.max(s);
+            all.push(s);
+        }
+    }
+    // Peak: same order as 38.59×.
+    assert!((25.0..=55.0).contains(&peak), "peak {peak}");
+    // Average: the paper quotes ≥10.63×; our calibration lands in the
+    // high single digits — same order, recorded in EXPERIMENTS.md.
+    let g = geomean(&all);
+    assert!((6.0..=16.0).contains(&g), "gmean {g}");
+}
+
+/// Abstract/§6.1: "SIMD² MXU adds 69% area overhead … 5% of the total
+/// chip area", and the combined design beats dedicated accelerators by
+/// more than 4×.
+#[test]
+fn area_claims() {
+    let full = AreaModel::combined(&EXTENDED_OPS).relative_area();
+    assert!((full - 1.69).abs() < 0.01, "{full}");
+    let die = DieModel::rtx3080();
+    assert!((die.die_overhead_fraction() - 0.05).abs() < 0.005);
+    assert!((die.sm_overhead_fraction() - 0.10).abs() < 0.01);
+    assert!(AreaModel::standalone_total() / (full - 1.0) > 4.0);
+}
+
+/// §6.1: "The baseline MMA unit consumes 3.74 W … extending [it] as a
+/// SIMD² unit only adds 0.79 W."
+#[test]
+fn power_claims() {
+    assert_eq!(PowerModel::MMA_WATTS, 3.74);
+    let full = PowerModel::combined_watts(&EXTENDED_OPS);
+    assert!((full - (3.74 + 0.79)).abs() < 1e-9);
+}
+
+/// §6.2: "up to 15.8× speedup … geometric mean … 8.7×–10.6× … saturates
+/// at about 10× [beyond] 4096×4096", largest for min-max/max-min/or-and,
+/// lowest (≈3.1×) for plus-mul.
+#[test]
+fn microbenchmark_claims() {
+    let gpu = Gpu::default();
+    let speed = |op, n| MicroBench::square(op, n).time(&gpu).speedup();
+    // Port-hazard trio peaks near 15.8×, never beyond.
+    for op in [OpKind::MinMax, OpKind::MaxMin, OpKind::OrAnd] {
+        let s = speed(op, 16384);
+        assert!((13.0..=15.8).contains(&s), "{op}: {s}");
+    }
+    // FMA keeps plus-mul near 3.1×.
+    let pm = speed(OpKind::PlusMul, 16384);
+    assert!((2.8..=3.4).contains(&pm), "{pm}");
+    // GMEAN band and saturation.
+    let gm = |n| geomean(&ALL_OPS.map(|op| speed(op, n)));
+    assert!((8.0..=10.8).contains(&gm(1024)));
+    assert!((9.0..=10.8).contains(&gm(16384)));
+    let g4 = gm(4096);
+    let g16 = gm(16384);
+    assert!(g16 / g4 < 1.06, "saturated beyond 4096: {g4} -> {g16}");
+}
+
+/// §6.3: the two baseline classes — apps whose matrix form only pays off
+/// *with* SIMD² units vs apps that win even on CUDA cores — split exactly
+/// as reported, and KNN's CUDA-core gain stays ≤ 6.55×.
+#[test]
+fn application_split_claims() {
+    let model = AppTiming::new(Gpu::default());
+    let losers = [AppKind::Apsp, AppKind::Aplp, AppKind::Mst, AppKind::MaxRp, AppKind::MinRp];
+    let winners = [AppKind::Mcp, AppKind::Gtc, AppKind::Knn];
+    for app in losers {
+        let s = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2CudaCores);
+        assert!(s < 1.05, "{app:?}: {s}");
+    }
+    for app in winners {
+        let s = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2CudaCores);
+        assert!(s > 1.0, "{app:?}: {s}");
+        let u = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2Units);
+        assert!(u > s, "{app:?}: units must beat CUDA cores");
+    }
+    for scale in InputScale::all() {
+        let s = model.speedup(AppKind::Knn, AppKind::Knn.dimension(scale), Config::Simd2CudaCores);
+        assert!(s <= 6.55, "{scale:?}: {s}");
+    }
+}
+
+/// §6.3: "performance of APLP and MST using SIMD² degrades when datasets
+/// become larger"; the other apps stay strong.
+#[test]
+fn degradation_claims() {
+    let model = AppTiming::new(Gpu::default());
+    for app in [AppKind::Aplp, AppKind::Mst] {
+        let s = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2Units);
+        let l = model.speedup(app, app.dimension(InputScale::Large), Config::Simd2Units);
+        assert!(l < s, "{app:?} should degrade: {s} -> {l}");
+    }
+    // "The performance gain … in 7 out of the 8 applications remains
+    // strong even when dataset sizes increased": everyone but MST stays
+    // above 3× at Large.
+    for app in AppKind::all() {
+        if app == AppKind::Mst {
+            continue;
+        }
+        let l = model.speedup(app, app.dimension(InputScale::Large), Config::Simd2Units);
+        assert!(l > 3.0, "{app:?}: {l}");
+    }
+}
+
+/// §6.5 Fig 13: sparse SIMD² units are 1.60–2.05× over dense SIMD² and
+/// improve on the baseline by larger factors (paper: 21.13–24.82× mean,
+/// ≤ 68.33× peak).
+#[test]
+fn sparse_unit_claims() {
+    let model = AppTiming::new(Gpu::default());
+    let mut peak = 0.0f64;
+    for app in AppKind::all() {
+        let n = app.dimension(InputScale::Medium);
+        let dense = model.speedup(app, n, Config::Simd2Units);
+        let sparse = model.speedup(app, n, Config::Simd2SparseUnits);
+        let ratio = sparse / dense;
+        assert!((1.2..=2.05).contains(&ratio), "{app:?}: {ratio}");
+        peak = peak.max(sparse);
+    }
+    assert!((50.0..=90.0).contains(&peak), "sparse peak {peak}");
+}
+
+/// §6.5 Fig 14: cuSPARSE never wins at 1024; wins beyond ~99% sparsity at
+/// 4096; OOMs below ~90% sparsity at 16384; a 32768² dense multiplication
+/// still fits in 10 GB.
+#[test]
+fn sparse_crossover_claims() {
+    let gpu = Gpu::default();
+    for s in sparse_model::fig14_sparsities() {
+        assert!(sparse_model::crossover_point(&gpu, 1024, s).speedup().unwrap() < 1.0);
+    }
+    assert!(sparse_model::crossover_point(&gpu, 4096, 0.98).speedup().unwrap() < 1.0);
+    assert!(sparse_model::crossover_point(&gpu, 4096, 0.995).speedup().unwrap() > 1.0);
+    assert!(sparse_model::crossover_point(&gpu, 16384, 0.80).spgemm_seconds.is_none());
+    assert!(sparse_model::crossover_point(&gpu, 16384, 0.90).spgemm_seconds.is_some());
+    let fp16_gemm_bytes = 2.0 * 32768.0f64 * 32768.0 * 2.0 + 32768.0f64 * 32768.0 * 4.0;
+    assert!(gpu.config().fits_in_memory(fp16_gemm_bytes as u64));
+}
+
+/// §3.2/§6.1: every SIMD² arithmetic instruction has the same latency as
+/// MMA, and the unit never stretches the critical path.
+#[test]
+fn latency_parity_claim() {
+    use simd2_repro::mxu::timing::UnitTiming;
+    let t = UnitTiming::simd2_4x4();
+    for op in ALL_OPS {
+        assert_eq!(t.op_latency(op), t.op_latency(OpKind::PlusMul));
+    }
+    assert_eq!(UnitTiming::simd2_4x4(), UnitTiming::mma_4x4());
+}
+
+/// §6.5 (future work): extending a GAMMA sparse accelerator costs far
+/// less than extending a dense MXU, because only ~10% of a GAMMA PE is
+/// MAC logic.
+#[test]
+fn gamma_extension_claim() {
+    let pe = simd2_repro::sparse::gamma::simd2_gamma_pe_area();
+    let dense_overhead = AreaModel::combined(&EXTENDED_OPS).relative_area() - 1.0;
+    assert!(pe - 1.0 < dense_overhead / 5.0, "PE overhead {} vs dense {dense_overhead}", pe - 1.0);
+}

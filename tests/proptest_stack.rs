@@ -1,0 +1,153 @@
+//! Property-based integration tests across the stack.
+
+use proptest::prelude::*;
+use simd2_repro::core::backend::{Backend, ReferenceBackend, TiledBackend};
+use simd2_repro::core::solve::{closure, floyd_warshall_closure, ClosureAlgorithm};
+use simd2_repro::matrix::{gen, Graph, Matrix};
+use simd2_repro::semiring::{OpKind, ALL_OPS};
+use simd2_repro::sparse::Csr;
+
+fn closure_ops() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::MinPlus),
+        Just(OpKind::MaxMin),
+        Just(OpKind::MinMax),
+        Just(OpKind::OrAnd),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Closure is a fixed point: running the solver on its own output
+    /// converges in one productive iteration and changes nothing.
+    #[test]
+    fn closure_is_idempotent(op in closure_ops(), n in 4usize..24, seed in 0u64..500) {
+        let g = gen::connected_gnp_graph(n, 0.2, 1.0, 9.0, seed);
+        let adj = match op {
+            OpKind::OrAnd => g.reachability(),
+            _ => g.adjacency(op),
+        };
+        let mut be = ReferenceBackend::new();
+        let first = closure(&mut be, op, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+        let second =
+            closure(&mut be, op, &first.closure, ClosureAlgorithm::Leyzorek, true).unwrap();
+        prop_assert_eq!(&second.closure, &first.closure);
+        prop_assert!(second.stats.iterations <= 1 || second.stats.converged_early);
+    }
+
+    /// Bellman-Ford and Leyzorek always reach the same fixed point as
+    /// scalar Floyd–Warshall, for any closure algebra and random graph.
+    #[test]
+    fn solvers_agree_with_floyd_warshall(
+        op in closure_ops(), n in 3usize..20, p in 0.05f64..0.5, seed in 0u64..1000
+    ) {
+        let g = gen::gnp_graph(n, p, 1.0, 9.0, seed);
+        let adj = match op {
+            OpKind::OrAnd => g.reachability(),
+            _ => g.adjacency(op),
+        };
+        let want = floyd_warshall_closure(op, &adj);
+        let mut be = ReferenceBackend::new();
+        for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
+            let got = closure(&mut be, op, &adj, alg, true).unwrap();
+            prop_assert_eq!(&got.closure, &want, "{} {:?}", op, alg);
+        }
+    }
+
+    /// The tiled fp16 backend equals the fp32 reference bit-for-bit on
+    /// min/max/or algebras whenever inputs are fp16-exact.
+    #[test]
+    fn fp16_backend_is_exact_on_selection_algebras(
+        n in 2usize..30, seed in 0u64..1000
+    ) {
+        let g = gen::integer_weight_graph(n, 0.3, 64, seed);
+        for op in [OpKind::MinPlus, OpKind::MinMax, OpKind::MaxMin] {
+            let adj = g.adjacency(op);
+            let c = Matrix::filled(n, n, op.reduce_identity_f32());
+            let want = ReferenceBackend::new().mmo(op, &adj, &adj, &c).unwrap();
+            let got = TiledBackend::new().mmo(op, &adj, &adj, &c).unwrap();
+            prop_assert_eq!(got, want, "{}", op);
+        }
+    }
+
+    /// CSR round-trips dense matrices for any sparsity and zero encoding.
+    #[test]
+    fn csr_roundtrip(n in 1usize..40, sparsity in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = gen::random_sparse_matrix(n, sparsity, seed);
+        let s = Csr::from_dense(&m, 0.0);
+        prop_assert_eq!(s.to_dense(0.0), m);
+    }
+
+    /// spGEMM equals the dense reference under every sparse-capable
+    /// algebra.
+    #[test]
+    fn spgemm_matches_dense(op in closure_ops(), n in 2usize..16, seed in 0u64..500) {
+        let g = gen::gnp_graph(n, 0.3, 1.0, 9.0, seed);
+        let adj = match op {
+            OpKind::OrAnd => g.reachability(),
+            _ => g.adjacency(op),
+        };
+        let zero = op.no_edge_f32().unwrap();
+        let a = Csr::from_dense(&adj, zero);
+        let got = a.spgemm(op, &a).to_dense(zero);
+        let c = Matrix::filled(n, n, op.reduce_identity_f32());
+        let want = simd2_repro::matrix::reference::mmo(op, &adj, &adj, &c).unwrap();
+        // The reference may produce explicit identity values where spgemm
+        // stores nothing; both decode to the same dense matrix.
+        prop_assert_eq!(got, want, "{}", op);
+    }
+
+    /// Graph → adjacency → graph round-trips (modulo parallel-edge
+    /// resolution, which `⊕` makes canonical).
+    #[test]
+    fn graph_adjacency_roundtrip(n in 1usize..30, p in 0.0f64..0.6, seed in 0u64..1000) {
+        let g = gen::gnp_graph(n, p, 1.0, 9.0, seed);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let back = Graph::from_adjacency(OpKind::MinPlus, &adj);
+        prop_assert_eq!(back.adjacency(OpKind::MinPlus), adj);
+    }
+
+    /// Convergence-checked runs never do more work than unchecked runs,
+    /// and both reach the same answer.
+    #[test]
+    fn convergence_check_only_saves_work(n in 4usize..24, seed in 0u64..500) {
+        let g = gen::connected_gnp_graph(n, 0.25, 1.0, 5.0, seed);
+        let adj = g.adjacency(OpKind::MinPlus);
+        let mut be = ReferenceBackend::new();
+        let with = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true)
+            .unwrap();
+        let without =
+            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, false).unwrap();
+        prop_assert_eq!(&with.closure, &without.closure);
+        prop_assert!(with.stats.iterations <= without.stats.iterations);
+    }
+
+    /// The ISA instruction encoding round-trips arbitrary well-formed
+    /// instructions (fuzzing the bit layout).
+    #[test]
+    fn isa_encoding_roundtrips(
+        op_idx in 0usize..9, d in 0u8..16, a in 0u8..16, b in 0u8..16, c in 0u8..16,
+        addr in any::<u32>(), ld in 16u32..(1 << 23)
+    ) {
+        use simd2_repro::isa::{Dtype, Instruction, MatrixReg};
+        let instrs = [
+            Instruction::Mmo {
+                op: ALL_OPS[op_idx],
+                d: MatrixReg::new(d),
+                a: MatrixReg::new(a),
+                b: MatrixReg::new(b),
+                c: MatrixReg::new(c),
+            },
+            Instruction::Load { dst: MatrixReg::new(d), dtype: Dtype::Fp16, addr, ld },
+            Instruction::Store { src: MatrixReg::new(a), addr, ld },
+        ];
+        for i in instrs {
+            prop_assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+            // The assembly text form round-trips too.
+            let text = i.to_string();
+            let parsed = simd2_repro::isa::asm::parse(&text).unwrap();
+            prop_assert_eq!(parsed[0], i);
+        }
+    }
+}
