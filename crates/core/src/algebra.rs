@@ -25,10 +25,11 @@
 use std::marker::PhantomData;
 use std::ops::{Add, Index, Mul};
 
-use simd2_matrix::{Matrix, ShapeError};
+use simd2_matrix::Matrix;
 use simd2_semiring::{OpKind, Semiring};
 
 use crate::backend::{Backend, ReferenceBackend};
+use crate::error::BackendError;
 use crate::solve::{self, ClosureAlgorithm};
 
 /// A dense matrix tagged with its semiring-like algebra.
@@ -81,8 +82,8 @@ impl<S: Semiring<Elem = f32>> SemiringMatrix<S> {
     ///
     /// # Errors
     ///
-    /// Returns a [`ShapeError`] on incompatible shapes.
-    pub fn mmo(&self, rhs: &Self, acc: &Self) -> Result<Self, ShapeError> {
+    /// Returns a [`BackendError`] on incompatible shapes.
+    pub fn mmo(&self, rhs: &Self, acc: &Self) -> Result<Self, BackendError> {
         let d = ReferenceBackend::new().mmo(S::KIND, &self.inner, &rhs.inner, &acc.inner)?;
         Ok(Self::from_matrix(d))
     }

@@ -14,8 +14,8 @@
 //! use simd2_semiring::OpKind;
 //!
 //! let mut ctx = WarpContext::new(4096);
-//! ctx.write_input(0, 16, &Matrix::filled(16, 16, 1.0));
-//! ctx.write_input(256, 16, &Matrix::filled(16, 16, 2.0));
+//! ctx.write_input(0, 16, &Matrix::filled(16, 16, 1.0))?;
+//! ctx.write_input(256, 16, &Matrix::filled(16, 16, 2.0))?;
 //! let a = ctx.matrix(FragmentKind::MatrixA)?;
 //! let b = ctx.matrix(FragmentKind::MatrixB)?;
 //! let acc = ctx.matrix(FragmentKind::Accumulator)?;
@@ -26,7 +26,7 @@
 //! ctx.store_matrix(512, acc, 16);
 //! let stats = ctx.run()?;
 //! assert_eq!(stats.total_mmos(), 1);
-//! assert_eq!(ctx.read_output(512, 16, 16, 16)[(0, 0)], 3.0);
+//! assert_eq!(ctx.read_output(512, 16, 16, 16)?[(0, 0)], 3.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -180,13 +180,29 @@ impl WarpContext {
     }
 
     /// Stages host data into shared memory before [`Self::run`].
-    pub fn write_input(&mut self, addr: usize, ld: usize, m: &Matrix) {
-        self.executor.memory_mut().write_matrix(addr, ld, m);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Exec`] when the destination region falls
+    /// outside shared memory; memory is untouched on failure.
+    pub fn write_input(&mut self, addr: usize, ld: usize, m: &Matrix) -> Result<(), ApiError> {
+        Ok(self.executor.memory_mut().write_matrix(addr, ld, m)?)
     }
 
     /// Reads results back after [`Self::run`].
-    pub fn read_output(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Matrix {
-        self.executor.memory().read_matrix(addr, ld, rows, cols)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Exec`] when the source region falls outside
+    /// shared memory.
+    pub fn read_output(
+        &self,
+        addr: usize,
+        ld: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix, ApiError> {
+        Ok(self.executor.memory().read_matrix(addr, ld, rows, cols)?)
     }
 
     /// The accumulated program (for inspection / disassembly).
@@ -240,8 +256,8 @@ mod tests {
     #[test]
     fn full_min_plus_flow() {
         let mut ctx = WarpContext::new(4096);
-        ctx.write_input(0, 16, &Matrix::filled(16, 16, 2.0));
-        ctx.write_input(256, 16, &Matrix::filled(16, 16, 3.0));
+        ctx.write_input(0, 16, &Matrix::filled(16, 16, 2.0)).unwrap();
+        ctx.write_input(256, 16, &Matrix::filled(16, 16, 3.0)).unwrap();
         let a = ctx.matrix(FragmentKind::MatrixA).unwrap();
         let b = ctx.matrix(FragmentKind::MatrixB).unwrap();
         let acc = ctx.matrix(FragmentKind::Accumulator).unwrap();
@@ -254,8 +270,16 @@ mod tests {
         assert_eq!(stats.loads, 2);
         assert_eq!(stats.fills, 1);
         assert_eq!(stats.stores, 1);
-        let out = ctx.read_output(512, 16, 16, 16);
+        let out = ctx.read_output(512, 16, 16, 16).unwrap();
         assert!(out.as_slice().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn out_of_bounds_io_is_an_error_not_a_panic() {
+        let mut ctx = WarpContext::new(64);
+        let m = Matrix::filled(16, 16, 1.0);
+        assert!(matches!(ctx.write_input(0, 16, &m), Err(ApiError::Exec(_))));
+        assert!(matches!(ctx.read_output(0, 16, 16, 16), Err(ApiError::Exec(_))));
     }
 
     #[test]

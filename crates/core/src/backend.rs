@@ -10,11 +10,14 @@
 
 use simd2_matrix::reference;
 use simd2_matrix::tiling::{self, TileGrid};
-use simd2_matrix::{Matrix, ShapeError, ISA_TILE};
+use simd2_matrix::{Matrix, ISA_TILE};
 use simd2_mxu::Simd2Unit;
 use simd2_semiring::OpKind;
 
+use simd2_fault::{AbftConfig, FaultInjector, MmoUnit};
 use simd2_isa::{Dtype, ExecStats, Executor, Instruction, MatrixReg, SharedMemory};
+
+use crate::error::BackendError;
 
 /// Running totals of the work a backend has performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,9 +50,12 @@ pub trait Backend {
     ///
     /// # Errors
     ///
-    /// Returns a [`ShapeError`] when operand shapes are incompatible.
+    /// Returns [`BackendError::Shape`] when operand shapes are
+    /// incompatible, [`BackendError::Exec`] when the underlying engine
+    /// faults, and [`BackendError::Corruption`] when an enabled ABFT
+    /// check detects a silently corrupted result.
     fn mmo(&mut self, op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix)
-        -> Result<Matrix, ShapeError>;
+        -> Result<Matrix, BackendError>;
 
     /// Work counters accumulated so far.
     fn op_count(&self) -> OpCount;
@@ -91,7 +97,7 @@ impl Backend for ReferenceBackend {
         a: &Matrix,
         b: &Matrix,
         c: &Matrix,
-    ) -> Result<Matrix, ShapeError> {
+    ) -> Result<Matrix, BackendError> {
         let d = reference::mmo(op, a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         self.count.matrix_mmos += 1;
@@ -111,33 +117,57 @@ impl Backend for ReferenceBackend {
 }
 
 /// Tiled functional SIMD²-unit backend: partitions operands into 16×16
-/// tiles and drives a [`Simd2Unit`] per tile step, with fp16 operand
+/// tiles and drives an [`MmoUnit`] per tile step, with fp16 operand
 /// quantisation — the functional semantics of the proposed hardware.
-#[derive(Clone, Debug, Default)]
-pub struct TiledBackend {
-    unit: Simd2Unit,
+///
+/// The unit is generic so the same tiling loop runs over the pristine
+/// [`Simd2Unit`] or a [`simd2_fault::FaultySimd2Unit`] whose datapath
+/// injects faults.
+#[derive(Clone, Debug)]
+pub struct TiledBackend<U: MmoUnit = Simd2Unit> {
+    unit: U,
     count: OpCount,
 }
 
-impl TiledBackend {
+// A single, non-generic `Default` impl so `TiledBackend::default()`
+// still infers the default unit type.
+impl Default for TiledBackend<Simd2Unit> {
+    fn default() -> Self {
+        Self { unit: Simd2Unit::default(), count: OpCount::default() }
+    }
+}
+
+impl TiledBackend<Simd2Unit> {
     /// Creates the backend with the default fp16-input unit.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Creates the backend over a specific unit configuration.
-    pub fn with_unit(unit: Simd2Unit) -> Self {
+impl<U: MmoUnit> TiledBackend<U> {
+    /// Creates the backend over a specific unit.
+    pub fn with_unit(unit: U) -> Self {
         Self { unit, count: OpCount::default() }
+    }
+
+    /// The underlying unit (e.g. for fault telemetry).
+    pub fn unit(&self) -> &U {
+        &self.unit
+    }
+
+    /// Unwraps into the underlying unit.
+    pub fn into_unit(self) -> U {
+        self.unit
     }
 }
 
-impl Backend for TiledBackend {
+impl<U: MmoUnit> Backend for TiledBackend<U> {
     fn name(&self) -> &'static str {
         "SIMD2 units (tiled, fp16 operands)"
     }
 
     fn reduced_precision(&self) -> bool {
-        matches!(self.unit.precision(), simd2_mxu::PrecisionMode::Fp16Input)
+        self.unit.reduced_precision()
     }
 
     fn mmo(
@@ -146,7 +176,7 @@ impl Backend for TiledBackend {
         a: &Matrix,
         b: &Matrix,
         c: &Matrix,
-    ) -> Result<Matrix, ShapeError> {
+    ) -> Result<Matrix, BackendError> {
         reference::check_mmo_shapes(a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         let mut d = Matrix::zeros(a.rows(), b.cols());
@@ -158,7 +188,7 @@ impl Backend for TiledBackend {
             for tk in 0..grid.k_tiles {
                 let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
                 let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
-                acc = self.unit.execute(op, &at, &bt, &acc);
+                acc = self.unit.execute_tile(op, &at, &bt, &acc);
                 self.count.tile_loads += 2;
                 self.count.tile_mmos += 1;
             }
@@ -186,6 +216,8 @@ impl Backend for TiledBackend {
 pub struct IsaBackend {
     count: OpCount,
     exec_stats: ExecStats,
+    injector: Option<Box<dyn FaultInjector>>,
+    abft: Option<AbftConfig>,
 }
 
 impl IsaBackend {
@@ -197,6 +229,34 @@ impl IsaBackend {
     /// Cumulative ISA-level execution statistics.
     pub fn exec_stats(&self) -> &ExecStats {
         &self.exec_stats
+    }
+
+    /// Installs a fault injector on the executor datapath. The injector
+    /// persists across `mmo` calls (site counters keep advancing), so a
+    /// retried operation sees fresh fault draws.
+    pub fn set_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes and returns the installed injector, e.g. to read its log.
+    pub fn take_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.injector.take()
+    }
+
+    /// The installed injector, for telemetry.
+    pub fn injector(&self) -> Option<&dyn FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// Enables per-instruction ABFT verification inside the executor;
+    /// detections surface as [`BackendError::Corruption`].
+    pub fn enable_verification(&mut self, config: AbftConfig) {
+        self.abft = Some(config);
+    }
+
+    /// Disables ABFT verification.
+    pub fn disable_verification(&mut self) {
+        self.abft = None;
     }
 }
 
@@ -215,7 +275,7 @@ impl Backend for IsaBackend {
         a: &Matrix,
         b: &Matrix,
         c: &Matrix,
-    ) -> Result<Matrix, ShapeError> {
+    ) -> Result<Matrix, BackendError> {
         reference::check_mmo_shapes(a, b, c)?;
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let grid = TileGrid::new(m, n, k, ISA_TILE);
@@ -233,11 +293,11 @@ impl Backend for IsaBackend {
         let pad_write = |mem: &mut SharedMemory, base: usize, ld: usize, src: &Matrix,
                          rows: usize, cols: usize, fill: f32| {
             let padded = Matrix::from_fn(rows, cols, |r, c| src.get(r, c).unwrap_or(fill));
-            mem.write_matrix(base, ld, &padded);
+            mem.write_matrix(base, ld, &padded)
         };
-        pad_write(&mut mem, a_base, kp, a, mp, kp, pads.operand);
-        pad_write(&mut mem, b_base, np, b, kp, np, pads.operand);
-        pad_write(&mut mem, c_base, np, c, mp, np, pads.accumulator);
+        pad_write(&mut mem, a_base, kp, a, mp, kp, pads.operand)?;
+        pad_write(&mut mem, b_base, np, b, kp, np, pads.operand)?;
+        pad_write(&mut mem, c_base, np, c, mp, np, pads.accumulator)?;
 
         // One program: for each output tile, load C, stream the k tiles,
         // store D in place of C.
@@ -272,7 +332,19 @@ impl Backend for IsaBackend {
         }
 
         let mut exec = Executor::new(mem);
-        let stats = exec.run(&program).expect("internal layout is in bounds");
+        if let Some(injector) = self.injector.take() {
+            exec.set_injector(injector);
+        }
+        if let Some(config) = self.abft {
+            exec.enable_verification(config);
+        }
+        let run = exec.run(&program);
+        // Recover the injector even on a detection, so its site counters
+        // (and fault log) survive into the caller's retry.
+        if let Some(injector) = exec.take_injector() {
+            self.injector = Some(injector);
+        }
+        let stats = run?;
         self.count.matrix_mmos += 1;
         self.count.tile_mmos += stats.total_mmos();
         self.count.tile_loads += stats.loads;
@@ -280,11 +352,13 @@ impl Backend for IsaBackend {
         self.exec_stats.loads += stats.loads;
         self.exec_stats.stores += stats.stores;
         self.exec_stats.fills += stats.fills;
+        self.exec_stats.faults_injected += stats.faults_injected;
+        self.exec_stats.mmos_verified += stats.mmos_verified;
         for (op, n) in stats.mmos {
             *self.exec_stats.mmos.entry(op).or_insert(0) += n;
         }
 
-        let padded_d = exec.memory().read_matrix(c_base, np, mp, np);
+        let padded_d = exec.memory().read_matrix(c_base, np, mp, np)?;
         Ok(Matrix::from_fn(m, n, |r, c| padded_d[(r, c)]))
     }
 

@@ -22,18 +22,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use simd2_matrix::{Matrix, ShapeError};
+use simd2_matrix::Matrix;
 use simd2_semiring::OpKind;
 
 use crate::backend::{Backend, TiledBackend};
+use crate::error::BackendError;
 
 /// Generic high-level entry point: `D = C ⊕ (A ⊗ B)` for any of the nine
 /// operations, implicit tiling, fp16 operand semantics.
 ///
 /// # Errors
 ///
-/// Returns a [`ShapeError`] when operand shapes are incompatible.
-pub fn simd2_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, ShapeError> {
+/// Returns a [`BackendError`] when operand shapes are incompatible.
+pub fn simd2_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, BackendError> {
     TiledBackend::new().mmo(op, a, b, c)
 }
 
@@ -43,8 +44,8 @@ macro_rules! highlevel_fn {
         ///
         /// # Errors
         ///
-        /// Returns a [`ShapeError`] when operand shapes are incompatible.
-        pub fn $name(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, ShapeError> {
+        /// Returns a [`BackendError`] when operand shapes are incompatible.
+        pub fn $name(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, BackendError> {
             simd2_mmo($op, a, b, c)
         }
     };
@@ -107,7 +108,7 @@ mod tests {
     fn named_functions_match_generic_entry() {
         let a = Matrix::from_fn(8, 8, |r, c| ((r + c) % 4) as f32 * 0.5);
         let b = Matrix::from_fn(8, 8, |r, c| ((r * c) % 3) as f32 * 0.25);
-        type Hl = fn(&Matrix, &Matrix, &Matrix) -> Result<Matrix, ShapeError>;
+        type Hl = fn(&Matrix, &Matrix, &Matrix) -> Result<Matrix, BackendError>;
         let table: [(OpKind, Hl); 9] = [
             (OpKind::PlusMul, simd2_mma),
             (OpKind::MinPlus, simd2_minplus),

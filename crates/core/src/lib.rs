@@ -29,12 +29,16 @@
 pub mod algebra;
 pub mod api;
 pub mod backend;
+pub mod error;
 pub mod highlevel;
 pub mod micro;
 pub mod program;
+pub mod resilient;
 pub mod solve;
 pub mod typed;
 pub mod validate;
 
 pub use backend::{Backend, IsaBackend, OpCount, ReferenceBackend, TiledBackend};
+pub use error::BackendError;
+pub use resilient::{RecoveryPolicy, RecoveryStats, ResilientBackend};
 pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

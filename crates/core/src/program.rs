@@ -9,10 +9,12 @@
 //! pipeline simulator in [`simd2_gpu::sim`] — closing the loop between
 //! the programming model and the machine model.
 
-use simd2_isa::{Dtype, Instruction, MatrixReg};
+use simd2_isa::{Dtype, ExecError, Instruction, MatrixReg};
 use simd2_matrix::tiling::{self, TileGrid};
 use simd2_matrix::{Matrix, ShapeError, ISA_TILE};
 use simd2_semiring::OpKind;
+
+use crate::error::BackendError;
 
 /// Shared-memory layout of a compiled kernel: `A | B | C/D`, each padded
 /// to tile multiples.
@@ -113,23 +115,28 @@ pub fn compile_mmo(op: OpKind, m: usize, n: usize, k: usize, warps: usize) -> Co
 
 /// Stages operands into a fresh shared-memory image per the kernel's
 /// layout (padding with the algebra's inert values).
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the layout does not fit the memory image
+/// (cannot happen for layouts produced by [`KernelLayout::new`]).
 pub fn stage_operands(
     kernel: &CompiledKernel,
     a: &Matrix,
     b: &Matrix,
     c: &Matrix,
-) -> simd2_isa::SharedMemory {
+) -> Result<simd2_isa::SharedMemory, ExecError> {
     let (mp, np, kp) = kernel.layout.padded;
     let pads = tiling::pad_values(kernel.op);
     let mut mem = simd2_isa::SharedMemory::new(kernel.layout.total_elements);
     let write = |mem: &mut simd2_isa::SharedMemory, base, ld, src: &Matrix, rows, cols, fill| {
         let padded = Matrix::from_fn(rows, cols, |r, cc| src.get(r, cc).unwrap_or(fill));
-        mem.write_matrix(base, ld, &padded);
+        mem.write_matrix(base, ld, &padded)
     };
-    write(&mut mem, kernel.layout.a_base, kp, a, mp, kp, pads.operand);
-    write(&mut mem, kernel.layout.b_base, np, b, kp, np, pads.operand);
-    write(&mut mem, kernel.layout.c_base, np, c, mp, np, pads.accumulator);
-    mem
+    write(&mut mem, kernel.layout.a_base, kp, a, mp, kp, pads.operand)?;
+    write(&mut mem, kernel.layout.b_base, np, b, kp, np, pads.operand)?;
+    write(&mut mem, kernel.layout.c_base, np, c, mp, np, pads.accumulator)?;
+    Ok(mem)
 }
 
 /// Functionally executes a compiled kernel (all warps, in order) and
@@ -137,29 +144,29 @@ pub fn stage_operands(
 ///
 /// # Errors
 ///
-/// Returns a [`ShapeError`] when the operand shapes disagree with the
-/// kernel's geometry.
+/// Returns [`BackendError::Shape`] when the operand shapes disagree with
+/// the kernel's geometry, and propagates executor faults.
 pub fn execute_compiled(
     kernel: &CompiledKernel,
     a: &Matrix,
     b: &Matrix,
     c: &Matrix,
-) -> Result<Matrix, ShapeError> {
+) -> Result<Matrix, BackendError> {
     simd2_matrix::reference::check_mmo_shapes(a, b, c)?;
     let (m, n, k) = kernel.shape;
     if a.shape() != (m, k) {
-        return Err(ShapeError::new("A (kernel geometry)", (m, k), a.shape()));
+        return Err(ShapeError::new("A (kernel geometry)", (m, k), a.shape()).into());
     }
     if b.shape() != (k, n) {
-        return Err(ShapeError::new("B (kernel geometry)", (k, n), b.shape()));
+        return Err(ShapeError::new("B (kernel geometry)", (k, n), b.shape()).into());
     }
-    let mem = stage_operands(kernel, a, b, c);
+    let mem = stage_operands(kernel, a, b, c)?;
     let mut exec = simd2_isa::Executor::new(mem);
     for prog in &kernel.warp_programs {
-        exec.run(prog).expect("compiled kernels address in bounds");
+        exec.run(prog)?;
     }
     let (_, np, _) = kernel.layout.padded;
-    let out = exec.memory().read_matrix(kernel.layout.c_base, np, a.rows(), b.cols());
+    let out = exec.memory().read_matrix(kernel.layout.c_base, np, a.rows(), b.cols())?;
     Ok(out)
 }
 

@@ -1,0 +1,367 @@
+//! Fault-tolerant backend dispatch: detect, retry, fall back.
+//!
+//! [`ResilientBackend`] wraps any [`Backend`] with matrix-level ABFT
+//! verification and a [`RecoveryPolicy`]. Every `mmo` result is checked
+//! against the operands' invariants ([`simd2_fault::abft::verify_matrix`]);
+//! on detection the policy decides whether to fail fast, re-execute on
+//! the same (possibly faulty) backend — transient faults draw fresh
+//! outcomes each attempt — or abandon the accelerated datapath for the
+//! scalar [`ReferenceBackend`] oracle.
+//!
+//! This is the software half of the paper's reliability story: the MXU
+//! datapath stays simple, and the library layer turns silent data
+//! corruption into detected-and-recovered events.
+
+use simd2_fault::abft::{self, AbftConfig};
+use simd2_matrix::Matrix;
+use simd2_mxu::PrecisionMode;
+use simd2_semiring::OpKind;
+
+use crate::backend::{Backend, OpCount, ReferenceBackend};
+use crate::error::BackendError;
+
+/// What to do when verification detects a corrupted result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the detection as an error immediately.
+    FailFast,
+    /// Re-execute on the same backend up to `attempts` extra times; give
+    /// up (error) if every attempt is detected as corrupt.
+    Retry {
+        /// Maximum extra executions after the first detection.
+        attempts: u32,
+    },
+    /// Recompute once on the scalar reference backend.
+    Fallback,
+    /// Retry up to `attempts` times, then recompute on the reference
+    /// backend if still failing — the most forgiving policy.
+    RetryThenFallback {
+        /// Maximum extra executions before falling back.
+        attempts: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    fn retry_attempts(self) -> u32 {
+        match self {
+            RecoveryPolicy::FailFast | RecoveryPolicy::Fallback => 0,
+            RecoveryPolicy::Retry { attempts }
+            | RecoveryPolicy::RetryThenFallback { attempts } => attempts,
+        }
+    }
+
+    fn falls_back(self) -> bool {
+        matches!(self, RecoveryPolicy::Fallback | RecoveryPolicy::RetryThenFallback { .. })
+    }
+}
+
+/// Outcome counters for one resilient backend's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Whole-matrix mmos requested.
+    pub mmos: u64,
+    /// Results that passed ABFT verification (including after retry).
+    pub verified: u64,
+    /// Corruption detections (each failing attempt counts once).
+    pub detections: u64,
+    /// Re-executions performed after a detection.
+    pub retries: u64,
+    /// Operations ultimately rescued by a retry.
+    pub retry_successes: u64,
+    /// Operations recomputed on the reference backend.
+    pub fallbacks: u64,
+}
+
+/// A [`Backend`] decorator adding ABFT verification and recovery.
+#[derive(Clone, Debug)]
+pub struct ResilientBackend<B: Backend> {
+    inner: B,
+    fallback: ReferenceBackend,
+    policy: RecoveryPolicy,
+    abft: AbftConfig,
+    stats: RecoveryStats,
+}
+
+impl<B: Backend> ResilientBackend<B> {
+    /// Wraps `inner` with the given policy and default ABFT tolerances.
+    pub fn new(inner: B, policy: RecoveryPolicy) -> Self {
+        Self::with_config(inner, policy, AbftConfig::default())
+    }
+
+    /// Wraps `inner` with explicit ABFT tolerances.
+    pub fn with_config(inner: B, policy: RecoveryPolicy, abft: AbftConfig) -> Self {
+        Self { inner, fallback: ReferenceBackend::new(), policy, abft, stats: RecoveryStats::default() }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend (e.g. to install injectors).
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Unwraps into the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Recovery outcome counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Resets the recovery counters.
+    pub fn reset_recovery_stats(&mut self) {
+        self.stats = RecoveryStats::default();
+    }
+
+    /// One verified execution attempt on the inner backend.
+    fn attempt(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        let d = self.inner.mmo(op, a, b, c)?;
+        // Mirror the inner datapath's quantisation so clean fp16 results
+        // are not flagged as corrupt.
+        let mode = if self.inner.reduced_precision() {
+            PrecisionMode::Fp16Input
+        } else {
+            PrecisionMode::Fp32Input
+        };
+        abft::verify_matrix(op, a, b, c, &d, mode, &self.abft)
+            .map_err(|violation| BackendError::Corruption { op, violation })?;
+        Ok(d)
+    }
+}
+
+impl<B: Backend> Backend for ResilientBackend<B> {
+    fn name(&self) -> &'static str {
+        "resilient (ABFT-verified)"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        self.inner.reduced_precision()
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        self.stats.mmos += 1;
+        let mut last = match self.attempt(op, a, b, c) {
+            Ok(d) => {
+                self.stats.verified += 1;
+                return Ok(d);
+            }
+            Err(e) if e.is_corruption() => {
+                self.stats.detections += 1;
+                e
+            }
+            // Structural errors (shapes, addressing) are not transient;
+            // no amount of re-execution fixes them.
+            Err(e) => return Err(e),
+        };
+        for _ in 0..self.policy.retry_attempts() {
+            self.stats.retries += 1;
+            match self.attempt(op, a, b, c) {
+                Ok(d) => {
+                    self.stats.verified += 1;
+                    self.stats.retry_successes += 1;
+                    return Ok(d);
+                }
+                Err(e) if e.is_corruption() => {
+                    self.stats.detections += 1;
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self.policy.falls_back() {
+            self.stats.fallbacks += 1;
+            let d = self.fallback.mmo(op, a, b, c)?;
+            self.stats.verified += 1;
+            return Ok(d);
+        }
+        Err(last)
+    }
+
+    fn op_count(&self) -> OpCount {
+        let i = self.inner.op_count();
+        let f = self.fallback.op_count();
+        OpCount {
+            matrix_mmos: i.matrix_mmos + f.matrix_mmos,
+            tile_mmos: i.tile_mmos + f.tile_mmos,
+            tile_loads: i.tile_loads + f.tile_loads,
+            tile_stores: i.tile_stores + f.tile_stores,
+        }
+    }
+
+    fn reset_count(&mut self) {
+        self.inner.reset_count();
+        self.fallback.reset_count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{IsaBackend, TiledBackend};
+    use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+    use simd2_matrix::gen;
+    use simd2_mxu::Simd2Unit;
+    use simd2_semiring::precision::quantize_f16;
+    use simd2_semiring::ALL_OPS;
+
+    fn operands(op: OpKind, n: usize) -> (Matrix, Matrix, Matrix) {
+        let mut a = gen::random_operands_for(op, n, n, 17);
+        let mut b = gen::random_operands_for(op, n, n, 18);
+        for v in a.as_mut_slice().iter_mut().chain(b.as_mut_slice()) {
+            *v = quantize_f16(*v);
+        }
+        let c = Matrix::filled(n, n, op.reduce_identity_f32());
+        (a, b, c)
+    }
+
+    fn faulty_tiled(seed: u64, ppm: u32) -> TiledBackend<FaultySimd2Unit> {
+        let plan = FaultPlan::new(FaultPlanConfig::new(seed).with_transient_nan_ppm(ppm));
+        TiledBackend::with_unit(FaultySimd2Unit::new(
+            Simd2Unit::new(),
+            PlannedInjector::new(plan),
+        ))
+    }
+
+    #[test]
+    fn clean_backends_verify_for_all_ops() {
+        for op in ALL_OPS {
+            let (a, b, c) = operands(op, 24);
+            let mut be = ResilientBackend::new(TiledBackend::new(), RecoveryPolicy::FailFast);
+            let d = be.mmo(op, &a, &b, &c).unwrap();
+            let want = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
+            assert_eq!(d, want, "{op}");
+        }
+        let (a, b, c) = operands(OpKind::MinPlus, 20);
+        let mut be = ResilientBackend::new(ReferenceBackend::new(), RecoveryPolicy::FailFast);
+        assert!(be.mmo(OpKind::MinPlus, &a, &b, &c).is_ok());
+        assert_eq!(be.recovery_stats().detections, 0);
+        assert_eq!(be.recovery_stats().verified, 1);
+    }
+
+    #[test]
+    fn fail_fast_surfaces_detection() {
+        let (a, b, c) = operands(OpKind::PlusMul, 16);
+        let mut be = ResilientBackend::new(faulty_tiled(5, 1_000_000), RecoveryPolicy::FailFast);
+        let err = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert_eq!(be.recovery_stats().detections, 1);
+        assert_eq!(be.recovery_stats().retries, 0);
+    }
+
+    #[test]
+    fn retry_recovers_under_moderate_fault_rate() {
+        // ~30% per-tile NaN rate: some attempt among 32 executes cleanly.
+        let (a, b, c) = operands(OpKind::MinPlus, 16);
+        let want = TiledBackend::new().mmo(OpKind::MinPlus, &a, &b, &c).unwrap();
+        // Full witness coverage: +Inf faults on min-family ops can slip
+        // past a sampled witness (they satisfy dominance).
+        let full = AbftConfig { witness_samples: usize::MAX, ..AbftConfig::default() };
+        let mut be = ResilientBackend::with_config(
+            faulty_tiled(42, 300_000),
+            RecoveryPolicy::Retry { attempts: 32 },
+            full,
+        );
+        let mut saw_retry_success = false;
+        for _ in 0..8 {
+            let d = be.mmo(OpKind::MinPlus, &a, &b, &c).unwrap();
+            assert_eq!(d, want);
+        }
+        let s = be.recovery_stats();
+        saw_retry_success |= s.retry_successes > 0;
+        assert_eq!(s.verified, 8);
+        assert!(s.detections >= s.retry_successes);
+        // At 30% over 8 ops the odds all first attempts are clean are
+        // ~0.7^8 ≈ 6% per run, but the seeded plan is deterministic: this
+        // seed/rate strikes at least once.
+        assert!(saw_retry_success, "seeded plan should force at least one retry");
+        assert_eq!(s.fallbacks, 0);
+    }
+
+    #[test]
+    fn fallback_rescues_a_permanently_faulty_backend() {
+        // Full-rate faults: every inner attempt is corrupt, only the
+        // reference fallback can produce a verified result.
+        let (a, b, c) = operands(OpKind::MaxMin, 20);
+        let want = ReferenceBackend::new().mmo(OpKind::MaxMin, &a, &b, &c).unwrap();
+        let mut be = ResilientBackend::new(
+            faulty_tiled(7, 1_000_000),
+            RecoveryPolicy::RetryThenFallback { attempts: 2 },
+        );
+        let d = be.mmo(OpKind::MaxMin, &a, &b, &c).unwrap();
+        assert_eq!(d, want);
+        let s = be.recovery_stats();
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.detections, 3);
+        assert_eq!(s.verified, 1);
+    }
+
+    #[test]
+    fn structural_errors_are_not_retried() {
+        let a = Matrix::zeros(4, 4);
+        let bad_b = Matrix::zeros(5, 4);
+        let c = Matrix::zeros(4, 4);
+        let mut be = ResilientBackend::new(
+            TiledBackend::new(),
+            RecoveryPolicy::RetryThenFallback { attempts: 8 },
+        );
+        let err = be.mmo(OpKind::PlusMul, &a, &bad_b, &c).unwrap_err();
+        assert!(matches!(err, BackendError::Shape(_)));
+        assert_eq!(be.recovery_stats().retries, 0);
+        assert_eq!(be.recovery_stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn wraps_the_isa_backend_with_executor_level_detection() {
+        use simd2_fault::FaultInjector;
+        // The ISA backend verifies per instruction; its SilentCorruption
+        // surfaces as BackendError::Corruption and the resilient wrapper
+        // retries it with the injector's site counters preserved.
+        let (a, b, c) = operands(OpKind::PlusMul, 16);
+        let want = IsaBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        let mut inner = IsaBackend::new();
+        let plan = FaultPlan::new(FaultPlanConfig::new(9).with_transient_nan_ppm(400_000));
+        inner.set_injector(Box::new(PlannedInjector::new(plan)));
+        inner.enable_verification(AbftConfig::default());
+        let mut be =
+            ResilientBackend::new(inner, RecoveryPolicy::Retry { attempts: 64 });
+        let d = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert_eq!(d, want);
+        let injected =
+            be.inner().injector().map(FaultInjector::injected).unwrap_or_default();
+        let s = be.recovery_stats();
+        assert_eq!(s.detections, injected, "every injected NaN fault is detected");
+        assert!(s.verified == 1);
+    }
+
+    #[test]
+    fn policy_accessors_and_counts() {
+        let be = ResilientBackend::new(TiledBackend::new(), RecoveryPolicy::Fallback);
+        assert_eq!(be.policy(), RecoveryPolicy::Fallback);
+        assert!(be.reduced_precision());
+        assert_eq!(be.op_count(), OpCount::default());
+        assert!(be.name().contains("resilient"));
+    }
+}

@@ -19,6 +19,7 @@ use simd2_matrix::{Matrix, ShapeError};
 use simd2_semiring::OpKind;
 
 use crate::backend::Backend;
+use crate::error::BackendError;
 
 /// Which relaxation scheme drives the closure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,7 +94,9 @@ pub fn check_convergence(prev: &Matrix, next: &Matrix) -> bool {
 ///
 /// # Errors
 ///
-/// Returns a [`ShapeError`] if `adj` is not square.
+/// Returns [`BackendError::Shape`] if `adj` is not square, and
+/// propagates any backend failure (including ABFT corruption
+/// detections) from the relaxation steps.
 ///
 /// # Panics
 ///
@@ -105,10 +108,14 @@ pub fn closure<B: Backend>(
     adj: &Matrix,
     algorithm: ClosureAlgorithm,
     convergence: bool,
-) -> Result<ClosureResult, ShapeError> {
+) -> Result<ClosureResult, BackendError> {
     assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
     if !adj.is_square() {
-        return Err(ShapeError::new("adjacency matrix", (adj.rows(), adj.rows()), adj.shape()));
+        return Err(BackendError::Shape(ShapeError::new(
+            "adjacency matrix",
+            (adj.rows(), adj.rows()),
+            adj.shape(),
+        )));
     }
     let n = adj.rows();
     let max_iters = algorithm.worst_case_iterations(n);

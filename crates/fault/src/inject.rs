@@ -1,0 +1,350 @@
+//! The fault-injection seam.
+//!
+//! [`FaultInjector`] is the object-safe hook an execution engine calls
+//! at each fault *site*: once per mmo (tile-granularity `D = C ⊕ A⊗B`)
+//! and once per store. [`PlannedInjector`] drives it from a seeded
+//! [`FaultPlan`] with monotonically increasing site counters, so a
+//! retry of the same mmo consumes a fresh site and sees an independent
+//! fault draw — the transient-fault model that makes retry a meaningful
+//! recovery policy.
+//!
+//! [`MmoUnit`] abstracts "something that executes a tile mmo", letting
+//! backends be generic over the pristine [`Simd2Unit`] or the
+//! [`FaultySimd2Unit`] wrapper that corrupts its outputs.
+
+use simd2_matrix::Tile;
+use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::OpKind;
+
+use crate::plan::{FaultKind, FaultPlan, MXU_GRID};
+
+/// One injected fault, for campaign logs and telemetry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultLogEntry {
+    /// The site index the fault struck at.
+    pub site: u64,
+    /// The semiring op executing at the site (`None` for store sites).
+    pub op: Option<OpKind>,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Applies a tile-class fault to an `n × n` row-major output buffer.
+pub fn apply_to_tile(kind: FaultKind, d: &mut [f32], n: usize) {
+    debug_assert_eq!(d.len(), n * n);
+    match kind {
+        FaultKind::BitFlip { row, col, bit } => {
+            let idx = row * n + col;
+            d[idx] = f32::from_bits(d[idx].to_bits() ^ (1u32 << bit));
+        }
+        FaultKind::StuckLane { lane_row, lane_col, value } => {
+            for r in 0..n {
+                for c in 0..n {
+                    if r % MXU_GRID == lane_row && c % MXU_GRID == lane_col {
+                        d[r * n + c] = value;
+                    }
+                }
+            }
+        }
+        FaultKind::TransientNan { row, col, inf } => {
+            d[row * n + col] = if inf { f32::INFINITY } else { f32::NAN };
+        }
+        FaultKind::MemBitFlip { .. } => {
+            debug_assert!(false, "memory fault applied to a tile");
+        }
+    }
+}
+
+/// Applies a memory-class fault to a shared-memory word buffer.
+pub fn apply_to_memory(kind: FaultKind, words: &mut [f32]) {
+    if let FaultKind::MemBitFlip { word, bit } = kind {
+        if word < words.len() {
+            words[word] = f32::from_bits(words[word].to_bits() ^ (1u32 << bit));
+        }
+    } else {
+        debug_assert!(false, "tile fault applied to memory");
+    }
+}
+
+/// Object-safe fault-injection hook.
+///
+/// Engines call [`inject_mmo`](FaultInjector::inject_mmo) with the
+/// freshly computed output tile (row-major, `n × n`) and
+/// [`inject_store`](FaultInjector::inject_store) with the whole shared
+/// memory after each store. Both return the fault that struck, if any.
+pub trait FaultInjector: std::fmt::Debug + Send + Sync {
+    /// Possibly corrupts the output tile of one mmo.
+    fn inject_mmo(&mut self, op: OpKind, d: &mut [f32], n: usize) -> Option<FaultKind>;
+
+    /// Possibly corrupts shared memory after a store.
+    fn inject_store(&mut self, memory: &mut [f32]) -> Option<FaultKind>;
+
+    /// Total faults injected so far.
+    fn injected(&self) -> u64;
+
+    /// Every fault injected so far, in order.
+    fn log(&self) -> &[FaultLogEntry];
+
+    /// Clones the injector behind its trait object.
+    fn box_clone(&self) -> Box<dyn FaultInjector>;
+}
+
+impl Clone for Box<dyn FaultInjector> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A [`FaultInjector`] driven by a seeded [`FaultPlan`].
+///
+/// Site counters advance monotonically for the injector's lifetime and
+/// never reset, so repeated execution of the same program draws fresh
+/// faults each time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedInjector {
+    plan: FaultPlan,
+    next_mmo_site: u64,
+    next_store_site: u64,
+    log: Vec<FaultLogEntry>,
+}
+
+impl PlannedInjector {
+    /// A fresh injector at site zero.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, next_mmo_site: 0, next_store_site: 0, log: Vec::new() }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The number of mmo sites visited so far.
+    pub fn mmo_sites(&self) -> u64 {
+        self.next_mmo_site
+    }
+
+    /// The number of store sites visited so far.
+    pub fn store_sites(&self) -> u64 {
+        self.next_store_site
+    }
+}
+
+impl FaultInjector for PlannedInjector {
+    fn inject_mmo(&mut self, op: OpKind, d: &mut [f32], n: usize) -> Option<FaultKind> {
+        let site = self.next_mmo_site;
+        self.next_mmo_site += 1;
+        let kind = self.plan.fault_for_mmo_site(site, n)?;
+        apply_to_tile(kind, d, n);
+        self.log.push(FaultLogEntry { site, op: Some(op), kind });
+        Some(kind)
+    }
+
+    fn inject_store(&mut self, memory: &mut [f32]) -> Option<FaultKind> {
+        let site = self.next_store_site;
+        self.next_store_site += 1;
+        let kind = self.plan.fault_for_mem_site(site, memory.len())?;
+        apply_to_memory(kind, memory);
+        self.log.push(FaultLogEntry { site, op: None, kind });
+        Some(kind)
+    }
+
+    fn injected(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn log(&self) -> &[FaultLogEntry] {
+        &self.log
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultInjector> {
+        Box::new(self.clone())
+    }
+}
+
+/// Something that executes tile mmos — the seam that lets tiled
+/// backends run over either a pristine or a fault-injected datapath.
+pub trait MmoUnit: std::fmt::Debug {
+    /// Executes `D = C ⊕ (A ⊗ B)` on `N × N` tiles.
+    fn execute_tile<const N: usize>(
+        &mut self,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N>;
+
+    /// Whether the datapath quantises inputs below fp32.
+    fn reduced_precision(&self) -> bool;
+
+    /// The input precision mode of the underlying datapath.
+    fn precision(&self) -> PrecisionMode;
+}
+
+impl MmoUnit for Simd2Unit {
+    fn execute_tile<const N: usize>(
+        &mut self,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        self.execute(op, a, b, c)
+    }
+
+    fn reduced_precision(&self) -> bool {
+        self.precision() != PrecisionMode::Fp32Input
+    }
+
+    fn precision(&self) -> PrecisionMode {
+        Simd2Unit::precision(self)
+    }
+}
+
+/// A [`Simd2Unit`] whose outputs pass through a fault injector.
+#[derive(Clone, Debug)]
+pub struct FaultySimd2Unit<I: FaultInjector = PlannedInjector> {
+    unit: Simd2Unit,
+    injector: I,
+}
+
+impl<I: FaultInjector> FaultySimd2Unit<I> {
+    /// Wraps `unit` with `injector`.
+    pub fn new(unit: Simd2Unit, injector: I) -> Self {
+        Self { unit, injector }
+    }
+
+    /// The pristine underlying unit.
+    pub fn unit(&self) -> &Simd2Unit {
+        &self.unit
+    }
+
+    /// The injector, for telemetry.
+    pub fn injector(&self) -> &I {
+        &self.injector
+    }
+
+    /// Unwraps into the injector, e.g. to read the final fault log.
+    pub fn into_injector(self) -> I {
+        self.injector
+    }
+}
+
+impl<I: FaultInjector> MmoUnit for FaultySimd2Unit<I> {
+    fn execute_tile<const N: usize>(
+        &mut self,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        let d = self.unit.execute(op, a, b, c);
+        let mut flat: Vec<f32> = (0..N * N).map(|i| d.get(i / N, i % N)).collect();
+        if self.injector.inject_mmo(op, &mut flat, N).is_some() {
+            return Tile::from_fn(|r, c| flat[r * N + c]);
+        }
+        d
+    }
+
+    fn reduced_precision(&self) -> bool {
+        MmoUnit::reduced_precision(&self.unit)
+    }
+
+    fn precision(&self) -> PrecisionMode {
+        self.unit.precision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlanConfig;
+
+    fn always_plan() -> FaultPlan {
+        FaultPlan::new(FaultPlanConfig::uniform(11, 1_000_000))
+    }
+
+    #[test]
+    fn planned_injector_advances_sites_and_logs() {
+        let mut inj = PlannedInjector::new(always_plan());
+        let mut d = vec![1.0f32; 256];
+        let first = inj.inject_mmo(OpKind::PlusMul, &mut d, 16);
+        assert!(first.is_some());
+        let mut mem = vec![0.5f32; 64];
+        assert!(inj.inject_store(&mut mem).is_some());
+        assert_eq!(inj.injected(), 2);
+        assert_eq!(inj.mmo_sites(), 1);
+        assert_eq!(inj.store_sites(), 1);
+        assert_eq!(inj.log()[0].op, Some(OpKind::PlusMul));
+        assert_eq!(inj.log()[1].op, None);
+    }
+
+    #[test]
+    fn retries_draw_fresh_faults() {
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(11, 500_000));
+        let mut inj = PlannedInjector::new(plan);
+        let mut outcomes = Vec::new();
+        for _ in 0..64 {
+            let mut d = vec![1.0f32; 256];
+            outcomes.push(inj.inject_mmo(OpKind::PlusMul, &mut d, 16));
+        }
+        // At ~50% rate, 64 retries must see both struck and clean sites.
+        assert!(outcomes.iter().any(Option::is_some));
+        assert!(outcomes.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_element() {
+        let mut d = vec![2.0f32; 16];
+        apply_to_tile(FaultKind::BitFlip { row: 1, col: 2, bit: 31 }, &mut d, 4);
+        assert_eq!(d[4 + 2], -2.0);
+        assert_eq!(d.iter().filter(|&&x| x != 2.0).count(), 1);
+    }
+
+    #[test]
+    fn stuck_lane_covers_the_grid_pattern() {
+        let mut d = vec![7.0f32; 256];
+        apply_to_tile(
+            FaultKind::StuckLane { lane_row: 1, lane_col: 3, value: 0.0 },
+            &mut d,
+            16,
+        );
+        let stuck = d.iter().filter(|&&x| x == 0.0).count();
+        assert_eq!(stuck, (16 / MXU_GRID) * (16 / MXU_GRID));
+        assert_eq!(d[16 + 3], 0.0);
+        assert_eq!(d[5 * 16 + 7], 0.0);
+        assert_eq!(d[0], 7.0);
+    }
+
+    #[test]
+    fn faulty_unit_differs_from_pristine_under_full_rate() {
+        let unit = Simd2Unit::new();
+        let a = Tile::<16>::from_fn(|r, c| (r + c) as f32 * 0.25);
+        let b = Tile::<16>::from_fn(|r, c| (r * 16 + c) as f32 * 0.01);
+        let c = Tile::<16>::splat(0.0);
+        let clean = unit.execute(OpKind::PlusMul, &a, &b, &c);
+        let mut faulty = FaultySimd2Unit::new(unit, PlannedInjector::new(always_plan()));
+        let dirty = faulty.execute_tile(OpKind::PlusMul, &a, &b, &c);
+        assert_eq!(faulty.injector().injected(), 1);
+        // A full-rate plan must strike; the struck tile may still be
+        // value-identical only if the flip hit an element's dead bits,
+        // which the plan's parameters make impossible here (flip of a
+        // nonzero value always changes its bits).
+        let mut changed = false;
+        for (r, cc, v) in clean.iter() {
+            let w = dirty.get(r, cc);
+            if v.to_bits() != w.to_bits() {
+                changed = true;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn mem_fault_out_of_range_is_ignored() {
+        // Defensive: apply_to_memory clamps rather than panics.
+        let mut mem = vec![1.0f32; 4];
+        apply_to_memory(FaultKind::MemBitFlip { word: 100, bit: 3 }, &mut mem);
+        assert_eq!(mem, vec![1.0f32; 4]);
+    }
+}

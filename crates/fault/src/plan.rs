@@ -1,0 +1,369 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] answers one question: *does fault class `C` strike at
+//! site `s`, and if so with what parameters?* The answer is a pure hash
+//! of `(seed, class, site)` — no RNG state is carried between sites —
+//! so a campaign replays bit-identically no matter how execution is
+//! interleaved, and a *retry* of an mmo (which consumes fresh site
+//! indices) sees an independent fault draw, exactly like a transient
+//! hardware upset.
+
+use std::fmt;
+
+/// Side of the MXU processing-element grid the paper's SIMD² unit is
+/// built around (§4: a 4×4 grid of dot-product lanes per tile pipe).
+pub const MXU_GRID: usize = 4;
+
+/// The four modelled hardware fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A single bit flips in a tile output register.
+    TileBitFlip,
+    /// One lane of the 4×4 MXU grid is stuck, forcing every output
+    /// element it produces to a fixed value for this mmo.
+    StuckLane,
+    /// A reducer transiently emits a NaN or infinity.
+    TransientNan,
+    /// A word of shared memory is corrupted after a store.
+    MemCorruption,
+}
+
+impl FaultClass {
+    /// All classes, in the order they are drawn at an mmo site.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::TileBitFlip,
+        FaultClass::StuckLane,
+        FaultClass::TransientNan,
+        FaultClass::MemCorruption,
+    ];
+
+    /// Hash-domain separator for this class.
+    fn salt(self) -> u64 {
+        match self {
+            FaultClass::TileBitFlip => 0x5b1f_f11b_0000_0001,
+            FaultClass::StuckLane => 0x57ac_4a9e_0000_0002,
+            FaultClass::TransientNan => 0x7a95_0a11_0000_0003,
+            FaultClass::MemCorruption => 0x3e3c_044e_0000_0004,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::TileBitFlip => "bit-flip",
+            FaultClass::StuckLane => "stuck-lane",
+            FaultClass::TransientNan => "transient-nan",
+            FaultClass::MemCorruption => "mem-corruption",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete fault drawn from a plan, with the parameters needed to
+/// apply it and to report it afterwards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Flip `bit` (0..32) of the output-tile element at `(row, col)`.
+    BitFlip {
+        /// Output row within the tile.
+        row: usize,
+        /// Output column within the tile.
+        col: usize,
+        /// Bit position in the IEEE 754 binary32 pattern.
+        bit: u32,
+    },
+    /// Force every output element produced by grid lane
+    /// `(lane_row, lane_col)` — i.e. all `(r, c)` with
+    /// `r % MXU_GRID == lane_row && c % MXU_GRID == lane_col` — to
+    /// `value`.
+    StuckLane {
+        /// Row of the stuck lane in the 4×4 grid.
+        lane_row: usize,
+        /// Column of the stuck lane in the 4×4 grid.
+        lane_col: usize,
+        /// The stuck output value.
+        value: f32,
+    },
+    /// Replace the output element at `(row, col)` with NaN (or ±∞).
+    TransientNan {
+        /// Output row within the tile.
+        row: usize,
+        /// Output column within the tile.
+        col: usize,
+        /// `true` injects an infinity instead of a NaN.
+        inf: bool,
+    },
+    /// Flip `bit` of the shared-memory word at `word`.
+    MemBitFlip {
+        /// Word offset into shared memory.
+        word: usize,
+        /// Bit position in the IEEE 754 binary32 pattern.
+        bit: u32,
+    },
+}
+
+impl FaultKind {
+    /// The class this fault belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::BitFlip { .. } => FaultClass::TileBitFlip,
+            FaultKind::StuckLane { .. } => FaultClass::StuckLane,
+            FaultKind::TransientNan { .. } => FaultClass::TransientNan,
+            FaultKind::MemBitFlip { .. } => FaultClass::MemCorruption,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::BitFlip { row, col, bit } => {
+                write!(f, "bit-flip b{bit} at d[{row}][{col}]")
+            }
+            FaultKind::StuckLane { lane_row, lane_col, value } => {
+                write!(f, "lane ({lane_row},{lane_col}) stuck at {value}")
+            }
+            FaultKind::TransientNan { row, col, inf } => {
+                let what = if *inf { "inf" } else { "nan" };
+                write!(f, "transient {what} at d[{row}][{col}]")
+            }
+            FaultKind::MemBitFlip { word, bit } => {
+                write!(f, "memory bit-flip b{bit} at word {word}")
+            }
+        }
+    }
+}
+
+/// Per-class fault rates (parts per million of sites) plus the seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Campaign seed; all fault decisions derive from it.
+    pub seed: u64,
+    /// Rate of tile-register bit flips, per million mmo sites.
+    pub bit_flip_ppm: u32,
+    /// Rate of stuck MXU lanes, per million mmo sites.
+    pub stuck_lane_ppm: u32,
+    /// Rate of transient reducer NaN/Inf, per million mmo sites.
+    pub transient_nan_ppm: u32,
+    /// Rate of shared-memory word corruption, per million store sites.
+    pub mem_ppm: u32,
+}
+
+impl FaultPlanConfig {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, bit_flip_ppm: 0, stuck_lane_ppm: 0, transient_nan_ppm: 0, mem_ppm: 0 }
+    }
+
+    /// A plan striking every class at the same rate.
+    pub fn uniform(seed: u64, ppm: u32) -> Self {
+        Self {
+            seed,
+            bit_flip_ppm: ppm,
+            stuck_lane_ppm: ppm,
+            transient_nan_ppm: ppm,
+            mem_ppm: ppm,
+        }
+    }
+
+    /// Sets the tile bit-flip rate.
+    pub fn with_bit_flip_ppm(mut self, ppm: u32) -> Self {
+        self.bit_flip_ppm = ppm;
+        self
+    }
+
+    /// Sets the stuck-lane rate.
+    pub fn with_stuck_lane_ppm(mut self, ppm: u32) -> Self {
+        self.stuck_lane_ppm = ppm;
+        self
+    }
+
+    /// Sets the transient NaN/Inf rate.
+    pub fn with_transient_nan_ppm(mut self, ppm: u32) -> Self {
+        self.transient_nan_ppm = ppm;
+        self
+    }
+
+    /// Sets the shared-memory corruption rate.
+    pub fn with_mem_ppm(mut self, ppm: u32) -> Self {
+        self.mem_ppm = ppm;
+        self
+    }
+
+    fn rate(&self, class: FaultClass) -> u32 {
+        match class {
+            FaultClass::TileBitFlip => self.bit_flip_ppm,
+            FaultClass::StuckLane => self.stuck_lane_ppm,
+            FaultClass::TransientNan => self.transient_nan_ppm,
+            FaultClass::MemCorruption => self.mem_ppm,
+        }
+    }
+}
+
+/// SplitMix64 finaliser: a bijective avalanche mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault plan: a stateless oracle over `(class, site)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    config: FaultPlanConfig,
+}
+
+impl FaultPlan {
+    /// Builds the plan for a config.
+    pub fn new(config: FaultPlanConfig) -> Self {
+        Self { config }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.config
+    }
+
+    fn site_hash(&self, class: FaultClass, site: u64) -> u64 {
+        mix(self.config.seed ^ class.salt() ^ mix(site))
+    }
+
+    /// Whether `class` strikes at `site`.
+    pub fn strikes(&self, class: FaultClass, site: u64) -> bool {
+        let rate = u64::from(self.config.rate(class));
+        if rate == 0 {
+            return false;
+        }
+        self.site_hash(class, site) % 1_000_000 < rate
+    }
+
+    /// Draws the fault (if any) for mmo site `site` producing an
+    /// `n × n` output tile. Classes are tried in [`FaultClass::ALL`]
+    /// order; at most one fault strikes per site.
+    pub fn fault_for_mmo_site(&self, site: u64, n: usize) -> Option<FaultKind> {
+        debug_assert!(n > 0);
+        for class in [FaultClass::TileBitFlip, FaultClass::StuckLane, FaultClass::TransientNan] {
+            if !self.strikes(class, site) {
+                continue;
+            }
+            // Independent stream for parameters so they do not correlate
+            // with the strike decision.
+            let p = mix(self.site_hash(class, site) ^ 0x0fa7_a1f1_e1d5_ca1e);
+            return Some(match class {
+                FaultClass::TileBitFlip => FaultKind::BitFlip {
+                    row: (p as usize) % n,
+                    col: ((p >> 16) as usize) % n,
+                    bit: ((p >> 32) as u32) % 32,
+                },
+                FaultClass::StuckLane => FaultKind::StuckLane {
+                    lane_row: (p as usize) % MXU_GRID,
+                    lane_col: ((p >> 16) as usize) % MXU_GRID,
+                    // Stuck-at-zero and stuck-at-one are the classic
+                    // hard-fault models for a dead / shorted lane.
+                    value: if p & (1 << 32) == 0 { 0.0 } else { 1.0 },
+                },
+                FaultClass::TransientNan => FaultKind::TransientNan {
+                    row: (p as usize) % n,
+                    col: ((p >> 16) as usize) % n,
+                    inf: p & (1 << 32) != 0,
+                },
+                FaultClass::MemCorruption => unreachable!("not an mmo class"),
+            });
+        }
+        None
+    }
+
+    /// Draws the fault (if any) for store site `site` into a shared
+    /// memory of `words` f32 words.
+    pub fn fault_for_mem_site(&self, site: u64, words: usize) -> Option<FaultKind> {
+        if words == 0 || !self.strikes(FaultClass::MemCorruption, site) {
+            return None;
+        }
+        let p = mix(self.site_hash(FaultClass::MemCorruption, site) ^ 0x0fa7_a1f1_e1d5_ca1e);
+        Some(FaultKind::MemBitFlip {
+            word: (p as usize) % words,
+            bit: ((p >> 32) as u32) % 32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_strikes() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(42));
+        for site in 0..10_000 {
+            assert_eq!(plan.fault_for_mmo_site(site, 16), None);
+            assert_eq!(plan.fault_for_mem_site(site, 4096), None);
+        }
+    }
+
+    #[test]
+    fn full_rate_always_strikes() {
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(42, 1_000_000));
+        for site in 0..256 {
+            assert!(plan.fault_for_mmo_site(site, 16).is_some());
+            assert!(plan.fault_for_mem_site(site, 4096).is_some());
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let a = FaultPlan::new(FaultPlanConfig::uniform(7, 50_000));
+        let b = FaultPlan::new(FaultPlanConfig::uniform(7, 50_000));
+        for site in 0..50_000 {
+            assert_eq!(a.fault_for_mmo_site(site, 16), b.fault_for_mmo_site(site, 16));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(FaultPlanConfig::uniform(1, 100_000));
+        let b = FaultPlan::new(FaultPlanConfig::uniform(2, 100_000));
+        let divergent = (0..10_000u64)
+            .filter(|&s| a.fault_for_mmo_site(s, 16) != b.fault_for_mmo_site(s, 16))
+            .count();
+        assert!(divergent > 500, "only {divergent} divergent sites");
+    }
+
+    #[test]
+    fn empirical_rate_is_near_nominal() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(99).with_bit_flip_ppm(100_000));
+        let hits = (0..100_000u64)
+            .filter(|&s| plan.strikes(FaultClass::TileBitFlip, s))
+            .count();
+        // 10% nominal over 100k sites: expect within ±1% absolute.
+        assert!((9_000..=11_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn parameters_are_in_range() {
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(3, 1_000_000));
+        for site in 0..4096 {
+            match plan.fault_for_mmo_site(site, 16) {
+                Some(FaultKind::BitFlip { row, col, bit }) => {
+                    assert!(row < 16 && col < 16 && bit < 32);
+                }
+                Some(FaultKind::StuckLane { lane_row, lane_col, .. }) => {
+                    assert!(lane_row < MXU_GRID && lane_col < MXU_GRID);
+                }
+                Some(FaultKind::TransientNan { row, col, .. }) => {
+                    assert!(row < 16 && col < 16);
+                }
+                other => panic!("unexpected draw {other:?}"),
+            }
+            if let Some(FaultKind::MemBitFlip { word, bit }) = plan.fault_for_mem_site(site, 100)
+            {
+                assert!(word < 100 && bit < 32);
+            }
+        }
+    }
+}

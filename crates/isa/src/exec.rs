@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use simd2_fault::abft::{self, AbftConfig, AbftViolation};
+use simd2_fault::FaultInjector;
 use simd2_matrix::{Matrix, Tile, ISA_TILE};
 use simd2_mxu::{PrecisionMode, Simd2Unit};
 use simd2_semiring::precision::quantize_f16;
@@ -43,24 +45,57 @@ impl SharedMemory {
 
     /// Copies a matrix into memory at `addr` with leading dimension `ld`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the matrix does not fit.
-    pub fn write_matrix(&mut self, addr: usize, ld: usize, m: &Matrix) {
+    /// Returns [`ExecError::BadLeadingDimension`] when `ld` is narrower
+    /// than a matrix row, and [`ExecError::OutOfBounds`] when the region
+    /// does not fit.
+    pub fn write_matrix(&mut self, addr: usize, ld: usize, m: &Matrix) -> Result<(), ExecError> {
+        self.check_region(addr, ld, m.rows(), m.cols())?;
         for r in 0..m.rows() {
             let base = addr + r * ld;
             self.data[base..base + m.cols()].copy_from_slice(m.row(r));
         }
+        Ok(())
     }
 
     /// Reads a `rows × cols` matrix from `addr` with leading dimension
     /// `ld`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the region is out of bounds.
-    pub fn read_matrix(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Matrix {
-        Matrix::from_fn(rows, cols, |r, c| self.data[addr + r * ld + c])
+    /// Returns [`ExecError::BadLeadingDimension`] when `ld` is narrower
+    /// than a row, and [`ExecError::OutOfBounds`] when the region does
+    /// not fit.
+    pub fn read_matrix(
+        &self,
+        addr: usize,
+        ld: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix, ExecError> {
+        self.check_region(addr, ld, rows, cols)?;
+        Ok(Matrix::from_fn(rows, cols, |r, c| self.data[addr + r * ld + c]))
+    }
+
+    /// Bounds-checks a `rows × cols` region at `addr` with leading
+    /// dimension `ld` — the shared logic behind tile and matrix access.
+    fn check_region(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Result<(), ExecError> {
+        if rows == 0 || cols == 0 {
+            return Ok(());
+        }
+        if rows > 1 && ld < cols {
+            return Err(ExecError::BadLeadingDimension { ld });
+        }
+        let last = (rows - 1)
+            .checked_mul(ld)
+            .and_then(|x| x.checked_add(addr))
+            .and_then(|x| x.checked_add(cols - 1))
+            .unwrap_or(usize::MAX);
+        if last >= self.data.len() {
+            return Err(ExecError::OutOfBounds { addr, last, size: self.data.len() });
+        }
+        Ok(())
     }
 
     fn check_tile(&self, addr: u32, ld: u32) -> Result<(), ExecError> {
@@ -69,17 +104,13 @@ impl SharedMemory {
         if ld < ISA_TILE {
             return Err(ExecError::BadLeadingDimension { ld });
         }
-        let last = addr + (ISA_TILE - 1) * ld + (ISA_TILE - 1);
-        if last >= self.data.len() {
-            return Err(ExecError::OutOfBounds { addr, last, size: self.data.len() });
-        }
-        Ok(())
+        self.check_region(addr, ld, ISA_TILE, ISA_TILE)
     }
 }
 
-/// Execution error: memory faults only — encoding-level errors are caught
-/// at decode/assemble time.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Execution error: memory faults and detected silent corruption —
+/// encoding-level errors are caught at decode/assemble time.
+#[derive(Clone, Debug, PartialEq)]
 pub enum ExecError {
     /// Tile access past the end of shared memory.
     OutOfBounds {
@@ -95,6 +126,16 @@ pub enum ExecError {
         /// The offending leading dimension.
         ld: usize,
     },
+    /// An `mmo` result failed its ABFT invariant check — the datapath
+    /// produced a value the inputs cannot explain.
+    SilentCorruption {
+        /// The semiring operation that was executing.
+        op: OpKind,
+        /// Ordinal of the offending `mmo` within the run (0-based).
+        mmo_index: u64,
+        /// The invariant that failed.
+        violation: AbftViolation,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -106,6 +147,9 @@ impl fmt::Display for ExecError {
             ),
             ExecError::BadLeadingDimension { ld } => {
                 write!(f, "leading dimension {ld} is smaller than the 16-element tile row")
+            }
+            ExecError::SilentCorruption { op, mmo_index, violation } => {
+                write!(f, "silent corruption detected at mmo #{mmo_index} ({op}): {violation}")
             }
         }
     }
@@ -124,6 +168,10 @@ pub struct ExecStats {
     pub fills: u64,
     /// `simd2.mmo` count per operation.
     pub mmos: BTreeMap<OpKind, u64>,
+    /// Faults injected by an attached [`FaultInjector`] during the run.
+    pub faults_injected: u64,
+    /// `mmo` results that passed ABFT verification.
+    pub mmos_verified: u64,
 }
 
 impl ExecStats {
@@ -152,8 +200,8 @@ impl ExecStats {
 /// use simd2_matrix::Matrix;
 ///
 /// let mut mem = SharedMemory::new(1024);
-/// mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0));   // A
-/// mem.write_matrix(256, 16, &Matrix::filled(16, 16, 3.0)); // B
+/// mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0))?;   // A
+/// mem.write_matrix(256, 16, &Matrix::filled(16, 16, 3.0))?; // B
 /// let prog = asm::parse(
 ///     "simd2.load.f16 %m0, [0], 16
 ///      simd2.load.f16 %m1, [256], 16
@@ -164,7 +212,7 @@ impl ExecStats {
 /// let mut exec = Executor::new(mem);
 /// let stats = exec.run(&prog)?;
 /// assert_eq!(stats.total_mmos(), 1);
-/// assert_eq!(exec.memory().read_matrix(512, 16, 16, 16)[(0, 0)], 96.0);
+/// assert_eq!(exec.memory().read_matrix(512, 16, 16, 16)?[(0, 0)], 96.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -172,6 +220,8 @@ pub struct Executor {
     memory: SharedMemory,
     regs: Vec<Tile<ISA_TILE>>,
     unit: Simd2Unit,
+    injector: Option<Box<dyn FaultInjector>>,
+    abft: Option<AbftConfig>,
 }
 
 impl Executor {
@@ -184,7 +234,43 @@ impl Executor {
     /// Creates an executor with an explicit unit configuration (e.g.
     /// fp32-input for precision ablations).
     pub fn with_unit(memory: SharedMemory, unit: Simd2Unit) -> Self {
-        Self { memory, regs: vec![Tile::splat(0.0); MATRIX_REG_COUNT], unit }
+        Self {
+            memory,
+            regs: vec![Tile::splat(0.0); MATRIX_REG_COUNT],
+            unit,
+            injector: None,
+            abft: None,
+        }
+    }
+
+    /// Attaches a fault injector: every subsequent `mmo` result and
+    /// store passes through it. The injector keeps its site counters for
+    /// the executor's lifetime, so re-running a program draws fresh
+    /// faults.
+    pub fn set_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Detaches and returns the fault injector, with its accumulated
+    /// site counters and fault log.
+    pub fn take_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.injector.take()
+    }
+
+    /// The attached fault injector, if any (for telemetry).
+    pub fn injector(&self) -> Option<&dyn FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// Enables ABFT verification of every `mmo` result. A failed check
+    /// aborts the run with [`ExecError::SilentCorruption`].
+    pub fn enable_verification(&mut self, config: AbftConfig) {
+        self.abft = Some(config);
+    }
+
+    /// Disables ABFT verification.
+    pub fn disable_verification(&mut self) {
+        self.abft = None;
     }
 
     /// The shared memory (for reading results back).
@@ -231,12 +317,29 @@ impl Executor {
                 stats.loads += 1;
             }
             Instruction::Mmo { op, d, a, b, c } => {
-                let result = self.unit.execute(
-                    op,
-                    &self.regs[a.index()],
-                    &self.regs[b.index()],
-                    &self.regs[c.index()],
-                );
+                let (ta, tb, tc) =
+                    (self.regs[a.index()], self.regs[b.index()], self.regs[c.index()]);
+                let mut result = self.unit.execute(op, &ta, &tb, &tc);
+                if let Some(injector) = self.injector.as_mut() {
+                    let mut flat: Vec<f32> =
+                        (0..ISA_TILE * ISA_TILE).map(|i| result.get(i / ISA_TILE, i % ISA_TILE)).collect();
+                    if injector.inject_mmo(op, &mut flat, ISA_TILE).is_some() {
+                        stats.faults_injected += 1;
+                        result = Tile::from_fn(|r, c| flat[r * ISA_TILE + c]);
+                    }
+                }
+                if let Some(config) = self.abft {
+                    if let Err(violation) =
+                        abft::verify_tile(op, &self.unit, &ta, &tb, &tc, &result, &config)
+                    {
+                        return Err(ExecError::SilentCorruption {
+                            op,
+                            mmo_index: stats.total_mmos(),
+                            violation,
+                        });
+                    }
+                    stats.mmos_verified += 1;
+                }
                 self.regs[d.index()] = result;
                 *stats.mmos.entry(op).or_insert(0) += 1;
             }
@@ -246,6 +349,11 @@ impl Executor {
                 let tile = self.regs[src.index()];
                 for (r, c, v) in tile.iter() {
                     self.memory.data[addr + r * ld + c] = v;
+                }
+                if let Some(injector) = self.injector.as_mut() {
+                    if injector.inject_store(&mut self.memory.data).is_some() {
+                        stats.faults_injected += 1;
+                    }
                 }
                 stats.stores += 1;
             }
@@ -329,9 +437,9 @@ mod tests {
 
     fn exec_with_inputs(a: &Matrix, b: &Matrix, c: &Matrix, op: OpKind) -> (Matrix, ExecStats) {
         let mut mem = SharedMemory::new(4096);
-        mem.write_matrix(0, 16, a);
-        mem.write_matrix(256, 16, b);
-        mem.write_matrix(512, 16, c);
+        mem.write_matrix(0, 16, a).unwrap();
+        mem.write_matrix(256, 16, b).unwrap();
+        mem.write_matrix(512, 16, c).unwrap();
         let prog = vec![
             Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 0, ld: 16 },
             Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp16, addr: 256, ld: 16 },
@@ -347,7 +455,7 @@ mod tests {
         ];
         let mut exec = Executor::new(mem);
         let stats = exec.run(&prog).unwrap();
-        (exec.memory().read_matrix(768, 16, 16, 16), stats)
+        (exec.memory().read_matrix(768, 16, 16, 16).unwrap(), stats)
     }
 
     #[test]
@@ -373,7 +481,7 @@ mod tests {
     #[test]
     fn f16_loads_quantise_f32_loads_do_not() {
         let mut mem = SharedMemory::new(1024);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)); // not fp16-exact
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)).unwrap(); // not fp16-exact
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.load.f32 %m1, [0], 16",
@@ -388,7 +496,7 @@ mod tests {
     #[test]
     fn fp32_unit_mode_disables_quantisation() {
         let mut mem = SharedMemory::new(1024);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1));
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)).unwrap();
         let prog = asm::parse("simd2.load.f16 %m0, [0], 16").unwrap();
         let mut exec =
             Executor::with_unit(mem, Simd2Unit::with_precision(PrecisionMode::Fp32Input));
@@ -410,7 +518,7 @@ mod tests {
         // A 32-column matrix in memory; load the tile starting at column 16.
         let mut mem = SharedMemory::new(32 * 32);
         let big = Matrix::from_fn(32, 32, |r, c| (r * 32 + c) as f32);
-        mem.write_matrix(0, 32, &big);
+        mem.write_matrix(0, 32, &big).unwrap();
         let prog = asm::parse("simd2.load.f16 %m0, [16], 32").unwrap();
         let mut exec = Executor::new(mem);
         exec.run(&prog).unwrap();
@@ -440,7 +548,7 @@ mod tests {
     #[test]
     fn store_after_fault_does_not_happen() {
         let mut mem = SharedMemory::new(512);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0));
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0)).unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.load.f16 %m1, [100000], 16
@@ -450,13 +558,13 @@ mod tests {
         let mut exec = Executor::new(mem);
         assert!(exec.run(&prog).is_err());
         // The store never executed.
-        assert_eq!(exec.memory().read_matrix(256, 16, 16, 16), Matrix::zeros(16, 16));
+        assert_eq!(exec.memory().read_matrix(256, 16, 16, 16).unwrap(), Matrix::zeros(16, 16));
     }
 
     #[test]
     fn stats_accumulate() {
         let mut mem = SharedMemory::new(2048);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0));
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0)).unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.fill %m1, 0.0
@@ -479,7 +587,7 @@ mod tests {
     #[test]
     fn traced_run_matches_plain_run() {
         let mut mem = SharedMemory::new(2048);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0));
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0)).unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.fill %m1, inf
@@ -508,11 +616,243 @@ mod tests {
     }
 
     #[test]
+    fn write_matrix_rejects_bad_regions() {
+        let mut mem = SharedMemory::new(100);
+        let m = Matrix::filled(4, 8, 1.0);
+        assert_eq!(
+            mem.write_matrix(0, 4, &m),
+            Err(ExecError::BadLeadingDimension { ld: 4 })
+        );
+        assert!(matches!(
+            mem.write_matrix(90, 8, &m),
+            Err(ExecError::OutOfBounds { addr: 90, .. })
+        ));
+        // A failed write leaves memory untouched.
+        assert_eq!(mem, SharedMemory::new(100));
+        // Address arithmetic that would overflow is caught, not panicked.
+        assert!(mem.write_matrix(usize::MAX - 3, usize::MAX, &m).is_err());
+    }
+
+    #[test]
+    fn read_matrix_rejects_bad_regions() {
+        let mem = SharedMemory::new(64);
+        assert!(mem.read_matrix(0, 8, 8, 8).is_ok());
+        assert!(matches!(
+            mem.read_matrix(1, 8, 8, 8),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+        assert_eq!(
+            mem.read_matrix(0, 4, 2, 8),
+            Err(ExecError::BadLeadingDimension { ld: 4 })
+        );
+        // Degenerate empty reads succeed.
+        assert_eq!(mem.read_matrix(0, 8, 0, 8).unwrap(), Matrix::zeros(0, 8));
+    }
+
+    mod faults {
+        use super::*;
+        use simd2_fault::{AbftConfig, FaultPlan, FaultPlanConfig, PlannedInjector};
+
+        fn single_mmo_program(op: OpKind) -> Vec<Instruction> {
+            vec![
+                Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 0, ld: 16 },
+                Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp16, addr: 256, ld: 16 },
+                Instruction::Load { dst: MatrixReg::new(2), dtype: Dtype::Fp32, addr: 512, ld: 16 },
+                Instruction::Mmo {
+                    op,
+                    d: MatrixReg::new(3),
+                    a: MatrixReg::new(0),
+                    b: MatrixReg::new(1),
+                    c: MatrixReg::new(2),
+                },
+                Instruction::Store { src: MatrixReg::new(3), addr: 768, ld: 16 },
+            ]
+        }
+
+        fn staged_memory(op: OpKind) -> SharedMemory {
+            let mut mem = SharedMemory::new(4096);
+            let a = Matrix::from_fn(16, 16, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.25 - 1.0);
+            let b = Matrix::from_fn(16, 16, |r, c| ((r * 5 + c) % 13) as f32 * 0.5 - 2.0);
+            let c = Matrix::filled(16, 16, op.reduce_identity_f32());
+            mem.write_matrix(0, 16, &a).unwrap();
+            mem.write_matrix(256, 16, &b).unwrap();
+            mem.write_matrix(512, 16, &c).unwrap();
+            mem
+        }
+
+        #[test]
+        fn clean_runs_pass_verification_for_all_ops() {
+            for op in simd2_semiring::ALL_OPS {
+                let mut exec = Executor::new(staged_memory(op));
+                exec.enable_verification(AbftConfig::default());
+                let stats = exec.run(&single_mmo_program(op)).unwrap();
+                assert_eq!(stats.mmos_verified, 1, "{op}");
+                assert_eq!(stats.faults_injected, 0);
+            }
+        }
+
+        #[test]
+        fn every_injected_tile_fault_is_detected_or_provably_benign() {
+            // Tile-class faults only (bit flips, stuck lanes, reducer
+            // NaN/Inf); rates high enough that many runs are struck.
+            // Every program has one mmo at site 0, so the strike draw is
+            // shared by all ops within a seed — sweep enough seeds that
+            // plenty of them strike.
+            let mut struck = 0u64;
+            let mut detected = 0u64;
+            for seed in 0..32u64 {
+                let plan = FaultPlan::new(
+                    FaultPlanConfig::new(seed)
+                        .with_bit_flip_ppm(150_000)
+                        .with_stuck_lane_ppm(150_000)
+                        .with_transient_nan_ppm(150_000),
+                );
+                for op in simd2_semiring::ALL_OPS {
+                    let prog = single_mmo_program(op);
+                    let mut pristine = Executor::new(staged_memory(op));
+                    pristine.run(&prog).unwrap();
+                    let baseline = pristine.memory().read_matrix(768, 16, 16, 16).unwrap();
+
+                    let mut exec = Executor::new(staged_memory(op));
+                    exec.set_injector(Box::new(PlannedInjector::new(plan)));
+                    exec.enable_verification(AbftConfig::default());
+                    match exec.run(&prog) {
+                        Ok(stats) => {
+                            let got = exec.memory().read_matrix(768, 16, 16, 16).unwrap();
+                            if stats.faults_injected == 0 {
+                                assert_eq!(got, baseline, "{op} seed {seed}: fault-free run drifted");
+                                continue;
+                            }
+                            struck += 1;
+                            if op.reduce_is_idempotent() {
+                                // Witness checks are exact: an undetected
+                                // fault cannot have changed any value.
+                                assert_eq!(
+                                    got.max_abs_diff(&baseline).unwrap(),
+                                    0.0,
+                                    "{op} seed {seed}: undetected fault changed a value"
+                                );
+                            } else {
+                                // Checksum tolerance bounds the escape: the
+                                // result sum can drift by at most ~2·τ.
+                                let sum = |m: &Matrix| -> f64 {
+                                    m.as_slice().iter().map(|&v| f64::from(v)).sum()
+                                };
+                                let drift = (sum(&got) - sum(&baseline)).abs();
+                                // Bound ≈ 2·τ for the largest-magnitude
+                                // algebra here (plus-norm, mag ≈ 5e4).
+                                assert!(
+                                    drift <= 10.0,
+                                    "{op} seed {seed}: undetected fault drifted checksum by {drift}"
+                                );
+                            }
+                        }
+                        Err(ExecError::SilentCorruption { op: eop, .. }) => {
+                            assert_eq!(eop, op);
+                            let injected = exec.injector().unwrap().injected();
+                            assert!(injected >= 1, "detection without injection (false positive)");
+                            struck += 1;
+                            detected += 1;
+                        }
+                        Err(other) => panic!("{op} seed {seed}: unexpected {other}"),
+                    }
+                }
+            }
+            assert!(struck >= 40, "campaign too quiet: only {struck} struck runs");
+            assert!(detected >= struck / 2, "{detected}/{struck} detected");
+        }
+
+        #[test]
+        fn store_faults_corrupt_only_logged_words() {
+            use simd2_fault::FaultKind;
+            for seed in 0..16u64 {
+                let plan = FaultPlan::new(FaultPlanConfig::new(seed).with_mem_ppm(600_000));
+                let op = OpKind::PlusMul;
+                let prog = single_mmo_program(op);
+                let mut pristine = Executor::new(staged_memory(op));
+                pristine.run(&prog).unwrap();
+                let mut exec = Executor::new(staged_memory(op));
+                exec.set_injector(Box::new(PlannedInjector::new(plan)));
+                exec.run(&prog).unwrap();
+                let faulted_words: Vec<usize> = exec
+                    .injector()
+                    .unwrap()
+                    .log()
+                    .iter()
+                    .filter_map(|e| match e.kind {
+                        FaultKind::MemBitFlip { word, .. } => Some(word),
+                        _ => None,
+                    })
+                    .collect();
+                let clean = pristine.memory().read_matrix(0, 1, 1, 4096).unwrap();
+                let dirty = exec.memory().read_matrix(0, 1, 1, 4096).unwrap();
+                for w in 0..4096 {
+                    let same = clean.row(0)[w].to_bits() == dirty.row(0)[w].to_bits();
+                    if !same {
+                        assert!(
+                            faulted_words.contains(&w),
+                            "seed {seed}: word {w} differs but no fault was logged there"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn detection_reports_telemetry() {
+            let plan = FaultPlan::new(FaultPlanConfig::new(0).with_transient_nan_ppm(1_000_000));
+            let op = OpKind::PlusMul;
+            let mut exec = Executor::new(staged_memory(op));
+            exec.set_injector(Box::new(PlannedInjector::new(plan)));
+            exec.enable_verification(AbftConfig::default());
+            let err = exec.run(&single_mmo_program(op)).unwrap_err();
+            match err {
+                ExecError::SilentCorruption { op: eop, mmo_index, violation } => {
+                    assert_eq!(eop, op);
+                    assert_eq!(mmo_index, 0);
+                    // A transient NaN/Inf is caught by the tripwire or the
+                    // checksum, never misattributed to a witness.
+                    let text = violation.to_string();
+                    assert!(!text.is_empty());
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+            assert_eq!(exec.injector().unwrap().injected(), 1);
+            // The same seed replays identically.
+            let mut replay = Executor::new(staged_memory(op));
+            replay.set_injector(Box::new(PlannedInjector::new(plan)));
+            replay.enable_verification(AbftConfig::default());
+            assert_eq!(replay.run(&single_mmo_program(op)).unwrap_err(), err);
+        }
+
+        #[test]
+        fn retry_with_live_injector_can_recover() {
+            // At a 40% tile fault rate a handful of retries almost surely
+            // reaches a clean mmo site, because the injector's site
+            // counter advances across runs.
+            let plan = FaultPlan::new(FaultPlanConfig::new(3).with_bit_flip_ppm(400_000));
+            let op = OpKind::PlusMul;
+            let prog = single_mmo_program(op);
+            let mut exec = Executor::new(staged_memory(op));
+            exec.set_injector(Box::new(PlannedInjector::new(plan)));
+            exec.enable_verification(AbftConfig::default());
+            let mut succeeded = false;
+            for _ in 0..32 {
+                if exec.run(&prog).is_ok() {
+                    succeeded = true;
+                    break;
+                }
+            }
+            assert!(succeeded, "no retry out of 32 recovered");
+        }
+    }
+
+    #[test]
     fn memory_matrix_roundtrip() {
         let mut mem = SharedMemory::new(1000);
         let m = Matrix::from_fn(7, 9, |r, c| (r * 9 + c) as f32);
-        mem.write_matrix(37, 20, &m);
-        assert_eq!(mem.read_matrix(37, 20, 7, 9), m);
+        mem.write_matrix(37, 20, &m).unwrap();
+        assert_eq!(mem.read_matrix(37, 20, 7, 9).unwrap(), m);
         assert!(!mem.is_empty());
         assert_eq!(mem.len(), 1000);
     }

@@ -74,6 +74,18 @@ pub fn to_image(program: &[Instruction]) -> Vec<u8> {
     out
 }
 
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
 /// Loads a program from its binary image.
 ///
 /// # Errors
@@ -87,11 +99,11 @@ pub fn from_image(bytes: &[u8]) -> Result<Vec<Instruction>, ImageError> {
     if bytes[..8] != MAGIC {
         return Err(ImageError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let version = le_u32(bytes, 8);
     if version != VERSION {
         return Err(ImageError::BadVersion(version));
     }
-    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let count = le_u32(bytes, 12) as usize;
     let expected = 16 + count * 8;
     if bytes.len() < expected {
         return Err(ImageError::Truncated { expected, got: bytes.len() });
@@ -99,7 +111,7 @@ pub fn from_image(bytes: &[u8]) -> Result<Vec<Instruction>, ImageError> {
     let mut program = Vec::with_capacity(count);
     for i in 0..count {
         let start = 16 + i * 8;
-        let word = u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
+        let word = le_u64(bytes, start);
         let instr = Instruction::decode(word)
             .map_err(|source| ImageError::BadInstruction { index: i, source })?;
         program.push(instr);

@@ -1,7 +1,110 @@
 //! Compressed-sparse-row matrices and semiring spGEMM.
 
+use std::fmt;
+
 use simd2_matrix::Matrix;
 use simd2_semiring::OpKind;
+
+/// A structurally invalid CSR image.
+///
+/// Returned by the validating constructors ([`Csr::from_raw`],
+/// [`Csr::try_from_triplets`]); every variant pinpoints the first
+/// offending coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr` must have exactly `rows + 1` entries.
+    RowPointerLength {
+        /// Expected entry count (`rows + 1`).
+        expected: usize,
+        /// Actual entry count.
+        got: usize,
+    },
+    /// `row_ptr` must start at zero and never decrease.
+    NonMonotonicRowPointer {
+        /// First row whose pointer violates monotonicity.
+        row: usize,
+    },
+    /// The final row pointer must equal the stored entry count.
+    RowPointerMismatch {
+        /// Final row-pointer value.
+        row_ptr_end: usize,
+        /// Stored entries (`values.len()`).
+        nnz: usize,
+    },
+    /// `col_idx` and `values` must be the same length.
+    LengthMismatch {
+        /// Column-index count.
+        col_idx: usize,
+        /// Value count.
+        values: usize,
+    },
+    /// A column index is at or past the column count.
+    ColumnOutOfBounds {
+        /// Row containing the entry.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// The matrix column count.
+        cols: usize,
+    },
+    /// Column indices within a row must be strictly increasing (sorted,
+    /// no duplicates).
+    UnsortedColumns {
+        /// Row containing the violation.
+        row: usize,
+        /// The column index that is not greater than its predecessor.
+        col: usize,
+    },
+    /// A triplet's coordinates fall outside the matrix.
+    CoordinateOutOfRange {
+        /// Triplet row.
+        row: usize,
+        /// Triplet column.
+        col: usize,
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// Two triplets share a coordinate.
+    DuplicateEntry {
+        /// Duplicated row.
+        row: usize,
+        /// Duplicated column.
+        col: usize,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::RowPointerLength { expected, got } => {
+                write!(f, "row_ptr has {got} entries, expected {expected}")
+            }
+            CsrError::NonMonotonicRowPointer { row } => {
+                write!(f, "row_ptr decreases (or does not start at 0) at row {row}")
+            }
+            CsrError::RowPointerMismatch { row_ptr_end, nnz } => {
+                write!(f, "final row pointer {row_ptr_end} does not match {nnz} stored entries")
+            }
+            CsrError::LengthMismatch { col_idx, values } => {
+                write!(f, "{col_idx} column indices but {values} values")
+            }
+            CsrError::ColumnOutOfBounds { row, col, cols } => {
+                write!(f, "column {col} in row {row} is out of bounds for {cols} columns")
+            }
+            CsrError::UnsortedColumns { row, col } => {
+                write!(f, "column {col} in row {row} is not strictly increasing")
+            }
+            CsrError::CoordinateOutOfRange { row, col, shape } => {
+                write!(f, "triplet ({row},{col}) out of range for {}x{}", shape.0, shape.1)
+            }
+            CsrError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row},{col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
 
 /// A compressed-sparse-row matrix of `f32` values.
 ///
@@ -53,12 +156,24 @@ impl Csr {
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range coordinates or duplicate entries.
+    /// Panics on out-of-range coordinates or duplicate entries. Use
+    /// [`Csr::try_from_triplets`] to handle malformed input gracefully.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
         triplets: impl IntoIterator<Item = (usize, usize, f32)>,
     ) -> Self {
+        Self::try_from_triplets(rows, cols, triplets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds from explicit triplets `(row, col, value)`, rejecting
+    /// out-of-range coordinates and duplicate entries with a typed error
+    /// instead of panicking.
+    pub fn try_from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Result<Self, CsrError> {
         let mut entries: Vec<(usize, usize, f32)> = triplets.into_iter().collect();
         entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = vec![0usize; rows + 1];
@@ -66,8 +181,16 @@ impl Csr {
         let mut values = Vec::with_capacity(entries.len());
         let mut prev: Option<(usize, usize)> = None;
         for (r, c, v) in entries {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
-            assert_ne!(prev, Some((r, c)), "duplicate entry at ({r},{c})");
+            if r >= rows || c >= cols {
+                return Err(CsrError::CoordinateOutOfRange {
+                    row: r,
+                    col: c,
+                    shape: (rows, cols),
+                });
+            }
+            if prev == Some((r, c)) {
+                return Err(CsrError::DuplicateEntry { row: r, col: c });
+            }
             prev = Some((r, c));
             row_ptr[r + 1] += 1;
             col_idx.push(c as u32);
@@ -76,7 +199,74 @@ impl Csr {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Ok(Self { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Assembles a CSR matrix from its raw arrays, validating every
+    /// structural invariant:
+    ///
+    /// - `row_ptr` has `rows + 1` entries, starts at 0, is non-decreasing,
+    ///   and ends at the stored entry count;
+    /// - `col_idx` and `values` are the same length;
+    /// - within each row, column indices are strictly increasing (sorted,
+    ///   duplicate-free) and below `cols`.
+    ///
+    /// This is the untrusted-input entry point: a CSR image read from disk
+    /// or a device buffer goes through here so that downstream kernels
+    /// (`row_entries`, `spgemm`) can index without bounds panics.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, CsrError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(CsrError::RowPointerLength { expected: rows + 1, got: row_ptr.len() });
+        }
+        if col_idx.len() != values.len() {
+            return Err(CsrError::LengthMismatch {
+                col_idx: col_idx.len(),
+                values: values.len(),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(CsrError::NonMonotonicRowPointer { row: 0 });
+        }
+        for r in 0..rows {
+            if row_ptr[r + 1] < row_ptr[r] {
+                return Err(CsrError::NonMonotonicRowPointer { row: r + 1 });
+            }
+        }
+        if row_ptr[rows] != values.len() {
+            return Err(CsrError::RowPointerMismatch {
+                row_ptr_end: row_ptr[rows],
+                nnz: values.len(),
+            });
+        }
+        for r in 0..rows {
+            let mut prev: Option<u32> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c as usize >= cols {
+                    return Err(CsrError::ColumnOutOfBounds {
+                        row: r,
+                        col: c as usize,
+                        cols,
+                    });
+                }
+                if prev.is_some_and(|p| c <= p) {
+                    return Err(CsrError::UnsortedColumns { row: r, col: c as usize });
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Self { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// The raw `(row_ptr, col_idx, values)` arrays, consuming the matrix.
+    /// Feeding them back through [`Csr::from_raw`] reconstructs it.
+    pub fn into_raw(self) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        (self.row_ptr, self.col_idx, self.values)
     }
 
     /// Number of rows.
@@ -231,6 +421,77 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_triplets_rejected() {
         let _ = Csr::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.0)]);
+    }
+
+    #[test]
+    fn try_from_triplets_reports_typed_errors() {
+        assert_eq!(
+            Csr::try_from_triplets(2, 2, [(0, 3, 1.0)]),
+            Err(CsrError::CoordinateOutOfRange { row: 0, col: 3, shape: (2, 2) })
+        );
+        assert_eq!(
+            Csr::try_from_triplets(2, 2, [(1, 1, 1.0), (1, 1, 2.0)]),
+            Err(CsrError::DuplicateEntry { row: 1, col: 1 })
+        );
+        assert!(Csr::try_from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn from_raw_roundtrips_valid_images() {
+        let d = gen::random_sparse_matrix(16, 0.6, 4);
+        let s = Csr::from_dense(&d, 0.0);
+        let (row_ptr, col_idx, values) = s.clone().into_raw();
+        let rebuilt = Csr::from_raw(16, 16, row_ptr, col_idx, values).unwrap();
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_row_pointers() {
+        assert_eq!(
+            Csr::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(CsrError::RowPointerLength { expected: 3, got: 2 })
+        );
+        assert_eq!(
+            Csr::from_raw(2, 2, vec![1, 1, 1], vec![1], vec![1.0]),
+            Err(CsrError::NonMonotonicRowPointer { row: 0 })
+        );
+        assert_eq!(
+            Csr::from_raw(2, 2, vec![0, 1, 0], vec![1], vec![1.0]),
+            Err(CsrError::NonMonotonicRowPointer { row: 2 })
+        );
+        assert_eq!(
+            Csr::from_raw(2, 2, vec![0, 1, 2], vec![1], vec![1.0]),
+            Err(CsrError::RowPointerMismatch { row_ptr_end: 2, nnz: 1 })
+        );
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_columns() {
+        assert_eq!(
+            Csr::from_raw(1, 2, vec![0, 2], vec![0, 1], vec![1.0]),
+            Err(CsrError::LengthMismatch { col_idx: 2, values: 1 })
+        );
+        assert_eq!(
+            Csr::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]),
+            Err(CsrError::ColumnOutOfBounds { row: 0, col: 5, cols: 2 })
+        );
+        // Out of order within a row.
+        assert_eq!(
+            Csr::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]),
+            Err(CsrError::UnsortedColumns { row: 0, col: 0 })
+        );
+        // Duplicate column within a row.
+        assert_eq!(
+            Csr::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]),
+            Err(CsrError::UnsortedColumns { row: 0, col: 1 })
+        );
+    }
+
+    #[test]
+    fn csr_error_displays_and_is_std_error() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(CsrError::DuplicateEntry { row: 3, col: 4 });
+        assert!(e.to_string().contains("duplicate entry at (3,4)"));
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod gamma;
 pub mod model;
 pub mod structured;
 
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};

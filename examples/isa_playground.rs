@@ -41,9 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = Matrix::from_fn(32, 32, |r, c| ((r * 5 + c) % 11 + 1) as f32);
     let c = Matrix::filled(32, 32, f32::INFINITY);
     let mut mem = SharedMemory::new(4096);
-    mem.write_matrix(0, 32, &a); //     A at elements [0,    1024)
-    mem.write_matrix(1024, 32, &b); //  B at elements [1024, 2048)
-    mem.write_matrix(2048, 32, &c); //  C at elements [2048, 3072)
+    mem.write_matrix(0, 32, &a)?; //     A at elements [0,    1024)
+    mem.write_matrix(1024, 32, &b)?; //  B at elements [1024, 2048)
+    mem.write_matrix(2048, 32, &c)?; //  C at elements [2048, 3072)
 
     // Execute.
     let mut exec = Executor::new(mem);
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Verify the tile against the whole-matrix reference.
-    let got = exec.memory().read_matrix(2048, 32, 16, 16);
+    let got = exec.memory().read_matrix(2048, 32, 16, 16)?;
     let full = simd2_repro::matrix::reference::mmo(
         simd2_repro::semiring::OpKind::MinPlus,
         &a,

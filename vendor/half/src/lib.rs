@@ -1,0 +1,161 @@
+//! Offline vendored stand-in for the `half` crate.
+//!
+//! Implements IEEE 754 binary16 ⇄ binary32 conversion with
+//! round-to-nearest-even, including subnormals, infinities and NaNs —
+//! the full numeric behaviour `simd2-semiring::precision` relies on.
+
+/// An IEEE 754 binary16 value stored as its bit pattern.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct f16(u16);
+
+impl f16 {
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN; keep NaN payload non-zero.
+            let payload = if man != 0 { 0x0200 | ((man >> 13) as u16 & 0x03FF) | 1 } else { 0 };
+            return Self(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent, rebiasing from 127 to 15.
+        let unbiased = exp - 127;
+        if unbiased >= 16 {
+            // Too large even before rounding: overflow to infinity.
+            return Self(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal f16 range (rounding may still carry into infinity).
+            let half_exp = (unbiased + 15) as u32;
+            // 24-bit significand with the implicit leading one.
+            let sig = man | 0x0080_0000;
+            let shifted = sig >> 13;
+            let rem = sig & 0x1FFF;
+            let mut value = (half_exp << 10) + (shifted - 0x0400);
+            if rem > 0x1000 || (rem == 0x1000 && (shifted & 1) == 1) {
+                value += 1; // carry propagates through exponent naturally
+            }
+            if value >= 0x7C00 {
+                return Self(sign | 0x7C00);
+            }
+            return Self(sign | value as u16);
+        }
+        // Subnormal f16 (or underflow to zero).
+        if unbiased < -25 {
+            return Self(sign); // rounds to zero even at the halfway point
+        }
+        let sig = man | 0x0080_0000;
+        let shift = (-14 - unbiased + 13) as u32; // 14..=24
+        let shifted = sig >> shift;
+        let rem = sig & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut value = shifted;
+        if rem > halfway || (rem == halfway && (shifted & 1) == 1) {
+            value += 1; // may round up into the smallest normal: still correct bits
+        }
+        Self(sign | value as u16)
+    }
+
+    /// Converts to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 >> 15) << 31;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let man = u32::from(self.0) & 0x03FF;
+        let bits = match (exp, man) {
+            (0, 0) => sign,
+            (0, _) => {
+                // Subnormal with value man·2⁻²⁴: renormalise. The highest
+                // set bit p = 10 - lz becomes the implicit one.
+                let lz = man.leading_zeros() - 21;
+                let shifted = (man << lz) & 0x03FF;
+                let e = 127 - 24 + (10 - lz);
+                sign | (e << 23) | (shifted << 13)
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, _) => sign | 0x7F80_0000 | (man << 13) | 1,
+            _ => sign | ((exp + 127 - 15) << 23) | (man << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        Self(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::f16;
+
+    fn roundtrip(x: f32) -> f32 {
+        f16::from_f32(x).to_f32()
+    }
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for x in [0.0, -0.0, 1.0, -1.0, 0.5, 0.25, 2048.0, 65504.0, 0.0009765625] {
+            assert_eq!(roundtrip(x), x, "{x}");
+        }
+        assert_eq!(roundtrip(f32::INFINITY), f32::INFINITY);
+        assert_eq!(roundtrip(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(roundtrip(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn integers_up_to_2048_are_exact() {
+        for i in 0..=2048u32 {
+            assert_eq!(roundtrip(i as f32), i as f32, "{i}");
+        }
+        assert_ne!(roundtrip(2049.0), 2049.0);
+        assert_eq!(roundtrip(2049.0), 2048.0, "round to even mantissa");
+        assert_eq!(roundtrip(2051.0), 2052.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(roundtrip(65504.0), 65504.0);
+        assert_eq!(roundtrip(65519.0), 65504.0, "below halfway");
+        assert_eq!(roundtrip(65520.0), f32::INFINITY, "tie rounds to even (inf)");
+        assert_eq!(roundtrip(1.0e6), f32::INFINITY);
+        assert_eq!(roundtrip(-1.0e6), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormals_are_handled() {
+        let min_sub = 5.960_464_5e-8; // 2^-24
+        assert_eq!(roundtrip(min_sub), min_sub);
+        let min_normal = 6.103_515_6e-5; // 2^-14
+        assert_eq!(roundtrip(min_normal), min_normal);
+        assert_eq!(roundtrip(min_sub / 2.0), 0.0, "tie at 2^-25 rounds to even zero");
+        assert_eq!(roundtrip(min_sub * 0.4), 0.0);
+        assert_eq!(roundtrip(min_sub * 1.5), min_sub * 2.0, "tie rounds to even");
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; even
+        // mantissa wins.
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(roundtrip(halfway), 1.0);
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-17);
+        assert_eq!(roundtrip(above), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn bit_pattern_accessors() {
+        assert_eq!(f16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(f16::from_bits(0x3C00).to_f32(), 1.0);
+        assert_eq!(f16::from_f32(-2.0).to_bits(), 0xC000);
+    }
+}

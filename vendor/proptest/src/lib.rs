@@ -1,0 +1,424 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace uses — the
+//! [`proptest!`] macro, range/`Just`/`prop_oneof!`/`any` strategies,
+//! `prop_map`, boxed strategies, `collection::vec`, a deterministic
+//! [`test_runner::TestRunner`] and the assertion macros — implemented as
+//! a plain seeded random-case runner. Failing cases are reported by the
+//! standard assertion panic; there is **no shrinking**. Case streams are
+//! a pure function of the test name, so failures reproduce exactly.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    use crate::test_runner::TestRunner;
+
+    /// A generator of values of one type.
+    ///
+    /// Unlike upstream proptest there is no shrinking tree; a strategy
+    /// just draws a value from the runner's RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+
+        /// Draws a (degenerate, non-shrinking) value tree.
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this implementation.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SingleValueTree<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(SingleValueTree { value: self.generate(runner.rng_mut()) })
+        }
+    }
+
+    /// A generated value plus its (absent) shrink history.
+    pub trait ValueTree {
+        /// The type of the held value.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The only [`ValueTree`] shape here: a single fixed value.
+    #[derive(Clone, Debug)]
+    pub struct SingleValueTree<T> {
+        pub(crate) value: T,
+    }
+
+    impl<T: Clone> ValueTree for SingleValueTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+
+        fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy producing one fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (see `prop_oneof!`).
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+pub mod arbitrary {
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// Whole-domain strategy for `T` (see [`any`]).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy over all of `T`, including the weird
+    /// values (NaN bit patterns for floats, extremes for integers).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> f32 {
+            // Arbitrary bit patterns: includes NaN, infinities, subnormals.
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use rand::rngs::StdRng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for fixed-length vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, size: usize) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.size).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases each `proptest!` test executes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic case runner: owns the RNG strategies draw from.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Runner with a fixed, documented seed — every call constructs
+        /// an identical stream.
+        pub fn deterministic() -> Self {
+            Self::new_seeded(0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Runner seeded explicitly.
+        pub fn new_seeded(seed: u64) -> Self {
+            Self { rng: StdRng::seed_from_u64(seed) }
+        }
+
+        /// The underlying RNG.
+        pub fn rng_mut(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    /// Stable per-test seed derived from the test's name (FNV-1a), so
+    /// each test sees its own reproducible stream.
+    pub fn case_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests; see crate docs for limits.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new_seeded(
+                    $crate::test_runner::case_seed(stringify!($name)),
+                );
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng_mut());
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest name (no shrink-and-report machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(x in 1u32..100, y in (0usize..4).prop_map(|i| i * 2)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(y % 2 == 0 && y < 8);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in any::<f32>()) {
+            prop_assume!(!x.is_nan());
+            prop_assert!(x == x);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(3u8)]) {
+            prop_assert!(v == 1 || v == 3);
+        }
+    }
+
+    #[test]
+    fn trees_are_deterministic_per_runner() {
+        let strat = crate::collection::vec(0u16..64, 16);
+        let a = strat.new_tree(&mut crate::test_runner::TestRunner::deterministic()).unwrap();
+        let b = strat.new_tree(&mut crate::test_runner::TestRunner::deterministic()).unwrap();
+        assert_eq!(a.current(), b.current());
+        assert_eq!(a.current().len(), 16);
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! No serializer backend (serde_json, bincode, …) exists in this
+//! workspace, so `Serialize`/`Deserialize` only ever appear as derive
+//! attributes and trait bounds. These marker traits plus the no-op
+//! derive in `serde_derive` satisfy both without any crates.io access.
+//! If a real serializer is ever added, swap this for upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (), bool, char, String, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize,
+    f32, f64
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

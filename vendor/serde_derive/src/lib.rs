@@ -1,0 +1,43 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in: emit empty marker-trait impls for the deriving type.
+//! Supports plain (non-generic) structs and enums, which is every type
+//! that derives serde in this workspace, and accepts (and ignores)
+//! `#[serde(...)]` helper attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tree in input {
+        match tree {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("vendored serde_derive: could not find a type name in the derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("vendored serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("vendored serde_derive: generated impl must parse")
+}
