@@ -1,0 +1,249 @@
+//! Whole-matrix MMO throughput of the tiled execution engine.
+//!
+//! Measures the monomorphized, allocation-free kernel path of
+//! [`simd2::TiledBackend`] against a *scalar baseline* — a faithful
+//! reimplementation of the pre-fusion datapath (per-scalar dynamic
+//! `OpKind` dispatch, per-element partial-product `Vec`, per-level
+//! reduction `Vec`) — and sweeps the worker-pool size.
+//!
+//! For every `(op, N, threads)` point it reports wall time, tile-MMOs/s
+//! and effective tile-traffic GB/s (tile loads + stores × 16×16 × 4 B),
+//! plus the speedup over the scalar baseline at the same size. Results
+//! are printed as a table and written to `BENCH_throughput.json`
+//! (hand-rolled JSON; the build vendors no JSON serializer).
+//!
+//! Pass `--quick` for a seconds-scale smoke run (small N, fewer ops and
+//! thread counts, single rep) used by `scripts/bench.sh`.
+
+use std::time::Instant;
+
+use simd2::{Backend, Parallelism, TiledBackend};
+use simd2_bench::{report::fmt_speedup, Table};
+use simd2_matrix::tiling::TileGrid;
+use simd2_matrix::{gen, tiling, Matrix, Tile, ISA_TILE};
+use simd2_semiring::{precision::quantize_f16, OpKind, ALL_OPS};
+
+/// The pre-optimization reduction: materializes a fresh `Vec` per tree
+/// level. Pairing is identical to the fused in-place kernel, so outputs
+/// stay bit-identical — only the allocation behaviour differs.
+fn scalar_tree_reduce(op: OpKind, mut level: Vec<f32>) -> f32 {
+    if level.is_empty() {
+        return op.reduce_identity_f32();
+    }
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|p| {
+                if p.len() == 2 {
+                    op.reduce_f32(p[0], p[1])
+                } else {
+                    p[0]
+                }
+            })
+            .collect();
+    }
+    level[0]
+}
+
+/// The pre-optimization tile datapath: one `match` on `op` per scalar
+/// (inside `combine_f32`/`reduce_f32`), one heap allocation per output
+/// element, quantization re-applied per scalar read.
+fn scalar_execute(
+    op: OpKind,
+    a: &Tile<ISA_TILE>,
+    b: &Tile<ISA_TILE>,
+    c: &Tile<ISA_TILE>,
+) -> Tile<ISA_TILE> {
+    Tile::from_fn(|i, j| {
+        let mut partials = Vec::with_capacity(ISA_TILE);
+        for k in 0..ISA_TILE {
+            let x = quantize_f16(a.get(i, k));
+            let y = quantize_f16(b.get(k, j));
+            partials.push(op.combine_f32(x, y));
+        }
+        let reduced = scalar_tree_reduce(op, partials);
+        op.reduce_f32(c.get(i, j), reduced)
+    })
+}
+
+/// Whole-matrix MMO through the scalar tile datapath — same tile loop as
+/// the sequential `TiledBackend` path, different per-tile kernel.
+fn scalar_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Matrix {
+    let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
+    let mut d = Matrix::zeros(a.rows(), b.cols());
+    for (ti, tj) in grid.output_coords() {
+        let mut acc = tiling::load_c_tile::<ISA_TILE>(op, c, ti, tj);
+        for tk in 0..grid.k_tiles {
+            let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
+            let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
+            acc = scalar_execute(op, &at, &bt, &acc);
+        }
+        tiling::store_d_tile(&mut d, &acc, ti, tj);
+    }
+    d
+}
+
+/// In-domain operands for `op` (booleans for or-and, reliabilities in
+/// (0, 1] for the min/max-mul algebras, small weights otherwise).
+fn operands(op: OpKind, m: usize, n: usize, k: usize) -> (Matrix, Matrix, Matrix) {
+    match op {
+        OpKind::OrAnd => (
+            gen::random_bool_matrix(m, k, 0.5, 11),
+            gen::random_bool_matrix(k, n, 0.5, 12),
+            gen::random_bool_matrix(m, n, 0.5, 13),
+        ),
+        OpKind::MinMul | OpKind::MaxMul => (
+            gen::random_matrix(m, k, 0.05, 1.0, 11),
+            gen::random_matrix(k, n, 0.05, 1.0, 12),
+            gen::random_matrix(m, n, 0.05, 1.0, 13),
+        ),
+        _ => (
+            gen::random_matrix(m, k, 0.0, 8.0, 11),
+            gen::random_matrix(k, n, 0.0, 8.0, 12),
+            gen::random_matrix(m, n, 0.0, 8.0, 13),
+        ),
+    }
+}
+
+struct Entry {
+    op: OpKind,
+    n: usize,
+    threads: usize,
+    seconds: f64,
+    tile_mmos_per_s: f64,
+    gbps: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// Times `f` over `reps` runs (after one warmup) and returns the best.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn render_json(quick: bool, entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"tile\": {ISA_TILE},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \"seconds\": {}, \
+             \"tile_mmos_per_s\": {}, \"gbps\": {}, \"speedup_vs_scalar\": {}}}{}\n",
+            e.op.name(),
+            e.n,
+            e.threads,
+            jnum(e.seconds),
+            jnum(e.tile_mmos_per_s),
+            jnum(e.gbps),
+            jnum(e.speedup_vs_scalar),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, reps): (&[usize], usize) = if quick {
+        (&[128], 1)
+    } else {
+        (&[256, 512, 1024], 3)
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    // All nine ops at the smallest size; a representative plus-mul /
+    // min-plus / plus-norm subset at the larger ones keeps full mode
+    // minutes-scale on one core.
+    let subset = [OpKind::PlusMul, OpKind::MinPlus, OpKind::PlusNorm];
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut t = Table::new(
+        "MMO throughput: fused engine vs scalar baseline (square NxN)",
+        &[
+            "op",
+            "N",
+            "threads",
+            "seconds",
+            "tile-MMOs/s",
+            "GB/s",
+            "vs scalar",
+        ],
+    );
+
+    for (si, &n) in sizes.iter().enumerate() {
+        let ops: Vec<OpKind> = if si == 0 {
+            ALL_OPS.to_vec()
+        } else {
+            subset.to_vec()
+        };
+        for op in ops {
+            let (a, b, c) = operands(op, n, n, n);
+            let scalar_s = time_best(reps, || scalar_mmo(op, &a, &b, &c));
+            for &threads in thread_counts {
+                let mut be = TiledBackend::with_parallelism(Parallelism::Threads(threads));
+                // Sanity: fusion and the worker pool must not change a
+                // single bit relative to the scalar datapath.
+                if threads == thread_counts[0] {
+                    let fused = be.mmo(op, &a, &b, &c).expect("mmo");
+                    let scalar = scalar_mmo(op, &a, &b, &c);
+                    assert!(
+                        fused
+                            .as_slice()
+                            .iter()
+                            .zip(scalar.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "fused engine diverged from scalar baseline: {op} N={n}"
+                    );
+                }
+                be.reset_count();
+                let seconds = time_best(reps, || be.mmo(op, &a, &b, &c).expect("mmo"));
+                // Counters cover warmup + reps; normalize to one run.
+                let runs = (reps + 1) as f64;
+                let count = be.op_count();
+                let tile_mmos = count.tile_mmos as f64 / runs;
+                let traffic_bytes =
+                    (count.tile_loads + count.tile_stores) as f64 / runs * (ISA_TILE * ISA_TILE) as f64 * 4.0;
+                let e = Entry {
+                    op,
+                    n,
+                    threads,
+                    seconds,
+                    tile_mmos_per_s: tile_mmos / seconds,
+                    gbps: traffic_bytes / seconds / 1e9,
+                    speedup_vs_scalar: scalar_s / seconds,
+                };
+                t.row(&[
+                    op.name().to_owned(),
+                    n.to_string(),
+                    threads.to_string(),
+                    format!("{:.4}", e.seconds),
+                    format!("{:.3e}", e.tile_mmos_per_s),
+                    format!("{:.2}", e.gbps),
+                    fmt_speedup(e.speedup_vs_scalar),
+                ]);
+                entries.push(e);
+            }
+        }
+    }
+
+    t.print();
+    let json = render_json(quick, &entries);
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote BENCH_throughput.json ({} entries)", entries.len());
+}

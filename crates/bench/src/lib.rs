@@ -16,6 +16,7 @@
 //! | `fig13_sparse`   | Figure 13 (sparse SIMD² units) |
 //! | `fig14_crossover`| Figure 14 (spGEMM vs dense crossover + OOM) |
 //! | `validate_apps`  | §5.1 correctness validation sweep |
+//! | `throughput`     | host engine throughput: fused kernels vs scalar baseline, thread sweep (`BENCH_throughput.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -33,6 +33,49 @@ pub struct OpCount {
     pub tile_stores: u64,
 }
 
+impl std::ops::AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: Self) {
+        self.matrix_mmos += rhs.matrix_mmos;
+        self.tile_mmos += rhs.tile_mmos;
+        self.tile_loads += rhs.tile_loads;
+        self.tile_stores += rhs.tile_stores;
+    }
+}
+
+/// Degree of worker parallelism a tiled backend uses for the output tile
+/// grid.
+///
+/// Output tiles are mutually independent and the intra-tile reduction
+/// order never changes, so every setting produces **bit-identical**
+/// results — the knob trades wall-clock time only. Backends whose unit
+/// carries order-sensitive state (fault injection) ignore the knob and
+/// stay sequential; see
+/// [`MmoUnit::parallel_snapshot`](simd2_fault::MmoUnit::parallel_snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded reference execution order.
+    #[default]
+    Sequential,
+    /// A fixed worker count (values below 1 are clamped to 1).
+    Threads(usize),
+    /// One worker per CPU the host reports
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this setting resolves to on this host.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+        }
+    }
+}
+
 /// A whole-matrix SIMD² operation engine.
 ///
 /// Implementations must produce results equivalent to
@@ -123,17 +166,26 @@ impl Backend for ReferenceBackend {
 /// The unit is generic so the same tiling loop runs over the pristine
 /// [`Simd2Unit`] or a [`simd2_fault::FaultySimd2Unit`] whose datapath
 /// injects faults.
+///
+/// With a [`Parallelism`] setting above one worker, pristine units
+/// execute the output tile grid as row panels across a scoped worker
+/// pool — bit-identical to sequential execution (tiles are independent;
+/// per-tile reduction order is unchanged), with exact merged counters.
+/// Fault-injected units always run the sequential schedule so their
+/// site-counter order (and therefore every campaign) stays
+/// deterministic.
 #[derive(Clone, Debug)]
 pub struct TiledBackend<U: MmoUnit = Simd2Unit> {
     unit: U,
     count: OpCount,
+    parallelism: Parallelism,
 }
 
 // A single, non-generic `Default` impl so `TiledBackend::default()`
 // still infers the default unit type.
 impl Default for TiledBackend<Simd2Unit> {
     fn default() -> Self {
-        Self { unit: Simd2Unit::default(), count: OpCount::default() }
+        Self::with_unit(Simd2Unit::default())
     }
 }
 
@@ -142,12 +194,20 @@ impl TiledBackend<Simd2Unit> {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Creates the backend with the default unit and the given
+    /// parallelism setting.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        let mut be = Self::default();
+        be.set_parallelism(parallelism);
+        be
+    }
 }
 
 impl<U: MmoUnit> TiledBackend<U> {
     /// Creates the backend over a specific unit.
     pub fn with_unit(unit: U) -> Self {
-        Self { unit, count: OpCount::default() }
+        Self { unit, count: OpCount::default(), parallelism: Parallelism::default() }
     }
 
     /// The underlying unit (e.g. for fault telemetry).
@@ -159,6 +219,88 @@ impl<U: MmoUnit> TiledBackend<U> {
     pub fn into_unit(self) -> U {
         self.unit
     }
+
+    /// The configured parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Sets the parallelism of subsequent [`Backend::mmo`] calls.
+    ///
+    /// Results are bit-identical across settings; units without a
+    /// [`parallel_snapshot`](MmoUnit::parallel_snapshot) (fault-injected
+    /// datapaths) execute sequentially regardless.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+}
+
+/// Executes one output panel of the tile grid on a private copy of the
+/// pristine unit, writing results into the panel's row slab of `D` and
+/// counting its own work (merged by the caller so totals stay exact).
+fn run_panel(
+    unit: Simd2Unit,
+    op: OpKind,
+    (a, b, c): (&Matrix, &Matrix, &Matrix),
+    grid: &TileGrid,
+    panel: std::ops::Range<usize>,
+    slab: &mut [f32],
+) -> OpCount {
+    let row0 = grid.panel_rows(&panel).start;
+    let mut count = OpCount::default();
+    for ti in panel {
+        for tj in 0..grid.n_tiles {
+            let mut acc = tiling::load_c_tile::<ISA_TILE>(op, c, ti, tj);
+            count.tile_loads += 1;
+            for tk in 0..grid.k_tiles {
+                let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
+                let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
+                acc = unit.execute(op, &at, &bt, &acc);
+                count.tile_loads += 2;
+                count.tile_mmos += 1;
+            }
+            tiling::store_d_tile_in_panel(slab, row0, grid.n, &acc, ti, tj);
+            count.tile_stores += 1;
+        }
+    }
+    count
+}
+
+/// The parallel tile-grid schedule: output tile rows are split into one
+/// contiguous panel per worker ([`TileGrid::row_panels`]), each worker
+/// owns its panel's disjoint row slab of `D`, and per-worker [`OpCount`]s
+/// are merged after the scope joins. Panel assignment only partitions
+/// *independent* output tiles and each tile's k-loop runs in the exact
+/// sequential order, so the result is bit-identical to the sequential
+/// schedule.
+fn mmo_parallel(
+    unit: Simd2Unit,
+    op: OpKind,
+    a: &Matrix,
+    b: &Matrix,
+    c: &Matrix,
+    grid: &TileGrid,
+    workers: usize,
+) -> (Matrix, OpCount) {
+    let mut d = Matrix::zeros(grid.m, grid.n);
+    let panels = grid.row_panels(workers);
+    let mut total = OpCount::default();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(panels.len());
+        let mut rest: &mut [f32] = d.as_mut_slice();
+        for panel in panels {
+            let rows = grid.panel_rows(&panel);
+            let (slab, tail) = std::mem::take(&mut rest).split_at_mut(rows.len() * grid.n);
+            rest = tail;
+            handles.push(
+                s.spawn(move || run_panel(unit, op, (a, b, c), grid, panel, slab)),
+            );
+        }
+        for handle in handles {
+            total += handle.join().expect("panel worker panicked");
+        }
+    });
+    (d, total)
 }
 
 impl<U: MmoUnit> Backend for TiledBackend<U> {
@@ -179,6 +321,15 @@ impl<U: MmoUnit> Backend for TiledBackend<U> {
     ) -> Result<Matrix, BackendError> {
         reference::check_mmo_shapes(a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
+        let workers = self.parallelism.worker_count();
+        if workers > 1 && grid.m_tiles > 1 {
+            if let Some(unit) = self.unit.parallel_snapshot() {
+                let (d, count) = mmo_parallel(unit, op, a, b, c, &grid, workers);
+                self.count += count;
+                self.count.matrix_mmos += 1;
+                return Ok(d);
+            }
+        }
         let mut d = Matrix::zeros(a.rows(), b.cols());
         for (ti, tj) in grid.output_coords() {
             // Accumulate across the k tiles, starting from the C tile —
@@ -449,6 +600,73 @@ mod tests {
         assert_eq!(t.op_count().tile_mmos, i.op_count().tile_mmos);
         assert_eq!(t.op_count().tile_stores, i.op_count().tile_stores);
         assert_eq!(i.exec_stats().mmos[&op], 8);
+    }
+
+    #[test]
+    fn parallel_backend_is_bit_identical_to_sequential() {
+        for op in ALL_OPS {
+            let (a, b, c) = operands(op, 70, 23, 37); // ragged, 5 tile rows
+            let seq = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
+            for workers in [2usize, 4, 8] {
+                let mut be = TiledBackend::with_parallelism(Parallelism::Threads(workers));
+                let par = be.mmo(op, &a, &b, &c).unwrap();
+                // Bit-for-bit, not approx: same tiles, same reduction order.
+                assert!(
+                    seq.as_slice()
+                        .iter()
+                        .zip(par.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{op} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counters_stay_exact() {
+        let op = OpKind::MinPlus;
+        let (a, b, c) = operands(op, 80, 48, 33);
+        let mut seq = TiledBackend::new();
+        seq.mmo(op, &a, &b, &c).unwrap();
+        for workers in [2usize, 3, 8] {
+            let mut par = TiledBackend::with_parallelism(Parallelism::Threads(workers));
+            par.mmo(op, &a, &b, &c).unwrap();
+            assert_eq!(par.op_count(), seq.op_count(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_roundtrips_and_auto_resolves() {
+        let mut be = TiledBackend::new();
+        assert_eq!(be.parallelism(), Parallelism::Sequential);
+        be.set_parallelism(Parallelism::Threads(0));
+        assert_eq!(be.parallelism().worker_count(), 1, "clamped to one worker");
+        assert_eq!(Parallelism::Threads(4).worker_count(), 4);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+        assert_eq!(Parallelism::Sequential.worker_count(), 1);
+    }
+
+    #[test]
+    fn faulty_units_ignore_the_parallelism_knob() {
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        let op = OpKind::PlusMul;
+        let (a, b, c) = operands(op, 40, 40, 40);
+        let faulty = |threads| {
+            let plan = FaultPlan::new(FaultPlanConfig::new(7).with_bit_flip_ppm(200_000));
+            let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan));
+            let mut be = TiledBackend::with_unit(unit);
+            be.set_parallelism(threads);
+            let d = be.mmo(op, &a, &b, &c).unwrap();
+            let log: Vec<_> = be.unit().injector().log().to_vec();
+            (d, log)
+        };
+        let (d_seq, log_seq) = faulty(Parallelism::Sequential);
+        let (d_par, log_par) = faulty(Parallelism::Threads(8));
+        // Same seed, same (sequential) site order ⇒ identical faults and
+        // identical corrupted output, even with the knob set.
+        assert_eq!(log_seq, log_par);
+        assert_eq!(d_seq, d_par);
+        assert!(!log_seq.is_empty(), "campaign should have struck at this rate");
     }
 
     #[test]

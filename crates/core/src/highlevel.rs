@@ -25,8 +25,85 @@
 use simd2_matrix::Matrix;
 use simd2_semiring::OpKind;
 
-use crate::backend::{Backend, TiledBackend};
+use crate::backend::{Backend, OpCount, Parallelism, TiledBackend};
 use crate::error::BackendError;
+
+/// A reusable high-level execution context: one tiled SIMD² engine, its
+/// [`Parallelism`] setting, and its accumulated work counters.
+///
+/// The free functions ([`simd2_mmo`], [`simd2_minplus`], …) construct a
+/// fresh sequential context per call; long-lived callers (solvers, app
+/// kernels, benchmark harnesses) hold a context so the thread-count knob
+/// is set once and counters aggregate across calls. Every setting is
+/// bit-identical — parallelism only partitions independent output tiles.
+///
+/// # Example
+///
+/// ```
+/// use simd2::highlevel::Simd2Context;
+/// use simd2::Parallelism;
+/// use simd2_matrix::Matrix;
+/// use simd2_semiring::OpKind;
+///
+/// let mut ctx = Simd2Context::with_parallelism(Parallelism::Auto);
+/// let a = Matrix::filled(32, 32, 1.0);
+/// let c = Matrix::filled(32, 32, f32::INFINITY);
+/// let d = ctx.mmo(OpKind::MinPlus, &a, &a, &c)?;
+/// assert_eq!(d[(0, 0)], 2.0);
+/// assert_eq!(ctx.op_count().matrix_mmos, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Simd2Context {
+    backend: TiledBackend,
+}
+
+impl Simd2Context {
+    /// A sequential context over the default fp16-input datapath.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context with the given parallelism setting.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        Self { backend: TiledBackend::with_parallelism(parallelism) }
+    }
+
+    /// The current parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.backend.parallelism()
+    }
+
+    /// Changes the parallelism of subsequent calls (results unchanged).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.backend.set_parallelism(parallelism);
+    }
+
+    /// Executes `D = C ⊕ (A ⊗ B)` with implicit tiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when operand shapes are incompatible.
+    pub fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        self.backend.mmo(op, a, b, c)
+    }
+
+    /// Work counters accumulated across every call on this context.
+    pub fn op_count(&self) -> OpCount {
+        self.backend.op_count()
+    }
+
+    /// Resets the accumulated work counters.
+    pub fn reset_count(&mut self) {
+        self.backend.reset_count();
+    }
+}
 
 /// Generic high-level entry point: `D = C ⊕ (A ⊗ B)` for any of the nine
 /// operations, implicit tiling, fp16 operand semantics.
@@ -35,7 +112,7 @@ use crate::error::BackendError;
 ///
 /// Returns a [`BackendError`] when operand shapes are incompatible.
 pub fn simd2_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Result<Matrix, BackendError> {
-    TiledBackend::new().mmo(op, a, b, c)
+    Simd2Context::new().mmo(op, a, b, c)
 }
 
 macro_rules! highlevel_fn {
@@ -149,5 +226,23 @@ mod tests {
         let b = Matrix::zeros(3, 4);
         let c = Matrix::zeros(4, 4);
         assert!(simd2_minplus(&a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn context_accumulates_counts_and_matches_free_functions() {
+        let a = Matrix::from_fn(33, 17, |r, c| ((r + c) % 5) as f32);
+        let b = Matrix::from_fn(17, 21, |r, c| ((r * c) % 3) as f32);
+        let c = Matrix::filled(33, 21, f32::INFINITY);
+        let mut ctx = Simd2Context::with_parallelism(Parallelism::Threads(4));
+        assert_eq!(ctx.parallelism(), Parallelism::Threads(4));
+        let d1 = ctx.mmo(OpKind::MinPlus, &a, &b, &c).unwrap();
+        let d2 = ctx.mmo(OpKind::MinPlus, &a, &b, &c).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(d1, simd2_minplus(&a, &b, &c).unwrap());
+        assert_eq!(ctx.op_count().matrix_mmos, 2);
+        ctx.reset_count();
+        assert_eq!(ctx.op_count(), OpCount::default());
+        ctx.set_parallelism(Parallelism::Sequential);
+        assert_eq!(ctx.parallelism(), Parallelism::Sequential);
     }
 }

@@ -38,7 +38,8 @@ pub mod solve;
 pub mod typed;
 pub mod validate;
 
-pub use backend::{Backend, IsaBackend, OpCount, ReferenceBackend, TiledBackend};
+pub use backend::{Backend, IsaBackend, OpCount, Parallelism, ReferenceBackend, TiledBackend};
 pub use error::BackendError;
+pub use highlevel::Simd2Context;
 pub use resilient::{RecoveryPolicy, RecoveryStats, ResilientBackend};
 pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

@@ -1,0 +1,111 @@
+//! Property-based cross-validation of the parallel tile-grid schedule
+//! against the sequential reference schedule.
+//!
+//! The contract under test is the strongest one the engine makes:
+//! **bit-for-bit identity** for every operation, every (non-square)
+//! shape, and every worker count — plus exact equality of the merged
+//! [`OpCount`] work counters. Any divergence would mean panel
+//! partitioning changed a reduction order or dropped/duplicated a tile.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use simd2::{Backend, OpCount, Parallelism, TiledBackend};
+use simd2_matrix::Matrix;
+use simd2_semiring::{OpKind, ALL_OPS};
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    (0..ALL_OPS.len()).prop_map(|i| ALL_OPS[i])
+}
+
+/// In-domain operand values for the given op (reliabilities in (0,1],
+/// booleans in {0,1}, everything else small non-negative reals).
+fn operand(op: OpKind, raw: u16) -> f32 {
+    let raw = f32::from(raw % 64);
+    match op {
+        OpKind::OrAnd => {
+            if raw >= 32.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        OpKind::MinMul | OpKind::MaxMul => 0.5 + raw / 128.0,
+        _ => raw * 0.25,
+    }
+}
+
+fn matrix_strategy(op: OpKind, rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(any::<u16>(), rows * cols)
+        .prop_map(move |vals| Matrix::from_fn(rows, cols, |r, c| operand(op, vals[r * cols + c])))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel == sequential, bit for bit, over all nine ops ×
+    /// non-square shapes × worker counts {1, 2, 4, 8}; counters exact.
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit(
+        op in op_strategy(),
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+        let a = matrix_strategy(op, m, k).new_tree(&mut runner).unwrap().current();
+        let b = matrix_strategy(op, k, n).new_tree(&mut runner).unwrap().current();
+        let c = matrix_strategy(op, m, n).new_tree(&mut runner).unwrap().current();
+
+        let mut seq_be = TiledBackend::new();
+        let seq = seq_be.mmo(op, &a, &b, &c).unwrap();
+        let seq_count = seq_be.op_count();
+        prop_assert!(seq_count.tile_mmos > 0);
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut par_be = TiledBackend::with_parallelism(Parallelism::Threads(workers));
+            let par = par_be.mmo(op, &a, &b, &c).unwrap();
+            prop_assert_eq!(par.shape(), (m, n));
+            for (i, (x, y)) in seq.as_slice().iter().zip(par.as_slice()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} {}x{}x{} workers={} element {}",
+                    op, m, n, k, workers, i
+                );
+            }
+            // OpCount exactness under parallelism: per-worker counters
+            // merged after the join must equal the sequential totals.
+            prop_assert_eq!(par_be.op_count(), seq_count, "workers={}", workers);
+        }
+    }
+
+    /// Repeated parallel runs on one backend keep accumulating exact
+    /// counters (merge-on-join never double-counts or loses work).
+    #[test]
+    fn counters_accumulate_exactly_across_calls(
+        m in 1usize..50,
+        n in 1usize..50,
+        k in 1usize..34,
+        calls in 1usize..4,
+    ) {
+        let op = OpKind::MinPlus;
+        let a = Matrix::from_fn(m, k, |r, c| ((r + c) % 7) as f32);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * c) % 5) as f32);
+        let c = Matrix::filled(m, n, f32::INFINITY);
+        let mut one = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        one.mmo(op, &a, &b, &c).unwrap();
+        let per_call = one.op_count();
+        let mut many = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        for _ in 0..calls {
+            many.mmo(op, &a, &b, &c).unwrap();
+        }
+        let want = OpCount {
+            matrix_mmos: per_call.matrix_mmos * calls as u64,
+            tile_mmos: per_call.tile_mmos * calls as u64,
+            tile_loads: per_call.tile_loads * calls as u64,
+            tile_stores: per_call.tile_stores * calls as u64,
+        };
+        prop_assert_eq!(many.op_count(), want);
+    }
+}

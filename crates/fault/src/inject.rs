@@ -179,6 +179,21 @@ pub trait MmoUnit: std::fmt::Debug {
 
     /// The input precision mode of the underlying datapath.
     fn precision(&self) -> PrecisionMode;
+
+    /// A stateless snapshot of the datapath that may be replicated
+    /// across worker threads, or `None` when the unit carries mutable
+    /// state whose visiting order is observable.
+    ///
+    /// The pristine [`Simd2Unit`] is pure (same inputs ⇒ same output
+    /// tile, no internal state), so tiled backends may execute disjoint
+    /// output tiles concurrently on copies of it. A
+    /// [`FaultySimd2Unit`] returns `None`: its injector's site counter
+    /// advances per mmo, so tile order is semantically meaningful and
+    /// execution must stay sequential for fault campaigns to remain
+    /// deterministic.
+    fn parallel_snapshot(&self) -> Option<Simd2Unit> {
+        None
+    }
 }
 
 impl MmoUnit for Simd2Unit {
@@ -198,6 +213,10 @@ impl MmoUnit for Simd2Unit {
 
     fn precision(&self) -> PrecisionMode {
         Simd2Unit::precision(self)
+    }
+
+    fn parallel_snapshot(&self) -> Option<Simd2Unit> {
+        Some(*self)
     }
 }
 
@@ -338,6 +357,14 @@ mod tests {
             }
         }
         assert!(changed);
+    }
+
+    #[test]
+    fn only_pristine_units_offer_parallel_snapshots() {
+        let unit = Simd2Unit::new();
+        assert_eq!(MmoUnit::parallel_snapshot(&unit), Some(unit));
+        let faulty = FaultySimd2Unit::new(unit, PlannedInjector::new(always_plan()));
+        assert_eq!(faulty.parallel_snapshot(), None);
     }
 
     #[test]

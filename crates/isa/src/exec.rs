@@ -75,7 +75,16 @@ impl SharedMemory {
         cols: usize,
     ) -> Result<Matrix, ExecError> {
         self.check_region(addr, ld, rows, cols)?;
-        Ok(Matrix::from_fn(rows, cols, |r, c| self.data[addr + r * ld + c]))
+        if rows == 0 || cols == 0 {
+            return Ok(Matrix::zeros(rows, cols));
+        }
+        // Whole-row memcpy per row, mirroring `write_matrix`.
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let base = addr + r * ld;
+            data.extend_from_slice(&self.data[base..base + cols]);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
     }
 
     /// Bounds-checks a `rows × cols` region at `addr` with leading
@@ -645,8 +654,10 @@ mod tests {
             mem.read_matrix(0, 4, 2, 8),
             Err(ExecError::BadLeadingDimension { ld: 4 })
         );
-        // Degenerate empty reads succeed.
+        // Degenerate empty reads succeed, even at out-of-range addresses
+        // (a zero-element region touches no memory).
         assert_eq!(mem.read_matrix(0, 8, 0, 8).unwrap(), Matrix::zeros(0, 8));
+        assert_eq!(mem.read_matrix(1 << 40, 8, 5, 0).unwrap(), Matrix::zeros(5, 0));
     }
 
     mod faults {

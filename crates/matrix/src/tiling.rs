@@ -114,6 +114,43 @@ impl TileGrid {
         let n_tiles = self.n_tiles;
         (0..self.m_tiles).flat_map(move |ti| (0..n_tiles).map(move |tj| (ti, tj)))
     }
+
+    /// Partitions the output tile rows into at most `parts` contiguous,
+    /// balanced panels (each a `Range` of tile-row indices `ti`).
+    ///
+    /// Panels are the unit of worker parallelism: output tiles in
+    /// different panels are disjoint, and a panel's element rows
+    /// `ti·tile .. min(m, (ti_end)·tile)` form one contiguous row-major
+    /// slab of the output matrix, so workers can own non-overlapping
+    /// mutable slices. Earlier panels get the remainder tile rows, so
+    /// sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn row_panels(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(parts > 0, "panel count must be positive");
+        let parts = parts.min(self.m_tiles.max(1));
+        let base = self.m_tiles / parts;
+        let extra = self.m_tiles % parts;
+        let mut panels = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            if len == 0 {
+                break;
+            }
+            panels.push(start..start + len);
+            start += len;
+        }
+        panels
+    }
+
+    /// Element rows `row0..row1` of the output covered by a panel of
+    /// tile rows, clipped to the true (unpadded) matrix height.
+    pub fn panel_rows(&self, panel: &std::ops::Range<usize>) -> std::ops::Range<usize> {
+        (panel.start * self.tile).min(self.m)..(panel.end * self.tile).min(self.m)
+    }
 }
 
 /// Loads the `A` operand tile at grid coordinate `(ti, tk)`.
@@ -135,6 +172,43 @@ pub fn load_c_tile<const T: usize>(op: OpKind, c: &Matrix, ti: usize, tj: usize)
 /// the true (unpadded) matrix boundary.
 pub fn store_d_tile<const T: usize>(d: &mut Matrix, tile: &Tile<T>, ti: usize, tj: usize) {
     tile.store(d, ti * T, tj * T);
+}
+
+/// Stores an output tile into a *panel slab*: a contiguous row-major
+/// slice covering element rows `row0..row0 + slab.len()/cols` of the
+/// output matrix (see [`TileGrid::panel_rows`]). Clips at the slab's row
+/// range and at the matrix column boundary, mirroring [`store_d_tile`].
+///
+/// # Panics
+///
+/// Panics if `cols == 0` while the slab is non-empty, or if `slab` is
+/// not a whole number of rows.
+pub fn store_d_tile_in_panel<const T: usize>(
+    slab: &mut [f32],
+    row0: usize,
+    cols: usize,
+    tile: &Tile<T>,
+    ti: usize,
+    tj: usize,
+) {
+    if slab.is_empty() {
+        return;
+    }
+    assert!(cols > 0 && slab.len().is_multiple_of(cols), "slab must be whole rows");
+    let rows = slab.len() / cols;
+    for r in 0..T {
+        let gr = ti * T + r;
+        if gr < row0 || gr >= row0 + rows {
+            continue;
+        }
+        let row = &mut slab[(gr - row0) * cols..(gr - row0 + 1) * cols];
+        for c in 0..T {
+            let gc = tj * T + c;
+            if gc < cols {
+                row[gc] = tile.get(r, c);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +277,71 @@ mod tests {
         assert_eq!(t.get(3, 3), f32::INFINITY);
         let c: Tile<4> = load_c_tile(OpKind::MinPlus, &a, 1, 1);
         assert_eq!(c.get(3, 3), f32::INFINITY);
+    }
+
+    #[test]
+    fn row_panels_cover_exactly_once_and_balance() {
+        for m in [1usize, 15, 16, 17, 100, 160] {
+            let g = TileGrid::new(m, 32, 32, 16);
+            for parts in 1..=8usize {
+                let panels = g.row_panels(parts);
+                assert!(panels.len() <= parts);
+                assert!(!panels.is_empty());
+                // Contiguous, disjoint, complete cover of 0..m_tiles.
+                let mut next = 0;
+                for p in &panels {
+                    assert_eq!(p.start, next, "m={m} parts={parts}");
+                    assert!(p.end > p.start);
+                    next = p.end;
+                }
+                assert_eq!(next, g.m_tiles);
+                // Balanced to within one tile row.
+                let lens: Vec<usize> = panels.iter().map(|p| p.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "m={m} parts={parts}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_rows_clip_to_matrix_height() {
+        let g = TileGrid::new(20, 16, 16, 16); // 2 tile rows, 20 real rows
+        let panels = g.row_panels(2);
+        assert_eq!(g.panel_rows(&panels[0]), 0..16);
+        assert_eq!(g.panel_rows(&panels[1]), 16..20);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel count")]
+    fn zero_panels_panics() {
+        let _ = TileGrid::new(16, 16, 16, 16).row_panels(0);
+    }
+
+    #[test]
+    fn panel_store_matches_matrix_store() {
+        // Storing through the slab path must write exactly the bytes the
+        // whole-matrix path writes, including ragged edges.
+        let (m, n) = (21, 19);
+        let tile = Tile::<4>::from_fn(|r, c| (r * 4 + c) as f32 + 1.0);
+        let g = TileGrid::new(m, n, 8, 4);
+        for parts in [1usize, 2, 3] {
+            let mut via_matrix = Matrix::zeros(m, n);
+            let mut via_slabs = Matrix::zeros(m, n);
+            for (ti, tj) in g.output_coords() {
+                store_d_tile(&mut via_matrix, &tile, ti, tj);
+            }
+            for panel in g.row_panels(parts) {
+                let rows = g.panel_rows(&panel);
+                let slab_range = rows.start * n..rows.end * n;
+                let slab = &mut via_slabs.as_mut_slice()[slab_range];
+                for ti in panel.clone() {
+                    for tj in 0..g.n_tiles {
+                        store_d_tile_in_panel(slab, rows.start, n, &tile, ti, tj);
+                    }
+                }
+            }
+            assert_eq!(via_matrix, via_slabs, "parts={parts}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use simd2_semiring::kernel::{dispatch_kernel, KernelVisitor, SemiringKernel};
 use simd2_semiring::precision::quantize_f16;
 use simd2_semiring::OpKind;
 
@@ -49,23 +50,66 @@ pub enum PrecisionMode {
     Int8Input,
 }
 
-/// Reduces `values` pairwise as a balanced binary tree.
-fn tree_reduce(op: OpKind, values: &mut Vec<f32>) -> f32 {
-    if values.is_empty() {
-        return op.reduce_identity_f32();
+/// Reduces `values` pairwise as a balanced binary tree, monomorphized
+/// over the kernel and performed by in-place halving — each level writes
+/// its results into the front of the same buffer, so the whole reduction
+/// runs in the caller's (stack) storage with zero heap traffic. The
+/// pairing `(v[2i], v[2i+1])`, with an odd straggler carried down
+/// unchanged, is exactly the level order of the Figure 3/5 tree that
+/// [`tree_reduce`] used to materialise per level.
+#[inline]
+fn tree_reduce_in_place<K: SemiringKernel>(values: &mut [f32]) -> f32 {
+    let mut len = values.len();
+    if len == 0 {
+        return K::IDENTITY;
     }
-    while values.len() > 1 {
-        let mut next = Vec::with_capacity(values.len().div_ceil(2));
-        for pair in values.chunks(2) {
-            next.push(if pair.len() == 2 {
-                op.reduce_f32(pair[0], pair[1])
-            } else {
-                pair[0]
-            });
+    while len > 1 {
+        let pairs = len / 2;
+        for i in 0..pairs {
+            values[i] = K::reduce(values[2 * i], values[2 * i + 1]);
         }
-        *values = next;
+        if len % 2 == 1 {
+            values[pairs] = values[len - 1];
+        }
+        len = len.div_ceil(2);
     }
     values[0]
+}
+
+/// Reduces `values` pairwise as a balanced binary tree, in place, using
+/// the scratch space of `values` itself (dynamic-op wrapper over the
+/// monomorphized [`tree_reduce_in_place`]). Returns `op`'s `⊕` identity
+/// for an empty slice. This is the exact reduction order of the unit's
+/// `⊕` tree, exposed for oracles that need to reproduce its rounding.
+pub fn tree_reduce(op: OpKind, values: &mut [f32]) -> f32 {
+    struct Reduce<'a>(&'a mut [f32]);
+    impl KernelVisitor for Reduce<'_> {
+        type Output = f32;
+        fn visit<K: SemiringKernel>(self) -> f32 {
+            tree_reduce_in_place::<K>(self.0)
+        }
+    }
+    dispatch_kernel(op, Reduce(values))
+}
+
+/// The fused, monomorphized tile kernel: for each output element,
+/// combine the `k` operand pairs into a `[f32; N]` stack buffer,
+/// tree-reduce it in place, and fold the accumulator element in last.
+/// Operands must already be quantised.
+#[inline]
+fn execute_kernel<K: SemiringKernel, const N: usize>(
+    a: &Tile<N>,
+    b: &Tile<N>,
+    c: &Tile<N>,
+) -> Tile<N> {
+    Tile::from_fn(|i, j| {
+        let mut partials = [K::IDENTITY; N];
+        for (k, p) in partials.iter_mut().enumerate() {
+            *p = K::combine(a.get(i, k), b.get(k, j));
+        }
+        let reduced = tree_reduce_in_place::<K>(&mut partials);
+        K::reduce(c.get(i, j), reduced)
+    })
 }
 
 /// The SIMD² matrix unit: executes all nine operations on `N × N` tiles.
@@ -114,11 +158,28 @@ impl Simd2Unit {
         }
     }
 
+    /// Quantises every element of an operand tile once, up front — the
+    /// input-stage registers of Figure 4(c). The quantiser is a pure
+    /// per-element function, so hoisting it out of the `k` loop changes
+    /// no bits while cutting the call count from `N³` to `N²`.
+    #[inline]
+    fn quantize_tile<const N: usize>(&self, t: &Tile<N>) -> Tile<N> {
+        match self.precision {
+            PrecisionMode::Fp32Input => *t,
+            _ => Tile::from_fn(|r, c| self.quantize(t.get(r, c))),
+        }
+    }
+
     /// Executes `D = C ⊕ (A ⊗ B)` on tiles.
     ///
     /// `A`/`B` elements pass through the input quantiser; the `⊕`
     /// reduction over `k` runs as a balanced tree in fp32, is folded with
     /// the `C` element last, and the result is returned as a fresh tile.
+    ///
+    /// The operation is resolved to a monomorphized [`SemiringKernel`]
+    /// exactly once per call — the inner `N³` loop contains no dynamic
+    /// dispatch and no heap allocation (the `k` partials live in a
+    /// `[f32; N]` stack buffer reduced in place).
     pub fn execute<const N: usize>(
         &self,
         op: OpKind,
@@ -126,13 +187,20 @@ impl Simd2Unit {
         b: &Tile<N>,
         c: &Tile<N>,
     ) -> Tile<N> {
-        Tile::from_fn(|i, j| {
-            let mut partials: Vec<f32> = (0..N)
-                .map(|k| op.combine_f32(self.quantize(a.get(i, k)), self.quantize(b.get(k, j))))
-                .collect();
-            let reduced = tree_reduce(op, &mut partials);
-            op.reduce_f32(c.get(i, j), reduced)
-        })
+        let qa = self.quantize_tile(a);
+        let qb = self.quantize_tile(b);
+        struct Exec<'t, const N: usize> {
+            a: &'t Tile<N>,
+            b: &'t Tile<N>,
+            c: &'t Tile<N>,
+        }
+        impl<const N: usize> KernelVisitor for Exec<'_, N> {
+            type Output = Tile<N>;
+            fn visit<K: SemiringKernel>(self) -> Tile<N> {
+                execute_kernel::<K, N>(self.a, self.b, self.c)
+            }
+        }
+        dispatch_kernel(op, Exec { a: &qa, b: &qb, c })
     }
 
     /// Executes with an implicit accumulator tile holding the `⊕` identity
@@ -308,6 +376,27 @@ mod tests {
             mma.execute(OpKind::PlusMul, &a, &b, &c).unwrap(),
             unit.execute(OpKind::PlusMul, &a, &b, &c)
         );
+    }
+
+    #[test]
+    fn in_place_tree_matches_level_materialising_tree() {
+        // The balanced-tree rounding semantics the docs promise: the
+        // in-place halving must produce bit-identical results to a tree
+        // that materialises every level, for every length (odd lengths
+        // exercise the straggler carry) and for a rounding-sensitive op.
+        for len in 1..=40usize {
+            let vals: Vec<f32> = (0..len).map(|i| 0.1 + (i as f32) * 0.3).collect();
+            let mut levels = vals.clone();
+            let mut reference = levels.clone();
+            while reference.len() > 1 {
+                reference = reference
+                    .chunks(2)
+                    .map(|p| if p.len() == 2 { p[0] + p[1] } else { p[0] })
+                    .collect();
+            }
+            let got = tree_reduce(OpKind::PlusMul, &mut levels);
+            assert_eq!(got.to_bits(), reference[0].to_bits(), "len {len}");
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   evaluation used by the functional matrix-unit model,
 //! * the [`Semiring`] trait and one zero-sized marker type per operator pair
 //!   ([`PlusMul`], [`MinPlus`], …) for statically-typed kernels,
+//! * [`kernel`] — the [`SemiringKernel`] execution-kernel trait (`const`
+//!   `⊕` identity, inlined steps) and the once-per-operation
+//!   [`dispatch_kernel`] bridge from dynamic [`OpKind`]s to
+//!   monomorphized code,
 //! * [`precision`] — fp16-in / fp32-out numerics matching the SIMD² data
 //!   path, and
 //! * [`properties`] — reusable algebraic property checks backing the
@@ -41,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernel;
 mod op;
 pub mod precision;
 pub mod properties;
 mod typed;
 
+pub use kernel::{dispatch_kernel, KernelVisitor, SemiringKernel};
 pub use op::{OpKind, ParseOpKindError};
 pub use typed::{
     visit_f32_semiring, BoolOrAnd, F32SemiringVisitor, IntMinPlus, MaxMin, MaxMul, MaxPlus,

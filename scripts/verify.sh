@@ -6,3 +6,9 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Optional: throughput-bench smoke (adds a few seconds). Enable with
+#   SIMD2_BENCH_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_BENCH_SMOKE:-0}" = "1" ]; then
+  scripts/bench.sh
+fi
