@@ -75,7 +75,11 @@ pub fn simd2<B: Backend>(
 
 /// Length of the overall critical path (the largest finite entry).
 pub fn critical_path_length(d: &Matrix) -> f32 {
-    d.as_slice().iter().copied().filter(|x| x.is_finite()).fold(0.0, f32::max)
+    d.as_slice()
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .fold(0.0, f32::max)
 }
 
 #[cfg(test)]

@@ -81,8 +81,7 @@ pub fn blocked_floyd_warshall(op: OpKind, adj: &Matrix, b: usize) -> Matrix {
                     for i in range(bi) {
                         let dik = d[(i, k)];
                         for j in range(bj) {
-                            d[(i, j)] =
-                                op.reduce_f32(d[(i, j)], op.combine_f32(dik, d[(k, j)]));
+                            d[(i, j)] = op.reduce_f32(d[(i, j)], op.combine_f32(dik, d[(k, j)]));
                         }
                     }
                 }

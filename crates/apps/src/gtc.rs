@@ -82,8 +82,14 @@ pub fn simd2<B: Backend>(
     algorithm: ClosureAlgorithm,
     convergence: bool,
 ) -> ClosureResult {
-    solve::closure(backend, OpKind::OrAnd, &g.reachability(), algorithm, convergence)
-        .expect("square adjacency")
+    solve::closure(
+        backend,
+        OpKind::OrAnd,
+        &g.reachability(),
+        algorithm,
+        convergence,
+    )
+    .expect("square adjacency")
 }
 
 #[cfg(test)]

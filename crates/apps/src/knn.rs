@@ -80,7 +80,9 @@ pub fn simd2<B: Backend>(backend: &mut B, points: &Matrix, k: usize) -> KnnResul
     // D[q][r] = Σ_d (A[q,d] − B[d,r])²  with  B = pointsᵀ.
     let bt = points.transposed();
     let c = Matrix::zeros(n, n);
-    let dmat = backend.mmo(OpKind::PlusNorm, points, &bt, &c).expect("shapes by construction");
+    let dmat = backend
+        .mmo(OpKind::PlusNorm, points, &bt, &c)
+        .expect("shapes by construction");
     let mut indices = Vec::with_capacity(n);
     let mut distances = Vec::with_capacity(n);
     for q in 0..n {
@@ -184,7 +186,9 @@ mod tests {
         let pts = generate(24, 11);
         let bt = pts.transposed();
         let c = Matrix::zeros(24, 24);
-        let d = ReferenceBackend::new().mmo(OpKind::PlusNorm, &pts, &bt, &c).unwrap();
+        let d = ReferenceBackend::new()
+            .mmo(OpKind::PlusNorm, &pts, &bt, &c)
+            .unwrap();
         for i in 0..24 {
             assert!(d[(i, i)].abs() < 1e-5);
             for j in 0..24 {

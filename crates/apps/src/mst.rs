@@ -51,11 +51,13 @@ pub fn generate(n: usize, extra_p: f64, seed: u64) -> Graph {
 
 /// Baseline: Kruskal with union-find.
 pub fn baseline(g: &Graph) -> MstResult {
-    let mut edges: Vec<(usize, usize, f32)> = g
-        .edges()
-        .filter(|&(u, v, _)| u < v)
-        .collect();
-    edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut edges: Vec<(usize, usize, f32)> = g.edges().filter(|&(u, v, _)| u < v).collect();
+    edges.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .unwrap()
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
     let mut uf = UnionFind::new(g.vertex_count());
     let mut tree = Vec::with_capacity(g.vertex_count().saturating_sub(1));
     let mut total = 0.0f64;
@@ -66,7 +68,10 @@ pub fn baseline(g: &Graph) -> MstResult {
         }
     }
     tree.sort_unstable_by_key(|e| (e.0, e.1));
-    MstResult { edges: tree, total_weight: total }
+    MstResult {
+        edges: tree,
+        total_weight: total,
+    }
 }
 
 /// SIMD²-ized MST: min-max closure, then edge extraction by the cycle
@@ -83,9 +88,8 @@ pub fn simd2<B: Backend>(
     convergence: bool,
 ) -> (MstResult, ClosureResult) {
     let adj = g.adjacency(OpKind::MinMax);
-    let closure =
-        simd2::solve::closure(backend, OpKind::MinMax, &adj, algorithm, convergence)
-            .expect("square adjacency");
+    let closure = simd2::solve::closure(backend, OpKind::MinMax, &adj, algorithm, convergence)
+        .expect("square adjacency");
     let mst = extract_mst(g, &closure.closure);
     (mst, closure)
 }
@@ -102,7 +106,10 @@ pub fn extract_mst(g: &Graph, bottleneck: &Matrix) -> MstResult {
         }
     }
     tree.sort_unstable_by_key(|e| (e.0, e.1));
-    MstResult { edges: tree, total_weight: total }
+    MstResult {
+        edges: tree,
+        total_weight: total,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +203,11 @@ mod tests {
     #[test]
     fn generator_weights_are_distinct() {
         let g = generate(20, 0.2, 11);
-        let mut ws: Vec<u32> = g.edges().filter(|&(u, v, _)| u < v).map(|e| e.2 as u32).collect();
+        let mut ws: Vec<u32> = g
+            .edges()
+            .filter(|&(u, v, _)| u < v)
+            .map(|e| e.2 as u32)
+            .collect();
         let before = ws.len();
         ws.sort_unstable();
         ws.dedup();

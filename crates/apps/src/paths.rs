@@ -57,8 +57,7 @@ pub fn simd2<B: Backend>(
     algorithm: ClosureAlgorithm,
     convergence: bool,
 ) -> ClosureResult {
-    solve::closure(backend, op, &g.adjacency(op), algorithm, convergence)
-        .expect("square adjacency")
+    solve::closure(backend, op, &g.adjacency(op), algorithm, convergence).expect("square adjacency")
 }
 
 #[cfg(test)]
@@ -74,7 +73,10 @@ mod tests {
         let mut be = ReferenceBackend::new();
         for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
             let got = simd2(&mut be, OpKind::MaxMin, &g, alg, true);
-            assert!(compare_outputs("mcp", &want, &got.closure, 0.0).passed(), "{alg:?}");
+            assert!(
+                compare_outputs("mcp", &want, &got.closure, 0.0).passed(),
+                "{alg:?}"
+            );
         }
     }
 
@@ -83,7 +85,13 @@ mod tests {
         let g = generate_mcp(20, 5);
         let want = baseline(OpKind::MaxMin, &g);
         let mut be = TiledBackend::new();
-        let got = simd2(&mut be, OpKind::MaxMin, &g, ClosureAlgorithm::Leyzorek, true);
+        let got = simd2(
+            &mut be,
+            OpKind::MaxMin,
+            &g,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
         assert_eq!(got.closure, want);
     }
 
@@ -107,7 +115,13 @@ mod tests {
         let g = generate_maxrp(28, 9);
         let want = baseline(OpKind::MaxMul, &g);
         let mut be = ReferenceBackend::new();
-        let got = simd2(&mut be, OpKind::MaxMul, &g, ClosureAlgorithm::Leyzorek, true);
+        let got = simd2(
+            &mut be,
+            OpKind::MaxMul,
+            &g,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
         // Same fp32 arithmetic, but FW and Leyzorek may multiply the same
         // factors in different association orders.
         let v = compare_outputs("maxrp", &want, &got.closure, 1e-6);
@@ -135,7 +149,13 @@ mod tests {
         let g = generate_maxrp(24, 13);
         let want = baseline(OpKind::MaxMul, &g);
         let mut be = TiledBackend::new();
-        let got = simd2(&mut be, OpKind::MaxMul, &g, ClosureAlgorithm::Leyzorek, true);
+        let got = simd2(
+            &mut be,
+            OpKind::MaxMul,
+            &g,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
         let v = compare_outputs("maxrp-fp16", &want, &got.closure, 0.02);
         assert!(v.passed(), "{}", v.max_abs_diff);
     }

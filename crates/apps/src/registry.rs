@@ -141,7 +141,10 @@ mod tests {
         let ops: std::collections::HashSet<OpKind> =
             AppKind::all().iter().map(|a| a.spec().op).collect();
         assert_eq!(ops.len(), 8);
-        assert!(!ops.contains(&OpKind::PlusMul), "GEMM itself is not a benchmark app");
+        assert!(
+            !ops.contains(&OpKind::PlusMul),
+            "GEMM itself is not a benchmark app"
+        );
     }
 
     #[test]

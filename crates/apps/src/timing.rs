@@ -142,8 +142,7 @@ impl AppTiming {
             AppKind::Knn => {
                 let scan = self.gpu.kernel_time(&KernelProfile {
                     element_steps: nf * nf * KNN_TIMING_DIMS as f64,
-                    slots_per_step: simd2_gpu::cost::cuda_op_cost(OpKind::PlusNorm)
-                        .total_slots(),
+                    slots_per_step: simd2_gpu::cost::cuda_op_cost(OpKind::PlusNorm).total_slots(),
                     bytes: nf * KNN_TIMING_DIMS as f64 * 4.0 * (nf / 128.0),
                     launches: 1,
                     efficiency: eff,
@@ -375,38 +374,49 @@ pub fn measured_iterations_on<B: Backend>(
                 .stats
                 .iterations
         }
-        AppKind::Mcp => paths::simd2(
-            backend,
-            OpKind::MaxMin,
-            &paths::generate_mcp(n, seed),
-            algorithm,
-            convergence,
-        )
-        .stats
-        .iterations,
-        AppKind::MaxRp => paths::simd2(
-            backend,
-            OpKind::MaxMul,
-            &paths::generate_maxrp(n, seed),
-            algorithm,
-            convergence,
-        )
-        .stats
-        .iterations,
-        AppKind::MinRp => paths::simd2(
-            backend,
-            OpKind::MinMul,
-            &paths::generate_minrp(n, seed),
-            algorithm,
-            convergence,
-        )
-        .stats
-        .iterations,
+        AppKind::Mcp => {
+            paths::simd2(
+                backend,
+                OpKind::MaxMin,
+                &paths::generate_mcp(n, seed),
+                algorithm,
+                convergence,
+            )
+            .stats
+            .iterations
+        }
+        AppKind::MaxRp => {
+            paths::simd2(
+                backend,
+                OpKind::MaxMul,
+                &paths::generate_maxrp(n, seed),
+                algorithm,
+                convergence,
+            )
+            .stats
+            .iterations
+        }
+        AppKind::MinRp => {
+            paths::simd2(
+                backend,
+                OpKind::MinMul,
+                &paths::generate_minrp(n, seed),
+                algorithm,
+                convergence,
+            )
+            .stats
+            .iterations
+        }
         AppKind::Mst => {
-            mst::simd2(backend, &mst::generate(n, 0.1, seed), algorithm, convergence)
-                .1
-                .stats
-                .iterations
+            mst::simd2(
+                backend,
+                &mst::generate(n, 0.1, seed),
+                algorithm,
+                convergence,
+            )
+            .1
+            .stats
+            .iterations
         }
         AppKind::Gtc => {
             gtc::simd2(backend, &gtc::generate(n, seed), algorithm, convergence)
@@ -447,7 +457,10 @@ mod tests {
                 .map(|&app| m.speedup(app, app.dimension(scale), Config::Simd2Units))
                 .collect();
             let g = geomean(&speedups);
-            assert!((7.0..=18.0).contains(&g), "{scale:?}: gmean {g} of {speedups:?}");
+            assert!(
+                (7.0..=18.0).contains(&g),
+                "{scale:?}: gmean {g} of {speedups:?}"
+            );
         }
     }
 
@@ -494,20 +507,32 @@ mod tests {
     #[test]
     fn aplp_degrades_as_inputs_grow() {
         let m = model();
-        let small = m.speedup(AppKind::Aplp, AppKind::Aplp.dimension(InputScale::Small),
-            Config::Simd2Units);
-        let large = m.speedup(AppKind::Aplp, AppKind::Aplp.dimension(InputScale::Large),
-            Config::Simd2Units);
+        let small = m.speedup(
+            AppKind::Aplp,
+            AppKind::Aplp.dimension(InputScale::Small),
+            Config::Simd2Units,
+        );
+        let large = m.speedup(
+            AppKind::Aplp,
+            AppKind::Aplp.dimension(InputScale::Large),
+            Config::Simd2Units,
+        );
         assert!(large < small, "APLP: {small} -> {large}");
     }
 
     #[test]
     fn mst_degrades_as_inputs_grow() {
         let m = model();
-        let small =
-            m.speedup(AppKind::Mst, AppKind::Mst.dimension(InputScale::Small), Config::Simd2Units);
-        let large =
-            m.speedup(AppKind::Mst, AppKind::Mst.dimension(InputScale::Large), Config::Simd2Units);
+        let small = m.speedup(
+            AppKind::Mst,
+            AppKind::Mst.dimension(InputScale::Small),
+            Config::Simd2Units,
+        );
+        let large = m.speedup(
+            AppKind::Mst,
+            AppKind::Mst.dimension(InputScale::Large),
+            Config::Simd2Units,
+        );
         assert!(large < small, "MST: {small} -> {large}");
         assert!(small > 1.0);
     }
@@ -530,7 +555,10 @@ mod tests {
         let m = model();
         // Without convergence checks, Leyzorek runs log₂|V| iterations and
         // Bellman-Ford |V|−1.
-        assert_eq!(m.iterations(AppKind::Apsp, 4096, ClosureAlgorithm::Leyzorek, false), 12);
+        assert_eq!(
+            m.iterations(AppKind::Apsp, 4096, ClosureAlgorithm::Leyzorek, false),
+            12
+        );
         assert_eq!(
             m.iterations(AppKind::Apsp, 4096, ClosureAlgorithm::BellmanFord, false),
             4095
@@ -559,7 +587,13 @@ mod tests {
         // than ~3 iterations loose at host-tractable sizes.
         let m = model();
         let alg = ClosureAlgorithm::Leyzorek;
-        for app in [AppKind::Apsp, AppKind::Aplp, AppKind::Mcp, AppKind::Gtc, AppKind::Mst] {
+        for app in [
+            AppKind::Apsp,
+            AppKind::Aplp,
+            AppKind::Mcp,
+            AppKind::Gtc,
+            AppKind::Mst,
+        ] {
             let n = 128;
             let measured = measured_iterations(app, n, alg, true);
             let estimated = m.iterations(app, n, alg, true);

@@ -24,7 +24,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Representative of `x`'s set (compressing the path).
@@ -53,7 +57,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

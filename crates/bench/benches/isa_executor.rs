@@ -6,8 +6,10 @@ use simd2_matrix::Matrix;
 
 fn bench_executor(c: &mut Criterion) {
     let mut mem = SharedMemory::new(4096);
-    mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.5)).unwrap();
-    mem.write_matrix(256, 16, &Matrix::filled(16, 16, 2.5)).unwrap();
+    mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.5))
+        .unwrap();
+    mem.write_matrix(256, 16, &Matrix::filled(16, 16, 2.5))
+        .unwrap();
     let prog = asm::parse(
         "simd2.load.f16 %m0, [0], 16
          simd2.load.f16 %m1, [256], 16

@@ -13,14 +13,22 @@ fn bench_backends(c: &mut Criterion) {
         let a = gen::random_operands_for(op, n, n, 1);
         let b = gen::random_operands_for(op, n, n, 2);
         let acc = Matrix::filled(n, n, op.reduce_identity_f32());
-        group.bench_with_input(BenchmarkId::new("reference", op.name()), &op, |bench, &op| {
-            let mut be = ReferenceBackend::new();
-            bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("tiled_fp16", op.name()), &op, |bench, &op| {
-            let mut be = TiledBackend::new();
-            bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reference", op.name()),
+            &op,
+            |bench, &op| {
+                let mut be = ReferenceBackend::new();
+                bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tiled_fp16", op.name()),
+            &op,
+            |bench, &op| {
+                let mut be = TiledBackend::new();
+                bench.iter(|| be.mmo(op, &a, &b, &acc).unwrap());
+            },
+        );
     }
     group.finish();
 }

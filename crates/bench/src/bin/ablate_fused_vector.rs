@@ -16,7 +16,12 @@ fn main() {
     let n = 16384usize;
     let mut t = Table::new(
         format!("SIMD2-unit speedup at {n}^3 under today's ISA vs a fused-vector ISA"),
-        &["op", "vs today's CUDA ISA", "vs fused-vector ISA", "fusion closes"],
+        &[
+            "op",
+            "vs today's CUDA ISA",
+            "vs fused-vector ISA",
+            "fusion closes",
+        ],
     );
     let mut today_all = Vec::new();
     let mut fused_all = Vec::new();

@@ -14,7 +14,10 @@ use simd2_mxu::{PrecisionMode, Simd2Unit};
 use simd2_semiring::OpKind;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let modes = [
         ("fp32", PrecisionMode::Fp32Input),
         ("fp16 (paper)", PrecisionMode::Fp16Input),
@@ -37,7 +40,12 @@ fn main() {
             "APSP".to_owned(),
             name.to_owned(),
             format!("{:.3e}", v.max_abs_diff),
-            if v.passed() { "converges" } else { "DOES NOT CONVERGE" }.to_owned(),
+            if v.passed() {
+                "converges"
+            } else {
+                "DOES NOT CONVERGE"
+            }
+            .to_owned(),
         ]);
     }
 
@@ -47,13 +55,24 @@ fn main() {
     let oracle = paths::baseline(OpKind::MaxMul, &g);
     for (name, mode) in modes {
         let mut be = TiledBackend::with_unit(Simd2Unit::with_precision(mode));
-        let got = paths::simd2(&mut be, OpKind::MaxMul, &g, ClosureAlgorithm::Leyzorek, true);
+        let got = paths::simd2(
+            &mut be,
+            OpKind::MaxMul,
+            &g,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
         let v = compare_outputs("maxrp", &oracle, &got.closure, 0.02);
         t.row(&[
             "MAXRP".to_owned(),
             name.to_owned(),
             format!("{:.3e}", v.max_abs_diff),
-            if v.passed() { "converges" } else { "DOES NOT CONVERGE" }.to_owned(),
+            if v.passed() {
+                "converges"
+            } else {
+                "DOES NOT CONVERGE"
+            }
+            .to_owned(),
         ]);
     }
     t.print();

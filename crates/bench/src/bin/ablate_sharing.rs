@@ -11,7 +11,13 @@ use simd2_semiring::{OpKind, EXTENDED_OPS};
 fn main() {
     let mut t = Table::new(
         "Mirror-pair sharing: combined increment vs sum of per-op increments",
-        &["pair", "each standalone", "sum standalone", "combined w/ MMA", "sharing saves"],
+        &[
+            "pair",
+            "each standalone",
+            "sum standalone",
+            "combined w/ MMA",
+            "sharing saves",
+        ],
     );
     for (a, b) in [
         (OpKind::MinPlus, OpKind::MaxPlus),
@@ -20,14 +26,16 @@ fn main() {
     ] {
         let standalone = AreaModel::standalone(a).relative_area();
         let combined = AreaModel::combined(&[a, b]).relative_area();
-        let separate_increment =
-            2.0 * (AreaModel::combined(&[a]).relative_area() - 1.0);
+        let separate_increment = 2.0 * (AreaModel::combined(&[a]).relative_area() - 1.0);
         t.row(&[
             format!("{} + {}", a.name(), b.name()),
             format!("{standalone:.2}"),
             format!("{:.2}", 2.0 * standalone),
             format!("{combined:.2}"),
-            format!("{:.0}%", 100.0 * (1.0 - (combined - 1.0) / separate_increment)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - (combined - 1.0) / separate_increment)
+            ),
         ]);
     }
     t.print();
@@ -35,7 +43,11 @@ fn main() {
 
     let mut c = Table::new(
         "Cumulative build-up of the full SIMD2 unit",
-        &["ops included", "combined area", "sum of standalone accelerators"],
+        &[
+            "ops included",
+            "combined area",
+            "sum of standalone accelerators",
+        ],
     );
     let mut set: Vec<OpKind> = Vec::new();
     let mut standalone_sum = 1.0; // the MMA unit itself

@@ -11,14 +11,31 @@ use simd2_semiring::OpKind;
 fn main() {
     let warps = 8usize;
     let k_tiles = 32usize;
-    let programs: Vec<_> = (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, k_tiles)).collect();
+    let programs: Vec<_> = (0..warps)
+        .map(|_| tile_mmo_program(OpKind::MinPlus, k_tiles))
+        .collect();
     let mut t = Table::new(
         format!("Tile-shape ablation: {warps} warps x {k_tiles} ISA mmos on one sub-core"),
-        &["unit", "cycles", "cycles/mmo", "SIMD2 util", "area (rel)", "perf/area"],
+        &[
+            "unit",
+            "cycles",
+            "cycles/mmo",
+            "SIMD2 util",
+            "area (rel)",
+            "perf/area",
+        ],
     );
     let shapes = [
         ("4x4 (paper)", UnitTiming::simd2_4x4(), 4usize),
-        ("8x8", UnitTiming { tile_side: 8, latency_cycles: 4, initiation_interval: 1 }, 8),
+        (
+            "8x8",
+            UnitTiming {
+                tile_side: 8,
+                latency_cycles: 4,
+                initiation_interval: 1,
+            },
+            8,
+        ),
     ];
     let mut results = Vec::new();
     for (name, unit, side) in shapes {

@@ -10,10 +10,14 @@
 //! shared-memory corruption.
 //!
 //! Usage: `cargo run -p simd2-bench --bin fault_campaign [--seed S]
-//! [--trials T] [--size N]`. Output is a pure function of the
-//! arguments — rerunning reproduces it bit for bit.
+//! [--trials T] [--size N] [--threads W]`. Output is a pure function of
+//! the arguments — rerunning reproduces it bit for bit. The tiled sweep
+//! runs twice, on the sequential schedule and on `W` panel workers:
+//! coordinate-addressed fault sites make the two campaigns strike the
+//! same tiles, so their telemetry must be identical — the harness
+//! asserts it.
 
-use simd2::backend::{Backend, IsaBackend, TiledBackend};
+use simd2::backend::{Backend, IsaBackend, Parallelism, TiledBackend};
 use simd2::resilient::{RecoveryPolicy, ResilientBackend};
 use simd2::solve::ClosureAlgorithm;
 use simd2::validate::compare_outputs;
@@ -33,6 +37,7 @@ const TRANSIENT_NAN_PPM: u32 = 5_000;
 const MEM_PPM: u32 = 60_000;
 
 /// One trial's telemetry.
+#[derive(Clone, PartialEq, Eq)]
 struct Outcome {
     injected: u64,
     detections: u64,
@@ -60,20 +65,29 @@ fn run_app_and_check<B: Backend>(app: AppKind, n: usize, seed: u64, be: &mut B) 
         AppKind::Mcp => {
             let g = paths::generate_mcp(n, seed);
             let r = paths::simd2(be, OpKind::MaxMin, &g, alg, true);
-            compare_outputs("mcp", &paths::baseline(OpKind::MaxMin, &g), &r.closure, 0.0)
-                .passed()
+            compare_outputs("mcp", &paths::baseline(OpKind::MaxMin, &g), &r.closure, 0.0).passed()
         }
         AppKind::MaxRp => {
             let g = paths::generate_maxrp(n, seed);
             let r = paths::simd2(be, OpKind::MaxMul, &g, alg, true);
-            compare_outputs("maxrp", &paths::baseline(OpKind::MaxMul, &g), &r.closure, 0.02)
-                .passed()
+            compare_outputs(
+                "maxrp",
+                &paths::baseline(OpKind::MaxMul, &g),
+                &r.closure,
+                0.02,
+            )
+            .passed()
         }
         AppKind::MinRp => {
             let g = paths::generate_minrp(n, seed);
             let r = paths::simd2(be, OpKind::MinMul, &g, alg, true);
-            compare_outputs("minrp", &paths::baseline(OpKind::MinMul, &g), &r.closure, 0.02)
-                .passed()
+            compare_outputs(
+                "minrp",
+                &paths::baseline(OpKind::MinMul, &g),
+                &r.closure,
+                0.02,
+            )
+            .passed()
         }
         AppKind::Mst => {
             let g = mst::generate(n, 0.1, seed);
@@ -98,19 +112,23 @@ fn run_app_and_check<B: Backend>(app: AppKind, n: usize, seed: u64, be: &mut B) 
 /// Full-coverage ABFT: sampled witnesses would let an in-range stuck
 /// value slip through on idempotent algebras.
 fn abft() -> AbftConfig {
-    AbftConfig { witness_samples: usize::MAX, ..AbftConfig::default() }
+    AbftConfig {
+        witness_samples: usize::MAX,
+        ..AbftConfig::default()
+    }
 }
 
 /// One trial on the tiled backend with a fault-injected SIMD² unit.
-fn tiled_trial(app: AppKind, n: usize, trial_seed: u64) -> Outcome {
+fn tiled_trial(app: AppKind, n: usize, trial_seed: u64, par: Parallelism) -> Outcome {
     let cfg = FaultPlanConfig::new(trial_seed)
         .with_bit_flip_ppm(BIT_FLIP_PPM)
         .with_stuck_lane_ppm(STUCK_LANE_PPM)
         .with_transient_nan_ppm(TRANSIENT_NAN_PPM);
-    let inner = TiledBackend::with_unit(FaultySimd2Unit::new(
+    let mut inner = TiledBackend::with_unit(FaultySimd2Unit::new(
         Simd2Unit::new(),
         PlannedInjector::new(FaultPlan::new(cfg)),
     ));
+    inner.set_parallelism(par);
     let mut be = ResilientBackend::with_config(
         inner,
         RecoveryPolicy::RetryThenFallback { attempts: 3 },
@@ -146,7 +164,11 @@ fn isa_trial(app: AppKind, n: usize, trial_seed: u64) -> Outcome {
     let correct = run_app_and_check(app, n, trial_seed ^ 0xa99, &mut be);
     let s = be.recovery_stats();
     Outcome {
-        injected: be.inner().injector().map(FaultInjector::injected).unwrap_or_default(),
+        injected: be
+            .inner()
+            .injector()
+            .map(FaultInjector::injected)
+            .unwrap_or_default(),
         detections: s.detections,
         retries: s.retries,
         retry_successes: s.retry_successes,
@@ -155,25 +177,48 @@ fn isa_trial(app: AppKind, n: usize, trial_seed: u64) -> Outcome {
     }
 }
 
+/// Runs the sweep, prints the table, and returns every trial's telemetry
+/// (in app-then-trial order) so schedules can be compared exactly.
 fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
     title: &str,
     seed: u64,
     trials: u64,
     n: usize,
     run: F,
-) {
+) -> Vec<Outcome> {
     let mut t = Table::new(
         title.to_owned(),
-        &["app", "op", "injected", "detected", "retries", "rescued", "fallbacks", "correct"],
+        &[
+            "app",
+            "op",
+            "injected",
+            "detected",
+            "retries",
+            "rescued",
+            "fallbacks",
+            "correct",
+        ],
     );
-    let (mut struck_trials, mut struck_handled, mut struck_correct, mut total) = (0u64, 0u64, 0u64, 0u64);
+    let (mut struck_trials, mut struck_handled, mut struck_correct, mut total) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut outcomes = Vec::new();
     for app in AppKind::all() {
-        let mut agg =
-            Outcome { injected: 0, detections: 0, retries: 0, retry_successes: 0, fallbacks: 0, correct: true };
+        let mut agg = Outcome {
+            injected: 0,
+            detections: 0,
+            retries: 0,
+            retry_successes: 0,
+            fallbacks: 0,
+            correct: true,
+        };
         let mut correct_trials = 0u64;
         for trial in 0..trials {
             // One independent deterministic stream per (app, trial).
-            let o = run(app, n, seed ^ (app as u64) << 8 ^ trial.wrapping_mul(0x9e37));
+            let o = run(
+                app,
+                n,
+                seed ^ (app as u64) << 8 ^ trial.wrapping_mul(0x9e37),
+            );
             total += 1;
             if o.injected > 0 {
                 struck_trials += 1;
@@ -193,6 +238,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
             agg.retries += o.retries;
             agg.retry_successes += o.retry_successes;
             agg.fallbacks += o.fallbacks;
+            outcomes.push(o);
         }
         t.row(&[
             app.spec().label.to_owned(),
@@ -207,7 +253,11 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
     }
     t.print();
     let pct = |num: u64, den: u64| {
-        if den == 0 { 100.0 } else { 100.0 * num as f64 / den as f64 }
+        if den == 0 {
+            100.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
     };
     println!(
         "struck trials: {struck_trials}/{total}  \
@@ -217,6 +267,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
         pct(struck_correct, struck_trials),
     );
     println!();
+    outcomes
 }
 
 fn arg(name: &str, default: u64) -> u64 {
@@ -231,22 +282,45 @@ fn main() {
     let seed = arg("--seed", 2022);
     let trials = arg("--trials", 4);
     let n = arg("--size", 48) as usize;
+    let threads = arg("--threads", 4) as usize;
     println!(
-        "fault campaign: seed={seed} trials={trials}/app size={n}  \
+        "fault campaign: seed={seed} trials={trials}/app size={n} threads={threads}  \
          rates(ppm): flip={BIT_FLIP_PPM} stuck={STUCK_LANE_PPM} nan={TRANSIENT_NAN_PPM} \
          mem={MEM_PPM}  policy=retry(3)-then-fallback"
     );
     println!();
-    campaign(
+    let seq = campaign(
         format!(
-            "Tiled SIMD2 units with faulty datapath (matrix-level ABFT, seed {seed})"
+            "Tiled SIMD2 units with faulty datapath (matrix-level ABFT, seed {seed}, sequential)"
         )
         .as_str(),
         seed,
         trials,
         n,
-        tiled_trial,
+        |app, n, s| tiled_trial(app, n, s, Parallelism::Sequential),
     );
+    let par = campaign(
+        format!(
+            "Tiled SIMD2 units with faulty datapath (matrix-level ABFT, seed {seed}, {threads} workers)"
+        )
+        .as_str(),
+        seed,
+        trials,
+        n,
+        |app, n, s| tiled_trial(app, n, s, Parallelism::Threads(threads)),
+    );
+    // Coordinate-addressed fault sites: both schedules strike the same
+    // tiles, so every trial's telemetry must match exactly.
+    assert!(
+        seq == par,
+        "parallel faulty campaign diverged from sequential telemetry"
+    );
+    println!(
+        "tiled sweep: {threads}-worker telemetry identical to sequential \
+         across all {} trials",
+        seq.len()
+    );
+    println!();
     campaign(
         format!(
             "ISA executor with faulty datapath + memory corruption (per-instruction ABFT, seed {seed})"

@@ -43,5 +43,9 @@ fn main() {
             }
         }
     }
-    println!("Peak SIMD2-unit speedup: {} ({})", fmt_speedup(best.0), best.1);
+    println!(
+        "Peak SIMD2-unit speedup: {} ({})",
+        fmt_speedup(best.0),
+        best.1
+    );
 }

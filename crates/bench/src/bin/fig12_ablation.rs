@@ -12,14 +12,35 @@ fn main() {
     let model = AppTiming::new(Gpu::default());
     let variants: [(&str, ClosureAlgorithm, bool); 4] = [
         ("Leyzorek + convergence", ClosureAlgorithm::Leyzorek, true),
-        ("Leyzorek w/o convergence", ClosureAlgorithm::Leyzorek, false),
-        ("Bellman-Ford + convergence", ClosureAlgorithm::BellmanFord, true),
-        ("Bellman-Ford w/o convergence", ClosureAlgorithm::BellmanFord, false),
+        (
+            "Leyzorek w/o convergence",
+            ClosureAlgorithm::Leyzorek,
+            false,
+        ),
+        (
+            "Bellman-Ford + convergence",
+            ClosureAlgorithm::BellmanFord,
+            true,
+        ),
+        (
+            "Bellman-Ford w/o convergence",
+            ClosureAlgorithm::BellmanFord,
+            false,
+        ),
     ];
     for scale in [InputScale::Small, InputScale::Large] {
         let mut t = Table::new(
-            format!("Figure 12: algorithm ablation, speedup over baseline ({})", scale.label()),
-            &["app", variants[0].0, variants[1].0, variants[2].0, variants[3].0],
+            format!(
+                "Figure 12: algorithm ablation, speedup over baseline ({})",
+                scale.label()
+            ),
+            &[
+                "app",
+                variants[0].0,
+                variants[1].0,
+                variants[2].0,
+                variants[3].0,
+            ],
         );
         for app in AppKind::all() {
             if app == AppKind::Knn {

@@ -35,7 +35,10 @@ fn main() {
     for name in HARNESSES {
         let exe = bin_dir.join(name);
         if !exe.exists() {
-            eprintln!("skipping {name}: {} not built (build with --bins)", exe.display());
+            eprintln!(
+                "skipping {name}: {} not built (build with --bins)",
+                exe.display()
+            );
             failures += 1;
             continue;
         }

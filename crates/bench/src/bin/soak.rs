@@ -1,0 +1,451 @@
+//! Randomized soak harness for the hardened concurrent engine.
+//!
+//! A seeded, time-bounded stress loop that randomizes operation × shape ×
+//! input precision × worker count × fault rate × panic arming, and
+//! asserts on every iteration:
+//!
+//! 1. **Bit identity** — the faulty parallel schedule produces the same
+//!    `D`, the same merged fault log, and the same injection count as
+//!    the faulty sequential schedule (coordinate-addressed fault sites).
+//! 2. **Exact accounting** — the merged [`OpCount`] equals the tile-grid
+//!    arithmetic prediction, with nothing dropped or double-counted.
+//! 3. **Detection-or-benign** — under resilient dispatch every struck
+//!    iteration is either detected (and recovered) or benign: the
+//!    delivered result matches the clean oracle bitwise for the
+//!    idempotent algebras and within checksum tolerance for the
+//!    additive ones.
+//! 4. **Panic containment** — an armed probe panics a panel worker; the
+//!    direct backend surfaces [`BackendError::WorkerPanic`] instead of
+//!    aborting, and the resilient layer recovers on the sequential
+//!    schedule with the panic counted in its stats.
+//!
+//! Usage: `cargo run -p simd2-bench --bin soak [--seed S] [--seconds T]
+//! [--iters N]`. The iteration stream is a pure function of the seed;
+//! `--seconds` only decides how far down the stream the loop runs, and
+//! `--iters` caps the count deterministically (0 = no cap). Any
+//! violation prints the failing iteration's parameters and exits 1.
+
+use std::time::{Duration, Instant};
+
+use simd2::backend::{Backend, OpCount, Parallelism, TiledBackend};
+use simd2::error::BackendError;
+use simd2::resilient::{RecoveryPolicy, ResilientBackend};
+use simd2_fault::{
+    AbftConfig, FaultInjector, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PanicProbeUnit,
+    PlannedInjector, PANIC_PROBE_PAYLOAD,
+};
+use simd2_matrix::tiling::TileGrid;
+use simd2_matrix::{gen, Matrix, ISA_TILE};
+use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::{OpKind, ALL_OPS};
+
+/// SplitMix64: the soak's own deterministic parameter stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// One iteration's randomized parameters.
+#[derive(Debug)]
+struct Params {
+    op: OpKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    workers: usize,
+    ppm: u32,
+    precision: PrecisionMode,
+    plan_seed: u64,
+    data_seed: u64,
+    /// Tile row whose shard panics; `None` when the iteration is not
+    /// panic-armed.
+    panic_ti: Option<u32>,
+}
+
+fn draw(rng: &mut Rng) -> Params {
+    let m = 1 + rng.below(80) as usize;
+    let op = ALL_OPS[rng.below(ALL_OPS.len() as u64) as usize];
+    // A probe shard only executes (and panics) when the parallel path is
+    // taken, which needs at least two tile rows.
+    let panic_armed = rng.below(8) == 0 && m > ISA_TILE;
+    let m_tiles = m.div_ceil(ISA_TILE);
+    Params {
+        op,
+        m,
+        n: 1 + rng.below(80) as usize,
+        k: 1 + rng.below(48) as usize,
+        workers: rng.pick(&[2usize, 3, 4, 8]),
+        ppm: rng.pick(&[0u32, 2_000, 20_000, 200_000]),
+        precision: rng.pick(&[PrecisionMode::Fp16Input, PrecisionMode::Fp32Input]),
+        plan_seed: rng.next(),
+        data_seed: rng.next(),
+        panic_ti: panic_armed.then(|| rng.below(m_tiles as u64) as u32),
+    }
+}
+
+/// In-domain operands, pre-quantized to the iteration's input precision
+/// so clean results pass ABFT exactly.
+fn operands(p: &Params) -> (Matrix, Matrix, Matrix) {
+    let mut a = gen::random_operands_for(p.op, p.m, p.k, p.data_seed);
+    let mut b = gen::random_operands_for(p.op, p.k, p.n, p.data_seed ^ 0x5eed);
+    if p.precision == PrecisionMode::Fp16Input {
+        for v in a.as_mut_slice().iter_mut().chain(b.as_mut_slice()) {
+            *v = quantize_f16(*v);
+        }
+    }
+    let c = Matrix::filled(p.m, p.n, p.op.reduce_identity_f32());
+    (a, b, c)
+}
+
+fn plan(p: &Params) -> FaultPlan {
+    // Rotate the struck fault class per iteration so every class soaks.
+    let cfg = FaultPlanConfig::new(p.plan_seed);
+    let cfg = match p.plan_seed % 3 {
+        0 => cfg.with_bit_flip_ppm(p.ppm),
+        1 => cfg.with_stuck_lane_ppm(p.ppm),
+        _ => cfg.with_transient_nan_ppm(p.ppm),
+    };
+    FaultPlan::new(cfg)
+}
+
+fn faulty_backend(p: &Params, par: Parallelism) -> TiledBackend<FaultySimd2Unit> {
+    let unit = FaultySimd2Unit::new(
+        Simd2Unit::with_precision(p.precision),
+        PlannedInjector::new(plan(p)),
+    );
+    let mut be = TiledBackend::with_unit(unit);
+    be.set_parallelism(par);
+    be
+}
+
+/// Clean oracle at the iteration's precision.
+fn clean_backend(p: &Params) -> TiledBackend<Simd2Unit> {
+    TiledBackend::with_unit(Simd2Unit::with_precision(p.precision))
+}
+
+/// Full witness coverage: in-range stuck values on the idempotent
+/// algebras can evade a sampled witness check.
+fn abft() -> AbftConfig {
+    AbftConfig {
+        witness_samples: usize::MAX,
+        ..AbftConfig::default()
+    }
+}
+
+/// The magnitude-scaled tolerance the additive checksum actually grants
+/// — mirrors [`simd2_fault::abft::verify_matrix`]'s magnitude term over
+/// precision-quantized operands with the default [`AbftConfig`] knobs.
+fn checksum_tolerance(p: &Params, a: &Matrix, b: &Matrix, c: &Matrix) -> f64 {
+    let op = p.op;
+    let q = |v: f32| -> f64 {
+        if p.precision == PrecisionMode::Fp16Input {
+            f64::from(quantize_f16(v))
+        } else {
+            f64::from(v)
+        }
+    };
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut magnitude: f64 = c.as_slice().iter().map(|&v| f64::from(v).abs()).sum();
+    for kk in 0..k {
+        let (mut abs_a, mut sq_a, mut col_a) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut abs_b, mut sq_b, mut row_b) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..m {
+            let x = q(a.row(i)[kk]);
+            abs_a += x.abs();
+            sq_a += x * x;
+            col_a += x;
+        }
+        for j in 0..n {
+            let y = q(b.row(kk)[j]);
+            abs_b += y.abs();
+            sq_b += y * y;
+            row_b += y;
+        }
+        magnitude += match op {
+            OpKind::PlusNorm => n as f64 * sq_a + 2.0 * (col_a * row_b).abs() + m as f64 * sq_b,
+            _ => abs_a * abs_b,
+        };
+    }
+    let cfg = abft();
+    cfg.rel_tol * magnitude + cfg.abs_tol
+}
+
+struct Violation {
+    what: String,
+}
+
+macro_rules! soak_check {
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(Violation { what: format!($($fmt)*) });
+        }
+    };
+}
+
+/// Aggregate telemetry over the whole soak.
+#[derive(Default)]
+struct Totals {
+    iters: u64,
+    struck: u64,
+    injected: u64,
+    detections: u64,
+    retry_successes: u64,
+    fallbacks: u64,
+    panics: u64,
+    panic_recoveries: u64,
+}
+
+/// Invariant 4: an armed probe panics a worker; the direct backend
+/// contains it and the resilient layer recovers sequentially.
+fn soak_panic(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
+    let panic_ti = p.panic_ti.unwrap_or_default();
+    let (a, b, c) = operands(p);
+    let clean = clean_backend(p)
+        .mmo(p.op, &a, &b, &c)
+        .map_err(|e| Violation {
+            what: format!("clean oracle failed: {e}"),
+        })?;
+
+    let mut direct = TiledBackend::with_unit(PanicProbeUnit::new(
+        Simd2Unit::with_precision(p.precision),
+        panic_ti,
+    ));
+    direct.set_parallelism(Parallelism::Threads(p.workers));
+    match direct.mmo(p.op, &a, &b, &c) {
+        Err(BackendError::WorkerPanic { payload, .. }) => {
+            soak_check!(
+                payload.starts_with(PANIC_PROBE_PAYLOAD),
+                "unexpected panic payload {payload:?}"
+            );
+        }
+        other => {
+            soak_check!(false, "armed probe must surface WorkerPanic, got {other:?}");
+        }
+    }
+    soak_check!(
+        direct.op_count() == OpCount::default(),
+        "panicked mmo must contribute no completed-work counters"
+    );
+
+    let inner = {
+        let mut be = TiledBackend::with_unit(PanicProbeUnit::new(
+            Simd2Unit::with_precision(p.precision),
+            panic_ti,
+        ));
+        be.set_parallelism(Parallelism::Threads(p.workers));
+        be
+    };
+    let mut resilient = ResilientBackend::with_config(inner, RecoveryPolicy::FailFast, abft());
+    let d = resilient.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
+        what: format!("resilient layer failed to recover: {e}"),
+    })?;
+    let s = resilient.recovery_stats();
+    soak_check!(
+        s.worker_panics == 1 && s.panic_recoveries == 1,
+        "panic recovery not counted: {s:?}"
+    );
+    soak_check!(
+        d == clean,
+        "sequential panic recovery diverged from the clean oracle"
+    );
+    totals.panics += 1;
+    totals.panic_recoveries += 1;
+    Ok(())
+}
+
+/// Invariants 1–3 for a (possibly clean) fault iteration.
+fn soak_faults(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
+    let (a, b, c) = operands(p);
+
+    // 1. Bit identity across schedules, plus identical fault telemetry.
+    let mut seq_be = faulty_backend(p, Parallelism::Sequential);
+    let d_seq = seq_be.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
+        what: format!("sequential faulty mmo failed: {e}"),
+    })?;
+    let mut par_be = faulty_backend(p, Parallelism::Threads(p.workers));
+    let d_par = par_be.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
+        what: format!("parallel faulty mmo failed: {e}"),
+    })?;
+    let bits_equal = d_seq
+        .as_slice()
+        .iter()
+        .zip(d_par.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    soak_check!(bits_equal, "parallel faulty D diverged from sequential");
+    soak_check!(
+        seq_be.unit().injector().log() == par_be.unit().injector().log(),
+        "merged fault log diverged from sequential"
+    );
+    soak_check!(
+        seq_be.unit().injector().injected() == par_be.unit().injector().injected(),
+        "injection counters diverged"
+    );
+    soak_check!(
+        seq_be.unit().injector().dropped() == 0,
+        "soak shapes must not overflow the fault-log ring"
+    );
+
+    // 2. Exact accounting from tile-grid arithmetic.
+    let g = TileGrid::new(p.m, p.n, p.k, ISA_TILE);
+    let want = OpCount {
+        matrix_mmos: 1,
+        tile_mmos: g.tile_ops() as u64,
+        tile_loads: (2 * g.tile_ops() + g.output_tiles()) as u64,
+        tile_stores: g.output_tiles() as u64,
+    };
+    soak_check!(
+        par_be.op_count() == want && seq_be.op_count() == want,
+        "OpCount mismatch: want {want:?}, seq {:?}, par {:?}",
+        seq_be.op_count(),
+        par_be.op_count()
+    );
+
+    // 3. Detection-or-benign under resilient dispatch.
+    let inner = faulty_backend(p, Parallelism::Threads(p.workers));
+    let mut resilient = ResilientBackend::with_config(
+        inner,
+        RecoveryPolicy::RetryThenFallback { attempts: 3 },
+        abft(),
+    );
+    let d = resilient.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
+        what: format!("resilient dispatch failed: {e}"),
+    })?;
+    let s = resilient.recovery_stats();
+    let injected = resilient.inner().unit().injector().injected();
+    if injected > 0 {
+        totals.struck += 1;
+        totals.injected += injected;
+        totals.detections += s.detections;
+        totals.retry_successes += s.retry_successes;
+        totals.fallbacks += s.fallbacks;
+        if s.detections == 0 {
+            // Undetected strikes must be benign, where "benign" is
+            // exactly what the detector promises. Idempotent family:
+            // full-witness + dominance pin every element, so the result
+            // must match a clean run bitwise. Additive family: the
+            // Huang–Abraham checksum bounds the deviation of the *sum*
+            // by the magnitude-scaled tolerance (clean and faulty runs
+            // each pass within one tolerance of the f64 prediction).
+            let clean = clean_backend(p)
+                .mmo(p.op, &a, &b, &c)
+                .map_err(|e| Violation {
+                    what: format!("clean oracle failed: {e}"),
+                })?;
+            match p.op {
+                OpKind::PlusMul | OpKind::PlusNorm => {
+                    let sum =
+                        |mm: &Matrix| -> f64 { mm.as_slice().iter().map(|&v| f64::from(v)).sum() };
+                    let drift = (sum(&d) - sum(&clean)).abs();
+                    let tol = 2.0 * checksum_tolerance(p, &a, &b, &c);
+                    soak_check!(
+                        drift <= tol,
+                        "undetected strike exceeded the checksum guarantee: \
+                         |sum(d) - sum(clean)| = {drift} > {tol}"
+                    );
+                }
+                _ => {
+                    let bits_equal = d
+                        .as_slice()
+                        .iter()
+                        .zip(clean.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    soak_check!(
+                        bits_equal,
+                        "undetected strike on an idempotent op was not bit-benign"
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn arg(name: &str, default: u64) -> u64 {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = arg("--seed", 2022);
+    let seconds = arg("--seconds", 10);
+    let iter_cap = arg("--iters", 0);
+    println!(
+        "soak: seed={seed} budget={seconds}s iter-cap={}  \
+         ops=9 shapes=m,n<=80 k<=48 precision={{fp16,fp32}} workers={{2,3,4,8}} \
+         ppm={{0,2k,20k,200k}} panic~1/8",
+        if iter_cap == 0 {
+            "none".to_owned()
+        } else {
+            iter_cap.to_string()
+        }
+    );
+
+    // Probe panics are contained by design; keep the default hook for
+    // anything else so genuine defects still print a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let is_probe = payload
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with(PANIC_PROBE_PAYLOAD))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.starts_with(PANIC_PROBE_PAYLOAD))
+            })
+            .unwrap_or(false);
+        if !is_probe {
+            default_hook(info);
+        }
+    }));
+
+    let mut rng = Rng(seed);
+    let mut totals = Totals::default();
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    while Instant::now() < deadline && (iter_cap == 0 || totals.iters < iter_cap) {
+        let p = draw(&mut rng);
+        let res = if p.panic_ti.is_some() {
+            soak_panic(&p, &mut totals)
+        } else {
+            soak_faults(&p, &mut totals)
+        };
+        if let Err(v) = res {
+            eprintln!("soak VIOLATION at iteration {}: {}", totals.iters, v.what);
+            eprintln!("  params: {p:?}");
+            std::process::exit(1);
+        }
+        totals.iters += 1;
+    }
+
+    println!(
+        "soak PASS: {} iterations ({} struck, {} panic-armed)  \
+         injected={} detections={} retry-rescues={} fallbacks={} panic-recoveries={}",
+        totals.iters,
+        totals.struck,
+        totals.panics,
+        totals.injected,
+        totals.detections,
+        totals.retry_successes,
+        totals.fallbacks,
+        totals.panic_recoveries,
+    );
+}

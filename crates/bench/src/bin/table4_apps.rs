@@ -7,7 +7,15 @@ use simd2_matrix::gen::InputScale;
 fn main() {
     let mut t = Table::new(
         "Table 4: benchmark applications, baselines and input dimensions",
-        &["Application", "Label", "SIMD2 op", "Baseline source", "Small", "Medium", "Large"],
+        &[
+            "Application",
+            "Label",
+            "SIMD2 op",
+            "Baseline source",
+            "Small",
+            "Medium",
+            "Large",
+        ],
     );
     for app in AppKind::all() {
         let s = app.spec();

@@ -3,7 +3,7 @@
 use simd2_bench::Table;
 use simd2_mxu::{AreaModel, DieModel, PowerModel};
 use simd2_semiring::precision::Precision;
-use simd2_semiring::{EXTENDED_OPS};
+use simd2_semiring::EXTENDED_OPS;
 
 fn main() {
     // (a) Adding instructions to the MMA unit.
@@ -34,9 +34,15 @@ fn main() {
         &["Supported op", "Area (rel)"],
     );
     for op in EXTENDED_OPS {
-        b.row(&[op.name().to_owned(), format!("{:.2}", AreaModel::standalone(op).relative_area())]);
+        b.row(&[
+            op.name().to_owned(),
+            format!("{:.2}", AreaModel::standalone(op).relative_area()),
+        ]);
     }
-    b.row(&["total".to_owned(), format!("{:.2}", AreaModel::standalone_total())]);
+    b.row(&[
+        "total".to_owned(),
+        format!("{:.2}", AreaModel::standalone_total()),
+    ]);
     b.print();
     println!();
 
@@ -53,13 +59,18 @@ fn main() {
         row
     };
     c.row(&fmt_row("MMA only", &AreaModel::mma_at_precision));
-    c.row(&fmt_row("MMA + all SIMD2 insts", &AreaModel::full_simd2_at_precision));
+    c.row(&fmt_row(
+        "MMA + all SIMD2 insts",
+        &AreaModel::full_simd2_at_precision,
+    ));
     c.print();
     println!();
 
     // Shape scaling + power + die (§6.1 prose numbers).
-    println!("8x8-tile MMA unit: {:.2}x the 4x4 baseline (overhead ratio constant)",
-        AreaModel::shape_scale(8) / AreaModel::shape_scale(4));
+    println!(
+        "8x8-tile MMA unit: {:.2}x the 4x4 baseline (overhead ratio constant)",
+        AreaModel::shape_scale(8) / AreaModel::shape_scale(4)
+    );
     println!(
         "Power: MMA {:.2} W -> full SIMD2 {:.2} W (+{:.2} W)",
         PowerModel::MMA_WATTS,

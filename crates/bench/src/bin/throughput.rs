@@ -217,8 +217,9 @@ fn main() {
                 let runs = (reps + 1) as f64;
                 let count = be.op_count();
                 let tile_mmos = count.tile_mmos as f64 / runs;
-                let traffic_bytes =
-                    (count.tile_loads + count.tile_stores) as f64 / runs * (ISA_TILE * ISA_TILE) as f64 * 4.0;
+                let traffic_bytes = (count.tile_loads + count.tile_stores) as f64 / runs
+                    * (ISA_TILE * ISA_TILE) as f64
+                    * 4.0;
                 let e = Entry {
                     op,
                     n,

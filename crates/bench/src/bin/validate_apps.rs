@@ -19,36 +19,51 @@ fn run_app<B: Backend>(app: AppKind, n: usize, be: &mut B) -> (f32, usize, u64) 
             let g = apsp::generate(n, seed);
             let want = apsp::baseline(&g);
             let r = apsp::simd2(be, &g, alg, true);
-            (compare_outputs("apsp", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("apsp", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::Aplp => {
             let g = aplp::generate(n, seed);
             let want = aplp::baseline(&g);
             let r = aplp::simd2(be, &g, alg, true);
-            (compare_outputs("aplp", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("aplp", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::Mcp => {
             let g = paths::generate_mcp(n, seed);
             let want = paths::baseline(OpKind::MaxMin, &g);
             let r = paths::simd2(be, OpKind::MaxMin, &g, alg, true);
-            (compare_outputs("mcp", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("mcp", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::MaxRp => {
             let g = paths::generate_maxrp(n, seed);
             let want = paths::baseline(OpKind::MaxMul, &g);
             let r = paths::simd2(be, OpKind::MaxMul, &g, alg, true);
-            (compare_outputs("maxrp", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("maxrp", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::MinRp => {
             let g = paths::generate_minrp(n, seed);
             let want = paths::baseline(OpKind::MinMul, &g);
             let r = paths::simd2(be, OpKind::MinMul, &g, alg, true);
-            (compare_outputs("minrp", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("minrp", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::Mst => {
             let g = mst::generate(n, 0.1, seed);
@@ -62,8 +77,11 @@ fn run_app<B: Backend>(app: AppKind, n: usize, be: &mut B) -> (f32, usize, u64) 
             let g = gtc::generate(n, seed);
             let want = gtc::baseline(&g);
             let r = gtc::simd2(be, &g, alg, true);
-            (compare_outputs("gtc", &want, &r.closure, 0.0).max_abs_diff,
-             r.stats.iterations, be.op_count().tile_mmos)
+            (
+                compare_outputs("gtc", &want, &r.closure, 0.0).max_abs_diff,
+                r.stats.iterations,
+                be.op_count().tile_mmos,
+            )
         }
         AppKind::Knn => {
             let pts = knn::generate(n, seed);
@@ -83,7 +101,14 @@ fn main() {
         .unwrap_or(96);
     let mut t = Table::new(
         format!("Correctness validation at n = {n} (diff vs baseline algorithm output)"),
-        &["app", "backend", "max abs diff / (1-recall)", "iterations", "tile mmos", "verdict"],
+        &[
+            "app",
+            "backend",
+            "max abs diff / (1-recall)",
+            "iterations",
+            "tile mmos",
+            "verdict",
+        ],
     );
     for app in AppKind::all() {
         for fp16 in [false, true] {

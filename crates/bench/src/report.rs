@@ -23,7 +23,11 @@ impl Table {
 
     /// Appends one row (stringified cells).
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells.to_vec());
         self
     }
@@ -168,7 +172,10 @@ mod tests {
         t.row(&["line\nbreak".into(), "1x".into()]);
         let j = t.render_json();
         assert!(j.starts_with("{\"title\":\"J \\\"quoted\\\"\""), "{j}");
-        assert!(j.contains("{\"app\":\"APSP\",\"speedup\":\"12.3x\"}"), "{j}");
+        assert!(
+            j.contains("{\"app\":\"APSP\",\"speedup\":\"12.3x\"}"),
+            "{j}"
+        );
         assert!(j.contains("line\\nbreak"), "{j}");
         assert!(j.ends_with("]}"));
     }

@@ -42,7 +42,10 @@ pub struct SemiringMatrix<S: Semiring<Elem = f32>> {
 impl<S: Semiring<Elem = f32>> SemiringMatrix<S> {
     /// Wraps an existing matrix.
     pub fn from_matrix(inner: Matrix) -> Self {
-        Self { inner, _algebra: PhantomData }
+        Self {
+            inner,
+            _algebra: PhantomData,
+        }
     }
 
     /// An `n × n` identity under this algebra: `⊗`-identity diagonal,
@@ -97,8 +100,14 @@ impl<S: Semiring<Elem = f32>> SemiringMatrix<S> {
     /// fixed-point closure (plus-mul / plus-norm).
     pub fn closure(&self) -> Self {
         let mut be = ReferenceBackend::new();
-        let r = solve::closure(&mut be, S::KIND, &self.inner, ClosureAlgorithm::Leyzorek, true)
-            .expect("square matrix required");
+        let r = solve::closure(
+            &mut be,
+            S::KIND,
+            &self.inner,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        )
+        .expect("square matrix required");
         Self::from_matrix(r.closure)
     }
 }
@@ -125,7 +134,8 @@ impl<S: Semiring<Elem = f32>> Mul for &SemiringMatrix<S> {
             rhs.inner.cols(),
             S::KIND.reduce_identity_f32(),
         ));
-        self.mmo(rhs, &acc).expect("operand shapes must be compatible")
+        self.mmo(rhs, &acc)
+            .expect("operand shapes must be compatible")
     }
 }
 
@@ -208,7 +218,10 @@ mod tests {
         }
         let reach = SemiringMatrix::<OrAnd>::from_matrix(g.reachability());
         let closed = reach.closure();
-        assert!(closed.as_matrix().as_slice().iter().all(|&x| x == 1.0), "strongly connected");
+        assert!(
+            closed.as_matrix().as_slice().iter().all(|&x| x == 1.0),
+            "strongly connected"
+        );
     }
 
     #[test]

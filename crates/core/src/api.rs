@@ -32,8 +32,9 @@
 
 use std::fmt;
 
-use simd2_isa::{Dtype, ExecError, ExecStats, Executor, Instruction, MatrixReg, SharedMemory,
-    MATRIX_REG_COUNT};
+use simd2_isa::{
+    Dtype, ExecError, ExecStats, Executor, Instruction, MatrixReg, SharedMemory, MATRIX_REG_COUNT,
+};
 use simd2_matrix::Matrix;
 
 /// Role of a matrix fragment, mirroring the `matrix_type` template
@@ -142,7 +143,10 @@ impl WarpContext {
 
     /// `simd2::fillmatrix`: fills the fragment with a value.
     pub fn fill_matrix(&mut self, frag: MatrixFragment, value: f32) {
-        self.program.push(Instruction::Fill { dst: frag.reg, value });
+        self.program.push(Instruction::Fill {
+            dst: frag.reg,
+            value,
+        });
     }
 
     /// `simd2::loadmatrix`: loads a 16×16 tile from shared memory
@@ -176,7 +180,11 @@ impl WarpContext {
 
     /// `simd2::storematrix`: stores a fragment to shared memory.
     pub fn store_matrix(&mut self, addr: u32, frag: MatrixFragment, ld: u32) {
-        self.program.push(Instruction::Store { src: frag.reg, addr, ld });
+        self.program.push(Instruction::Store {
+            src: frag.reg,
+            addr,
+            ld,
+        });
     }
 
     /// Stages host data into shared memory before [`Self::run`].
@@ -240,7 +248,10 @@ mod tests {
             let f = ctx.matrix(FragmentKind::MatrixA).unwrap();
             assert_eq!(f.reg().index(), i);
         }
-        assert_eq!(ctx.matrix(FragmentKind::MatrixB), Err(ApiError::OutOfRegisters));
+        assert_eq!(
+            ctx.matrix(FragmentKind::MatrixB),
+            Err(ApiError::OutOfRegisters)
+        );
     }
 
     #[test]
@@ -256,8 +267,10 @@ mod tests {
     #[test]
     fn full_min_plus_flow() {
         let mut ctx = WarpContext::new(4096);
-        ctx.write_input(0, 16, &Matrix::filled(16, 16, 2.0)).unwrap();
-        ctx.write_input(256, 16, &Matrix::filled(16, 16, 3.0)).unwrap();
+        ctx.write_input(0, 16, &Matrix::filled(16, 16, 2.0))
+            .unwrap();
+        ctx.write_input(256, 16, &Matrix::filled(16, 16, 3.0))
+            .unwrap();
         let a = ctx.matrix(FragmentKind::MatrixA).unwrap();
         let b = ctx.matrix(FragmentKind::MatrixB).unwrap();
         let acc = ctx.matrix(FragmentKind::Accumulator).unwrap();
@@ -279,7 +292,10 @@ mod tests {
         let mut ctx = WarpContext::new(64);
         let m = Matrix::filled(16, 16, 1.0);
         assert!(matches!(ctx.write_input(0, 16, &m), Err(ApiError::Exec(_))));
-        assert!(matches!(ctx.read_output(0, 16, 16, 16), Err(ApiError::Exec(_))));
+        assert!(matches!(
+            ctx.read_output(0, 16, 16, 16),
+            Err(ApiError::Exec(_))
+        ));
     }
 
     #[test]

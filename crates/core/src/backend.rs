@@ -14,7 +14,7 @@ use simd2_matrix::{Matrix, ISA_TILE};
 use simd2_mxu::Simd2Unit;
 use simd2_semiring::OpKind;
 
-use simd2_fault::{AbftConfig, FaultInjector, MmoUnit};
+use simd2_fault::{AbftConfig, FaultInjector, MmoUnit, TileCoord};
 use simd2_isa::{Dtype, ExecStats, Executor, Instruction, MatrixReg, SharedMemory};
 
 use crate::error::BackendError;
@@ -47,10 +47,11 @@ impl std::ops::AddAssign for OpCount {
 ///
 /// Output tiles are mutually independent and the intra-tile reduction
 /// order never changes, so every setting produces **bit-identical**
-/// results — the knob trades wall-clock time only. Backends whose unit
-/// carries order-sensitive state (fault injection) ignore the knob and
-/// stay sequential; see
-/// [`MmoUnit::parallel_snapshot`](simd2_fault::MmoUnit::parallel_snapshot).
+/// results — the knob trades wall-clock time only. Fault-injected units
+/// run parallel too: their injectors address sites by tile *coordinate*,
+/// not visit order, so the same plan strikes the same tiles under any
+/// worker count and per-worker logs merge back deterministically; see
+/// [`MmoUnit::shard`](simd2_fault::MmoUnit::shard).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Parallelism {
     /// Single-threaded reference execution order.
@@ -97,8 +98,27 @@ pub trait Backend {
     /// incompatible, [`BackendError::Exec`] when the underlying engine
     /// faults, and [`BackendError::Corruption`] when an enabled ABFT
     /// check detects a silently corrupted result.
-    fn mmo(&mut self, op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix)
-        -> Result<Matrix, BackendError>;
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError>;
+
+    /// Executes `D = C ⊕ (A ⊗ B)` on a single-threaded schedule,
+    /// regardless of any parallelism configuration — the recovery path
+    /// after a [`BackendError::WorkerPanic`]. Defaults to [`Backend::mmo`]
+    /// for backends that are already sequential.
+    fn mmo_sequential(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        self.mmo(op, a, b, c)
+    }
 
     /// Work counters accumulated so far.
     fn op_count(&self) -> OpCount;
@@ -167,13 +187,16 @@ impl Backend for ReferenceBackend {
 /// [`Simd2Unit`] or a [`simd2_fault::FaultySimd2Unit`] whose datapath
 /// injects faults.
 ///
-/// With a [`Parallelism`] setting above one worker, pristine units
-/// execute the output tile grid as row panels across a scoped worker
-/// pool — bit-identical to sequential execution (tiles are independent;
-/// per-tile reduction order is unchanged), with exact merged counters.
-/// Fault-injected units always run the sequential schedule so their
-/// site-counter order (and therefore every campaign) stays
-/// deterministic.
+/// With a [`Parallelism`] setting above one worker, units that offer
+/// [`MmoUnit::shard`] execute the output tile grid as row panels across
+/// a scoped worker pool — bit-identical to sequential execution (tiles
+/// are independent; per-tile reduction order is unchanged), with exact
+/// merged counters. Fault-injected units shard too: coordinate-addressed
+/// injection makes the same plan strike the same tiles under any worker
+/// count, and per-worker fault logs merge back in panel order so the
+/// merged log equals the sequential one. A worker panic never aborts the
+/// process — it surfaces as [`BackendError::WorkerPanic`] after every
+/// other worker drains.
 #[derive(Clone, Debug)]
 pub struct TiledBackend<U: MmoUnit = Simd2Unit> {
     unit: U,
@@ -207,7 +230,11 @@ impl TiledBackend<Simd2Unit> {
 impl<U: MmoUnit> TiledBackend<U> {
     /// Creates the backend over a specific unit.
     pub fn with_unit(unit: U) -> Self {
-        Self { unit, count: OpCount::default(), parallelism: Parallelism::default() }
+        Self {
+            unit,
+            count: OpCount::default(),
+            parallelism: Parallelism::default(),
+        }
     }
 
     /// The underlying unit (e.g. for fault telemetry).
@@ -228,18 +255,17 @@ impl<U: MmoUnit> TiledBackend<U> {
     /// Sets the parallelism of subsequent [`Backend::mmo`] calls.
     ///
     /// Results are bit-identical across settings; units without a
-    /// [`parallel_snapshot`](MmoUnit::parallel_snapshot) (fault-injected
-    /// datapaths) execute sequentially regardless.
+    /// [`shard`](MmoUnit::shard) seam execute sequentially regardless.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
     }
 }
 
-/// Executes one output panel of the tile grid on a private copy of the
-/// pristine unit, writing results into the panel's row slab of `D` and
-/// counting its own work (merged by the caller so totals stay exact).
-fn run_panel(
-    unit: Simd2Unit,
+/// Executes one output panel of the tile grid on a worker shard of the
+/// unit, writing results into the panel's row slab of `D` and counting
+/// its own work (merged by the caller so totals stay exact).
+fn run_panel<U: MmoUnit>(
+    unit: &mut U,
     op: OpKind,
     (a, b, c): (&Matrix, &Matrix, &Matrix),
     grid: &TileGrid,
@@ -255,7 +281,7 @@ fn run_panel(
             for tk in 0..grid.k_tiles {
                 let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
                 let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
-                acc = unit.execute(op, &at, &bt, &acc);
+                acc = unit.execute_tile_at(TileCoord::new(ti, tj, tk), op, &at, &bt, &acc);
                 count.tile_loads += 2;
                 count.tile_mmos += 1;
             }
@@ -266,44 +292,87 @@ fn run_panel(
     count
 }
 
+/// Stringifies a worker's panic payload for [`BackendError::WorkerPanic`].
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(other) => match other.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
 /// The parallel tile-grid schedule: output tile rows are split into one
 /// contiguous panel per worker ([`TileGrid::row_panels`]), each worker
-/// owns its panel's disjoint row slab of `D`, and per-worker [`OpCount`]s
-/// are merged after the scope joins. Panel assignment only partitions
-/// *independent* output tiles and each tile's k-loop runs in the exact
-/// sequential order, so the result is bit-identical to the sequential
-/// schedule.
-fn mmo_parallel(
-    unit: Simd2Unit,
+/// owns its panel's disjoint row slab of `D` and a private unit shard,
+/// and per-worker [`OpCount`]s and shard state (fault logs) are merged
+/// after the scope joins — shards in panel order, so merged fault logs
+/// are identical to the sequential schedule's. Panel assignment only
+/// partitions *independent* output tiles and each tile's k-loop runs in
+/// the exact sequential order, so the result is bit-identical to the
+/// sequential schedule.
+///
+/// **Panic containment:** a panicking worker is caught at its join and
+/// surfaced as [`BackendError::WorkerPanic`]; every other worker is
+/// still joined (the output buffer is only dropped once no thread can
+/// touch it) and its shard is still absorbed, so the process never
+/// aborts and telemetry from surviving workers is never lost.
+fn mmo_parallel<U: MmoUnit + Send>(
+    parent: &mut U,
+    shards: Vec<U>,
     op: OpKind,
-    a: &Matrix,
-    b: &Matrix,
-    c: &Matrix,
+    (a, b, c): (&Matrix, &Matrix, &Matrix),
     grid: &TileGrid,
-    workers: usize,
-) -> (Matrix, OpCount) {
+    panels: Vec<std::ops::Range<usize>>,
+) -> Result<(Matrix, OpCount), BackendError> {
     let mut d = Matrix::zeros(grid.m, grid.n);
-    let panels = grid.row_panels(workers);
     let mut total = OpCount::default();
+    let mut first_panic: Option<BackendError> = None;
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(panels.len());
         let mut rest: &mut [f32] = d.as_mut_slice();
-        for panel in panels {
+        for (panel, mut shard) in panels.into_iter().zip(shards) {
             let rows = grid.panel_rows(&panel);
             let (slab, tail) = std::mem::take(&mut rest).split_at_mut(rows.len() * grid.n);
             rest = tail;
-            handles.push(
-                s.spawn(move || run_panel(unit, op, (a, b, c), grid, panel, slab)),
-            );
+            handles.push(s.spawn(move || {
+                let count = run_panel(&mut shard, op, (a, b, c), grid, panel, slab);
+                (count, shard)
+            }));
         }
-        for handle in handles {
-            total += handle.join().expect("panel worker panicked");
+        // Disjoint-slab invariant: the panels partition 0..m_tiles
+        // contiguously and `panel_rows` clips to the true height, so the
+        // per-panel slabs must consume the whole of `D` — nothing is
+        // left zero-initialised by a panel-split bug.
+        assert!(
+            rest.is_empty(),
+            "row panels must cover every output row exactly once"
+        );
+        for (panel_idx, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok((count, shard)) => {
+                    total += count;
+                    parent.absorb(shard);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(BackendError::WorkerPanic {
+                            panel: panel_idx,
+                            payload: panic_payload_message(payload),
+                        });
+                    }
+                }
+            }
         }
     });
-    (d, total)
+    match first_panic {
+        Some(err) => Err(err),
+        None => Ok((d, total)),
+    }
 }
 
-impl<U: MmoUnit> Backend for TiledBackend<U> {
+impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
     fn name(&self) -> &'static str {
         "SIMD2 units (tiled, fp16 operands)"
     }
@@ -321,10 +390,14 @@ impl<U: MmoUnit> Backend for TiledBackend<U> {
     ) -> Result<Matrix, BackendError> {
         reference::check_mmo_shapes(a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
+        self.unit.begin_matrix_mmo();
         let workers = self.parallelism.worker_count();
         if workers > 1 && grid.m_tiles > 1 {
-            if let Some(unit) = self.unit.parallel_snapshot() {
-                let (d, count) = mmo_parallel(unit, op, a, b, c, &grid, workers);
+            let panels = grid.row_panels(workers);
+            let shards: Option<Vec<U>> = panels.iter().map(|_| self.unit.shard()).collect();
+            if let Some(shards) = shards {
+                let (d, count) =
+                    mmo_parallel(&mut self.unit, shards, op, (a, b, c), &grid, panels)?;
                 self.count += count;
                 self.count.matrix_mmos += 1;
                 return Ok(d);
@@ -339,7 +412,9 @@ impl<U: MmoUnit> Backend for TiledBackend<U> {
             for tk in 0..grid.k_tiles {
                 let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
                 let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
-                acc = self.unit.execute_tile(op, &at, &bt, &acc);
+                acc = self
+                    .unit
+                    .execute_tile_at(TileCoord::new(ti, tj, tk), op, &at, &bt, &acc);
                 self.count.tile_loads += 2;
                 self.count.tile_mmos += 1;
             }
@@ -348,6 +423,20 @@ impl<U: MmoUnit> Backend for TiledBackend<U> {
         }
         self.count.matrix_mmos += 1;
         Ok(d)
+    }
+
+    fn mmo_sequential(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        let saved = self.parallelism;
+        self.parallelism = Parallelism::Sequential;
+        let result = self.mmo(op, a, b, c);
+        self.parallelism = saved;
+        result
     }
 
     fn op_count(&self) -> OpCount {
@@ -431,8 +520,11 @@ impl Backend for IsaBackend {
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let grid = TileGrid::new(m, n, k, ISA_TILE);
         let pads = tiling::pad_values(op);
-        let (mp, np, kp) =
-            (grid.m_tiles * ISA_TILE, grid.n_tiles * ISA_TILE, grid.k_tiles * ISA_TILE);
+        let (mp, np, kp) = (
+            grid.m_tiles * ISA_TILE,
+            grid.n_tiles * ISA_TILE,
+            grid.k_tiles * ISA_TILE,
+        );
 
         // Shared-memory layout: A | B | C/D, padded to tile multiples.
         let a_base = 0usize;
@@ -441,8 +533,13 @@ impl Backend for IsaBackend {
         let total = c_base + mp * np;
         let mut mem = SharedMemory::new(total);
 
-        let pad_write = |mem: &mut SharedMemory, base: usize, ld: usize, src: &Matrix,
-                         rows: usize, cols: usize, fill: f32| {
+        let pad_write = |mem: &mut SharedMemory,
+                         base: usize,
+                         ld: usize,
+                         src: &Matrix,
+                         rows: usize,
+                         cols: usize,
+                         fill: f32| {
             let padded = Matrix::from_fn(rows, cols, |r, c| src.get(r, c).unwrap_or(fill));
             mem.write_matrix(base, ld, &padded)
         };
@@ -477,9 +574,19 @@ impl Backend for IsaBackend {
                     addr: b_addr,
                     ld: np as u32,
                 });
-                program.push(Instruction::Mmo { op, d: rc, a: ra, b: rb, c: rc });
+                program.push(Instruction::Mmo {
+                    op,
+                    d: rc,
+                    a: ra,
+                    b: rb,
+                    c: rc,
+                });
             }
-            program.push(Instruction::Store { src: rc, addr: c_addr, ld: np as u32 });
+            program.push(Instruction::Store {
+                src: rc,
+                addr: c_addr,
+                ld: np as u32,
+            });
         }
 
         let mut exec = Executor::new(mem);
@@ -647,26 +754,92 @@ mod tests {
     }
 
     #[test]
-    fn faulty_units_ignore_the_parallelism_knob() {
+    fn faulty_units_run_the_parallel_path_bit_identically() {
         use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
         let op = OpKind::PlusMul;
-        let (a, b, c) = operands(op, 40, 40, 40);
+        let (a, b, c) = operands(op, 70, 40, 40); // 5 tile rows
         let faulty = |threads| {
             let plan = FaultPlan::new(FaultPlanConfig::new(7).with_bit_flip_ppm(200_000));
             let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan));
             let mut be = TiledBackend::with_unit(unit);
             be.set_parallelism(threads);
             let d = be.mmo(op, &a, &b, &c).unwrap();
-            let log: Vec<_> = be.unit().injector().log().to_vec();
-            (d, log)
+            let log = be.unit().injector().log();
+            let count = be.op_count();
+            (d, log, count)
         };
-        let (d_seq, log_seq) = faulty(Parallelism::Sequential);
-        let (d_par, log_par) = faulty(Parallelism::Threads(8));
-        // Same seed, same (sequential) site order ⇒ identical faults and
-        // identical corrupted output, even with the knob set.
-        assert_eq!(log_seq, log_par);
-        assert_eq!(d_seq, d_par);
-        assert!(!log_seq.is_empty(), "campaign should have struck at this rate");
+        let (d_seq, log_seq, count_seq) = faulty(Parallelism::Sequential);
+        for workers in [2usize, 3, 8] {
+            let (d_par, log_par, count_par) = faulty(Parallelism::Threads(workers));
+            // Coordinate-addressed sites: the same plan strikes the same
+            // tiles regardless of panel assignment, logs merge in panel
+            // order, counters merge exactly.
+            assert_eq!(log_seq, log_par, "{workers} workers");
+            assert_eq!(d_seq, d_par, "{workers} workers");
+            assert_eq!(count_seq, count_par, "{workers} workers");
+        }
+        assert!(
+            !log_seq.is_empty(),
+            "campaign should have struck at this rate"
+        );
+    }
+
+    #[test]
+    fn faulty_unit_retry_draws_fresh_faults_on_the_parallel_path() {
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        let op = OpKind::MinPlus;
+        let (a, b, c) = operands(op, 60, 30, 30);
+        let plan = FaultPlan::new(FaultPlanConfig::new(11).with_transient_nan_ppm(300_000));
+        let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan));
+        let mut be = TiledBackend::with_unit(unit);
+        be.set_parallelism(Parallelism::Threads(4));
+        let first = be.mmo(op, &a, &b, &c).unwrap();
+        let second = be.mmo(op, &a, &b, &c).unwrap();
+        // The matrix-mmo sequence number advances between calls, so the
+        // second execution is an independent draw — at a 30% per-tile
+        // rate on 16 output tiles the two strike sets differ.
+        assert_ne!(
+            first, second,
+            "re-execution must see fresh transient faults"
+        );
+        assert_eq!(be.unit().injector().mmo_seq(), 2);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_abort() {
+        use simd2_fault::{PanicProbeUnit, PANIC_PROBE_PAYLOAD};
+        let op = OpKind::PlusMul;
+        let (a, b, c) = operands(op, 70, 23, 37); // 5 tile rows
+        let mut be = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 2));
+        be.set_parallelism(Parallelism::Threads(4));
+        let err = be.mmo(op, &a, &b, &c).unwrap_err();
+        match &err {
+            BackendError::WorkerPanic { panel, payload } => {
+                // 5 tile rows over 4 workers: row 2 lands in panel 1.
+                assert_eq!(*panel, 1);
+                assert!(payload.starts_with(PANIC_PROBE_PAYLOAD), "{payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The backend stays usable: the sequential schedule (parent
+        // unit, not a shard) completes the same operation.
+        let d = be.mmo_sequential(op, &a, &b, &c).unwrap();
+        let want = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
+        assert_eq!(d, want);
+    }
+
+    #[test]
+    fn worker_panic_contributes_no_completed_work_counters() {
+        use simd2_fault::{PanicProbeUnit, PANIC_PROBE_PAYLOAD};
+        let op = OpKind::MinPlus;
+        let (a, b, c) = operands(op, 80, 32, 32); // 5 tile rows
+        let mut be = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 0));
+        be.set_parallelism(Parallelism::Threads(5));
+        let err = be.mmo(op, &a, &b, &c).unwrap_err();
+        assert!(err.is_worker_panic());
+        assert!(err.to_string().contains(PANIC_PROBE_PAYLOAD));
+        // A failed mmo contributes no completed-work counters.
+        assert_eq!(be.op_count(), OpCount::default());
     }
 
     #[test]
@@ -697,8 +870,12 @@ mod tests {
         let a = Matrix::zeros(4, 4);
         let b = Matrix::zeros(5, 4);
         let c = Matrix::zeros(4, 4);
-        assert!(ReferenceBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
-        assert!(TiledBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
+        assert!(ReferenceBackend::new()
+            .mmo(OpKind::PlusMul, &a, &b, &c)
+            .is_err());
+        assert!(TiledBackend::new()
+            .mmo(OpKind::PlusMul, &a, &b, &c)
+            .is_err());
         assert!(IsaBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
     }
 
@@ -709,6 +886,9 @@ mod tests {
             TiledBackend::new().name(),
             IsaBackend::new().name(),
         ];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 }

@@ -1,10 +1,13 @@
 //! The unified backend error type.
 //!
-//! Backends can fail three ways: the operands do not fit together
-//! ([`ShapeError`]), the ISA-level engine faulted ([`ExecError`]), or an
-//! ABFT check caught a silently corrupted result ([`AbftViolation`]).
-//! [`BackendError`] folds all three into one type so the solver and
-//! application layers propagate every failure without panicking.
+//! Backends can fail four ways: the operands do not fit together
+//! ([`ShapeError`]), the ISA-level engine faulted ([`ExecError`]), an
+//! ABFT check caught a silently corrupted result ([`AbftViolation`]), or
+//! a parallel worker panicked and was contained
+//! ([`BackendError::WorkerPanic`]). [`BackendError`] folds all four into
+//! one type so the solver and application layers propagate every failure
+//! without panicking — a worker panic surfaces as an `Err`, never as a
+//! process abort.
 
 use std::fmt;
 
@@ -27,6 +30,15 @@ pub enum BackendError {
         /// The invariant that failed.
         violation: AbftViolation,
     },
+    /// A panel worker panicked during parallel execution; the panic was
+    /// contained (remaining workers drained cleanly) and surfaces here
+    /// instead of aborting the process.
+    WorkerPanic {
+        /// Index of the panel whose worker panicked.
+        panel: usize,
+        /// The panic payload, stringified.
+        payload: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -36,6 +48,9 @@ impl fmt::Display for BackendError {
             BackendError::Exec(e) => write!(f, "execution fault: {e}"),
             BackendError::Corruption { op, violation } => {
                 write!(f, "silent corruption in {op}: {violation}")
+            }
+            BackendError::WorkerPanic { panel, payload } => {
+                write!(f, "worker panic in panel {panel}: {payload}")
             }
         }
     }
@@ -47,6 +62,7 @@ impl std::error::Error for BackendError {
             BackendError::Shape(e) => Some(e),
             BackendError::Exec(e) => Some(e),
             BackendError::Corruption { violation, .. } => Some(violation),
+            BackendError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -76,6 +92,12 @@ impl BackendError {
     pub fn is_corruption(&self) -> bool {
         matches!(self, BackendError::Corruption { .. })
     }
+
+    /// Whether this error is a contained worker panic — recoverable by
+    /// re-executing the operation on a sequential schedule.
+    pub fn is_worker_panic(&self) -> bool {
+        matches!(self, BackendError::WorkerPanic { .. })
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +112,12 @@ mod tests {
         assert!(s.to_string().contains("shape error"));
         assert!(!s.is_corruption());
 
-        let x: BackendError = ExecError::OutOfBounds { addr: 9, last: 12, size: 4 }.into();
+        let x: BackendError = ExecError::OutOfBounds {
+            addr: 9,
+            last: 12,
+            size: 4,
+        }
+        .into();
         assert!(matches!(x, BackendError::Exec(_)));
 
         let c: BackendError = ExecError::SilentCorruption {
@@ -106,5 +133,15 @@ mod tests {
         .into();
         assert!(c.is_corruption());
         assert!(c.to_string().contains("silent corruption"));
+
+        let w = BackendError::WorkerPanic {
+            panel: 2,
+            payload: "boom".into(),
+        };
+        assert!(w.is_worker_panic());
+        assert!(!w.is_corruption());
+        assert!(w.to_string().contains("worker panic in panel 2"));
+        use std::error::Error;
+        assert!(w.source().is_none());
     }
 }

@@ -66,7 +66,9 @@ impl Simd2Context {
 
     /// A context with the given parallelism setting.
     pub fn with_parallelism(parallelism: Parallelism) -> Self {
-        Self { backend: TiledBackend::with_parallelism(parallelism) }
+        Self {
+            backend: TiledBackend::with_parallelism(parallelism),
+        }
     }
 
     /// The current parallelism setting.
@@ -199,7 +201,11 @@ mod tests {
         ];
         for (op, f) in table {
             let c = Matrix::filled(8, 8, op.reduce_identity_f32());
-            assert_eq!(f(&a, &b, &c).unwrap(), simd2_mmo(op, &a, &b, &c).unwrap(), "{op}");
+            assert_eq!(
+                f(&a, &b, &c).unwrap(),
+                simd2_mmo(op, &a, &b, &c).unwrap(),
+                "{op}"
+            );
         }
     }
 

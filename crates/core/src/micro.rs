@@ -36,7 +36,11 @@ impl MicroBench {
     pub fn time(&self, gpu: &Gpu) -> MicroResult {
         let cuda = gpu.cuda_mmo_time(self.op, self.m, self.n, self.k);
         let simd2 = gpu.simd2_mmo_time(self.op, self.m, self.n, self.k);
-        MicroResult { bench: *self, cuda, simd2 }
+        MicroResult {
+            bench: *self,
+            cuda,
+            simd2,
+        }
     }
 
     /// Functional cross-check at the benchmark's shape: runs the tiled
@@ -113,7 +117,10 @@ mod tests {
         assert_eq!(MicroBench::square(OpKind::OrAnd, 32).validate(5), 0.0);
         for op in [OpKind::MinMax, OpKind::MaxMin] {
             let diff = MicroBench::square(op, 32).validate(5);
-            assert!(diff <= simd2_semiring::precision::F16_MAX_RELATIVE_ERROR, "{op}: {diff}");
+            assert!(
+                diff <= simd2_semiring::precision::F16_MAX_RELATIVE_ERROR,
+                "{op}: {diff}"
+            );
         }
     }
 
@@ -132,7 +139,13 @@ mod tests {
     fn nonsquare_shapes_still_win() {
         let gpu = Gpu::default();
         for (label, m, n, k) in fig10_shapes() {
-            let r = MicroBench { op: OpKind::MinPlus, m, n, k }.time(&gpu);
+            let r = MicroBench {
+                op: OpKind::MinPlus,
+                m,
+                n,
+                k,
+            }
+            .time(&gpu);
             assert!(r.speedup() > 1.0, "{label}: {}", r.speedup());
         }
     }

@@ -40,7 +40,13 @@ impl KernelLayout {
         let a_base = 0;
         let b_base = mp * kp;
         let c_base = b_base + kp * np;
-        Self { padded: (mp, np, kp), a_base, b_base, c_base, total_elements: c_base + mp * np }
+        Self {
+            padded: (mp, np, kp),
+            a_base,
+            b_base,
+            c_base,
+            total_elements: c_base + mp * np,
+        }
     }
 }
 
@@ -90,7 +96,12 @@ pub fn compile_mmo(op: OpKind, m: usize, n: usize, k: usize, warps: usize) -> Co
     for (idx, (ti, tj)) in grid.output_coords().enumerate() {
         let prog = &mut warp_programs[idx % warps];
         let c_addr = (layout.c_base + ti * ISA_TILE * np + tj * ISA_TILE) as u32;
-        prog.push(Instruction::Load { dst: rc, dtype: Dtype::Fp32, addr: c_addr, ld: np as u32 });
+        prog.push(Instruction::Load {
+            dst: rc,
+            dtype: Dtype::Fp32,
+            addr: c_addr,
+            ld: np as u32,
+        });
         for tk in 0..grid.k_tiles {
             let a_addr = (layout.a_base + ti * ISA_TILE * kp + tk * ISA_TILE) as u32;
             let b_addr = (layout.b_base + tk * ISA_TILE * np + tj * ISA_TILE) as u32;
@@ -106,11 +117,26 @@ pub fn compile_mmo(op: OpKind, m: usize, n: usize, k: usize, warps: usize) -> Co
                 addr: b_addr,
                 ld: np as u32,
             });
-            prog.push(Instruction::Mmo { op, d: rc, a: ra, b: rb, c: rc });
+            prog.push(Instruction::Mmo {
+                op,
+                d: rc,
+                a: ra,
+                b: rb,
+                c: rc,
+            });
         }
-        prog.push(Instruction::Store { src: rc, addr: c_addr, ld: np as u32 });
+        prog.push(Instruction::Store {
+            src: rc,
+            addr: c_addr,
+            ld: np as u32,
+        });
     }
-    CompiledKernel { op, shape: (m, n, k), layout, warp_programs }
+    CompiledKernel {
+        op,
+        shape: (m, n, k),
+        layout,
+        warp_programs,
+    }
 }
 
 /// Stages operands into a fresh shared-memory image per the kernel's
@@ -135,7 +161,15 @@ pub fn stage_operands(
     };
     write(&mut mem, kernel.layout.a_base, kp, a, mp, kp, pads.operand)?;
     write(&mut mem, kernel.layout.b_base, np, b, kp, np, pads.operand)?;
-    write(&mut mem, kernel.layout.c_base, np, c, mp, np, pads.accumulator)?;
+    write(
+        &mut mem,
+        kernel.layout.c_base,
+        np,
+        c,
+        mp,
+        np,
+        pads.accumulator,
+    )?;
     Ok(mem)
 }
 
@@ -166,7 +200,9 @@ pub fn execute_compiled(
         exec.run(prog)?;
     }
     let (_, np, _) = kernel.layout.padded;
-    let out = exec.memory().read_matrix(kernel.layout.c_base, np, a.rows(), b.cols())?;
+    let out = exec
+        .memory()
+        .read_matrix(kernel.layout.c_base, np, a.rows(), b.cols())?;
     Ok(out)
 }
 
@@ -204,7 +240,10 @@ mod tests {
         assert_eq!(kernel.total_mmos(), 16 * 4);
         // Round-robin: every warp gets 4 output tiles.
         for prog in &kernel.warp_programs {
-            let stores = prog.iter().filter(|i| matches!(i, Instruction::Store { .. })).count();
+            let stores = prog
+                .iter()
+                .filter(|i| matches!(i, Instruction::Store { .. }))
+                .count();
             assert_eq!(stores, 4);
         }
         assert_eq!(kernel.total_instructions(), 16 * (1 + 3 * 4 + 1));
@@ -213,7 +252,11 @@ mod tests {
     #[test]
     fn more_warps_than_tiles_leaves_some_idle() {
         let kernel = compile_mmo(OpKind::OrAnd, 16, 16, 16, 8);
-        let nonempty = kernel.warp_programs.iter().filter(|p| !p.is_empty()).count();
+        let nonempty = kernel
+            .warp_programs
+            .iter()
+            .filter(|p| !p.is_empty())
+            .count();
         assert_eq!(nonempty, 1, "one output tile, one busy warp");
     }
 

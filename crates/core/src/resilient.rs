@@ -45,13 +45,17 @@ impl RecoveryPolicy {
     fn retry_attempts(self) -> u32 {
         match self {
             RecoveryPolicy::FailFast | RecoveryPolicy::Fallback => 0,
-            RecoveryPolicy::Retry { attempts }
-            | RecoveryPolicy::RetryThenFallback { attempts } => attempts,
+            RecoveryPolicy::Retry { attempts } | RecoveryPolicy::RetryThenFallback { attempts } => {
+                attempts
+            }
         }
     }
 
     fn falls_back(self) -> bool {
-        matches!(self, RecoveryPolicy::Fallback | RecoveryPolicy::RetryThenFallback { .. })
+        matches!(
+            self,
+            RecoveryPolicy::Fallback | RecoveryPolicy::RetryThenFallback { .. }
+        )
     }
 }
 
@@ -70,6 +74,11 @@ pub struct RecoveryStats {
     pub retry_successes: u64,
     /// Operations recomputed on the reference backend.
     pub fallbacks: u64,
+    /// Contained worker panics observed ([`BackendError::WorkerPanic`]).
+    pub worker_panics: u64,
+    /// Operations rescued by the sequential re-execution that follows a
+    /// worker panic.
+    pub panic_recoveries: u64,
 }
 
 /// A [`Backend`] decorator adding ABFT verification and recovery.
@@ -90,7 +99,13 @@ impl<B: Backend> ResilientBackend<B> {
 
     /// Wraps `inner` with explicit ABFT tolerances.
     pub fn with_config(inner: B, policy: RecoveryPolicy, abft: AbftConfig) -> Self {
-        Self { inner, fallback: ReferenceBackend::new(), policy, abft, stats: RecoveryStats::default() }
+        Self {
+            inner,
+            fallback: ReferenceBackend::new(),
+            policy,
+            abft,
+            stats: RecoveryStats::default(),
+        }
     }
 
     /// The wrapped backend.
@@ -123,15 +138,21 @@ impl<B: Backend> ResilientBackend<B> {
         self.stats = RecoveryStats::default();
     }
 
-    /// One verified execution attempt on the inner backend.
+    /// One verified execution attempt on the inner backend, on its
+    /// configured schedule or (after a worker panic) a sequential one.
     fn attempt(
         &mut self,
         op: OpKind,
         a: &Matrix,
         b: &Matrix,
         c: &Matrix,
+        sequential: bool,
     ) -> Result<Matrix, BackendError> {
-        let d = self.inner.mmo(op, a, b, c)?;
+        let d = if sequential {
+            self.inner.mmo_sequential(op, a, b, c)?
+        } else {
+            self.inner.mmo(op, a, b, c)?
+        };
         // Mirror the inner datapath's quantisation so clean fp16 results
         // are not flagged as corrupt.
         let mode = if self.inner.reduced_precision() {
@@ -162,7 +183,11 @@ impl<B: Backend> Backend for ResilientBackend<B> {
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
         self.stats.mmos += 1;
-        let mut last = match self.attempt(op, a, b, c) {
+        // Once a worker panic is seen, every further attempt for this
+        // operation runs on the sequential schedule, where panel workers
+        // (and therefore worker panics) do not exist.
+        let mut sequential = false;
+        let mut last = match self.attempt(op, a, b, c, sequential) {
             Ok(d) => {
                 self.stats.verified += 1;
                 return Ok(d);
@@ -171,13 +196,31 @@ impl<B: Backend> Backend for ResilientBackend<B> {
                 self.stats.detections += 1;
                 e
             }
+            Err(e) if e.is_worker_panic() => {
+                // Panic-containment recovery arm: re-execute immediately
+                // on the sequential schedule.
+                self.stats.worker_panics += 1;
+                sequential = true;
+                match self.attempt(op, a, b, c, sequential) {
+                    Ok(d) => {
+                        self.stats.verified += 1;
+                        self.stats.panic_recoveries += 1;
+                        return Ok(d);
+                    }
+                    Err(e2) if e2.is_corruption() => {
+                        self.stats.detections += 1;
+                        e2
+                    }
+                    Err(e2) => return Err(e2),
+                }
+            }
             // Structural errors (shapes, addressing) are not transient;
             // no amount of re-execution fixes them.
             Err(e) => return Err(e),
         };
         for _ in 0..self.policy.retry_attempts() {
             self.stats.retries += 1;
-            match self.attempt(op, a, b, c) {
+            match self.attempt(op, a, b, c, sequential) {
                 Ok(d) => {
                     self.stats.verified += 1;
                     self.stats.retry_successes += 1;
@@ -185,6 +228,11 @@ impl<B: Backend> Backend for ResilientBackend<B> {
                 }
                 Err(e) if e.is_corruption() => {
                     self.stats.detections += 1;
+                    last = e;
+                }
+                Err(e) if e.is_worker_panic() => {
+                    self.stats.worker_panics += 1;
+                    sequential = true;
                     last = e;
                 }
                 Err(e) => return Err(e),
@@ -274,10 +322,15 @@ mod tests {
     fn retry_recovers_under_moderate_fault_rate() {
         // ~30% per-tile NaN rate: some attempt among 32 executes cleanly.
         let (a, b, c) = operands(OpKind::MinPlus, 16);
-        let want = TiledBackend::new().mmo(OpKind::MinPlus, &a, &b, &c).unwrap();
+        let want = TiledBackend::new()
+            .mmo(OpKind::MinPlus, &a, &b, &c)
+            .unwrap();
         // Full witness coverage: +Inf faults on min-family ops can slip
         // past a sampled witness (they satisfy dominance).
-        let full = AbftConfig { witness_samples: usize::MAX, ..AbftConfig::default() };
+        let full = AbftConfig {
+            witness_samples: usize::MAX,
+            ..AbftConfig::default()
+        };
         let mut be = ResilientBackend::with_config(
             faulty_tiled(42, 300_000),
             RecoveryPolicy::Retry { attempts: 32 },
@@ -295,7 +348,10 @@ mod tests {
         // At 30% over 8 ops the odds all first attempts are clean are
         // ~0.7^8 ≈ 6% per run, but the seeded plan is deterministic: this
         // seed/rate strikes at least once.
-        assert!(saw_retry_success, "seeded plan should force at least one retry");
+        assert!(
+            saw_retry_success,
+            "seeded plan should force at least one retry"
+        );
         assert_eq!(s.fallbacks, 0);
     }
 
@@ -304,7 +360,9 @@ mod tests {
         // Full-rate faults: every inner attempt is corrupt, only the
         // reference fallback can produce a verified result.
         let (a, b, c) = operands(OpKind::MaxMin, 20);
-        let want = ReferenceBackend::new().mmo(OpKind::MaxMin, &a, &b, &c).unwrap();
+        let want = ReferenceBackend::new()
+            .mmo(OpKind::MaxMin, &a, &b, &c)
+            .unwrap();
         let mut be = ResilientBackend::new(
             faulty_tiled(7, 1_000_000),
             RecoveryPolicy::RetryThenFallback { attempts: 2 },
@@ -316,6 +374,31 @@ mod tests {
         assert_eq!(s.retries, 2);
         assert_eq!(s.detections, 3);
         assert_eq!(s.verified, 1);
+    }
+
+    #[test]
+    fn worker_panic_recovers_on_the_sequential_schedule() {
+        use crate::backend::Parallelism;
+        use simd2_fault::PanicProbeUnit;
+        // A probe whose panel shards panic at tile row 2: the parallel
+        // attempt fails, the sequential re-execution (parent unit, no
+        // shards) succeeds and is verified.
+        let (a, b, c) = operands(OpKind::PlusMul, 70); // 5 tile rows
+        let want = TiledBackend::new()
+            .mmo(OpKind::PlusMul, &a, &b, &c)
+            .unwrap();
+        let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 2));
+        inner.set_parallelism(Parallelism::Threads(4));
+        let mut be = ResilientBackend::new(inner, RecoveryPolicy::FailFast);
+        let d = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert_eq!(d, want);
+        let s = be.recovery_stats();
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.panic_recoveries, 1);
+        assert_eq!(s.verified, 1);
+        assert_eq!(s.detections, 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.fallbacks, 0);
     }
 
     #[test]
@@ -345,14 +428,19 @@ mod tests {
         let plan = FaultPlan::new(FaultPlanConfig::new(9).with_transient_nan_ppm(400_000));
         inner.set_injector(Box::new(PlannedInjector::new(plan)));
         inner.enable_verification(AbftConfig::default());
-        let mut be =
-            ResilientBackend::new(inner, RecoveryPolicy::Retry { attempts: 64 });
+        let mut be = ResilientBackend::new(inner, RecoveryPolicy::Retry { attempts: 64 });
         let d = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
         assert_eq!(d, want);
-        let injected =
-            be.inner().injector().map(FaultInjector::injected).unwrap_or_default();
+        let injected = be
+            .inner()
+            .injector()
+            .map(FaultInjector::injected)
+            .unwrap_or_default();
         let s = be.recovery_stats();
-        assert_eq!(s.detections, injected, "every injected NaN fault is detected");
+        assert_eq!(
+            s.detections, injected,
+            "every injected NaN fault is detected"
+        );
         assert!(s.verified == 1);
     }
 

@@ -140,7 +140,10 @@ pub fn closure<B: Backend>(
         }
         dist = next;
     }
-    Ok(ClosureResult { closure: dist, stats })
+    Ok(ClosureResult {
+        closure: dist,
+        stats,
+    })
 }
 
 /// Reference closure via textbook Floyd–Warshall generalised over the
@@ -207,7 +210,11 @@ pub fn reconstruct_path(
     dst: usize,
 ) -> Option<Vec<usize>> {
     assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
-    assert_eq!(adj.shape(), closure.shape(), "adjacency and closure must agree");
+    assert_eq!(
+        adj.shape(),
+        closure.shape(),
+        "adjacency and closure must agree"
+    );
     let n = adj.rows();
     let no_edge = op.no_edge_f32().expect("closure algebra");
     if closure[(src, dst)] == no_edge && src != dst {
@@ -277,8 +284,14 @@ mod tests {
     fn bellman_ford_min_plus_on_line() {
         let adj = line_graph().adjacency(OpKind::MinPlus);
         let mut be = ReferenceBackend::new();
-        let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
-            .unwrap();
+        let r = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::BellmanFord,
+            true,
+        )
+        .unwrap();
         assert_eq!(r.closure[(0, 3)], 6.0);
         assert_eq!(r.closure[(0, 2)], 3.0);
         assert_eq!(r.closure[(3, 0)], f32::INFINITY);
@@ -290,17 +303,34 @@ mod tests {
         let g = gen::connected_gnp_graph(24, 0.15, 1.0, 9.0, 7);
         let adj = g.adjacency(OpKind::MinPlus);
         let mut be = ReferenceBackend::new();
-        let bf = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
-            .unwrap();
-        let ley =
-            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+        let bf = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::BellmanFord,
+            true,
+        )
+        .unwrap();
+        let ley = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        )
+        .unwrap();
         assert_eq!(bf.closure, ley.closure);
         assert!(ley.stats.iterations <= bf.stats.iterations);
     }
 
     #[test]
     fn both_match_floyd_warshall_across_algebras() {
-        for op in [OpKind::MinPlus, OpKind::MinMax, OpKind::MaxMin, OpKind::OrAnd] {
+        for op in [
+            OpKind::MinPlus,
+            OpKind::MinMax,
+            OpKind::MaxMin,
+            OpKind::OrAnd,
+        ] {
             let g = gen::connected_gnp_graph(18, 0.2, 1.0, 7.0, 13);
             let adj = match op {
                 OpKind::OrAnd => g.reachability(),
@@ -323,8 +353,14 @@ mod tests {
         let adj = g.adjacency(OpKind::MinPlus);
         let want = floyd_warshall_closure(OpKind::MinPlus, &adj);
         let mut be = TiledBackend::new();
-        let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true)
-            .unwrap();
+        let r = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        )
+        .unwrap();
         assert_eq!(r.closure, want);
         assert!(be.op_count().tile_mmos > 0);
     }
@@ -339,13 +375,24 @@ mod tests {
         }
         let adj = g.adjacency(OpKind::MinPlus);
         let mut be = ReferenceBackend::new();
-        let with = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
-            .unwrap();
+        let with = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::BellmanFord,
+            true,
+        )
+        .unwrap();
         assert!(with.stats.converged_early);
         assert!(with.stats.iterations <= 5);
-        let without =
-            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, false)
-                .unwrap();
+        let without = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::BellmanFord,
+            false,
+        )
+        .unwrap();
         assert!(!without.stats.converged_early);
         assert_eq!(without.stats.iterations, 31);
         assert_eq!(with.closure, without.closure);
@@ -354,7 +401,10 @@ mod tests {
 
     #[test]
     fn worst_case_iteration_bounds() {
-        assert_eq!(ClosureAlgorithm::BellmanFord.worst_case_iterations(1024), 1023);
+        assert_eq!(
+            ClosureAlgorithm::BellmanFord.worst_case_iterations(1024),
+            1023
+        );
         assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(1024), 10);
         assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(1025), 10);
         assert_eq!(ClosureAlgorithm::Leyzorek.worst_case_iterations(2), 1);
@@ -367,8 +417,14 @@ mod tests {
         let adj = g.adjacency(OpKind::MaxPlus);
         let want = floyd_warshall_closure(OpKind::MaxPlus, &adj);
         let mut be = ReferenceBackend::new();
-        let r =
-            closure(&mut be, OpKind::MaxPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+        let r = closure(
+            &mut be,
+            OpKind::MaxPlus,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        )
+        .unwrap();
         assert_eq!(r.closure, want);
         // Critical path lengths are ≥ direct edges.
         for (s, d, w) in g.edges() {
@@ -381,16 +437,27 @@ mod tests {
     fn plus_mul_is_rejected() {
         let adj = Matrix::zeros(4, 4);
         let mut be = ReferenceBackend::new();
-        let _ = closure(&mut be, OpKind::PlusMul, &adj, ClosureAlgorithm::Leyzorek, true);
+        let _ = closure(
+            &mut be,
+            OpKind::PlusMul,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
     }
 
     #[test]
     fn non_square_is_an_error() {
         let adj = Matrix::zeros(4, 5);
         let mut be = ReferenceBackend::new();
-        assert!(
-            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).is_err()
-        );
+        assert!(closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            true
+        )
+        .is_err());
     }
 
     #[test]
@@ -403,12 +470,20 @@ mod tests {
         // Unreachable direction.
         assert_eq!(reconstruct_path(OpKind::MinPlus, &adj, &d, 3, 0), None);
         // Trivial path.
-        assert_eq!(reconstruct_path(OpKind::MinPlus, &adj, &d, 2, 2), Some(vec![2]));
+        assert_eq!(
+            reconstruct_path(OpKind::MinPlus, &adj, &d, 2, 2),
+            Some(vec![2])
+        );
     }
 
     #[test]
     fn path_reconstruction_recovers_closure_values_on_random_graphs() {
-        for op in [OpKind::MinPlus, OpKind::MaxMin, OpKind::MinMax, OpKind::OrAnd] {
+        for op in [
+            OpKind::MinPlus,
+            OpKind::MaxMin,
+            OpKind::MinMax,
+            OpKind::OrAnd,
+        ] {
             for seed in [3u64, 11, 29] {
                 let g = gen::connected_gnp_graph(16, 0.2, 1.0, 9.0, seed);
                 let adj = match op {
@@ -437,8 +512,16 @@ mod tests {
     #[test]
     fn path_value_rejects_missing_hops() {
         let adj = line_graph().adjacency(OpKind::MinPlus);
-        assert_eq!(path_value(OpKind::MinPlus, &adj, &[0, 2]), None, "no direct 0->2 edge");
-        assert_eq!(path_value(OpKind::MinPlus, &adj, &[1]), Some(0.0), "⊗ identity");
+        assert_eq!(
+            path_value(OpKind::MinPlus, &adj, &[0, 2]),
+            None,
+            "no direct 0->2 edge"
+        );
+        assert_eq!(
+            path_value(OpKind::MinPlus, &adj, &[1]),
+            Some(0.0),
+            "⊗ identity"
+        );
     }
 
     #[test]
@@ -446,8 +529,14 @@ mod tests {
         let g = gen::connected_gnp_graph(16, 0.3, 1.0, 5.0, 5);
         let adj = g.adjacency(OpKind::MinPlus);
         let mut be = ReferenceBackend::new();
-        let r =
-            closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, false).unwrap();
+        let r = closure(
+            &mut be,
+            OpKind::MinPlus,
+            &adj,
+            ClosureAlgorithm::Leyzorek,
+            false,
+        )
+        .unwrap();
         assert_eq!(r.stats.matrix_mmos, r.stats.iterations);
         assert_eq!(be.op_count().matrix_mmos as usize, r.stats.iterations);
     }

@@ -101,7 +101,12 @@ mod tests {
         // Non-additive reductions are order-insensitive ⇒ bit-exact.
         let a = gen::random_matrix(37, 53, 0.0, 9.0, 1);
         let b = gen::random_matrix(53, 29, 0.0, 9.0, 2);
-        for op in [OpKind::MinPlus, OpKind::MaxMin, OpKind::MinMax, OpKind::OrAnd] {
+        for op in [
+            OpKind::MinPlus,
+            OpKind::MaxMin,
+            OpKind::MinMax,
+            OpKind::OrAnd,
+        ] {
             let a = gen::random_operands_for(op, 37, 53, 3);
             let b = gen::random_operands_for(op, 53, 29, 4);
             let c = Matrix::filled(37, 29, op.reduce_identity_f32());

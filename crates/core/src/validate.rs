@@ -51,7 +51,12 @@ pub fn compare_outputs(
     let max_abs_diff = baseline
         .max_abs_diff(candidate)
         .expect("baseline and candidate outputs must have identical shapes");
-    Validation { name: name.into(), max_abs_diff, tolerance, op_count: None }
+    Validation {
+        name: name.into(),
+        max_abs_diff,
+        tolerance,
+        op_count: None,
+    }
 }
 
 /// Compares scalar outputs (e.g. an MST total weight) under a relative

@@ -10,7 +10,11 @@
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 use simd2::{Backend, OpCount, Parallelism, TiledBackend};
+use simd2_fault::{
+    FaultInjector, FaultLogEntry, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector,
+};
 use simd2_matrix::Matrix;
+use simd2_mxu::Simd2Unit;
 use simd2_semiring::{OpKind, ALL_OPS};
 
 fn op_strategy() -> impl Strategy<Value = OpKind> {
@@ -77,6 +81,60 @@ proptest! {
             // OpCount exactness under parallelism: per-worker counters
             // merged after the join must equal the sequential totals.
             prop_assert_eq!(par_be.op_count(), seq_count, "workers={}", workers);
+        }
+    }
+
+    /// Faulty units keep the same contract: a coordinate-addressed
+    /// fault plan strikes the same tiles on every schedule, so D is
+    /// bit-identical, the merged fault log equals the sequential log,
+    /// and the work counters stay exact — over all nine ops ×
+    /// non-square shapes × worker counts {1, 2, 4, 8}.
+    #[test]
+    fn faulty_parallel_matches_faulty_sequential(
+        op in op_strategy(),
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 1usize..40,
+        seed in any::<u32>(),
+        plan_seed in any::<u32>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+        let a = matrix_strategy(op, m, k).new_tree(&mut runner).unwrap().current();
+        let b = matrix_strategy(op, k, n).new_tree(&mut runner).unwrap().current();
+        let c = matrix_strategy(op, m, n).new_tree(&mut runner).unwrap().current();
+
+        // Fresh backend per schedule so every run sees the identical
+        // (seed, mmo_seq) fault-draw stream.
+        let run = |threads| -> (Matrix, Vec<FaultLogEntry>, u64, OpCount) {
+            let plan = FaultPlan::new(
+                FaultPlanConfig::new(u64::from(plan_seed))
+                    .with_bit_flip_ppm(120_000)
+                    .with_stuck_lane_ppm(40_000)
+                    .with_transient_nan_ppm(60_000),
+            );
+            let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan));
+            let mut be = TiledBackend::with_unit(unit);
+            be.set_parallelism(threads);
+            let d = be.mmo(op, &a, &b, &c).unwrap();
+            let inj = be.unit().injector();
+            (d, inj.log(), inj.injected(), be.op_count())
+        };
+        let (d_seq, log_seq, inj_seq, count_seq) = run(Parallelism::Sequential);
+        for workers in [1usize, 2, 4, 8] {
+            let (d_par, log_par, inj_par, count_par) = run(Parallelism::Threads(workers));
+            for (i, (x, y)) in d_seq.as_slice().iter().zip(d_par.as_slice()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} {}x{}x{} workers={} element {}",
+                    op, m, n, k, workers, i
+                );
+            }
+            // Shards merged in panel order reproduce the sequential
+            // row-major log and injection count exactly.
+            prop_assert_eq!(&log_seq, &log_par, "workers={}", workers);
+            prop_assert_eq!(inj_seq, inj_par, "workers={}", workers);
+            prop_assert_eq!(count_seq, count_par, "workers={}", workers);
         }
     }
 

@@ -93,23 +93,56 @@ pub enum AbftViolation {
 impl fmt::Display for AbftViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AbftViolation::NonFinite { op, row, col, value } => {
-                write!(f, "{op}: non-finite {value} at d[{row}][{col}] with finite inputs")
+            AbftViolation::NonFinite {
+                op,
+                row,
+                col,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{op}: non-finite {value} at d[{row}][{col}] with finite inputs"
+                )
             }
-            AbftViolation::ChecksumMismatch { op, expected, got, tolerance } => {
+            AbftViolation::ChecksumMismatch {
+                op,
+                expected,
+                got,
+                tolerance,
+            } => {
                 write!(
                     f,
                     "{op}: checksum {got} differs from predicted {expected} by more than {tolerance}"
                 )
             }
-            AbftViolation::WitnessMismatch { op, row, col, expected, got } => {
-                write!(f, "{op}: d[{row}][{col}] = {got}, witness recomputation gives {expected}")
+            AbftViolation::WitnessMismatch {
+                op,
+                row,
+                col,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{op}: d[{row}][{col}] = {got}, witness recomputation gives {expected}"
+                )
             }
             AbftViolation::DominanceViolation { op, row, col, c, d } => {
-                write!(f, "{op}: d[{row}][{col}] = {d} violates dominance against c = {c}")
+                write!(
+                    f,
+                    "{op}: d[{row}][{col}] = {d} violates dominance against c = {c}"
+                )
             }
-            AbftViolation::RangeViolation { op, row, col, value } => {
-                write!(f, "{op}: d[{row}][{col}] = {value} outside the canonical {{0,1}} range")
+            AbftViolation::RangeViolation {
+                op,
+                row,
+                col,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{op}: d[{row}][{col}] = {value} outside the canonical {{0,1}} range"
+                )
             }
         }
     }
@@ -134,7 +167,11 @@ pub struct AbftConfig {
 
 impl Default for AbftConfig {
     fn default() -> Self {
-        Self { rel_tol: 1e-4, abs_tol: 1e-6, witness_samples: 64 }
+        Self {
+            rel_tol: 1e-4,
+            abs_tol: 1e-6,
+            witness_samples: 64,
+        }
     }
 }
 
@@ -185,14 +222,18 @@ pub fn verify_tile<const N: usize>(
     cfg: &AbftConfig,
 ) -> Result<(), AbftViolation> {
     // NaN tripwire.
-    let inputs_nan =
-        a.iter().any(|(_, _, v)| v.is_nan())
-            || b.iter().any(|(_, _, v)| v.is_nan())
-            || c.iter().any(|(_, _, v)| v.is_nan());
+    let inputs_nan = a.iter().any(|(_, _, v)| v.is_nan())
+        || b.iter().any(|(_, _, v)| v.is_nan())
+        || c.iter().any(|(_, _, v)| v.is_nan());
     if !inputs_nan {
         for (row, col, value) in d.iter() {
             if value.is_nan() {
-                return Err(AbftViolation::NonFinite { op, row, col, value });
+                return Err(AbftViolation::NonFinite {
+                    op,
+                    row,
+                    col,
+                    value,
+                });
             }
         }
     }
@@ -204,7 +245,13 @@ pub fn verify_tile<const N: usize>(
         for (row, col, expected) in witness.iter() {
             let got = d.get(row, col);
             if !same_value(expected, got) {
-                return Err(AbftViolation::WitnessMismatch { op, row, col, expected, got });
+                return Err(AbftViolation::WitnessMismatch {
+                    op,
+                    row,
+                    col,
+                    expected,
+                    got,
+                });
             }
         }
         return Ok(());
@@ -276,7 +323,12 @@ pub fn verify_tile<const N: usize>(
     }
     let tolerance = cfg.tolerance(magnitude);
     if (got - expected).abs() > tolerance {
-        return Err(AbftViolation::ChecksumMismatch { op, expected, got, tolerance });
+        return Err(AbftViolation::ChecksumMismatch {
+            op,
+            expected,
+            got,
+            tolerance,
+        });
     }
     Ok(())
 }
@@ -305,7 +357,12 @@ pub fn verify_matrix(
     if !inputs_nan {
         for (idx, &value) in d.as_slice().iter().enumerate() {
             if value.is_nan() {
-                return Err(AbftViolation::NonFinite { op, row: idx / n, col: idx % n, value });
+                return Err(AbftViolation::NonFinite {
+                    op,
+                    row: idx / n,
+                    col: idx % n,
+                    value,
+                });
             }
         }
     }
@@ -362,7 +419,12 @@ pub fn verify_matrix(
         }
         let tolerance = cfg.tolerance(magnitude);
         if (got - expected).abs() > tolerance {
-            return Err(AbftViolation::ChecksumMismatch { op, expected, got, tolerance });
+            return Err(AbftViolation::ChecksumMismatch {
+                op,
+                expected,
+                got,
+                tolerance,
+            });
         }
         return Ok(());
     }
@@ -374,7 +436,12 @@ pub fn verify_matrix(
             let dv = d.row(i)[j];
             if op == OpKind::OrAnd {
                 if dv != 0.0 && dv != 1.0 {
-                    return Err(AbftViolation::RangeViolation { op, row: i, col: j, value: dv });
+                    return Err(AbftViolation::RangeViolation {
+                        op,
+                        row: i,
+                        col: j,
+                        value: dv,
+                    });
                 }
                 if cv != 0.0 && dv != 1.0 {
                     return Err(AbftViolation::DominanceViolation {
@@ -429,7 +496,13 @@ pub fn verify_matrix(
         }
         let got = d.row(i)[j];
         if !same_value(acc, got) {
-            return Err(AbftViolation::WitnessMismatch { op, row: i, col: j, expected: acc, got });
+            return Err(AbftViolation::WitnessMismatch {
+                op,
+                row: i,
+                col: j,
+                expected: acc,
+                got,
+            });
         }
     }
     Ok(())
@@ -529,7 +602,10 @@ mod tests {
         c.set(0, 0, f32::NAN);
         let d = unit.execute(OpKind::MinPlus, &a, &b, &c);
         // Legitimate NaN propagation must not be flagged.
-        assert_eq!(verify_tile(OpKind::MinPlus, &unit, &a, &b, &c, &d, &cfg), Ok(()));
+        assert_eq!(
+            verify_tile(OpKind::MinPlus, &unit, &a, &b, &c, &d, &cfg),
+            Ok(())
+        );
     }
 
     #[test]
@@ -540,7 +616,10 @@ mod tests {
         let mut d = unit.execute(OpKind::PlusMul, &a, &b, &c);
         let v = d.get(2, 2);
         d.set(2, 2, v + v.abs() * 1e-7);
-        assert_eq!(verify_tile(OpKind::PlusMul, &unit, &a, &b, &c, &d, &cfg), Ok(()));
+        assert_eq!(
+            verify_tile(OpKind::PlusMul, &unit, &a, &b, &c, &d, &cfg),
+            Ok(())
+        );
     }
 
     fn matrices(m: usize, k: usize, n: usize) -> (Matrix, Matrix, Matrix) {
@@ -550,7 +629,13 @@ mod tests {
         (a, b, c)
     }
 
-    fn reference_mmo(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix, mode: PrecisionMode) -> Matrix {
+    fn reference_mmo(
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+        mode: PrecisionMode,
+    ) -> Matrix {
         Matrix::from_fn(c.rows(), c.cols(), |i, j| {
             let mut acc = c.row(i)[j];
             for kk in 0..a.cols() {
@@ -569,14 +654,21 @@ mod tests {
         for op in ALL {
             let (a, b, c) = matrices(20, 17, 23);
             let d = reference_mmo(op, &a, &b, &c, mode);
-            assert_eq!(verify_matrix(op, &a, &b, &c, &d, mode, &cfg), Ok(()), "{op}");
+            assert_eq!(
+                verify_matrix(op, &a, &b, &c, &d, mode, &cfg),
+                Ok(()),
+                "{op}"
+            );
         }
     }
 
     #[test]
     fn matrix_corruption_is_detected_for_all_ops() {
         // Full witness: every element checked.
-        let cfg = AbftConfig { witness_samples: usize::MAX, ..AbftConfig::default() };
+        let cfg = AbftConfig {
+            witness_samples: usize::MAX,
+            ..AbftConfig::default()
+        };
         let mode = PrecisionMode::Fp16Input;
         for op in ALL {
             let (a, b, c) = matrices(20, 17, 23);
@@ -593,7 +685,10 @@ mod tests {
     #[test]
     fn dominance_catches_directional_corruption_without_witness() {
         // Dominance scan only.
-        let cfg = AbftConfig { witness_samples: 0, ..AbftConfig::default() };
+        let cfg = AbftConfig {
+            witness_samples: 0,
+            ..AbftConfig::default()
+        };
         let mode = PrecisionMode::Fp32Input;
         let (a, b, c) = matrices(12, 8, 12);
         let mut d = reference_mmo(OpKind::MinPlus, &a, &b, &c, mode);

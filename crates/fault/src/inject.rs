@@ -3,26 +3,103 @@
 //! [`FaultInjector`] is the object-safe hook an execution engine calls
 //! at each fault *site*: once per mmo (tile-granularity `D = C ⊕ A⊗B`)
 //! and once per store. [`PlannedInjector`] drives it from a seeded
-//! [`FaultPlan`] with monotonically increasing site counters, so a
-//! retry of the same mmo consumes a fresh site and sees an independent
-//! fault draw — the transient-fault model that makes retry a meaningful
-//! recovery policy.
+//! [`FaultPlan`]. Sites are addressed two ways:
+//!
+//! * **visit order** ([`FaultInjector::inject_mmo`]) — a monotonically
+//!   increasing counter, for strictly sequential engines (the warp-level
+//!   ISA executor);
+//! * **coordinates** ([`FaultInjector::inject_mmo_at`]) — the site key
+//!   derives from `(matrix-mmo sequence, ti, tj, tk)`, so the same plan
+//!   strikes the same tiles regardless of execution order or worker
+//!   count. This is what lets fault campaigns run on the panel-parallel
+//!   tile-grid schedule with bit-identical results to sequential.
+//!
+//! Either way, a retry of the same mmo (a fresh visit-order site, or a
+//! fresh matrix-mmo sequence number) sees an independent fault draw —
+//! the transient-fault model that makes retry a meaningful recovery
+//! policy.
 //!
 //! [`MmoUnit`] abstracts "something that executes a tile mmo", letting
 //! backends be generic over the pristine [`Simd2Unit`] or the
-//! [`FaultySimd2Unit`] wrapper that corrupts its outputs.
+//! [`FaultySimd2Unit`] wrapper that corrupts its outputs. Its
+//! [`shard`](MmoUnit::shard)/[`absorb`](MmoUnit::absorb) seam is how a
+//! parallel engine replicates a unit across workers and deterministically
+//! merges per-worker fault logs after the join.
+
+use std::collections::VecDeque;
 
 use simd2_matrix::Tile;
 use simd2_mxu::{PrecisionMode, Simd2Unit};
 use simd2_semiring::OpKind;
 
-use crate::plan::{FaultKind, FaultPlan, MXU_GRID};
+use crate::plan::{mix, FaultKind, FaultPlan, MXU_GRID};
+
+/// Grid coordinates of one tile-level mmo within a whole-matrix
+/// operation: output tile `(ti, tj)`, reduction step `tk`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileCoord {
+    /// Output tile row.
+    pub ti: u32,
+    /// Output tile column.
+    pub tj: u32,
+    /// Reduction (k) tile index.
+    pub tk: u32,
+}
+
+impl TileCoord {
+    /// Builds the coordinate (indices are tile-grid indices, not
+    /// element indices).
+    pub fn new(ti: usize, tj: usize, tk: usize) -> Self {
+        Self {
+            ti: ti as u32,
+            tj: tj as u32,
+            tk: tk as u32,
+        }
+    }
+}
+
+/// The full coordinate address of an mmo fault site: which whole-matrix
+/// mmo (by sequence number within the injector's lifetime) and which
+/// tile-grid step inside it.
+///
+/// Ordering is lexicographic `(mmo_seq, ti, tj, tk)` — exactly the order
+/// a sequential row-major tile-grid schedule visits sites, which is the
+/// canonical order merged parallel fault logs are kept in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MmoCoord {
+    /// Whole-matrix mmo sequence number (1-based; see
+    /// [`FaultInjector::begin_matrix_mmo`]).
+    pub mmo_seq: u64,
+    /// Output tile row.
+    pub ti: u32,
+    /// Output tile column.
+    pub tj: u32,
+    /// Reduction (k) tile index.
+    pub tk: u32,
+}
+
+/// Domain separator keeping coordinate-derived site keys disjoint from
+/// the small integers the visit-order stream uses.
+const COORD_SITE_SALT: u64 = 0xc00d_517e_ad42_e55e;
+
+impl MmoCoord {
+    /// The plan-site key this coordinate hashes to. A pure function of
+    /// the coordinate, so any execution order (or worker count) that
+    /// reaches the same tile draws the same fault.
+    pub fn site_key(self) -> u64 {
+        let packed = (u64::from(self.ti) << 42) ^ (u64::from(self.tj) << 21) ^ u64::from(self.tk);
+        mix(mix(self.mmo_seq ^ COORD_SITE_SALT) ^ packed)
+    }
+}
 
 /// One injected fault, for campaign logs and telemetry.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultLogEntry {
-    /// The site index the fault struck at.
+    /// The site key the fault struck at.
     pub site: u64,
+    /// The coordinate address of the site, when the engine addressed it
+    /// by coordinates (`None` for visit-order and store sites).
+    pub coord: Option<MmoCoord>,
     /// The semiring op executing at the site (`None` for store sites).
     pub op: Option<OpKind>,
     /// What was injected.
@@ -37,7 +114,11 @@ pub fn apply_to_tile(kind: FaultKind, d: &mut [f32], n: usize) {
             let idx = row * n + col;
             d[idx] = f32::from_bits(d[idx].to_bits() ^ (1u32 << bit));
         }
-        FaultKind::StuckLane { lane_row, lane_col, value } => {
+        FaultKind::StuckLane {
+            lane_row,
+            lane_col,
+            value,
+        } => {
             for r in 0..n {
                 for c in 0..n {
                     if r % MXU_GRID == lane_row && c % MXU_GRID == lane_col {
@@ -73,17 +154,47 @@ pub fn apply_to_memory(kind: FaultKind, words: &mut [f32]) {
 /// [`inject_store`](FaultInjector::inject_store) with the whole shared
 /// memory after each store. Both return the fault that struck, if any.
 pub trait FaultInjector: std::fmt::Debug + Send + Sync {
-    /// Possibly corrupts the output tile of one mmo.
+    /// Possibly corrupts the output tile of one mmo (visit-order site
+    /// addressing — for strictly sequential engines).
     fn inject_mmo(&mut self, op: OpKind, d: &mut [f32], n: usize) -> Option<FaultKind>;
+
+    /// Possibly corrupts the output tile of one mmo at an explicit
+    /// tile-grid coordinate. Order-independent: the draw depends only on
+    /// the current matrix-mmo sequence number and `coord`, never on how
+    /// many sites were visited before it. Defaults to the visit-order
+    /// path for injectors that do not support coordinate addressing.
+    fn inject_mmo_at(
+        &mut self,
+        coord: TileCoord,
+        op: OpKind,
+        d: &mut [f32],
+        n: usize,
+    ) -> Option<FaultKind> {
+        let _ = coord;
+        self.inject_mmo(op, d, n)
+    }
+
+    /// Marks the start of a new whole-matrix mmo, advancing the sequence
+    /// number coordinate-addressed draws derive from. A retried mmo
+    /// therefore sees fresh, independent faults — transients are
+    /// transient. No-op for visit-order-only injectors.
+    fn begin_matrix_mmo(&mut self) {}
 
     /// Possibly corrupts shared memory after a store.
     fn inject_store(&mut self, memory: &mut [f32]) -> Option<FaultKind>;
 
-    /// Total faults injected so far.
+    /// Total faults injected so far (including any whose log entries
+    /// were dropped by a bounded log).
     fn injected(&self) -> u64;
 
-    /// Every fault injected so far, in order.
-    fn log(&self) -> &[FaultLogEntry];
+    /// A snapshot of the retained fault log, oldest first.
+    fn log(&self) -> Vec<FaultLogEntry>;
+
+    /// Log entries evicted by a bounded log (see
+    /// [`PlannedInjector::with_log_capacity`]).
+    fn dropped(&self) -> u64 {
+        0
+    }
 
     /// Clones the injector behind its trait object.
     fn box_clone(&self) -> Box<dyn FaultInjector>;
@@ -95,23 +206,75 @@ impl Clone for Box<dyn FaultInjector> {
     }
 }
 
+/// A [`FaultInjector`] that can be split into per-worker shards whose
+/// state merges back deterministically after a parallel join.
+///
+/// Only injectors whose draws are order-independent (coordinate
+/// addressing) can shard: every shard must produce the same fault for
+/// the same tile no matter which worker visits it.
+pub trait ShardableInjector: FaultInjector + Sized {
+    /// A worker shard: same plan and current matrix-mmo sequence, empty
+    /// log and zeroed telemetry counters.
+    fn shard(&self) -> Self;
+
+    /// Merges a shard's log and counters back into `self`.
+    ///
+    /// Callers must absorb shards in panel order (ascending output tile
+    /// row); each shard logs its own panel in row-major order, so
+    /// ordered absorption reproduces exactly the log a sequential
+    /// schedule would have written.
+    fn absorb(&mut self, shard: Self);
+}
+
+/// Default cap on retained [`FaultLogEntry`]s (~3 MB at saturation), so
+/// unbounded campaigns — soak loops, long-lived serving backends — hold
+/// memory constant while [`FaultInjector::injected`]/
+/// [`FaultInjector::dropped`] keep exact totals.
+pub const DEFAULT_LOG_CAPACITY: usize = 65_536;
+
 /// A [`FaultInjector`] driven by a seeded [`FaultPlan`].
 ///
-/// Site counters advance monotonically for the injector's lifetime and
-/// never reset, so repeated execution of the same program draws fresh
-/// faults each time.
+/// Visit-order site counters advance monotonically for the injector's
+/// lifetime and never reset, so repeated execution of the same program
+/// draws fresh faults each time; coordinate-addressed draws key off the
+/// matrix-mmo sequence number advanced by
+/// [`begin_matrix_mmo`](FaultInjector::begin_matrix_mmo) instead. The
+/// fault log is a bounded ring: once `capacity` entries are retained the
+/// oldest are evicted (counted in [`dropped`](FaultInjector::dropped)),
+/// so the injector never grows without limit.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PlannedInjector {
     plan: FaultPlan,
+    mmo_seq: u64,
     next_mmo_site: u64,
     next_store_site: u64,
-    log: Vec<FaultLogEntry>,
+    mmo_sites: u64,
+    injected: u64,
+    dropped: u64,
+    capacity: usize,
+    log: VecDeque<FaultLogEntry>,
 }
 
 impl PlannedInjector {
-    /// A fresh injector at site zero.
+    /// A fresh injector at site zero with the default log capacity.
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan, next_mmo_site: 0, next_store_site: 0, log: Vec::new() }
+        Self::with_log_capacity(plan, DEFAULT_LOG_CAPACITY)
+    }
+
+    /// A fresh injector retaining at most `capacity` log entries
+    /// (oldest evicted first; `capacity` is clamped to at least 1).
+    pub fn with_log_capacity(plan: FaultPlan, capacity: usize) -> Self {
+        Self {
+            plan,
+            mmo_seq: 0,
+            next_mmo_site: 0,
+            next_store_site: 0,
+            mmo_sites: 0,
+            injected: 0,
+            dropped: 0,
+            capacity: capacity.max(1),
+            log: VecDeque::new(),
+        }
     }
 
     /// The plan driving this injector.
@@ -119,14 +282,32 @@ impl PlannedInjector {
         &self.plan
     }
 
-    /// The number of mmo sites visited so far.
+    /// The current whole-matrix mmo sequence number.
+    pub fn mmo_seq(&self) -> u64 {
+        self.mmo_seq
+    }
+
+    /// The number of mmo sites visited so far (both addressing modes).
     pub fn mmo_sites(&self) -> u64 {
-        self.next_mmo_site
+        self.mmo_sites
     }
 
     /// The number of store sites visited so far.
     pub fn store_sites(&self) -> u64 {
         self.next_store_site
+    }
+
+    /// The maximum number of log entries retained.
+    pub fn log_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn push_log(&mut self, entry: FaultLogEntry) {
+        if self.log.len() == self.capacity {
+            self.log.pop_front();
+            self.dropped += 1;
+        }
+        self.log.push_back(entry);
     }
 }
 
@@ -134,10 +315,48 @@ impl FaultInjector for PlannedInjector {
     fn inject_mmo(&mut self, op: OpKind, d: &mut [f32], n: usize) -> Option<FaultKind> {
         let site = self.next_mmo_site;
         self.next_mmo_site += 1;
+        self.mmo_sites += 1;
         let kind = self.plan.fault_for_mmo_site(site, n)?;
         apply_to_tile(kind, d, n);
-        self.log.push(FaultLogEntry { site, op: Some(op), kind });
+        self.injected += 1;
+        self.push_log(FaultLogEntry {
+            site,
+            coord: None,
+            op: Some(op),
+            kind,
+        });
         Some(kind)
+    }
+
+    fn inject_mmo_at(
+        &mut self,
+        coord: TileCoord,
+        op: OpKind,
+        d: &mut [f32],
+        n: usize,
+    ) -> Option<FaultKind> {
+        let coord = MmoCoord {
+            mmo_seq: self.mmo_seq,
+            ti: coord.ti,
+            tj: coord.tj,
+            tk: coord.tk,
+        };
+        self.mmo_sites += 1;
+        let site = coord.site_key();
+        let kind = self.plan.fault_for_mmo_site(site, n)?;
+        apply_to_tile(kind, d, n);
+        self.injected += 1;
+        self.push_log(FaultLogEntry {
+            site,
+            coord: Some(coord),
+            op: Some(op),
+            kind,
+        });
+        Some(kind)
+    }
+
+    fn begin_matrix_mmo(&mut self) {
+        self.mmo_seq += 1;
     }
 
     fn inject_store(&mut self, memory: &mut [f32]) -> Option<FaultKind> {
@@ -145,20 +364,55 @@ impl FaultInjector for PlannedInjector {
         self.next_store_site += 1;
         let kind = self.plan.fault_for_mem_site(site, memory.len())?;
         apply_to_memory(kind, memory);
-        self.log.push(FaultLogEntry { site, op: None, kind });
+        self.injected += 1;
+        self.push_log(FaultLogEntry {
+            site,
+            coord: None,
+            op: None,
+            kind,
+        });
         Some(kind)
     }
 
     fn injected(&self) -> u64 {
-        self.log.len() as u64
+        self.injected
     }
 
-    fn log(&self) -> &[FaultLogEntry] {
-        &self.log
+    fn log(&self) -> Vec<FaultLogEntry> {
+        self.log.iter().copied().collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     fn box_clone(&self) -> Box<dyn FaultInjector> {
         Box::new(self.clone())
+    }
+}
+
+impl ShardableInjector for PlannedInjector {
+    fn shard(&self) -> Self {
+        Self {
+            plan: self.plan,
+            mmo_seq: self.mmo_seq,
+            next_mmo_site: 0,
+            next_store_site: 0,
+            mmo_sites: 0,
+            injected: 0,
+            dropped: 0,
+            capacity: self.capacity,
+            log: VecDeque::new(),
+        }
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        self.mmo_sites += shard.mmo_sites;
+        self.injected += shard.injected;
+        self.dropped += shard.dropped;
+        for entry in shard.log {
+            self.push_log(entry);
+        }
     }
 }
 
@@ -174,25 +428,61 @@ pub trait MmoUnit: std::fmt::Debug {
         c: &Tile<N>,
     ) -> Tile<N>;
 
+    /// Executes one tile mmo at an explicit tile-grid coordinate.
+    ///
+    /// Tiled backends call this (after one
+    /// [`begin_matrix_mmo`](MmoUnit::begin_matrix_mmo) per whole-matrix
+    /// operation) so any order-sensitive state — fault injection above
+    /// all — can key off *where* the tile is instead of *when* it is
+    /// visited. Pure datapaths ignore the coordinate.
+    fn execute_tile_at<const N: usize>(
+        &mut self,
+        coord: TileCoord,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        let _ = coord;
+        self.execute_tile(op, a, b, c)
+    }
+
+    /// Marks the start of a new whole-matrix mmo (called once per
+    /// backend-level `mmo`, before any tile executes and before any
+    /// shards are taken).
+    fn begin_matrix_mmo(&mut self) {}
+
     /// Whether the datapath quantises inputs below fp32.
     fn reduced_precision(&self) -> bool;
 
     /// The input precision mode of the underlying datapath.
     fn precision(&self) -> PrecisionMode;
 
-    /// A stateless snapshot of the datapath that may be replicated
-    /// across worker threads, or `None` when the unit carries mutable
-    /// state whose visiting order is observable.
+    /// A per-worker shard of this unit for panel-parallel execution, or
+    /// `None` when the unit cannot be replicated across workers.
     ///
     /// The pristine [`Simd2Unit`] is pure (same inputs ⇒ same output
-    /// tile, no internal state), so tiled backends may execute disjoint
-    /// output tiles concurrently on copies of it. A
-    /// [`FaultySimd2Unit`] returns `None`: its injector's site counter
-    /// advances per mmo, so tile order is semantically meaningful and
-    /// execution must stay sequential for fault campaigns to remain
-    /// deterministic.
-    fn parallel_snapshot(&self) -> Option<Simd2Unit> {
+    /// tile, no internal state), so a shard is a plain copy. A
+    /// [`FaultySimd2Unit`] shards its coordinate-addressed injector:
+    /// every shard draws the same fault for the same tile, so panel
+    /// assignment cannot change a campaign. Units whose state is
+    /// genuinely visit-order-dependent return `None` and force the
+    /// sequential schedule.
+    fn shard(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
         None
+    }
+
+    /// Merges a worker shard's state (fault logs, telemetry) back after
+    /// the parallel join. Shards must be absorbed in panel order so the
+    /// merged log is identical to the sequential schedule's log.
+    fn absorb(&mut self, shard: Self)
+    where
+        Self: Sized,
+    {
+        let _ = shard;
     }
 }
 
@@ -215,7 +505,7 @@ impl MmoUnit for Simd2Unit {
         Simd2Unit::precision(self)
     }
 
-    fn parallel_snapshot(&self) -> Option<Simd2Unit> {
+    fn shard(&self) -> Option<Self> {
         Some(*self)
     }
 }
@@ -249,7 +539,7 @@ impl<I: FaultInjector> FaultySimd2Unit<I> {
     }
 }
 
-impl<I: FaultInjector> MmoUnit for FaultySimd2Unit<I> {
+impl<I: ShardableInjector> MmoUnit for FaultySimd2Unit<I> {
     fn execute_tile<const N: usize>(
         &mut self,
         op: OpKind,
@@ -265,12 +555,120 @@ impl<I: FaultInjector> MmoUnit for FaultySimd2Unit<I> {
         d
     }
 
+    fn execute_tile_at<const N: usize>(
+        &mut self,
+        coord: TileCoord,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        let d = self.unit.execute(op, a, b, c);
+        let mut flat: Vec<f32> = (0..N * N).map(|i| d.get(i / N, i % N)).collect();
+        if self
+            .injector
+            .inject_mmo_at(coord, op, &mut flat, N)
+            .is_some()
+        {
+            return Tile::from_fn(|r, c| flat[r * N + c]);
+        }
+        d
+    }
+
+    fn begin_matrix_mmo(&mut self) {
+        self.injector.begin_matrix_mmo();
+    }
+
     fn reduced_precision(&self) -> bool {
         MmoUnit::reduced_precision(&self.unit)
     }
 
     fn precision(&self) -> PrecisionMode {
         self.unit.precision()
+    }
+
+    fn shard(&self) -> Option<Self> {
+        Some(Self {
+            unit: self.unit,
+            injector: self.injector.shard(),
+        })
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        self.injector.absorb(shard.injector);
+    }
+}
+
+/// A chaos-probe datapath: computes exactly like [`Simd2Unit`], but a
+/// worker *shard* panics when it reaches output tile row `panic_ti` —
+/// the deterministic way to exercise a parallel engine's panic
+/// containment. The parent unit (and therefore any sequential schedule,
+/// including a post-panic sequential retry) never panics.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicProbeUnit {
+    unit: Simd2Unit,
+    panic_ti: u32,
+    is_shard: bool,
+}
+
+/// Prefix of the panic payload [`PanicProbeUnit`] raises, so harnesses
+/// can tell an injected probe panic from a genuine defect.
+pub const PANIC_PROBE_PAYLOAD: &str = "injected worker panic";
+
+impl PanicProbeUnit {
+    /// Wraps `unit`; shards of this probe panic at tile row `panic_ti`.
+    pub fn new(unit: Simd2Unit, panic_ti: u32) -> Self {
+        Self {
+            unit,
+            panic_ti,
+            is_shard: false,
+        }
+    }
+
+    /// The tile row whose shard execution panics.
+    pub fn panic_ti(&self) -> u32 {
+        self.panic_ti
+    }
+}
+
+impl MmoUnit for PanicProbeUnit {
+    fn execute_tile<const N: usize>(
+        &mut self,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        self.unit.execute(op, a, b, c)
+    }
+
+    fn execute_tile_at<const N: usize>(
+        &mut self,
+        coord: TileCoord,
+        op: OpKind,
+        a: &Tile<N>,
+        b: &Tile<N>,
+        c: &Tile<N>,
+    ) -> Tile<N> {
+        if self.is_shard && coord.ti == self.panic_ti {
+            panic!("{PANIC_PROBE_PAYLOAD} at tile row {}", coord.ti);
+        }
+        self.unit.execute(op, a, b, c)
+    }
+
+    fn reduced_precision(&self) -> bool {
+        MmoUnit::reduced_precision(&self.unit)
+    }
+
+    fn precision(&self) -> PrecisionMode {
+        self.unit.precision()
+    }
+
+    fn shard(&self) -> Option<Self> {
+        Some(Self {
+            is_shard: true,
+            ..*self
+        })
     }
 }
 
@@ -315,7 +713,15 @@ mod tests {
     #[test]
     fn bit_flip_changes_exactly_one_element() {
         let mut d = vec![2.0f32; 16];
-        apply_to_tile(FaultKind::BitFlip { row: 1, col: 2, bit: 31 }, &mut d, 4);
+        apply_to_tile(
+            FaultKind::BitFlip {
+                row: 1,
+                col: 2,
+                bit: 31,
+            },
+            &mut d,
+            4,
+        );
         assert_eq!(d[4 + 2], -2.0);
         assert_eq!(d.iter().filter(|&&x| x != 2.0).count(), 1);
     }
@@ -324,7 +730,11 @@ mod tests {
     fn stuck_lane_covers_the_grid_pattern() {
         let mut d = vec![7.0f32; 256];
         apply_to_tile(
-            FaultKind::StuckLane { lane_row: 1, lane_col: 3, value: 0.0 },
+            FaultKind::StuckLane {
+                lane_row: 1,
+                lane_col: 3,
+                value: 0.0,
+            },
             &mut d,
             16,
         );
@@ -360,11 +770,155 @@ mod tests {
     }
 
     #[test]
-    fn only_pristine_units_offer_parallel_snapshots() {
+    fn pristine_and_faulty_units_both_shard() {
         let unit = Simd2Unit::new();
-        assert_eq!(MmoUnit::parallel_snapshot(&unit), Some(unit));
+        assert_eq!(MmoUnit::shard(&unit), Some(unit));
         let faulty = FaultySimd2Unit::new(unit, PlannedInjector::new(always_plan()));
-        assert_eq!(faulty.parallel_snapshot(), None);
+        let shard = faulty.shard().unwrap();
+        assert_eq!(shard.injector().injected(), 0);
+        assert_eq!(shard.injector().plan(), faulty.injector().plan());
+    }
+
+    #[test]
+    fn coordinate_draws_are_order_independent() {
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(13, 400_000));
+        let coords: Vec<TileCoord> = (0..4)
+            .flat_map(|ti| {
+                (0..4).flat_map(move |tj| (0..3).map(move |tk| TileCoord::new(ti, tj, tk)))
+            })
+            .collect();
+        let run = |order: &[TileCoord]| {
+            let mut inj = PlannedInjector::new(plan);
+            inj.begin_matrix_mmo();
+            let mut log = Vec::new();
+            for &c in order {
+                let mut d = vec![1.0f32; 256];
+                if let Some(k) = inj.inject_mmo_at(c, OpKind::PlusMul, &mut d, 16) {
+                    log.push((c, k));
+                }
+            }
+            log.sort_by_key(|&(c, _)| c);
+            log
+        };
+        let forward = run(&coords);
+        let mut reversed = coords.clone();
+        reversed.reverse();
+        assert!(!forward.is_empty());
+        assert_eq!(
+            forward,
+            run(&reversed),
+            "same tiles must draw the same faults"
+        );
+    }
+
+    #[test]
+    fn begin_matrix_mmo_refreshes_coordinate_draws() {
+        // Same coordinate, consecutive matrix mmos: the draws must be
+        // independent (≈40% rate over 64 sequences sees both outcomes).
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(21, 400_000));
+        let mut inj = PlannedInjector::new(plan);
+        let mut outcomes = Vec::new();
+        for _ in 0..64 {
+            inj.begin_matrix_mmo();
+            let mut d = vec![1.0f32; 256];
+            outcomes.push(inj.inject_mmo_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &mut d, 16));
+        }
+        assert!(outcomes.iter().any(Option::is_some));
+        assert!(outcomes.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn absorbing_shards_in_panel_order_matches_sequential_log() {
+        let plan = FaultPlan::new(FaultPlanConfig::uniform(5, 300_000));
+        let mut seq = PlannedInjector::new(plan);
+        seq.begin_matrix_mmo();
+        let mut par = PlannedInjector::new(plan);
+        par.begin_matrix_mmo();
+        let mut shards: Vec<PlannedInjector> = (0..3).map(|_| par.shard()).collect();
+        for ti in 0..6u32 {
+            for tj in 0..4u32 {
+                for tk in 0..2u32 {
+                    let coord = TileCoord { ti, tj, tk };
+                    let mut d = vec![1.0f32; 256];
+                    seq.inject_mmo_at(coord, OpKind::MinPlus, &mut d, 16);
+                    let mut d2 = vec![1.0f32; 256];
+                    // Panel p owns tile rows 2p..2p+2.
+                    shards[(ti / 2) as usize].inject_mmo_at(coord, OpKind::MinPlus, &mut d2, 16);
+                }
+            }
+        }
+        for shard in shards {
+            par.absorb(shard);
+        }
+        assert_eq!(par.log(), seq.log());
+        assert_eq!(par.injected(), seq.injected());
+        assert_eq!(par.mmo_sites(), seq.mmo_sites());
+        assert!(par.injected() > 0);
+    }
+
+    #[test]
+    fn log_is_a_bounded_ring_with_drop_accounting() {
+        let mut inj = PlannedInjector::with_log_capacity(always_plan(), 8);
+        inj.begin_matrix_mmo();
+        for tk in 0..20u32 {
+            let mut d = vec![1.0f32; 256];
+            inj.inject_mmo_at(
+                TileCoord::new(0, 0, tk as usize),
+                OpKind::PlusMul,
+                &mut d,
+                16,
+            );
+        }
+        assert_eq!(inj.injected(), 20);
+        assert_eq!(inj.dropped(), 12);
+        let log = inj.log();
+        assert_eq!(log.len(), 8);
+        // The ring keeps the most recent entries, oldest first.
+        let kept: Vec<u32> = log.iter().map(|e| e.coord.unwrap().tk).collect();
+        assert_eq!(kept, (12..20).collect::<Vec<_>>());
+        assert_eq!(inj.log_capacity(), 8);
+    }
+
+    #[test]
+    fn coordinate_site_keys_avoid_visit_order_collisions() {
+        // Visit-order sites are small integers; coordinate keys must not
+        // land in that range for any plausible grid.
+        for seq in 1..=4u64 {
+            for ti in 0..8 {
+                for tj in 0..8 {
+                    for tk in 0..8 {
+                        let coord = MmoCoord {
+                            mmo_seq: seq,
+                            ti,
+                            tj,
+                            tk,
+                        };
+                        assert!(coord.site_key() > 1 << 20);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_probe_panics_only_on_shards() {
+        let a = Tile::<16>::from_fn(|r, c| (r + c) as f32);
+        let b = Tile::<16>::splat(1.0);
+        let c = Tile::<16>::splat(0.0);
+        let mut parent = PanicProbeUnit::new(Simd2Unit::new(), 1);
+        // Parent (sequential) execution is clean, even at the armed row.
+        let clean = parent.execute_tile_at(TileCoord::new(1, 0, 0), OpKind::PlusMul, &a, &b, &c);
+        assert_eq!(clean, Simd2Unit::new().execute(OpKind::PlusMul, &a, &b, &c));
+        let mut shard = parent.shard().unwrap();
+        // A shard is clean off the armed row…
+        shard.execute_tile_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &a, &b, &c);
+        // …and panics on it.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shard.execute_tile_at(TileCoord::new(1, 2, 0), OpKind::PlusMul, &a, &b, &c);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with(PANIC_PROBE_PAYLOAD), "{msg}");
     }
 
     #[test]

@@ -33,5 +33,8 @@ pub mod inject;
 pub mod plan;
 
 pub use abft::{AbftConfig, AbftViolation};
-pub use inject::{FaultInjector, FaultLogEntry, FaultySimd2Unit, MmoUnit, PlannedInjector};
+pub use inject::{
+    FaultInjector, FaultLogEntry, FaultySimd2Unit, MmoCoord, MmoUnit, PanicProbeUnit,
+    PlannedInjector, ShardableInjector, TileCoord, PANIC_PROBE_PAYLOAD,
+};
 pub use plan::{FaultClass, FaultKind, FaultPlan, FaultPlanConfig};

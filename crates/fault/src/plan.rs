@@ -125,7 +125,11 @@ impl fmt::Display for FaultKind {
             FaultKind::BitFlip { row, col, bit } => {
                 write!(f, "bit-flip b{bit} at d[{row}][{col}]")
             }
-            FaultKind::StuckLane { lane_row, lane_col, value } => {
+            FaultKind::StuckLane {
+                lane_row,
+                lane_col,
+                value,
+            } => {
                 write!(f, "lane ({lane_row},{lane_col}) stuck at {value}")
             }
             FaultKind::TransientNan { row, col, inf } => {
@@ -157,7 +161,13 @@ pub struct FaultPlanConfig {
 impl FaultPlanConfig {
     /// A plan with the given seed and all rates zero.
     pub fn new(seed: u64) -> Self {
-        Self { seed, bit_flip_ppm: 0, stuck_lane_ppm: 0, transient_nan_ppm: 0, mem_ppm: 0 }
+        Self {
+            seed,
+            bit_flip_ppm: 0,
+            stuck_lane_ppm: 0,
+            transient_nan_ppm: 0,
+            mem_ppm: 0,
+        }
     }
 
     /// A plan striking every class at the same rate.
@@ -206,7 +216,7 @@ impl FaultPlanConfig {
 }
 
 /// SplitMix64 finaliser: a bijective avalanche mix.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -248,7 +258,11 @@ impl FaultPlan {
     /// order; at most one fault strikes per site.
     pub fn fault_for_mmo_site(&self, site: u64, n: usize) -> Option<FaultKind> {
         debug_assert!(n > 0);
-        for class in [FaultClass::TileBitFlip, FaultClass::StuckLane, FaultClass::TransientNan] {
+        for class in [
+            FaultClass::TileBitFlip,
+            FaultClass::StuckLane,
+            FaultClass::TransientNan,
+        ] {
             if !self.strikes(class, site) {
                 continue;
             }
@@ -320,7 +334,10 @@ mod tests {
         let a = FaultPlan::new(FaultPlanConfig::uniform(7, 50_000));
         let b = FaultPlan::new(FaultPlanConfig::uniform(7, 50_000));
         for site in 0..50_000 {
-            assert_eq!(a.fault_for_mmo_site(site, 16), b.fault_for_mmo_site(site, 16));
+            assert_eq!(
+                a.fault_for_mmo_site(site, 16),
+                b.fault_for_mmo_site(site, 16)
+            );
         }
     }
 
@@ -352,7 +369,9 @@ mod tests {
                 Some(FaultKind::BitFlip { row, col, bit }) => {
                     assert!(row < 16 && col < 16 && bit < 32);
                 }
-                Some(FaultKind::StuckLane { lane_row, lane_col, .. }) => {
+                Some(FaultKind::StuckLane {
+                    lane_row, lane_col, ..
+                }) => {
                     assert!(lane_row < MXU_GRID && lane_col < MXU_GRID);
                 }
                 Some(FaultKind::TransientNan { row, col, .. }) => {
@@ -360,8 +379,7 @@ mod tests {
                 }
                 other => panic!("unexpected draw {other:?}"),
             }
-            if let Some(FaultKind::MemBitFlip { word, bit }) = plan.fault_for_mem_site(site, 100)
-            {
+            if let Some(FaultKind::MemBitFlip { word, bit }) = plan.fault_for_mem_site(site, 100) {
                 assert!(word < 100 && bit < 32);
             }
         }

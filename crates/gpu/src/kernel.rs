@@ -173,9 +173,8 @@ impl Gpu {
     pub fn simd2_mmo_energy_joules(&self, op: OpKind, m: usize, n: usize, k: usize) -> f64 {
         let t = self.simd2_mmo_time(op, m, n, k).get();
         let units = (self.config.sm_count * self.config.simd2_units_per_sm) as f64;
-        let unit_power = simd2_mxu::area::PowerModel::combined_watts(
-            &simd2_semiring::EXTENDED_OPS,
-        ) * PROCESS_POWER_SCALE_45NM_TO_8N;
+        let unit_power = simd2_mxu::area::PowerModel::combined_watts(&simd2_semiring::EXTENDED_OPS)
+            * PROCESS_POWER_SCALE_45NM_TO_8N;
         t * (units * unit_power + BASE_BOARD_WATTS)
     }
 
@@ -217,7 +216,8 @@ mod tests {
     use simd2_semiring::{ALL_OPS, EXTENDED_OPS};
 
     fn speedup(gpu: &Gpu, op: OpKind, n: usize) -> f64 {
-        gpu.simd2_mmo_time(op, n, n, n).speedup_over(gpu.cuda_mmo_time(op, n, n, n))
+        gpu.simd2_mmo_time(op, n, n, n)
+            .speedup_over(gpu.cuda_mmo_time(op, n, n, n))
     }
 
     #[test]
@@ -318,7 +318,7 @@ mod tests {
         };
         let t = gpu.kernel_time(&mem_bound);
         assert!((t.get() - 0.1).abs() < 0.01, "{t:?}"); // 76 GB / 760 GB/s
-        // Compute-bound profile.
+                                                        // Compute-bound profile.
         let cpu_bound = KernelProfile {
             element_steps: 14.88e12,
             slots_per_step: 1.0,
@@ -381,7 +381,10 @@ mod tests {
             .simd2_mmo_time(OpKind::MinPlus, n, n, n)
             .speedup_over(gpu.cuda_mmo_time(OpKind::MinPlus, n, n, n));
         assert!(energy_gain > 1.0, "{energy_gain}");
-        assert!((energy_gain / speedup - 1.0).abs() < 0.5, "{energy_gain} vs {speedup}");
+        assert!(
+            (energy_gain / speedup - 1.0).abs() < 0.5,
+            "{energy_gain} vs {speedup}"
+        );
     }
 
     #[test]

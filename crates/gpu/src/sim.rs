@@ -132,7 +132,9 @@ impl Default for SmPipeline {
 impl SmPipeline {
     /// A pipeline around the synthesised 4×4 SIMD² unit.
     pub fn new() -> Self {
-        Self { unit: UnitTiming::simd2_4x4() }
+        Self {
+            unit: UnitTiming::simd2_4x4(),
+        }
     }
 
     /// A pipeline around a custom unit timing (tile-shape ablations).
@@ -288,7 +290,11 @@ impl GridSim {
     /// Panics if either parameter is zero.
     pub fn new(pipeline: SmPipeline, total_units: usize, warps_per_unit: usize) -> Self {
         assert!(total_units > 0 && warps_per_unit > 0);
-        Self { pipeline, total_units, warps_per_unit }
+        Self {
+            pipeline,
+            total_units,
+            warps_per_unit,
+        }
     }
 
     /// Simulates the kernel: warp programs are dealt round-robin to
@@ -334,7 +340,12 @@ impl GridSim {
 pub fn tile_mmo_program(op: simd2_semiring::OpKind, k_tiles: usize) -> Vec<Instruction> {
     use simd2_isa::{Dtype, MatrixReg};
     let (ra, rb, rc) = (MatrixReg::new(0), MatrixReg::new(1), MatrixReg::new(2));
-    let mut prog = vec![Instruction::Load { dst: rc, dtype: Dtype::Fp32, addr: 0, ld: 16 }];
+    let mut prog = vec![Instruction::Load {
+        dst: rc,
+        dtype: Dtype::Fp32,
+        addr: 0,
+        ld: 16,
+    }];
     for t in 0..k_tiles {
         prog.push(Instruction::Load {
             dst: ra,
@@ -348,9 +359,19 @@ pub fn tile_mmo_program(op: simd2_semiring::OpKind, k_tiles: usize) -> Vec<Instr
             addr: (512 + 512 * t) as u32,
             ld: 16,
         });
-        prog.push(Instruction::Mmo { op, d: rc, a: ra, b: rb, c: rc });
+        prog.push(Instruction::Mmo {
+            op,
+            d: rc,
+            a: ra,
+            b: rb,
+            c: rc,
+        });
     }
-    prog.push(Instruction::Store { src: rc, addr: 0, ld: 16 });
+    prog.push(Instruction::Store {
+        src: rc,
+        addr: 0,
+        ld: 16,
+    });
     prog
 }
 
@@ -386,7 +407,11 @@ mod tests {
         let p = SmPipeline::new();
         let prog = tile_mmo_program(OpKind::MinPlus, 16);
         let stats = p.simulate(&[prog]);
-        assert!(stats.simd2_utilization() < 0.95, "{}", stats.simd2_utilization());
+        assert!(
+            stats.simd2_utilization() < 0.95,
+            "{}",
+            stats.simd2_utilization()
+        );
         assert!(stats.dependency_stalls > 0);
     }
 
@@ -395,7 +420,9 @@ mod tests {
         // With several independent warps, steady-state throughput reaches
         // the analytic bound of one mmo per 64 cycles.
         let p = SmPipeline::new();
-        let programs: Vec<_> = (0..6).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let programs: Vec<_> = (0..6)
+            .map(|_| tile_mmo_program(OpKind::MinPlus, 16))
+            .collect();
         let stats = p.simulate(&programs);
         assert_eq!(stats.mmos, 6 * 16);
         assert!(
@@ -412,8 +439,9 @@ mod tests {
         let p = SmPipeline::new();
         let mut prev = 0.0;
         for warps in [1usize, 2, 4, 8] {
-            let programs: Vec<_> =
-                (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+            let programs: Vec<_> = (0..warps)
+                .map(|_| tile_mmo_program(OpKind::MinPlus, 8))
+                .collect();
             let u = p.simulate(&programs).simd2_utilization();
             assert!(u >= prev - 1e-9, "{warps} warps: {u} < {prev}");
             prev = u;
@@ -438,10 +466,28 @@ mod tests {
         let p = SmPipeline::new();
         let (ra, rc) = (MatrixReg::new(0), MatrixReg::new(2));
         let prog = vec![
-            Instruction::Load { dst: ra, dtype: Dtype::Fp16, addr: 0, ld: 16 },
-            Instruction::Fill { dst: rc, value: 0.0 },
-            Instruction::Mmo { op: OpKind::PlusMul, d: rc, a: ra, b: ra, c: rc },
-            Instruction::Store { src: rc, addr: 0, ld: 16 },
+            Instruction::Load {
+                dst: ra,
+                dtype: Dtype::Fp16,
+                addr: 0,
+                ld: 16,
+            },
+            Instruction::Fill {
+                dst: rc,
+                value: 0.0,
+            },
+            Instruction::Mmo {
+                op: OpKind::PlusMul,
+                d: rc,
+                a: ra,
+                b: ra,
+                c: rc,
+            },
+            Instruction::Store {
+                src: rc,
+                addr: 0,
+                ld: 16,
+            },
         ];
         let stats = p.simulate(&[prog]);
         // The store cannot issue before the mmo's full latency has passed.
@@ -451,20 +497,32 @@ mod tests {
 
     #[test]
     fn eight_by_eight_unit_halves_occupancy() {
-        let fat = UnitTiming { tile_side: 8, latency_cycles: 4, initiation_interval: 1 };
+        let fat = UnitTiming {
+            tile_side: 8,
+            latency_cycles: 4,
+            initiation_interval: 1,
+        };
         let p = SmPipeline::with_unit(fat);
         assert_eq!(p.mmo_occupancy(), 8); // (16/8)^3
-        let programs: Vec<_> = (0..6).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let programs: Vec<_> = (0..6)
+            .map(|_| tile_mmo_program(OpKind::MinPlus, 16))
+            .collect();
         let fast = p.simulate(&programs);
         let slow = SmPipeline::new().simulate(&programs);
-        assert!(fast.cycles < slow.cycles / 3, "{} vs {}", fast.cycles, slow.cycles);
+        assert!(
+            fast.cycles < slow.cycles / 3,
+            "{} vs {}",
+            fast.cycles,
+            slow.cycles
+        );
     }
 
     #[test]
     fn grid_sim_divides_work_across_units() {
         // 32 warps of 8 mmos each on 1 vs 8 units.
-        let programs: Vec<_> =
-            (0..32).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+        let programs: Vec<_> = (0..32)
+            .map(|_| tile_mmo_program(OpKind::MinPlus, 8))
+            .collect();
         let one = GridSim::new(SmPipeline::new(), 1, 8).simulate(&programs);
         let eight = GridSim::new(SmPipeline::new(), 8, 8).simulate(&programs);
         assert_eq!(one.mmos, eight.mmos);
@@ -474,20 +532,24 @@ mod tests {
 
     #[test]
     fn saturated_grid_approaches_analytic_bound() {
-        let programs: Vec<_> =
-            (0..64).map(|_| tile_mmo_program(OpKind::MinPlus, 16)).collect();
+        let programs: Vec<_> = (0..64)
+            .map(|_| tile_mmo_program(OpKind::MinPlus, 16))
+            .collect();
         let units = 4;
         let stats = GridSim::new(SmPipeline::new(), units, 8).simulate(&programs);
         let ideal = stats.mmos as f64 * 64.0 / units as f64;
         let ratio = stats.cycles as f64 / ideal;
-        assert!((1.0..=1.2).contains(&ratio), "grid cycles {} vs ideal {ideal}", stats.cycles);
+        assert!(
+            (1.0..=1.2).contains(&ratio),
+            "grid cycles {} vs ideal {ideal}",
+            stats.cycles
+        );
     }
 
     #[test]
     fn empty_grid_units_are_skipped() {
         // 2 programs over 8 units: 6 units idle, no panic.
-        let programs: Vec<_> =
-            (0..2).map(|_| tile_mmo_program(OpKind::OrAnd, 2)).collect();
+        let programs: Vec<_> = (0..2).map(|_| tile_mmo_program(OpKind::OrAnd, 2)).collect();
         let stats = GridSim::new(SmPipeline::new(), 8, 4).simulate(&programs);
         assert_eq!(stats.mmos, 4);
         assert!(stats.cycles > 0);

@@ -30,7 +30,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based source line of the error.
@@ -84,7 +87,8 @@ fn parse_value(tok: &str, line: usize) -> Result<f32, AsmError> {
 }
 
 fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, AsmError> {
-    tok.parse().map_err(|_| AsmError::new(line, format!("bad {what} `{tok}`")))
+    tok.parse()
+        .map_err(|_| AsmError::new(line, format!("bad {what} `{tok}`")))
 }
 
 /// Parses one statement (without comments / terminating `;`).
@@ -117,8 +121,11 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Instruction, AsmError> {
         }
         "simd2.load.f16" | "simd2.load.f32" | "simd2.load" => {
             want(3)?;
-            let dtype =
-                if mnemonic.ends_with(".f32") { Dtype::Fp32 } else { Dtype::Fp16 };
+            let dtype = if mnemonic.ends_with(".f32") {
+                Dtype::Fp32
+            } else {
+                Dtype::Fp16
+            };
             Ok(Instruction::Load {
                 dst: parse_reg(operands[0], line)?,
                 dtype,
@@ -208,7 +215,13 @@ simd2.store.f32 [0], %m2, 32
     fn comments_blank_lines_and_semicolons() {
         let text = "\n// header comment\nsimd2.fill %m0, 1.5;   // trailing\n\n";
         let prog = parse(text).unwrap();
-        assert_eq!(prog, vec![Instruction::Fill { dst: MatrixReg::new(0), value: 1.5 }]);
+        assert_eq!(
+            prog,
+            vec![Instruction::Fill {
+                dst: MatrixReg::new(0),
+                value: 1.5
+            }]
+        );
     }
 
     #[test]

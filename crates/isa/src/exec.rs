@@ -30,7 +30,9 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Allocates `elements` zero-initialised `f32` words.
     pub fn new(elements: usize) -> Self {
-        Self { data: vec![0.0; elements] }
+        Self {
+            data: vec![0.0; elements],
+        }
     }
 
     /// Size in elements.
@@ -89,7 +91,13 @@ impl SharedMemory {
 
     /// Bounds-checks a `rows × cols` region at `addr` with leading
     /// dimension `ld` — the shared logic behind tile and matrix access.
-    fn check_region(&self, addr: usize, ld: usize, rows: usize, cols: usize) -> Result<(), ExecError> {
+    fn check_region(
+        &self,
+        addr: usize,
+        ld: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<(), ExecError> {
         if rows == 0 || cols == 0 {
             return Ok(());
         }
@@ -102,7 +110,11 @@ impl SharedMemory {
             .and_then(|x| x.checked_add(cols - 1))
             .unwrap_or(usize::MAX);
         if last >= self.data.len() {
-            return Err(ExecError::OutOfBounds { addr, last, size: self.data.len() });
+            return Err(ExecError::OutOfBounds {
+                addr,
+                last,
+                size: self.data.len(),
+            });
         }
         Ok(())
     }
@@ -155,10 +167,20 @@ impl fmt::Display for ExecError {
                 "tile access at {addr} reaches element {last}, beyond shared memory size {size}"
             ),
             ExecError::BadLeadingDimension { ld } => {
-                write!(f, "leading dimension {ld} is smaller than the 16-element tile row")
+                write!(
+                    f,
+                    "leading dimension {ld} is smaller than the 16-element tile row"
+                )
             }
-            ExecError::SilentCorruption { op, mmo_index, violation } => {
-                write!(f, "silent corruption detected at mmo #{mmo_index} ({op}): {violation}")
+            ExecError::SilentCorruption {
+                op,
+                mmo_index,
+                violation,
+            } => {
+                write!(
+                    f,
+                    "silent corruption detected at mmo #{mmo_index} ({op}): {violation}"
+                )
             }
         }
     }
@@ -308,7 +330,12 @@ impl Executor {
                 self.regs[dst.index()] = Tile::splat(value);
                 stats.fills += 1;
             }
-            Instruction::Load { dst, dtype, addr, ld } => {
+            Instruction::Load {
+                dst,
+                dtype,
+                addr,
+                ld,
+            } => {
                 self.memory.check_tile(addr, ld)?;
                 let (addr, ld) = (addr as usize, ld as usize);
                 let quantise = matches!(
@@ -326,12 +353,16 @@ impl Executor {
                 stats.loads += 1;
             }
             Instruction::Mmo { op, d, a, b, c } => {
-                let (ta, tb, tc) =
-                    (self.regs[a.index()], self.regs[b.index()], self.regs[c.index()]);
+                let (ta, tb, tc) = (
+                    self.regs[a.index()],
+                    self.regs[b.index()],
+                    self.regs[c.index()],
+                );
                 let mut result = self.unit.execute(op, &ta, &tb, &tc);
                 if let Some(injector) = self.injector.as_mut() {
-                    let mut flat: Vec<f32> =
-                        (0..ISA_TILE * ISA_TILE).map(|i| result.get(i / ISA_TILE, i % ISA_TILE)).collect();
+                    let mut flat: Vec<f32> = (0..ISA_TILE * ISA_TILE)
+                        .map(|i| result.get(i / ISA_TILE, i % ISA_TILE))
+                        .collect();
                     if injector.inject_mmo(op, &mut flat, ISA_TILE).is_some() {
                         stats.faults_injected += 1;
                         result = Tile::from_fn(|r, c| flat[r * ISA_TILE + c]);
@@ -404,7 +435,11 @@ impl Executor {
                 }
                 Instruction::Load { dst, addr, .. } => {
                     let t = &self.regs[dst.index()];
-                    format!("%m{} <- mem[{addr}..] (t[0][0]={})", dst.index(), t.get(0, 0))
+                    format!(
+                        "%m{} <- mem[{addr}..] (t[0][0]={})",
+                        dst.index(),
+                        t.get(0, 0)
+                    )
                 }
                 Instruction::Mmo { d, .. } => {
                     let t = &self.regs[d.index()];
@@ -433,7 +468,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>4}] {:<44} ; {}", self.pc, self.instr.to_string(), self.effect)
+        write!(
+            f,
+            "[{:>4}] {:<44} ; {}",
+            self.pc,
+            self.instr.to_string(),
+            self.effect
+        )
     }
 }
 
@@ -450,9 +491,24 @@ mod tests {
         mem.write_matrix(256, 16, b).unwrap();
         mem.write_matrix(512, 16, c).unwrap();
         let prog = vec![
-            Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 0, ld: 16 },
-            Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp16, addr: 256, ld: 16 },
-            Instruction::Load { dst: MatrixReg::new(2), dtype: Dtype::Fp32, addr: 512, ld: 16 },
+            Instruction::Load {
+                dst: MatrixReg::new(0),
+                dtype: Dtype::Fp16,
+                addr: 0,
+                ld: 16,
+            },
+            Instruction::Load {
+                dst: MatrixReg::new(1),
+                dtype: Dtype::Fp16,
+                addr: 256,
+                ld: 16,
+            },
+            Instruction::Load {
+                dst: MatrixReg::new(2),
+                dtype: Dtype::Fp32,
+                addr: 512,
+                ld: 16,
+            },
             Instruction::Mmo {
                 op,
                 d: MatrixReg::new(3),
@@ -460,7 +516,11 @@ mod tests {
                 b: MatrixReg::new(1),
                 c: MatrixReg::new(2),
             },
-            Instruction::Store { src: MatrixReg::new(3), addr: 768, ld: 16 },
+            Instruction::Store {
+                src: MatrixReg::new(3),
+                addr: 768,
+                ld: 16,
+            },
         ];
         let mut exec = Executor::new(mem);
         let stats = exec.run(&prog).unwrap();
@@ -490,7 +550,8 @@ mod tests {
     #[test]
     fn f16_loads_quantise_f32_loads_do_not() {
         let mut mem = SharedMemory::new(1024);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)).unwrap(); // not fp16-exact
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1))
+            .unwrap(); // not fp16-exact
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.load.f32 %m1, [0], 16",
@@ -505,7 +566,8 @@ mod tests {
     #[test]
     fn fp32_unit_mode_disables_quantisation() {
         let mut mem = SharedMemory::new(1024);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1)).unwrap();
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 0.1))
+            .unwrap();
         let prog = asm::parse("simd2.load.f16 %m0, [0], 16").unwrap();
         let mut exec =
             Executor::with_unit(mem, Simd2Unit::with_precision(PrecisionMode::Fp32Input));
@@ -551,13 +613,17 @@ mod tests {
         let mem = SharedMemory::new(10_000);
         let prog = asm::parse("simd2.load.f16 %m0, [0], 8").unwrap();
         let mut exec = Executor::new(mem);
-        assert_eq!(exec.run(&prog), Err(ExecError::BadLeadingDimension { ld: 8 }));
+        assert_eq!(
+            exec.run(&prog),
+            Err(ExecError::BadLeadingDimension { ld: 8 })
+        );
     }
 
     #[test]
     fn store_after_fault_does_not_happen() {
         let mut mem = SharedMemory::new(512);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0)).unwrap();
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0))
+            .unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.load.f16 %m1, [100000], 16
@@ -567,13 +633,17 @@ mod tests {
         let mut exec = Executor::new(mem);
         assert!(exec.run(&prog).is_err());
         // The store never executed.
-        assert_eq!(exec.memory().read_matrix(256, 16, 16, 16).unwrap(), Matrix::zeros(16, 16));
+        assert_eq!(
+            exec.memory().read_matrix(256, 16, 16, 16).unwrap(),
+            Matrix::zeros(16, 16)
+        );
     }
 
     #[test]
     fn stats_accumulate() {
         let mut mem = SharedMemory::new(2048);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0)).unwrap();
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 1.0))
+            .unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.fill %m1, 0.0
@@ -596,7 +666,8 @@ mod tests {
     #[test]
     fn traced_run_matches_plain_run() {
         let mut mem = SharedMemory::new(2048);
-        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0)).unwrap();
+        mem.write_matrix(0, 16, &Matrix::filled(16, 16, 2.0))
+            .unwrap();
         let prog = asm::parse(
             "simd2.load.f16 %m0, [0], 16
              simd2.fill %m1, inf
@@ -657,7 +728,10 @@ mod tests {
         // Degenerate empty reads succeed, even at out-of-range addresses
         // (a zero-element region touches no memory).
         assert_eq!(mem.read_matrix(0, 8, 0, 8).unwrap(), Matrix::zeros(0, 8));
-        assert_eq!(mem.read_matrix(1 << 40, 8, 5, 0).unwrap(), Matrix::zeros(5, 0));
+        assert_eq!(
+            mem.read_matrix(1 << 40, 8, 5, 0).unwrap(),
+            Matrix::zeros(5, 0)
+        );
     }
 
     mod faults {
@@ -666,9 +740,24 @@ mod tests {
 
         fn single_mmo_program(op: OpKind) -> Vec<Instruction> {
             vec![
-                Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 0, ld: 16 },
-                Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp16, addr: 256, ld: 16 },
-                Instruction::Load { dst: MatrixReg::new(2), dtype: Dtype::Fp32, addr: 512, ld: 16 },
+                Instruction::Load {
+                    dst: MatrixReg::new(0),
+                    dtype: Dtype::Fp16,
+                    addr: 0,
+                    ld: 16,
+                },
+                Instruction::Load {
+                    dst: MatrixReg::new(1),
+                    dtype: Dtype::Fp16,
+                    addr: 256,
+                    ld: 16,
+                },
+                Instruction::Load {
+                    dst: MatrixReg::new(2),
+                    dtype: Dtype::Fp32,
+                    addr: 512,
+                    ld: 16,
+                },
                 Instruction::Mmo {
                     op,
                     d: MatrixReg::new(3),
@@ -676,7 +765,11 @@ mod tests {
                     b: MatrixReg::new(1),
                     c: MatrixReg::new(2),
                 },
-                Instruction::Store { src: MatrixReg::new(3), addr: 768, ld: 16 },
+                Instruction::Store {
+                    src: MatrixReg::new(3),
+                    addr: 768,
+                    ld: 16,
+                },
             ]
         }
 
@@ -731,7 +824,10 @@ mod tests {
                         Ok(stats) => {
                             let got = exec.memory().read_matrix(768, 16, 16, 16).unwrap();
                             if stats.faults_injected == 0 {
-                                assert_eq!(got, baseline, "{op} seed {seed}: fault-free run drifted");
+                                assert_eq!(
+                                    got, baseline,
+                                    "{op} seed {seed}: fault-free run drifted"
+                                );
                                 continue;
                             }
                             struck += 1;
@@ -761,7 +857,10 @@ mod tests {
                         Err(ExecError::SilentCorruption { op: eop, .. }) => {
                             assert_eq!(eop, op);
                             let injected = exec.injector().unwrap().injected();
-                            assert!(injected >= 1, "detection without injection (false positive)");
+                            assert!(
+                                injected >= 1,
+                                "detection without injection (false positive)"
+                            );
                             struck += 1;
                             detected += 1;
                         }
@@ -769,7 +868,10 @@ mod tests {
                     }
                 }
             }
-            assert!(struck >= 40, "campaign too quiet: only {struck} struck runs");
+            assert!(
+                struck >= 40,
+                "campaign too quiet: only {struck} struck runs"
+            );
             assert!(detected >= struck / 2, "{detected}/{struck} detected");
         }
 
@@ -818,7 +920,11 @@ mod tests {
             exec.enable_verification(AbftConfig::default());
             let err = exec.run(&single_mmo_program(op)).unwrap_err();
             match err {
-                ExecError::SilentCorruption { op: eop, mmo_index, violation } => {
+                ExecError::SilentCorruption {
+                    op: eop,
+                    mmo_index,
+                    violation,
+                } => {
                     assert_eq!(eop, op);
                     assert_eq!(mmo_index, 0);
                     // A transient NaN/Inf is caught by the tripwire or the

@@ -166,8 +166,16 @@ impl Instruction {
                     | ((dst.index() as u64) << 56)
                     | u64::from(value.to_bits())
             }
-            Instruction::Load { dst, dtype, addr, ld } => {
-                assert!(ld <= LD_MAX, "leading dimension {ld} exceeds encoding field");
+            Instruction::Load {
+                dst,
+                dtype,
+                addr,
+                ld,
+            } => {
+                assert!(
+                    ld <= LD_MAX,
+                    "leading dimension {ld} exceeds encoding field"
+                );
                 (CLASS_LOAD << CLASS_SHIFT)
                     | ((dst.index() as u64) << 56)
                     | (dtype.code() << 55)
@@ -183,7 +191,10 @@ impl Instruction {
                     | ((c.index() as u64) << 40)
             }
             Instruction::Store { src, addr, ld } => {
-                assert!(ld <= LD_MAX, "leading dimension {ld} exceeds encoding field");
+                assert!(
+                    ld <= LD_MAX,
+                    "leading dimension {ld} exceeds encoding field"
+                );
                 (CLASS_STORE << CLASS_SHIFT)
                     | ((src.index() as u64) << 56)
                     | (u64::from(ld) << 32)
@@ -241,7 +252,12 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Instruction::Fill { dst, value } => write!(f, "simd2.fill {dst}, {value}"),
-            Instruction::Load { dst, dtype, addr, ld } => {
+            Instruction::Load {
+                dst,
+                dtype,
+                addr,
+                ld,
+            } => {
                 write!(f, "simd2.load.{} {dst}, [{addr}], {ld}", dtype.suffix())
             }
             Instruction::Mmo { op, d, a, b, c } => {
@@ -261,16 +277,31 @@ mod tests {
 
     fn samples() -> Vec<Instruction> {
         let mut v = vec![
-            Instruction::Fill { dst: MatrixReg::new(3), value: f32::INFINITY },
-            Instruction::Fill { dst: MatrixReg::new(0), value: -1.25 },
+            Instruction::Fill {
+                dst: MatrixReg::new(3),
+                value: f32::INFINITY,
+            },
+            Instruction::Fill {
+                dst: MatrixReg::new(0),
+                value: -1.25,
+            },
             Instruction::Load {
                 dst: MatrixReg::new(15),
                 dtype: Dtype::Fp16,
                 addr: 0xDEAD_BEEF,
                 ld: 16384,
             },
-            Instruction::Load { dst: MatrixReg::new(1), dtype: Dtype::Fp32, addr: 0, ld: 16 },
-            Instruction::Store { src: MatrixReg::new(7), addr: 12345, ld: LD_MAX },
+            Instruction::Load {
+                dst: MatrixReg::new(1),
+                dtype: Dtype::Fp32,
+                addr: 0,
+                ld: 16,
+            },
+            Instruction::Store {
+                src: MatrixReg::new(7),
+                addr: 12345,
+                ld: LD_MAX,
+            },
         ];
         for op in ALL_OPS {
             v.push(Instruction::Mmo {
@@ -308,7 +339,10 @@ mod tests {
     #[test]
     fn fill_preserves_exact_bits() {
         let v = f32::from_bits(0x7F80_0001); // a signalling NaN pattern
-        let i = Instruction::Fill { dst: MatrixReg::new(2), value: v };
+        let i = Instruction::Fill {
+            dst: MatrixReg::new(2),
+            value: v,
+        };
         match Instruction::decode(i.encode()).unwrap() {
             Instruction::Fill { value, .. } => assert_eq!(value.to_bits(), v.to_bits()),
             other => panic!("decoded {other:?}"),
@@ -347,12 +381,22 @@ mod tests {
             "simd2.minplus %m3, %m0, %m1, %m2"
         );
         assert_eq!(
-            Instruction::Load { dst: MatrixReg::new(0), dtype: Dtype::Fp16, addr: 64, ld: 16 }
-                .to_string(),
+            Instruction::Load {
+                dst: MatrixReg::new(0),
+                dtype: Dtype::Fp16,
+                addr: 64,
+                ld: 16
+            }
+            .to_string(),
             "simd2.load.f16 %m0, [64], 16"
         );
         assert_eq!(
-            Instruction::Store { src: MatrixReg::new(5), addr: 0, ld: 32 }.to_string(),
+            Instruction::Store {
+                src: MatrixReg::new(5),
+                addr: 0,
+                ld: 32
+            }
+            .to_string(),
             "simd2.store.f32 [0], %m5, 32"
         );
     }

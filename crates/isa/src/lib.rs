@@ -26,5 +26,5 @@ mod instr;
 pub mod program;
 
 pub use exec::{ExecError, ExecStats, Executor, SharedMemory, TraceEntry};
-pub use program::{from_image, to_image, ImageError};
 pub use instr::{DecodeError, Dtype, Instruction, MatrixReg, MATRIX_REG_COUNT};
+pub use program::{from_image, to_image, ImageError};

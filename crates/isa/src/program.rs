@@ -42,7 +42,10 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::Truncated { expected, got } => {
-                write!(f, "truncated program image: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "truncated program image: expected {expected} bytes, got {got}"
+                )
             }
             ImageError::BadMagic => write!(f, "not a SIMD2 program image (bad magic)"),
             ImageError::BadVersion(v) => write!(f, "unsupported program image version {v}"),
@@ -94,7 +97,10 @@ fn le_u64(bytes: &[u8], at: usize) -> u64 {
 /// truncation, or undecodable instruction words).
 pub fn from_image(bytes: &[u8]) -> Result<Vec<Instruction>, ImageError> {
     if bytes.len() < 16 {
-        return Err(ImageError::Truncated { expected: 16, got: bytes.len() });
+        return Err(ImageError::Truncated {
+            expected: 16,
+            got: bytes.len(),
+        });
     }
     if bytes[..8] != MAGIC {
         return Err(ImageError::BadMagic);
@@ -106,7 +112,10 @@ pub fn from_image(bytes: &[u8]) -> Result<Vec<Instruction>, ImageError> {
     let count = le_u32(bytes, 12) as usize;
     let expected = 16 + count * 8;
     if bytes.len() < expected {
-        return Err(ImageError::Truncated { expected, got: bytes.len() });
+        return Err(ImageError::Truncated {
+            expected,
+            got: bytes.len(),
+        });
     }
     let mut program = Vec::with_capacity(count);
     for i in 0..count {
@@ -174,7 +183,10 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(matches!(from_image(&img[..4]), Err(ImageError::Truncated { .. })));
+        assert!(matches!(
+            from_image(&img[..4]),
+            Err(ImageError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct ShapeError {
 impl ShapeError {
     /// Creates a shape error with a short context string (the operand name).
     pub fn new(context: &'static str, expected: (usize, usize), got: (usize, usize)) -> Self {
-        Self { expected, got, context }
+        Self {
+            expected,
+            got,
+            context,
+        }
     }
 }
 
@@ -61,7 +65,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix of zeros.
@@ -95,7 +103,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates an `n × n` identity-like matrix with `diag` on the diagonal
@@ -111,7 +123,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -220,7 +236,11 @@ impl Matrix {
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> Result<f32, ShapeError> {
         if self.shape() != other.shape() {
-            return Err(ShapeError::new("max_abs_diff operand", self.shape(), other.shape()));
+            return Err(ShapeError::new(
+                "max_abs_diff operand",
+                self.shape(),
+                other.shape(),
+            ));
         }
         let mut worst = 0.0f32;
         for (a, b) in self.data.iter().zip(&other.data) {

@@ -20,7 +20,11 @@ pub fn random_matrix(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> M
 /// Random boolean matrix with the given density of ones.
 pub fn random_bool_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| if rng.gen_bool(density) { 1.0 } else { 0.0 })
+    Matrix::from_fn(
+        rows,
+        cols,
+        |_, _| if rng.gen_bool(density) { 1.0 } else { 0.0 },
+    )
 }
 
 /// Random matrix where a fraction `sparsity` of entries is exactly zero
@@ -228,8 +232,14 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 7));
-        assert_ne!(random_matrix(4, 4, 0.0, 1.0, 7), random_matrix(4, 4, 0.0, 1.0, 8));
+        assert_eq!(
+            random_matrix(4, 4, 0.0, 1.0, 7),
+            random_matrix(4, 4, 0.0, 1.0, 7)
+        );
+        assert_ne!(
+            random_matrix(4, 4, 0.0, 1.0, 7),
+            random_matrix(4, 4, 0.0, 1.0, 8)
+        );
         let a = gnp_graph(10, 0.3, 1.0, 5.0, 3);
         let b = gnp_graph(10, 0.3, 1.0, 5.0, 3);
         assert_eq!(a, b);
@@ -304,7 +314,10 @@ mod tests {
         assert_eq!(InputScale::Small.dimension(4096), 4096);
         assert_eq!(InputScale::Medium.dimension(4096), 8192);
         assert_eq!(InputScale::Large.dimension(4096), 16384);
-        assert_eq!(InputScale::all().map(|s| s.label()), ["small", "medium", "large"]);
+        assert_eq!(
+            InputScale::all().map(|s| s.label()),
+            ["small", "medium", "large"]
+        );
     }
 
     #[test]
@@ -327,6 +340,8 @@ mod tests {
     #[test]
     fn integer_weight_graph_weights_are_integers() {
         let g = integer_weight_graph(10, 0.5, 16, 3);
-        assert!(g.edges().all(|(_, _, w)| w.fract() == 0.0 && (1.0..=16.0).contains(&w)));
+        assert!(g
+            .edges()
+            .all(|(_, _, w)| w.fract() == 0.0 && (1.0..=16.0).contains(&w)));
     }
 }

@@ -36,7 +36,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an edgeless graph with `vertices` vertices.
     pub fn new(vertices: usize) -> Self {
-        Self { vertices, edges: Vec::new() }
+        Self {
+            vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -57,7 +60,10 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, src: usize, dst: usize, weight: f32) {
-        assert!(src < self.vertices && dst < self.vertices, "edge endpoint out of range");
+        assert!(
+            src < self.vertices && dst < self.vertices,
+            "edge endpoint out of range"
+        );
         self.edges.push((src, dst, weight));
     }
 
@@ -92,8 +98,9 @@ impl Graph {
     /// Panics when `op` is not a path algebra (no no-edge encoding), i.e.
     /// for [`OpKind::PlusNorm`].
     pub fn adjacency(&self, op: OpKind) -> Matrix {
-        let no_edge =
-            op.no_edge_f32().unwrap_or_else(|| panic!("{op} is not a path algebra"));
+        let no_edge = op
+            .no_edge_f32()
+            .unwrap_or_else(|| panic!("{op} is not a path algebra"));
         let diag = op.combine_identity_f32().unwrap_or(no_edge);
         let mut m = Matrix::filled(self.vertices, self.vertices, no_edge);
         for v in 0..self.vertices {
@@ -104,7 +111,11 @@ impl Graph {
                 continue; // self loops never improve a closure
             }
             let cur = m[(s, d)];
-            m[(s, d)] = if cur == no_edge { w } else { op.reduce_f32(cur, w) };
+            m[(s, d)] = if cur == no_edge {
+                w
+            } else {
+                op.reduce_f32(cur, w)
+            };
         }
         m
     }
@@ -123,8 +134,9 @@ impl Graph {
     /// Panics if `adj` is not square or `op` is not a path algebra.
     pub fn from_adjacency(op: OpKind, adj: &Matrix) -> Self {
         assert!(adj.is_square(), "adjacency matrix must be square");
-        let no_edge =
-            op.no_edge_f32().unwrap_or_else(|| panic!("{op} is not a path algebra"));
+        let no_edge = op
+            .no_edge_f32()
+            .unwrap_or_else(|| panic!("{op} is not a path algebra"));
         let n = adj.rows();
         let mut g = Graph::new(n);
         for s in 0..n {
@@ -202,7 +214,11 @@ mod tests {
     fn adjacency_max_min_capacity() {
         let adj = triangle().adjacency(OpKind::MaxMin);
         assert_eq!(adj[(0, 1)], 1.0);
-        assert_eq!(adj[(2, 1)], f32::NEG_INFINITY, "missing edge has zero capacity");
+        assert_eq!(
+            adj[(2, 1)],
+            f32::NEG_INFINITY,
+            "missing edge has zero capacity"
+        );
         assert_eq!(adj[(0, 0)], f32::INFINITY, "self capacity unbounded");
     }
 
@@ -211,8 +227,16 @@ mod tests {
         let mut g = Graph::new(2);
         g.add_edge(0, 1, 5.0);
         g.add_edge(0, 1, 3.0);
-        assert_eq!(g.adjacency(OpKind::MinPlus)[(0, 1)], 3.0, "shorter edge wins");
-        assert_eq!(g.adjacency(OpKind::MaxPlus)[(0, 1)], 5.0, "longer edge wins");
+        assert_eq!(
+            g.adjacency(OpKind::MinPlus)[(0, 1)],
+            3.0,
+            "shorter edge wins"
+        );
+        assert_eq!(
+            g.adjacency(OpKind::MaxPlus)[(0, 1)],
+            5.0,
+            "longer edge wins"
+        );
     }
 
     #[test]

@@ -13,10 +13,18 @@ use crate::{Matrix, ShapeError};
 /// `m×n` accumulator.
 pub fn check_mmo_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), ShapeError> {
     if a.cols() != b.rows() {
-        return Err(ShapeError::new("B (inner dimension)", (a.cols(), b.cols()), b.shape()));
+        return Err(ShapeError::new(
+            "B (inner dimension)",
+            (a.cols(), b.cols()),
+            b.shape(),
+        ));
     }
     if c.shape() != (a.rows(), b.cols()) {
-        return Err(ShapeError::new("C (accumulator)", (a.rows(), b.cols()), c.shape()));
+        return Err(ShapeError::new(
+            "C (accumulator)",
+            (a.rows(), b.cols()),
+            c.shape(),
+        ));
     }
     Ok(())
 }
@@ -81,7 +89,9 @@ pub fn ewise_reduce(op: OpKind, a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeE
     if a.shape() != b.shape() {
         return Err(ShapeError::new("ewise operand", a.shape(), b.shape()));
     }
-    Ok(Matrix::from_fn(a.rows(), a.cols(), |r, c| op.reduce_f32(a[(r, c)], b[(r, c)])))
+    Ok(Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+        op.reduce_f32(a[(r, c)], b[(r, c)])
+    }))
 }
 
 #[cfg(test)]

@@ -28,7 +28,9 @@ pub struct Tile<const N: usize> {
 impl<const N: usize> Tile<N> {
     /// A tile with every element equal to `value`.
     pub fn splat(value: f32) -> Self {
-        Self { data: [[value; N]; N] }
+        Self {
+            data: [[value; N]; N],
+        }
     }
 
     /// A tile built by evaluating `f(row, col)`.

@@ -194,7 +194,10 @@ pub fn store_d_tile_in_panel<const T: usize>(
     if slab.is_empty() {
         return;
     }
-    assert!(cols > 0 && slab.len().is_multiple_of(cols), "slab must be whole rows");
+    assert!(
+        cols > 0 && slab.len().is_multiple_of(cols),
+        "slab must be whole rows"
+    );
     let rows = slab.len() / cols;
     for r in 0..T {
         let gr = ti * T + r;

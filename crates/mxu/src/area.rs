@@ -118,7 +118,10 @@ pub struct AreaModel {
 impl AreaModel {
     /// The baseline MMA-only unit (= 1.0 by definition).
     pub fn mma_baseline() -> Self {
-        Self { relative_area: 1.0, description: "MMA only".to_owned() }
+        Self {
+            relative_area: 1.0,
+            description: "MMA only".to_owned(),
+        }
     }
 
     /// An MMA unit extended with the given SIMD² operations (Table 5(a)).
@@ -129,7 +132,9 @@ impl AreaModel {
         let mut structures: Vec<Structure> = Vec::new();
         let mut mirrors = 0usize;
         for &op in extensions {
-            let Some((s, _)) = structure_of(op) else { continue };
+            let Some((s, _)) = structure_of(op) else {
+                continue;
+            };
             if structures.contains(&s) {
                 // Second polarity (or duplicate listing) of a structure.
                 let pair_present = extensions
@@ -168,7 +173,10 @@ impl AreaModel {
             v.dedup();
             v
         };
-        Self { relative_area, description: format!("MMA + {}", names.join(" + ")) }
+        Self {
+            relative_area,
+            description: format!("MMA + {}", names.join(" + ")),
+        }
     }
 
     /// A dedicated standalone accelerator for a single operation
@@ -238,7 +246,10 @@ impl AreaModel {
     ///
     /// Panics if `side` is not a power of two ≥ 4.
     pub fn shape_scale(side: usize) -> f64 {
-        assert!(side >= 4 && side.is_power_of_two(), "tile side must be a power of two ≥ 4");
+        assert!(
+            side >= 4 && side.is_power_of_two(),
+            "tile side must be a power of two ≥ 4"
+        );
         let ratio = (side / 4) as f64;
         // side³ MAC scaling damped to hit the published 7.5× at 8×8.
         ratio.powi(3) * 0.9375

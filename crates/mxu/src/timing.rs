@@ -33,7 +33,11 @@ impl UnitTiming {
     /// The synthesised 4×4 design point: 4-stage pipeline (operand read,
     /// combine, reduce tree, accumulate/writeback), fully pipelined.
     pub fn simd2_4x4() -> Self {
-        Self { tile_side: 4, latency_cycles: 4, initiation_interval: 1 }
+        Self {
+            tile_side: 4,
+            latency_cycles: 4,
+            initiation_interval: 1,
+        }
     }
 
     /// The baseline MMA unit — identical timing by design (§6.1).
@@ -60,8 +64,7 @@ impl UnitTiming {
         if n_tile_ops == 0 {
             return 0;
         }
-        self.latency_cycles as u64
-            + (n_tile_ops as u64 - 1) * self.initiation_interval as u64
+        self.latency_cycles as u64 + (n_tile_ops as u64 - 1) * self.initiation_interval as u64
     }
 
     /// Cycles for a 16×16 ISA-level `simd2.mmo`, which the unit executes

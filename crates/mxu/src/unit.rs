@@ -205,12 +205,7 @@ impl Simd2Unit {
 
     /// Executes with an implicit accumulator tile holding the `⊕` identity
     /// (`D = ⊕ₖ (A ⊗ B)`).
-    pub fn execute_no_acc<const N: usize>(
-        &self,
-        op: OpKind,
-        a: &Tile<N>,
-        b: &Tile<N>,
-    ) -> Tile<N> {
+    pub fn execute_no_acc<const N: usize>(&self, op: OpKind, a: &Tile<N>, b: &Tile<N>) -> Tile<N> {
         let c = Tile::splat(op.reduce_identity_f32());
         self.execute(op, a, b, &c)
     }
@@ -272,8 +267,7 @@ mod tests {
         let (a, b, c) = tiles();
         for op in ALL_OPS {
             let d = unit.execute(op, &a, &b, &c);
-            let dm =
-                reference::mmo(op, &a.to_matrix(), &b.to_matrix(), &c.to_matrix()).unwrap();
+            let dm = reference::mmo(op, &a.to_matrix(), &b.to_matrix(), &c.to_matrix()).unwrap();
             let want = Tile::<4>::try_from_matrix(&dm).unwrap();
             // Tree vs fold reduction may differ by f32 rounding for the two
             // additive reductions; all others must be exact.
@@ -352,7 +346,11 @@ mod tests {
         let (a, b, _) = tiles();
         for op in ALL_OPS {
             let c = Tile::<4>::splat(op.reduce_identity_f32());
-            assert_eq!(unit.execute_no_acc(op, &a, &b), unit.execute(op, &a, &b, &c), "{op}");
+            assert_eq!(
+                unit.execute_no_acc(op, &a, &b),
+                unit.execute(op, &a, &b, &c),
+                "{op}"
+            );
         }
     }
 
@@ -417,9 +415,13 @@ mod tests {
         let b = Tile::<16>::from_fn(|r, c| ((r * c) % 5) as f32);
         let c = Tile::<16>::splat(f32::INFINITY);
         let d = unit.execute(OpKind::MinPlus, &a, &b, &c);
-        let want =
-            reference::mmo(OpKind::MinPlus, &a.to_matrix(), &b.to_matrix(), &c.to_matrix())
-                .unwrap();
+        let want = reference::mmo(
+            OpKind::MinPlus,
+            &a.to_matrix(),
+            &b.to_matrix(),
+            &c.to_matrix(),
+        )
+        .unwrap();
         assert_eq!(d.to_matrix(), want);
     }
 

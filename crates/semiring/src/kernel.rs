@@ -138,7 +138,11 @@ mod tests {
             for (acc, a, b) in cases {
                 let typed = dispatch_kernel(op, Fma(acc, a, b));
                 let dynamic = op.fma_f32(acc, a, b);
-                assert_eq!(typed.to_bits(), dynamic.to_bits(), "{op} fma({acc}, {a}, {b})");
+                assert_eq!(
+                    typed.to_bits(),
+                    dynamic.to_bits(),
+                    "{op} fma({acc}, {a}, {b})"
+                );
             }
         }
     }

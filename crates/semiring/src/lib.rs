@@ -54,8 +54,8 @@ mod typed;
 pub use kernel::{dispatch_kernel, KernelVisitor, SemiringKernel};
 pub use op::{OpKind, ParseOpKindError};
 pub use typed::{
-    visit_f32_semiring, BoolOrAnd, F32SemiringVisitor, IntMinPlus, MaxMin, MaxMul, MaxPlus,
-    MinMax, MinMul, MinPlus, OrAnd, PlusMul, PlusNorm, Semiring,
+    visit_f32_semiring, BoolOrAnd, F32SemiringVisitor, IntMinPlus, MaxMin, MaxMul, MaxPlus, MinMax,
+    MinMul, MinPlus, OrAnd, PlusMul, PlusNorm, Semiring,
 };
 
 /// All nine operator pairs, in the order the paper lists them (Table 2).

@@ -282,7 +282,9 @@ impl FromStr for OpKind {
                 return Ok(op);
             }
         }
-        Err(ParseOpKindError { input: s.to_owned() })
+        Err(ParseOpKindError {
+            input: s.to_owned(),
+        })
     }
 }
 
@@ -398,7 +400,10 @@ mod tests {
     fn fma_matches_manual_composition() {
         for op in ALL_OPS {
             let (acc, a, b) = (1.5f32, 2.0, 0.5);
-            assert_eq!(op.fma_f32(acc, a, b), op.reduce_f32(acc, op.combine_f32(a, b)));
+            assert_eq!(
+                op.fma_f32(acc, a, b),
+                op.reduce_f32(acc, op.combine_f32(a, b))
+            );
         }
     }
 

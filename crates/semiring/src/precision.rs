@@ -43,7 +43,12 @@ impl Precision {
 
     /// All four modelled precisions, narrowest first.
     pub fn all() -> [Precision; 4] {
-        [Precision::Bits8, Precision::Bits16, Precision::Bits32, Precision::Bits64]
+        [
+            Precision::Bits8,
+            Precision::Bits16,
+            Precision::Bits32,
+            Precision::Bits64,
+        ]
     }
 }
 

@@ -108,6 +108,9 @@ proptest! {
 fn property_helpers_agree_with_random_sampling() {
     for op in ALL_OPS {
         let samples = properties::domain_samples(op);
-        assert!(matches!(properties::reduce_identity(op, &samples), PropertyResult::Holds));
+        assert!(matches!(
+            properties::reduce_identity(op, &samples),
+            PropertyResult::Holds
+        ));
     }
 }

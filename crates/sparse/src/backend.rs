@@ -80,8 +80,8 @@ impl SparseTiledBackend {
         let zero = op.no_edge_f32().unwrap_or(0.0);
         let pruned = prune_2_4(a, op);
         let nnz_before = a.as_slice().iter().filter(|&&x| x != zero).count();
-        let compressed = Compressed24::compress(&pruned, zero)
-            .expect("prune_2_4 output is always compliant");
+        let compressed =
+            Compressed24::compress(&pruned, zero).expect("prune_2_4 output is always compliant");
         self.count.pruned_values += (nnz_before - compressed.nnz()) as u64;
 
         // Tiled execution on the decompressed operand; the sparse pipe
@@ -101,9 +101,8 @@ impl SparseTiledBackend {
                 let at = simd2_matrix::tiling::load_a_tile::<{ simd2_matrix::ISA_TILE }>(
                     op, &a_sparse, ti, tk,
                 );
-                let bt = simd2_matrix::tiling::load_b_tile::<{ simd2_matrix::ISA_TILE }>(
-                    op, b, tk, tj,
-                );
+                let bt =
+                    simd2_matrix::tiling::load_b_tile::<{ simd2_matrix::ISA_TILE }>(op, b, tk, tj);
                 acc = self.unit.execute(op, &at, &bt, &acc);
                 self.count.tile_mmos += 1;
             }
@@ -192,7 +191,9 @@ mod tests {
         let adj = g.adjacency(OpKind::MinPlus);
         let c = Matrix::filled(24, 24, f32::INFINITY);
         let dense = simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &adj, &c).unwrap();
-        let sparse = SparseTiledBackend::new().mmo(OpKind::MinPlus, &adj, &adj, &c).unwrap();
+        let sparse = SparseTiledBackend::new()
+            .mmo(OpKind::MinPlus, &adj, &adj, &c)
+            .unwrap();
         for (d, s) in dense.as_slice().iter().zip(sparse.as_slice()) {
             assert!(s >= d, "pruning shortened a path: {s} < {d}");
         }
@@ -209,7 +210,10 @@ mod tests {
         assert_eq!(q.exact_match_fraction, 0.5);
         assert_eq!(q.max_finite_deviation, 0.5);
         let inf = Matrix::from_rows(&[&[1.0, f32::INFINITY]]);
-        assert_eq!(pruning_quality(&a, &inf).max_finite_deviation, f32::INFINITY);
+        assert_eq!(
+            pruning_quality(&a, &inf).max_finite_deviation,
+            f32::INFINITY
+        );
     }
 
     #[test]
@@ -231,7 +235,9 @@ mod tests {
             let mut dist = adj.clone();
             for _ in 0..n {
                 let next = if sparse {
-                    SparseTiledBackend::new().mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()
+                    SparseTiledBackend::new()
+                        .mmo(OpKind::MinPlus, &adj, &dist, &dist)
+                        .unwrap()
                 } else {
                     simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()
                 };
@@ -269,7 +275,9 @@ mod tests {
             let mut dist = adj.clone();
             for _ in 0..48 {
                 let next = if sparse {
-                    SparseTiledBackend::new().mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()
+                    SparseTiledBackend::new()
+                        .mmo(OpKind::MinPlus, &adj, &dist, &dist)
+                        .unwrap()
                 } else {
                     simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()
                 };

@@ -83,19 +83,29 @@ impl fmt::Display for CsrError {
                 write!(f, "row_ptr decreases (or does not start at 0) at row {row}")
             }
             CsrError::RowPointerMismatch { row_ptr_end, nnz } => {
-                write!(f, "final row pointer {row_ptr_end} does not match {nnz} stored entries")
+                write!(
+                    f,
+                    "final row pointer {row_ptr_end} does not match {nnz} stored entries"
+                )
             }
             CsrError::LengthMismatch { col_idx, values } => {
                 write!(f, "{col_idx} column indices but {values} values")
             }
             CsrError::ColumnOutOfBounds { row, col, cols } => {
-                write!(f, "column {col} in row {row} is out of bounds for {cols} columns")
+                write!(
+                    f,
+                    "column {col} in row {row} is out of bounds for {cols} columns"
+                )
             }
             CsrError::UnsortedColumns { row, col } => {
                 write!(f, "column {col} in row {row} is not strictly increasing")
             }
             CsrError::CoordinateOutOfRange { row, col, shape } => {
-                write!(f, "triplet ({row},{col}) out of range for {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "triplet ({row},{col}) out of range for {}x{}",
+                    shape.0, shape.1
+                )
             }
             CsrError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate entry at ({row},{col})")
@@ -149,7 +159,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Builds from explicit triplets `(row, col, value)`.
@@ -199,7 +215,13 @@ impl Csr {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Ok(Self { rows, cols, row_ptr, col_idx, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Assembles a CSR matrix from its raw arrays, validating every
@@ -222,7 +244,10 @@ impl Csr {
         values: Vec<f32>,
     ) -> Result<Self, CsrError> {
         if row_ptr.len() != rows + 1 {
-            return Err(CsrError::RowPointerLength { expected: rows + 1, got: row_ptr.len() });
+            return Err(CsrError::RowPointerLength {
+                expected: rows + 1,
+                got: row_ptr.len(),
+            });
         }
         if col_idx.len() != values.len() {
             return Err(CsrError::LengthMismatch {
@@ -255,12 +280,21 @@ impl Csr {
                     });
                 }
                 if prev.is_some_and(|p| c <= p) {
-                    return Err(CsrError::UnsortedColumns { row: r, col: c as usize });
+                    return Err(CsrError::UnsortedColumns {
+                        row: r,
+                        col: c as usize,
+                    });
                 }
                 prev = Some(c);
             }
         }
-        Ok(Self { rows, cols, row_ptr, col_idx, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// The raw `(row_ptr, col_idx, values)` arrays, consuming the matrix.
@@ -336,8 +370,9 @@ impl Csr {
     /// encoding (plus-norm is not a sparse path algebra).
     pub fn spgemm(&self, op: OpKind, other: &Csr) -> Csr {
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");
-        let zero =
-            op.no_edge_f32().unwrap_or_else(|| panic!("{op} has no sparse zero"));
+        let zero = op
+            .no_edge_f32()
+            .unwrap_or_else(|| panic!("{op} has no sparse zero"));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx: Vec<u32> = Vec::new();
         let mut values: Vec<f32> = Vec::new();
@@ -365,7 +400,13 @@ impl Csr {
             touched.clear();
             row_ptr.push(col_idx.len());
         }
-        Csr { rows: self.rows, cols: other.cols, row_ptr, col_idx, values }
+        Csr {
+            rows: self.rows,
+            cols: other.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Upper bound on the intermediate products a Gustavson pass over
@@ -427,7 +468,11 @@ mod tests {
     fn try_from_triplets_reports_typed_errors() {
         assert_eq!(
             Csr::try_from_triplets(2, 2, [(0, 3, 1.0)]),
-            Err(CsrError::CoordinateOutOfRange { row: 0, col: 3, shape: (2, 2) })
+            Err(CsrError::CoordinateOutOfRange {
+                row: 0,
+                col: 3,
+                shape: (2, 2)
+            })
         );
         assert_eq!(
             Csr::try_from_triplets(2, 2, [(1, 1, 1.0), (1, 1, 2.0)]),
@@ -449,7 +494,10 @@ mod tests {
     fn from_raw_rejects_bad_row_pointers() {
         assert_eq!(
             Csr::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]),
-            Err(CsrError::RowPointerLength { expected: 3, got: 2 })
+            Err(CsrError::RowPointerLength {
+                expected: 3,
+                got: 2
+            })
         );
         assert_eq!(
             Csr::from_raw(2, 2, vec![1, 1, 1], vec![1], vec![1.0]),
@@ -461,7 +509,10 @@ mod tests {
         );
         assert_eq!(
             Csr::from_raw(2, 2, vec![0, 1, 2], vec![1], vec![1.0]),
-            Err(CsrError::RowPointerMismatch { row_ptr_end: 2, nnz: 1 })
+            Err(CsrError::RowPointerMismatch {
+                row_ptr_end: 2,
+                nnz: 1
+            })
         );
     }
 
@@ -469,11 +520,18 @@ mod tests {
     fn from_raw_rejects_bad_columns() {
         assert_eq!(
             Csr::from_raw(1, 2, vec![0, 2], vec![0, 1], vec![1.0]),
-            Err(CsrError::LengthMismatch { col_idx: 2, values: 1 })
+            Err(CsrError::LengthMismatch {
+                col_idx: 2,
+                values: 1
+            })
         );
         assert_eq!(
             Csr::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]),
-            Err(CsrError::ColumnOutOfBounds { row: 0, col: 5, cols: 2 })
+            Err(CsrError::ColumnOutOfBounds {
+                row: 0,
+                col: 5,
+                cols: 2
+            })
         );
         // Out of order within a row.
         assert_eq!(
@@ -489,8 +547,7 @@ mod tests {
 
     #[test]
     fn csr_error_displays_and_is_std_error() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(CsrError::DuplicateEntry { row: 3, col: 4 });
+        let e: Box<dyn std::error::Error> = Box::new(CsrError::DuplicateEntry { row: 3, col: 4 });
         assert!(e.to_string().contains("duplicate entry at (3,4)"));
     }
 
@@ -522,8 +579,7 @@ mod tests {
         let reach = g.reachability();
         let a = Csr::from_dense(&reach, 0.0);
         let two_hop = a.spgemm(OpKind::OrAnd, &a);
-        let want =
-            reference::mmo(OpKind::OrAnd, &reach, &reach, &Matrix::zeros(12, 12)).unwrap();
+        let want = reference::mmo(OpKind::OrAnd, &reach, &reach, &Matrix::zeros(12, 12)).unwrap();
         assert_eq!(two_hop.to_dense(0.0), want);
     }
 

@@ -26,10 +26,10 @@ pub const GAMMA_MAC_AREA_FRACTION: f64 = 0.10;
 /// SIMD² unit pays at 64-bit precision); the dominant sparse-traversal
 /// machinery (fibertree walkers, merge networks, buffers) is untouched.
 pub fn simd2_gamma_pe_area() -> f64 {
-    let mac_overhead = AreaModel::full_simd2_at_precision(
-        simd2_semiring::precision::Precision::Bits64,
-    ) / AreaModel::mma_at_precision(simd2_semiring::precision::Precision::Bits64)
-        - 1.0;
+    let mac_overhead =
+        AreaModel::full_simd2_at_precision(simd2_semiring::precision::Precision::Bits64)
+            / AreaModel::mma_at_precision(simd2_semiring::precision::Precision::Bits64)
+            - 1.0;
     1.0 + GAMMA_MAC_AREA_FRACTION * mac_overhead
 }
 

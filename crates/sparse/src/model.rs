@@ -92,7 +92,12 @@ pub fn crossover_point(gpu: &Gpu, n: usize, sparsity: f64) -> CrossoverPoint {
     } else {
         None
     };
-    CrossoverPoint { n, sparsity, spgemm_seconds, dense_seconds }
+    CrossoverPoint {
+        n,
+        sparsity,
+        spgemm_seconds,
+        dense_seconds,
+    }
 }
 
 /// The sparsity grid of Figure 14.

@@ -52,7 +52,9 @@ pub fn prune_2_4(m: &Matrix, op: OpKind) -> Matrix {
                 }
             };
             order.sort_by(|&a, &b| {
-                importance(group[b]).partial_cmp(&importance(group[a])).unwrap()
+                importance(group[b])
+                    .partial_cmp(&importance(group[a]))
+                    .unwrap()
             });
             for &i in order.iter().skip(2) {
                 group[i] = zero;
@@ -125,7 +127,13 @@ impl Compressed24 {
                 }
             }
         }
-        Ok(Self { rows: m.rows(), cols: m.cols(), zero, values, indices })
+        Ok(Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            zero,
+            values,
+            indices,
+        })
     }
 
     /// Number of rows.
@@ -179,7 +187,10 @@ mod tests {
         for op in [OpKind::PlusMul, OpKind::MinPlus, OpKind::MaxMin] {
             let zero = op.no_edge_f32().unwrap();
             let m = gen::random_matrix(16, 32, 0.5, 9.5, 3);
-            assert!(!is_2_4_compliant(&m, zero), "{op}: dense input starts non-compliant");
+            assert!(
+                !is_2_4_compliant(&m, zero),
+                "{op}: dense input starts non-compliant"
+            );
             let p = prune_2_4(&m, op);
             assert!(is_2_4_compliant(&p, zero), "{op}");
         }
@@ -265,8 +276,7 @@ mod tests {
         let b = gen::random_matrix(16, 16, 1.0, 9.0, 4);
         let cacc = Matrix::filled(16, 16, f32::INFINITY);
         let compressed = Compressed24::compress(&a, zero).unwrap();
-        let via_compressed =
-            reference::mmo(op, &compressed.decompress(), &b, &cacc).unwrap();
+        let via_compressed = reference::mmo(op, &compressed.decompress(), &b, &cacc).unwrap();
         let via_dense = reference::mmo(op, &a, &b, &cacc).unwrap();
         assert_eq!(via_compressed, via_dense);
     }
@@ -276,7 +286,11 @@ mod tests {
         let m = prune_2_4(&gen::random_matrix(64, 64, 0.5, 9.5, 7), OpKind::PlusMul);
         let c = Compressed24::compress(&m, 0.0).unwrap();
         let dense_fp16 = (64 * 64 * 2) as u64;
-        assert!(c.device_bytes() < dense_fp16, "{} vs {dense_fp16}", c.device_bytes());
+        assert!(
+            c.device_bytes() < dense_fp16,
+            "{} vs {dense_fp16}",
+            c.device_bytes()
+        );
         assert_eq!(c.device_bytes(), compressed_bytes(64, 64));
     }
 

@@ -58,12 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify the tile against the whole-matrix reference.
     let got = exec.memory().read_matrix(2048, 32, 16, 16)?;
-    let full = simd2_repro::matrix::reference::mmo(
-        simd2_repro::semiring::OpKind::MinPlus,
-        &a,
-        &b,
-        &c,
-    )?;
+    let full =
+        simd2_repro::matrix::reference::mmo(simd2_repro::semiring::OpKind::MinPlus, &a, &b, &c)?;
     let want = Matrix::from_fn(16, 16, |r, col| full[(r, col)]);
     assert_eq!(got, want, "ISA path must match the reference model");
     println!("output tile matches the reference model ✓");

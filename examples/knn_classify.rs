@@ -66,9 +66,15 @@ fn main() {
     }
     let accuracy = correct as f64 / pts.rows() as f64;
     println!("leave-one-out accuracy: {:.1}%", accuracy * 100.0);
-    assert!(accuracy > 0.95, "separated blobs should classify nearly perfectly");
+    assert!(
+        accuracy > 0.95,
+        "separated blobs should classify nearly perfectly"
+    );
 
     // Cross-check the reduced-precision path against the fp32 brute force.
     let oracle = knn::baseline(&pts, knn::K);
-    println!("recall vs fp32 brute force: {:.3}", knn::recall(&oracle, &result));
+    println!(
+        "recall vs fp32 brute force: {:.3}",
+        knn::recall(&oracle, &result)
+    );
 }

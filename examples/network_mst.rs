@@ -14,7 +14,10 @@ use simd2_repro::core::{Backend, TiledBackend};
 use simd2_repro::semiring::OpKind;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let g = mst::generate(n, 0.15, 7);
     println!(
         "backbone: {} sites, {} candidate links (distinct integer costs)\n",

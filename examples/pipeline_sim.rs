@@ -16,7 +16,10 @@ use simd2_repro::semiring::OpKind;
 fn main() {
     let (m, n, k) = (128usize, 128, 128);
     println!("lowering a {m}x{n}x{k} min-plus mmo to warp programs…\n");
-    println!("{:>6}  {:>9}  {:>11}  {:>10}  {:>9}", "warps", "cycles", "cycles/mmo", "SIMD2 util", "stalls");
+    println!(
+        "{:>6}  {:>9}  {:>11}  {:>10}  {:>9}",
+        "warps", "cycles", "cycles/mmo", "SIMD2 util", "stalls"
+    );
     let sim = SmPipeline::new();
     for warps in [1usize, 2, 4, 8, 16] {
         let kernel = compile_mmo(OpKind::MinPlus, m, n, k, warps);

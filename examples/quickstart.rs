@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    step asks "who is reachable within two hops?".
     let reach = g.reachability();
     let two_hop = simd2_mmo(OpKind::OrAnd, &reach, &reach, &reach)?;
-    println!("depot reaches customer within two hops: {}", two_hop[(0, 3)] == 1.0);
+    println!(
+        "depot reaches customer within two hops: {}",
+        two_hop[(0, 3)] == 1.0
+    );
 
     // 6. Every operand moved through a SIMD² unit is fp16; accumulation is
     //    fp32. Integer-weighted workloads like this one are bit-exact.

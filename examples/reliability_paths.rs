@@ -14,7 +14,10 @@ use simd2_repro::core::ReferenceBackend;
 use simd2_repro::semiring::OpKind;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     let op = OpKind::MaxMul;
     let g = paths::generate_maxrp(n, 33);
     let adj = g.adjacency(op);
@@ -26,8 +29,8 @@ fn main() {
     // All-pairs maximum reliability via the max-mul closure (fp32
     // reference backend so path extraction is exact).
     let mut be = ReferenceBackend::new();
-    let result = closure(&mut be, op, &adj, ClosureAlgorithm::Leyzorek, true)
-        .expect("square adjacency");
+    let result =
+        closure(&mut be, op, &adj, ClosureAlgorithm::Leyzorek, true).expect("square adjacency");
     println!(
         "closure solved in {} Leyzorek iterations ({} matrix mmos)",
         result.stats.iterations, result.stats.matrix_mmos
@@ -53,7 +56,12 @@ fn main() {
     let route = reconstruct_path(op, &adj, rel, src, dst).expect("pair is connected");
     println!("best route ({} hops):", route.len() - 1);
     for hop in route.windows(2) {
-        println!("  {:>4} -> {:<4} link reliability {:.4}", hop[0], hop[1], adj[(hop[0], hop[1])]);
+        println!(
+            "  {:>4} -> {:<4} link reliability {:.4}",
+            hop[0],
+            hop[1],
+            adj[(hop[0], hop[1])]
+        );
     }
     let v = path_value(op, &adj, &route).expect("route uses real links");
     assert_eq!(v, prob, "route must achieve the closure's optimum");

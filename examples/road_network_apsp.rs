@@ -13,7 +13,10 @@ use simd2_repro::core::{Backend, TiledBackend};
 use simd2_repro::gpu::Gpu;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     println!("road network: {n} junctions, avg degree ~8, integer travel times\n");
 
     // --- functional run on the SIMD² unit backend -----------------------
@@ -34,7 +37,11 @@ fn main() {
     println!(
         "validation vs blocked Floyd-Warshall: max |diff| = {} -> {}",
         v.max_abs_diff,
-        if v.passed() { "PASS (bit-exact)" } else { "FAIL" }
+        if v.passed() {
+            "PASS (bit-exact)"
+        } else {
+            "FAIL"
+        }
     );
 
     // A couple of human-readable answers.
@@ -42,7 +49,10 @@ fn main() {
         .map(|j| (j, result.closure[(0, j)]))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!("farthest junction from #0: #{} at travel time {}\n", far.0, far.1);
+    println!(
+        "farthest junction from #0: #{} at travel time {}\n",
+        far.0, far.1
+    );
 
     // --- modelled timing at paper scale ----------------------------------
     let model = AppTiming::new(Gpu::default());

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, lint. Run from the repo root.
+# Tier-1 verification: format, build, test, lint. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
@@ -11,4 +12,12 @@ cargo clippy --all-targets -- -D warnings
 #   SIMD2_BENCH_SMOKE=1 scripts/verify.sh
 if [ "${SIMD2_BENCH_SMOKE:-0}" = "1" ]; then
   scripts/bench.sh
+fi
+
+# Optional: a short seeded slice of the randomized soak harness — checks
+# parallel/sequential bit identity, exact op accounting, and
+# detection-or-benign under fault injection and worker panics. Enable with
+#   SIMD2_SOAK_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_SOAK_SMOKE:-0}" = "1" ]; then
+  cargo run --release -q -p simd2-bench --bin soak -- --seconds 5 --seed 2022
 fi

@@ -30,11 +30,17 @@ fn usage() -> ExitCode {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn cmd_ops() -> ExitCode {
-    println!("{:<11} {:<16} {:<9} {:<6} representative algorithm", "op", "PTX", "⊕", "⊗");
+    println!(
+        "{:<11} {:<16} {:<9} {:<6} representative algorithm",
+        "op", "PTX", "⊕", "⊗"
+    );
     for op in ALL_OPS {
         let (r, c) = op.symbols();
         println!(
@@ -58,15 +64,21 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         eprintln!("solve: {op} has no fixed-point closure (try min-plus, max-min, or-and, …)");
         return ExitCode::from(2);
     }
-    let n: usize = flag_value(args, "--n").and_then(|s| s.parse().ok()).unwrap_or(64);
-    let seed: u64 = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n: usize = flag_value(args, "--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let algorithm = match flag_value(args, "--algorithm").as_deref() {
         Some("bellman-ford") => ClosureAlgorithm::BellmanFord,
         _ => ClosureAlgorithm::Leyzorek,
     };
     let convergence = !args.iter().any(|a| a == "--no-convergence");
     let g = match op {
-        OpKind::MinMul | OpKind::MaxMul => gen::reliability_graph(n, (8.0 / n as f64).min(0.5), seed),
+        OpKind::MinMul | OpKind::MaxMul => {
+            gen::reliability_graph(n, (8.0 / n as f64).min(0.5), seed)
+        }
         _ => gen::connected_gnp_graph(n, (8.0 / n as f64).min(0.5), 1.0, 9.0, seed),
     };
     let adj = match op {
@@ -104,7 +116,12 @@ fn cmd_solve(args: &[String]) -> ExitCode {
         tile_mmos,
         result.stats.converged_early
     );
-    let finite = result.closure.as_slice().iter().filter(|x| x.is_finite()).count();
+    let finite = result
+        .closure
+        .as_slice()
+        .iter()
+        .filter(|x| x.is_finite())
+        .count();
     println!("  finite entries: {finite}/{}", result.closure.len());
     ExitCode::SUCCESS
 }
@@ -114,7 +131,9 @@ fn cmd_micro(args: &[String]) -> ExitCode {
         eprintln!("micro: missing or unknown --op");
         return usage();
     };
-    let n: usize = flag_value(args, "--n").and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let n: usize = flag_value(args, "--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     let gpu = Gpu::default();
     let r = simd2_repro::core::micro::MicroBench::square(op, n).time(&gpu);
     println!(
@@ -160,12 +179,17 @@ fn cmd_asm(args: &[String]) -> ExitCode {
                 eprintln!("asm: cannot write {out}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("wrote {} bytes ({} instructions) to {out}", image.len(), program.len());
+            println!(
+                "wrote {} bytes ({} instructions) to {out}",
+                image.len(),
+                program.len()
+            );
             ExitCode::SUCCESS
         }
         "trace" => {
-            let mem_elems: usize =
-                flag_value(args, "--mem").and_then(|s| s.parse().ok()).unwrap_or(65536);
+            let mem_elems: usize = flag_value(args, "--mem")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(65536);
             let mut exec = isa::Executor::new(isa::SharedMemory::new(mem_elems));
             match exec.run_traced(&program) {
                 Ok((stats, trace)) => {
@@ -182,8 +206,9 @@ fn cmd_asm(args: &[String]) -> ExitCode {
             }
         }
         "run" => {
-            let mem_elems: usize =
-                flag_value(args, "--mem").and_then(|s| s.parse().ok()).unwrap_or(65536);
+            let mem_elems: usize = flag_value(args, "--mem")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(65536);
             let mut exec = isa::Executor::new(isa::SharedMemory::new(mem_elems));
             match exec.run(&program) {
                 Ok(stats) => {

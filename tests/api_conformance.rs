@@ -78,7 +78,7 @@ fn conversions_follow_naming_conventions() {
     let _view: &[f32] = m.as_slice(); // free, borrowed
     let t = m.transposed(); // expensive, new value
     let _owned: Vec<f32> = t.into_vec(); // consuming, free
-    // Tile conversions live on the more specific type (C-CONV-SPECIFIC).
+                                         // Tile conversions live on the more specific type (C-CONV-SPECIFIC).
     let tile = Tile::<4>::splat(2.0);
     let as_matrix = tile.to_matrix();
     assert_eq!(Tile::<4>::try_from_matrix(&as_matrix).unwrap(), tile);

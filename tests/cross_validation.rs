@@ -81,8 +81,9 @@ fn max_min_is_negated_min_max() {
 fn simulator_throughput_matches_analytic_model() {
     let config = GpuConfig::rtx3080();
     // Simulate a saturated sub-core unit.
-    let programs: Vec<_> =
-        (0..8).map(|_| tile_mmo_program(OpKind::MinPlus, 24)).collect();
+    let programs: Vec<_> = (0..8)
+        .map(|_| tile_mmo_program(OpKind::MinPlus, 24))
+        .collect();
     let stats = SmPipeline::new().simulate(&programs);
     let lane_ops = stats.mmos as f64 * 16.0 * 16.0 * 16.0;
     let sim_lane_ops_per_cycle = lane_ops / stats.cycles as f64;
@@ -116,8 +117,9 @@ fn simulator_throughput_matches_analytic_model() {
 fn warp_count_drives_utilisation_like_the_saturation_curve() {
     let pipeline = SmPipeline::new();
     let util = |warps: usize| {
-        let programs: Vec<_> =
-            (0..warps).map(|_| tile_mmo_program(OpKind::MinPlus, 8)).collect();
+        let programs: Vec<_> = (0..warps)
+            .map(|_| tile_mmo_program(OpKind::MinPlus, 8))
+            .collect();
         pipeline.simulate(&programs).simd2_utilization()
     };
     let u1 = util(1);

@@ -28,8 +28,14 @@ fn edgeless_graph_stays_disconnected() {
     let g = Graph::new(5);
     let adj = g.adjacency(OpKind::MinPlus);
     let mut be = TiledBackend::new();
-    let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true)
-        .unwrap();
+    let r = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &adj,
+        ClosureAlgorithm::BellmanFord,
+        true,
+    )
+    .unwrap();
     for i in 0..5 {
         for j in 0..5 {
             let want = if i == j { 0.0 } else { f32::INFINITY };
@@ -46,7 +52,11 @@ fn one_by_one_matrix_operations() {
         let c = Matrix::filled(1, 1, op.reduce_identity_f32());
         let d = TiledBackend::new().mmo(op, &a, &a, &c).unwrap();
         assert_eq!(d.shape(), (1, 1), "{op}");
-        assert_eq!(d[(0, 0)], op.fma_f32(op.reduce_identity_f32(), 1.0, 1.0), "{op}");
+        assert_eq!(
+            d[(0, 0)],
+            op.fma_f32(op.reduce_identity_f32(), 1.0, 1.0),
+            "{op}"
+        );
     }
 }
 
@@ -70,7 +80,11 @@ fn mst_of_a_tree_is_the_tree() {
     let mut be = ReferenceBackend::new();
     let (got, _) = mst::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
     assert_eq!(got, m);
-    let edge_weights: f64 = g.edges().filter(|&(u, v, _)| u < v).map(|e| f64::from(e.2)).sum();
+    let edge_weights: f64 = g
+        .edges()
+        .filter(|&(u, v, _)| u < v)
+        .map(|e| f64::from(e.2))
+        .sum();
     assert_eq!(m.total_weight, edge_weights);
 }
 
@@ -84,7 +98,10 @@ fn gtc_on_fully_disconnected_graph_is_identity() {
         }
     }
     let mut be = ReferenceBackend::new();
-    assert_eq!(gtc::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true).closure, r);
+    assert_eq!(
+        gtc::simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true).closure,
+        r
+    );
 }
 
 #[test]
@@ -113,7 +130,10 @@ fn executor_runs_empty_and_fill_only_programs() {
 #[test]
 fn asm_accepts_empty_and_comment_only_sources() {
     assert_eq!(isa::asm::parse("").unwrap(), vec![]);
-    assert_eq!(isa::asm::parse("// nothing here\n\n   // still nothing").unwrap(), vec![]);
+    assert_eq!(
+        isa::asm::parse("// nothing here\n\n   // still nothing").unwrap(),
+        vec![]
+    );
     assert_eq!(isa::asm::print(&[]), "");
 }
 
@@ -132,8 +152,14 @@ fn negative_weight_max_plus_dag_closure() {
     g.add_edge(0, 2, 1.0);
     let adj = g.adjacency(OpKind::MaxPlus);
     let mut be = ReferenceBackend::new();
-    let r = closure(&mut be, OpKind::MaxPlus, &adj, ClosureAlgorithm::BellmanFord, true)
-        .unwrap();
+    let r = closure(
+        &mut be,
+        OpKind::MaxPlus,
+        &adj,
+        ClosureAlgorithm::BellmanFord,
+        true,
+    )
+    .unwrap();
     assert_eq!(r.closure[(0, 2)], 3.0, "-2 + 5 beats the direct 1");
 }
 
@@ -145,7 +171,14 @@ fn zero_weight_edges_are_not_no_edges() {
     let adj = g.adjacency(OpKind::MinPlus);
     assert_eq!(adj[(0, 1)], 0.0);
     let mut be = ReferenceBackend::new();
-    let r = closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+    let r = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &adj,
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap();
     assert_eq!(r.closure[(0, 1)], 0.0);
     assert_eq!(r.closure[(1, 0)], f32::INFINITY);
 }

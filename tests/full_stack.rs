@@ -35,7 +35,10 @@ fn three_backends_agree_on_all_nine_ops() {
         let reference_out = ReferenceBackend::new().mmo(op, &a, &b, &c).unwrap();
         let tiled_out = TiledBackend::new().mmo(op, &a, &b, &c).unwrap();
         let isa_out = IsaBackend::new().mmo(op, &a, &b, &c).unwrap();
-        assert_eq!(tiled_out, isa_out, "{op}: tiled vs ISA must be bit-identical");
+        assert_eq!(
+            tiled_out, isa_out,
+            "{op}: tiled vs ISA must be bit-identical"
+        );
         let tol = match op {
             OpKind::PlusMul | OpKind::PlusNorm => 1e-3,
             _ => 0.0,
@@ -66,7 +69,14 @@ fn every_application_validates_end_to_end() {
 
     let g = paths::generate_mcp(n, 3);
     assert_eq!(
-        paths::simd2(&mut be, OpKind::MaxMin, &g, ClosureAlgorithm::Leyzorek, true).closure,
+        paths::simd2(
+            &mut be,
+            OpKind::MaxMin,
+            &g,
+            ClosureAlgorithm::Leyzorek,
+            true
+        )
+        .closure,
         paths::baseline(OpKind::MaxMin, &g)
     );
 
@@ -97,8 +107,14 @@ fn manual_highlevel_iteration_matches_the_solver() {
         dist = next;
     }
     let mut be = TiledBackend::new();
-    let solver =
-        closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::BellmanFord, true).unwrap();
+    let solver = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &adj,
+        ClosureAlgorithm::BellmanFord,
+        true,
+    )
+    .unwrap();
     assert_eq!(dist, solver.closure);
 }
 
@@ -111,8 +127,14 @@ fn sparse_closure_matches_dense_closure() {
     let adj = g.adjacency(OpKind::MinPlus);
     let (sparse, _) = sparse_closure(OpKind::MinPlus, &adj, 64);
     let mut be = ReferenceBackend::new();
-    let dense =
-        closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, true).unwrap();
+    let dense = closure(
+        &mut be,
+        OpKind::MinPlus,
+        &adj,
+        ClosureAlgorithm::Leyzorek,
+        true,
+    )
+    .unwrap();
     assert_eq!(sparse, dense.closure);
 }
 
@@ -120,7 +142,12 @@ fn sparse_closure_matches_dense_closure() {
 /// fact that makes tiling legal, demonstrated at the whole-matrix level.
 #[test]
 fn k_split_accumulation_matches_single_pass() {
-    for op in [OpKind::MinPlus, OpKind::MaxMin, OpKind::OrAnd, OpKind::MinMax] {
+    for op in [
+        OpKind::MinPlus,
+        OpKind::MaxMin,
+        OpKind::OrAnd,
+        OpKind::MinMax,
+    ] {
         let a = gen::random_operands_for(op, 12, 32, 21);
         let b = gen::random_operands_for(op, 32, 12, 22);
         let c = Matrix::filled(12, 12, op.reduce_identity_f32());

@@ -87,20 +87,38 @@ fn microbenchmark_claims() {
 #[test]
 fn application_split_claims() {
     let model = AppTiming::new(Gpu::default());
-    let losers = [AppKind::Apsp, AppKind::Aplp, AppKind::Mst, AppKind::MaxRp, AppKind::MinRp];
+    let losers = [
+        AppKind::Apsp,
+        AppKind::Aplp,
+        AppKind::Mst,
+        AppKind::MaxRp,
+        AppKind::MinRp,
+    ];
     let winners = [AppKind::Mcp, AppKind::Gtc, AppKind::Knn];
     for app in losers {
-        let s = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2CudaCores);
+        let s = model.speedup(
+            app,
+            app.dimension(InputScale::Small),
+            Config::Simd2CudaCores,
+        );
         assert!(s < 1.05, "{app:?}: {s}");
     }
     for app in winners {
-        let s = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2CudaCores);
+        let s = model.speedup(
+            app,
+            app.dimension(InputScale::Small),
+            Config::Simd2CudaCores,
+        );
         assert!(s > 1.0, "{app:?}: {s}");
         let u = model.speedup(app, app.dimension(InputScale::Small), Config::Simd2Units);
         assert!(u > s, "{app:?}: units must beat CUDA cores");
     }
     for scale in InputScale::all() {
-        let s = model.speedup(AppKind::Knn, AppKind::Knn.dimension(scale), Config::Simd2CudaCores);
+        let s = model.speedup(
+            AppKind::Knn,
+            AppKind::Knn.dimension(scale),
+            Config::Simd2CudaCores,
+        );
         assert!(s <= 6.55, "{scale:?}: {s}");
     }
 }
@@ -152,12 +170,31 @@ fn sparse_unit_claims() {
 fn sparse_crossover_claims() {
     let gpu = Gpu::default();
     for s in sparse_model::fig14_sparsities() {
-        assert!(sparse_model::crossover_point(&gpu, 1024, s).speedup().unwrap() < 1.0);
+        assert!(
+            sparse_model::crossover_point(&gpu, 1024, s)
+                .speedup()
+                .unwrap()
+                < 1.0
+        );
     }
-    assert!(sparse_model::crossover_point(&gpu, 4096, 0.98).speedup().unwrap() < 1.0);
-    assert!(sparse_model::crossover_point(&gpu, 4096, 0.995).speedup().unwrap() > 1.0);
-    assert!(sparse_model::crossover_point(&gpu, 16384, 0.80).spgemm_seconds.is_none());
-    assert!(sparse_model::crossover_point(&gpu, 16384, 0.90).spgemm_seconds.is_some());
+    assert!(
+        sparse_model::crossover_point(&gpu, 4096, 0.98)
+            .speedup()
+            .unwrap()
+            < 1.0
+    );
+    assert!(
+        sparse_model::crossover_point(&gpu, 4096, 0.995)
+            .speedup()
+            .unwrap()
+            > 1.0
+    );
+    assert!(sparse_model::crossover_point(&gpu, 16384, 0.80)
+        .spgemm_seconds
+        .is_none());
+    assert!(sparse_model::crossover_point(&gpu, 16384, 0.90)
+        .spgemm_seconds
+        .is_some());
     let fp16_gemm_bytes = 2.0 * 32768.0f64 * 32768.0 * 2.0 + 32768.0f64 * 32768.0 * 4.0;
     assert!(gpu.config().fits_in_memory(fp16_gemm_bytes as u64));
 }
@@ -181,5 +218,9 @@ fn latency_parity_claim() {
 fn gamma_extension_claim() {
     let pe = simd2_repro::sparse::gamma::simd2_gamma_pe_area();
     let dense_overhead = AreaModel::combined(&EXTENDED_OPS).relative_area() - 1.0;
-    assert!(pe - 1.0 < dense_overhead / 5.0, "PE overhead {} vs dense {dense_overhead}", pe - 1.0);
+    assert!(
+        pe - 1.0 < dense_overhead / 5.0,
+        "PE overhead {} vs dense {dense_overhead}",
+        pe - 1.0
+    );
 }

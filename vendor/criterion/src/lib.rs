@@ -20,7 +20,10 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, group: name.into() }
+        BenchmarkGroup {
+            _parent: self,
+            group: name.into(),
+        }
     }
 
     /// Runs one stand-alone benchmark.
@@ -79,12 +82,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` identifier.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { label: format!("{}/{}", name.into(), parameter) }
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Parameter-only identifier.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -102,7 +109,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { label: self.to_string() }
+        BenchmarkId {
+            label: self.to_string(),
+        }
     }
 }
 

@@ -19,7 +19,11 @@ impl f16 {
 
         if exp == 0xFF {
             // Infinity or NaN; keep NaN payload non-zero.
-            let payload = if man != 0 { 0x0200 | ((man >> 13) as u16 & 0x03FF) | 1 } else { 0 };
+            let payload = if man != 0 {
+                0x0200 | ((man >> 13) as u16 & 0x03FF) | 1
+            } else {
+                0
+            };
             return Self(sign | 0x7C00 | payload);
         }
 
@@ -104,7 +108,17 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for x in [0.0, -0.0, 1.0, -1.0, 0.5, 0.25, 2048.0, 65504.0, 0.0009765625] {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            0.25,
+            2048.0,
+            65504.0,
+            0.0009765625,
+        ] {
             assert_eq!(roundtrip(x), x, "{x}");
         }
         assert_eq!(roundtrip(f32::INFINITY), f32::INFINITY);
@@ -126,7 +140,11 @@ mod tests {
     fn overflow_saturates_to_infinity() {
         assert_eq!(roundtrip(65504.0), 65504.0);
         assert_eq!(roundtrip(65519.0), 65504.0, "below halfway");
-        assert_eq!(roundtrip(65520.0), f32::INFINITY, "tie rounds to even (inf)");
+        assert_eq!(
+            roundtrip(65520.0),
+            f32::INFINITY,
+            "tie rounds to even (inf)"
+        );
         assert_eq!(roundtrip(1.0e6), f32::INFINITY);
         assert_eq!(roundtrip(-1.0e6), f32::NEG_INFINITY);
     }
@@ -137,9 +155,17 @@ mod tests {
         assert_eq!(roundtrip(min_sub), min_sub);
         let min_normal = 6.103_515_6e-5; // 2^-14
         assert_eq!(roundtrip(min_normal), min_normal);
-        assert_eq!(roundtrip(min_sub / 2.0), 0.0, "tie at 2^-25 rounds to even zero");
+        assert_eq!(
+            roundtrip(min_sub / 2.0),
+            0.0,
+            "tie at 2^-25 rounds to even zero"
+        );
         assert_eq!(roundtrip(min_sub * 0.4), 0.0);
-        assert_eq!(roundtrip(min_sub * 1.5), min_sub * 2.0, "tie rounds to even");
+        assert_eq!(
+            roundtrip(min_sub * 1.5),
+            min_sub * 2.0,
+            "tie rounds to even"
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod strategy {
         where
             Self::Value: Clone,
         {
-            Ok(SingleValueTree { value: self.generate(runner.rng_mut()) })
+            Ok(SingleValueTree {
+                value: self.generate(runner.rng_mut()),
+            })
         }
     }
 
@@ -136,7 +138,10 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut StdRng) -> T {
             use rand::Rng;
-            assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !self.0.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             let i = rng.gen_range(0..self.0.len());
             self.0[i].generate(rng)
         }
@@ -291,7 +296,9 @@ pub mod test_runner {
 
         /// Runner seeded explicitly.
         pub fn new_seeded(seed: u64) -> Self {
-            Self { rng: StdRng::seed_from_u64(seed) }
+            Self {
+                rng: StdRng::seed_from_u64(seed),
+            }
         }
 
         /// The underlying RNG.
@@ -316,7 +323,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares deterministic property tests; see crate docs for limits.
@@ -416,8 +425,12 @@ mod tests {
     #[test]
     fn trees_are_deterministic_per_runner() {
         let strat = crate::collection::vec(0u16..64, 16);
-        let a = strat.new_tree(&mut crate::test_runner::TestRunner::deterministic()).unwrap();
-        let b = strat.new_tree(&mut crate::test_runner::TestRunner::deterministic()).unwrap();
+        let a = strat
+            .new_tree(&mut crate::test_runner::TestRunner::deterministic())
+            .unwrap();
+        let b = strat
+            .new_tree(&mut crate::test_runner::TestRunner::deterministic())
+            .unwrap();
         assert_eq!(a.current(), b.current());
         assert_eq!(a.current().len(), 16);
     }

@@ -180,7 +180,10 @@ pub trait Rng: RngCore {
 
     /// Bernoulli draw with success probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         self.next_f64() < p
     }
 }
@@ -237,7 +240,9 @@ mod tests {
             assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
         }
         let mut c = StdRng::seed_from_u64(8);
-        let first: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(7).gen_range(0..u64::MAX)).collect();
+        let first: Vec<u64> = (0..8)
+            .map(|_| StdRng::seed_from_u64(7).gen_range(0..u64::MAX))
+            .collect();
         assert!(first.iter().all(|&x| x == first[0]));
         assert_ne!(a.gen_range(0u64..u64::MAX), c.gen_range(0u64..u64::MAX));
     }
@@ -273,7 +278,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "overwhelmingly unlikely to be identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "overwhelmingly unlikely to be identity"
+        );
         assert!(v.as_slice().choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());

@@ -22,8 +22,24 @@ macro_rules! impl_markers {
 }
 
 impl_markers!(
-    (), bool, char, String, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize,
-    f32, f64
+    (),
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64
 );
 
 impl<T: Serialize> Serialize for Vec<T> {}
