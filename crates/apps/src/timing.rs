@@ -20,6 +20,7 @@ use simd2::solve::ClosureAlgorithm;
 use simd2::{Backend, ReferenceBackend};
 use simd2_gpu::{Gpu, KernelProfile, Seconds};
 use simd2_semiring::OpKind;
+use simd2_trace::{field, span, Counter, Tracer};
 
 use crate::registry::AppKind;
 use crate::{aplp, apsp, gtc, mst, paths};
@@ -74,16 +75,43 @@ fn baseline_efficiency(app: AppKind) -> f64 {
     }
 }
 
+/// Total speedup evaluations priced by the timing model.
+static APP_PHASES: Counter = Counter::new("apps.phases");
+
 /// The whole-application timing model.
 #[derive(Clone, Debug)]
 pub struct AppTiming {
     gpu: Gpu,
+    tracer: Tracer,
 }
 
 impl AppTiming {
     /// Builds the model over a machine description.
     pub fn new(gpu: Gpu) -> Self {
-        Self { gpu }
+        Self {
+            gpu,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Routes [`span::APP_PHASE`] telemetry from [`Self::speedup`] through
+    /// `tracer`. One instant event is emitted per evaluation, carrying the
+    /// app label, dimension, configuration, iteration count and the model's
+    /// baseline/SIMD² timings.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Builder-style [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// The tracer telemetry is routed through.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The underlying machine model.
@@ -265,7 +293,24 @@ impl AppTiming {
         let alg = ClosureAlgorithm::Leyzorek;
         let iters = self.iterations(app, n, alg, true);
         let t = self.simd2_time(app, n, iters, true, config);
-        t.speedup_over(self.baseline_time(app, n))
+        let baseline = self.baseline_time(app, n);
+        let speedup = t.speedup_over(baseline);
+        if self.tracer.enabled() {
+            APP_PHASES.add(1);
+            self.tracer.instant(
+                span::APP_PHASE,
+                &[
+                    field("app", app.spec().label),
+                    field("n", n),
+                    field("config", config.label()),
+                    field("iterations", iters),
+                    field("baseline_s", baseline.get()),
+                    field("simd2_s", t.get()),
+                    field("speedup", speedup),
+                ],
+            );
+        }
+        speedup
     }
 
     fn mst_edges(&self, n: usize) -> f64 {
@@ -634,5 +679,33 @@ mod tests {
     fn config_labels() {
         assert_eq!(Config::Baseline.label(), "baseline");
         assert!(Config::Simd2SparseUnits.label().contains("sparse"));
+    }
+
+    #[test]
+    fn speedup_emits_one_app_phase_event_per_evaluation() {
+        let ring = simd2_trace::RingSink::shared();
+        let m = model().with_tracer(Tracer::to(ring.clone()));
+        let n = AppKind::Apsp.dimension(InputScale::Small);
+        let s = m.speedup(AppKind::Apsp, n, Config::Simd2Units);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.span, span::APP_PHASE);
+        assert_eq!(ev.str_value("app"), Some("APSP"));
+        assert_eq!(ev.u64("n"), Some(n as u64));
+        assert_eq!(ev.str_value("config"), Some("SIMD2 w/ SIMD2 units"));
+        assert_eq!(ev.f64("speedup"), Some(s));
+        let baseline = ev.f64("baseline_s").unwrap();
+        let simd2 = ev.f64("simd2_s").unwrap();
+        assert!((baseline / simd2 - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untraced_model_emits_nothing() {
+        let ring = simd2_trace::RingSink::shared();
+        let m = model();
+        let n = AppKind::Gtc.dimension(InputScale::Small);
+        m.speedup(AppKind::Gtc, n, Config::Simd2Units);
+        assert!(ring.is_empty());
     }
 }

@@ -16,6 +16,13 @@
 //! coordinate-addressed fault sites make the two campaigns strike the
 //! same tiles, so their telemetry must be identical — the harness
 //! asserts it.
+//!
+//! Every number in the report is derived from the `simd2-trace` event
+//! stream (a per-trial [`RingSink`] attached to the injector, the tiled
+//! backend and the resilient layer), then cross-checked against the
+//! subsystems' own counters — any divergence aborts the run. The
+//! sequential tiled sweep additionally streams its events to
+//! `results/telemetry/fault_campaign.jsonl`.
 
 use simd2::backend::{Backend, IsaBackend, Parallelism, TiledBackend};
 use simd2::resilient::{RecoveryPolicy, ResilientBackend};
@@ -28,6 +35,9 @@ use simd2_fault::{
 };
 use simd2_mxu::Simd2Unit;
 use simd2_semiring::OpKind;
+use simd2_trace::{span, Event, FanoutSink, JsonLinesSink, RingSink, Sink, Tracer};
+
+use std::sync::Arc;
 
 /// Per-tile-mmo fault rates (parts per million) for the tiled sweep.
 const BIT_FLIP_PPM: u32 = 9_000;
@@ -36,15 +46,48 @@ const TRANSIENT_NAN_PPM: u32 = 5_000;
 /// Per-store shared-memory corruption rate for the ISA sweep.
 const MEM_PPM: u32 = 60_000;
 
-/// One trial's telemetry.
+/// One trial's telemetry, derived entirely from the trace-event stream.
 #[derive(Clone, PartialEq, Eq)]
 struct Outcome {
     injected: u64,
+    /// Fault-log ring evictions — must match across schedules too.
+    dropped: u64,
     detections: u64,
     retries: u64,
     retry_successes: u64,
     fallbacks: u64,
     correct: bool,
+}
+
+/// Counts the trial's stage-tagged events into an [`Outcome`]. The
+/// counts are order-independent, so the parallel schedule (whose worker
+/// events interleave nondeterministically) compares exactly against the
+/// sequential one.
+fn outcome_from_events(events: &[Event], correct: bool) -> Outcome {
+    let stage = |sp: &str, st: &str| events.iter().filter(|e| e.is_stage(sp, st)).count() as u64;
+    Outcome {
+        injected: stage(span::FAULT, "injected"),
+        dropped: stage(span::FAULT, "dropped"),
+        detections: stage(span::RECOVERY, "detection"),
+        retries: stage(span::RECOVERY, "retry"),
+        retry_successes: stage(span::RECOVERY, "retry_success"),
+        fallbacks: stage(span::RECOVERY, "fallback"),
+        correct,
+    }
+}
+
+/// The per-trial sink: a fresh ring, optionally fanned out to the
+/// campaign's JSON-lines export.
+fn trial_sink(export: Option<&Arc<JsonLinesSink>>) -> (Arc<RingSink>, Tracer) {
+    let ring = RingSink::shared();
+    let tracer = match export {
+        Some(jsonl) => Tracer::to(Arc::new(FanoutSink::new(vec![
+            ring.clone() as Arc<dyn Sink>,
+            jsonl.clone() as Arc<dyn Sink>,
+        ]))),
+        None => Tracer::to(ring.clone()),
+    };
+    (ring, tracer)
 }
 
 /// Runs one application end to end on `be` and checks the result against
@@ -119,62 +162,85 @@ fn abft() -> AbftConfig {
 }
 
 /// One trial on the tiled backend with a fault-injected SIMD² unit.
-fn tiled_trial(app: AppKind, n: usize, trial_seed: u64, par: Parallelism) -> Outcome {
+/// The outcome is read back from the trial's event stream and asserted
+/// equal to the private counters it replaced.
+fn tiled_trial(
+    app: AppKind,
+    n: usize,
+    trial_seed: u64,
+    par: Parallelism,
+    export: Option<&Arc<JsonLinesSink>>,
+) -> Outcome {
+    let (ring, tracer) = trial_sink(export);
     let cfg = FaultPlanConfig::new(trial_seed)
         .with_bit_flip_ppm(BIT_FLIP_PPM)
         .with_stuck_lane_ppm(STUCK_LANE_PPM)
         .with_transient_nan_ppm(TRANSIENT_NAN_PPM);
     let mut inner = TiledBackend::with_unit(FaultySimd2Unit::new(
         Simd2Unit::new(),
-        PlannedInjector::new(FaultPlan::new(cfg)),
+        PlannedInjector::new(FaultPlan::new(cfg)).with_tracer(tracer.clone()),
     ));
     inner.set_parallelism(par);
+    inner.set_tracer(tracer.clone());
     let mut be = ResilientBackend::with_config(
         inner,
         RecoveryPolicy::RetryThenFallback { attempts: 3 },
         abft(),
-    );
+    )
+    .with_tracer(tracer);
     let correct = run_app_and_check(app, n, trial_seed ^ 0xa99, &mut be);
     let s = be.recovery_stats();
-    Outcome {
-        injected: be.inner().unit().injector().injected(),
-        detections: s.detections,
-        retries: s.retries,
-        retry_successes: s.retry_successes,
-        fallbacks: s.fallbacks,
-        correct,
-    }
+    let o = outcome_from_events(&ring.events(), correct);
+    let inj = be.inner().unit().injector();
+    assert_eq!(o.injected, inj.injected(), "telemetry vs injector counter");
+    assert_eq!(o.dropped, inj.dropped(), "telemetry vs log-drop counter");
+    assert_eq!(o.detections, s.detections, "telemetry vs recovery stats");
+    assert_eq!(o.retries, s.retries, "telemetry vs recovery stats");
+    assert_eq!(o.retry_successes, s.retry_successes, "telemetry vs stats");
+    assert_eq!(o.fallbacks, s.fallbacks, "telemetry vs recovery stats");
+    o
 }
 
 /// One trial on the ISA executor with per-instruction ABFT plus
 /// shared-memory store corruption.
 fn isa_trial(app: AppKind, n: usize, trial_seed: u64) -> Outcome {
+    let (ring, tracer) = trial_sink(None);
     let cfg = FaultPlanConfig::new(trial_seed)
         .with_bit_flip_ppm(BIT_FLIP_PPM)
         .with_transient_nan_ppm(TRANSIENT_NAN_PPM)
         .with_mem_ppm(MEM_PPM);
     let mut inner = IsaBackend::new();
-    inner.set_injector(Box::new(PlannedInjector::new(FaultPlan::new(cfg))));
+    inner.set_injector(Box::new(
+        PlannedInjector::new(FaultPlan::new(cfg)).with_tracer(tracer.clone()),
+    ));
     inner.enable_verification(AbftConfig::default());
+    inner.set_tracer(tracer.clone());
     let mut be = ResilientBackend::with_config(
         inner,
         RecoveryPolicy::RetryThenFallback { attempts: 3 },
         abft(),
-    );
+    )
+    .with_tracer(tracer);
     let correct = run_app_and_check(app, n, trial_seed ^ 0xa99, &mut be);
     let s = be.recovery_stats();
-    Outcome {
-        injected: be
-            .inner()
-            .injector()
-            .map(FaultInjector::injected)
-            .unwrap_or_default(),
-        detections: s.detections,
-        retries: s.retries,
-        retry_successes: s.retry_successes,
-        fallbacks: s.fallbacks,
-        correct,
-    }
+    let o = outcome_from_events(&ring.events(), correct);
+    let injected = be
+        .inner()
+        .injector()
+        .map(FaultInjector::injected)
+        .unwrap_or_default();
+    let dropped = be
+        .inner()
+        .injector()
+        .map(FaultInjector::dropped)
+        .unwrap_or_default();
+    assert_eq!(o.injected, injected, "telemetry vs injector counter");
+    assert_eq!(o.dropped, dropped, "telemetry vs log-drop counter");
+    assert_eq!(o.detections, s.detections, "telemetry vs recovery stats");
+    assert_eq!(o.retries, s.retries, "telemetry vs recovery stats");
+    assert_eq!(o.retry_successes, s.retry_successes, "telemetry vs stats");
+    assert_eq!(o.fallbacks, s.fallbacks, "telemetry vs recovery stats");
+    o
 }
 
 /// Runs the sweep, prints the table, and returns every trial's telemetry
@@ -192,6 +258,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
             "app",
             "op",
             "injected",
+            "dropped",
             "detected",
             "retries",
             "rescued",
@@ -205,6 +272,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
     for app in AppKind::all() {
         let mut agg = Outcome {
             injected: 0,
+            dropped: 0,
             detections: 0,
             retries: 0,
             retry_successes: 0,
@@ -234,6 +302,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
             }
             correct_trials += u64::from(o.correct);
             agg.injected += o.injected;
+            agg.dropped += o.dropped;
             agg.detections += o.detections;
             agg.retries += o.retries;
             agg.retry_successes += o.retry_successes;
@@ -244,6 +313,7 @@ fn campaign<F: Fn(AppKind, usize, u64) -> Outcome>(
             app.spec().label.to_owned(),
             app.spec().op.to_string(),
             agg.injected.to_string(),
+            agg.dropped.to_string(),
             agg.detections.to_string(),
             agg.retries.to_string(),
             agg.retry_successes.to_string(),
@@ -289,6 +359,11 @@ fn main() {
          mem={MEM_PPM}  policy=retry(3)-then-fallback"
     );
     println!();
+    // The sequential sweep's events additionally stream to disk; its
+    // event order is deterministic, so the export reproduces bit for bit.
+    let export = JsonLinesSink::create("results/telemetry/fault_campaign.jsonl")
+        .ok()
+        .map(Arc::new);
     let seq = campaign(
         format!(
             "Tiled SIMD2 units with faulty datapath (matrix-level ABFT, seed {seed}, sequential)"
@@ -297,8 +372,12 @@ fn main() {
         seed,
         trials,
         n,
-        |app, n, s| tiled_trial(app, n, s, Parallelism::Sequential),
+        |app, n, s| tiled_trial(app, n, s, Parallelism::Sequential, export.as_ref()),
     );
+    if let Some(jsonl) = &export {
+        let _ = jsonl.flush();
+        eprintln!("wrote {}", jsonl.path().display());
+    }
     let par = campaign(
         format!(
             "Tiled SIMD2 units with faulty datapath (matrix-level ABFT, seed {seed}, {threads} workers)"
@@ -307,17 +386,22 @@ fn main() {
         seed,
         trials,
         n,
-        |app, n, s| tiled_trial(app, n, s, Parallelism::Threads(threads)),
+        |app, n, s| tiled_trial(app, n, s, Parallelism::Threads(threads), None),
     );
     // Coordinate-addressed fault sites: both schedules strike the same
-    // tiles, so every trial's telemetry must match exactly.
+    // tiles, so every trial's telemetry — including fault-log ring
+    // evictions — must match exactly.
     assert!(
         seq == par,
         "parallel faulty campaign diverged from sequential telemetry"
     );
+    assert!(
+        seq.iter().zip(&par).all(|(a, b)| a.dropped == b.dropped),
+        "dropped-log telemetry diverged across schedules"
+    );
     println!(
         "tiled sweep: {threads}-worker telemetry identical to sequential \
-         across all {} trials",
+         across all {} trials (dropped counts included)",
         seq.len()
     );
     println!();

@@ -1,26 +1,68 @@
 //! Regenerates Figure 11: application kernel speedups over the
 //! state-of-the-art GPU baselines, in both SIMD2 configurations, across
 //! the three Table-4 input scales.
+//!
+//! The table is built from the timing model's `app_phase` telemetry
+//! events (one instant per evaluation, captured in a [`RingSink`] and
+//! streamed to `results/telemetry/fig11_apps.jsonl`) rather than from
+//! the returned values — the printed figure is a view of the event
+//! stream. Evaluation order is deterministic, so both the stdout table
+//! and the JSON-lines export reproduce bit for bit.
+
+use std::sync::Arc;
 
 use simd2_apps::{AppKind, AppTiming, Config};
 use simd2_bench::{report::fmt_speedup, Table};
 use simd2_gpu::{geomean, Gpu};
 use simd2_matrix::gen::InputScale;
+use simd2_trace::{span, Event, FanoutSink, JsonLinesSink, RingSink, Sink, Tracer};
+
+/// Runs one `(app, scale)` sweep through the model and hands back the
+/// `app_phase` events it emitted, in evaluation order.
+fn sweep(model: &AppTiming, ring: &RingSink, config: Config) -> Vec<Event> {
+    ring.clear();
+    for app in AppKind::all() {
+        for scale in InputScale::all() {
+            let _ = model.speedup(app, app.dimension(scale), config);
+        }
+    }
+    let events = ring.events();
+    assert!(
+        events.iter().all(|e| e.span == span::APP_PHASE),
+        "unexpected span in the timing model's event stream"
+    );
+    events
+}
 
 fn main() {
-    let model = AppTiming::new(Gpu::default());
+    let ring = RingSink::shared();
+    let export = JsonLinesSink::create("results/telemetry/fig11_apps.jsonl")
+        .ok()
+        .map(Arc::new);
+    let sink: Arc<dyn Sink> = match &export {
+        Some(jsonl) => Arc::new(FanoutSink::new(vec![
+            ring.clone() as Arc<dyn Sink>,
+            jsonl.clone() as Arc<dyn Sink>,
+        ])),
+        None => ring.clone(),
+    };
+    let model = AppTiming::new(Gpu::default()).with_tracer(Tracer::to(sink));
     for config in [Config::Simd2Units, Config::Simd2CudaCores] {
+        let events = sweep(&model, &ring, config);
         let mut t = Table::new(
             format!("Figure 11: speedup of `{}` over baseline", config.label()),
             &["app", "small", "medium", "large"],
         );
         let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut it = events.iter();
         for app in AppKind::all() {
             let mut row = vec![app.spec().label.to_owned()];
-            for (i, scale) in InputScale::all().into_iter().enumerate() {
-                let n = app.dimension(scale);
-                let s = model.speedup(app, n, config);
-                per_scale[i].push(s);
+            for col in &mut per_scale {
+                let e = it.next().expect("one event per evaluation");
+                assert_eq!(e.str_value("app"), Some(app.spec().label));
+                assert_eq!(e.str_value("config"), Some(config.label()));
+                let s = e.f64("speedup").expect("speedup field");
+                col.push(s);
                 row.push(fmt_speedup(s));
             }
             t.row(&row);
@@ -33,11 +75,14 @@ fn main() {
         t.print();
         println!();
     }
-    // Peak speedup quoted in the abstract.
+    // Peak speedup quoted in the abstract — again read off the events.
+    let events = sweep(&model, &ring, Config::Simd2Units);
     let mut best = (0.0f64, String::new());
+    let mut it = events.iter();
     for app in AppKind::all() {
         for scale in InputScale::all() {
-            let s = model.speedup(app, app.dimension(scale), Config::Simd2Units);
+            let e = it.next().expect("one event per evaluation");
+            let s = e.f64("speedup").expect("speedup field");
             if s > best.0 {
                 best = (s, format!("{} / {}", app.spec().label, scale.label()));
             }
@@ -48,4 +93,8 @@ fn main() {
         fmt_speedup(best.0),
         best.1
     );
+    if let Some(jsonl) = &export {
+        let _ = jsonl.flush();
+        eprintln!("wrote {}", jsonl.path().display());
+    }
 }

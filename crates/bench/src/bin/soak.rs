@@ -18,6 +18,13 @@
 //!    direct backend surfaces [`BackendError::WorkerPanic`] instead of
 //!    aborting, and the resilient layer recovers on the sequential
 //!    schedule with the panic counted in its stats.
+//! 5. **Telemetry lock-step** — every run carries a `simd2-trace`
+//!    [`RingSink`]; span-derived totals must equal [`Backend::op_count`]
+//!    exactly, fault-event counts must equal the injector's counters on
+//!    both schedules, recovery stage events must reproduce
+//!    [`simd2::resilient::RecoveryStats`], and a panicked mmo must
+//!    leave its `mmo` span open (a `begin` with no `end`). The final
+//!    PASS line's tallies are read back from the event stream.
 //!
 //! Usage: `cargo run -p simd2-bench --bin soak [--seed S] [--seconds T]
 //! [--iters N]`. The iteration stream is a pure function of the seed;
@@ -39,6 +46,9 @@ use simd2_matrix::{gen, Matrix, ISA_TILE};
 use simd2_mxu::{PrecisionMode, Simd2Unit};
 use simd2_semiring::precision::quantize_f16;
 use simd2_semiring::{OpKind, ALL_OPS};
+use simd2_trace::{span, Event, EventKind, RingSink, Tracer};
+
+use std::sync::Arc;
 
 /// SplitMix64: the soak's own deterministic parameter stream.
 struct Rng(u64);
@@ -124,14 +134,35 @@ fn plan(p: &Params) -> FaultPlan {
     FaultPlan::new(cfg)
 }
 
-fn faulty_backend(p: &Params, par: Parallelism) -> TiledBackend<FaultySimd2Unit> {
+fn faulty_backend(p: &Params, par: Parallelism, tracer: &Tracer) -> TiledBackend<FaultySimd2Unit> {
     let unit = FaultySimd2Unit::new(
         Simd2Unit::with_precision(p.precision),
-        PlannedInjector::new(plan(p)),
+        PlannedInjector::new(plan(p)).with_tracer(tracer.clone()),
     );
     let mut be = TiledBackend::with_unit(unit);
     be.set_parallelism(par);
+    be.set_tracer(tracer.clone());
     be
+}
+
+/// Counts `stage`-tagged instants on `sp` — order-independent, so
+/// sequential and parallel streams compare by totals.
+fn stage_count(events: &[Event], sp: &str, stage: &str) -> u64 {
+    events.iter().filter(|e| e.is_stage(sp, stage)).count() as u64
+}
+
+/// Rebuilds an [`OpCount`] from a run's `mmo` span-end events.
+fn op_count_from_events(events: &[Event]) -> OpCount {
+    let mut c = OpCount::default();
+    for e in events {
+        if e.span == span::MMO && e.kind == EventKind::End {
+            c.matrix_mmos += 1;
+            c.tile_mmos += e.u64("tile_mmos").unwrap_or(0);
+            c.tile_loads += e.u64("tile_loads").unwrap_or(0);
+            c.tile_stores += e.u64("tile_stores").unwrap_or(0);
+        }
+    }
+    c
 }
 
 /// Clean oracle at the iteration's precision.
@@ -222,10 +253,12 @@ fn soak_panic(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
             what: format!("clean oracle failed: {e}"),
         })?;
 
+    let direct_ring = RingSink::shared();
     let mut direct = TiledBackend::with_unit(PanicProbeUnit::new(
         Simd2Unit::with_precision(p.precision),
         panic_ti,
-    ));
+    ))
+    .with_tracer(Tracer::to(direct_ring.clone()));
     direct.set_parallelism(Parallelism::Threads(p.workers));
     match direct.mmo(p.op, &a, &b, &c) {
         Err(BackendError::WorkerPanic { payload, .. }) => {
@@ -242,16 +275,31 @@ fn soak_panic(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
         direct.op_count() == OpCount::default(),
         "panicked mmo must contribute no completed-work counters"
     );
+    // Invariant 5: the failed mmo's span stays open — a begin with no
+    // end — so event-derived totals also attribute it zero work.
+    let direct_events = direct_ring.events();
+    let begins = direct_events
+        .iter()
+        .filter(|e| e.span == span::MMO && e.kind == EventKind::Begin)
+        .count();
+    soak_check!(
+        begins == 1 && op_count_from_events(&direct_events) == OpCount::default(),
+        "panicked mmo must emit one open span and no completed-work events"
+    );
 
+    let ring = RingSink::shared();
+    let tracer = Tracer::to(ring.clone() as Arc<_>);
     let inner = {
         let mut be = TiledBackend::with_unit(PanicProbeUnit::new(
             Simd2Unit::with_precision(p.precision),
             panic_ti,
         ));
         be.set_parallelism(Parallelism::Threads(p.workers));
+        be.set_tracer(tracer.clone());
         be
     };
-    let mut resilient = ResilientBackend::with_config(inner, RecoveryPolicy::FailFast, abft());
+    let mut resilient =
+        ResilientBackend::with_config(inner, RecoveryPolicy::FailFast, abft()).with_tracer(tracer);
     let d = resilient.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
         what: format!("resilient layer failed to recover: {e}"),
     })?;
@@ -264,8 +312,18 @@ fn soak_panic(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
         d == clean,
         "sequential panic recovery diverged from the clean oracle"
     );
-    totals.panics += 1;
-    totals.panic_recoveries += 1;
+    // Invariant 5: the recovery stage events reproduce the stats struct;
+    // the PASS line's tallies come from the event stream.
+    let events = ring.events();
+    let ev_panics = stage_count(&events, span::RECOVERY, "worker_panic");
+    let ev_recoveries = stage_count(&events, span::RECOVERY, "panic_recovery");
+    soak_check!(
+        ev_panics == s.worker_panics && ev_recoveries == s.panic_recoveries,
+        "panic telemetry diverged from recovery stats: \
+         events ({ev_panics}, {ev_recoveries}) vs {s:?}"
+    );
+    totals.panics += ev_panics;
+    totals.panic_recoveries += ev_recoveries;
     Ok(())
 }
 
@@ -274,11 +332,17 @@ fn soak_faults(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
     let (a, b, c) = operands(p);
 
     // 1. Bit identity across schedules, plus identical fault telemetry.
-    let mut seq_be = faulty_backend(p, Parallelism::Sequential);
+    let seq_ring = RingSink::shared();
+    let mut seq_be = faulty_backend(p, Parallelism::Sequential, &Tracer::to(seq_ring.clone()));
     let d_seq = seq_be.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
         what: format!("sequential faulty mmo failed: {e}"),
     })?;
-    let mut par_be = faulty_backend(p, Parallelism::Threads(p.workers));
+    let par_ring = RingSink::shared();
+    let mut par_be = faulty_backend(
+        p,
+        Parallelism::Threads(p.workers),
+        &Tracer::to(par_ring.clone()),
+    );
     let d_par = par_be.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
         what: format!("parallel faulty mmo failed: {e}"),
     })?;
@@ -300,6 +364,25 @@ fn soak_faults(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
         seq_be.unit().injector().dropped() == 0,
         "soak shapes must not overflow the fault-log ring"
     );
+    // Invariant 5: fault-event totals equal the injector counters on
+    // both schedules (parallel event *order* may differ; totals may not).
+    let seq_events = seq_ring.events();
+    let par_events = par_ring.events();
+    for (label, events, be) in [
+        ("sequential", &seq_events, &seq_be),
+        ("parallel", &par_events, &par_be),
+    ] {
+        let injected_events = stage_count(events, span::FAULT, "injected");
+        let dropped_events = stage_count(events, span::FAULT, "dropped");
+        soak_check!(
+            injected_events == be.unit().injector().injected()
+                && dropped_events == be.unit().injector().dropped(),
+            "{label} fault telemetry diverged from injector counters: \
+             events ({injected_events}, {dropped_events}) vs ({}, {})",
+            be.unit().injector().injected(),
+            be.unit().injector().dropped()
+        );
+    }
 
     // 2. Exact accounting from tile-grid arithmetic.
     let g = TileGrid::new(p.m, p.n, p.k, ISA_TILE);
@@ -315,25 +398,50 @@ fn soak_faults(p: &Params, totals: &mut Totals) -> Result<(), Violation> {
         seq_be.op_count(),
         par_be.op_count()
     );
+    // Invariant 5: span-derived totals rebuild the same OpCount.
+    soak_check!(
+        op_count_from_events(&seq_events) == want && op_count_from_events(&par_events) == want,
+        "span-derived OpCount diverged: want {want:?}, seq {:?}, par {:?}",
+        op_count_from_events(&seq_events),
+        op_count_from_events(&par_events)
+    );
 
     // 3. Detection-or-benign under resilient dispatch.
-    let inner = faulty_backend(p, Parallelism::Threads(p.workers));
+    let ring = RingSink::shared();
+    let tracer = Tracer::to(ring.clone() as Arc<_>);
+    let inner = faulty_backend(p, Parallelism::Threads(p.workers), &tracer);
     let mut resilient = ResilientBackend::with_config(
         inner,
         RecoveryPolicy::RetryThenFallback { attempts: 3 },
         abft(),
-    );
+    )
+    .with_tracer(tracer);
     let d = resilient.mmo(p.op, &a, &b, &c).map_err(|e| Violation {
         what: format!("resilient dispatch failed: {e}"),
     })?;
     let s = resilient.recovery_stats();
-    let injected = resilient.inner().unit().injector().injected();
+    // Invariant 5: the stage events reproduce the stats struct; the
+    // PASS line's tallies are read back from the event stream.
+    let events = ring.events();
+    let ev = |stage: &str| stage_count(&events, span::RECOVERY, stage);
+    soak_check!(
+        ev("detection") == s.detections
+            && ev("retry") == s.retries
+            && ev("retry_success") == s.retry_successes
+            && ev("fallback") == s.fallbacks,
+        "recovery telemetry diverged from stats: {s:?}"
+    );
+    let injected = stage_count(&events, span::FAULT, "injected");
+    soak_check!(
+        injected == resilient.inner().unit().injector().injected(),
+        "resilient fault telemetry diverged from injector counter"
+    );
     if injected > 0 {
         totals.struck += 1;
         totals.injected += injected;
-        totals.detections += s.detections;
-        totals.retry_successes += s.retry_successes;
-        totals.fallbacks += s.fallbacks;
+        totals.detections += ev("detection");
+        totals.retry_successes += ev("retry_success");
+        totals.fallbacks += ev("fallback");
         if s.detections == 0 {
             // Undetected strikes must be benign, where "benign" is
             // exactly what the detector promises. Idempotent family:

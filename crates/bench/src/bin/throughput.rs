@@ -12,6 +12,12 @@
 //! are printed as a table and written to `BENCH_throughput.json`
 //! (hand-rolled JSON; the build vendors no JSON serializer).
 //!
+//! The per-point tile counts are derived from the backend's
+//! `simd2-trace` mmo-span events (a [`RingSink`] attached to each timed
+//! backend) and asserted equal to [`Backend::op_count`] — the report is
+//! a view of the telemetry stream, cross-checked against the engine's
+//! own accounting.
+//!
 //! Pass `--quick` for a seconds-scale smoke run (small N, fewer ops and
 //! thread counts, single rep) used by `scripts/bench.sh`.
 
@@ -22,6 +28,7 @@ use simd2_bench::{report::fmt_speedup, Table};
 use simd2_matrix::tiling::TileGrid;
 use simd2_matrix::{gen, tiling, Matrix, Tile, ISA_TILE};
 use simd2_semiring::{precision::quantize_f16, OpKind, ALL_OPS};
+use simd2_trace::{span, EventKind, RingSink, Tracer};
 
 /// The pre-optimization reduction: materializes a fresh `Vec` per tree
 /// level. Pairing is identical to the fused in-place kernel, so outputs
@@ -196,7 +203,9 @@ fn main() {
             let (a, b, c) = operands(op, n, n, n);
             let scalar_s = time_best(reps, || scalar_mmo(op, &a, &b, &c));
             for &threads in thread_counts {
-                let mut be = TiledBackend::with_parallelism(Parallelism::Threads(threads));
+                let ring = RingSink::shared();
+                let mut be = TiledBackend::with_parallelism(Parallelism::Threads(threads))
+                    .with_tracer(Tracer::to(ring.clone()));
                 // Sanity: fusion and the worker pool must not change a
                 // single bit relative to the scalar datapath.
                 if threads == thread_counts[0] {
@@ -212,14 +221,37 @@ fn main() {
                     );
                 }
                 be.reset_count();
+                ring.clear();
                 let seconds = time_best(reps, || be.mmo(op, &a, &b, &c).expect("mmo"));
-                // Counters cover warmup + reps; normalize to one run.
+                // Telemetry covers warmup + reps; normalize to one run.
+                // The report reads the mmo-span end events and asserts
+                // them against the backend's own counters.
                 let runs = (reps + 1) as f64;
+                let (mut ev_mmos, mut ev_tile_mmos, mut ev_loads, mut ev_stores) =
+                    (0u64, 0u64, 0u64, 0u64);
+                for e in ring.events() {
+                    if e.span == span::MMO && e.kind == EventKind::End {
+                        ev_mmos += 1;
+                        ev_tile_mmos += e.u64("tile_mmos").unwrap_or(0);
+                        ev_loads += e.u64("tile_loads").unwrap_or(0);
+                        ev_stores += e.u64("tile_stores").unwrap_or(0);
+                    }
+                }
+                assert_eq!(ring.dropped(), 0, "telemetry ring overflowed");
                 let count = be.op_count();
-                let tile_mmos = count.tile_mmos as f64 / runs;
-                let traffic_bytes = (count.tile_loads + count.tile_stores) as f64 / runs
-                    * (ISA_TILE * ISA_TILE) as f64
-                    * 4.0;
+                assert_eq!(
+                    (ev_mmos, ev_tile_mmos, ev_loads, ev_stores),
+                    (
+                        count.matrix_mmos,
+                        count.tile_mmos,
+                        count.tile_loads,
+                        count.tile_stores
+                    ),
+                    "span-derived totals diverged from op_count: {op} N={n} T={threads}"
+                );
+                let tile_mmos = ev_tile_mmos as f64 / runs;
+                let traffic_bytes =
+                    (ev_loads + ev_stores) as f64 / runs * (ISA_TILE * ISA_TILE) as f64 * 4.0;
                 let e = Entry {
                     op,
                     n,

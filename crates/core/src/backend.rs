@@ -16,8 +16,18 @@ use simd2_semiring::OpKind;
 
 use simd2_fault::{AbftConfig, FaultInjector, MmoUnit, TileCoord};
 use simd2_isa::{Dtype, ExecStats, Executor, Instruction, MatrixReg, SharedMemory};
+use simd2_trace::{field, span, Counter, Tracer};
 
 use crate::error::BackendError;
+
+/// Process-global whole-matrix mmo count (traced backends only).
+static MATRIX_MMOS: Counter = Counter::new("core.matrix_mmos");
+/// Process-global tile-level mmo count (traced backends only).
+static TILE_MMOS: Counter = Counter::new("core.tile_mmos");
+/// Process-global tile-load count (traced backends only).
+static TILE_LOADS: Counter = Counter::new("core.tile_loads");
+/// Process-global tile-store count (traced backends only).
+static TILE_STORES: Counter = Counter::new("core.tile_stores");
 
 /// Running totals of the work a backend has performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -127,6 +137,59 @@ pub trait Backend {
     fn reset_count(&mut self);
 }
 
+/// Emits the [`span::MMO`] begin event for a whole-matrix operation.
+fn begin_mmo(tracer: &Tracer, op: OpKind, grid: &TileGrid, workers: usize) {
+    tracer.begin(
+        span::MMO,
+        &[
+            field("op", op.name()),
+            field("m", grid.m),
+            field("n", grid.n),
+            field("k", grid.k),
+            field("workers", workers),
+        ],
+    );
+}
+
+/// Emits the [`span::MMO`] end event for a *completed* whole-matrix mmo
+/// and bumps the process-global work counters by the same delta, so
+/// traced span totals and [`Backend::op_count`] advance in lock-step: a
+/// failed mmo contributes to neither.
+fn finish_mmo(tracer: &Tracer, op: OpKind, delta: OpCount) {
+    if !tracer.enabled() {
+        return;
+    }
+    MATRIX_MMOS.add(delta.matrix_mmos);
+    TILE_MMOS.add(delta.tile_mmos);
+    TILE_LOADS.add(delta.tile_loads);
+    TILE_STORES.add(delta.tile_stores);
+    tracer.end(
+        span::MMO,
+        &[
+            field("op", op.name()),
+            field("tile_mmos", delta.tile_mmos),
+            field("tile_loads", delta.tile_loads),
+            field("tile_stores", delta.tile_stores),
+        ],
+    );
+}
+
+/// Emits the [`span::TILE_PANEL`] summary for one executed row panel
+/// (`rows` is the panel's height in elements). Sequential schedules
+/// emit exactly one, covering the whole grid.
+fn emit_tile_panel(tracer: &Tracer, panel_idx: usize, rows: usize, count: OpCount) {
+    tracer.end(
+        span::TILE_PANEL,
+        &[
+            field("panel", panel_idx),
+            field("rows", rows),
+            field("tile_mmos", count.tile_mmos),
+            field("tile_loads", count.tile_loads),
+            field("tile_stores", count.tile_stores),
+        ],
+    );
+}
+
 /// Plain-loop fp32 backend — the correctness oracle, standing in for the
 /// cuASR/CUTLASS CUDA-core library of §5.1.
 ///
@@ -136,12 +199,18 @@ pub trait Backend {
 #[derive(Clone, Debug, Default)]
 pub struct ReferenceBackend {
     count: OpCount,
+    tracer: Tracer,
 }
 
 impl ReferenceBackend {
     /// Creates the backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry tracer emitting [`span::MMO`] spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -161,12 +230,18 @@ impl Backend for ReferenceBackend {
         b: &Matrix,
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
-        let d = reference::mmo(op, a, b, c)?;
+        reference::check_mmo_shapes(a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
-        self.count.matrix_mmos += 1;
-        self.count.tile_mmos += grid.tile_ops() as u64;
-        self.count.tile_loads += (2 * grid.tile_ops() + grid.output_tiles()) as u64;
-        self.count.tile_stores += grid.output_tiles() as u64;
+        begin_mmo(&self.tracer, op, &grid, 1);
+        let d = reference::mmo(op, a, b, c)?;
+        let delta = OpCount {
+            matrix_mmos: 1,
+            tile_mmos: grid.tile_ops() as u64,
+            tile_loads: (2 * grid.tile_ops() + grid.output_tiles()) as u64,
+            tile_stores: grid.output_tiles() as u64,
+        };
+        self.count += delta;
+        finish_mmo(&self.tracer, op, delta);
         Ok(d)
     }
 
@@ -202,6 +277,7 @@ pub struct TiledBackend<U: MmoUnit = Simd2Unit> {
     unit: U,
     count: OpCount,
     parallelism: Parallelism,
+    tracer: Tracer,
 }
 
 // A single, non-generic `Default` impl so `TiledBackend::default()`
@@ -234,7 +310,30 @@ impl<U: MmoUnit> TiledBackend<U> {
             unit,
             count: OpCount::default(),
             parallelism: Parallelism::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a telemetry tracer. Every subsequent [`Backend::mmo`]
+    /// emits a [`span::MMO`] begin/end span plus one [`span::TILE_PANEL`]
+    /// summary per executed panel (workers share the sink via cloned
+    /// tracers); completed-work deltas also feed the process-global
+    /// `core.*` counters. Span-derived totals equal
+    /// [`Backend::op_count`] exactly: failed operations emit no end
+    /// event and bump nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The underlying unit (e.g. for fault telemetry).
@@ -320,6 +419,7 @@ fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// aborts and telemetry from surviving workers is never lost.
 fn mmo_parallel<U: MmoUnit + Send>(
     parent: &mut U,
+    tracer: &Tracer,
     shards: Vec<U>,
     op: OpKind,
     (a, b, c): (&Matrix, &Matrix, &Matrix),
@@ -332,12 +432,14 @@ fn mmo_parallel<U: MmoUnit + Send>(
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(panels.len());
         let mut rest: &mut [f32] = d.as_mut_slice();
-        for (panel, mut shard) in panels.into_iter().zip(shards) {
+        for (panel_idx, (panel, mut shard)) in panels.into_iter().zip(shards).enumerate() {
             let rows = grid.panel_rows(&panel);
             let (slab, tail) = std::mem::take(&mut rest).split_at_mut(rows.len() * grid.n);
             rest = tail;
+            let worker_tracer = tracer.clone();
             handles.push(s.spawn(move || {
                 let count = run_panel(&mut shard, op, (a, b, c), grid, panel, slab);
+                emit_tile_panel(&worker_tracer, panel_idx, rows.len(), count);
                 (count, shard)
             }));
         }
@@ -392,36 +494,50 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         self.unit.begin_matrix_mmo();
         let workers = self.parallelism.worker_count();
-        if workers > 1 && grid.m_tiles > 1 {
-            let panels = grid.row_panels(workers);
-            let shards: Option<Vec<U>> = panels.iter().map(|_| self.unit.shard()).collect();
-            if let Some(shards) = shards {
-                let (d, count) =
-                    mmo_parallel(&mut self.unit, shards, op, (a, b, c), &grid, panels)?;
-                self.count += count;
-                self.count.matrix_mmos += 1;
-                return Ok(d);
+        begin_mmo(&self.tracer, op, &grid, workers);
+        let mut delta;
+        let d;
+        'done: {
+            if workers > 1 && grid.m_tiles > 1 {
+                let panels = grid.row_panels(workers);
+                let shards: Option<Vec<U>> = panels.iter().map(|_| self.unit.shard()).collect();
+                if let Some(shards) = shards {
+                    let (dp, count) = mmo_parallel(
+                        &mut self.unit,
+                        &self.tracer,
+                        shards,
+                        op,
+                        (a, b, c),
+                        &grid,
+                        panels,
+                    )?;
+                    d = dp;
+                    delta = count;
+                    break 'done;
+                }
             }
+            // Sequential schedule: the whole grid is one panel (row slab
+            // starting at element row 0), executed in the exact Figure 6
+            // loop order `run_panel` preserves — bit-identical to the
+            // panel-parallel schedule and to the pre-unification loop.
+            let mut ds = Matrix::zeros(grid.m, grid.n);
+            let panel = 0..grid.m_tiles;
+            let rows = grid.panel_rows(&panel).len();
+            let count = run_panel(
+                &mut self.unit,
+                op,
+                (a, b, c),
+                &grid,
+                panel,
+                ds.as_mut_slice(),
+            );
+            emit_tile_panel(&self.tracer, 0, rows, count);
+            d = ds;
+            delta = count;
         }
-        let mut d = Matrix::zeros(a.rows(), b.cols());
-        for (ti, tj) in grid.output_coords() {
-            // Accumulate across the k tiles, starting from the C tile —
-            // exactly the Figure 6 inner loop.
-            let mut acc = tiling::load_c_tile::<ISA_TILE>(op, c, ti, tj);
-            self.count.tile_loads += 1;
-            for tk in 0..grid.k_tiles {
-                let at = tiling::load_a_tile::<ISA_TILE>(op, a, ti, tk);
-                let bt = tiling::load_b_tile::<ISA_TILE>(op, b, tk, tj);
-                acc = self
-                    .unit
-                    .execute_tile_at(TileCoord::new(ti, tj, tk), op, &at, &bt, &acc);
-                self.count.tile_loads += 2;
-                self.count.tile_mmos += 1;
-            }
-            tiling::store_d_tile(&mut d, &acc, ti, tj);
-            self.count.tile_stores += 1;
-        }
-        self.count.matrix_mmos += 1;
+        delta.matrix_mmos = 1;
+        self.count += delta;
+        finish_mmo(&self.tracer, op, delta);
         Ok(d)
     }
 
@@ -458,12 +574,18 @@ pub struct IsaBackend {
     exec_stats: ExecStats,
     injector: Option<Box<dyn FaultInjector>>,
     abft: Option<AbftConfig>,
+    tracer: Tracer,
 }
 
 impl IsaBackend {
     /// Creates the backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry tracer emitting [`span::MMO`] spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Cumulative ISA-level execution statistics.
@@ -519,6 +641,7 @@ impl Backend for IsaBackend {
         reference::check_mmo_shapes(a, b, c)?;
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let grid = TileGrid::new(m, n, k, ISA_TILE);
+        begin_mmo(&self.tracer, op, &grid, 1);
         let pads = tiling::pad_values(op);
         let (mp, np, kp) = (
             grid.m_tiles * ISA_TILE,
@@ -603,10 +726,14 @@ impl Backend for IsaBackend {
             self.injector = Some(injector);
         }
         let stats = run?;
-        self.count.matrix_mmos += 1;
-        self.count.tile_mmos += stats.total_mmos();
-        self.count.tile_loads += stats.loads;
-        self.count.tile_stores += stats.stores;
+        let delta = OpCount {
+            matrix_mmos: 1,
+            tile_mmos: stats.total_mmos(),
+            tile_loads: stats.loads,
+            tile_stores: stats.stores,
+        };
+        self.count += delta;
+        finish_mmo(&self.tracer, op, delta);
         self.exec_stats.loads += stats.loads;
         self.exec_stats.stores += stats.stores;
         self.exec_stats.fills += stats.fills;
@@ -840,6 +967,77 @@ mod tests {
         assert!(err.to_string().contains(PANIC_PROBE_PAYLOAD));
         // A failed mmo contributes no completed-work counters.
         assert_eq!(be.op_count(), OpCount::default());
+    }
+
+    #[test]
+    fn span_totals_equal_op_count_on_both_schedules() {
+        use simd2_trace::RingSink;
+        let op = OpKind::MaxMul;
+        let (a, b, c) = operands(op, 70, 23, 37); // ragged, 5 tile rows
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let ring = RingSink::shared();
+            let mut be =
+                TiledBackend::with_parallelism(parallelism).with_tracer(Tracer::to(ring.clone()));
+            be.mmo(op, &a, &b, &c).unwrap();
+            be.mmo(op, &a, &b, &c).unwrap();
+            let events = ring.events();
+            let sum = |span_name: &str, key: &str| -> u64 {
+                events
+                    .iter()
+                    .filter(|e| e.span == span_name && e.kind == simd2_trace::EventKind::End)
+                    .map(|e| e.u64(key).unwrap())
+                    .sum()
+            };
+            let count = be.op_count();
+            // Per-op (mmo spans) and per-worker (tile_panel spans)
+            // totals both reproduce the OpCount merge exactly.
+            for key in ["tile_mmos", "tile_loads", "tile_stores"] {
+                let want = match key {
+                    "tile_mmos" => count.tile_mmos,
+                    "tile_loads" => count.tile_loads,
+                    _ => count.tile_stores,
+                };
+                assert_eq!(sum(span::MMO, key), want, "{parallelism:?} mmo {key}");
+                assert_eq!(
+                    sum(span::TILE_PANEL, key),
+                    want,
+                    "{parallelism:?} tile_panel {key}"
+                );
+            }
+            let mmo_ends = events
+                .iter()
+                .filter(|e| e.span == span::MMO && e.kind == simd2_trace::EventKind::End)
+                .count() as u64;
+            assert_eq!(mmo_ends, count.matrix_mmos);
+            // Sequential schedules emit exactly one panel per mmo.
+            if parallelism == Parallelism::Sequential {
+                let panels = events.iter().filter(|e| e.span == span::TILE_PANEL).count();
+                assert_eq!(panels, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_mmo_emits_no_end_event() {
+        use simd2_fault::PanicProbeUnit;
+        use simd2_trace::RingSink;
+        let op = OpKind::PlusMul;
+        let (a, b, c) = operands(op, 70, 23, 37);
+        let ring = RingSink::shared();
+        let mut be = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 2))
+            .with_tracer(Tracer::to(ring.clone()));
+        be.set_parallelism(Parallelism::Threads(4));
+        be.mmo(op, &a, &b, &c).unwrap_err();
+        let events = ring.events();
+        assert!(events
+            .iter()
+            .any(|e| e.span == span::MMO && e.kind == simd2_trace::EventKind::Begin));
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.span == span::MMO && e.kind == simd2_trace::EventKind::End),
+            "a panicked mmo must not report completed work"
+        );
     }
 
     #[test]

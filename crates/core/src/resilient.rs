@@ -16,9 +16,19 @@ use simd2_fault::abft::{self, AbftConfig};
 use simd2_matrix::Matrix;
 use simd2_mxu::PrecisionMode;
 use simd2_semiring::OpKind;
+use simd2_trace::{field, span, Counter, Tracer};
 
 use crate::backend::{Backend, OpCount, ReferenceBackend};
 use crate::error::BackendError;
+
+/// Process-global count of ABFT corruption detections.
+static DETECTIONS: Counter = Counter::new("resilient.detections");
+/// Process-global count of recovery re-executions.
+static RETRIES: Counter = Counter::new("resilient.retries");
+/// Process-global count of reference-backend fallbacks.
+static FALLBACKS: Counter = Counter::new("resilient.fallbacks");
+/// Process-global count of contained worker panics.
+static WORKER_PANICS: Counter = Counter::new("resilient.worker_panics");
 
 /// What to do when verification detects a corrupted result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +92,13 @@ pub struct RecoveryStats {
 }
 
 /// A [`Backend`] decorator adding ABFT verification and recovery.
+///
+/// With a [`Tracer`] attached ([`set_tracer`](Self::set_tracer)), every
+/// [`RecoveryStats`] increment also emits a [`span::RECOVERY`] instant
+/// event carrying a `stage` field (`mmo`, `verified`, `detection`,
+/// `retry`, `retry_success`, `fallback`, `worker_panic`,
+/// `panic_recovery`) — event counts per stage reproduce the stats
+/// struct exactly.
 #[derive(Clone, Debug)]
 pub struct ResilientBackend<B: Backend> {
     inner: B,
@@ -89,6 +106,7 @@ pub struct ResilientBackend<B: Backend> {
     policy: RecoveryPolicy,
     abft: AbftConfig,
     stats: RecoveryStats,
+    tracer: Tracer,
 }
 
 impl<B: Backend> ResilientBackend<B> {
@@ -105,7 +123,47 @@ impl<B: Backend> ResilientBackend<B> {
             policy,
             abft,
             stats: RecoveryStats::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a telemetry tracer to the recovery layer and to the
+    /// internal reference fallback (so fallback executions emit
+    /// [`span::MMO`] spans into the same sink). The *inner* backend's
+    /// tracer is the caller's to set via [`inner_mut`](Self::inner_mut).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fallback.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Emits one [`span::RECOVERY`] stage event.
+    fn note(&self, op: OpKind, stage: &'static str) {
+        self.tracer.instant(
+            span::RECOVERY,
+            &[field("stage", stage), field("op", op.name())],
+        );
+    }
+
+    /// A detection event plus its process-global counter.
+    fn note_detection(&self, op: OpKind) {
+        if self.tracer.enabled() {
+            DETECTIONS.add(1);
+        }
+        self.note(op, "detection");
+    }
+
+    /// A contained-worker-panic event plus its process-global counter.
+    fn note_worker_panic(&self, op: OpKind) {
+        if self.tracer.enabled() {
+            WORKER_PANICS.add(1);
+        }
+        self.note(op, "worker_panic");
     }
 
     /// The wrapped backend.
@@ -183,6 +241,7 @@ impl<B: Backend> Backend for ResilientBackend<B> {
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
         self.stats.mmos += 1;
+        self.note(op, "mmo");
         // Once a worker panic is seen, every further attempt for this
         // operation runs on the sequential schedule, where panel workers
         // (and therefore worker panics) do not exist.
@@ -190,25 +249,31 @@ impl<B: Backend> Backend for ResilientBackend<B> {
         let mut last = match self.attempt(op, a, b, c, sequential) {
             Ok(d) => {
                 self.stats.verified += 1;
+                self.note(op, "verified");
                 return Ok(d);
             }
             Err(e) if e.is_corruption() => {
                 self.stats.detections += 1;
+                self.note_detection(op);
                 e
             }
             Err(e) if e.is_worker_panic() => {
                 // Panic-containment recovery arm: re-execute immediately
                 // on the sequential schedule.
                 self.stats.worker_panics += 1;
+                self.note_worker_panic(op);
                 sequential = true;
                 match self.attempt(op, a, b, c, sequential) {
                     Ok(d) => {
                         self.stats.verified += 1;
                         self.stats.panic_recoveries += 1;
+                        self.note(op, "verified");
+                        self.note(op, "panic_recovery");
                         return Ok(d);
                     }
                     Err(e2) if e2.is_corruption() => {
                         self.stats.detections += 1;
+                        self.note_detection(op);
                         e2
                     }
                     Err(e2) => return Err(e2),
@@ -220,18 +285,26 @@ impl<B: Backend> Backend for ResilientBackend<B> {
         };
         for _ in 0..self.policy.retry_attempts() {
             self.stats.retries += 1;
+            if self.tracer.enabled() {
+                RETRIES.add(1);
+            }
+            self.note(op, "retry");
             match self.attempt(op, a, b, c, sequential) {
                 Ok(d) => {
                     self.stats.verified += 1;
                     self.stats.retry_successes += 1;
+                    self.note(op, "verified");
+                    self.note(op, "retry_success");
                     return Ok(d);
                 }
                 Err(e) if e.is_corruption() => {
                     self.stats.detections += 1;
+                    self.note_detection(op);
                     last = e;
                 }
                 Err(e) if e.is_worker_panic() => {
                     self.stats.worker_panics += 1;
+                    self.note_worker_panic(op);
                     sequential = true;
                     last = e;
                 }
@@ -240,8 +313,13 @@ impl<B: Backend> Backend for ResilientBackend<B> {
         }
         if self.policy.falls_back() {
             self.stats.fallbacks += 1;
+            if self.tracer.enabled() {
+                FALLBACKS.add(1);
+            }
+            self.note(op, "fallback");
             let d = self.fallback.mmo(op, a, b, c)?;
             self.stats.verified += 1;
+            self.note(op, "verified");
             return Ok(d);
         }
         Err(last)
@@ -442,6 +520,66 @@ mod tests {
             "every injected NaN fault is detected"
         );
         assert!(s.verified == 1);
+    }
+
+    #[test]
+    fn recovery_events_reproduce_the_stats_struct() {
+        use simd2_trace::RingSink;
+        let ring = RingSink::shared();
+        let (a, b, c) = operands(OpKind::MaxMin, 20);
+        let mut be = ResilientBackend::new(
+            faulty_tiled(7, 1_000_000),
+            RecoveryPolicy::RetryThenFallback { attempts: 2 },
+        )
+        .with_tracer(Tracer::to(ring.clone()));
+        be.mmo(OpKind::MaxMin, &a, &b, &c).unwrap();
+        let events = ring.events();
+        let stage_count = |stage: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.is_stage(span::RECOVERY, stage))
+                .count() as u64
+        };
+        let s = be.recovery_stats();
+        assert_eq!(stage_count("mmo"), s.mmos);
+        assert_eq!(stage_count("verified"), s.verified);
+        assert_eq!(stage_count("detection"), s.detections);
+        assert_eq!(stage_count("retry"), s.retries);
+        assert_eq!(stage_count("retry_success"), s.retry_successes);
+        assert_eq!(stage_count("fallback"), s.fallbacks);
+        assert_eq!(stage_count("worker_panic"), s.worker_panics);
+        assert_eq!(stage_count("panic_recovery"), s.panic_recoveries);
+        assert!(s.detections > 0 && s.fallbacks == 1);
+        // The internal reference fallback shares the sink: its execution
+        // shows up as an mmo span.
+        assert!(events
+            .iter()
+            .any(|e| e.span == span::MMO && e.kind == simd2_trace::EventKind::End));
+    }
+
+    #[test]
+    fn panic_recovery_emits_stage_events() {
+        use crate::backend::Parallelism;
+        use simd2_fault::PanicProbeUnit;
+        use simd2_trace::RingSink;
+        let ring = RingSink::shared();
+        let (a, b, c) = operands(OpKind::PlusMul, 70);
+        let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 2));
+        inner.set_parallelism(Parallelism::Threads(4));
+        let mut be = ResilientBackend::new(inner, RecoveryPolicy::FailFast)
+            .with_tracer(Tracer::to(ring.clone()));
+        be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        let events = ring.events();
+        let stage_count = |stage: &str| {
+            events
+                .iter()
+                .filter(|e| e.is_stage(span::RECOVERY, stage))
+                .count() as u64
+        };
+        let s = be.recovery_stats();
+        assert_eq!(stage_count("worker_panic"), s.worker_panics);
+        assert_eq!(stage_count("panic_recovery"), s.panic_recoveries);
+        assert_eq!(s.panic_recoveries, 1);
     }
 
     #[test]

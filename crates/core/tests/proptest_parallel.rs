@@ -16,6 +16,7 @@ use simd2_fault::{
 use simd2_matrix::Matrix;
 use simd2_mxu::Simd2Unit;
 use simd2_semiring::{OpKind, ALL_OPS};
+use simd2_trace::{span, Event, EventKind, RingSink, Tracer};
 
 fn op_strategy() -> impl Strategy<Value = OpKind> {
     (0..ALL_OPS.len()).prop_map(|i| ALL_OPS[i])
@@ -41,6 +42,34 @@ fn operand(op: OpKind, raw: u16) -> f32 {
 fn matrix_strategy(op: OpKind, rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(any::<u16>(), rows * cols)
         .prop_map(move |vals| Matrix::from_fn(rows, cols, |r, c| operand(op, vals[r * cols + c])))
+}
+
+/// Rebuilds an [`OpCount`] from a run's `mmo` span-end events.
+fn mmo_totals(events: &[Event]) -> OpCount {
+    let mut c = OpCount::default();
+    for e in events {
+        if e.span == span::MMO && e.kind == EventKind::End {
+            c.matrix_mmos += 1;
+            c.tile_mmos += e.u64("tile_mmos").unwrap_or(0);
+            c.tile_loads += e.u64("tile_loads").unwrap_or(0);
+            c.tile_stores += e.u64("tile_stores").unwrap_or(0);
+        }
+    }
+    c
+}
+
+/// Sums the per-worker `tile_panel` span summaries (no matrix_mmos —
+/// panels are fractions of one mmo).
+fn panel_totals(events: &[Event]) -> OpCount {
+    let mut c = OpCount::default();
+    for e in events {
+        if e.span == span::TILE_PANEL && e.kind == EventKind::End {
+            c.tile_mmos += e.u64("tile_mmos").unwrap_or(0);
+            c.tile_loads += e.u64("tile_loads").unwrap_or(0);
+            c.tile_stores += e.u64("tile_stores").unwrap_or(0);
+        }
+    }
+    c
 }
 
 proptest! {
@@ -135,6 +164,57 @@ proptest! {
             prop_assert_eq!(&log_seq, &log_par, "workers={}", workers);
             prop_assert_eq!(inj_seq, inj_par, "workers={}", workers);
             prop_assert_eq!(count_seq, count_par, "workers={}", workers);
+        }
+    }
+
+    /// Telemetry lock-step: span-derived totals equal the backend's own
+    /// [`Backend::op_count`] *exactly* — over all nine ops × non-square
+    /// shapes × worker counts {1, 2, 4, 8} — and the sequential and
+    /// parallel schedules emit identical counter totals (the parallel
+    /// event *order* may differ; the totals may not).
+    #[test]
+    fn span_totals_equal_op_count_across_schedules(
+        op in op_strategy(),
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+        let a = matrix_strategy(op, m, k).new_tree(&mut runner).unwrap().current();
+        let b = matrix_strategy(op, k, n).new_tree(&mut runner).unwrap().current();
+        let c = matrix_strategy(op, m, n).new_tree(&mut runner).unwrap().current();
+
+        let run = |par: Parallelism| -> (Vec<Event>, OpCount) {
+            let ring = RingSink::shared();
+            let mut be = TiledBackend::new().with_tracer(Tracer::to(ring.clone()));
+            be.set_parallelism(par);
+            be.mmo(op, &a, &b, &c).unwrap();
+            assert_eq!(ring.dropped(), 0, "telemetry ring overflowed");
+            (ring.events(), be.op_count())
+        };
+
+        let (seq_events, seq_count) = run(Parallelism::Sequential);
+        let seq_mmo = mmo_totals(&seq_events);
+        let seq_panels = panel_totals(&seq_events);
+        prop_assert_eq!(seq_mmo, seq_count, "sequential mmo spans vs op_count");
+        prop_assert_eq!(
+            (seq_panels.tile_mmos, seq_panels.tile_loads, seq_panels.tile_stores),
+            (seq_count.tile_mmos, seq_count.tile_loads, seq_count.tile_stores),
+            "sequential panel spans vs op_count"
+        );
+
+        for workers in [1usize, 2, 4, 8] {
+            let (par_events, par_count) = run(Parallelism::Threads(workers));
+            prop_assert_eq!(par_count, seq_count, "workers={}", workers);
+            let par_mmo = mmo_totals(&par_events);
+            prop_assert_eq!(par_mmo, par_count, "mmo spans, workers={}", workers);
+            let par_panels = panel_totals(&par_events);
+            prop_assert_eq!(
+                (par_panels.tile_mmos, par_panels.tile_loads, par_panels.tile_stores),
+                (par_count.tile_mmos, par_count.tile_loads, par_count.tile_stores),
+                "panel spans, workers={}", workers
+            );
         }
     }
 

@@ -31,8 +31,14 @@ use std::collections::VecDeque;
 use simd2_matrix::Tile;
 use simd2_mxu::{PrecisionMode, Simd2Unit};
 use simd2_semiring::OpKind;
+use simd2_trace::{field, span, Counter, Tracer};
 
 use crate::plan::{mix, FaultKind, FaultPlan, MXU_GRID};
+
+/// Process-global count of injected faults (all injectors, all kinds).
+static INJECTED_FAULTS: Counter = Counter::new("fault.injected");
+/// Process-global count of fault-log ring-buffer evictions.
+static LOG_DROPPED: Counter = Counter::new("fault.log_dropped");
 
 /// Grid coordinates of one tile-level mmo within a whole-matrix
 /// operation: output tile `(ti, tj)`, reduction step `tk`.
@@ -242,7 +248,14 @@ pub const DEFAULT_LOG_CAPACITY: usize = 65_536;
 /// fault log is a bounded ring: once `capacity` entries are retained the
 /// oldest are evicted (counted in [`dropped`](FaultInjector::dropped)),
 /// so the injector never grows without limit.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// With a [`Tracer`] attached (see
+/// [`set_tracer`](PlannedInjector::set_tracer)), every injection emits a
+/// [`span::FAULT`] instant event (`stage = "injected"`, with the site
+/// key, coordinate address, op, and fault kind) and every ring eviction
+/// emits `stage = "dropped"` — so the previously injector-private
+/// `dropped` total is visible in the telemetry stream.
+#[derive(Clone, Debug)]
 pub struct PlannedInjector {
     plan: FaultPlan,
     mmo_seq: u64,
@@ -253,6 +266,23 @@ pub struct PlannedInjector {
     dropped: u64,
     capacity: usize,
     log: VecDeque<FaultLogEntry>,
+    tracer: Tracer,
+}
+
+impl PartialEq for PlannedInjector {
+    /// Telemetry wiring is not part of an injector's logical state:
+    /// equality compares the plan, site cursors, counters, and log.
+    fn eq(&self, other: &Self) -> bool {
+        self.plan == other.plan
+            && self.mmo_seq == other.mmo_seq
+            && self.next_mmo_site == other.next_mmo_site
+            && self.next_store_site == other.next_store_site
+            && self.mmo_sites == other.mmo_sites
+            && self.injected == other.injected
+            && self.dropped == other.dropped
+            && self.capacity == other.capacity
+            && self.log == other.log
+    }
 }
 
 impl PlannedInjector {
@@ -274,7 +304,25 @@ impl PlannedInjector {
             dropped: 0,
             capacity: capacity.max(1),
             log: VecDeque::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a telemetry tracer. Shards taken after this call share
+    /// it, so parallel campaigns stream into one sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The plan driving this injector.
@@ -304,10 +352,52 @@ impl PlannedInjector {
 
     fn push_log(&mut self, entry: FaultLogEntry) {
         if self.log.len() == self.capacity {
-            self.log.pop_front();
+            let evicted = self.log.pop_front();
             self.dropped += 1;
+            if self.tracer.enabled() {
+                LOG_DROPPED.add(1);
+                let site = evicted.map_or(0, |e| e.site);
+                self.tracer.instant(
+                    span::FAULT,
+                    &[field("stage", "dropped"), field("site", site)],
+                );
+            }
         }
         self.log.push_back(entry);
+    }
+
+    /// Emits the `stage = "injected"` telemetry event for `entry`.
+    fn emit_injected(&self, entry: &FaultLogEntry) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        INJECTED_FAULTS.add(1);
+        let op = entry.op.map_or("store", |op| op.name());
+        let kind = entry.kind.label();
+        match entry.coord {
+            Some(c) => self.tracer.instant(
+                span::FAULT,
+                &[
+                    field("stage", "injected"),
+                    field("site", entry.site),
+                    field("op", op),
+                    field("fault_kind", kind),
+                    field("mmo_seq", c.mmo_seq),
+                    field("ti", c.ti),
+                    field("tj", c.tj),
+                    field("tk", c.tk),
+                ],
+            ),
+            None => self.tracer.instant(
+                span::FAULT,
+                &[
+                    field("stage", "injected"),
+                    field("site", entry.site),
+                    field("op", op),
+                    field("fault_kind", kind),
+                ],
+            ),
+        }
     }
 }
 
@@ -319,12 +409,14 @@ impl FaultInjector for PlannedInjector {
         let kind = self.plan.fault_for_mmo_site(site, n)?;
         apply_to_tile(kind, d, n);
         self.injected += 1;
-        self.push_log(FaultLogEntry {
+        let entry = FaultLogEntry {
             site,
             coord: None,
             op: Some(op),
             kind,
-        });
+        };
+        self.emit_injected(&entry);
+        self.push_log(entry);
         Some(kind)
     }
 
@@ -346,12 +438,14 @@ impl FaultInjector for PlannedInjector {
         let kind = self.plan.fault_for_mmo_site(site, n)?;
         apply_to_tile(kind, d, n);
         self.injected += 1;
-        self.push_log(FaultLogEntry {
+        let entry = FaultLogEntry {
             site,
             coord: Some(coord),
             op: Some(op),
             kind,
-        });
+        };
+        self.emit_injected(&entry);
+        self.push_log(entry);
         Some(kind)
     }
 
@@ -365,12 +459,14 @@ impl FaultInjector for PlannedInjector {
         let kind = self.plan.fault_for_mem_site(site, memory.len())?;
         apply_to_memory(kind, memory);
         self.injected += 1;
-        self.push_log(FaultLogEntry {
+        let entry = FaultLogEntry {
             site,
             coord: None,
             op: None,
             kind,
-        });
+        };
+        self.emit_injected(&entry);
+        self.push_log(entry);
         Some(kind)
     }
 
@@ -403,6 +499,7 @@ impl ShardableInjector for PlannedInjector {
             dropped: 0,
             capacity: self.capacity,
             log: VecDeque::new(),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -919,6 +1016,51 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.starts_with(PANIC_PROBE_PAYLOAD), "{msg}");
+    }
+
+    #[test]
+    fn telemetry_events_match_injector_counters() {
+        let ring = simd2_trace::RingSink::shared();
+        let mut inj = PlannedInjector::with_log_capacity(always_plan(), 4)
+            .with_tracer(Tracer::to(ring.clone()));
+        inj.begin_matrix_mmo();
+        for tk in 0..10usize {
+            let mut d = vec![1.0f32; 256];
+            inj.inject_mmo_at(TileCoord::new(0, 0, tk), OpKind::MinPlus, &mut d, 16);
+        }
+        let events = ring.events();
+        let injected = events
+            .iter()
+            .filter(|e| e.is_stage(span::FAULT, "injected"))
+            .count() as u64;
+        let dropped = events
+            .iter()
+            .filter(|e| e.is_stage(span::FAULT, "dropped"))
+            .count() as u64;
+        assert_eq!(injected, inj.injected());
+        assert_eq!(dropped, inj.dropped());
+        assert!(dropped > 0, "capacity 4 with 10 full-rate injections");
+        // Injected events carry the coordinate address and kind label.
+        let first = events
+            .iter()
+            .find(|e| e.is_stage(span::FAULT, "injected"))
+            .unwrap();
+        assert_eq!(first.u64("mmo_seq"), Some(1));
+        assert!(first.str_value("fault_kind").is_some());
+        assert_eq!(first.str_value("op"), Some(OpKind::MinPlus.name()));
+    }
+
+    #[test]
+    fn shards_share_the_parent_tracer() {
+        let ring = simd2_trace::RingSink::shared();
+        let mut parent = PlannedInjector::new(always_plan()).with_tracer(Tracer::to(ring.clone()));
+        parent.begin_matrix_mmo();
+        let mut shard = parent.shard();
+        let mut d = vec![1.0f32; 256];
+        shard.inject_mmo_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &mut d, 16);
+        assert_eq!(ring.len(), 1, "shard events land in the parent sink");
+        parent.absorb(shard);
+        assert_eq!(parent.injected(), 1);
     }
 
     #[test]

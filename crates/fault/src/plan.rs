@@ -117,6 +117,16 @@ impl FaultKind {
             FaultKind::MemBitFlip { .. } => FaultClass::MemCorruption,
         }
     }
+
+    /// A static label for telemetry fields.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::BitFlip { .. } => "bit_flip",
+            FaultKind::StuckLane { .. } => "stuck_lane",
+            FaultKind::TransientNan { .. } => "transient_nan",
+            FaultKind::MemBitFlip { .. } => "mem_bit_flip",
+        }
+    }
 }
 
 impl fmt::Display for FaultKind {

@@ -23,6 +23,18 @@
 
 use simd2_isa::Instruction;
 use simd2_mxu::timing::UnitTiming;
+use simd2_trace::{field, span, Counter, Tracer};
+
+/// Process-global instructions issued by traced pipelines.
+static GPU_INSTRUCTIONS: Counter = Counter::new("gpu.instructions");
+/// Process-global `simd2.mmo` instructions issued by traced pipelines.
+static GPU_MMOS: Counter = Counter::new("gpu.mmos");
+/// Process-global dependency-stall slots in traced pipelines.
+static GPU_DEPENDENCY_STALLS: Counter = Counter::new("gpu.dependency_stalls");
+/// Process-global structural-stall slots in traced pipelines.
+static GPU_STRUCTURAL_STALLS: Counter = Counter::new("gpu.structural_stalls");
+/// Process-global simulated cycles in traced pipelines.
+static GPU_CYCLES: Counter = Counter::new("gpu.cycles");
 
 /// Latency (cycles) from LSU issue until a loaded tile register is ready.
 pub const SHARED_MEM_LATENCY: u32 = 24;
@@ -121,6 +133,7 @@ fn deps(instr: &Instruction) -> (Vec<usize>, Option<usize>) {
 #[derive(Clone, Debug)]
 pub struct SmPipeline {
     unit: UnitTiming,
+    tracer: Tracer,
 }
 
 impl Default for SmPipeline {
@@ -134,12 +147,30 @@ impl SmPipeline {
     pub fn new() -> Self {
         Self {
             unit: UnitTiming::simd2_4x4(),
+            tracer: Tracer::off(),
         }
     }
 
     /// A pipeline around a custom unit timing (tile-shape ablations).
     pub fn with_unit(unit: UnitTiming) -> Self {
-        Self { unit }
+        Self {
+            unit,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Attaches a telemetry tracer: every [`simulate`](Self::simulate)
+    /// drain emits one [`span::PIPELINE`] instant event carrying the
+    /// issue/stall/cycle statistics and feeds the process-global `gpu.*`
+    /// counters.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Cycles one ISA-level 16×16×16 `mmo` occupies the SIMD² unit.
@@ -263,6 +294,26 @@ impl SmPipeline {
             cycle += 1;
         }
         stats.cycles = last_retire.max(cycle);
+        if self.tracer.enabled() {
+            GPU_INSTRUCTIONS.add(stats.instructions);
+            GPU_MMOS.add(stats.mmos);
+            GPU_DEPENDENCY_STALLS.add(stats.dependency_stalls);
+            GPU_STRUCTURAL_STALLS.add(stats.structural_stalls);
+            GPU_CYCLES.add(stats.cycles);
+            self.tracer.instant(
+                span::PIPELINE,
+                &[
+                    field("warps", warp_programs.len()),
+                    field("cycles", stats.cycles),
+                    field("instructions", stats.instructions),
+                    field("mmos", stats.mmos),
+                    field("simd2_busy", stats.simd2_busy),
+                    field("lsu_busy", stats.lsu_busy),
+                    field("dependency_stalls", stats.dependency_stalls),
+                    field("structural_stalls", stats.structural_stalls),
+                ],
+            );
+        }
         stats
     }
 }
@@ -399,6 +450,25 @@ mod tests {
         assert_eq!(stats.simd2_busy, 64);
         // loads (latency) + mmo (latency) + store.
         assert!(stats.cycles > 64 + u64::from(SHARED_MEM_LATENCY));
+    }
+
+    #[test]
+    fn traced_pipeline_emits_its_stats_as_an_event() {
+        use simd2_trace::RingSink;
+        let ring = RingSink::shared();
+        let p = SmPipeline::new().with_tracer(Tracer::to(ring.clone()));
+        let prog = tile_mmo_program(OpKind::MinPlus, 4);
+        let stats = p.simulate(&[prog]);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.span, span::PIPELINE);
+        assert_eq!(e.u64("cycles"), Some(stats.cycles));
+        assert_eq!(e.u64("instructions"), Some(stats.instructions));
+        assert_eq!(e.u64("mmos"), Some(stats.mmos));
+        assert_eq!(e.u64("dependency_stalls"), Some(stats.dependency_stalls));
+        assert_eq!(e.u64("structural_stalls"), Some(stats.structural_stalls));
+        assert_eq!(e.u64("warps"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Structured telemetry events and their JSON-lines serialization.
+//!
+//! An [`Event`] is a span marker (begin/end) or an instant observation,
+//! carrying a flat list of key/value [`Field`]s. Keys and span names are
+//! `&'static str` so the emitting hot path never allocates; values are
+//! small [`Value`] scalars for the same reason. Sinks that *retain*
+//! events own-copy the borrowed field slice into an `Event`.
+//!
+//! The serialized form is one JSON object per line (`json_line`), the
+//! format [`crate::JsonLinesSink`] writes and the snapshot tests pin.
+
+use std::fmt::Write as _;
+
+/// A telemetry field value: a small copyable scalar.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (serialized as `null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (span stages, op names, labels).
+    Str(&'static str),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One key/value pair attached to an event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    /// Field name (static so emission never allocates).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+/// Builds a [`Field`] from anything convertible to a [`Value`].
+pub fn field(key: &'static str, value: impl Into<Value>) -> Field {
+    Field {
+        key,
+        value: value.into(),
+    }
+}
+
+/// Where in a span's lifetime an event sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Span entry.
+    Begin,
+    /// Span exit (carries the span's summary fields).
+    End,
+    /// A point observation with no duration.
+    Instant,
+}
+
+impl EventKind {
+    /// The serialized label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// An owned telemetry event, as retained by [`crate::RingSink`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Span (or instant-event) name, e.g. `"mmo"`.
+    pub span: &'static str,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Structured payload.
+    pub fields: Vec<Field>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes one `span`/`kind`/`fields` triple as a JSON object on a
+/// single line — shared by [`Event::json_line`] and the streaming
+/// [`crate::JsonLinesSink`] (which formats borrowed fields without ever
+/// materializing an [`Event`]).
+pub fn json_line_into(out: &mut String, span: &str, kind: EventKind, fields: &[Field]) {
+    out.push_str("{\"span\":\"");
+    escape_into(out, span);
+    out.push_str("\",\"kind\":\"");
+    out.push_str(kind.label());
+    out.push('"');
+    for f in fields {
+        out.push_str(",\"");
+        escape_into(out, f.key);
+        out.push_str("\":");
+        match f.value {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                // `{:?}` prints the shortest representation that
+                // round-trips, which is deterministic — snapshot-safe.
+                let _ = write!(out, "{v:?}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(v) => {
+                out.push('"');
+                escape_into(out, v);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+impl Event {
+    /// Builds an owned event from a borrowed field slice.
+    pub fn new(span: &'static str, kind: EventKind, fields: &[Field]) -> Self {
+        Self {
+            span,
+            kind,
+            fields: fields.to_vec(),
+        }
+    }
+
+    /// The value of field `key`, if present.
+    pub fn value(&self, key: &str) -> Option<Value> {
+        self.fields.iter().find(|f| f.key == key).map(|f| f.value)
+    }
+
+    /// The field `key` as a `u64` (`None` if absent or not an integer).
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        match self.value(key)? {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The field `key` as an `f64` (integers widen).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        match self.value(key)? {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The field `key` as a static string.
+    pub fn str_value(&self, key: &str) -> Option<&'static str> {
+        match self.value(key)? {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the event is `span` with a `"stage"` field equal to
+    /// `stage` — the common shape of recovery/fault instant events.
+    pub fn is_stage(&self, span: &str, stage: &str) -> bool {
+        self.span == span && self.str_value("stage") == Some(stage)
+    }
+
+    /// One-line JSON rendering (no trailing newline).
+    pub fn json_line(&self) -> String {
+        let mut out = String::with_capacity(48 + 16 * self.fields.len());
+        json_line_into(&mut out, self.span, self.kind, &self.fields);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_renders_every_value_kind() {
+        let e = Event::new(
+            "mmo",
+            EventKind::End,
+            &[
+                field("op", "min-plus"),
+                field("tile_mmos", 64u64),
+                field("delta", -3i64),
+                field("seconds", 0.25f64),
+                field("nan", f64::NAN),
+                field("ok", true),
+            ],
+        );
+        assert_eq!(
+            e.json_line(),
+            "{\"span\":\"mmo\",\"kind\":\"end\",\"op\":\"min-plus\",\
+             \"tile_mmos\":64,\"delta\":-3,\"seconds\":0.25,\"nan\":null,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn field_accessors() {
+        let e = Event::new(
+            "fault",
+            EventKind::Instant,
+            &[
+                field("stage", "injected"),
+                field("site", 42u64),
+                field("x", 1.5f64),
+            ],
+        );
+        assert_eq!(e.u64("site"), Some(42));
+        assert_eq!(e.str_value("stage"), Some("injected"));
+        assert_eq!(e.f64("x"), Some(1.5));
+        assert_eq!(e.f64("site"), Some(42.0));
+        assert_eq!(e.u64("missing"), None);
+        assert!(e.is_stage("fault", "injected"));
+        assert!(!e.is_stage("fault", "dropped"));
+        assert!(!e.is_stage("recovery", "injected"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        json_line_into(
+            &mut out,
+            "weird\"span",
+            EventKind::Instant,
+            &[field("k", "a\\b\nc")],
+        );
+        assert_eq!(
+            out,
+            "{\"span\":\"weird\\\"span\",\"kind\":\"instant\",\"k\":\"a\\\\b\\nc\"}"
+        );
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-1i64), Value::I64(-1));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+}

@@ -1,0 +1,323 @@
+//! Process-global atomic counters and fixed-bucket histograms.
+//!
+//! Metrics are `static`s registered by name on first use:
+//!
+//! ```
+//! use simd2_trace::Counter;
+//! static TILE_MMOS: Counter = Counter::new("core.tile_mmos");
+//! TILE_MMOS.add(64);
+//! assert!(TILE_MMOS.get() >= 64);
+//! ```
+//!
+//! Registration appends the metric to a global `Mutex<Vec<&'static _>>`
+//! exactly once per process (guarded by a relaxed flag, so the steady-
+//! state hot path is one atomic load + one `fetch_add` and never takes
+//! the lock). [`snapshot`] / [`snapshot_json`] enumerate everything
+//! ever touched. Counters are process-wide and monotonic; tests that
+//! need isolation assert on per-`Tracer` sink events instead (see the
+//! crate docs).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Global registry of every counter touched so far.
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+/// Global registry of every histogram touched so far.
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// A named, process-global, monotonically increasing counter.
+///
+/// Designed to live in a `static`; `add` is one relaxed load (the
+/// registration guard) plus one relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name` (call in a `static` initializer).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&'static self) -> &'static str {
+        self.name
+    }
+
+    fn register(&'static self) {
+        if self.registered.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut reg = COUNTERS.lock().unwrap();
+        // Re-check under the lock so racing first-bumps insert once.
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.push(self);
+        }
+    }
+
+    /// Adds `n` to the counter (registering it on first use).
+    pub fn add(&'static self, n: u64) {
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&'static self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: powers of two from 1 up to
+/// `2^62`, plus a catch-all final bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A named, process-global histogram with fixed power-of-two buckets.
+///
+/// `record(v)` lands `v` in bucket `64 - leading_zeros(v)` — bucket 0
+/// holds zeros, bucket 1 holds {1}, bucket 2 holds {2, 3}, and so on —
+/// so the bucket layout needs no configuration and merging is trivial.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new histogram named `name` (call in a `static` initializer).
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registered name.
+    pub fn name(&'static self) -> &'static str {
+        self.name
+    }
+
+    /// Index of the bucket value `v` falls in.
+    pub fn bucket_index(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    fn register(&'static self) {
+        if self.registered.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut reg = HISTOGRAMS.lock().unwrap();
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.push(self);
+        }
+    }
+
+    /// Records one observation of `v`.
+    pub fn record(&'static self, v: u64) {
+        self.register();
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&'static self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (wrapping on overflow).
+    pub fn sum(&'static self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the non-empty buckets as `(inclusive_bound, count)`.
+    pub fn buckets(&'static self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((Self::bucket_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+/// One counter's name and value, as returned by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram's summary, as returned by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty `(inclusive_bound, count)` buckets, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All counters touched so far.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms touched so far.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Snapshots every registered counter and histogram, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters: Vec<CounterSnapshot> = COUNTERS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| CounterSnapshot {
+            name: c.name,
+            value: c.value.load(Ordering::Relaxed),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+
+    let mut histograms: Vec<HistogramSnapshot> = HISTOGRAMS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| HistogramSnapshot {
+            name: h.name,
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            buckets: h.buckets(),
+        })
+        .collect();
+    histograms.sort_by_key(|h| h.name);
+
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Renders [`snapshot`] as a single JSON object:
+/// `{"counters":{name:value,...},"histograms":{name:{...},...}}`.
+pub fn snapshot_json() -> String {
+    use std::fmt::Write as _;
+    let snap = snapshot();
+    let mut out = String::from("{\"counters\":{");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name, c.value);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            h.name, h.count, h.sum
+        );
+        for (j, (bound, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bound},{n}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: Counter = Counter::new("test.metrics.counter");
+    static TEST_HIST: Histogram = Histogram::new("test.metrics.hist");
+
+    #[test]
+    fn counter_accumulates_and_registers_once() {
+        TEST_COUNTER.add(3);
+        TEST_COUNTER.add(4);
+        assert!(TEST_COUNTER.get() >= 7);
+        let snap = snapshot();
+        let matches: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "test.metrics.counter")
+            .collect();
+        assert_eq!(matches.len(), 1, "registered exactly once");
+        assert!(matches[0].value >= 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+
+        TEST_HIST.record(0);
+        TEST_HIST.record(5);
+        TEST_HIST.record(5);
+        assert!(TEST_HIST.count() >= 3);
+        assert!(TEST_HIST.sum() >= 10);
+        let buckets = TEST_HIST.buckets();
+        assert!(buckets.iter().any(|&(bound, n)| bound == 0 && n >= 1));
+        assert!(buckets.iter().any(|&(bound, n)| bound == 7 && n >= 2));
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        TEST_COUNTER.add(1);
+        TEST_HIST.record(2);
+        let json = snapshot_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.ends_with("}}"));
+        assert!(json.contains("\"test.metrics.counter\":"));
+        assert!(json.contains("\"test.metrics.hist\":{\"count\":"));
+    }
+}

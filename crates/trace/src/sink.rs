@@ -1,0 +1,264 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every event a [`crate::Tracer`] emits. The facade
+//! hands sinks a *borrowed* field slice so the disabled/`NullSink` path
+//! never allocates; sinks that retain events ([`RingSink`]) or format
+//! them ([`JsonLinesSink`]) pay for their own storage.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{json_line_into, Event, EventKind, Field};
+
+/// Receives telemetry events. Implementations must be `Send + Sync`:
+/// one sink instance is shared by every worker thread of a parallel
+/// backend.
+pub trait Sink: Send + Sync {
+    /// Handles one event. `fields` is borrowed from the emitter's stack;
+    /// copy it if the sink retains the event.
+    fn record(&self, span: &'static str, kind: EventKind, fields: &[Field]);
+}
+
+/// Discards every event. With this sink (or no sink at all) the
+/// per-event cost in instrumented code is one relaxed atomic load on
+/// the `Tracer::enabled` fast path — no allocation, no locking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _span: &'static str, _kind: EventKind, _fields: &[Field]) {}
+}
+
+/// A bounded in-memory event buffer for tests: keeps the most recent
+/// `capacity` events and counts evictions in `dropped`.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+/// Default [`RingSink`] capacity — large enough for every test in the
+/// repo to capture a full run without eviction.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+impl Default for RingSink {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (`capacity >= 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared default-capacity ring, ready to hand to `Tracer::to`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of events evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().unwrap().is_empty()
+    }
+
+    /// Drops all buffered events and resets the eviction counter.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// The buffered events rendered as JSON lines (one event per line,
+    /// trailing newline) — the exact format the snapshot tests pin.
+    pub fn json_lines(&self) -> String {
+        let events = self.events.lock().unwrap();
+        let mut out = String::new();
+        for e in events.iter() {
+            json_line_into(&mut out, e.span, e.kind, &e.fields);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, span: &'static str, kind: EventKind, fields: &[Field]) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(Event::new(span, kind, fields));
+    }
+}
+
+/// Streams events to a file as JSON lines (machine-readable export,
+/// conventionally under `results/telemetry/`). Parent directories are
+/// created on open; lines are buffered and flushed on drop (or
+/// explicitly via [`JsonLinesSink::flush`]).
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the JSONL file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().unwrap().flush()
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, span: &'static str, kind: EventKind, fields: &[Field]) {
+        let mut line = String::with_capacity(48 + 16 * fields.len());
+        json_line_into(&mut line, span, kind, fields);
+        line.push('\n');
+        // Telemetry export is best-effort: a full disk must not take the
+        // computation down with it.
+        let _ = self.writer.lock().unwrap().write_all(line.as_bytes());
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Broadcasts each event to every inner sink, in order. Lets a bench
+/// keep a [`RingSink`] for its report while also exporting a
+/// [`JsonLinesSink`] artifact from the same run.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, span: &'static str, kind: EventKind, fields: &[Field]) {
+        for sink in &self.sinks {
+            sink.record(span, kind, fields);
+        }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::field;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = RingSink::with_capacity(2);
+        for i in 0..5u64 {
+            ring.record("mmo", EventKind::Instant, &[field("i", i)]);
+        }
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.len(), 2);
+        let events = ring.events();
+        assert_eq!(events[0].u64("i"), Some(3));
+        assert_eq!(events[1].u64("i"), Some(4));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_json_lines_match_event_json() {
+        let ring = RingSink::default();
+        ring.record("mmo", EventKind::Begin, &[field("op", "min-plus")]);
+        ring.record("mmo", EventKind::End, &[field("tile_mmos", 8u64)]);
+        let expected: String = ring.events().iter().map(|e| e.json_line() + "\n").collect();
+        assert_eq!(ring.json_lines(), expected);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("simd2-trace-test");
+        let path = dir.join("events.jsonl");
+        let sink = JsonLinesSink::create(&path).unwrap();
+        sink.record("fault", EventKind::Instant, &[field("stage", "injected")]);
+        sink.record("fault", EventKind::Instant, &[field("stage", "dropped")]);
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"span\":\"fault\",\"kind\":\"instant\",\"stage\":\"injected\"}\n\
+             {\"span\":\"fault\",\"kind\":\"instant\",\"stage\":\"dropped\"}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = RingSink::shared();
+        let b = RingSink::shared();
+        let fan = FanoutSink::new(vec![a.clone() as Arc<dyn Sink>, b.clone() as Arc<dyn Sink>]);
+        fan.record("recovery", EventKind::Instant, &[field("stage", "retry")]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -15,9 +15,19 @@ if [ "${SIMD2_BENCH_SMOKE:-0}" = "1" ]; then
 fi
 
 # Optional: a short seeded slice of the randomized soak harness — checks
-# parallel/sequential bit identity, exact op accounting, and
-# detection-or-benign under fault injection and worker panics. Enable with
+# parallel/sequential bit identity, exact op accounting, telemetry
+# lock-step, and detection-or-benign under fault injection and worker
+# panics. Enable with
 #   SIMD2_SOAK_SMOKE=1 scripts/verify.sh
 if [ "${SIMD2_SOAK_SMOKE:-0}" = "1" ]; then
   cargo run --release -q -p simd2-bench --bin soak -- --seconds 5 --seed 2022
+fi
+
+# Optional: focused observability-layer checks — the simd2-trace unit
+# suite, the golden telemetry snapshot, and the NullSink zero-allocation
+# guard. Enable with
+#   SIMD2_TRACE_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_TRACE_SMOKE:-0}" = "1" ]; then
+  cargo test -q -p simd2-trace
+  cargo test -q --test telemetry_snapshot --test telemetry_overhead
 fi

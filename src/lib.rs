@@ -6,9 +6,11 @@
 
 pub use simd2 as core;
 pub use simd2_apps as apps;
+pub use simd2_fault as fault;
 pub use simd2_gpu as gpu;
 pub use simd2_isa as isa;
 pub use simd2_matrix as matrix;
 pub use simd2_mxu as mxu;
 pub use simd2_semiring as semiring;
 pub use simd2_sparse as sparse;
+pub use simd2_trace as trace;

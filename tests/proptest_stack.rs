@@ -1,11 +1,12 @@
 //! Property-based integration tests across the stack.
 
 use proptest::prelude::*;
-use simd2_repro::core::backend::{Backend, ReferenceBackend, TiledBackend};
+use simd2_repro::core::backend::{Backend, Parallelism, ReferenceBackend, TiledBackend};
 use simd2_repro::core::solve::{closure, floyd_warshall_closure, ClosureAlgorithm};
 use simd2_repro::matrix::{gen, Graph, Matrix};
 use simd2_repro::semiring::{OpKind, ALL_OPS};
 use simd2_repro::sparse::Csr;
+use simd2_repro::trace::{span, EventKind, RingSink, Tracer};
 
 fn closure_ops() -> impl Strategy<Value = OpKind> {
     prop_oneof![
@@ -121,6 +122,45 @@ proptest! {
             closure(&mut be, OpKind::MinPlus, &adj, ClosureAlgorithm::Leyzorek, false).unwrap();
         prop_assert_eq!(&with.closure, &without.closure);
         prop_assert!(with.stats.iterations <= without.stats.iterations);
+    }
+
+    /// Every backend's telemetry stream is an exact ledger: summing the
+    /// `mmo` span-end events reproduces [`Backend::op_count`] across all
+    /// nine ops, non-square shapes, and worker counts {1, 2, 4, 8}, and
+    /// the sequential and parallel schedules agree on totals.
+    #[test]
+    fn telemetry_totals_match_op_count(
+        op_idx in 0usize..9, m in 1usize..48, n in 1usize..48, k in 1usize..32,
+        seed in 0u64..1000
+    ) {
+        let op = ALL_OPS[op_idx];
+        let a = gen::random_operands_for(op, m, k, seed);
+        let b = gen::random_operands_for(op, k, n, seed ^ 0x5eed);
+        let c = Matrix::filled(m, n, op.reduce_identity_f32());
+        let run = |par: Parallelism| {
+            let ring = RingSink::shared();
+            let mut be = TiledBackend::new().with_tracer(Tracer::to(ring.clone()));
+            be.set_parallelism(par);
+            be.mmo(op, &a, &b, &c).unwrap();
+            let mut totals = (0u64, 0u64, 0u64, 0u64);
+            for e in ring.events() {
+                if e.span == span::MMO && e.kind == EventKind::End {
+                    totals.0 += 1;
+                    totals.1 += e.u64("tile_mmos").unwrap_or(0);
+                    totals.2 += e.u64("tile_loads").unwrap_or(0);
+                    totals.3 += e.u64("tile_stores").unwrap_or(0);
+                }
+            }
+            let count = be.op_count();
+            (totals, (count.matrix_mmos, count.tile_mmos, count.tile_loads, count.tile_stores))
+        };
+        let (seq_totals, seq_count) = run(Parallelism::Sequential);
+        prop_assert_eq!(seq_totals, seq_count, "{} sequential", op);
+        for workers in [1usize, 2, 4, 8] {
+            let (par_totals, par_count) = run(Parallelism::Threads(workers));
+            prop_assert_eq!(par_totals, par_count, "{} workers={}", op, workers);
+            prop_assert_eq!(par_totals, seq_totals, "{} workers={} vs sequential", op, workers);
+        }
     }
 
     /// The ISA instruction encoding round-trips arbitrary well-formed

@@ -1,0 +1,103 @@
+//! Overhead guard: with a [`NullSink`] the telemetry layer must add
+//! **zero** heap allocations to a tiled mmo relative to a disabled
+//! tracer. Event fields are borrowed stack slices and the process-global
+//! counters register themselves exactly once, so after a warmup pass
+//! the armed-but-null path and the disabled path must allocate
+//! identically.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`, and the measurement phases must not
+//! share the process with concurrently allocating tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simd2_repro::core::backend::{Backend, TiledBackend};
+use simd2_repro::matrix::{gen, Matrix};
+use simd2_repro::semiring::OpKind;
+use simd2_repro::trace::{NullSink, RingSink, Sink, Tracer};
+
+/// Counts allocation *events* (alloc/realloc/alloc_zeroed) on top of
+/// the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+/// The whole guard runs as one test so no other test in this binary
+/// can allocate concurrently with a measurement phase.
+#[test]
+fn null_sink_adds_zero_allocations_to_a_tiled_mmo() {
+    let op = OpKind::MinPlus;
+    let a = gen::random_operands_for(op, 64, 64, 7);
+    let b = gen::random_operands_for(op, 64, 64, 8);
+    let c = Matrix::filled(64, 64, op.reduce_identity_f32());
+
+    // Sequential schedule: worker threads would allocate stacks and
+    // drown the signal. All backends are built before measuring.
+    let mut off_be = TiledBackend::new();
+    let mut null_be = TiledBackend::new().with_tracer(Tracer::to(Arc::new(NullSink)));
+    let ring = RingSink::shared();
+    let mut ring_be = TiledBackend::new().with_tracer(Tracer::to(ring.clone() as Arc<dyn Sink>));
+
+    // Warmup: pays every one-time cost on both paths — lazily grown
+    // scratch, and (on the traced path) the global counters' one-shot
+    // registry insertion, which *does* allocate exactly once per
+    // counter.
+    off_be.mmo(op, &a, &b, &c).expect("warmup off");
+    null_be.mmo(op, &a, &b, &c).expect("warmup null");
+
+    let off = allocs_during(|| {
+        off_be.mmo(op, &a, &b, &c).expect("off mmo");
+    });
+    let null = allocs_during(|| {
+        null_be.mmo(op, &a, &b, &c).expect("null mmo");
+    });
+    assert!(off > 0, "a tiled mmo allocates its output matrix");
+    assert_eq!(
+        null, off,
+        "NullSink telemetry must add zero allocations to the mmo path"
+    );
+
+    // Sanity check on the measurement itself: a buffering sink *does*
+    // allocate (it stores owned events), so the meter can tell the
+    // difference.
+    ring_be.mmo(op, &a, &b, &c).expect("warmup ring");
+    let buffered = allocs_during(|| {
+        ring_be.mmo(op, &a, &b, &c).expect("ring mmo");
+    });
+    assert!(
+        buffered > off,
+        "RingSink should allocate per event (got {buffered} vs baseline {off})"
+    );
+}

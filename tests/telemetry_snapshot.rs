@@ -1,0 +1,143 @@
+//! Golden-snapshot lock on the telemetry stream.
+//!
+//! Captures a fixed, fully deterministic scenario — a seeded 64×64
+//! tropical-semiring mmo through the sequential [`TiledBackend`], a
+//! faulty run under resilient dispatch, and a capacity-starved fault
+//! log that must surface `dropped` events — serializes every event via
+//! [`RingSink::json_lines`], and compares the result byte-for-byte
+//! against the checked-in snapshot.
+//!
+//! When the telemetry vocabulary changes *intentionally*, regenerate
+//! with:
+//!
+//! ```text
+//! SIMD2_BLESS=1 cargo test --test telemetry_snapshot
+//! ```
+//!
+//! and review the snapshot diff like any other code change.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use simd2_repro::core::backend::{Backend, TiledBackend};
+use simd2_repro::core::resilient::{RecoveryPolicy, ResilientBackend};
+use simd2_repro::fault::{
+    AbftConfig, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector,
+};
+use simd2_repro::matrix::{gen, Matrix};
+use simd2_repro::mxu::Simd2Unit;
+use simd2_repro::semiring::OpKind;
+use simd2_repro::trace::{RingSink, Sink, Tracer};
+
+const SEED: u64 = 2022;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/telemetry.snap")
+}
+
+fn operands(op: OpKind, n: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let a = gen::random_operands_for(op, n, n, seed);
+    let b = gen::random_operands_for(op, n, n, seed ^ 0x5eed);
+    let c = Matrix::filled(n, n, op.reduce_identity_f32());
+    (a, b, c)
+}
+
+/// Replays the scenario and returns the serialized event stream. Every
+/// segment runs on the sequential schedule, so the event order (not
+/// just the totals) is a pure function of the seeds.
+fn capture() -> String {
+    let ring = RingSink::shared();
+    let tracer = Tracer::to(ring.clone() as Arc<dyn Sink>);
+    let op = OpKind::MinPlus;
+
+    // Segment 1: clean 64×64 tropical mmo through the tiled backend —
+    // one `mmo` span wrapping one full-grid `tile_panel` summary.
+    let (a, b, c) = operands(op, 64, SEED);
+    let mut clean = TiledBackend::new().with_tracer(tracer.clone());
+    clean.mmo(op, &a, &b, &c).expect("clean mmo");
+
+    // Segment 2: a seeded faulty datapath under resilient dispatch —
+    // `fault` instants for every strike interleaved with the inner
+    // backend's spans, and `recovery` stage events mirroring the
+    // detect/retry/fallback path the policy takes.
+    let (a, b, c) = operands(op, 32, SEED ^ 0xf001);
+    let plan = FaultPlan::new(
+        FaultPlanConfig::new(SEED)
+            .with_bit_flip_ppm(200_000)
+            .with_transient_nan_ppm(100_000),
+    );
+    let mut inner = TiledBackend::with_unit(FaultySimd2Unit::new(
+        Simd2Unit::new(),
+        PlannedInjector::new(plan).with_tracer(tracer.clone()),
+    ));
+    inner.set_tracer(tracer.clone());
+    let mut resilient = ResilientBackend::with_config(
+        inner,
+        RecoveryPolicy::RetryThenFallback { attempts: 2 },
+        AbftConfig {
+            witness_samples: usize::MAX,
+            ..AbftConfig::default()
+        },
+    )
+    .with_tracer(tracer.clone());
+    resilient.mmo(op, &a, &b, &c).expect("resilient mmo");
+
+    // Segment 3: a capacity-2 fault log under a striking-every-tile
+    // plan — ring evictions must surface as `dropped` instants.
+    let (a, b, c) = operands(op, 32, SEED ^ 0xd20b);
+    let plan = FaultPlan::new(FaultPlanConfig::new(SEED ^ 1).with_bit_flip_ppm(1_000_000));
+    let mut starved = TiledBackend::with_unit(FaultySimd2Unit::new(
+        Simd2Unit::new(),
+        PlannedInjector::with_log_capacity(plan, 2).with_tracer(tracer.clone()),
+    ));
+    starved.set_tracer(tracer);
+    starved.mmo(op, &a, &b, &c).expect("starved mmo");
+
+    assert_eq!(ring.dropped(), 0, "snapshot ring must not overflow");
+    ring.json_lines()
+}
+
+#[test]
+fn telemetry_stream_matches_checked_in_snapshot() {
+    let got = capture();
+    assert!(
+        got.lines().any(|l| l.contains("\"stage\":\"dropped\"")),
+        "scenario must exercise the dropped-log path"
+    );
+    let path = snapshot_path();
+    if std::env::var_os("SIMD2_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir snapshots");
+        std::fs::write(&path, &got).expect("write snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with SIMD2_BLESS=1",
+            path.display()
+        )
+    });
+    if got != want {
+        let first_diff = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()));
+        panic!(
+            "telemetry stream diverged from {} at line {} \
+             (got {} lines, want {}); if the change is intentional, \
+             regenerate with SIMD2_BLESS=1 and review the diff",
+            path.display(),
+            first_diff + 1,
+            got.lines().count(),
+            want.lines().count(),
+        );
+    }
+}
+
+/// The capture itself is deterministic run-to-run — the precondition
+/// for snapshotting it at all.
+#[test]
+fn capture_is_deterministic() {
+    assert_eq!(capture(), capture());
+}
