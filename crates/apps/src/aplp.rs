@@ -7,7 +7,7 @@
 //! in topological order — which makes the validation meaningful.
 
 use simd2::solve::{self, ClosureAlgorithm, ClosureResult};
-use simd2::Backend;
+use simd2::{Backend, Plan, PlanBuilder};
 use simd2_matrix::{gen, Graph, Matrix};
 use simd2_semiring::OpKind;
 
@@ -73,6 +73,23 @@ pub fn simd2<B: Backend>(
         .expect("square adjacency")
 }
 
+/// Like [`simd2`], but also records the solve's MMO sequence as a
+/// replayable [`Plan`].
+///
+/// # Panics
+///
+/// Panics on internal shape errors.
+pub fn record<B: Backend>(
+    backend: &mut B,
+    g: &Graph,
+    algorithm: ClosureAlgorithm,
+    convergence: bool,
+) -> (ClosureResult, Plan) {
+    let mut rec = PlanBuilder::over(backend);
+    let result = simd2(&mut rec, g, algorithm, convergence);
+    (result, rec.finish())
+}
+
 /// Length of the overall critical path (the largest finite entry).
 pub fn critical_path_length(d: &Matrix) -> f32 {
     d.as_slice()
@@ -85,29 +102,10 @@ pub fn critical_path_length(d: &Matrix) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simd2::backend::{ReferenceBackend, TiledBackend};
-    use simd2::validate::compare_outputs;
+    use simd2::backend::ReferenceBackend;
 
-    #[test]
-    fn simd2_matches_topological_dp() {
-        let g = generate(40, 3);
-        let want = baseline(&g);
-        let mut be = ReferenceBackend::new();
-        for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
-            let got = simd2(&mut be, &g, alg, true);
-            let v = compare_outputs("aplp", &want, &got.closure, 0.0);
-            assert!(v.passed(), "{alg:?}: {}", v.max_abs_diff);
-        }
-    }
-
-    #[test]
-    fn simd2_units_are_bit_exact_on_integer_weights() {
-        let g = generate(24, 9);
-        let want = baseline(&g);
-        let mut be = TiledBackend::new();
-        let got = simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
-        assert_eq!(got.closure, want);
-    }
+    // Baseline-vs-SIMD² comparisons on both backends live in the
+    // registry-driven sweep in `crate::harness`.
 
     #[test]
     fn critical_path_dominates_every_edge() {

@@ -5,7 +5,7 @@
 //!   paper Figure 7.
 
 use simd2::solve::{self, ClosureAlgorithm, ClosureResult};
-use simd2::Backend;
+use simd2::{Backend, Plan, PlanBuilder};
 use simd2_matrix::{gen, Graph, Matrix};
 use simd2_semiring::OpKind;
 
@@ -108,11 +108,32 @@ pub fn simd2<B: Backend>(
         .expect("square adjacency")
 }
 
+/// Like [`simd2`], but also records the solve's MMO sequence as a
+/// [`Plan`]: the algorithm runs eagerly through `backend` (same result,
+/// counters and telemetry), and the returned plan replays, batches, or
+/// prices that exact op sequence.
+///
+/// # Panics
+///
+/// Panics on internal shape errors.
+pub fn record<B: Backend>(
+    backend: &mut B,
+    g: &Graph,
+    algorithm: ClosureAlgorithm,
+    convergence: bool,
+) -> (ClosureResult, Plan) {
+    let mut rec = PlanBuilder::over(backend);
+    let result = simd2(&mut rec, g, algorithm, convergence);
+    (result, rec.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simd2::backend::{ReferenceBackend, TiledBackend};
-    use simd2::validate::compare_outputs;
+    use simd2::backend::ReferenceBackend;
+
+    // Baseline-vs-SIMD² comparisons on both backends live in the
+    // registry-driven sweep in `crate::harness`.
 
     #[test]
     fn blocked_fw_matches_plain_fw() {
@@ -121,30 +142,6 @@ mod tests {
         let plain = simd2::solve::floyd_warshall_closure(OpKind::MinPlus, &adj);
         let blocked = blocked_floyd_warshall(OpKind::MinPlus, &adj, 8);
         assert_eq!(plain, blocked);
-    }
-
-    #[test]
-    fn simd2_matches_baseline_on_reference_backend() {
-        let g = generate(48, 7);
-        let want = baseline(&g);
-        let mut be = ReferenceBackend::new();
-        for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
-            let got = simd2(&mut be, &g, alg, true);
-            let v = compare_outputs("apsp", &want, &got.closure, 0.0);
-            assert!(v.passed(), "{alg:?}: max diff {}", v.max_abs_diff);
-        }
-    }
-
-    #[test]
-    fn simd2_is_bit_exact_on_simd2_units() {
-        // Integer weights ≤ 64, path sums ≤ 64·n ≤ 2048: every partial
-        // result is fp16-exact, so the reduced-precision unit agrees
-        // exactly (§5.1's accuracy assessment).
-        let g = generate(24, 11);
-        let want = baseline(&g);
-        let mut be = TiledBackend::new();
-        let got = simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
-        assert_eq!(got.closure, want);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!   matrix.
 
 use simd2::solve::{self, ClosureAlgorithm, ClosureResult};
-use simd2::Backend;
+use simd2::{Backend, Plan, PlanBuilder};
 use simd2_matrix::{gen, Graph, Matrix};
 use simd2_semiring::OpKind;
 
@@ -92,10 +92,30 @@ pub fn simd2<B: Backend>(
     .expect("square adjacency")
 }
 
+/// Like [`simd2`], but also records the closure's MMO sequence as a
+/// replayable [`Plan`].
+///
+/// # Panics
+///
+/// Panics on internal shape errors.
+pub fn record<B: Backend>(
+    backend: &mut B,
+    g: &Graph,
+    algorithm: ClosureAlgorithm,
+    convergence: bool,
+) -> (ClosureResult, Plan) {
+    let mut rec = PlanBuilder::over(backend);
+    let result = simd2(&mut rec, g, algorithm, convergence);
+    (result, rec.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simd2::backend::{ReferenceBackend, TiledBackend};
+    use simd2::backend::ReferenceBackend;
+
+    // Baseline-vs-SIMD² comparisons on both backends live in the
+    // registry-driven sweep in `crate::harness`.
 
     #[test]
     fn baseline_reaches_transitively() {
@@ -107,29 +127,6 @@ mod tests {
         assert_eq!(r[(2, 0)], 0.0);
         assert_eq!(r[(3, 3)], 1.0, "reflexive");
         assert_eq!(r[(0, 3)], 0.0);
-    }
-
-    #[test]
-    fn simd2_matches_bitset_bfs() {
-        for seed in [1, 5, 9] {
-            let g = generate(70, seed); // spans multiple 64-bit words
-            let want = baseline(&g);
-            let mut be = ReferenceBackend::new();
-            for alg in [ClosureAlgorithm::BellmanFord, ClosureAlgorithm::Leyzorek] {
-                let got = simd2(&mut be, &g, alg, true);
-                assert_eq!(got.closure, want, "seed {seed} {alg:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn simd2_units_are_bit_exact() {
-        // Booleans are fp16-exact by construction.
-        let g = generate(48, 3);
-        let want = baseline(&g);
-        let mut be = TiledBackend::new();
-        let got = simd2(&mut be, &g, ClosureAlgorithm::Leyzorek, true);
-        assert_eq!(got.closure, want);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod aplp;
 pub mod apsp;
 pub mod gtc;
+pub mod harness;
 pub mod knn;
 pub mod mst;
 pub mod paths;
@@ -37,6 +38,7 @@ pub mod registry;
 pub mod timing;
 pub mod unionfind;
 
+pub use harness::{run_app, AppRun};
 pub use registry::{AppKind, AppSpec};
 pub use timing::{AppTiming, Config};
 pub use unionfind::UnionFind;

@@ -25,7 +25,7 @@ pub enum AppKind {
 }
 
 /// Static description of one application (a row of Table 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AppSpec {
     /// The application.
     pub kind: AppKind,
@@ -39,6 +39,11 @@ pub struct AppSpec {
     pub baseline_source: &'static str,
     /// Base ("Small") input dimension from Table 4; Medium/Large are 2×/4×.
     pub small_dimension: usize,
+    /// §5.1 validation tolerance on the app's diff metric (max absolute
+    /// output difference, or `1 − recall` for KNN): the multiplicative
+    /// algebras accumulate relative rounding error across path products,
+    /// everything else is exact on these integer/boolean workloads.
+    pub tolerance: f32,
 }
 
 impl AppKind {
@@ -66,6 +71,7 @@ impl AppKind {
                 op: OpKind::MinPlus,
                 baseline_source: "ECL-APSP",
                 small_dimension: 4096,
+                tolerance: 0.0,
             },
             AppKind::Aplp => AppSpec {
                 kind: self,
@@ -74,6 +80,7 @@ impl AppKind {
                 op: OpKind::MaxPlus,
                 baseline_source: "ECL-APSP",
                 small_dimension: 4096,
+                tolerance: 0.0,
             },
             AppKind::Mcp => AppSpec {
                 kind: self,
@@ -82,6 +89,7 @@ impl AppKind {
                 op: OpKind::MaxMin,
                 baseline_source: "CUDA-FW",
                 small_dimension: 4096,
+                tolerance: 0.0,
             },
             AppKind::MaxRp => AppSpec {
                 kind: self,
@@ -90,6 +98,7 @@ impl AppKind {
                 op: OpKind::MaxMul,
                 baseline_source: "CUDA-FW",
                 small_dimension: 4096,
+                tolerance: 0.02,
             },
             AppKind::MinRp => AppSpec {
                 kind: self,
@@ -98,6 +107,7 @@ impl AppKind {
                 op: OpKind::MinMul,
                 baseline_source: "CUDA-FW",
                 small_dimension: 4096,
+                tolerance: 0.02,
             },
             AppKind::Mst => AppSpec {
                 kind: self,
@@ -106,6 +116,7 @@ impl AppKind {
                 op: OpKind::MinMax,
                 baseline_source: "CUDA MST (Kruskal)",
                 small_dimension: 1024,
+                tolerance: 0.0,
             },
             AppKind::Gtc => AppSpec {
                 kind: self,
@@ -114,6 +125,7 @@ impl AppKind {
                 op: OpKind::OrAnd,
                 baseline_source: "cuBool",
                 small_dimension: 2048,
+                tolerance: 0.0,
             },
             AppKind::Knn => AppSpec {
                 kind: self,
@@ -122,6 +134,7 @@ impl AppKind {
                 op: OpKind::PlusNorm,
                 baseline_source: "kNN-CUDA",
                 small_dimension: 4096,
+                tolerance: 0.05,
             },
         }
     }
@@ -153,6 +166,16 @@ mod tests {
         assert_eq!(AppKind::Apsp.dimension(InputScale::Medium), 8192);
         assert_eq!(AppKind::Apsp.dimension(InputScale::Large), 16384);
         assert_eq!(AppKind::Mst.dimension(InputScale::Large), 4096);
+    }
+
+    #[test]
+    fn tolerances_follow_the_algebra() {
+        for app in AppKind::all() {
+            let spec = app.spec();
+            let multiplicative =
+                matches!(spec.op, OpKind::MaxMul | OpKind::MinMul | OpKind::PlusNorm);
+            assert_eq!(spec.tolerance > 0.0, multiplicative, "{app:?}");
+        }
     }
 
     #[test]

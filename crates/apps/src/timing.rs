@@ -18,10 +18,11 @@
 
 use simd2::solve::ClosureAlgorithm;
 use simd2::{Backend, ReferenceBackend};
-use simd2_gpu::{Gpu, KernelProfile, Seconds};
+use simd2_gpu::{Gpu, KernelProfile, MmoTrace, Seconds};
 use simd2_semiring::OpKind;
 use simd2_trace::{field, span, Counter, Tracer};
 
+use crate::harness::{self, AppRun};
 use crate::registry::AppKind;
 use crate::{aplp, apsp, gtc, mst, paths};
 
@@ -221,6 +222,51 @@ impl AppTiming {
         total
     }
 
+    /// Prices a *recorded* op sequence — a plan's shape-level
+    /// [`MmoTrace`] steps — under the given configuration: the
+    /// trace-driven counterpart of [`Self::simd2_time`]. Where the
+    /// analytic path assumes `iterations` uniform `n×n×n` steps, this
+    /// one prices each recorded step at its own geometry (e.g. KNN's
+    /// single rectangular `addnorm`), charges one convergence check per
+    /// closure step, and sizes the application epilogues from the final
+    /// step's output shape. On uniform closure traces the two paths
+    /// agree to float round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is [`Config::Baseline`] (the baseline is
+    /// priced by [`Self::baseline_time`]).
+    pub fn simd2_time_of_trace(
+        &self,
+        app: AppKind,
+        traces: &[MmoTrace],
+        convergence: bool,
+        config: Config,
+    ) -> Seconds {
+        let mut total = Seconds(0.0);
+        for t in traces {
+            let per_mmo = match config {
+                Config::Baseline => unreachable!("baseline is priced by baseline_time"),
+                Config::Simd2CudaCores => self.gpu.cuda_mmo_time(t.op, t.m, t.n, t.k),
+                Config::Simd2Units => self.gpu.simd2_mmo_time(t.op, t.m, t.n, t.k),
+                Config::Simd2SparseUnits => self.gpu.sparse_simd2_mmo_time(t.op, t.m, t.n, t.k),
+            };
+            total = total + per_mmo;
+            if convergence && app != AppKind::Knn {
+                total = total + self.gpu.elementwise_time(t.m * t.n, 2.0);
+            }
+        }
+        // Application epilogues, sized from the final output geometry.
+        if let Some(last) = traces.last() {
+            match app {
+                AppKind::Mst => total = total + self.gpu.elementwise_time(last.m * last.n, 3.0),
+                AppKind::Knn => total = total + self.knn_select_time(last.m),
+                _ => {}
+            }
+        }
+        total
+    }
+
     /// Time of the SIMD²-ized implementation on a *standalone* SIMD²
     /// accelerator (paper §3.1's rejected alternative): the matrix units
     /// sit across a host interconnect with no collocated scalar/vector
@@ -387,8 +433,24 @@ fn bfs_diameter(g: &simd2_matrix::Graph) -> usize {
     best
 }
 
-/// Runs the functional application at dimension `n` and reports the
-/// closure iteration count — the §5.1 statistics-collection pass.
+/// Runs the functional application at dimension `n` through the
+/// registry-driven [`harness`] and hands back the validated run — the
+/// §5.1 statistics-collection pass. The returned [`AppRun`] carries the
+/// recorded plan, whose [`traces`](simd2::Plan::traces) feed
+/// [`AppTiming::simd2_time_of_trace`] and the GPU pipeline replay.
+pub fn measured_run<B: Backend>(
+    backend: &mut B,
+    app: AppKind,
+    n: usize,
+    algorithm: ClosureAlgorithm,
+    convergence: bool,
+) -> AppRun {
+    let seed = 0xD15C0 ^ n as u64;
+    harness::run_app(backend, app, n, seed, algorithm, convergence)
+}
+
+/// Closure iteration count of a functional run on the fp32 reference
+/// backend (see [`measured_run`]).
 pub fn measured_iterations(
     app: AppKind,
     n: usize,
@@ -407,69 +469,7 @@ pub fn measured_iterations_on<B: Backend>(
     algorithm: ClosureAlgorithm,
     convergence: bool,
 ) -> usize {
-    let seed = 0xD15C0 ^ n as u64;
-    match app {
-        AppKind::Apsp => {
-            apsp::simd2(backend, &apsp::generate(n, seed), algorithm, convergence)
-                .stats
-                .iterations
-        }
-        AppKind::Aplp => {
-            aplp::simd2(backend, &aplp::generate(n, seed), algorithm, convergence)
-                .stats
-                .iterations
-        }
-        AppKind::Mcp => {
-            paths::simd2(
-                backend,
-                OpKind::MaxMin,
-                &paths::generate_mcp(n, seed),
-                algorithm,
-                convergence,
-            )
-            .stats
-            .iterations
-        }
-        AppKind::MaxRp => {
-            paths::simd2(
-                backend,
-                OpKind::MaxMul,
-                &paths::generate_maxrp(n, seed),
-                algorithm,
-                convergence,
-            )
-            .stats
-            .iterations
-        }
-        AppKind::MinRp => {
-            paths::simd2(
-                backend,
-                OpKind::MinMul,
-                &paths::generate_minrp(n, seed),
-                algorithm,
-                convergence,
-            )
-            .stats
-            .iterations
-        }
-        AppKind::Mst => {
-            mst::simd2(
-                backend,
-                &mst::generate(n, 0.1, seed),
-                algorithm,
-                convergence,
-            )
-            .1
-            .stats
-            .iterations
-        }
-        AppKind::Gtc => {
-            gtc::simd2(backend, &gtc::generate(n, seed), algorithm, convergence)
-                .stats
-                .iterations
-        }
-        AppKind::Knn => 1,
-    }
+    measured_run(backend, app, n, algorithm, convergence).iterations
 }
 
 #[cfg(test)]
@@ -707,5 +707,60 @@ mod tests {
         let n = AppKind::Gtc.dimension(InputScale::Small);
         m.speedup(AppKind::Gtc, n, Config::Simd2Units);
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn trace_pricing_matches_the_analytic_model_on_uniform_closures() {
+        // `simd2_time` assumes `iterations` uniform n×n×n steps; feeding
+        // `simd2_time_of_trace` exactly that trace must reproduce it.
+        let m = model();
+        let alg = ClosureAlgorithm::Leyzorek;
+        for config in [
+            Config::Simd2CudaCores,
+            Config::Simd2Units,
+            Config::Simd2SparseUnits,
+        ] {
+            for app in [AppKind::Apsp, AppKind::Gtc, AppKind::Mst] {
+                let n = 256;
+                let iters = m.iterations(app, n, alg, true);
+                let traces = vec![MmoTrace::new(app.spec().op, n, n, n); iters];
+                let analytic = m.simd2_time(app, n, iters, true, config).get();
+                let traced = m.simd2_time_of_trace(app, &traces, true, config).get();
+                assert!(
+                    (traced - analytic).abs() <= 1e-9 * analytic,
+                    "{app:?} {config:?}: {traced} vs {analytic}"
+                );
+            }
+            // KNN: one rectangular addnorm plus the selection epilogue.
+            let n = 1024;
+            let traces = [MmoTrace::new(OpKind::PlusNorm, n, n, KNN_TIMING_DIMS)];
+            let analytic = m.simd2_time(AppKind::Knn, n, 1, true, config).get();
+            let traced = m
+                .simd2_time_of_trace(AppKind::Knn, &traces, true, config)
+                .get();
+            assert!(
+                (traced - analytic).abs() <= 1e-9 * analytic,
+                "KNN {config:?}: {traced} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_plan_prices_and_replays_through_the_gpu_model() {
+        // End-to-end: functional run → recorded plan → shape traces →
+        // (a) timing-model pricing, (b) cycle-level pipeline replay.
+        let mut be = simd2::TiledBackend::new();
+        let run = measured_run(&mut be, AppKind::Apsp, 48, ClosureAlgorithm::Leyzorek, true);
+        assert!(run.passed());
+        let traces = run.plan.traces();
+        assert_eq!(traces.len(), run.iterations, "one trace per closure step");
+        let m = model();
+        let t = m.simd2_time_of_trace(AppKind::Apsp, &traces, true, Config::Simd2Units);
+        assert!(t.get() > 0.0);
+        // The pipeline replay issues exactly the tile-op volume the
+        // functional backend counted while recording.
+        let stats = simd2_gpu::simulate_trace(&simd2_gpu::SmPipeline::new(), &traces, 4);
+        assert_eq!(stats.mmos, be.op_count().tile_mmos);
+        assert!(stats.cycles > 0);
     }
 }

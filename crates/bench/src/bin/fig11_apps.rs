@@ -2,37 +2,16 @@
 //! state-of-the-art GPU baselines, in both SIMD2 configurations, across
 //! the three Table-4 input scales.
 //!
-//! The table is built from the timing model's `app_phase` telemetry
-//! events (one instant per evaluation, captured in a [`RingSink`] and
-//! streamed to `results/telemetry/fig11_apps.jsonl`) rather than from
-//! the returned values — the printed figure is a view of the event
-//! stream. Evaluation order is deterministic, so both the stdout table
-//! and the JSON-lines export reproduce bit for bit.
+//! The sweep and rendering live in [`simd2_bench::fig11`] (shared with
+//! the snapshot test that pins this binary's stdout against
+//! `results/fig11_apps.txt`); this binary adds the telemetry export to
+//! `results/telemetry/fig11_apps.jsonl`.
 
 use std::sync::Arc;
 
-use simd2_apps::{AppKind, AppTiming, Config};
-use simd2_bench::{report::fmt_speedup, Table};
-use simd2_gpu::{geomean, Gpu};
-use simd2_matrix::gen::InputScale;
-use simd2_trace::{span, Event, FanoutSink, JsonLinesSink, RingSink, Sink, Tracer};
-
-/// Runs one `(app, scale)` sweep through the model and hands back the
-/// `app_phase` events it emitted, in evaluation order.
-fn sweep(model: &AppTiming, ring: &RingSink, config: Config) -> Vec<Event> {
-    ring.clear();
-    for app in AppKind::all() {
-        for scale in InputScale::all() {
-            let _ = model.speedup(app, app.dimension(scale), config);
-        }
-    }
-    let events = ring.events();
-    assert!(
-        events.iter().all(|e| e.span == span::APP_PHASE),
-        "unexpected span in the timing model's event stream"
-    );
-    events
-}
+use simd2_apps::AppTiming;
+use simd2_gpu::Gpu;
+use simd2_trace::{FanoutSink, JsonLinesSink, RingSink, Sink, Tracer};
 
 fn main() {
     let ring = RingSink::shared();
@@ -47,52 +26,7 @@ fn main() {
         None => ring.clone(),
     };
     let model = AppTiming::new(Gpu::default()).with_tracer(Tracer::to(sink));
-    for config in [Config::Simd2Units, Config::Simd2CudaCores] {
-        let events = sweep(&model, &ring, config);
-        let mut t = Table::new(
-            format!("Figure 11: speedup of `{}` over baseline", config.label()),
-            &["app", "small", "medium", "large"],
-        );
-        let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); 3];
-        let mut it = events.iter();
-        for app in AppKind::all() {
-            let mut row = vec![app.spec().label.to_owned()];
-            for col in &mut per_scale {
-                let e = it.next().expect("one event per evaluation");
-                assert_eq!(e.str_value("app"), Some(app.spec().label));
-                assert_eq!(e.str_value("config"), Some(config.label()));
-                let s = e.f64("speedup").expect("speedup field");
-                col.push(s);
-                row.push(fmt_speedup(s));
-            }
-            t.row(&row);
-        }
-        let mut gm = vec!["GMEAN".to_owned()];
-        for col in &per_scale {
-            gm.push(fmt_speedup(geomean(col)));
-        }
-        t.row(&gm);
-        t.print();
-        println!();
-    }
-    // Peak speedup quoted in the abstract — again read off the events.
-    let events = sweep(&model, &ring, Config::Simd2Units);
-    let mut best = (0.0f64, String::new());
-    let mut it = events.iter();
-    for app in AppKind::all() {
-        for scale in InputScale::all() {
-            let e = it.next().expect("one event per evaluation");
-            let s = e.f64("speedup").expect("speedup field");
-            if s > best.0 {
-                best = (s, format!("{} / {}", app.spec().label, scale.label()));
-            }
-        }
-    }
-    println!(
-        "Peak SIMD2-unit speedup: {} ({})",
-        fmt_speedup(best.0),
-        best.1
-    );
+    print!("{}", simd2_bench::fig11::render(&model, &ring));
     if let Some(jsonl) = &export {
         let _ = jsonl.flush();
         eprintln!("wrote {}", jsonl.path().display());

@@ -1,0 +1,97 @@
+//! Plan-IR smoke sweep: records every Figure-11 application as a
+//! [`Plan`](simd2::Plan) and replays it on every backend the lowering
+//! pipeline supports.
+//!
+//! For each app at a host-tractable scale this checks, end to end:
+//!
+//! 1. the recorded run validates against the baseline oracle
+//!    ([`AppRun::passed`]);
+//! 2. sequential replay on a fresh tiled backend reproduces the recorded
+//!    work counters, and its per-step outputs match a batched replay on
+//!    a 4-thread worker pool bit for bit;
+//! 3. the replayed tile-MMO count equals the plan's static
+//!    [`predicted_op_count`](simd2::Plan::predicted_op_count);
+//! 4. the fp32 [`ReferenceBackend`] and the instruction-level
+//!    [`IsaBackend`] lower the same plan without error.
+//!
+//! Run via `SIMD2_PLAN_SMOKE=1 scripts/verify.sh` (or directly).
+
+use simd2::backend::{Backend, IsaBackend, ReferenceBackend, TiledBackend};
+use simd2::solve::ClosureAlgorithm;
+use simd2::{Parallelism, PlanExecutor};
+use simd2_apps::{harness, AppKind, AppRun};
+use simd2_bench::Table;
+
+const N: usize = 48;
+const SEED: u64 = 42;
+
+fn check_app(app: AppKind) -> (AppRun, usize, u64) {
+    let mut rec_be = TiledBackend::new();
+    let run = harness::run_app(&mut rec_be, app, N, SEED, ClosureAlgorithm::Leyzorek, true);
+    assert!(run.passed(), "{app:?}: diff {} out of tolerance", run.diff);
+    assert!(!run.plan.is_empty(), "{app:?}: empty plan");
+
+    // Sequential replay reproduces the recorded work exactly.
+    let mut seq_be = TiledBackend::new();
+    let seq = PlanExecutor::new()
+        .run(&run.plan, &mut seq_be)
+        .expect("sequential replay");
+    assert_eq!(seq_be.op_count(), rec_be.op_count(), "{app:?}: counters");
+
+    // Static prediction agrees with the dynamic tiled count.
+    let predicted = run.plan.predicted_op_count();
+    assert_eq!(
+        predicted.tile_mmos,
+        seq_be.op_count().tile_mmos,
+        "{app:?}: predicted_op_count"
+    );
+
+    // Batched replay through the worker pool does not change a bit.
+    let mut bat_be = TiledBackend::with_parallelism(Parallelism::Threads(4));
+    let bat = PlanExecutor::batched()
+        .run(&run.plan, &mut bat_be)
+        .expect("batched replay");
+    assert_eq!(
+        bat_be.op_count(),
+        rec_be.op_count(),
+        "{app:?}: batched counters"
+    );
+    for step in 0..run.plan.step_count() {
+        assert_eq!(
+            seq.step_output(step),
+            bat.step_output(step),
+            "{app:?}: batched replay diverged at step {step}"
+        );
+    }
+
+    // The other lowerings accept the same plan (their numerics differ
+    // from fp16, so only successful execution is asserted).
+    PlanExecutor::new()
+        .run(&run.plan, &mut ReferenceBackend::new())
+        .expect("reference replay");
+    PlanExecutor::new()
+        .run(&run.plan, &mut IsaBackend::new())
+        .expect("isa replay");
+
+    let waves = run.plan.waves().len();
+    (run, waves, predicted.tile_mmos)
+}
+
+fn main() {
+    let mut t = Table::new(
+        format!("Plan smoke at n = {N}: record once, replay everywhere"),
+        &["app", "steps", "waves", "tile mmos", "diff", "verdict"],
+    );
+    for app in AppKind::all() {
+        let (run, waves, tile_mmos) = check_app(app);
+        t.row(&[
+            app.spec().label.to_owned(),
+            run.plan.step_count().to_string(),
+            waves.to_string(),
+            tile_mmos.to_string(),
+            format!("{:.3e}", run.diff),
+            "PASS".to_owned(),
+        ]);
+    }
+    t.print();
+}

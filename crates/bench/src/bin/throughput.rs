@@ -18,12 +18,17 @@
 //! a view of the telemetry stream, cross-checked against the engine's
 //! own accounting.
 //!
+//! A final section replays a merged nine-step [`Plan`] (one independent
+//! MMO per op) sequentially vs batched across the thread sweep — the
+//! plan-IR dispatch path over the same worker pool — asserting the
+//! batched replay bit-identical per step.
+//!
 //! Pass `--quick` for a seconds-scale smoke run (small N, fewer ops and
 //! thread counts, single rep) used by `scripts/bench.sh`.
 
 use std::time::Instant;
 
-use simd2::{Backend, Parallelism, TiledBackend};
+use simd2::{Backend, Parallelism, Plan, PlanBuilder, PlanExecutor, TiledBackend};
 use simd2_bench::{report::fmt_speedup, Table};
 use simd2_matrix::tiling::TileGrid;
 use simd2_matrix::{gen, tiling, Matrix, Tile, ISA_TILE};
@@ -166,6 +171,71 @@ fn render_json(quick: bool, entries: &[Entry]) -> String {
     out
 }
 
+/// Plan-IR batch dispatch: records one independent MMO per op as a
+/// [`Plan`], merges the nine single-step plans into one nine-step plan
+/// (one wave — no cross-step dependencies), and replays it sequentially
+/// vs batched across the thread sweep. Every batched replay is asserted
+/// bit-identical to the sequential one per step, and the replayed work
+/// is cross-checked against [`Plan::predicted_op_count`].
+fn plan_batch_sweep(quick: bool, thread_counts: &[usize], reps: usize) {
+    let n = if quick { 96 } else { 256 };
+    let plan = Plan::merge(ALL_OPS.iter().map(|&op| {
+        let (a, b, c) = operands(op, n, n, n);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(op, &a, &b, &c).expect("recording mmo");
+        rec.finish()
+    }));
+    assert_eq!(plan.step_count(), ALL_OPS.len());
+    assert_eq!(plan.waves().len(), 1, "merged steps must be independent");
+    let predicted = plan.predicted_op_count();
+
+    let mut seq_be = TiledBackend::new();
+    let seq = PlanExecutor::new()
+        .run(&plan, &mut seq_be)
+        .expect("sequential replay");
+    assert_eq!(seq_be.op_count().tile_mmos, predicted.tile_mmos);
+    let seq_s = time_best(reps, || {
+        PlanExecutor::new()
+            .run(&plan, &mut TiledBackend::new())
+            .expect("sequential replay")
+    });
+
+    let mut t = Table::new(
+        format!(
+            "Plan batch replay: {} independent {n}x{n} steps, one per op",
+            plan.step_count()
+        ),
+        &["threads", "seconds", "vs sequential"],
+    );
+    for &threads in thread_counts {
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(threads));
+        let bat = PlanExecutor::batched()
+            .run(&plan, &mut be)
+            .expect("batched replay");
+        assert_eq!(be.op_count().tile_mmos, predicted.tile_mmos);
+        for step in 0..plan.step_count() {
+            assert_eq!(
+                seq.step_output(step),
+                bat.step_output(step),
+                "batched replay diverged at step {step} (threads={threads})"
+            );
+        }
+        let seconds = time_best(reps, || {
+            let mut be = TiledBackend::with_parallelism(Parallelism::Threads(threads));
+            PlanExecutor::batched()
+                .run(&plan, &mut be)
+                .expect("batched replay")
+        });
+        t.row(&[
+            threads.to_string(),
+            format!("{seconds:.4}"),
+            fmt_speedup(seq_s / seconds),
+        ]);
+    }
+    t.print();
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (sizes, reps): (&[usize], usize) = if quick {
@@ -276,6 +346,8 @@ fn main() {
     }
 
     t.print();
+    println!();
+    plan_batch_sweep(quick, thread_counts, reps);
     let json = render_json(quick, &entries);
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     eprintln!("wrote BENCH_throughput.json ({} entries)", entries.len());

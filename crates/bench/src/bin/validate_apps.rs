@@ -1,95 +1,27 @@
 //! §5.1 correctness-validation sweep: runs every application functionally
-//! at a host-tractable scale, compares the SIMD2-ized output (on both the
+//! at a host-tractable scale through the registry-driven harness
+//! ([`simd2_apps::harness`]), compares the SIMD2-ized output (on both the
 //! fp32 reference backend and the fp16 tiled backend) against the
 //! state-of-the-art baseline algorithm, and reports the op statistics.
+//!
+//! Each run records its MMO sequence as a [`Plan`](simd2::Plan); the
+//! sweep replays that plan on a fresh backend of the same kind and
+//! cross-checks the replay's work counters against the recorded run's —
+//! the `replay` column reports the verdict.
 
 use simd2::backend::{Backend, ReferenceBackend, TiledBackend};
 use simd2::solve::ClosureAlgorithm;
-use simd2::validate::compare_outputs;
-use simd2_apps::{aplp, apsp, gtc, knn, mst, paths, AppKind};
+use simd2::PlanExecutor;
+use simd2_apps::{harness, AppKind, AppRun};
 use simd2_bench::Table;
-use simd2_semiring::OpKind;
 
-fn run_app<B: Backend>(app: AppKind, n: usize, be: &mut B) -> (f32, usize, u64) {
-    // Returns (max_abs_diff vs baseline, iterations, tile_mmos).
-    let alg = ClosureAlgorithm::Leyzorek;
-    let seed = 42;
-    match app {
-        AppKind::Apsp => {
-            let g = apsp::generate(n, seed);
-            let want = apsp::baseline(&g);
-            let r = apsp::simd2(be, &g, alg, true);
-            (
-                compare_outputs("apsp", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::Aplp => {
-            let g = aplp::generate(n, seed);
-            let want = aplp::baseline(&g);
-            let r = aplp::simd2(be, &g, alg, true);
-            (
-                compare_outputs("aplp", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::Mcp => {
-            let g = paths::generate_mcp(n, seed);
-            let want = paths::baseline(OpKind::MaxMin, &g);
-            let r = paths::simd2(be, OpKind::MaxMin, &g, alg, true);
-            (
-                compare_outputs("mcp", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::MaxRp => {
-            let g = paths::generate_maxrp(n, seed);
-            let want = paths::baseline(OpKind::MaxMul, &g);
-            let r = paths::simd2(be, OpKind::MaxMul, &g, alg, true);
-            (
-                compare_outputs("maxrp", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::MinRp => {
-            let g = paths::generate_minrp(n, seed);
-            let want = paths::baseline(OpKind::MinMul, &g);
-            let r = paths::simd2(be, OpKind::MinMul, &g, alg, true);
-            (
-                compare_outputs("minrp", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::Mst => {
-            let g = mst::generate(n, 0.1, seed);
-            let want = mst::baseline(&g);
-            let (got, r) = mst::simd2(be, &g, alg, true);
-            let diff = (want.total_weight - got.total_weight).abs() as f32
-                + if want.edges == got.edges { 0.0 } else { 1.0 };
-            (diff, r.stats.iterations, be.op_count().tile_mmos)
-        }
-        AppKind::Gtc => {
-            let g = gtc::generate(n, seed);
-            let want = gtc::baseline(&g);
-            let r = gtc::simd2(be, &g, alg, true);
-            (
-                compare_outputs("gtc", &want, &r.closure, 0.0).max_abs_diff,
-                r.stats.iterations,
-                be.op_count().tile_mmos,
-            )
-        }
-        AppKind::Knn => {
-            let pts = knn::generate(n, seed);
-            let want = knn::baseline(&pts, knn::K);
-            let got = knn::simd2(be, &pts, knn::K);
-            let recall = knn::recall(&want, &got);
-            ((1.0 - recall) as f32, 1, be.op_count().tile_mmos)
-        }
+/// Replays the run's plan on `fresh` and checks the replayed work
+/// counters equal the recorded run's.
+fn replay_verdict<B: Backend>(run: &AppRun, recorded: u64, fresh: &mut B) -> &'static str {
+    match PlanExecutor::new().run(&run.plan, fresh) {
+        Ok(_) if fresh.op_count().tile_mmos == recorded => "OK",
+        Ok(_) => "COUNT-MISMATCH",
+        Err(_) => "ERROR",
     }
 }
 
@@ -107,34 +39,35 @@ fn main() {
             "max abs diff / (1-recall)",
             "iterations",
             "tile mmos",
+            "replay",
             "verdict",
         ],
     );
+    let alg = ClosureAlgorithm::Leyzorek;
+    let seed = 42;
     for app in AppKind::all() {
         for fp16 in [false, true] {
-            let (diff, iters, mmos, name) = if fp16 {
+            let (run, mmos, replay, name) = if fp16 {
                 let mut be = TiledBackend::new();
-                let (d, i, m) = run_app(app, n, &mut be);
-                (d, i, m, "SIMD2 units (fp16)")
+                let run = harness::run_app(&mut be, app, n, seed, alg, true);
+                let mmos = be.op_count().tile_mmos;
+                let replay = replay_verdict(&run, mmos, &mut TiledBackend::new());
+                (run, mmos, replay, "SIMD2 units (fp16)")
             } else {
                 let mut be = ReferenceBackend::new();
-                let (d, i, m) = run_app(app, n, &mut be);
-                (d, i, m, "CUDA cores (fp32)")
+                let run = harness::run_app(&mut be, app, n, seed, alg, true);
+                let mmos = be.op_count().tile_mmos;
+                let replay = replay_verdict(&run, mmos, &mut ReferenceBackend::new());
+                (run, mmos, replay, "CUDA cores (fp32)")
             };
-            // fp16 tolerance: multiplicative algebras accumulate relative
-            // error; everything else must be exact on these workloads.
-            let tol = match app.spec().op {
-                OpKind::MaxMul | OpKind::MinMul => 0.02,
-                OpKind::PlusNorm => 0.05,
-                _ => 0.0,
-            };
-            let verdict = if diff <= tol { "PASS" } else { "FAIL" };
+            let verdict = if run.passed() { "PASS" } else { "FAIL" };
             t.row(&[
                 app.spec().label.to_owned(),
                 name.to_owned(),
-                format!("{diff:.3e}"),
-                iters.to_string(),
+                format!("{:.3e}", run.diff),
+                run.iterations.to_string(),
                 mmos.to_string(),
+                replay.to_owned(),
                 verdict.to_owned(),
             ]);
         }

@@ -15,12 +15,14 @@
 //! | `fig12_ablation` | Figure 12 (algorithm/convergence ablation) |
 //! | `fig13_sparse`   | Figure 13 (sparse SIMD² units) |
 //! | `fig14_crossover`| Figure 14 (spGEMM vs dense crossover + OOM) |
-//! | `validate_apps`  | §5.1 correctness validation sweep |
+//! | `validate_apps`  | §5.1 correctness validation sweep (plan replay cross-checked) |
 //! | `throughput`     | host engine throughput: fused kernels vs scalar baseline, thread sweep (`BENCH_throughput.json`) |
+//! | `plan_smoke`     | plan-IR smoke: record + replay every Figure-11 app on every backend |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fig11;
 pub mod report;
 
 pub use report::Table;

@@ -1,0 +1,32 @@
+//! Pins the Figure-11 report byte-for-byte against the committed golden
+//! copy at `results/fig11_apps.txt`.
+//!
+//! The figure is pure arithmetic over the analytic timing model, so any
+//! diff means the model (or the table renderer) changed observable
+//! numbers. Re-bless deliberately with
+//! `SIMD2_BLESS=1 cargo test -p simd2-bench --test fig11_snapshot`.
+
+use simd2_apps::AppTiming;
+use simd2_bench::fig11;
+use simd2_gpu::Gpu;
+use simd2_trace::RingSink;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fig11_apps.txt");
+
+#[test]
+fn fig11_report_matches_committed_golden() {
+    let ring = RingSink::shared();
+    let model = AppTiming::new(Gpu::default()).with_tracer(simd2_trace::Tracer::to(ring.clone()));
+    let got = fig11::render(&model, &ring);
+    if std::env::var_os("SIMD2_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect("read golden fig11 report");
+    assert!(
+        got == want,
+        "Figure-11 report drifted from results/fig11_apps.txt.\n\
+         If the change is intentional, re-bless with SIMD2_BLESS=1.\n\
+         --- got ---\n{got}\n--- want ---\n{want}"
+    );
+}

@@ -130,11 +130,45 @@ pub trait Backend {
         self.mmo(op, a, b, c)
     }
 
+    /// Executes a batch of *mutually independent* `D = C ⊕ (A ⊗ B)`
+    /// steps, returning one output per step in submission order.
+    ///
+    /// The default runs the steps one by one through [`Backend::mmo`];
+    /// parallel backends may override it to dispatch the whole batch
+    /// across their worker pool — results and counters must stay
+    /// bit-identical to the sequential default.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Backend::mmo`]. On error no outputs are
+    /// returned, but counters for steps that did complete are retained
+    /// (mirroring a sequential loop that fails partway).
+    fn mmo_batch(&mut self, steps: &[MmoArgs<'_>]) -> Result<Vec<Matrix>, BackendError> {
+        steps
+            .iter()
+            .map(|s| self.mmo(s.op, s.a, s.b, s.c))
+            .collect()
+    }
+
     /// Work counters accumulated so far.
     fn op_count(&self) -> OpCount;
 
     /// Resets the work counters.
     fn reset_count(&mut self);
+}
+
+/// Borrowed operands of one `D = C ⊕ (A ⊗ B)` step, as submitted to
+/// [`Backend::mmo_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct MmoArgs<'a> {
+    /// Semiring operation.
+    pub op: OpKind,
+    /// Left operand (`m×k`).
+    pub a: &'a Matrix,
+    /// Right operand (`k×n`).
+    pub b: &'a Matrix,
+    /// Accumulator (`m×n`).
+    pub c: &'a Matrix,
 }
 
 /// Emits the [`span::MMO`] begin event for a whole-matrix operation.
@@ -212,6 +246,17 @@ impl ReferenceBackend {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
 }
 
 impl Backend for ReferenceBackend {
@@ -230,7 +275,7 @@ impl Backend for ReferenceBackend {
         b: &Matrix,
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
-        reference::check_mmo_shapes(a, b, c)?;
+        crate::validate::check_mmo_operands(op, a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         begin_mmo(&self.tracer, op, &grid, 1);
         let d = reference::mmo(op, a, b, c)?;
@@ -490,7 +535,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         b: &Matrix,
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
-        reference::check_mmo_shapes(a, b, c)?;
+        crate::validate::check_mmo_operands(op, a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         self.unit.begin_matrix_mmo();
         let workers = self.parallelism.worker_count();
@@ -555,6 +600,107 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         result
     }
 
+    /// Batched schedule: each step runs its *whole* tile grid on one
+    /// worker shard, with up to `workers` steps in flight at a time —
+    /// inter-step parallelism instead of the intra-step row panels of
+    /// [`Backend::mmo`]. Shards are taken in step order (each after its
+    /// own [`MmoUnit::begin_matrix_mmo`]) and absorbed in step order, so
+    /// fault draws, merged logs and counters are identical to replaying
+    /// the same steps sequentially; per-tile reduction order never
+    /// changes, so outputs are bit-identical too. A panicking step
+    /// surfaces as [`BackendError::WorkerPanic`] (with its step index as
+    /// the `panel`) after the in-flight chunk drains; completed steps
+    /// still count.
+    fn mmo_batch(&mut self, steps: &[MmoArgs<'_>]) -> Result<Vec<Matrix>, BackendError> {
+        let workers = self.parallelism.worker_count();
+        if steps.len() <= 1 || workers <= 1 || self.unit.shard().is_none() {
+            return steps
+                .iter()
+                .map(|s| self.mmo(s.op, s.a, s.b, s.c))
+                .collect();
+        }
+        // Validate every step before any unit state advances, so a
+        // malformed step rejects the whole batch without side effects.
+        let mut grids = Vec::with_capacity(steps.len());
+        for s in steps {
+            crate::validate::check_mmo_operands(s.op, s.a, s.b, s.c)?;
+            grids.push(TileGrid::new(s.a.rows(), s.b.cols(), s.a.cols(), ISA_TILE));
+        }
+        let mut shards = Vec::with_capacity(steps.len());
+        for _ in steps {
+            self.unit.begin_matrix_mmo();
+            shards.push(
+                self.unit
+                    .shard()
+                    .expect("shard availability was probed before the batch began"),
+            );
+        }
+        let mut outputs: Vec<Option<Matrix>> = steps.iter().map(|_| None).collect();
+        let mut first_panic: Option<BackendError> = None;
+        let mut shards = shards.into_iter();
+        for chunk_base in (0..steps.len()).step_by(workers) {
+            let chunk = chunk_base..(chunk_base + workers).min(steps.len());
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(chunk.len());
+                for idx in chunk {
+                    let step = &steps[idx];
+                    let grid = &grids[idx];
+                    let mut shard = shards.next().expect("one shard per step");
+                    begin_mmo(&self.tracer, step.op, grid, 1);
+                    let worker_tracer = self.tracer.clone();
+                    handles.push((
+                        idx,
+                        s.spawn(move || {
+                            let mut d = Matrix::zeros(grid.m, grid.n);
+                            let panel = 0..grid.m_tiles;
+                            let rows = grid.panel_rows(&panel).len();
+                            let count = run_panel(
+                                &mut shard,
+                                step.op,
+                                (step.a, step.b, step.c),
+                                grid,
+                                panel,
+                                d.as_mut_slice(),
+                            );
+                            emit_tile_panel(&worker_tracer, 0, rows, count);
+                            (d, count, shard)
+                        }),
+                    ));
+                }
+                for (idx, handle) in handles {
+                    match handle.join() {
+                        Ok((d, count, shard)) => {
+                            self.unit.absorb(shard);
+                            let mut delta = count;
+                            delta.matrix_mmos = 1;
+                            self.count += delta;
+                            finish_mmo(&self.tracer, steps[idx].op, delta);
+                            outputs[idx] = Some(d);
+                        }
+                        Err(payload) => {
+                            if first_panic.is_none() {
+                                first_panic = Some(BackendError::WorkerPanic {
+                                    panel: idx,
+                                    payload: panic_payload_message(payload),
+                                });
+                            }
+                        }
+                    }
+                }
+            });
+            if first_panic.is_some() {
+                break;
+            }
+        }
+        match first_panic {
+            Some(err) => Err(err),
+            None => Ok(outputs
+                .into_iter()
+                .map(|d| d.expect("every step joined without panicking"))
+                .collect()),
+        }
+    }
+
     fn op_count(&self) -> OpCount {
         self.count
     }
@@ -586,6 +732,17 @@ impl IsaBackend {
     /// Attaches a telemetry tracer emitting [`span::MMO`] spans.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Cumulative ISA-level execution statistics.
@@ -638,7 +795,7 @@ impl Backend for IsaBackend {
         b: &Matrix,
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
-        reference::check_mmo_shapes(a, b, c)?;
+        crate::validate::check_mmo_operands(op, a, b, c)?;
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let grid = TileGrid::new(m, n, k, ISA_TILE);
         begin_mmo(&self.tracer, op, &grid, 1);
@@ -734,14 +891,7 @@ impl Backend for IsaBackend {
         };
         self.count += delta;
         finish_mmo(&self.tracer, op, delta);
-        self.exec_stats.loads += stats.loads;
-        self.exec_stats.stores += stats.stores;
-        self.exec_stats.fills += stats.fills;
-        self.exec_stats.faults_injected += stats.faults_injected;
-        self.exec_stats.mmos_verified += stats.mmos_verified;
-        for (op, n) in stats.mmos {
-            *self.exec_stats.mmos.entry(op).or_insert(0) += n;
-        }
+        self.exec_stats.merge(&stats);
 
         let padded_d = exec.memory().read_matrix(c_base, np, mp, np)?;
         Ok(Matrix::from_fn(m, n, |r, c| padded_d[(r, c)]))
@@ -867,6 +1017,167 @@ mod tests {
             par.mmo(op, &a, &b, &c).unwrap();
             assert_eq!(par.op_count(), seq.op_count(), "{workers} workers");
         }
+    }
+
+    /// A batch of independent steps over every op, with mixed ragged
+    /// shapes so step grids differ.
+    fn batch_operands() -> Vec<(OpKind, Matrix, Matrix, Matrix)> {
+        ALL_OPS
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let (m, n, k) = (20 + 16 * (i % 3), 23 + 8 * (i % 2), 37);
+                let (a, b, c) = operands(op, m, n, k);
+                (op, a, b, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_steps_are_bit_identical_to_sequential_replay() {
+        let steps = batch_operands();
+        let args: Vec<MmoArgs<'_>> = steps
+            .iter()
+            .map(|(op, a, b, c)| MmoArgs { op: *op, a, b, c })
+            .collect();
+        let mut seq = TiledBackend::new();
+        let want: Vec<Matrix> = steps
+            .iter()
+            .map(|(op, a, b, c)| seq.mmo(*op, a, b, c).unwrap())
+            .collect();
+        for workers in [2usize, 3, 8] {
+            let mut be = TiledBackend::with_parallelism(Parallelism::Threads(workers));
+            let got = be.mmo_batch(&args).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    g.as_slice()
+                        .iter()
+                        .zip(w.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "step {i} with {workers} workers"
+                );
+            }
+            assert_eq!(be.op_count(), seq.op_count(), "{workers} workers");
+        }
+        // The trait default (sequential loop) agrees as well, on every
+        // backend.
+        let mut byref = ReferenceBackend::new();
+        let d = byref.mmo_batch(&args).unwrap();
+        assert_eq!(d.len(), want.len());
+        assert_eq!(byref.op_count().matrix_mmos, args.len() as u64);
+    }
+
+    #[test]
+    fn batched_steps_count_and_trace_like_sequential() {
+        use simd2_trace::RingSink;
+        let steps = batch_operands();
+        let args: Vec<MmoArgs<'_>> = steps
+            .iter()
+            .map(|(op, a, b, c)| MmoArgs { op: *op, a, b, c })
+            .collect();
+        let ring = RingSink::shared();
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4))
+            .with_tracer(Tracer::to(ring.clone()));
+        be.mmo_batch(&args).unwrap();
+        let count = be.op_count();
+        assert_eq!(count.matrix_mmos, args.len() as u64);
+        let events = ring.events();
+        let sum = |key: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.span == span::MMO && e.kind == simd2_trace::EventKind::End)
+                .map(|e| e.u64(key).unwrap())
+                .sum()
+        };
+        assert_eq!(sum("tile_mmos"), count.tile_mmos);
+        assert_eq!(sum("tile_loads"), count.tile_loads);
+        assert_eq!(sum("tile_stores"), count.tile_stores);
+    }
+
+    #[test]
+    fn batched_faulty_units_reproduce_the_sequential_fault_log() {
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        let op = OpKind::PlusMul;
+        let steps: Vec<_> = (0..5).map(|i| operands(op, 36 + 16 * i, 40, 40)).collect();
+        let run = |parallelism, batched: bool| {
+            let plan = FaultPlan::new(FaultPlanConfig::new(7).with_bit_flip_ppm(200_000));
+            let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan));
+            let mut be = TiledBackend::with_unit(unit);
+            be.set_parallelism(parallelism);
+            let outputs = if batched {
+                let args: Vec<MmoArgs<'_>> = steps
+                    .iter()
+                    .map(|(a, b, c)| MmoArgs { op, a, b, c })
+                    .collect();
+                be.mmo_batch(&args).unwrap()
+            } else {
+                steps
+                    .iter()
+                    .map(|(a, b, c)| be.mmo(op, a, b, c).unwrap())
+                    .collect()
+            };
+            (outputs, be.unit().injector().log(), be.op_count())
+        };
+        let (d_seq, log_seq, count_seq) = run(Parallelism::Sequential, false);
+        let (d_bat, log_bat, count_bat) = run(Parallelism::Threads(3), true);
+        // Per-step `begin_matrix_mmo` in submission order + coordinate-
+        // addressed sites ⇒ identical strikes, logs, outputs, counters.
+        assert_eq!(log_seq, log_bat);
+        assert_eq!(d_seq, d_bat);
+        assert_eq!(count_seq, count_bat);
+        assert!(!log_seq.is_empty(), "campaign should have struck");
+    }
+
+    #[test]
+    fn batched_step_panic_surfaces_with_its_step_index() {
+        use simd2_fault::{PanicProbeUnit, PANIC_PROBE_PAYLOAD};
+        let op = OpKind::PlusMul;
+        let steps: Vec<_> = (0..4).map(|_| operands(op, 40, 23, 37)).collect();
+        // Every step's shard covers tile row 1 (40 rows → 3 tile rows),
+        // so every step trips; the *first* panic in step order wins.
+        let mut be = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+        be.set_parallelism(Parallelism::Threads(2));
+        let args: Vec<MmoArgs<'_>> = steps
+            .iter()
+            .map(|(a, b, c)| MmoArgs { op, a, b, c })
+            .collect();
+        let err = be.mmo_batch(&args).unwrap_err();
+        match &err {
+            BackendError::WorkerPanic { panel, payload } => {
+                assert_eq!(*panel, 0, "first failed step index is reported");
+                assert!(payload.starts_with(PANIC_PROBE_PAYLOAD), "{payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The backend stays usable sequentially (parent never panics).
+        let (a, b, c) = &steps[0];
+        be.mmo_sequential(op, a, b, c).unwrap();
+    }
+
+    #[test]
+    fn malformed_batch_step_rejects_the_whole_batch_upfront() {
+        let op = OpKind::MinPlus;
+        let good = operands(op, 40, 40, 40);
+        let bad_b = Matrix::zeros(17, 40);
+        let args = [
+            MmoArgs {
+                op,
+                a: &good.0,
+                b: &good.1,
+                c: &good.2,
+            },
+            MmoArgs {
+                op,
+                a: &good.0,
+                b: &bad_b,
+                c: &good.2,
+            },
+        ];
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        assert!(be.mmo_batch(&args).is_err());
+        // Nothing executed: validation happens before any step runs.
+        assert_eq!(be.op_count(), OpCount::default());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use simd2_semiring::OpKind;
 
 use crate::backend::{Backend, OpCount, Parallelism, TiledBackend};
 use crate::error::BackendError;
+use crate::plan::PlanBuilder;
 
 /// A reusable high-level execution context: one tiled SIMD² engine, its
 /// [`Parallelism`] setting, and its accumulated work counters.
@@ -79,6 +80,45 @@ impl Simd2Context {
     /// Changes the parallelism of subsequent calls (results unchanged).
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.backend.set_parallelism(parallelism);
+    }
+
+    /// Starts recording a [`Plan`](crate::plan::Plan) over this
+    /// context's backend: the returned builder is itself a [`Backend`],
+    /// so any algorithm written against the trait (the closure solvers,
+    /// the Figure-11 apps) runs unmodified while its MMO sequence is
+    /// captured. Execution still happens eagerly underneath — outputs,
+    /// counters and telemetry are identical to calling
+    /// [`mmo`](Self::mmo) directly — and `finish()` yields the plan for
+    /// replay, batching, ISA compilation, or timing-model export.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simd2::{PlanExecutor, Simd2Context};
+    /// use simd2::backend::Backend;
+    /// use simd2_matrix::Matrix;
+    /// use simd2_semiring::OpKind;
+    ///
+    /// let mut ctx = Simd2Context::new();
+    /// let a = Matrix::filled(32, 32, 1.0);
+    /// let c = Matrix::filled(32, 32, f32::INFINITY);
+    /// let mut rec = ctx.record();
+    /// let d = rec.mmo(OpKind::MinPlus, &a, &a, &c)?;
+    /// let plan = rec.finish();
+    /// assert_eq!(plan.step_count(), 1);
+    /// // Replaying the plan reproduces the recorded result bit-for-bit.
+    /// let replay = PlanExecutor::new().run(&plan, ctx.backend_mut())?;
+    /// assert_eq!(replay.final_output(), Some(&d));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn record(&mut self) -> PlanBuilder<'_, TiledBackend> {
+        PlanBuilder::over(&mut self.backend)
+    }
+
+    /// The underlying tiled backend, e.g. to replay a recorded plan on
+    /// the same engine (counters keep aggregating).
+    pub fn backend_mut(&mut self) -> &mut TiledBackend {
+        &mut self.backend
     }
 
     /// Executes `D = C ⊕ (A ⊗ B)` with implicit tiling.

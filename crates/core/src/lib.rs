@@ -14,6 +14,11 @@
 //! * [`highlevel`] — the *high-level* interface of paper Figure 6
 //!   (`simd2_minplus(A, B, C, D, m, n, k)` and friends): arbitrary shapes,
 //!   implicit tiling/partitioning;
+//! * [`plan`] — the recorded plan IR: capture an algorithm's MMO
+//!   sequence once through a recording backend, then lower that one
+//!   artifact everywhere — sequential or wave-batched functional
+//!   replay, per-warp ISA kernels, and shape-level traces for the GPU
+//!   timing model;
 //! * [`solve`] — the closure solvers of §4/§6.4: all-pairs Bellman-Ford
 //!   relaxation and Leyzorek repeated squaring, with and without
 //!   convergence checks, generic over any closure algebra;
@@ -32,14 +37,18 @@ pub mod backend;
 pub mod error;
 pub mod highlevel;
 pub mod micro;
+pub mod plan;
 pub mod program;
 pub mod resilient;
 pub mod solve;
 pub mod typed;
 pub mod validate;
 
-pub use backend::{Backend, IsaBackend, OpCount, Parallelism, ReferenceBackend, TiledBackend};
+pub use backend::{
+    Backend, IsaBackend, MmoArgs, OpCount, Parallelism, ReferenceBackend, TiledBackend,
+};
 pub use error::BackendError;
 pub use highlevel::Simd2Context;
+pub use plan::{Executor as PlanExecutor, Plan, PlanBuilder, Replay, SlotId, SlotOrigin};
 pub use resilient::{RecoveryPolicy, RecoveryStats, ResilientBackend};
 pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

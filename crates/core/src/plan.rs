@@ -1,0 +1,835 @@
+//! Plan IR: record once, lower anywhere.
+//!
+//! Historically every consumer of an algorithm's matrix-operation
+//! sequence maintained its own shadow of it — the functional backends
+//! executed it eagerly, the ISA path rebuilt the instruction stream
+//! inline, and the timing layer hand-derived each application's
+//! iteration structure. This module replaces those shadows with one
+//! recorded artifact: a [`Plan`] is an ordered list of MMO steps
+//! (`D = C ⊕ (A ⊗ B)` over a small slot arena) with recorded shape
+//! metadata and a dependency summary, built by running an unmodified
+//! algorithm against a [`PlanBuilder`] — a recording [`Backend`] that
+//! delegates to a real one, so data-dependent control flow (convergence
+//! checks) records exactly the steps that actually ran.
+//!
+//! A single [`Executor`] then lowers a plan onto any [`Backend`]:
+//! sequentially (bit-identical to the eager run), or wave-batched —
+//! mutually independent steps of one plan (or several [merged](Plan::merge)
+//! plans) dispatched together through [`Backend::mmo_batch`]. The same
+//! plan also compiles to per-warp ISA kernels ([`Plan::compile`]) and
+//! exports shape-level traces ([`Plan::traces`]) that drive the GPU
+//! pipeline cost model — one recording, three lowerings.
+
+use std::collections::HashMap;
+
+use simd2_gpu::MmoTrace;
+use simd2_matrix::Matrix;
+use simd2_semiring::OpKind;
+use simd2_trace::{field, span, Tracer};
+
+use crate::backend::{Backend, MmoArgs, OpCount};
+use crate::error::BackendError;
+use crate::program::{compile_mmo, CompiledKernel};
+
+/// Index of a value slot in a plan's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(usize);
+
+impl SlotId {
+    /// The slot's arena index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Where a slot's value comes from at replay time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotOrigin {
+    /// An external operand captured at record time.
+    Input,
+    /// The output of the step with this index.
+    Step(usize),
+}
+
+/// One value slot: its shape, provenance, and (for inputs) the captured
+/// value. Step outputs are *not* stored — they are recomputed at replay,
+/// which is what makes replay a real execution rather than a lookup.
+#[derive(Clone, Debug)]
+struct Slot {
+    shape: (usize, usize),
+    origin: SlotOrigin,
+    value: Option<Matrix>,
+}
+
+/// One recorded `D = C ⊕ (A ⊗ B)` step over the slot arena. Slots are
+/// SSA: every step writes a fresh output slot, so the dependency summary
+/// is exactly "which steps produced my operands".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Semiring operation.
+    pub op: OpKind,
+    /// Left operand (`m×k`).
+    pub a: SlotId,
+    /// Right operand (`k×n`).
+    pub b: SlotId,
+    /// Accumulator (`m×n`).
+    pub c: SlotId,
+    /// Output (`m×n`, always a fresh slot).
+    pub d: SlotId,
+}
+
+/// A recorded program of matrix operations: the single artifact the
+/// functional, ISA and timing lowerings all consume. Built by a
+/// [`PlanBuilder`]; executed by an [`Executor`].
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    slots: Vec<Slot>,
+    steps: Vec<Step>,
+    reduced_precision: bool,
+}
+
+impl Plan {
+    /// Number of recorded steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of value slots (inputs + one output per step).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the plan records no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The recorded steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Whether the recording backend ran operands through fp16.
+    pub fn reduced_precision(&self) -> bool {
+        self.reduced_precision
+    }
+
+    /// A slot's recorded `(rows, cols)` shape.
+    pub fn slot_shape(&self, slot: SlotId) -> (usize, usize) {
+        self.slots[slot.0].shape
+    }
+
+    /// A slot's provenance.
+    pub fn slot_origin(&self, slot: SlotId) -> SlotOrigin {
+        self.slots[slot.0].origin
+    }
+
+    /// The captured value of an input slot (`None` for step outputs).
+    pub fn input_value(&self, slot: SlotId) -> Option<&Matrix> {
+        self.slots[slot.0].value.as_ref()
+    }
+
+    /// Per-step dependency summary: for each step, the (sorted,
+    /// deduplicated) indices of earlier steps whose outputs it reads.
+    /// Slots are SSA, so these are pure read-after-write edges.
+    pub fn dependencies(&self) -> Vec<Vec<usize>> {
+        self.steps
+            .iter()
+            .map(|s| {
+                let mut deps: Vec<usize> = [s.a, s.b, s.c]
+                    .iter()
+                    .filter_map(|&sl| match self.slots[sl.0].origin {
+                        SlotOrigin::Step(i) => Some(i),
+                        SlotOrigin::Input => None,
+                    })
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            })
+            .collect()
+    }
+
+    /// Topological dispatch levels: wave `w` holds the (ascending) step
+    /// indices whose dependencies all completed in waves `< w`. Steps
+    /// within one wave are mutually independent — the unit of batched
+    /// dispatch through [`Backend::mmo_batch`].
+    pub fn waves(&self) -> Vec<Vec<usize>> {
+        let deps = self.dependencies();
+        let mut level = vec![0usize; self.steps.len()];
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.steps.len() {
+            let l = deps[i].iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+            level[i] = l;
+            if waves.len() <= l {
+                waves.resize(l + 1, Vec::new());
+            }
+            waves[l].push(i);
+        }
+        waves
+    }
+
+    /// A step's `(m, n, k)` geometry, from its operand slot shapes.
+    pub fn step_geometry(&self, step: usize) -> (usize, usize, usize) {
+        let s = &self.steps[step];
+        let (m, k) = self.slots[s.a.0].shape;
+        let (_, n) = self.slots[s.b.0].shape;
+        (m, n, k)
+    }
+
+    /// Exports the plan as shape-level [`MmoTrace`] records — the form
+    /// the GPU pipeline cost model replays
+    /// ([`simd2_gpu::simulate_trace`]), so timing is derived from the
+    /// recorded algorithm instead of a hand-maintained op sequence.
+    pub fn traces(&self) -> Vec<MmoTrace> {
+        (0..self.steps.len())
+            .map(|i| {
+                let (m, n, k) = self.step_geometry(i);
+                MmoTrace::new(self.steps[i].op, m, n, k)
+            })
+            .collect()
+    }
+
+    /// Lowers every step to a `warps`-wide ISA kernel
+    /// ([`compile_mmo`]) — the instruction streams the warp-level
+    /// executor and the pipeline simulator both consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps == 0`.
+    pub fn compile(&self, warps: usize) -> Vec<CompiledKernel> {
+        (0..self.steps.len())
+            .map(|i| {
+                let (m, n, k) = self.step_geometry(i);
+                compile_mmo(self.steps[i].op, m, n, k, warps)
+            })
+            .collect()
+    }
+
+    /// The tile-operation counters a full replay of this plan performs,
+    /// predicted from recorded shapes alone — equal to the replaying
+    /// backend's [`OpCount`] delta.
+    pub fn predicted_op_count(&self) -> OpCount {
+        let mut count = OpCount::default();
+        for trace in self.traces() {
+            count.matrix_mmos += 1;
+            count.tile_mmos += trace.tile_mmos() as u64;
+            count.tile_loads += (2 * trace.tile_mmos() + trace.output_tiles()) as u64;
+            count.tile_stores += trace.output_tiles() as u64;
+        }
+        count
+    }
+
+    /// Merges several plans into one: slots and step indices are
+    /// renumbered plan-by-plan, and no cross-plan edges are introduced,
+    /// so steps from different plans land in the same waves and batch
+    /// together — the fan-out path for running independent recordings
+    /// through one [`Backend::mmo_batch`] dispatch. The merged plan is
+    /// reduced-precision if any constituent was.
+    pub fn merge<I: IntoIterator<Item = Plan>>(plans: I) -> Plan {
+        let mut merged = Plan::default();
+        for plan in plans {
+            let slot_base = merged.slots.len();
+            let step_base = merged.steps.len();
+            merged.reduced_precision |= plan.reduced_precision;
+            for mut slot in plan.slots {
+                if let SlotOrigin::Step(i) = slot.origin {
+                    slot.origin = SlotOrigin::Step(i + step_base);
+                }
+                merged.slots.push(slot);
+            }
+            for step in plan.steps {
+                let shift = |s: SlotId| SlotId(s.0 + slot_base);
+                merged.steps.push(Step {
+                    op: step.op,
+                    a: shift(step.a),
+                    b: shift(step.b),
+                    c: shift(step.c),
+                    d: shift(step.d),
+                });
+            }
+        }
+        merged
+    }
+}
+
+/// FNV-1a over a matrix's shape and exact element bits — the interning
+/// key the recorder uses to recover dependency edges from operand
+/// identity.
+fn content_hash(m: &Matrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for word in [m.rows() as u64, m.cols() as u64]
+        .into_iter()
+        .chain(m.as_slice().iter().map(|v| u64::from(v.to_bits())))
+    {
+        h ^= word;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A recording frontend: a [`Backend`] that executes every operation
+/// through an inner backend *and* appends it to a [`Plan`]. Because the
+/// real backend runs underneath, recorded programs with data-dependent
+/// control flow (convergence loops) capture exactly the steps that
+/// executed, and recording is observationally identical to the eager
+/// path — same outputs, same counters, same telemetry.
+///
+/// Operands are interned by content (exact bits): an operand that equals
+/// a previous step's output becomes a read of that step's slot, which is
+/// how dependency edges are recovered without any API change in the
+/// recorded algorithm. When several slots hold bit-identical content the
+/// most recent one wins — replay values are unaffected (the contents are
+/// equal by construction).
+#[derive(Debug)]
+pub struct PlanBuilder<'b, B: Backend> {
+    backend: &'b mut B,
+    plan: Plan,
+    /// Transient value of every slot (inputs *and* step outputs), used
+    /// only for interning during recording.
+    values: Vec<Matrix>,
+    index: HashMap<u64, Vec<SlotId>>,
+}
+
+impl<'b, B: Backend> PlanBuilder<'b, B> {
+    /// Starts recording over `backend`.
+    pub fn over(backend: &'b mut B) -> Self {
+        let reduced_precision = backend.reduced_precision();
+        Self {
+            backend,
+            plan: Plan {
+                reduced_precision,
+                ..Plan::default()
+            },
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Finishes recording and returns the plan.
+    pub fn finish(self) -> Plan {
+        self.plan
+    }
+
+    /// The number of steps recorded so far.
+    pub fn recorded_steps(&self) -> usize {
+        self.plan.step_count()
+    }
+
+    /// Interns `m`: returns the most recent slot with bit-identical
+    /// content, or captures it as a fresh input slot.
+    fn intern(&mut self, m: &Matrix) -> SlotId {
+        let h = content_hash(m);
+        if let Some(candidates) = self.index.get(&h) {
+            for &slot in candidates.iter().rev() {
+                let held = &self.values[slot.0];
+                if held.shape() == m.shape()
+                    && held
+                        .as_slice()
+                        .iter()
+                        .zip(m.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+                {
+                    return slot;
+                }
+            }
+        }
+        let slot = SlotId(self.plan.slots.len());
+        self.plan.slots.push(Slot {
+            shape: m.shape(),
+            origin: SlotOrigin::Input,
+            value: Some(m.clone()),
+        });
+        self.values.push(m.clone());
+        self.index.entry(h).or_default().push(slot);
+        slot
+    }
+
+    /// Registers a step's freshly computed output as a new slot.
+    fn record_output(&mut self, d: &Matrix, step: usize) -> SlotId {
+        let slot = SlotId(self.plan.slots.len());
+        self.plan.slots.push(Slot {
+            shape: d.shape(),
+            origin: SlotOrigin::Step(step),
+            value: None,
+        });
+        self.values.push(d.clone());
+        self.index.entry(content_hash(d)).or_default().push(slot);
+        slot
+    }
+
+    fn record_mmo(&mut self, op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) {
+        let (sa, sb, sc) = (self.intern(a), self.intern(b), self.intern(c));
+        let step = self.plan.steps.len();
+        let sd = self.record_output(d, step);
+        self.plan.steps.push(Step {
+            op,
+            a: sa,
+            b: sb,
+            c: sc,
+            d: sd,
+        });
+    }
+}
+
+impl<B: Backend> Backend for PlanBuilder<'_, B> {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn reduced_precision(&self) -> bool {
+        self.backend.reduced_precision()
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        // Execute first: a failed operation records nothing, matching
+        // the counter/telemetry convention everywhere else.
+        let d = self.backend.mmo(op, a, b, c)?;
+        self.record_mmo(op, a, b, c, &d);
+        Ok(d)
+    }
+
+    fn mmo_sequential(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        let d = self.backend.mmo_sequential(op, a, b, c)?;
+        self.record_mmo(op, a, b, c, &d);
+        Ok(d)
+    }
+
+    fn op_count(&self) -> OpCount {
+        self.backend.op_count()
+    }
+
+    fn reset_count(&mut self) {
+        self.backend.reset_count();
+    }
+}
+
+/// Lowers recorded plans onto any [`Backend`] — the one execution engine
+/// behind the functional, ISA and (via [`Plan::traces`]) timing paths.
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    tracer: Tracer,
+    batching: bool,
+}
+
+impl Executor {
+    /// A sequential executor: steps replay one by one, in recorded
+    /// order — bit-identical to the eager run that produced the plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A batching executor: each dependency wave's mutually independent
+    /// steps are dispatched together through [`Backend::mmo_batch`]
+    /// (inter-step parallelism on backends that support it). Results
+    /// remain bit-identical to sequential replay.
+    pub fn batched() -> Self {
+        Self {
+            batching: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this executor dispatches waves through
+    /// [`Backend::mmo_batch`].
+    pub fn is_batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Attaches a telemetry tracer: every [`run`](Self::run) emits a
+    /// [`span::PLAN`] begin/end span plus one [`span::PLAN_WAVE`]
+    /// summary per dispatch wave. Backend-level spans (`mmo`,
+    /// `tile_panel`) come from the backend's own tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The eager path as a thin wrapper: executes one operation directly
+    /// on the backend, no plan involved. Kept so call sites read
+    /// uniformly whether they record or not.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Backend::mmo`].
+    pub fn eager<B: Backend>(
+        backend: &mut B,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        backend.mmo(op, a, b, c)
+    }
+
+    /// Replays `plan` on `backend` and returns every slot's value.
+    ///
+    /// Sequential executors run steps in recorded order; batching
+    /// executors dispatch each dependency wave through
+    /// [`Backend::mmo_batch`]. Either way outputs are bit-identical to
+    /// the eager run that recorded the plan (given the same backend
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BackendError`] a step raises; completed
+    /// steps' counters are retained, and (matching the `mmo` span
+    /// convention) a failed run emits no [`span::PLAN`] end event.
+    pub fn run<B: Backend>(&self, plan: &Plan, backend: &mut B) -> Result<Replay, BackendError> {
+        let mut values: Vec<Option<Matrix>> = plan.slots.iter().map(|s| s.value.clone()).collect();
+        self.tracer.begin(
+            span::PLAN,
+            &[
+                field("steps", plan.step_count()),
+                field("slots", plan.slot_count()),
+                field("backend", backend.name()),
+                field(
+                    "mode",
+                    if self.batching {
+                        "batched"
+                    } else {
+                        "sequential"
+                    },
+                ),
+            ],
+        );
+        fn operand(values: &[Option<Matrix>], slot: SlotId) -> &Matrix {
+            values[slot.0]
+                .as_ref()
+                .expect("waves resolve every operand before its readers")
+        }
+        let waves = plan.waves();
+        for (w, wave) in waves.iter().enumerate() {
+            if self.batching && wave.len() > 1 {
+                let args: Vec<MmoArgs<'_>> = wave
+                    .iter()
+                    .map(|&i| {
+                        let s = &plan.steps[i];
+                        MmoArgs {
+                            op: s.op,
+                            a: operand(&values, s.a),
+                            b: operand(&values, s.b),
+                            c: operand(&values, s.c),
+                        }
+                    })
+                    .collect();
+                let outputs = backend.mmo_batch(&args)?;
+                drop(args);
+                for (&i, d) in wave.iter().zip(outputs) {
+                    values[plan.steps[i].d.0] = Some(d);
+                }
+            } else {
+                for &i in wave {
+                    let s = &plan.steps[i];
+                    let d = backend.mmo(
+                        s.op,
+                        operand(&values, s.a),
+                        operand(&values, s.b),
+                        operand(&values, s.c),
+                    )?;
+                    values[s.d.0] = Some(d);
+                }
+            }
+            self.tracer.end(
+                span::PLAN_WAVE,
+                &[field("wave", w), field("steps", wave.len())],
+            );
+        }
+        self.tracer.end(
+            span::PLAN,
+            &[
+                field("steps", plan.step_count()),
+                field("slots", plan.slot_count()),
+                field("waves", waves.len()),
+            ],
+        );
+        Ok(Replay {
+            values: values
+                .into_iter()
+                .map(|v| v.expect("every slot is an input or a completed step output"))
+                .collect(),
+            step_outputs: plan.steps.iter().map(|s| s.d).collect(),
+        })
+    }
+}
+
+/// The resolved values of one plan replay.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    values: Vec<Matrix>,
+    step_outputs: Vec<SlotId>,
+}
+
+impl Replay {
+    /// A slot's replayed value.
+    pub fn value(&self, slot: SlotId) -> &Matrix {
+        &self.values[slot.index()]
+    }
+
+    /// The output of step `step`.
+    pub fn step_output(&self, step: usize) -> &Matrix {
+        self.value(self.step_outputs[step])
+    }
+
+    /// The last step's output (`None` for an empty plan).
+    pub fn final_output(&self) -> Option<&Matrix> {
+        self.step_outputs.last().map(|&s| self.value(s))
+    }
+
+    /// Consumes the replay and returns the last step's output.
+    pub fn into_final_output(mut self) -> Option<Matrix> {
+        let last = *self.step_outputs.last()?;
+        Some(self.values.swap_remove(last.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallelism, ReferenceBackend, TiledBackend};
+    use simd2_matrix::gen;
+    use simd2_semiring::ALL_OPS;
+
+    fn bit_eq(x: &Matrix, y: &Matrix) -> bool {
+        x.shape() == y.shape()
+            && x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Records a 3-step chain: d0 = C ⊕ (A ⊗ B); d1 = C ⊕ (d0 ⊗ B);
+    /// d2 = C ⊕ (d0 ⊗ d1-ish)… kept square so chaining is legal.
+    fn record_chain(op: OpKind) -> (Plan, Vec<Matrix>) {
+        let a = gen::random_operands_for(op, 40, 40, 1);
+        let b = gen::random_operands_for(op, 40, 40, 2);
+        let c = Matrix::filled(40, 40, op.reduce_identity_f32());
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let d0 = rec.mmo(op, &a, &b, &c).unwrap();
+        let d1 = rec.mmo(op, &d0, &b, &c).unwrap();
+        let d2 = rec.mmo(op, &d0, &d1, &c).unwrap();
+        (rec.finish(), vec![d0, d1, d2])
+    }
+
+    #[test]
+    fn recording_recovers_dependency_edges() {
+        let (plan, _) = record_chain(OpKind::MinPlus);
+        assert_eq!(plan.step_count(), 3);
+        // 3 inputs (A, B, C) + 3 step outputs.
+        assert_eq!(plan.slot_count(), 6);
+        assert_eq!(plan.dependencies(), vec![vec![], vec![0], vec![0, 1]]);
+        assert_eq!(plan.waves(), vec![vec![0], vec![1], vec![2]]);
+        let s = plan.steps()[1];
+        assert_eq!(plan.slot_origin(s.a), SlotOrigin::Step(0));
+        assert_eq!(plan.slot_origin(s.b), SlotOrigin::Input);
+        assert!(plan.input_value(s.b).is_some());
+        assert!(plan.input_value(s.a).is_none());
+        assert!(plan.reduced_precision());
+    }
+
+    #[test]
+    fn sequential_replay_is_bit_identical_to_recording() {
+        for op in ALL_OPS {
+            let (plan, eager) = record_chain(op);
+            let mut be = TiledBackend::new();
+            let replay = Executor::new().run(&plan, &mut be).unwrap();
+            for (i, want) in eager.iter().enumerate() {
+                assert!(bit_eq(replay.step_output(i), want), "{op} step {i}");
+            }
+            assert!(bit_eq(replay.final_output().unwrap(), &eager[2]), "{op}");
+        }
+    }
+
+    #[test]
+    fn replay_counters_match_prediction() {
+        let (plan, _) = record_chain(OpKind::MaxPlus);
+        let mut be = TiledBackend::new();
+        Executor::new().run(&plan, &mut be).unwrap();
+        assert_eq!(be.op_count(), plan.predicted_op_count());
+    }
+
+    #[test]
+    fn merged_plans_batch_into_shared_waves() {
+        let plans: Vec<Plan> = [OpKind::MinPlus, OpKind::MaxMin, OpKind::PlusMul]
+            .into_iter()
+            .map(|op| record_chain(op).0)
+            .collect();
+        let eager: Vec<Vec<Matrix>> = [OpKind::MinPlus, OpKind::MaxMin, OpKind::PlusMul]
+            .into_iter()
+            .map(|op| record_chain(op).1)
+            .collect();
+        let merged = Plan::merge(plans);
+        assert_eq!(merged.step_count(), 9);
+        // Independent recordings share waves: 3 waves of 3 steps.
+        let waves = merged.waves();
+        assert_eq!(waves.len(), 3);
+        assert!(waves.iter().all(|w| w.len() == 3));
+        // Batched replay through the worker pool stays bit-identical.
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        let replay = Executor::batched().run(&merged, &mut be).unwrap();
+        for (p, outs) in eager.iter().enumerate() {
+            for (i, want) in outs.iter().enumerate() {
+                assert!(
+                    bit_eq(replay.step_output(3 * p + i), want),
+                    "plan {p} step {i}"
+                );
+            }
+        }
+        assert_eq!(be.op_count(), merged.predicted_op_count());
+    }
+
+    #[test]
+    fn traces_and_kernels_carry_recorded_geometry() {
+        let op = OpKind::PlusNorm;
+        let a = gen::random_operands_for(op, 20, 36, 3);
+        let b = gen::random_operands_for(op, 36, 52, 4);
+        let c = Matrix::filled(20, 52, op.reduce_identity_f32());
+        let mut be = ReferenceBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(op, &a, &b, &c).unwrap();
+        let plan = rec.finish();
+        assert!(!plan.reduced_precision());
+        assert_eq!(plan.step_geometry(0), (20, 52, 36));
+        let traces = plan.traces();
+        assert_eq!(traces, vec![MmoTrace::new(op, 20, 52, 36)]);
+        let kernels = plan.compile(4);
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].shape, (20, 52, 36));
+        assert_eq!(
+            kernels[0].total_mmos() as u64,
+            plan.predicted_op_count().tile_mmos
+        );
+    }
+
+    #[test]
+    fn recording_is_observationally_identical_to_eager() {
+        use simd2_trace::RingSink;
+        let op = OpKind::MinPlus;
+        let a = gen::random_operands_for(op, 40, 40, 1);
+        let c = Matrix::filled(40, 40, op.reduce_identity_f32());
+        let eager_ring = RingSink::shared();
+        let mut eager_be = TiledBackend::new().with_tracer(Tracer::to(eager_ring.clone()));
+        let eager_d = Executor::eager(&mut eager_be, op, &a, &a, &c).unwrap();
+        let rec_ring = RingSink::shared();
+        let mut rec_be = TiledBackend::new().with_tracer(Tracer::to(rec_ring.clone()));
+        let mut rec = PlanBuilder::over(&mut rec_be);
+        let rec_d = rec.mmo(op, &a, &a, &c).unwrap();
+        assert_eq!(rec.op_count(), eager_be.op_count());
+        assert!(bit_eq(&eager_d, &rec_d));
+        assert_eq!(
+            eager_ring.len(),
+            rec_ring.len(),
+            "same telemetry event stream"
+        );
+    }
+
+    #[test]
+    fn executor_spans_summarise_the_replay() {
+        use simd2_trace::{EventKind, RingSink};
+        let (plan, _) = record_chain(OpKind::MinPlus);
+        let ring = RingSink::shared();
+        let exec = Executor::new().with_tracer(Tracer::to(ring.clone()));
+        assert!(!exec.is_batching());
+        let mut be = TiledBackend::new();
+        exec.run(&plan, &mut be).unwrap();
+        let events = ring.events();
+        let plan_ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.span == span::PLAN && e.kind == EventKind::End)
+            .collect();
+        assert_eq!(plan_ends.len(), 1);
+        assert_eq!(plan_ends[0].u64("steps"), Some(3));
+        assert_eq!(plan_ends[0].u64("waves"), Some(3));
+        let wave_steps: u64 = events
+            .iter()
+            .filter(|e| e.span == span::PLAN_WAVE)
+            .map(|e| e.u64("steps").unwrap())
+            .sum();
+        assert_eq!(wave_steps, 3);
+    }
+
+    #[test]
+    fn failed_step_propagates_and_emits_no_plan_end() {
+        use simd2_trace::{EventKind, RingSink};
+        // Corrupt a recorded plan's captured input so the first step is
+        // rejected at replay time.
+        let (mut plan, _) = record_chain(OpKind::MinPlus);
+        let bad = Matrix::zeros(7, 3);
+        let a_slot = plan.steps()[0].a;
+        plan.slots[a_slot.0].value = Some(bad);
+        let ring = RingSink::shared();
+        let exec = Executor::new().with_tracer(Tracer::to(ring.clone()));
+        let mut be = TiledBackend::new();
+        assert!(exec.run(&plan, &mut be).is_err());
+        let events = ring.events();
+        assert!(events
+            .iter()
+            .any(|e| e.span == span::PLAN && e.kind == EventKind::Begin));
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.span == span::PLAN && e.kind == EventKind::End),
+            "a failed replay must not report completion"
+        );
+    }
+
+    #[test]
+    fn non_square_chains_record_and_replay() {
+        // D1 = C1 ⊕ (A{20×36} ⊗ B{36×24}); D2 = C2 ⊕ (D1 ⊗ B2{24×52}).
+        let op = OpKind::PlusMul;
+        let a = gen::random_operands_for(op, 20, 36, 5);
+        let b = gen::random_operands_for(op, 36, 24, 6);
+        let b2 = gen::random_operands_for(op, 24, 52, 7);
+        let c1 = Matrix::filled(20, 24, op.reduce_identity_f32());
+        let c2 = Matrix::filled(20, 52, op.reduce_identity_f32());
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let d1 = rec.mmo(op, &a, &b, &c1).unwrap();
+        let d2 = rec.mmo(op, &d1, &b2, &c2).unwrap();
+        let plan = rec.finish();
+        assert_eq!(plan.step_geometry(0), (20, 24, 36));
+        assert_eq!(plan.step_geometry(1), (20, 52, 24));
+        assert_eq!(plan.dependencies(), vec![vec![], vec![0]]);
+        let mut replay_be = TiledBackend::new();
+        let replay = Executor::new().run(&plan, &mut replay_be).unwrap();
+        assert!(bit_eq(replay.step_output(0), &d1));
+        assert!(bit_eq(replay.step_output(1), &d2));
+        assert!(bit_eq(&replay.into_final_output().unwrap(), &d2));
+    }
+
+    #[test]
+    fn empty_plan_replays_to_nothing() {
+        let mut be = TiledBackend::new();
+        let rec = PlanBuilder::over(&mut be);
+        let plan = rec.finish();
+        assert!(plan.is_empty());
+        let replay = Executor::batched().run(&plan, &mut be).unwrap();
+        assert!(replay.final_output().is_none());
+        assert_eq!(be.op_count(), OpCount::default());
+    }
+}

@@ -9,9 +9,33 @@
 //! deviation, and carry the op statistics over to the performance model.
 
 use serde::{Deserialize, Serialize};
-use simd2_matrix::Matrix;
+use simd2_matrix::{reference, Matrix};
+use simd2_semiring::OpKind;
 
 use crate::backend::OpCount;
+use crate::error::BackendError;
+
+/// Validates the operands of one `D = C ⊕ (A ⊗ B)` operation — the single
+/// shape/op gate every backend ([`ReferenceBackend`](crate::ReferenceBackend),
+/// [`TiledBackend`](crate::TiledBackend), [`IsaBackend`](crate::IsaBackend))
+/// and the plan recorder run before touching the datapath, so malformed
+/// inputs are rejected with the *same* [`BackendError`] everywhere.
+///
+/// # Errors
+///
+/// Returns [`BackendError::Shape`] when `A: m×k`, `B: k×n`, `C: m×n` do
+/// not fit together.
+pub fn check_mmo_operands(
+    op: OpKind,
+    a: &Matrix,
+    b: &Matrix,
+    c: &Matrix,
+) -> Result<(), BackendError> {
+    let _ = op; // every op shares the mmo geometry; kept for future
+                // op-specific domain checks (and a uniform signature).
+    reference::check_mmo_shapes(a, b, c)?;
+    Ok(())
+}
 
 /// Outcome of validating one application run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -109,6 +133,52 @@ mod tests {
     #[should_panic(expected = "identical shapes")]
     fn shape_mismatch_panics() {
         let _ = compare_outputs("bad", &Matrix::zeros(2, 2), &Matrix::zeros(2, 3), 1.0);
+    }
+
+    #[test]
+    fn all_backends_reject_malformed_inputs_with_the_same_error() {
+        use crate::backend::{Backend, IsaBackend, ReferenceBackend, TiledBackend};
+        // (A, B, C) triples that cannot form D = C ⊕ (A ⊗ B).
+        let malformed = [
+            (
+                Matrix::zeros(4, 4),
+                Matrix::zeros(5, 4),
+                Matrix::zeros(4, 4),
+            ),
+            (
+                Matrix::zeros(4, 7),
+                Matrix::zeros(7, 3),
+                Matrix::zeros(4, 4),
+            ),
+            (
+                Matrix::zeros(2, 3),
+                Matrix::zeros(3, 5),
+                Matrix::zeros(3, 5),
+            ),
+        ];
+        for (a, b, c) in &malformed {
+            let want = check_mmo_operands(OpKind::MinPlus, a, b, c)
+                .expect_err("malformed inputs must be rejected");
+            let r = ReferenceBackend::new()
+                .mmo(OpKind::MinPlus, a, b, c)
+                .expect_err("reference");
+            let t = TiledBackend::new()
+                .mmo(OpKind::MinPlus, a, b, c)
+                .expect_err("tiled");
+            let i = IsaBackend::new()
+                .mmo(OpKind::MinPlus, a, b, c)
+                .expect_err("isa");
+            assert_eq!(r, want, "reference backend error diverged");
+            assert_eq!(t, want, "tiled backend error diverged");
+            assert_eq!(i, want, "isa backend error diverged");
+        }
+        // Well-formed operands pass for every op.
+        let a = Matrix::zeros(4, 6);
+        let b = Matrix::zeros(6, 5);
+        let c = Matrix::zeros(4, 5);
+        for op in simd2_semiring::ALL_OPS {
+            assert!(check_mmo_operands(op, &a, &b, &c).is_ok(), "{op}");
+        }
     }
 
     #[test]

@@ -28,8 +28,10 @@
 pub mod config;
 pub mod cost;
 pub mod kernel;
+pub mod replay;
 pub mod sim;
 
 pub use config::GpuConfig;
 pub use kernel::{geomean, Gpu, KernelProfile, Seconds};
+pub use replay::{simulate_trace, MmoTrace};
 pub use sim::{GridSim, PipelineStats, SmPipeline};

@@ -220,6 +220,20 @@ impl ExecStats {
     pub fn elements_moved(&self) -> u64 {
         (self.loads + self.stores) * (ISA_TILE * ISA_TILE) as u64
     }
+
+    /// Accumulates another run's statistics into this one (field-wise
+    /// sum; per-op `mmo` counts merge by key). Backends that execute one
+    /// program per matrix operation use this to keep cumulative totals.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.fills += other.fills;
+        self.faults_injected += other.faults_injected;
+        self.mmos_verified += other.mmos_verified;
+        for (&op, &n) in &other.mmos {
+            *self.mmos.entry(op).or_insert(0) += n;
+        }
+    }
 }
 
 /// The warp-level executor.

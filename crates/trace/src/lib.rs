@@ -68,6 +68,12 @@ pub mod span {
     pub const PIPELINE: &str = "pipeline";
     /// One application benchmark phase (`instant`).
     pub const APP_PHASE: &str = "app_phase";
+    /// One recorded-plan execution through the plan executor
+    /// (`begin`/`end` span; the end event carries step/slot totals).
+    pub const PLAN: &str = "plan";
+    /// One dispatch wave of independent plan steps (`end`-only span
+    /// summary; sequential replays emit one wave per step).
+    pub const PLAN_WAVE: &str = "plan_wave";
 }
 
 /// Process-global arming gate consulted by [`Tracer::current`].

@@ -7,6 +7,7 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 # Optional: throughput-bench smoke (adds a few seconds). Enable with
 #   SIMD2_BENCH_SMOKE=1 scripts/verify.sh
@@ -30,4 +31,12 @@ fi
 if [ "${SIMD2_TRACE_SMOKE:-0}" = "1" ]; then
   cargo test -q -p simd2-trace
   cargo test -q --test telemetry_snapshot --test telemetry_overhead
+fi
+
+# Optional: plan-IR smoke — records every Figure-11 app as a plan and
+# replays it on the tiled (sequential + batched), reference, and ISA
+# backends, cross-checking outputs and work counters. Enable with
+#   SIMD2_PLAN_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_PLAN_SMOKE:-0}" = "1" ]; then
+  cargo run --release -q -p simd2-bench --bin plan_smoke
 fi
