@@ -1,0 +1,856 @@
+//! Randomized multi-tenant soak for the `simd2-serve` plan service.
+//!
+//! A seeded, time-bounded episode loop. Each episode builds a fresh
+//! [`PlanService`] in one of three chaos modes — clean, transient-fault
+//! injected, or worker-panic armed — registers 2–4 tenants with
+//! randomized quotas and scheduler weights, and drives a randomized
+//! batch of submissions (op × shape × chain length × deadline × cache
+//! duplicates × quota probes × malformed probes × NaN-poisoned inputs),
+//! then asserts:
+//!
+//! 1. **Explicit admission** — every submission's accept/reject
+//!    response matches an arithmetic mirror of the admission controller
+//!    (backpressure gate, then in-flight / queued-step / queued-byte
+//!    quotas, in order); nothing is silently dropped.
+//! 2. **Deterministic scheduling** — terminal outcomes arrive exactly
+//!    in the weighted-round-robin order predicted from the tenant
+//!    weights and queue contents.
+//! 3. **Exactly-one terminal** — every admitted job lands exactly one
+//!    [`JobStatus`]; over-deadline jobs expire at the predicted step
+//!    boundary with exact partial-work accounting; only fault-injected
+//!    episodes may fail, and failures carry the failing step.
+//! 4. **Bit identity** — 100% of completed jobs (cold, cache-hit,
+//!    recovered, or NaN-poisoned) match a clean sequential replay of
+//!    their plan bit for bit: one tenant's chaos never corrupts
+//!    another's results.
+//! 5. **Isolation** — in panic mode only the chaos tenant's multi-tile
+//!    jobs recover from panics; calm tenants complete unrecovered. In
+//!    clean mode nothing recovers or fails.
+//! 6. **Telemetry lock-step** — per-tenant counters derived from
+//!    [`span::SERVE`] events equal the scheduler's [`TenantStats`]
+//!    exactly, field by field, and both equal the soak's own mirror.
+//!
+//! At exit the per-tenant SLO aggregates (admitted / rejected / expired
+//! / recovered / deadline-miss counts) are exported to
+//! `results/telemetry/serve_soak.jsonl`.
+//!
+//! Usage: `cargo run -p simd2-bench --bin serve_soak [--seed S]
+//! [--seconds T] [--iters N]`. The episode stream is a pure function of
+//! the seed; any violation prints the failing episode's parameters and
+//! exits 1.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simd2::solve::ClosureAlgorithm;
+use simd2::{
+    Backend, Parallelism, Plan, PlanBuilder, PlanExecutor, PlanKey, RecoveryPolicy, RetryBackoff,
+    TiledBackend,
+};
+use simd2_apps::{harness, AppKind};
+use simd2_fault::{
+    AbftConfig, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PanicProbeUnit, PlannedInjector,
+    PANIC_PROBE_PAYLOAD,
+};
+use simd2_matrix::{gen, Matrix, ISA_TILE};
+use simd2_mxu::Simd2Unit;
+use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::{OpKind, ALL_OPS};
+use simd2_serve::{
+    plan_input_bytes, Deadline, JobSpec, JobStatus, PlanService, ServeConfig, TenantId, TenantQuota,
+};
+use simd2_trace::{field, json_line_into, span, EventKind, RingSink, Tracer};
+
+/// SplitMix64: the soak's own deterministic parameter stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChaosMode {
+    Clean,
+    Faults,
+    Panic,
+}
+
+/// One episode's randomized parameters.
+#[derive(Debug)]
+struct Episode {
+    mode: ChaosMode,
+    tenants: usize,
+    weights: Vec<u32>,
+    max_in_flight: Vec<usize>,
+    max_queued_steps: Vec<u64>,
+    max_queued_bytes: Vec<u64>,
+    max_queued_jobs: usize,
+    jobs_per_tenant: usize,
+    ppm: u32,
+    fault_seed: u64,
+    workers: usize,
+    data_seed: u64,
+}
+
+fn draw_episode(rng: &mut Rng) -> Episode {
+    let mode = rng.pick(&[ChaosMode::Clean, ChaosMode::Faults, ChaosMode::Panic]);
+    let tenants = 2 + rng.below(3) as usize;
+    Episode {
+        mode,
+        tenants,
+        weights: (0..tenants).map(|_| 1 + rng.below(3) as u32).collect(),
+        max_in_flight: (0..tenants).map(|_| 2 + rng.below(6) as usize).collect(),
+        max_queued_steps: (0..tenants).map(|_| 4 + rng.below(20)).collect(),
+        max_queued_bytes: (0..tenants)
+            .map(|_| rng.pick(&[24u64 << 10, 1 << 20, 64 << 20]))
+            .collect(),
+        max_queued_jobs: 6 + rng.below(18) as usize,
+        jobs_per_tenant: 3 + rng.below(6) as usize,
+        ppm: rng.pick(&[20_000u32, 200_000]),
+        fault_seed: rng.next(),
+        workers: rng.pick(&[2usize, 3, 4]),
+        data_seed: rng.next(),
+    }
+}
+
+/// What the soak expects back from one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expect {
+    Admit,
+    Backpressure,
+    Quota,
+    Malformed,
+}
+
+/// One submission the soak will make, with everything the mirror needs.
+struct Submission {
+    tenant: usize,
+    spec: JobSpec,
+    /// The plan behind the spec (regenerated locally for app payloads).
+    plan: Plan,
+    /// Whether the plan carries deliberate NaN inputs.
+    poisoned: bool,
+    /// Whether the plan spans more than one output tile row — in panic
+    /// mode, exactly the jobs that strike the armed probe (regardless
+    /// of which tenant ends up submitting a duplicate of them).
+    tall: bool,
+}
+
+/// Records a `len`-step chain (D0 = A⊗B⊕C, Di = A⊗B⊕D(i-1)) over
+/// in-domain side×side operands.
+fn record_chain(op: OpKind, side: usize, len: usize, seed: u64, poison: bool) -> Plan {
+    let mut a = gen::random_operands_for(op, side, side, seed);
+    let mut b = gen::random_operands_for(op, side, side, seed ^ 0x5eed);
+    // Pre-quantize to the backends' fp16 input precision so clean
+    // results pass ABFT verification exactly (mirrors the engine soak).
+    for v in a.as_mut_slice().iter_mut().chain(b.as_mut_slice()) {
+        *v = quantize_f16(*v);
+    }
+    if poison {
+        let idx = (seed % (side * side) as u64) as usize;
+        a.as_mut_slice()[idx] = f32::NAN;
+    }
+    let c = Matrix::filled(side, side, op.reduce_identity_f32());
+    let mut be = TiledBackend::new();
+    let mut rec = PlanBuilder::over(&mut be);
+    let mut acc = rec.mmo(op, &a, &b, &c).expect("recording step 0");
+    for _ in 1..len {
+        acc = rec.mmo(op, &a, &b, &acc).expect("recording chain step");
+    }
+    rec.finish()
+}
+
+/// The clean sequential reference every completed job must match bit
+/// for bit.
+fn clean_replay(plan: &Plan) -> Matrix {
+    PlanExecutor::new()
+        .run(plan, &mut TiledBackend::new())
+        .expect("clean replay")
+        .into_final_output()
+        .expect("non-empty plan")
+}
+
+/// Draws one episode's submission batch. Tenant 0 is the chaos tenant:
+/// in panic mode it gets the multi-tile jobs that strike the probe, and
+/// in clean/panic modes it occasionally submits NaN-poisoned inputs.
+fn draw_submissions(ep: &Episode, rng: &mut Rng) -> Vec<Submission> {
+    let idempotent: Vec<OpKind> = ALL_OPS
+        .iter()
+        .copied()
+        .filter(|op| op.reduce_is_idempotent())
+        .collect();
+    let mut subs: Vec<Submission> = Vec::new();
+    for tenant in 0..ep.tenants {
+        for _ in 0..ep.jobs_per_tenant {
+            // 1-in-4: resubmit an earlier plan verbatim (cache probe).
+            if rng.below(4) == 0 {
+                if let Some(prev) = subs.get(rng.below(subs.len().max(1) as u64) as usize) {
+                    let deadline = prev.spec.deadline;
+                    let plan = prev.plan.clone();
+                    let (poisoned, tall) = (prev.poisoned, prev.tall);
+                    subs.push(Submission {
+                        tenant,
+                        spec: JobSpec::plan(plan.clone()).with_deadline(deadline),
+                        plan,
+                        poisoned,
+                        tall,
+                    });
+                    continue;
+                }
+            }
+            // 1-in-8 in clean mode: a registry-app payload.
+            if ep.mode == ChaosMode::Clean && rng.below(8) == 0 {
+                let app = rng.pick(&AppKind::all());
+                let n = rng.pick(&[16usize, 32]);
+                let seed = rng.below(2);
+                let mut recorder = TiledBackend::new();
+                let run = harness::run_app(
+                    &mut recorder,
+                    app,
+                    n,
+                    seed,
+                    ClosureAlgorithm::Leyzorek,
+                    true,
+                );
+                subs.push(Submission {
+                    tenant,
+                    spec: JobSpec::app(app, n, seed),
+                    plan: run.plan,
+                    poisoned: false,
+                    tall: n > ISA_TILE,
+                });
+                continue;
+            }
+            let op = if ep.mode == ChaosMode::Faults {
+                rng.pick(&idempotent)
+            } else {
+                rng.pick(&ALL_OPS)
+            };
+            let side = match (ep.mode, tenant) {
+                // Chaos tenant's jobs span >= 3 tile rows: the probe
+                // (armed at tile row 1) strikes every parallel mmo.
+                (ChaosMode::Panic, 0) => 2 * ISA_TILE + 1 + rng.below(31) as usize,
+                // Calm tenants stay within one tile row: sequential
+                // path, never strikes.
+                (ChaosMode::Panic, _) => 5 + rng.below(ISA_TILE as u64 - 4) as usize,
+                _ => 5 + rng.below(36) as usize,
+            };
+            let len = 1 + rng.below(3) as usize;
+            let poison = ep.mode != ChaosMode::Faults && tenant == 0 && rng.below(8) == 0;
+            let plan = record_chain(op, side, len, ep.data_seed ^ rng.next(), poison);
+            let deadline = if rng.below(4) == 0 {
+                Deadline::Steps(rng.below(len as u64 + 2))
+            } else {
+                Deadline::None
+            };
+            subs.push(Submission {
+                tenant,
+                spec: JobSpec::plan(plan.clone()).with_deadline(deadline),
+                plan,
+                poisoned: poison,
+                tall: side > ISA_TILE,
+            });
+        }
+    }
+    // A malformed probe: an empty plan, from a random tenant.
+    let empty = PlanBuilder::over(&mut TiledBackend::new()).finish();
+    subs.push(Submission {
+        tenant: rng.below(ep.tenants as u64) as usize,
+        spec: JobSpec::plan(empty.clone()),
+        plan: empty,
+        poisoned: false,
+        tall: false,
+    });
+    subs
+}
+
+struct Violation {
+    what: String,
+}
+
+macro_rules! soak_check {
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(Violation { what: format!($($fmt)*) });
+        }
+    };
+}
+
+/// Per-tenant mirror of what the service must report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct MirrorStats {
+    submitted: u64,
+    admitted: u64,
+    rejected_backpressure: u64,
+    rejected_quota: u64,
+    rejected_malformed: u64,
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    cache_hits: u64,
+    executed_steps: u64,
+}
+
+#[derive(Default)]
+struct Totals {
+    episodes: u64,
+    submissions: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    recovered: u64,
+    cache_hits: u64,
+    panic_recoveries: u64,
+    detections: u64,
+    /// Aggregated per tenant index across episodes, for the SLO export.
+    slo: HashMap<u32, SloRow>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SloRow {
+    episodes: u64,
+    submitted: u64,
+    admitted: u64,
+    rejected_backpressure: u64,
+    rejected_quota: u64,
+    rejected_malformed: u64,
+    completed: u64,
+    expired: u64,
+    failed: u64,
+    recovered: u64,
+    cache_hits: u64,
+    deadline_misses: u64,
+}
+
+/// Builds the service for the episode's mode, runs the batch, and
+/// checks every invariant.
+fn run_episode(ep: &Episode, subs: &[Submission], totals: &mut Totals) -> Result<(), Violation> {
+    match ep.mode {
+        ChaosMode::Clean => {
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 2 },
+                ..ServeConfig::default()
+            };
+            check_episode(TiledBackend::new(), config, ep, subs, totals)
+        }
+        ChaosMode::Faults => {
+            let plan =
+                FaultPlan::new(FaultPlanConfig::new(ep.fault_seed).with_transient_nan_ppm(ep.ppm));
+            let inner = TiledBackend::with_unit(FaultySimd2Unit::new(
+                Simd2Unit::new(),
+                PlannedInjector::new(plan),
+            ));
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 32 },
+                backoff: RetryBackoff::unbounded(),
+                abft: AbftConfig {
+                    witness_samples: usize::MAX,
+                    ..AbftConfig::default()
+                },
+                ..ServeConfig::default()
+            };
+            check_episode(inner, config, ep, subs, totals)
+        }
+        ChaosMode::Panic => {
+            let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+            inner.set_parallelism(Parallelism::Threads(ep.workers));
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 2 },
+                ..ServeConfig::default()
+            };
+            check_episode(inner, config, ep, subs, totals)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_episode<B: Backend>(
+    inner: B,
+    config: ServeConfig,
+    ep: &Episode,
+    subs: &[Submission],
+    totals: &mut Totals,
+) -> Result<(), Violation> {
+    let sink: Arc<RingSink> = RingSink::shared();
+    let mut svc = PlanService::new(inner, config).with_tracer(Tracer::to(sink.clone()));
+    for t in 0..ep.tenants {
+        svc.register_tenant(
+            TenantId(t as u32),
+            TenantQuota::default()
+                .with_weight(ep.weights[t])
+                .with_max_in_flight(ep.max_in_flight[t])
+                .with_max_queued_steps(ep.max_queued_steps[t])
+                .with_max_queued_bytes(ep.max_queued_bytes[t]),
+        );
+    }
+
+    // An unknown tenant is refused outright and appears in no ledger.
+    let probe = svc.submit(TenantId(99), JobSpec::plan(subs[0].plan.clone()));
+    soak_check!(
+        matches!(probe, Err(simd2_serve::Rejected::Malformed { .. })),
+        "unknown tenant must be rejected as malformed, got {probe:?}"
+    );
+
+    // --- Submission phase, mirrored arithmetically. ------------------
+    let mut mirror = vec![MirrorStats::default(); ep.tenants];
+    let mut ledger_if = vec![0usize; ep.tenants];
+    let mut ledger_steps = vec![0u64; ep.tenants];
+    let mut ledger_bytes = vec![0u64; ep.tenants];
+    let mut queued_total = 0usize;
+    // Admitted jobs per tenant, in order: (expected id, submission idx).
+    let mut queues: Vec<VecDeque<(u64, usize)>> = vec![VecDeque::new(); ep.tenants];
+    let mut next_id = 0u64;
+
+    for (i, sub) in subs.iter().enumerate() {
+        let t = sub.tenant;
+        mirror[t].submitted += 1;
+        let steps = sub.plan.step_count() as u64;
+        let bytes = plan_input_bytes(&sub.plan);
+        let expect = if sub.plan.is_empty() {
+            Expect::Malformed
+        } else if queued_total >= ep.max_queued_jobs {
+            Expect::Backpressure
+        } else if ledger_if[t] + 1 > ep.max_in_flight[t] {
+            Expect::Quota
+        } else if ledger_steps[t] + steps > ep.max_queued_steps[t]
+            || ledger_bytes[t] + bytes > ep.max_queued_bytes[t]
+        {
+            Expect::Quota
+        } else {
+            Expect::Admit
+        };
+        let got = svc.submit(TenantId(t as u32), sub.spec.clone());
+        match (expect, &got) {
+            (Expect::Admit, Ok(id)) => {
+                soak_check!(
+                    id.0 == next_id,
+                    "job ids are dense: want {next_id}, got {id}"
+                );
+                mirror[t].admitted += 1;
+                ledger_if[t] += 1;
+                ledger_steps[t] += steps;
+                ledger_bytes[t] += bytes;
+                queued_total += 1;
+                queues[t].push_back((next_id, i));
+                next_id += 1;
+            }
+            (Expect::Backpressure, Err(simd2_serve::Rejected::Backpressure { .. })) => {
+                mirror[t].rejected_backpressure += 1;
+            }
+            (Expect::Quota, Err(simd2_serve::Rejected::QuotaExceeded { .. })) => {
+                mirror[t].rejected_quota += 1;
+            }
+            (Expect::Malformed, Err(simd2_serve::Rejected::Malformed { .. })) => {
+                mirror[t].rejected_malformed += 1;
+            }
+            _ => soak_check!(
+                false,
+                "submission {i} (tenant {t}): expected {expect:?}, got {got:?}"
+            ),
+        }
+    }
+
+    // --- Scheduling phase: weighted-round-robin prediction. ----------
+    let admitted: u64 = mirror.iter().map(|m| m.admitted).sum();
+    let executed = svc.run_until_idle();
+    soak_check!(
+        executed as u64 == admitted,
+        "run_until_idle executed {executed}, admitted {admitted}"
+    );
+    let mut expected_order: Vec<(usize, u64, usize)> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (t, queue) in queues.iter_mut().enumerate() {
+            for _ in 0..ep.weights[t].max(1) {
+                let Some((id, i)) = queue.pop_front() else {
+                    break;
+                };
+                expected_order.push((t, id, i));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // --- Outcome phase: exactly-one-terminal + bit identity. ---------
+    let mut oracle: HashMap<PlanKey, Matrix> = HashMap::new();
+    let mut mirror_cache: HashSet<PlanKey> = HashSet::new();
+    // Steps actually dispatched from multi-tile plans: in panic mode,
+    // each one strikes the probe exactly once.
+    let mut tall_steps = 0u64;
+    let outcomes = svc.take_outcomes();
+    soak_check!(
+        outcomes.len() == expected_order.len(),
+        "outcome count {} != admitted {}",
+        outcomes.len(),
+        expected_order.len()
+    );
+    for (outcome, &(t, id, i)) in outcomes.iter().zip(&expected_order) {
+        soak_check!(
+            outcome.tenant == TenantId(t as u32) && outcome.job.0 == id,
+            "WRR order diverged: expected tenant {t} job {id}, got {} {}",
+            outcome.tenant,
+            outcome.job
+        );
+        let sub = &subs[i];
+        let steps = sub.plan.step_count() as u64;
+        let key = sub.plan.cache_key();
+        let budget = sub.spec.deadline.budget();
+        match &outcome.status {
+            JobStatus::Completed {
+                output,
+                cache_hit,
+                recovered,
+                executed_steps,
+            } => {
+                mirror[t].completed += 1;
+                mirror[t].executed_steps += executed_steps;
+                if sub.tall {
+                    tall_steps += executed_steps;
+                }
+                if *cache_hit {
+                    mirror[t].cache_hits += 1;
+                    soak_check!(
+                        mirror_cache.contains(&key),
+                        "cache hit for a key never completed cold"
+                    );
+                    soak_check!(*executed_steps == 0, "cache hit executed steps");
+                } else {
+                    soak_check!(
+                        !mirror_cache.contains(&key),
+                        "cold run for a key already cached"
+                    );
+                    soak_check!(
+                        budget.is_none_or(|b| b >= steps),
+                        "completed past its deadline: budget {budget:?}, steps {steps}"
+                    );
+                    soak_check!(*executed_steps == steps, "cold run executed steps");
+                    mirror_cache.insert(key);
+                }
+                match ep.mode {
+                    ChaosMode::Clean => {
+                        soak_check!(!recovered, "clean episode recovered a job")
+                    }
+                    ChaosMode::Panic => {
+                        // Exactly the multi-tile jobs strike the probe
+                        // (cache hits never execute, so never recover);
+                        // single-tile jobs are never dragged into a
+                        // recovery, whichever tenant runs next to the
+                        // chaos.
+                        let want = sub.tall && !*cache_hit;
+                        soak_check!(
+                            *recovered == want,
+                            "panic isolation: tall={} cache_hit={cache_hit} but \
+                             recovered={recovered} (tenant {t} job {id})",
+                            sub.tall
+                        );
+                    }
+                    ChaosMode::Faults => {}
+                }
+                let want = oracle.entry(key).or_insert_with(|| clean_replay(&sub.plan));
+                soak_check!(
+                    output.shape() == want.shape(),
+                    "completed output shape diverged"
+                );
+                for (x, y) in output.as_slice().iter().zip(want.as_slice()) {
+                    soak_check!(
+                        x.to_bits() == y.to_bits(),
+                        "tenant {t} job {id}: completed output diverged from the \
+                         clean sequential reference (poisoned={})",
+                        sub.poisoned
+                    );
+                }
+            }
+            JobStatus::Expired {
+                executed_steps,
+                budget: got_budget,
+                total_steps,
+            } => {
+                mirror[t].expired += 1;
+                mirror[t].executed_steps += executed_steps;
+                if sub.tall {
+                    tall_steps += executed_steps;
+                }
+                let b = budget.unwrap_or(u64::MAX);
+                soak_check!(
+                    !mirror_cache.contains(&key),
+                    "a cached job expired instead of hitting"
+                );
+                soak_check!(
+                    b < steps && *got_budget == b && *total_steps == steps,
+                    "expiry accounting: budget {got_budget} (want {b}), total \
+                     {total_steps} (want {steps})"
+                );
+                soak_check!(
+                    *executed_steps == b.min(steps),
+                    "expired after {executed_steps} steps, predicted {}",
+                    b.min(steps)
+                );
+            }
+            JobStatus::Failed {
+                step,
+                executed_steps,
+                error,
+            } => {
+                mirror[t].failed += 1;
+                mirror[t].executed_steps += executed_steps;
+                soak_check!(
+                    ep.mode == ChaosMode::Faults,
+                    "job failed outside the fault episode: {error}"
+                );
+                soak_check!(
+                    (*step as u64) < steps && executed_steps < &steps && !error.is_empty(),
+                    "failure attribution: step {step}, executed {executed_steps}, \
+                     of {steps}"
+                );
+            }
+        }
+    }
+
+    // --- Telemetry phase: events == stats == mirror. -----------------
+    let events = sink.events();
+    for t in 0..ep.tenants {
+        let stats = svc.tenant_stats(TenantId(t as u32)).expect("registered");
+        let count = |stage: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.is_stage(span::SERVE, stage))
+                .filter(|e| e.u64("tenant") == Some(t as u64))
+                .count() as u64
+        };
+        let pairs: [(&str, u64); 9] = [
+            ("submitted", stats.submitted),
+            ("admitted", stats.admitted),
+            ("rejected_backpressure", stats.rejected_backpressure),
+            ("rejected_quota", stats.rejected_quota),
+            ("rejected_malformed", stats.rejected_malformed),
+            ("completed", stats.completed),
+            ("expired", stats.expired),
+            ("failed", stats.failed),
+            ("cache_hit", stats.cache_hits),
+        ];
+        for (stage, want) in pairs {
+            soak_check!(
+                count(stage) == want,
+                "tenant {t}: {stage} events ({}) != scheduler tally ({want})",
+                count(stage)
+            );
+        }
+        soak_check!(
+            count("recovered") == stats.recovered,
+            "tenant {t}: recovered events != stats"
+        );
+        let m = &mirror[t];
+        let flat = MirrorStats {
+            submitted: stats.submitted,
+            admitted: stats.admitted,
+            rejected_backpressure: stats.rejected_backpressure,
+            rejected_quota: stats.rejected_quota,
+            rejected_malformed: stats.rejected_malformed,
+            completed: stats.completed,
+            expired: stats.expired,
+            failed: stats.failed,
+            cache_hits: stats.cache_hits,
+            executed_steps: stats.executed_steps,
+        };
+        soak_check!(
+            flat == *m,
+            "tenant {t}: scheduler tallies {flat:?} != soak mirror {m:?}"
+        );
+        soak_check!(
+            svc.tenant_ledger(TenantId(t as u32)) == Some(Default::default()),
+            "tenant {t}: ledger not drained to zero"
+        );
+
+        let row = totals.slo.entry(t as u32).or_default();
+        row.episodes += 1;
+        row.submitted += stats.submitted;
+        row.admitted += stats.admitted;
+        row.rejected_backpressure += stats.rejected_backpressure;
+        row.rejected_quota += stats.rejected_quota;
+        row.rejected_malformed += stats.rejected_malformed;
+        row.completed += stats.completed;
+        row.expired += stats.expired;
+        row.failed += stats.failed;
+        row.recovered += stats.recovered;
+        row.cache_hits += stats.cache_hits;
+        row.deadline_misses += stats.expired;
+        totals.submissions += stats.submitted;
+        totals.admitted += stats.admitted;
+        totals.rejected += stats.rejected();
+        totals.completed += stats.completed;
+        totals.expired += stats.expired;
+        totals.failed += stats.failed;
+        totals.recovered += stats.recovered;
+        totals.cache_hits += stats.cache_hits;
+    }
+
+    let recovery = svc.recovery_stats();
+    match ep.mode {
+        ChaosMode::Clean => soak_check!(
+            recovery.detections == 0 && recovery.panic_recoveries == 0,
+            "clean episode saw recovery activity: {recovery:?}"
+        ),
+        ChaosMode::Panic => {
+            soak_check!(
+                recovery.panic_recoveries == tall_steps,
+                "panic episode: {} multi-tile steps dispatched but {} panic \
+                 recoveries",
+                tall_steps,
+                recovery.panic_recoveries
+            );
+        }
+        ChaosMode::Faults => soak_check!(
+            recovery.fallbacks == 0,
+            "retry-only policy must never fall back"
+        ),
+    }
+    totals.panic_recoveries += recovery.panic_recoveries;
+    totals.detections += recovery.detections;
+    Ok(())
+}
+
+fn arg(name: &str, default: u64) -> u64 {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Writes the per-tenant SLO aggregates as JSON lines.
+fn export_slo(seed: u64, totals: &Totals) -> std::io::Result<String> {
+    let dir = std::path::Path::new("results/telemetry");
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    let mut rows: Vec<(&u32, &SloRow)> = totals.slo.iter().collect();
+    rows.sort_by_key(|(tenant, _)| **tenant);
+    for (tenant, row) in rows {
+        json_line_into(
+            &mut out,
+            "serve_slo",
+            EventKind::Instant,
+            &[
+                field("seed", seed),
+                field("tenant", u64::from(*tenant)),
+                field("episodes", row.episodes),
+                field("submitted", row.submitted),
+                field("admitted", row.admitted),
+                field("rejected_backpressure", row.rejected_backpressure),
+                field("rejected_quota", row.rejected_quota),
+                field("rejected_malformed", row.rejected_malformed),
+                field("completed", row.completed),
+                field("expired", row.expired),
+                field("failed", row.failed),
+                field("recovered", row.recovered),
+                field("cache_hits", row.cache_hits),
+                field("deadline_misses", row.deadline_misses),
+            ],
+        );
+        out.push('\n');
+    }
+    let path = dir.join("serve_soak.jsonl");
+    std::fs::write(&path, &out)?;
+    Ok(path.display().to_string())
+}
+
+fn main() {
+    let seed = arg("--seed", 2022);
+    let seconds = arg("--seconds", 10);
+    let iter_cap = arg("--iters", 0);
+    println!(
+        "serve_soak: seed={seed} budget={seconds}s episode-cap={}  \
+         modes={{clean,faults,panic}} tenants=2..4 jobs/tenant=3..8 \
+         ppm={{20k,200k}} cache-dups~1/4 poison~1/8",
+        if iter_cap == 0 {
+            "none".to_owned()
+        } else {
+            iter_cap.to_string()
+        }
+    );
+
+    // Probe panics are contained by design; keep the default hook for
+    // anything else so genuine defects still print a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let is_probe = payload
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with(PANIC_PROBE_PAYLOAD))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.starts_with(PANIC_PROBE_PAYLOAD))
+            })
+            .unwrap_or(false);
+        if !is_probe {
+            default_hook(info);
+        }
+    }));
+
+    let mut rng = Rng(seed);
+    let mut totals = Totals::default();
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    while Instant::now() < deadline && (iter_cap == 0 || totals.episodes < iter_cap) {
+        let ep = draw_episode(&mut rng);
+        let subs = draw_submissions(&ep, &mut rng);
+        if let Err(v) = run_episode(&ep, &subs, &mut totals) {
+            eprintln!(
+                "serve_soak VIOLATION at episode {}: {}",
+                totals.episodes, v.what
+            );
+            eprintln!("  params: {ep:?}");
+            std::process::exit(1);
+        }
+        totals.episodes += 1;
+    }
+
+    match export_slo(seed, &totals) {
+        Ok(path) => println!("serve_soak SLO export: {path}"),
+        Err(e) => {
+            eprintln!("serve_soak: SLO export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "serve_soak PASS: {} episodes  submissions={} admitted={} rejected={} \
+         completed={} expired={} failed={} recovered={} cache-hits={} \
+         panic-recoveries={} detections={}",
+        totals.episodes,
+        totals.submissions,
+        totals.admitted,
+        totals.rejected,
+        totals.completed,
+        totals.expired,
+        totals.failed,
+        totals.recovered,
+        totals.cache_hits,
+        totals.panic_recoveries,
+        totals.detections,
+    );
+}

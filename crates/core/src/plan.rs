@@ -129,6 +129,18 @@ impl Plan {
         self.slots[slot.0].value.as_ref()
     }
 
+    /// Every input slot, in arena order — the slots whose captured
+    /// values a replay starts from (admission layers size quotas on
+    /// them).
+    pub fn input_slots(&self) -> Vec<SlotId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.origin, SlotOrigin::Input))
+            .map(|(i, _)| SlotId(i))
+            .collect()
+    }
+
     /// Per-step dependency summary: for each step, the (sorted,
     /// deduplicated) indices of earlier steps whose outputs it reads.
     /// Slots are SSA, so these are pure read-after-write edges.
@@ -220,6 +232,62 @@ impl Plan {
         count
     }
 
+    /// FNV-1a over the plan's *structure*: step ops and operand slot
+    /// wiring, slot shapes and origins, and the recording precision —
+    /// but not input content. Two plans recorded independently from the
+    /// same algorithm run hash equal even though their captured input
+    /// matrices are distinct allocations.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_mix(h, u64::from(self.reduced_precision));
+        h = fnv_mix(h, self.slots.len() as u64);
+        for slot in &self.slots {
+            h = fnv_mix(h, slot.shape.0 as u64);
+            h = fnv_mix(h, slot.shape.1 as u64);
+            h = fnv_mix(
+                h,
+                match slot.origin {
+                    SlotOrigin::Input => 0,
+                    SlotOrigin::Step(i) => 1 + i as u64,
+                },
+            );
+        }
+        h = fnv_mix(h, self.steps.len() as u64);
+        for step in &self.steps {
+            for byte in step.op.name().bytes() {
+                h = fnv_mix(h, u64::from(byte));
+            }
+            for slot in [step.a, step.b, step.c, step.d] {
+                h = fnv_mix(h, slot.0 as u64);
+            }
+        }
+        h
+    }
+
+    /// FNV-1a over every captured input slot's exact element bits (in
+    /// slot order). Flipping any single bit of any input changes the
+    /// fingerprint, so a cache keyed on [`Plan::cache_key`] can never
+    /// serve a stale result for perturbed inputs.
+    pub fn input_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(value) = &slot.value {
+                h = fnv_mix(h, i as u64);
+                h = fnv_mix(h, content_hash(value));
+            }
+        }
+        h
+    }
+
+    /// The plan's cache identity: [`structural_hash`](Self::structural_hash)
+    /// plus [`input_fingerprint`](Self::input_fingerprint).
+    pub fn cache_key(&self) -> PlanKey {
+        PlanKey {
+            structural: self.structural_hash(),
+            inputs: self.input_fingerprint(),
+        }
+    }
+
     /// Merges several plans into one: slots and step indices are
     /// renumbered plan-by-plan, and no cross-plan edges are introduced,
     /// so steps from different plans land in the same waves and batch
@@ -253,21 +321,42 @@ impl Plan {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a mixing round.
+fn fnv_mix(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
 /// FNV-1a over a matrix's shape and exact element bits — the interning
 /// key the recorder uses to recover dependency edges from operand
-/// identity.
+/// identity, and the per-input word of [`Plan::input_fingerprint`].
 fn content_hash(m: &Matrix) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
+    let mut h = FNV_OFFSET;
     for word in [m.rows() as u64, m.cols() as u64]
         .into_iter()
         .chain(m.as_slice().iter().map(|v| u64::from(v.to_bits())))
     {
-        h ^= word;
-        h = h.wrapping_mul(PRIME);
+        h = fnv_mix(h, word);
     }
     h
+}
+
+/// Cache identity of a recorded plan: the hash of its step *structure*
+/// plus a fingerprint of every captured input's exact bits.
+///
+/// Replay is deterministic, so two plans with equal keys replay
+/// bit-identically on the same backend configuration — which is what
+/// makes caching replay results on this key sound. The serving layer's
+/// plan cache (`simd2-serve`) uses it as its map key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanKey {
+    /// [`Plan::structural_hash`]: ops, slot wiring, shapes, origins,
+    /// recording precision — everything except input content.
+    pub structural: u64,
+    /// [`Plan::input_fingerprint`]: the captured input slots' bits.
+    pub inputs: u64,
 }
 
 /// A recording frontend: a [`Backend`] that executes every operation
@@ -418,6 +507,115 @@ impl<B: Backend> Backend for PlanBuilder<'_, B> {
     }
 }
 
+/// Why a replay halted at a step boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayHalt {
+    /// The backend failed while executing the step.
+    Backend(BackendError),
+    /// A [`ReplayControl`] cancelled the replay before the step ran
+    /// (deadline exceeded, shutdown requested, …). The step itself was
+    /// never dispatched.
+    Cancelled {
+        /// The controller's stated reason, e.g. `"deadline"`.
+        reason: String,
+    },
+}
+
+/// A failed [`Executor::run`]: what went wrong, pinned to the step that
+/// died — a mid-replay error without the step index is useless to a
+/// caller managing many plans.
+///
+/// Attribution is exact for sequential dispatch (and for worker panics
+/// in batched dispatch, whose `panel` index identifies the step within
+/// the batch); other batched-dispatch errors are attributed to the
+/// wave's first step, the finest granularity batch dispatch reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayError {
+    /// Index of the failing (or cancelled) step in the plan.
+    pub step: usize,
+    /// That step's output slot.
+    pub slot: SlotId,
+    /// Steps that completed before the halt.
+    pub completed_steps: usize,
+    /// What stopped the replay.
+    pub halt: ReplayHalt,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.halt {
+            ReplayHalt::Backend(e) => write!(
+                f,
+                "plan replay failed at step {} (slot {}): {e}",
+                self.step,
+                self.slot.index()
+            ),
+            ReplayHalt::Cancelled { reason } => write!(
+                f,
+                "plan replay cancelled before step {} after {} completed steps: {reason}",
+                self.step, self.completed_steps
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.halt {
+            ReplayHalt::Backend(e) => Some(e),
+            ReplayHalt::Cancelled { .. } => None,
+        }
+    }
+}
+
+impl ReplayError {
+    /// The backend error, if the halt was a backend failure.
+    pub fn backend_error(&self) -> Option<&BackendError> {
+        match &self.halt {
+            ReplayHalt::Backend(e) => Some(e),
+            ReplayHalt::Cancelled { .. } => None,
+        }
+    }
+
+    /// Whether the halt was a [`ReplayControl`] cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.halt, ReplayHalt::Cancelled { .. })
+    }
+}
+
+/// Progress snapshot handed to a [`ReplayControl`] before each dispatch
+/// (one step sequentially; one wave batched).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayProgress {
+    /// Index of the first step about to execute.
+    pub next_step: usize,
+    /// Steps completed so far.
+    pub completed_steps: usize,
+    /// Steps in the dispatch about to run (1 sequentially; the wave
+    /// size when batched).
+    pub pending_steps: usize,
+    /// Total steps in the plan.
+    pub total_steps: usize,
+}
+
+/// Step-boundary control hook consulted by
+/// [`Executor::run_controlled`] before every dispatch: return `Err` to
+/// cancel the replay with a [`ReplayHalt::Cancelled`]. This is the
+/// executor's deadline/cancellation seam — a budget check here can
+/// never hang mid-step, because it runs only between steps.
+///
+/// Implemented for any `FnMut(ReplayProgress) -> Result<(), String>`.
+pub trait ReplayControl {
+    /// Approve (`Ok`) or cancel (`Err(reason)`) the next dispatch.
+    fn check(&mut self, progress: ReplayProgress) -> Result<(), String>;
+}
+
+impl<F: FnMut(ReplayProgress) -> Result<(), String>> ReplayControl for F {
+    fn check(&mut self, progress: ReplayProgress) -> Result<(), String> {
+        self(progress)
+    }
+}
+
 /// Lowers recorded plans onto any [`Backend`] — the one execution engine
 /// behind the functional, ISA and (via [`Plan::traces`]) timing paths.
 #[derive(Clone, Debug, Default)]
@@ -496,10 +694,31 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`BackendError`] a step raises; completed
-    /// steps' counters are retained, and (matching the `mmo` span
-    /// convention) a failed run emits no [`span::PLAN`] end event.
-    pub fn run<B: Backend>(&self, plan: &Plan, backend: &mut B) -> Result<Replay, BackendError> {
+    /// Propagates the first [`BackendError`] a step raises as a
+    /// [`ReplayError`] carrying the failing step index and output slot;
+    /// completed steps' counters are retained, and (matching the `mmo`
+    /// span convention) a failed run emits no [`span::PLAN`] end event.
+    pub fn run<B: Backend>(&self, plan: &Plan, backend: &mut B) -> Result<Replay, ReplayError> {
+        self.run_controlled(plan, backend, &mut |_: ReplayProgress| Ok(()))
+    }
+
+    /// [`run`](Self::run) with a [`ReplayControl`] consulted before
+    /// every dispatch — the deadline/cancellation seam. A control that
+    /// returns `Err` halts the replay with [`ReplayHalt::Cancelled`]
+    /// before the next step executes; steps already dispatched always
+    /// run to completion (cancellation is a step-boundary protocol,
+    /// never a mid-step abort).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`ReplayHalt::Cancelled`] when the
+    /// control cancels.
+    pub fn run_controlled<B: Backend, C: ReplayControl>(
+        &self,
+        plan: &Plan,
+        backend: &mut B,
+        control: &mut C,
+    ) -> Result<Replay, ReplayError> {
         let mut values: Vec<Option<Matrix>> = plan.slots.iter().map(|s| s.value.clone()).collect();
         self.tracer.begin(
             span::PLAN,
@@ -522,9 +741,35 @@ impl Executor {
                 .as_ref()
                 .expect("waves resolve every operand before its readers")
         }
+        // Consults the control before a dispatch of `pending` steps
+        // starting at `next`; a refusal becomes a step-attributed halt.
+        fn checkpoint<C: ReplayControl>(
+            control: &mut C,
+            plan: &Plan,
+            next: usize,
+            completed: usize,
+            pending: usize,
+        ) -> Result<(), ReplayError> {
+            control
+                .check(ReplayProgress {
+                    next_step: next,
+                    completed_steps: completed,
+                    pending_steps: pending,
+                    total_steps: plan.step_count(),
+                })
+                .map_err(|reason| ReplayError {
+                    step: next,
+                    slot: plan.steps[next].d,
+                    completed_steps: completed,
+                    halt: ReplayHalt::Cancelled { reason },
+                })
+        }
         let waves = plan.waves();
+        let mut completed = 0usize;
         for (w, wave) in waves.iter().enumerate() {
             if self.batching && wave.len() > 1 {
+                let first = wave[0];
+                checkpoint(control, plan, first, completed, wave.len())?;
                 let args: Vec<MmoArgs<'_>> = wave
                     .iter()
                     .map(|&i| {
@@ -537,21 +782,47 @@ impl Executor {
                         }
                     })
                     .collect();
-                let outputs = backend.mmo_batch(&args)?;
+                let outputs = backend.mmo_batch(&args).map_err(|e| {
+                    // The tiled batch dispatch reports a panicking step's
+                    // index within the batch as `panel`; anything else is
+                    // attributed to the wave's first step.
+                    let step = match &e {
+                        BackendError::WorkerPanic { panel, .. } if *panel < wave.len() => {
+                            wave[*panel]
+                        }
+                        _ => first,
+                    };
+                    ReplayError {
+                        step,
+                        slot: plan.steps[step].d,
+                        completed_steps: completed,
+                        halt: ReplayHalt::Backend(e),
+                    }
+                })?;
                 drop(args);
                 for (&i, d) in wave.iter().zip(outputs) {
                     values[plan.steps[i].d.0] = Some(d);
                 }
+                completed += wave.len();
             } else {
                 for &i in wave {
+                    checkpoint(control, plan, i, completed, 1)?;
                     let s = &plan.steps[i];
-                    let d = backend.mmo(
-                        s.op,
-                        operand(&values, s.a),
-                        operand(&values, s.b),
-                        operand(&values, s.c),
-                    )?;
+                    let d = backend
+                        .mmo(
+                            s.op,
+                            operand(&values, s.a),
+                            operand(&values, s.b),
+                            operand(&values, s.c),
+                        )
+                        .map_err(|e| ReplayError {
+                            step: i,
+                            slot: s.d,
+                            completed_steps: completed,
+                            halt: ReplayHalt::Backend(e),
+                        })?;
                     values[s.d.0] = Some(d);
+                    completed += 1;
                 }
             }
             self.tracer.end(
@@ -785,7 +1056,16 @@ mod tests {
         let ring = RingSink::shared();
         let exec = Executor::new().with_tracer(Tracer::to(ring.clone()));
         let mut be = TiledBackend::new();
-        assert!(exec.run(&plan, &mut be).is_err());
+        let err = exec.run(&plan, &mut be).unwrap_err();
+        assert_eq!(err.step, 0);
+        assert_eq!(err.slot, plan.steps()[0].d);
+        assert_eq!(err.completed_steps, 0);
+        assert!(matches!(
+            err.halt,
+            ReplayHalt::Backend(BackendError::Shape(_))
+        ));
+        assert!(err.backend_error().is_some());
+        assert!(!err.is_cancelled());
         let events = ring.events();
         assert!(events
             .iter()
@@ -820,6 +1100,98 @@ mod tests {
         assert!(bit_eq(replay.step_output(0), &d1));
         assert!(bit_eq(replay.step_output(1), &d2));
         assert!(bit_eq(&replay.into_final_output().unwrap(), &d2));
+    }
+
+    #[test]
+    fn planted_panic_at_step_k_is_attributed_to_step_k() {
+        use crate::backend::Parallelism;
+        use simd2_fault::PanicProbeUnit;
+        use simd2_mxu::Simd2Unit;
+        let op = OpKind::PlusMul;
+        // Three mutually independent steps; only step 2 is tall enough
+        // (3 tile rows) to reach the probe's panicking tile row 1.
+        let small_a = gen::random_operands_for(op, 16, 16, 11);
+        let small_a2 = gen::random_operands_for(op, 16, 16, 13);
+        let small_b = gen::random_operands_for(op, 16, 16, 12);
+        let small_c = Matrix::filled(16, 16, op.reduce_identity_f32());
+        let tall_a = gen::random_operands_for(op, 48, 16, 14);
+        let tall_c = Matrix::filled(48, 16, op.reduce_identity_f32());
+        let mut rec_be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut rec_be);
+        rec.mmo(op, &small_a, &small_b, &small_c).unwrap();
+        rec.mmo(op, &small_a2, &small_b, &small_c).unwrap();
+        rec.mmo(op, &tall_a, &small_b, &tall_c).unwrap();
+        let plan = rec.finish();
+        assert_eq!(plan.waves(), vec![vec![0, 1, 2]]);
+        let probe = || {
+            let mut be = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+            be.set_parallelism(Parallelism::Threads(3));
+            be
+        };
+        // Sequential dispatch: steps 0 and 1 complete, step 2 panics.
+        let err = Executor::new().run(&plan, &mut probe()).unwrap_err();
+        assert_eq!(err.step, 2);
+        assert_eq!(err.slot, plan.steps()[2].d);
+        assert_eq!(err.completed_steps, 2);
+        assert!(matches!(
+            err.halt,
+            ReplayHalt::Backend(BackendError::WorkerPanic { .. })
+        ));
+        // Batched dispatch: the batch reports the panicking step's index
+        // within the wave, so attribution is exact there too.
+        let err = Executor::batched().run(&plan, &mut probe()).unwrap_err();
+        assert_eq!(err.step, 2);
+        assert_eq!(err.slot, plan.steps()[2].d);
+        assert_eq!(err.completed_steps, 0);
+    }
+
+    #[test]
+    fn control_cancels_at_step_boundaries() {
+        let (plan, _) = record_chain(OpKind::MinPlus);
+        let mut be = TiledBackend::new();
+        let mut ctl = |p: ReplayProgress| {
+            if p.completed_steps + p.pending_steps <= 1 {
+                Ok(())
+            } else {
+                Err("budget".to_string())
+            }
+        };
+        let err = Executor::new()
+            .run_controlled(&plan, &mut be, &mut ctl)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        assert!(err.backend_error().is_none());
+        assert_eq!(err.step, 1);
+        assert_eq!(err.slot, plan.steps()[1].d);
+        assert_eq!(err.completed_steps, 1);
+        assert_eq!(
+            be.op_count().matrix_mmos,
+            1,
+            "cancelled steps never dispatch"
+        );
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn cache_keys_capture_structure_and_input_bits() {
+        let (p1, _) = record_chain(OpKind::MinPlus);
+        let (p2, _) = record_chain(OpKind::MinPlus);
+        assert_eq!(
+            p1.cache_key(),
+            p2.cache_key(),
+            "independent recordings of the same run agree"
+        );
+        let (p3, _) = record_chain(OpKind::MaxPlus);
+        assert_ne!(p1.structural_hash(), p3.structural_hash());
+        // Perturbing one captured input bit moves only the fingerprint.
+        let (mut p4, _) = record_chain(OpKind::MinPlus);
+        let slot = p4.steps()[0].a;
+        let v = p4.slots[slot.index()].value.as_mut().unwrap();
+        let flipped = f32::from_bits(v.as_slice()[0].to_bits() ^ 1);
+        v.as_mut_slice()[0] = flipped;
+        assert_eq!(p1.structural_hash(), p4.structural_hash());
+        assert_ne!(p1.input_fingerprint(), p4.input_fingerprint());
+        assert_ne!(p1.cache_key(), p4.cache_key());
     }
 
     #[test]

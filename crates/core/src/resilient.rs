@@ -69,6 +69,59 @@ impl RecoveryPolicy {
     }
 }
 
+/// Capped exponential backoff budget bounding a retrying
+/// [`RecoveryPolicy`].
+///
+/// A bare attempt count lets a generously configured policy spin through
+/// hundreds of doomed re-executions against a permanently faulty site.
+/// The budget charges each retry a *virtual* cost — starting at
+/// `base_units`, doubling per retry, saturating at `cap_units` — and
+/// refuses any retry whose cost would push the cumulative spend past
+/// `budget_units`, surfacing the terminal error (or falling back, if the
+/// policy falls back) instead.
+///
+/// Units are deliberately virtual: no wall-clock sleeping happens, so
+/// recovery stays deterministic and instantly testable. One unit is
+/// "one base retry's worth of pressure on the faulty resource".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryBackoff {
+    /// Virtual cost charged for the first retry.
+    pub base_units: u64,
+    /// Saturation cap on the per-retry cost (doubling stops here).
+    pub cap_units: u64,
+    /// Total virtual budget; a retry that would exceed it is refused.
+    pub budget_units: u64,
+}
+
+impl RetryBackoff {
+    /// No backoff accounting: retries cost nothing and the policy's
+    /// attempt count is the only bound (the pre-backoff behaviour, and
+    /// the [`Default`]).
+    pub const fn unbounded() -> Self {
+        Self {
+            base_units: 0,
+            cap_units: 0,
+            budget_units: u64::MAX,
+        }
+    }
+
+    /// A budget charging `base_units` for the first retry, doubling up
+    /// to `cap_units`, refusing retries past `budget_units` total.
+    pub const fn new(base_units: u64, cap_units: u64, budget_units: u64) -> Self {
+        Self {
+            base_units,
+            cap_units,
+            budget_units,
+        }
+    }
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
 /// Outcome counters for one resilient backend's lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
@@ -89,6 +142,10 @@ pub struct RecoveryStats {
     /// Operations rescued by the sequential re-execution that follows a
     /// worker panic.
     pub panic_recoveries: u64,
+    /// Virtual backoff units spent on retries ([`RetryBackoff`]).
+    pub backoff_units: u64,
+    /// Retry loops cut short because the backoff budget ran out.
+    pub budget_exhausted: u64,
 }
 
 /// A [`Backend`] decorator adding ABFT verification and recovery.
@@ -97,13 +154,14 @@ pub struct RecoveryStats {
 /// [`RecoveryStats`] increment also emits a [`span::RECOVERY`] instant
 /// event carrying a `stage` field (`mmo`, `verified`, `detection`,
 /// `retry`, `retry_success`, `fallback`, `worker_panic`,
-/// `panic_recovery`) — event counts per stage reproduce the stats
-/// struct exactly.
+/// `panic_recovery`, `budget_exhausted`) — event counts per stage
+/// reproduce the stats struct exactly.
 #[derive(Clone, Debug)]
 pub struct ResilientBackend<B: Backend> {
     inner: B,
     fallback: ReferenceBackend,
     policy: RecoveryPolicy,
+    backoff: RetryBackoff,
     abft: AbftConfig,
     stats: RecoveryStats,
     tracer: Tracer,
@@ -121,10 +179,28 @@ impl<B: Backend> ResilientBackend<B> {
             inner,
             fallback: ReferenceBackend::new(),
             policy,
+            backoff: RetryBackoff::unbounded(),
             abft,
             stats: RecoveryStats::default(),
             tracer: Tracer::off(),
         }
+    }
+
+    /// Bounds the retry loop with a [`RetryBackoff`] budget.
+    pub fn set_backoff(&mut self, backoff: RetryBackoff) {
+        self.backoff = backoff;
+    }
+
+    /// Bounds the retry loop with a [`RetryBackoff`] budget (builder
+    /// form).
+    pub fn with_backoff(mut self, backoff: RetryBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// The active backoff budget.
+    pub fn backoff(&self) -> RetryBackoff {
+        self.backoff
     }
 
     /// Attaches a telemetry tracer to the recovery layer and to the
@@ -283,7 +359,19 @@ impl<B: Backend> Backend for ResilientBackend<B> {
             // no amount of re-execution fixes them.
             Err(e) => return Err(e),
         };
+        let mut spent = 0u64;
+        let mut next_cost = self.backoff.base_units;
         for _ in 0..self.policy.retry_attempts() {
+            // Charge the capped-exponential cost up front; a retry the
+            // budget cannot afford is refused, ending the loop.
+            if spent.saturating_add(next_cost) > self.backoff.budget_units {
+                self.stats.budget_exhausted += 1;
+                self.note(op, "budget_exhausted");
+                break;
+            }
+            spent += next_cost;
+            self.stats.backoff_units += next_cost;
+            next_cost = next_cost.saturating_mul(2).min(self.backoff.cap_units);
             self.stats.retries += 1;
             if self.tracer.enabled() {
                 RETRIES.add(1);
@@ -480,6 +568,81 @@ mod tests {
     }
 
     #[test]
+    fn backoff_budget_bounds_an_always_faulty_retry_loop() {
+        use simd2_trace::RingSink;
+        // Full-rate faults: every attempt is detected as corrupt. The
+        // policy would allow effectively unlimited retries; the backoff
+        // budget must cut the loop off and surface the terminal error.
+        let ring = RingSink::shared();
+        let (a, b, c) = operands(OpKind::PlusMul, 16);
+        let mut be = ResilientBackend::new(
+            faulty_tiled(5, 1_000_000),
+            RecoveryPolicy::Retry { attempts: u32::MAX },
+        )
+        .with_backoff(RetryBackoff::new(1, 8, 20))
+        .with_tracer(Tracer::to(ring.clone()));
+        assert_eq!(be.backoff(), RetryBackoff::new(1, 8, 20));
+        let err = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        let s = be.recovery_stats();
+        // Costs 1, 2, 4, 8 spend 15 of 20; a fifth retry (8) is refused.
+        assert_eq!(s.retries, 4);
+        assert_eq!(s.backoff_units, 15);
+        assert_eq!(s.budget_exhausted, 1);
+        assert_eq!(s.detections, 5, "initial attempt plus four retries");
+        assert_eq!(s.verified, 0);
+        let exhausted = ring
+            .events()
+            .iter()
+            .filter(|e| e.is_stage(span::RECOVERY, "budget_exhausted"))
+            .count();
+        assert_eq!(exhausted as u64, s.budget_exhausted);
+    }
+
+    #[test]
+    fn exhausted_budget_still_reaches_the_fallback() {
+        // With a fallback policy the refused retry loop hands over to
+        // the reference oracle instead of erroring.
+        let (a, b, c) = operands(OpKind::MaxMin, 20);
+        let want = ReferenceBackend::new()
+            .mmo(OpKind::MaxMin, &a, &b, &c)
+            .unwrap();
+        let mut be = ResilientBackend::new(
+            faulty_tiled(7, 1_000_000),
+            RecoveryPolicy::RetryThenFallback { attempts: 1_000 },
+        )
+        .with_backoff(RetryBackoff::new(1, 4, 6));
+        let d = be.mmo(OpKind::MaxMin, &a, &b, &c).unwrap();
+        assert_eq!(d, want);
+        let s = be.recovery_stats();
+        // Costs 1, 2, 4 would spend 7 > 6: two retries then fallback.
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.backoff_units, 3);
+        assert_eq!(s.budget_exhausted, 1);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.verified, 1);
+    }
+
+    #[test]
+    fn unbounded_backoff_preserves_attempt_counted_retries() {
+        let be = ResilientBackend::new(TiledBackend::new(), RecoveryPolicy::FailFast);
+        assert_eq!(be.backoff(), RetryBackoff::unbounded());
+        assert_eq!(RetryBackoff::default(), RetryBackoff::unbounded());
+        // Charging zero units forever never exhausts the budget.
+        let (a, b, c) = operands(OpKind::PlusMul, 16);
+        let mut be = ResilientBackend::new(
+            faulty_tiled(5, 1_000_000),
+            RecoveryPolicy::Retry { attempts: 3 },
+        );
+        let err = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap_err();
+        assert!(err.is_corruption());
+        let s = be.recovery_stats();
+        assert_eq!(s.retries, 3, "the attempt count is the only bound");
+        assert_eq!(s.backoff_units, 0);
+        assert_eq!(s.budget_exhausted, 0);
+    }
+
+    #[test]
     fn structural_errors_are_not_retried() {
         let a = Matrix::zeros(4, 4);
         let bad_b = Matrix::zeros(5, 4);
@@ -549,6 +712,7 @@ mod tests {
         assert_eq!(stage_count("fallback"), s.fallbacks);
         assert_eq!(stage_count("worker_panic"), s.worker_panics);
         assert_eq!(stage_count("panic_recovery"), s.panic_recoveries);
+        assert_eq!(stage_count("budget_exhausted"), s.budget_exhausted);
         assert!(s.detections > 0 && s.fallbacks == 1);
         // The internal reference fallback shares the sink: its execution
         // shows up as an mmo span.

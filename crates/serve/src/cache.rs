@@ -1,0 +1,149 @@
+//! Result cache keyed on [`PlanKey`] — structural hash plus input
+//! fingerprint.
+//!
+//! Soundness argument: replay is deterministic, and a [`PlanKey`]
+//! covers the full step structure *and* every captured input's exact
+//! bits ([`Plan::cache_key`](simd2::Plan::cache_key)). Equal keys
+//! therefore mean bit-identical replays on the same backend
+//! configuration, so serving the cached output *is* the replay. Any
+//! single-bit input perturbation moves the fingerprint and misses —
+//! pinned by this crate's `proptest_cache` suite.
+
+use std::collections::{HashMap, VecDeque};
+
+use simd2::PlanKey;
+use simd2_matrix::Matrix;
+
+/// Aggregate cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached output.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A bounded FIFO map from [`PlanKey`] to a completed replay's final
+/// output. Eviction is insertion-order (oldest first) — deterministic,
+/// which the seeded soak relies on when it mirrors cache behaviour.
+#[derive(Clone, Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<PlanKey, Matrix>,
+    order: VecDeque<PlanKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// A cache holding up to `capacity` outputs; `0` disables caching
+    /// (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Matrix> {
+        if self.capacity == 0 {
+            return None;
+        }
+        match self.map.get(key) {
+            Some(m) => {
+                self.hits += 1;
+                Some(m.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed replay's output, evicting the oldest entry
+    /// if at capacity. Re-inserting an existing key refreshes nothing
+    /// (the value is necessarily identical — see the module docs).
+    pub fn insert(&mut self, key: PlanKey, output: Matrix) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, output);
+        self.order.push_back(key);
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> PlanKey {
+        PlanKey {
+            structural: n,
+            inputs: n.wrapping_mul(31),
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_is_oldest_first() {
+        let mut cache = PlanCache::new(2);
+        assert!(cache.enabled());
+        cache.insert(key(1), Matrix::filled(1, 1, 1.0));
+        cache.insert(key(2), Matrix::filled(1, 1, 2.0));
+        cache.insert(key(3), Matrix::filled(1, 1, 3.0));
+        assert!(cache.get(&key(1)).is_none(), "oldest entry evicted");
+        assert_eq!(cache.get(&key(2)).unwrap().as_slice()[0], 2.0);
+        assert_eq!(cache.get(&key(3)).unwrap().as_slice()[0], 3.0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (2, 1, 1, 2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = PlanCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(key(1), Matrix::filled(1, 1, 1.0));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(1), Matrix::filled(1, 1, 1.0));
+        cache.insert(key(1), Matrix::filled(1, 1, 9.0));
+        assert_eq!(cache.get(&key(1)).unwrap().as_slice()[0], 1.0);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

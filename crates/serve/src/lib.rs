@@ -1,0 +1,40 @@
+//! `simd2-serve`: a multi-tenant plan service over the SIMD² stack.
+//!
+//! Clients submit recorded [`Plan`](simd2::Plan)s — or named registry
+//! apps plus inputs — as jobs. An admission controller enforces
+//! per-tenant quotas ([`TenantQuota`]) and a service-wide backpressure
+//! gate, answering every submission explicitly ([`Rejected`]). A
+//! weighted round-robin scheduler drains per-tenant FIFO queues onto
+//! one shared backend wrapped in a
+//! [`ResilientBackend`](simd2::ResilientBackend), under per-job
+//! step-budget deadlines ([`Deadline`]) enforced at step boundaries,
+//! with a result cache ([`PlanCache`]) keyed on the plan's structural
+//! hash plus input fingerprints.
+//!
+//! The load-bearing invariants — proven under seeded chaos by the
+//! `serve_soak` binary in `simd2-bench`:
+//!
+//! 1. **Bit-identity**: every completed job's output is bit-identical
+//!    to a clean sequential replay of its plan.
+//! 2. **Explicit terminals**: every admitted job reaches exactly one
+//!    [`JobStatus`]; over-quota and over-deadline jobs get explicit
+//!    responses, never a hang.
+//! 3. **Isolation**: one tenant's panics, poisoned inputs, or quota
+//!    pressure never corrupt, delay past deadline bounds, or abort
+//!    another tenant's jobs.
+//! 4. **Accountable telemetry**: per-tenant [`TenantStats`] counters
+//!    are mirrored one-for-one by [`span::SERVE`](simd2_trace::span)
+//!    events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod job;
+pub mod service;
+
+pub use admission::{plan_input_bytes, validate_plan, TenantLedger, TenantQuota};
+pub use cache::{CacheStats, PlanCache};
+pub use job::{Deadline, JobId, JobOutcome, JobPayload, JobSpec, JobStatus, Rejected, TenantId};
+pub use service::{PlanService, ServeConfig, TenantStats};

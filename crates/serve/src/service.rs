@@ -1,0 +1,1005 @@
+//! The plan service: admission → per-tenant queues → weighted
+//! round-robin scheduling → resilient execution → terminal outcomes.
+//!
+//! # Lifecycle
+//!
+//! [`PlanService::submit`] validates the payload (expanding registry
+//! apps to their recorded plans), applies the service-wide backpressure
+//! gate and the tenant's [`TenantQuota`], and either enqueues the job
+//! or returns an explicit [`Rejected`]. [`PlanService::run_until_idle`]
+//! drains the per-tenant FIFO queues in weighted round-robin order;
+//! each job replays through the shared [`ResilientBackend`] under its
+//! [`Deadline`] (a step-boundary [`ReplayControl`](simd2::ReplayControl)
+//! budget check) and lands exactly one [`JobOutcome`].
+//!
+//! # Isolation
+//!
+//! Tenants share one backend but nothing else. A worker panic inside
+//! tenant A's job is contained by the backend's panic isolation and
+//! recovered sequentially; a poisoned input fails *that job* with
+//! [`JobStatus::Failed`] after the recovery policy exhausts; neither
+//! corrupts, delays past deadline bounds, nor aborts tenant B's jobs.
+//! The `serve_soak` binary proves this under seeded chaos sweeps.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use simd2::solve::ClosureAlgorithm;
+use simd2::{
+    Backend, Plan, PlanExecutor, RecoveryPolicy, RecoveryStats, ReplayProgress, ResilientBackend,
+    RetryBackoff, TiledBackend,
+};
+use simd2_apps::{harness, AppKind};
+use simd2_fault::abft::AbftConfig;
+use simd2_trace::{field, span, Tracer};
+
+use crate::admission::{plan_input_bytes, validate_plan, TenantLedger, TenantQuota};
+use crate::cache::{CacheStats, PlanCache};
+use crate::job::{Deadline, JobId, JobOutcome, JobPayload, JobSpec, JobStatus, Rejected, TenantId};
+
+/// Service-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Cap on jobs waiting across *all* tenants; submissions beyond it
+    /// are rejected with [`Rejected::Backpressure`].
+    pub max_queued_jobs: usize,
+    /// Plan-cache entry capacity (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Recovery policy every job executes under.
+    pub policy: RecoveryPolicy,
+    /// Backoff budget bounding the recovery retry loop.
+    pub backoff: RetryBackoff,
+    /// ABFT tolerances for result verification.
+    pub abft: AbftConfig,
+    /// Whether replay dispatches dependency waves through
+    /// [`Backend::mmo_batch`] (inter-step parallelism).
+    pub batched: bool,
+    /// Largest problem dimension accepted for registry-app payloads
+    /// (app expansion runs the generator and baseline at admission
+    /// time, so it must be bounded).
+    pub max_app_dimension: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_queued_jobs: 256,
+            cache_capacity: 128,
+            policy: RecoveryPolicy::RetryThenFallback { attempts: 3 },
+            backoff: RetryBackoff::new(1, 8, 64),
+            abft: AbftConfig::default(),
+            batched: false,
+            max_app_dimension: 256,
+        }
+    }
+}
+
+/// Per-tenant outcome counters, maintained by the scheduler and
+/// mirrored one-for-one by [`span::SERVE`] telemetry events (the
+/// `serve_soak` binary asserts exact equality).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Submissions received (admitted + rejected).
+    pub submitted: u64,
+    /// Jobs admitted into the queue.
+    pub admitted: u64,
+    /// Submissions refused by the service-wide queue cap.
+    pub rejected_backpressure: u64,
+    /// Submissions refused by this tenant's quotas.
+    pub rejected_quota: u64,
+    /// Submissions that could never execute.
+    pub rejected_malformed: u64,
+    /// Jobs that completed (including cache hits).
+    pub completed: u64,
+    /// Jobs that ran out of deadline budget.
+    pub expired: u64,
+    /// Jobs that failed terminally.
+    pub failed: u64,
+    /// Completed jobs the recovery layer had to rescue.
+    pub recovered: u64,
+    /// Completed jobs served from the plan cache.
+    pub cache_hits: u64,
+    /// Plan steps actually dispatched for this tenant.
+    pub executed_steps: u64,
+}
+
+impl TenantStats {
+    /// Total rejections across all classes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_backpressure + self.rejected_quota + self.rejected_malformed
+    }
+
+    /// Jobs that reached a terminal status.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.expired + self.failed
+    }
+}
+
+/// One admitted, not-yet-executed job.
+#[derive(Clone, Debug)]
+struct QueuedJob {
+    id: JobId,
+    plan: Plan,
+    deadline: Deadline,
+    steps: u64,
+    bytes: u64,
+}
+
+/// Everything the service tracks per tenant.
+#[derive(Clone, Debug)]
+struct TenantState {
+    quota: TenantQuota,
+    ledger: TenantLedger,
+    queue: VecDeque<QueuedJob>,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn new(quota: TenantQuota) -> Self {
+        Self {
+            quota,
+            ledger: TenantLedger::default(),
+            queue: VecDeque::new(),
+            stats: TenantStats::default(),
+        }
+    }
+}
+
+/// A multi-tenant plan service over one shared backend.
+///
+/// The backend is wrapped in a [`ResilientBackend`] so every job runs
+/// through ABFT verification and the configured recovery policy. See
+/// the [module docs](self) for the lifecycle and isolation story.
+#[derive(Debug)]
+pub struct PlanService<B: Backend> {
+    backend: ResilientBackend<B>,
+    /// Sequential clean recorder used to expand registry-app payloads.
+    recorder: TiledBackend,
+    /// Registration order doubles as the deterministic round-robin
+    /// order.
+    tenants: Vec<(TenantId, TenantState)>,
+    cache: PlanCache,
+    app_plans: HashMap<(AppKind, usize, u64), Plan>,
+    outcomes: Vec<JobOutcome>,
+    tracer: Tracer,
+    next_job: u64,
+    queued_total: usize,
+    max_queued_jobs: usize,
+    max_app_dimension: usize,
+    batched: bool,
+}
+
+impl<B: Backend> PlanService<B> {
+    /// Builds a service executing on `backend` under `config`.
+    pub fn new(backend: B, config: ServeConfig) -> Self {
+        Self {
+            backend: ResilientBackend::with_config(backend, config.policy, config.abft)
+                .with_backoff(config.backoff),
+            recorder: TiledBackend::new(),
+            tenants: Vec::new(),
+            cache: PlanCache::new(config.cache_capacity),
+            app_plans: HashMap::new(),
+            outcomes: Vec::new(),
+            tracer: Tracer::off(),
+            next_job: 0,
+            queued_total: 0,
+            max_queued_jobs: config.max_queued_jobs,
+            max_app_dimension: config.max_app_dimension,
+            batched: config.batched,
+        }
+    }
+
+    /// Attaches a telemetry tracer: job lifecycle instants
+    /// ([`span::SERVE`]), plan replay spans, and recovery-layer events
+    /// all land in the same sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.backend.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry tracer (builder form).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Registers `tenant` with `quota`, or updates the quota of an
+    /// already-registered tenant (its queue and stats are kept).
+    pub fn register_tenant(&mut self, tenant: TenantId, quota: TenantQuota) {
+        match self.tenant_index(tenant) {
+            Some(idx) => self.tenants[idx].1.quota = quota,
+            None => self.tenants.push((tenant, TenantState::new(quota))),
+        }
+    }
+
+    /// The registered tenants, in registration (= scheduling) order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|(t, _)| *t).collect()
+    }
+
+    fn tenant_index(&self, tenant: TenantId) -> Option<usize> {
+        self.tenants.iter().position(|(t, _)| *t == tenant)
+    }
+
+    fn emit_stage(&self, stage: &'static str, tenant: TenantId, job: Option<JobId>) {
+        match job {
+            Some(id) => self.tracer.instant(
+                span::SERVE,
+                &[
+                    field("stage", stage),
+                    field("tenant", tenant.0),
+                    field("job", id.0),
+                ],
+            ),
+            None => self.tracer.instant(
+                span::SERVE,
+                &[field("stage", stage), field("tenant", tenant.0)],
+            ),
+        }
+    }
+
+    /// Submits a job for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Malformed`] for unknown tenants and structurally
+    /// unexecutable payloads, [`Rejected::Backpressure`] when the
+    /// service-wide queue is full, [`Rejected::QuotaExceeded`] when the
+    /// tenant is over its own limits. Rejections consume no queue
+    /// space.
+    pub fn submit(&mut self, tenant: TenantId, spec: JobSpec) -> Result<JobId, Rejected> {
+        let Some(idx) = self.tenant_index(tenant) else {
+            return Err(Rejected::Malformed {
+                reason: format!("{tenant} is not registered"),
+            });
+        };
+        self.tenants[idx].1.stats.submitted += 1;
+        self.emit_stage("submitted", tenant, None);
+        let result = self.admit(idx, spec);
+        match &result {
+            Ok(id) => {
+                self.tenants[idx].1.stats.admitted += 1;
+                self.emit_stage("admitted", tenant, Some(*id));
+            }
+            Err(rejection) => {
+                let stats = &mut self.tenants[idx].1.stats;
+                match rejection {
+                    Rejected::Backpressure { .. } => stats.rejected_backpressure += 1,
+                    Rejected::QuotaExceeded { .. } => stats.rejected_quota += 1,
+                    Rejected::Malformed { .. } => stats.rejected_malformed += 1,
+                }
+                self.emit_stage(rejection.stage(), tenant, None);
+            }
+        }
+        result
+    }
+
+    fn admit(&mut self, idx: usize, spec: JobSpec) -> Result<JobId, Rejected> {
+        let plan = match spec.payload {
+            JobPayload::Plan(plan) => plan,
+            JobPayload::App { app, n, seed } => self.app_plan(app, n, seed)?,
+        };
+        validate_plan(&plan)?;
+        if self.queued_total >= self.max_queued_jobs {
+            return Err(Rejected::Backpressure {
+                queued: self.queued_total,
+                capacity: self.max_queued_jobs,
+            });
+        }
+        let steps = plan.step_count() as u64;
+        let bytes = plan_input_bytes(&plan);
+        {
+            let state = &self.tenants[idx].1;
+            state.ledger.admit(&state.quota, steps, bytes)?;
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let state = &mut self.tenants[idx].1;
+        state.ledger.in_flight += 1;
+        state.ledger.queued_steps += steps;
+        state.ledger.queued_bytes += bytes;
+        state.queue.push_back(QueuedJob {
+            id,
+            plan,
+            deadline: spec.deadline,
+            steps,
+            bytes,
+        });
+        self.queued_total += 1;
+        Ok(id)
+    }
+
+    /// Expands a registry-app payload to its recorded plan on the
+    /// internal sequential recorder, memoized per `(app, n, seed)`.
+    /// Expansion happens at admission so quotas and deadlines see the
+    /// plan's real step count.
+    fn app_plan(&mut self, app: AppKind, n: usize, seed: u64) -> Result<Plan, Rejected> {
+        if n < 16 || n > self.max_app_dimension {
+            return Err(Rejected::Malformed {
+                reason: format!("app dimension {n} outside 16..={}", self.max_app_dimension),
+            });
+        }
+        if let Some(plan) = self.app_plans.get(&(app, n, seed)) {
+            return Ok(plan.clone());
+        }
+        let run = harness::run_app(
+            &mut self.recorder,
+            app,
+            n,
+            seed,
+            ClosureAlgorithm::Leyzorek,
+            true,
+        );
+        self.app_plans.insert((app, n, seed), run.plan.clone());
+        Ok(run.plan)
+    }
+
+    /// Drains every tenant queue: each cycle visits tenants in
+    /// registration order and executes up to `weight` jobs per tenant,
+    /// so a weight-2 tenant drains twice as fast as a weight-1 tenant
+    /// under contention. Returns the number of jobs executed. Every
+    /// executed job lands one [`JobOutcome`] — deterministically, in
+    /// scheduling order.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut executed = 0;
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.tenants.len() {
+                let weight = self.tenants[idx].1.quota.weight.max(1);
+                for _ in 0..weight {
+                    let Some(job) = self.tenants[idx].1.queue.pop_front() else {
+                        break;
+                    };
+                    self.execute(idx, job);
+                    executed += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return executed;
+            }
+        }
+    }
+
+    /// Executes one job to its terminal status.
+    fn execute(&mut self, idx: usize, job: QueuedJob) {
+        let tenant = self.tenants[idx].0;
+        {
+            let ledger = &mut self.tenants[idx].1.ledger;
+            ledger.queued_steps -= job.steps;
+            ledger.queued_bytes -= job.bytes;
+        }
+        self.queued_total -= 1;
+        let total_steps = job.plan.step_count() as u64;
+        let key = job.plan.cache_key();
+        let status = if let Some(output) = self.cache.get(&key) {
+            JobStatus::Completed {
+                output,
+                cache_hit: true,
+                recovered: false,
+                executed_steps: 0,
+            }
+        } else {
+            let before = self.backend.recovery_stats();
+            let deadline = job.deadline;
+            let mut control = |p: ReplayProgress| {
+                if deadline.allows(p.completed_steps as u64, p.pending_steps as u64) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "deadline: step budget {}",
+                        deadline.budget().unwrap_or(0)
+                    ))
+                }
+            };
+            let executor = if self.batched {
+                PlanExecutor::batched()
+            } else {
+                PlanExecutor::new()
+            }
+            .with_tracer(self.tracer.clone());
+            match executor.run_controlled(&job.plan, &mut self.backend, &mut control) {
+                Ok(replay) => {
+                    let after = self.backend.recovery_stats();
+                    let recovered = after.retry_successes != before.retry_successes
+                        || after.panic_recoveries != before.panic_recoveries
+                        || after.fallbacks != before.fallbacks;
+                    let output = replay
+                        .into_final_output()
+                        .expect("admitted plans are non-empty");
+                    self.cache.insert(key, output.clone());
+                    JobStatus::Completed {
+                        output,
+                        cache_hit: false,
+                        recovered,
+                        executed_steps: total_steps,
+                    }
+                }
+                Err(err) if err.is_cancelled() => JobStatus::Expired {
+                    executed_steps: err.completed_steps as u64,
+                    budget: job.deadline.budget().unwrap_or(0),
+                    total_steps,
+                },
+                Err(err) => JobStatus::Failed {
+                    step: err.step,
+                    executed_steps: err.completed_steps as u64,
+                    error: err
+                        .backend_error()
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                },
+            }
+        };
+        let executed_steps = match &status {
+            JobStatus::Completed { executed_steps, .. }
+            | JobStatus::Expired { executed_steps, .. }
+            | JobStatus::Failed { executed_steps, .. } => *executed_steps,
+        };
+        {
+            let state = &mut self.tenants[idx].1;
+            state.ledger.in_flight -= 1;
+            state.stats.executed_steps += executed_steps;
+            match &status {
+                JobStatus::Completed {
+                    cache_hit,
+                    recovered,
+                    ..
+                } => {
+                    state.stats.completed += 1;
+                    if *cache_hit {
+                        state.stats.cache_hits += 1;
+                    }
+                    if *recovered {
+                        state.stats.recovered += 1;
+                    }
+                }
+                JobStatus::Expired { .. } => state.stats.expired += 1,
+                JobStatus::Failed { .. } => state.stats.failed += 1,
+            }
+        }
+        self.tracer.instant(
+            span::SERVE,
+            &[
+                field("stage", status.label()),
+                field("tenant", tenant.0),
+                field("job", job.id.0),
+                field("executed_steps", executed_steps),
+            ],
+        );
+        if let JobStatus::Completed {
+            cache_hit,
+            recovered,
+            ..
+        } = &status
+        {
+            if *cache_hit {
+                self.emit_stage("cache_hit", tenant, Some(job.id));
+            }
+            if *recovered {
+                self.emit_stage("recovered", tenant, Some(job.id));
+            }
+        }
+        self.outcomes.push(JobOutcome {
+            tenant,
+            job: job.id,
+            status,
+        });
+    }
+
+    /// Drains the accumulated terminal outcomes, in execution order.
+    pub fn take_outcomes(&mut self) -> Vec<JobOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// A tenant's outcome counters (`None` if unregistered).
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.tenant_index(tenant).map(|i| self.tenants[i].1.stats)
+    }
+
+    /// A tenant's live admission ledger (`None` if unregistered).
+    pub fn tenant_ledger(&self, tenant: TenantId) -> Option<TenantLedger> {
+        self.tenant_index(tenant).map(|i| self.tenants[i].1.ledger)
+    }
+
+    /// Jobs currently queued across all tenants.
+    pub fn queued_jobs(&self) -> usize {
+        self.queued_total
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The shared recovery layer's counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.backend.recovery_stats()
+    }
+
+    /// The resilient execution backend (e.g. to inspect the wrapped
+    /// inner backend).
+    pub fn resilient(&self) -> &ResilientBackend<B> {
+        &self.backend
+    }
+
+    /// Mutable access to the resilient execution backend (e.g. to
+    /// install fault injectors in chaos tests).
+    pub fn resilient_mut(&mut self) -> &mut ResilientBackend<B> {
+        &mut self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simd2::{Parallelism, PlanBuilder};
+    use simd2_fault::PanicProbeUnit;
+    use simd2_matrix::Matrix;
+    use simd2_mxu::Simd2Unit;
+    use simd2_semiring::OpKind;
+    use simd2_trace::RingSink;
+
+    /// Records a `len`-step min-plus chain over `side`-square inputs
+    /// filled with `fill` (distinct fills → distinct cache keys).
+    fn chain_plan(len: usize, side: usize, fill: f32) -> Plan {
+        let a = Matrix::from_fn(side, side, |r, c| fill + (r * side + c) as f32);
+        let c = Matrix::filled(side, side, f32::INFINITY);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let mut cur = rec.mmo(OpKind::MinPlus, &a, &a, &c).unwrap();
+        for _ in 1..len {
+            cur = rec.mmo(OpKind::MinPlus, &cur, &a, &c).unwrap();
+        }
+        rec.finish()
+    }
+
+    /// The sequential clean-replay oracle every completed job must
+    /// match bit-for-bit.
+    fn clean_output(plan: &Plan) -> Matrix {
+        PlanExecutor::new()
+            .run(plan, &mut TiledBackend::new())
+            .unwrap()
+            .into_final_output()
+            .unwrap()
+    }
+
+    fn assert_bit_identical(got: &Matrix, want: &Matrix) {
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits(), "outputs diverge");
+        }
+    }
+
+    fn service() -> PlanService<TiledBackend> {
+        PlanService::new(TiledBackend::new(), ServeConfig::default())
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected_as_malformed() {
+        let mut svc = service();
+        let err = svc
+            .submit(TenantId(9), JobSpec::plan(chain_plan(1, 16, 0.0)))
+            .unwrap_err();
+        assert!(matches!(err, Rejected::Malformed { .. }));
+        assert!(svc.tenant_stats(TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn completed_jobs_are_bit_identical_to_a_clean_sequential_replay() {
+        let mut svc = service();
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan = chain_plan(3, 16, 1.0);
+        let want = clean_output(&plan);
+        let id = svc.submit(t, JobSpec::plan(plan)).unwrap();
+        assert_eq!(svc.run_until_idle(), 1);
+        let outcomes = svc.take_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].job, id);
+        let JobStatus::Completed {
+            output,
+            cache_hit,
+            recovered,
+            executed_steps,
+        } = &outcomes[0].status
+        else {
+            panic!("expected completion, got {:?}", outcomes[0].status);
+        };
+        assert!(!cache_hit);
+        assert!(!recovered);
+        assert_eq!(*executed_steps, 3);
+        assert_bit_identical(output, &want);
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!(
+            (stats.submitted, stats.admitted, stats.completed),
+            (1, 1, 1)
+        );
+        assert_eq!(stats.executed_steps, 3);
+        assert_eq!(svc.tenant_ledger(t).unwrap(), TenantLedger::default());
+    }
+
+    #[test]
+    fn tenant_quotas_reject_with_explicit_responses() {
+        let mut svc = service();
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default().with_max_in_flight(1));
+        svc.submit(t, JobSpec::plan(chain_plan(1, 16, 0.0)))
+            .unwrap();
+        let err = svc
+            .submit(t, JobSpec::plan(chain_plan(1, 16, 1.0)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Rejected::QuotaExceeded {
+                quota: "in_flight_jobs",
+                ..
+            }
+        ));
+        assert_eq!(svc.tenant_stats(t).unwrap().rejected_quota, 1);
+        // Draining the queue frees the quota.
+        svc.run_until_idle();
+        assert!(svc.submit(t, JobSpec::plan(chain_plan(1, 16, 1.0))).is_ok());
+    }
+
+    #[test]
+    fn service_wide_backpressure_spills_over_to_other_tenants() {
+        let config = ServeConfig {
+            max_queued_jobs: 1,
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(TiledBackend::new(), config);
+        let (t0, t1) = (TenantId(0), TenantId(1));
+        svc.register_tenant(t0, TenantQuota::default());
+        svc.register_tenant(t1, TenantQuota::default());
+        svc.submit(t0, JobSpec::plan(chain_plan(1, 16, 0.0)))
+            .unwrap();
+        let err = svc
+            .submit(t1, JobSpec::plan(chain_plan(1, 16, 1.0)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Rejected::Backpressure {
+                queued: 1,
+                capacity: 1
+            }
+        ));
+        assert_eq!(svc.tenant_stats(t1).unwrap().rejected_backpressure, 1);
+    }
+
+    #[test]
+    fn weighted_round_robin_drains_in_registration_order_by_weight() {
+        let mut svc = service();
+        let (t0, t1) = (TenantId(0), TenantId(1));
+        svc.register_tenant(t0, TenantQuota::default().with_weight(2));
+        svc.register_tenant(t1, TenantQuota::default().with_weight(1));
+        for i in 0..4 {
+            svc.submit(t0, JobSpec::plan(chain_plan(1, 16, i as f32)))
+                .unwrap();
+        }
+        for i in 0..2 {
+            svc.submit(t1, JobSpec::plan(chain_plan(1, 16, 100.0 + i as f32)))
+                .unwrap();
+        }
+        assert_eq!(svc.run_until_idle(), 6);
+        let order: Vec<TenantId> = svc.take_outcomes().iter().map(|o| o.tenant).collect();
+        assert_eq!(order, vec![t0, t0, t1, t0, t0, t1]);
+    }
+
+    #[test]
+    fn deadlines_expire_at_step_boundaries_with_exact_accounting() {
+        let mut svc = service();
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan = chain_plan(3, 16, 2.0);
+        svc.submit(
+            t,
+            JobSpec::plan(plan.clone()).with_deadline(Deadline::Steps(1)),
+        )
+        .unwrap();
+        svc.submit(
+            t,
+            JobSpec::plan(plan.clone()).with_deadline(Deadline::Steps(0)),
+        )
+        .unwrap();
+        svc.submit(
+            t,
+            JobSpec::plan(plan.clone()).with_deadline(Deadline::Steps(3)),
+        )
+        .unwrap();
+        assert_eq!(svc.run_until_idle(), 3);
+        let outcomes = svc.take_outcomes();
+        assert!(matches!(
+            outcomes[0].status,
+            JobStatus::Expired {
+                executed_steps: 1,
+                budget: 1,
+                total_steps: 3
+            }
+        ));
+        assert!(matches!(
+            outcomes[1].status,
+            JobStatus::Expired {
+                executed_steps: 0,
+                budget: 0,
+                total_steps: 3
+            }
+        ));
+        assert!(matches!(
+            &outcomes[2].status,
+            JobStatus::Completed {
+                executed_steps: 3,
+                ..
+            }
+        ));
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!((stats.expired, stats.completed), (2, 1));
+        // 1 step from the first job, 0 from the second, 3 from the
+        // third. The expired jobs' partial work is still accounted.
+        assert_eq!(stats.executed_steps, 4);
+    }
+
+    #[test]
+    fn structurally_identical_resubmission_hits_the_cache_bit_identically() {
+        let mut svc = service();
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        // Recorded independently: equal cache keys come from content,
+        // not object identity.
+        svc.submit(t, JobSpec::plan(chain_plan(2, 16, 3.0)))
+            .unwrap();
+        svc.submit(t, JobSpec::plan(chain_plan(2, 16, 3.0)))
+            .unwrap();
+        // A deadline too tight to run even one step: the cache hit
+        // bypasses execution entirely, so it still completes.
+        svc.submit(
+            t,
+            JobSpec::plan(chain_plan(2, 16, 3.0)).with_deadline(Deadline::Steps(0)),
+        )
+        .unwrap();
+        assert_eq!(svc.run_until_idle(), 3);
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Completed { output: cold, .. } = &outcomes[0].status else {
+            panic!("cold run should complete");
+        };
+        for outcome in &outcomes[1..] {
+            let JobStatus::Completed {
+                output,
+                cache_hit,
+                executed_steps,
+                ..
+            } = &outcome.status
+            else {
+                panic!("cache hit should complete, got {:?}", outcome.status);
+            };
+            assert!(cache_hit);
+            assert_eq!(*executed_steps, 0);
+            assert_bit_identical(output, cold);
+        }
+        let cache = svc.cache_stats();
+        assert_eq!((cache.hits, cache.misses, cache.entries), (2, 1, 1));
+        assert_eq!(svc.tenant_stats(t).unwrap().cache_hits, 2);
+    }
+
+    #[test]
+    fn app_payloads_expand_at_admission_and_cache_across_submissions() {
+        let mut svc = service();
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        svc.submit(t, JobSpec::app(AppKind::Apsp, 32, 7)).unwrap();
+        svc.submit(t, JobSpec::app(AppKind::Apsp, 32, 7)).unwrap();
+        let err = svc
+            .submit(t, JobSpec::app(AppKind::Apsp, 100_000, 7))
+            .unwrap_err();
+        assert!(matches!(err, Rejected::Malformed { .. }));
+        assert_eq!(svc.run_until_idle(), 2);
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Completed {
+            output: cold,
+            cache_hit: false,
+            ..
+        } = &outcomes[0].status
+        else {
+            panic!("app job should complete cold");
+        };
+        let JobStatus::Completed {
+            output: warm,
+            cache_hit: true,
+            ..
+        } = &outcomes[1].status
+        else {
+            panic!("identical app job should hit the cache");
+        };
+        assert_bit_identical(warm, cold);
+    }
+
+    #[test]
+    fn a_poisoned_tenant_stays_deterministic_and_neighbours_stay_clean() {
+        // NaN inputs are *legitimate* to ABFT (NaN-in → NaN-out): the
+        // poisoned job completes, deterministically, with its own
+        // clean-replay bits — and the poison never leaks into another
+        // tenant's outputs through the shared backend.
+        let mut svc = service();
+        let (bad, good) = (TenantId(0), TenantId(1));
+        svc.register_tenant(bad, TenantQuota::default());
+        svc.register_tenant(good, TenantQuota::default());
+
+        let mut poisoned = Matrix::filled(16, 16, 1.0);
+        poisoned.as_mut_slice()[7] = f32::NAN;
+        let zero = Matrix::filled(16, 16, 0.0);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(OpKind::PlusMul, &poisoned, &poisoned, &zero)
+            .unwrap();
+        let bad_plan = rec.finish();
+        let want_bad = clean_output(&bad_plan);
+        assert!(want_bad.as_slice().iter().any(|v| v.is_nan()));
+
+        let good_plan = chain_plan(2, 16, 5.0);
+        let want_good = clean_output(&good_plan);
+        svc.submit(bad, JobSpec::plan(bad_plan)).unwrap();
+        svc.submit(good, JobSpec::plan(good_plan)).unwrap();
+        assert_eq!(svc.run_until_idle(), 2);
+
+        for outcome in svc.take_outcomes() {
+            let JobStatus::Completed { output, .. } = outcome.status else {
+                panic!("both jobs complete, got {:?}", outcome.status);
+            };
+            if outcome.tenant == bad {
+                assert_bit_identical(&output, &want_bad);
+            } else {
+                assert!(output.as_slice().iter().all(|v| !v.is_nan()));
+                assert_bit_identical(&output, &want_good);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_recovery_surfaces_an_explicit_failure_with_step_index() {
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        // Full-rate persistent faults: every attempt is detected, the
+        // retry policy exhausts, and the job fails explicitly — with
+        // the failing step attributed.
+        let plan = FaultPlan::new(FaultPlanConfig::new(5).with_transient_nan_ppm(1_000_000));
+        let inner = TiledBackend::with_unit(FaultySimd2Unit::new(
+            Simd2Unit::new(),
+            PlannedInjector::new(plan),
+        ));
+        let config = ServeConfig {
+            policy: RecoveryPolicy::Retry { attempts: 2 },
+            abft: AbftConfig {
+                witness_samples: usize::MAX,
+                ..AbftConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(inner, config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let a = Matrix::filled(16, 16, 1.0);
+        let zero = Matrix::filled(16, 16, 0.0);
+        rec.mmo(OpKind::PlusMul, &a, &a, &zero).unwrap();
+        let doomed = rec.finish();
+
+        svc.submit(t, JobSpec::plan(doomed)).unwrap();
+        assert_eq!(svc.run_until_idle(), 1);
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Failed {
+            step,
+            executed_steps,
+            error,
+        } = &outcomes[0].status
+        else {
+            panic!("doomed job must fail, got {:?}", outcomes[0].status);
+        };
+        assert_eq!(*step, 0);
+        assert_eq!(*executed_steps, 0);
+        assert!(!error.is_empty());
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!((stats.failed, stats.completed), (1, 0));
+        let recovery = svc.recovery_stats();
+        assert!(recovery.detections >= 3, "initial try + 2 retries detected");
+        assert_eq!(recovery.retries, 2);
+    }
+
+    #[test]
+    fn a_panicking_tenant_recovers_without_touching_neighbours() {
+        // Worker shards panic at tile row 1: only tenant 0's 48-row
+        // jobs strike it; tenant 1's single-tile jobs never do.
+        let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+        inner.set_parallelism(Parallelism::Threads(3));
+        let mut svc = PlanService::new(inner, ServeConfig::default());
+        let (chaos, calm) = (TenantId(0), TenantId(1));
+        svc.register_tenant(chaos, TenantQuota::default());
+        svc.register_tenant(calm, TenantQuota::default());
+
+        let tall = chain_plan(2, 48, 1.0);
+        let small = chain_plan(2, 16, 2.0);
+        let want_tall = clean_output(&tall);
+        let want_small = clean_output(&small);
+        svc.submit(chaos, JobSpec::plan(tall)).unwrap();
+        svc.submit(calm, JobSpec::plan(small)).unwrap();
+        assert_eq!(svc.run_until_idle(), 2);
+
+        let outcomes = svc.take_outcomes();
+        for outcome in &outcomes {
+            let JobStatus::Completed {
+                output, recovered, ..
+            } = &outcome.status
+            else {
+                panic!("both tenants must complete, got {:?}", outcome.status);
+            };
+            if outcome.tenant == chaos {
+                assert!(recovered, "panicked job recovers sequentially");
+                assert_bit_identical(output, &want_tall);
+            } else {
+                assert!(!recovered, "calm tenant untouched by the panic");
+                assert_bit_identical(output, &want_small);
+            }
+        }
+        assert_eq!(svc.tenant_stats(chaos).unwrap().recovered, 1);
+        assert_eq!(svc.tenant_stats(calm).unwrap().recovered, 0);
+        assert!(svc.recovery_stats().panic_recoveries >= 1);
+    }
+
+    #[test]
+    fn telemetry_events_mirror_tenant_stats_exactly() {
+        let sink = RingSink::shared();
+        let mut svc = service().with_tracer(Tracer::to(sink.clone()));
+        let (t0, t1) = (TenantId(0), TenantId(1));
+        svc.register_tenant(t0, TenantQuota::default().with_max_in_flight(2));
+        svc.register_tenant(t1, TenantQuota::default());
+
+        svc.submit(t0, JobSpec::plan(chain_plan(2, 16, 0.0)))
+            .unwrap();
+        svc.submit(t0, JobSpec::plan(chain_plan(2, 16, 0.0)))
+            .unwrap();
+        // Third submission trips t0's in-flight quota.
+        svc.submit(t0, JobSpec::plan(chain_plan(2, 16, 1.0)))
+            .unwrap_err();
+        svc.submit(
+            t1,
+            JobSpec::plan(chain_plan(3, 16, 2.0)).with_deadline(Deadline::Steps(1)),
+        )
+        .unwrap();
+        // Empty plan: malformed.
+        let empty = PlanBuilder::over(&mut TiledBackend::new()).finish();
+        svc.submit(t1, JobSpec::plan(empty)).unwrap_err();
+        svc.run_until_idle();
+
+        for tenant in [t0, t1] {
+            let stats = svc.tenant_stats(tenant).unwrap();
+            let count = |stage: &str| -> u64 {
+                sink.events()
+                    .iter()
+                    .filter(|e| e.is_stage(span::SERVE, stage))
+                    .filter(|e| e.u64("tenant") == Some(tenant.0 as u64))
+                    .count() as u64
+            };
+            assert_eq!(count("submitted"), stats.submitted);
+            assert_eq!(count("admitted"), stats.admitted);
+            assert_eq!(count("rejected_backpressure"), stats.rejected_backpressure);
+            assert_eq!(count("rejected_quota"), stats.rejected_quota);
+            assert_eq!(count("rejected_malformed"), stats.rejected_malformed);
+            assert_eq!(count("completed"), stats.completed);
+            assert_eq!(count("expired"), stats.expired);
+            assert_eq!(count("failed"), stats.failed);
+            assert_eq!(count("cache_hit"), stats.cache_hits);
+            assert_eq!(count("recovered"), stats.recovered);
+            let executed: u64 = sink
+                .events()
+                .iter()
+                .filter(|e| {
+                    (e.is_stage(span::SERVE, "completed")
+                        || e.is_stage(span::SERVE, "expired")
+                        || e.is_stage(span::SERVE, "failed"))
+                        && e.u64("tenant") == Some(tenant.0 as u64)
+                })
+                .filter_map(|e| e.u64("executed_steps"))
+                .sum();
+            assert_eq!(executed, stats.executed_steps);
+        }
+    }
+}

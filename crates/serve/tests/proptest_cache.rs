@@ -1,0 +1,151 @@
+//! Property-based soundness of the plan cache key
+//! ([`Plan::cache_key`]): structurally identical independently-recorded
+//! plans key equal (so the service's cache-hit replay is the cold
+//! replay, bit for bit), and *any* single-bit perturbation of *any*
+//! captured input byte moves the fingerprint and misses the cache.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use simd2::{Backend, Plan, PlanBuilder, TiledBackend};
+use simd2_matrix::Matrix;
+use simd2_semiring::{OpKind, ALL_OPS};
+use simd2_serve::{JobSpec, JobStatus, PlanService, ServeConfig, TenantId, TenantQuota};
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    (0..ALL_OPS.len()).prop_map(|i| ALL_OPS[i])
+}
+
+/// In-domain operand values for the given op (reliabilities in (0,1],
+/// booleans in {0,1}, everything else small non-negative reals).
+fn operand(op: OpKind, raw: u16) -> f32 {
+    let raw = f32::from(raw % 64);
+    match op {
+        OpKind::OrAnd => {
+            if raw >= 32.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        OpKind::MinMul | OpKind::MaxMul => 0.5 + raw / 128.0,
+        _ => raw * 0.25,
+    }
+}
+
+fn matrix_strategy(op: OpKind, rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(any::<u16>(), rows * cols)
+        .prop_map(move |vals| Matrix::from_fn(rows, cols, |r, c| operand(op, vals[r * cols + c])))
+}
+
+fn gen_operands(op: OpKind, m: usize, n: usize, k: usize, seed: u32) -> (Matrix, Matrix, Matrix) {
+    let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+    let a = matrix_strategy(op, m, k)
+        .new_tree(&mut runner)
+        .unwrap()
+        .current();
+    let b = matrix_strategy(op, k, n)
+        .new_tree(&mut runner)
+        .unwrap()
+        .current();
+    let c = matrix_strategy(op, m, n)
+        .new_tree(&mut runner)
+        .unwrap()
+        .current();
+    (a, b, c)
+}
+
+/// Records a two-step chain (D0 = A⊗B⊕C, D1 = A⊗B⊕D0) on a fresh
+/// recorder — called twice, it produces *independent* `Plan` values
+/// with identical structure and inputs.
+fn record_chain(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Plan {
+    let mut be = TiledBackend::new();
+    let mut rec = PlanBuilder::over(&mut be);
+    let d0 = rec.mmo(op, a, b, c).expect("recording step 0");
+    rec.mmo(op, a, b, &d0).expect("recording step 1");
+    rec.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Independently-recorded identical plans share a cache key, and
+    /// the service serves the second submission from the cache with the
+    /// cold run's exact bits.
+    #[test]
+    fn identical_recordings_key_equal_and_cache_hit_is_bit_identical(
+        op in op_strategy(),
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..16,
+        seed in any::<u32>(),
+    ) {
+        let (a, b, c) = gen_operands(op, m, n, k, seed);
+        let p1 = record_chain(op, &a, &b, &c);
+        let p2 = record_chain(op, &a, &b, &c);
+        prop_assert_eq!(p1.cache_key(), p2.cache_key());
+
+        let mut svc = PlanService::new(TiledBackend::new(), ServeConfig::default());
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        svc.submit(t, JobSpec::plan(p1)).unwrap();
+        svc.submit(t, JobSpec::plan(p2)).unwrap();
+        prop_assert_eq!(svc.run_until_idle(), 2);
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Completed { output: cold, cache_hit: false, .. } = &outcomes[0].status
+        else {
+            panic!("cold run must complete, got {:?}", outcomes[0].status);
+        };
+        let JobStatus::Completed { output: warm, cache_hit: true, executed_steps: 0, .. } =
+            &outcomes[1].status
+        else {
+            panic!("resubmission must hit the cache, got {:?}", outcomes[1].status);
+        };
+        prop_assert_eq!(cold.shape(), warm.shape());
+        for (x, y) in cold.as_slice().iter().zip(warm.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let stats = svc.cache_stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// Flipping any single bit of any captured input element keeps the
+    /// structural hash but moves the fingerprint: the perturbed plan
+    /// misses the cache.
+    #[test]
+    fn any_input_bit_perturbation_misses_the_cache(
+        op in op_strategy(),
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..16,
+        seed in any::<u32>(),
+        which in 0usize..3,
+        elem in any::<u32>(),
+        bit in 0u32..32,
+    ) {
+        let (a, b, c) = gen_operands(op, m, n, k, seed);
+        let p1 = record_chain(op, &a, &b, &c);
+
+        let (mut a2, mut b2, mut c2) = (a.clone(), b.clone(), c.clone());
+        let target = match which {
+            0 => &mut a2,
+            1 => &mut b2,
+            _ => &mut c2,
+        };
+        let idx = elem as usize % target.len();
+        let old = target.as_slice()[idx];
+        target.as_mut_slice()[idx] = f32::from_bits(old.to_bits() ^ (1 << bit));
+        let p2 = record_chain(op, &a2, &b2, &c2);
+
+        prop_assert_eq!(p1.structural_hash(), p2.structural_hash());
+        prop_assert_ne!(p1.cache_key(), p2.cache_key());
+
+        let mut svc = PlanService::new(TiledBackend::new(), ServeConfig::default());
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        svc.submit(t, JobSpec::plan(p1)).unwrap();
+        svc.submit(t, JobSpec::plan(p2)).unwrap();
+        prop_assert_eq!(svc.run_until_idle(), 2);
+        let stats = svc.cache_stats();
+        prop_assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+}

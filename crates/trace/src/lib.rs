@@ -40,7 +40,7 @@ mod event;
 mod metrics;
 mod sink;
 
-pub use event::{field, Event, EventKind, Field, Value};
+pub use event::{field, json_line_into, Event, EventKind, Field, Value};
 pub use metrics::{
     snapshot, snapshot_json, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
     MetricsSnapshot, HISTOGRAM_BUCKETS,
@@ -74,6 +74,13 @@ pub mod span {
     /// One dispatch wave of independent plan steps (`end`-only span
     /// summary; sequential replays emit one wave per step).
     pub const PLAN_WAVE: &str = "plan_wave";
+    /// A serving-layer job lifecycle event (`instant`, keyed by a
+    /// `stage` field: `admitted`, `rejected_backpressure`,
+    /// `rejected_quota`, `rejected_malformed`, `completed`, `expired`,
+    /// `failed`, `recovered`, `cache_hit`). Every event carries numeric
+    /// `tenant` and `job` fields, so per-tenant counters can be derived
+    /// exactly from the event stream.
+    pub const SERVE: &str = "serve";
 }
 
 /// Process-global arming gate consulted by [`Tracer::current`].

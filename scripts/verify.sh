@@ -40,3 +40,12 @@ fi
 if [ "${SIMD2_PLAN_SMOKE:-0}" = "1" ]; then
   cargo run --release -q -p simd2-bench --bin plan_smoke
 fi
+
+# Optional: serving-layer smoke — a short seeded slice of the
+# multi-tenant serve soak: admission mirroring, WRR scheduling order,
+# deadline expiry accounting, cache-hit bit identity, panic/fault
+# isolation, and telemetry-vs-scheduler lock-step. Enable with
+#   SIMD2_SERVE_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_SERVE_SMOKE:-0}" = "1" ]; then
+  cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 5 --seed 2022
+fi

@@ -12,5 +12,6 @@ pub use simd2_isa as isa;
 pub use simd2_matrix as matrix;
 pub use simd2_mxu as mxu;
 pub use simd2_semiring as semiring;
+pub use simd2_serve as serve;
 pub use simd2_sparse as sparse;
 pub use simd2_trace as trace;
