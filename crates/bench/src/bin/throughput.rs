@@ -121,6 +121,7 @@ struct Entry {
     op: OpKind,
     n: usize,
     threads: usize,
+    isa: &'static str,
     seconds: f64,
     tile_mmos_per_s: f64,
     gbps: f64,
@@ -155,11 +156,13 @@ fn render_json(quick: bool, entries: &[Entry]) -> String {
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \"seconds\": {}, \
-             \"tile_mmos_per_s\": {}, \"gbps\": {}, \"speedup_vs_scalar\": {}}}{}\n",
+            "    {{\"op\": \"{}\", \"n\": {}, \"threads\": {}, \"isa\": \"{}\", \
+             \"seconds\": {}, \"tile_mmos_per_s\": {}, \"gbps\": {}, \
+             \"speedup_vs_scalar\": {}}}{}\n",
             e.op.name(),
             e.n,
             e.threads,
+            e.isa,
             jnum(e.seconds),
             jnum(e.tile_mmos_per_s),
             jnum(e.gbps),
@@ -256,6 +259,7 @@ fn main() {
             "op",
             "N",
             "threads",
+            "isa",
             "seconds",
             "tile-MMOs/s",
             "GB/s",
@@ -326,6 +330,7 @@ fn main() {
                     op,
                     n,
                     threads,
+                    isa: be.kernel_isa().name(),
                     seconds,
                     tile_mmos_per_s: tile_mmos / seconds,
                     gbps: traffic_bytes / seconds / 1e9,
@@ -335,6 +340,7 @@ fn main() {
                     op.name().to_owned(),
                     n.to_string(),
                     threads.to_string(),
+                    e.isa.to_owned(),
                     format!("{:.4}", e.seconds),
                     format!("{:.3e}", e.tile_mmos_per_s),
                     format!("{:.2}", e.gbps),

@@ -12,6 +12,7 @@ use simd2_matrix::reference;
 use simd2_matrix::tiling::{self, TileGrid};
 use simd2_matrix::{Matrix, ISA_TILE};
 use simd2_mxu::Simd2Unit;
+use simd2_semiring::simd::KernelIsa;
 use simd2_semiring::OpKind;
 
 use simd2_fault::{AbftConfig, FaultInjector, MmoUnit, TileCoord};
@@ -28,6 +29,25 @@ static TILE_MMOS: Counter = Counter::new("core.tile_mmos");
 static TILE_LOADS: Counter = Counter::new("core.tile_loads");
 /// Process-global tile-store count (traced backends only).
 static TILE_STORES: Counter = Counter::new("core.tile_stores");
+/// Per-kernel-ISA completed whole-matrix mmo counts (traced backends
+/// only) — which vector tier the datapath actually executed with.
+static ISA_MMOS_AVX512: Counter = Counter::new("core.isa_mmos.avx512");
+/// See [`ISA_MMOS_AVX512`].
+static ISA_MMOS_AVX2: Counter = Counter::new("core.isa_mmos.avx2");
+/// See [`ISA_MMOS_AVX512`].
+static ISA_MMOS_NEON: Counter = Counter::new("core.isa_mmos.neon");
+/// See [`ISA_MMOS_AVX512`].
+static ISA_MMOS_SCALAR: Counter = Counter::new("core.isa_mmos.scalar");
+
+/// The `core.isa_mmos.*` counter tracking `isa`.
+fn isa_mmos_counter(isa: KernelIsa) -> &'static Counter {
+    match isa {
+        KernelIsa::Avx512 => &ISA_MMOS_AVX512,
+        KernelIsa::Avx2 => &ISA_MMOS_AVX2,
+        KernelIsa::Neon => &ISA_MMOS_NEON,
+        KernelIsa::Scalar => &ISA_MMOS_SCALAR,
+    }
+}
 
 /// Running totals of the work a backend has performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -172,7 +192,9 @@ pub struct MmoArgs<'a> {
 }
 
 /// Emits the [`span::MMO`] begin event for a whole-matrix operation.
-fn begin_mmo(tracer: &Tracer, op: OpKind, grid: &TileGrid, workers: usize) {
+/// `isa` is the instruction set the backend's tile kernel executes with
+/// (every worker of one mmo runs the same kernel tier).
+fn begin_mmo(tracer: &Tracer, op: OpKind, grid: &TileGrid, workers: usize, isa: KernelIsa) {
     tracer.begin(
         span::MMO,
         &[
@@ -181,15 +203,17 @@ fn begin_mmo(tracer: &Tracer, op: OpKind, grid: &TileGrid, workers: usize) {
             field("n", grid.n),
             field("k", grid.k),
             field("workers", workers),
+            field("isa", isa.name()),
         ],
     );
 }
 
 /// Emits the [`span::MMO`] end event for a *completed* whole-matrix mmo
-/// and bumps the process-global work counters by the same delta, so
-/// traced span totals and [`Backend::op_count`] advance in lock-step: a
-/// failed mmo contributes to neither.
-fn finish_mmo(tracer: &Tracer, op: OpKind, delta: OpCount) {
+/// and bumps the process-global work counters (including the per-ISA
+/// `core.isa_mmos.*` counter) by the same delta, so traced span totals
+/// and [`Backend::op_count`] advance in lock-step: a failed mmo
+/// contributes to neither.
+fn finish_mmo(tracer: &Tracer, op: OpKind, delta: OpCount, isa: KernelIsa) {
     if !tracer.enabled() {
         return;
     }
@@ -197,6 +221,7 @@ fn finish_mmo(tracer: &Tracer, op: OpKind, delta: OpCount) {
     TILE_MMOS.add(delta.tile_mmos);
     TILE_LOADS.add(delta.tile_loads);
     TILE_STORES.add(delta.tile_stores);
+    isa_mmos_counter(isa).add(delta.matrix_mmos);
     tracer.end(
         span::MMO,
         &[
@@ -277,7 +302,7 @@ impl Backend for ReferenceBackend {
     ) -> Result<Matrix, BackendError> {
         crate::validate::check_mmo_operands(op, a, b, c)?;
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
-        begin_mmo(&self.tracer, op, &grid, 1);
+        begin_mmo(&self.tracer, op, &grid, 1, KernelIsa::Scalar);
         let d = reference::mmo(op, a, b, c)?;
         let delta = OpCount {
             matrix_mmos: 1,
@@ -286,7 +311,7 @@ impl Backend for ReferenceBackend {
             tile_stores: grid.output_tiles() as u64,
         };
         self.count += delta;
-        finish_mmo(&self.tracer, op, delta);
+        finish_mmo(&self.tracer, op, delta, KernelIsa::Scalar);
         Ok(d)
     }
 
@@ -384,6 +409,13 @@ impl<U: MmoUnit> TiledBackend<U> {
     /// The underlying unit (e.g. for fault telemetry).
     pub fn unit(&self) -> &U {
         &self.unit
+    }
+
+    /// The instruction set the unit's tile kernel executes with —
+    /// reported in [`span::MMO`] begin spans as the `isa` field and
+    /// accumulated per tier in the `core.isa_mmos.*` counters.
+    pub fn kernel_isa(&self) -> KernelIsa {
+        self.unit.kernel_isa()
     }
 
     /// Unwraps into the underlying unit.
@@ -539,7 +571,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         let grid = TileGrid::new(a.rows(), b.cols(), a.cols(), ISA_TILE);
         self.unit.begin_matrix_mmo();
         let workers = self.parallelism.worker_count();
-        begin_mmo(&self.tracer, op, &grid, workers);
+        begin_mmo(&self.tracer, op, &grid, workers, self.unit.kernel_isa());
         let mut delta;
         let d;
         'done: {
@@ -582,7 +614,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         }
         delta.matrix_mmos = 1;
         self.count += delta;
-        finish_mmo(&self.tracer, op, delta);
+        finish_mmo(&self.tracer, op, delta, self.unit.kernel_isa());
         Ok(d)
     }
 
@@ -646,7 +678,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
                     let step = &steps[idx];
                     let grid = &grids[idx];
                     let mut shard = shards.next().expect("one shard per step");
-                    begin_mmo(&self.tracer, step.op, grid, 1);
+                    begin_mmo(&self.tracer, step.op, grid, 1, self.unit.kernel_isa());
                     let worker_tracer = self.tracer.clone();
                     handles.push((
                         idx,
@@ -674,7 +706,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
                             let mut delta = count;
                             delta.matrix_mmos = 1;
                             self.count += delta;
-                            finish_mmo(&self.tracer, steps[idx].op, delta);
+                            finish_mmo(&self.tracer, steps[idx].op, delta, self.unit.kernel_isa());
                             outputs[idx] = Some(d);
                         }
                         Err(payload) => {
@@ -798,7 +830,10 @@ impl Backend for IsaBackend {
         crate::validate::check_mmo_operands(op, a, b, c)?;
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         let grid = TileGrid::new(m, n, k, ISA_TILE);
-        begin_mmo(&self.tracer, op, &grid, 1);
+        // The executor drives a default `Simd2Unit`, so the datapath runs
+        // on the process-wide selected kernel tier.
+        let isa = Simd2Unit::new().kernel_isa();
+        begin_mmo(&self.tracer, op, &grid, 1, isa);
         let pads = tiling::pad_values(op);
         let (mp, np, kp) = (
             grid.m_tiles * ISA_TILE,
@@ -890,7 +925,7 @@ impl Backend for IsaBackend {
             tile_stores: stats.stores,
         };
         self.count += delta;
-        finish_mmo(&self.tracer, op, delta);
+        finish_mmo(&self.tracer, op, delta, isa);
         self.exec_stats.merge(&stats);
 
         let padded_d = exec.memory().read_matrix(c_base, np, mp, np)?;

@@ -14,7 +14,8 @@ use simd2_fault::{
     FaultInjector, FaultLogEntry, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector,
 };
 use simd2_matrix::Matrix;
-use simd2_mxu::Simd2Unit;
+use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::simd::KernelIsa;
 use simd2_semiring::{OpKind, ALL_OPS};
 use simd2_trace::{span, Event, EventKind, RingSink, Tracer};
 
@@ -216,6 +217,98 @@ proptest! {
                 "panel spans, workers={}", workers
             );
         }
+    }
+
+    /// SIMD == scalar end to end: a backend whose unit is pinned to the
+    /// scalar kernel and one on the auto-selected vector tier produce
+    /// bit-identical whole-matrix results — over all nine ops ×
+    /// non-square shapes × fp16/fp32 operand precisions × worker counts
+    /// {1, 2, 4, 8}. On hosts without a vector tier both units run
+    /// scalar and the property degenerates to a self-check.
+    #[test]
+    fn vector_kernel_matches_scalar_backend_bit_for_bit(
+        op in op_strategy(),
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+        let a = matrix_strategy(op, m, k).new_tree(&mut runner).unwrap().current();
+        let b = matrix_strategy(op, k, n).new_tree(&mut runner).unwrap().current();
+        let c = matrix_strategy(op, m, n).new_tree(&mut runner).unwrap().current();
+
+        for precision in [PrecisionMode::Fp16Input, PrecisionMode::Fp32Input] {
+            let scalar_unit =
+                Simd2Unit::with_precision(precision).with_kernel_isa(KernelIsa::Scalar);
+            let mut scalar_be = TiledBackend::with_unit(scalar_unit);
+            let want = scalar_be.mmo(op, &a, &b, &c).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let mut be = TiledBackend::with_unit(Simd2Unit::with_precision(precision));
+                be.set_parallelism(Parallelism::Threads(workers));
+                let got = be.mmo(op, &a, &b, &c).unwrap();
+                prop_assert_eq!(be.kernel_isa(), Simd2Unit::default().kernel_isa());
+                for (i, (x, y)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{} {}x{}x{} {:?} workers={} element {}",
+                        op, m, n, k, precision, workers, i
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fault campaigns are kernel-ISA-independent: the same seeded
+    /// fault plan run on a scalar-pinned unit and on the auto-selected
+    /// vector unit strikes the same sites, logs the same entries and
+    /// produces bit-identical (faulted) outputs — injection addresses
+    /// output *coordinates* after the datapath has produced its bits,
+    /// and the datapath bits themselves are identical across ISAs.
+    #[test]
+    fn fault_campaign_is_identical_across_kernel_isas(
+        op in op_strategy(),
+        m in 1usize..50,
+        n in 1usize..50,
+        k in 1usize..34,
+        seed in any::<u32>(),
+        plan_seed in any::<u32>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::new_seeded(u64::from(seed));
+        let a = matrix_strategy(op, m, k).new_tree(&mut runner).unwrap().current();
+        let b = matrix_strategy(op, k, n).new_tree(&mut runner).unwrap().current();
+        let c = matrix_strategy(op, m, n).new_tree(&mut runner).unwrap().current();
+
+        let run = |isa: Option<KernelIsa>| -> (Matrix, Vec<FaultLogEntry>, u64, OpCount) {
+            let plan = FaultPlan::new(
+                FaultPlanConfig::new(u64::from(plan_seed))
+                    .with_bit_flip_ppm(120_000)
+                    .with_stuck_lane_ppm(40_000)
+                    .with_transient_nan_ppm(60_000),
+            );
+            let mut unit = Simd2Unit::new();
+            if let Some(isa) = isa {
+                unit = unit.with_kernel_isa(isa);
+            }
+            let mut be =
+                TiledBackend::with_unit(FaultySimd2Unit::new(unit, PlannedInjector::new(plan)));
+            let d = be.mmo(op, &a, &b, &c).unwrap();
+            let inj = be.unit().injector();
+            (d, inj.log(), inj.injected(), be.op_count())
+        };
+
+        let (d_scalar, log_scalar, inj_scalar, count_scalar) = run(Some(KernelIsa::Scalar));
+        let (d_simd, log_simd, inj_simd, count_simd) = run(None);
+        for (i, (x, y)) in d_scalar.as_slice().iter().zip(d_simd.as_slice()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "{} {}x{}x{} element {}", op, m, n, k, i
+            );
+        }
+        prop_assert_eq!(&log_scalar, &log_simd);
+        prop_assert_eq!(inj_scalar, inj_simd);
+        prop_assert_eq!(count_scalar, count_simd);
     }
 
     /// Repeated parallel runs on one backend keep accumulating exact

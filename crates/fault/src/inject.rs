@@ -30,6 +30,7 @@ use std::collections::VecDeque;
 
 use simd2_matrix::Tile;
 use simd2_mxu::{PrecisionMode, Simd2Unit};
+use simd2_semiring::simd::KernelIsa;
 use simd2_semiring::OpKind;
 use simd2_trace::{field, span, Counter, Tracer};
 
@@ -552,6 +553,15 @@ pub trait MmoUnit: std::fmt::Debug {
     /// Whether the datapath quantises inputs below fp32.
     fn reduced_precision(&self) -> bool;
 
+    /// The instruction set the unit's tile kernel executes with, for
+    /// telemetry. Fault injection addresses output *coordinates* after
+    /// the datapath has produced its (kernel-independent) bits, so a
+    /// campaign must be identical across ISAs; units without a vector
+    /// kernel report [`KernelIsa::Scalar`].
+    fn kernel_isa(&self) -> KernelIsa {
+        KernelIsa::Scalar
+    }
+
     /// The input precision mode of the underlying datapath.
     fn precision(&self) -> PrecisionMode;
 
@@ -600,6 +610,10 @@ impl MmoUnit for Simd2Unit {
 
     fn precision(&self) -> PrecisionMode {
         Simd2Unit::precision(self)
+    }
+
+    fn kernel_isa(&self) -> KernelIsa {
+        Simd2Unit::kernel_isa(self)
     }
 
     fn shard(&self) -> Option<Self> {
@@ -682,6 +696,10 @@ impl<I: ShardableInjector> MmoUnit for FaultySimd2Unit<I> {
 
     fn precision(&self) -> PrecisionMode {
         self.unit.precision()
+    }
+
+    fn kernel_isa(&self) -> KernelIsa {
+        self.unit.kernel_isa()
     }
 
     fn shard(&self) -> Option<Self> {
@@ -906,6 +924,69 @@ mod tests {
             run(&reversed),
             "same tiles must draw the same faults"
         );
+    }
+
+    #[test]
+    fn seeded_campaign_is_identical_under_scalar_and_simd_kernels() {
+        // Fault injection addresses output coordinates after the unit's
+        // datapath has produced its (bit-identical across ISAs) tile, so
+        // a seeded campaign must strike the same sites with the same
+        // values no matter which vector tier the unit selected. This is
+        // the regression gate for new kernel tiers: a tier that changed
+        // a single output bit would desynchronize nothing in the fault
+        // draws (they are coordinate-keyed) but would surface here as a
+        // diverging faulted output.
+        let run = |unit: Simd2Unit| {
+            let plan = FaultPlan::new(
+                FaultPlanConfig::new(97)
+                    .with_bit_flip_ppm(150_000)
+                    .with_stuck_lane_ppm(50_000)
+                    .with_transient_nan_ppm(80_000),
+            );
+            let mut faulty = FaultySimd2Unit::new(unit, PlannedInjector::new(plan));
+            MmoUnit::begin_matrix_mmo(&mut faulty);
+            let mut outputs = Vec::new();
+            for ti in 0..4u32 {
+                for tj in 0..4u32 {
+                    let mut acc = Tile::<16>::splat(0.0);
+                    for tk in 0..3u32 {
+                        let a = Tile::<16>::from_fn(|r, c| {
+                            (r + c + ti as usize + tk as usize) as f32 * 0.25
+                        });
+                        let b =
+                            Tile::<16>::from_fn(|r, c| (r * 16 + c + tj as usize) as f32 * 0.01);
+                        acc = faulty.execute_tile_at(
+                            TileCoord { ti, tj, tk },
+                            OpKind::PlusMul,
+                            &a,
+                            &b,
+                            &acc,
+                        );
+                    }
+                    outputs.push(acc);
+                }
+            }
+            (
+                outputs,
+                faulty.injector().log(),
+                faulty.injector().injected(),
+            )
+        };
+        let (d_scalar, log_scalar, n_scalar) =
+            run(Simd2Unit::new().with_kernel_isa(KernelIsa::Scalar));
+        let (d_simd, log_simd, n_simd) = run(Simd2Unit::new());
+        assert!(n_scalar > 0, "full-ish rate campaign must strike");
+        assert_eq!(log_scalar, log_simd, "fault logs diverged across ISAs");
+        assert_eq!(n_scalar, n_simd);
+        for (i, (s, v)) in d_scalar.iter().zip(&d_simd).enumerate() {
+            for (r, c, x) in s.iter() {
+                assert_eq!(
+                    x.to_bits(),
+                    v.get(r, c).to_bits(),
+                    "tile {i} ({r},{c}) diverged across ISAs"
+                );
+            }
+        }
     }
 
     #[test]

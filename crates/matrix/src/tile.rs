@@ -70,6 +70,19 @@ impl<const N: usize> Tile<N> {
         N
     }
 
+    /// Flat row-major view of the tile's `N * N` elements — the layout
+    /// the vectorized tile kernels load rows from.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        self.data.as_flattened()
+    }
+
+    /// Mutable flat row-major view of the tile's `N * N` elements.
+    #[inline]
+    pub fn as_flat_mut(&mut self) -> &mut [f32] {
+        self.data.as_flattened_mut()
+    }
+
     /// Iterator over `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..N).flat_map(move |r| (0..N).map(move |c| (r, c, self.data[r][c])))
@@ -180,6 +193,14 @@ mod tests {
                 assert_eq!(out[(r, c)], m[(r, c)]);
             }
         }
+    }
+
+    #[test]
+    fn flat_views_are_row_major() {
+        let mut t = Tile::<3>::from_fn(|r, c| (r * 3 + c) as f32);
+        assert_eq!(t.as_flat(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        t.as_flat_mut()[5] = 50.0;
+        assert_eq!(t.get(1, 2), 50.0);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 
 use std::fmt;
 
-use simd2_semiring::kernel::{dispatch_kernel, KernelVisitor, SemiringKernel};
+use simd2_semiring::kernel::{
+    dispatch_kernel, tree_reduce_in_place, KernelVisitor, SemiringKernel,
+};
 use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::simd::{self, KernelIsa, SelectedKernel, TileKernel};
 use simd2_semiring::OpKind;
 
 use simd2_matrix::Tile;
@@ -50,37 +53,13 @@ pub enum PrecisionMode {
     Int8Input,
 }
 
-/// Reduces `values` pairwise as a balanced binary tree, monomorphized
-/// over the kernel and performed by in-place halving — each level writes
-/// its results into the front of the same buffer, so the whole reduction
-/// runs in the caller's (stack) storage with zero heap traffic. The
-/// pairing `(v[2i], v[2i+1])`, with an odd straggler carried down
-/// unchanged, is exactly the level order of the Figure 3/5 tree that
-/// [`tree_reduce`] used to materialise per level.
-#[inline]
-fn tree_reduce_in_place<K: SemiringKernel>(values: &mut [f32]) -> f32 {
-    let mut len = values.len();
-    if len == 0 {
-        return K::IDENTITY;
-    }
-    while len > 1 {
-        let pairs = len / 2;
-        for i in 0..pairs {
-            values[i] = K::reduce(values[2 * i], values[2 * i + 1]);
-        }
-        if len % 2 == 1 {
-            values[pairs] = values[len - 1];
-        }
-        len = len.div_ceil(2);
-    }
-    values[0]
-}
-
 /// Reduces `values` pairwise as a balanced binary tree, in place, using
 /// the scratch space of `values` itself (dynamic-op wrapper over the
-/// monomorphized [`tree_reduce_in_place`]). Returns `op`'s `⊕` identity
-/// for an empty slice. This is the exact reduction order of the unit's
-/// `⊕` tree, exposed for oracles that need to reproduce its rounding.
+/// monomorphized [`tree_reduce_in_place`], the canonical `⊕`-tree shared
+/// with the vectorized kernels in `simd2_semiring::simd`). Returns `op`'s
+/// `⊕` identity for an empty slice. This is the exact reduction order of
+/// the unit's `⊕` tree, exposed for oracles that need to reproduce its
+/// rounding.
 pub fn tree_reduce(op: OpKind, values: &mut [f32]) -> f32 {
     struct Reduce<'a>(&'a mut [f32]);
     impl KernelVisitor for Reduce<'_> {
@@ -92,10 +71,15 @@ pub fn tree_reduce(op: OpKind, values: &mut [f32]) -> f32 {
     dispatch_kernel(op, Reduce(values))
 }
 
-/// The fused, monomorphized tile kernel: for each output element,
-/// combine the `k` operand pairs into a `[f32; N]` stack buffer,
-/// tree-reduce it in place, and fold the accumulator element in last.
-/// Operands must already be quantised.
+/// The fused, monomorphized *scalar* tile kernel: for each output
+/// element, combine the `k` operand pairs into a `[f32; N]` stack
+/// buffer, tree-reduce it in place, and fold the accumulator element in
+/// last. Operands must already be quantised.
+///
+/// The production path runs the vectorized [`TileKernel`] instead; this
+/// loop remains as the fallback for tiles wider than
+/// [`simd::MAX_TILE`] and as the oracle the kernel-identity tests pin
+/// the vector lowerings against.
 #[inline]
 fn execute_kernel<K: SemiringKernel, const N: usize>(
     a: &Tile<N>,
@@ -131,22 +115,43 @@ fn execute_kernel<K: SemiringKernel, const N: usize>(
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Simd2Unit {
     precision: PrecisionMode,
+    kernel: SelectedKernel,
 }
 
 impl Simd2Unit {
-    /// A unit with the paper's default fp16-input data path.
+    /// A unit with the paper's default fp16-input data path and the
+    /// widest tile kernel the host supports (honouring
+    /// `SIMD2_FORCE_SCALAR`; the selection is made once per process).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A unit with the given input precision mode.
     pub fn with_precision(precision: PrecisionMode) -> Self {
-        Self { precision }
+        Self {
+            precision,
+            ..Self::default()
+        }
+    }
+
+    /// This unit, re-pinned to the given kernel ISA (downgraded to
+    /// [`KernelIsa::Scalar`] if the host cannot execute that tier).
+    /// Used by the forced-scalar test legs and A/B identity checks.
+    pub fn with_kernel_isa(self, isa: KernelIsa) -> Self {
+        Self {
+            kernel: SelectedKernel::with_isa(isa),
+            ..self
+        }
     }
 
     /// The unit's input precision mode.
     pub fn precision(&self) -> PrecisionMode {
         self.precision
+    }
+
+    /// The instruction set the unit's tile kernel executes with.
+    pub fn kernel_isa(&self) -> KernelIsa {
+        self.kernel.isa()
     }
 
     #[inline]
@@ -161,12 +166,21 @@ impl Simd2Unit {
     /// Quantises every element of an operand tile once, up front — the
     /// input-stage registers of Figure 4(c). The quantiser is a pure
     /// per-element function, so hoisting it out of the `k` loop changes
-    /// no bits while cutting the call count from `N³` to `N²`.
+    /// no bits while cutting the call count from `N³` to `N²`. The fp16
+    /// round trip additionally runs on the unit's vector kernel when one
+    /// is selected (bit-identical to the scalar quantiser — see
+    /// [`simd::quantize_f16_slice`]); without it the quantiser dominates
+    /// the vectorized tile path.
     #[inline]
     fn quantize_tile<const N: usize>(&self, t: &Tile<N>) -> Tile<N> {
         match self.precision {
             PrecisionMode::Fp32Input => *t,
-            _ => Tile::from_fn(|r, c| self.quantize(t.get(r, c))),
+            PrecisionMode::Fp16Input => {
+                let mut q = *t;
+                simd::quantize_f16_slice(self.kernel.isa(), q.as_flat_mut());
+                q
+            }
+            PrecisionMode::Int8Input => Tile::from_fn(|r, c| self.quantize(t.get(r, c))),
         }
     }
 
@@ -177,9 +191,12 @@ impl Simd2Unit {
     /// the `C` element last, and the result is returned as a fresh tile.
     ///
     /// The operation is resolved to a monomorphized [`SemiringKernel`]
-    /// exactly once per call — the inner `N³` loop contains no dynamic
-    /// dispatch and no heap allocation (the `k` partials live in a
-    /// `[f32; N]` stack buffer reduced in place).
+    /// exactly once per call, and the tile runs on the [`TileKernel`]
+    /// selected at construction (AVX-512 / AVX2 / NEON / scalar) — the
+    /// inner `N³` loop contains no dynamic dispatch, no feature tests
+    /// and no heap allocation. Every vector tier is bit-identical to the
+    /// scalar kernel, which stays available as the oracle (and as the
+    /// fallback for `N` beyond the kernels' stack budget).
     pub fn execute<const N: usize>(
         &self,
         op: OpKind,
@@ -189,6 +206,18 @@ impl Simd2Unit {
     ) -> Tile<N> {
         let qa = self.quantize_tile(a);
         let qb = self.quantize_tile(b);
+        if N <= simd::MAX_TILE {
+            let mut d = Tile::splat(0.0);
+            self.kernel.mmo_tile(
+                op,
+                qa.as_flat(),
+                qb.as_flat(),
+                c.as_flat(),
+                d.as_flat_mut(),
+                N,
+            );
+            return d;
+        }
         struct Exec<'t, const N: usize> {
             a: &'t Tile<N>,
             b: &'t Tile<N>,
@@ -423,6 +452,120 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d.to_matrix(), want);
+    }
+
+    /// Adversarial element pool: NaN, ±0, infinities, a denormal, and
+    /// values that quantise inexactly — everything the vector lowerings
+    /// could get wrong relative to the scalar oracle.
+    fn tricky(i: usize) -> f32 {
+        const POOL: [f32; 12] = [
+            0.0,
+            -0.0,
+            1.0,
+            -2.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            1.0e-40,
+            0.1,
+            65504.0,
+            -3.75,
+            7.0,
+        ];
+        POOL[i % POOL.len()]
+    }
+
+    fn assert_tiles_bit_identical<const N: usize>(got: &Tile<N>, want: &Tile<N>, ctx: &str) {
+        let gb: Vec<u32> = got.as_flat().iter().map(|x| x.to_bits()).collect();
+        let wb: Vec<u32> = want.as_flat().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(gb, wb, "{ctx}");
+    }
+
+    fn kernel_identity_case<const N: usize>() {
+        let a = Tile::<N>::from_fn(|r, c| tricky(r * N + c));
+        let b = Tile::<N>::from_fn(|r, c| tricky(3 * r + 5 * c + 1));
+        for precision in [PrecisionMode::Fp16Input, PrecisionMode::Fp32Input] {
+            for op in ALL_OPS {
+                let c = Tile::<N>::from_fn(|r, cc| {
+                    if (r + cc) % 3 == 0 {
+                        op.reduce_identity_f32()
+                    } else {
+                        tricky(7 * r + cc + 2)
+                    }
+                });
+                let scalar = Simd2Unit::with_precision(precision)
+                    .with_kernel_isa(KernelIsa::Scalar)
+                    .execute(op, &a, &b, &c);
+                for isa in KernelIsa::ALL {
+                    if !isa.is_supported() {
+                        continue;
+                    }
+                    let unit = Simd2Unit::with_precision(precision).with_kernel_isa(isa);
+                    let got = unit.execute(op, &a, &b, &c);
+                    assert_tiles_bit_identical(
+                        &got,
+                        &scalar,
+                        &format!("{op} N={N} {isa} {precision:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_supported_isa_is_bit_identical_to_scalar() {
+        // Sides straddling every vector width: pure-tail shapes (N < 4),
+        // NEON-exact (4), AVX2 block + tail (11), one AVX-512 vector per
+        // row (16), and multi-block with tail on every tier (21).
+        kernel_identity_case::<1>();
+        kernel_identity_case::<3>();
+        kernel_identity_case::<4>();
+        kernel_identity_case::<11>();
+        kernel_identity_case::<16>();
+        kernel_identity_case::<21>();
+    }
+
+    #[test]
+    fn vector_kernel_matches_the_const_generic_scalar_loop() {
+        // The simd scalar leaf and the original `[f32; N]` loop are both
+        // oracles; pin them to each other through the public seam.
+        let a = Tile::<16>::from_fn(|r, c| tricky(r + 2 * c));
+        let b = Tile::<16>::from_fn(|r, c| tricky(5 * r + c + 4));
+        for op in ALL_OPS {
+            let c = Tile::<16>::splat(op.reduce_identity_f32());
+            struct Exec<'t, const N: usize> {
+                a: &'t Tile<N>,
+                b: &'t Tile<N>,
+                c: &'t Tile<N>,
+            }
+            impl<const N: usize> KernelVisitor for Exec<'_, N> {
+                type Output = Tile<N>;
+                fn visit<K: SemiringKernel>(self) -> Tile<N> {
+                    execute_kernel::<K, N>(self.a, self.b, self.c)
+                }
+            }
+            let unit = Simd2Unit::with_precision(PrecisionMode::Fp32Input);
+            let got = unit.execute(op, &a, &b, &c);
+            let want = dispatch_kernel(
+                op,
+                Exec {
+                    a: &a,
+                    b: &b,
+                    c: &c,
+                },
+            );
+            assert_tiles_bit_identical(&got, &want, &format!("{op} vs execute_kernel"));
+        }
+    }
+
+    #[test]
+    fn default_unit_reports_the_selected_isa() {
+        let unit = Simd2Unit::new();
+        assert_eq!(unit.kernel_isa(), simd::selected_isa());
+        assert!(unit.kernel_isa().is_supported());
+        let forced = unit.with_kernel_isa(KernelIsa::Scalar);
+        assert_eq!(forced.kernel_isa(), KernelIsa::Scalar);
+        assert_eq!(forced.precision(), unit.precision());
     }
 
     #[test]

@@ -64,6 +64,35 @@ kernel_impl!(
     PlusNorm = 0.0,
 );
 
+/// Reduces `values` pairwise as a balanced binary tree, monomorphized
+/// over the kernel and performed by in-place halving — each level writes
+/// its results into the front of the same buffer, so the whole reduction
+/// runs in the caller's (stack) storage with zero heap traffic. The
+/// pairing `(v[2i], v[2i+1])`, with an odd straggler carried down
+/// unchanged, is exactly the level order of the paper's Figure 3/5 `⊕`
+/// tree; every execution path in the repo (scalar oracle, vector
+/// kernels, `simd2-mxu`) must reproduce this order bit-for-bit.
+///
+/// Returns `K::IDENTITY` for an empty slice.
+#[inline]
+pub fn tree_reduce_in_place<K: SemiringKernel>(values: &mut [f32]) -> f32 {
+    let mut len = values.len();
+    if len == 0 {
+        return K::IDENTITY;
+    }
+    while len > 1 {
+        let pairs = len / 2;
+        for i in 0..pairs {
+            values[i] = K::reduce(values[2 * i], values[2 * i + 1]);
+        }
+        if len % 2 == 1 {
+            values[pairs] = values[len - 1];
+        }
+        len = len.div_ceil(2);
+    }
+    values[0]
+}
+
 /// Visitor consumed by [`dispatch_kernel`].
 pub trait KernelVisitor {
     /// Result type produced by the visit.

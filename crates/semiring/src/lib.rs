@@ -24,7 +24,10 @@
 //!   [`dispatch_kernel`] bridge from dynamic [`OpKind`]s to
 //!   monomorphized code,
 //! * [`precision`] — fp16-in / fp32-out numerics matching the SIMD² data
-//!   path, and
+//!   path,
+//! * [`simd`] — vectorized tile kernels (AVX-512 / AVX2 / NEON) with
+//!   runtime CPU-feature dispatch and a portable scalar oracle, behind
+//!   the safe [`TileKernel`] seam, and
 //! * [`properties`] — reusable algebraic property checks backing the
 //!   property-based test-suite.
 //!
@@ -42,17 +45,24 @@
 //! assert_eq!(d, 5.0);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod kernel;
 mod op;
 pub mod precision;
 pub mod properties;
+// `unsafe` is confined to the `simd` module's `#[target_feature]` leaf
+// functions behind a detection-guarded safe entry; see its module docs
+// for the safety contract.
+#[allow(unsafe_code)]
+pub mod simd;
 mod typed;
 
-pub use kernel::{dispatch_kernel, KernelVisitor, SemiringKernel};
+pub use kernel::{dispatch_kernel, tree_reduce_in_place, KernelVisitor, SemiringKernel};
 pub use op::{OpKind, ParseOpKindError};
+pub use simd::{CpuFeatures, KernelIsa, SelectedKernel, TileKernel};
 pub use typed::{
     visit_f32_semiring, BoolOrAnd, F32SemiringVisitor, IntMinPlus, MaxMin, MaxMul, MaxPlus, MinMax,
     MinMul, MinPlus, OrAnd, PlusMul, PlusNorm, Semiring,

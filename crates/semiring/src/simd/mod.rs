@@ -1,0 +1,538 @@
+//! Vectorized semiring tile kernels with runtime CPU-feature dispatch.
+//!
+//! The inner loop of every tile MMO is `d[i][j] = c[i][j] ⊕ ⊕ₖ (a[i][k] ⊗
+//! b[k][j])` with the `⊕`-reduction over `k` performed as a balanced
+//! binary tree ([`crate::kernel::tree_reduce_in_place`]). That computation
+//! is embarrassingly parallel across output *columns* `j`, so the vector
+//! kernels here keep one vector lane per output column: each `k` step
+//! broadcasts `a[i][k]`, loads a contiguous row slice of `B`, applies the
+//! vector `⊗`, and the partial vectors are tree-halved in exactly the
+//! scalar pairing order. Lanes never interact, so every lane reproduces
+//! the scalar kernel's operation order — and therefore its rounding —
+//! bit for bit.
+//!
+//! # Dispatch
+//!
+//! [`CpuFeatures::detect`] probes the host once (cached); [`selected_isa`]
+//! picks the widest supported [`KernelIsa`], honouring the
+//! `SIMD2_FORCE_SCALAR` environment variable (read once per process).
+//! [`SelectedKernel`] freezes the choice at construction time — one
+//! selection per backend, zero dynamic feature tests on the tile path —
+//! and [`TileKernel::mmo_tile`] is the safe entry: it validates slice
+//! shapes and re-checks feature support before entering a vector leaf, so
+//! a deserialized or hand-built ISA value can never reach an instruction
+//! the host lacks (it falls back to the scalar kernel instead).
+//!
+//! # Safety contract
+//!
+//! All `unsafe` in this crate lives in the `x86`/`neon` submodules, as
+//! `#[target_feature]` leaf functions with two documented preconditions:
+//! the feature is present on the host (checked by the dispatcher), and
+//! the four slices are `n × n` row-major with `n ≤ MAX_TILE` (checked by
+//! [`mmo_tile`]). Leaves are compiled under `#[deny(unsafe_op_in_unsafe_fn)]`;
+//! every interior `unsafe` block carries its own justification.
+//!
+//! # Bit identity
+//!
+//! The scalar kernel is the oracle. The vector lowerings are chosen to
+//! match it exactly, *not* to be fastest-possible: plus-mul uses separate
+//! multiply and add (a fused FMA would round once instead of twice and
+//! diverge from the scalar oracle), and the min/max semirings wrap
+//! `min_ps`/`max_ps` in a NaN-aware blend reproducing Rust's
+//! `f32::min`/`f32::max` operand semantics. See DESIGN.md § "SIMD kernel
+//! dispatch" for the full lowering table.
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+pub(crate) mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::kernel::SemiringKernel;
+use crate::typed::{MaxMin, MaxMul, MaxPlus, MinMax, MinMul, MinPlus, OrAnd, PlusMul, PlusNorm};
+use crate::OpKind;
+
+/// Largest tile side the kernels handle: bounds the stack scratch of
+/// partial vectors ([`mmo_tile`] rejects larger `n`). The ISA-visible
+/// tile is 16×16, so 64 leaves generous headroom for tests and future
+/// shapes without growing the leaf frames past a few KiB.
+pub const MAX_TILE: usize = 64;
+
+/// CPU features relevant to kernel selection, probed at runtime.
+///
+/// Only the features the kernel layer actually keys on are represented;
+/// `fma` is probed because the AVX2 tier requires the full
+/// Haswell-generation feature pair even though the plus-mul lowering
+/// deliberately does not fuse (see the module docs on bit identity).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CpuFeatures {
+    /// AVX-512 Foundation (16-lane `f32` vectors).
+    pub avx512f: bool,
+    /// AVX2 (8-lane `f32` vectors).
+    pub avx2: bool,
+    /// Fused multiply-add (gates the AVX2 tier alongside `avx2`).
+    pub fma: bool,
+    /// AArch64 Advanced SIMD (4-lane `f32` vectors).
+    pub neon: bool,
+}
+
+impl CpuFeatures {
+    /// Probes the executing CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Self {
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                fma: std::arch::is_x86_feature_detected!("fma"),
+                neon: false,
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Self {
+                neon: std::arch::is_aarch64_feature_detected!("neon"),
+                ..Self::default()
+            }
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            Self::default()
+        }
+    }
+}
+
+/// The detected features of this host, probed once per process.
+pub fn cpu_features() -> CpuFeatures {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    *FEATURES.get_or_init(CpuFeatures::detect)
+}
+
+/// Instruction set a tile kernel executes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelIsa {
+    /// 16-lane AVX-512F kernels (one vector per 16-wide tile row).
+    Avx512,
+    /// 8-lane AVX2 kernels (requires FMA to be present as well).
+    Avx2,
+    /// 4-lane AArch64 NEON kernels.
+    Neon,
+    /// The portable scalar kernel — the bit-identity oracle.
+    Scalar,
+}
+
+impl KernelIsa {
+    /// Every ISA tier, widest first (the selection preference order).
+    pub const ALL: [KernelIsa; 4] = [
+        KernelIsa::Avx512,
+        KernelIsa::Avx2,
+        KernelIsa::Neon,
+        KernelIsa::Scalar,
+    ];
+
+    /// Stable lower-case name used in telemetry and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelIsa::Avx512 => "avx512",
+            KernelIsa::Avx2 => "avx2",
+            KernelIsa::Neon => "neon",
+            KernelIsa::Scalar => "scalar",
+        }
+    }
+
+    /// `f32` lanes per vector register on this tier.
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelIsa::Avx512 => 16,
+            KernelIsa::Avx2 => 8,
+            KernelIsa::Neon => 4,
+            KernelIsa::Scalar => 1,
+        }
+    }
+
+    /// Whether the executing CPU can run this tier.
+    pub fn is_supported(self) -> bool {
+        let f = cpu_features();
+        match self {
+            KernelIsa::Avx512 => f.avx512f,
+            KernelIsa::Avx2 => f.avx2 && f.fma,
+            KernelIsa::Neon => f.neon,
+            KernelIsa::Scalar => true,
+        }
+    }
+}
+
+impl fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn force_scalar() -> bool {
+    std::env::var_os("SIMD2_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The widest ISA the host supports, honouring `SIMD2_FORCE_SCALAR`.
+///
+/// Computed once per process and cached: backends constructed afterwards
+/// all observe the same choice, and the environment variable is only read
+/// at first use (set it before constructing any backend).
+pub fn selected_isa() -> KernelIsa {
+    static SELECTED: OnceLock<KernelIsa> = OnceLock::new();
+    *SELECTED.get_or_init(|| {
+        if force_scalar() {
+            return KernelIsa::Scalar;
+        }
+        KernelIsa::ALL
+            .into_iter()
+            .find(|isa| isa.is_supported())
+            .unwrap_or(KernelIsa::Scalar)
+    })
+}
+
+/// A tile-granularity MMO kernel: computes `D = C ⊕ (A ⊗ B)` over flat
+/// row-major `n × n` slices with the datapath's exact reduction order.
+///
+/// This is the seam the execution layers call instead of open-coding the
+/// scalar loop; [`SelectedKernel`] is the production implementation.
+pub trait TileKernel {
+    /// The instruction set this kernel executes with.
+    fn isa(&self) -> KernelIsa;
+
+    /// Computes `d = c ⊕ (a ⊗ b)` where all four slices are flat
+    /// row-major `n × n` tiles. Operands must already be quantised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `n * n` or `n > MAX_TILE`.
+    fn mmo_tile(&self, op: OpKind, a: &[f32], b: &[f32], c: &[f32], d: &mut [f32], n: usize);
+}
+
+/// The runtime-selected tile kernel: freezes a [`KernelIsa`] choice at
+/// construction (one selection per backend, per the paper's
+/// configure-once datapath) and dispatches every tile to that tier's
+/// monomorphized leaves.
+///
+/// # Example
+///
+/// ```
+/// use simd2_semiring::simd::{KernelIsa, SelectedKernel, TileKernel};
+/// use simd2_semiring::OpKind;
+///
+/// let simd = SelectedKernel::select();
+/// let scalar = SelectedKernel::with_isa(KernelIsa::Scalar);
+/// let (a, b, c) = ([1.0f32, 2.0, 3.0, 4.0], [5.0f32, 6.0, 7.0, 8.0], [0.5f32; 4]);
+/// let (mut d_simd, mut d_scalar) = ([0.0f32; 4], [0.0f32; 4]);
+/// simd.mmo_tile(OpKind::MinPlus, &a, &b, &c, &mut d_simd, 2);
+/// scalar.mmo_tile(OpKind::MinPlus, &a, &b, &c, &mut d_scalar, 2);
+/// assert_eq!(d_simd, d_scalar); // bit-identical on every tier
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SelectedKernel {
+    isa: KernelIsa,
+}
+
+impl SelectedKernel {
+    /// The widest kernel the host supports (honours `SIMD2_FORCE_SCALAR`).
+    pub fn select() -> Self {
+        Self {
+            isa: selected_isa(),
+        }
+    }
+
+    /// A kernel pinned to `isa`, downgraded to [`KernelIsa::Scalar`] if
+    /// the host cannot execute that tier — the constructor-side half of
+    /// the detection guard.
+    pub fn with_isa(isa: KernelIsa) -> Self {
+        Self {
+            isa: if isa.is_supported() {
+                isa
+            } else {
+                KernelIsa::Scalar
+            },
+        }
+    }
+
+    /// The portable scalar oracle kernel.
+    pub fn scalar() -> Self {
+        Self {
+            isa: KernelIsa::Scalar,
+        }
+    }
+}
+
+impl Default for SelectedKernel {
+    fn default() -> Self {
+        Self::select()
+    }
+}
+
+impl TileKernel for SelectedKernel {
+    fn isa(&self) -> KernelIsa {
+        self.isa
+    }
+
+    fn mmo_tile(&self, op: OpKind, a: &[f32], b: &[f32], c: &[f32], d: &mut [f32], n: usize) {
+        mmo_tile(self.isa, op, a, b, c, d, n)
+    }
+}
+
+/// Free-function form of [`TileKernel::mmo_tile`] with an explicit ISA.
+///
+/// Validates shapes, resolves `op` to a monomorphized kernel once, and
+/// enters the ISA's leaf — re-verifying hardware support first, so an
+/// unsupported `isa` value degrades to the scalar kernel rather than
+/// executing an illegal instruction.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `n * n` or `n > MAX_TILE`.
+pub fn mmo_tile(
+    isa: KernelIsa,
+    op: OpKind,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    d: &mut [f32],
+    n: usize,
+) {
+    assert!(n <= MAX_TILE, "tile side {n} exceeds MAX_TILE ({MAX_TILE})");
+    let nn = n * n;
+    assert_eq!(a.len(), nn, "operand A is not {n}×{n}");
+    assert_eq!(b.len(), nn, "operand B is not {n}×{n}");
+    assert_eq!(c.len(), nn, "accumulator C is not {n}×{n}");
+    assert_eq!(d.len(), nn, "output D is not {n}×{n}");
+    match op {
+        OpKind::PlusMul => run::<PlusMul>(isa, a, b, c, d, n),
+        OpKind::MinPlus => run::<MinPlus>(isa, a, b, c, d, n),
+        OpKind::MaxPlus => run::<MaxPlus>(isa, a, b, c, d, n),
+        OpKind::MinMul => run::<MinMul>(isa, a, b, c, d, n),
+        OpKind::MaxMul => run::<MaxMul>(isa, a, b, c, d, n),
+        OpKind::MinMax => run::<MinMax>(isa, a, b, c, d, n),
+        OpKind::MaxMin => run::<MaxMin>(isa, a, b, c, d, n),
+        OpKind::OrAnd => run::<OrAnd>(isa, a, b, c, d, n),
+        OpKind::PlusNorm => run::<PlusNorm>(isa, a, b, c, d, n),
+    }
+}
+
+/// Quantises every element of `xs` through fp16 in place, vectorized
+/// when `isa` is a vector tier the host supports.
+///
+/// Bit-identical to [`crate::precision::quantize_f16_slice`] on every
+/// path — the AVX2 lowering has been exhaustively verified against the
+/// scalar quantiser over all 2³² `f32` bit patterns (NaN payloads,
+/// subnormals and overflow included), and the identity proptests keep
+/// pinning it. A scalar `isa` always takes the scalar loop, so the
+/// forced-scalar leg exercises the oracle end to end.
+pub fn quantize_f16_slice(isa: KernelIsa, xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if isa.lanes() > 1 && cpu_features().avx2 {
+        // SAFETY: the guard proved avx2 is available on this CPU.
+        unsafe { x86::quantize_f16_avx2(xs) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
+    crate::precision::quantize_f16_slice(xs);
+}
+
+/// Kernels lowered on every ISA tier this build knows about. Blanket-
+/// implemented for all nine semirings; exists so [`run`] can name one
+/// bound that is right for whichever architecture is being compiled.
+#[cfg(target_arch = "x86_64")]
+trait ArchKernel: SemiringKernel + x86::Kernel256 + x86::Kernel512 {}
+#[cfg(target_arch = "x86_64")]
+impl<K: SemiringKernel + x86::Kernel256 + x86::Kernel512> ArchKernel for K {}
+
+#[cfg(target_arch = "aarch64")]
+trait ArchKernel: SemiringKernel + neon::KernelNeon {}
+#[cfg(target_arch = "aarch64")]
+impl<K: SemiringKernel + neon::KernelNeon> ArchKernel for K {}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+trait ArchKernel: SemiringKernel {}
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+impl<K: SemiringKernel> ArchKernel for K {}
+
+/// The detection-guarded entry to the `#[target_feature]` leaves: an arm
+/// is taken only when the runtime probe confirms the host executes that
+/// tier, which is exactly the precondition the leaf's safety contract
+/// requires. Shape preconditions were asserted by [`mmo_tile`].
+#[allow(clippy::needless_pass_by_ref_mut)] // `d` is written by every arm
+fn run<K: ArchKernel>(isa: KernelIsa, a: &[f32], b: &[f32], c: &[f32], d: &mut [f32], n: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proved avx512f is available on this CPU, and
+        // `mmo_tile` asserted the `n × n` slice shapes with n ≤ MAX_TILE.
+        KernelIsa::Avx512 if cpu_features().avx512f => unsafe {
+            x86::mmo_tile_avx512::<K>(a, b, c, d, n)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proved avx2 is available on this CPU, and
+        // `mmo_tile` asserted the `n × n` slice shapes with n ≤ MAX_TILE.
+        KernelIsa::Avx2 if cpu_features().avx2 => unsafe { x86::mmo_tile_avx2::<K>(a, b, c, d, n) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: the guard proved neon is available on this CPU, and
+        // `mmo_tile` asserted the `n × n` slice shapes with n ≤ MAX_TILE.
+        KernelIsa::Neon if cpu_features().neon => unsafe {
+            neon::mmo_tile_neon::<K>(a, b, c, d, n)
+        },
+        _ => scalar::mmo_tile::<K>(a, b, c, d, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_OPS;
+
+    #[test]
+    fn scalar_is_always_supported_and_selected_isa_is_supported() {
+        assert!(KernelIsa::Scalar.is_supported());
+        assert!(selected_isa().is_supported());
+        assert!(SelectedKernel::select().isa().is_supported());
+    }
+
+    #[test]
+    fn with_isa_downgrades_unsupported_tiers_to_scalar() {
+        for isa in KernelIsa::ALL {
+            let k = SelectedKernel::with_isa(isa);
+            if isa.is_supported() {
+                assert_eq!(k.isa(), isa);
+            } else {
+                assert_eq!(k.isa(), KernelIsa::Scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_lanes_are_stable() {
+        assert_eq!(KernelIsa::Avx512.name(), "avx512");
+        assert_eq!(KernelIsa::Avx2.name(), "avx2");
+        assert_eq!(KernelIsa::Neon.name(), "neon");
+        assert_eq!(KernelIsa::Scalar.name(), "scalar");
+        assert_eq!(KernelIsa::Avx512.lanes(), 16);
+        assert_eq!(KernelIsa::Avx2.lanes(), 8);
+        assert_eq!(KernelIsa::Neon.lanes(), 4);
+        assert_eq!(KernelIsa::Scalar.lanes(), 1);
+        assert_eq!(KernelIsa::Avx2.to_string(), "avx2");
+    }
+
+    #[test]
+    fn every_supported_tier_matches_scalar_on_a_smoke_tile() {
+        // The exhaustive identity coverage lives in the proptest suite;
+        // this is the in-crate smoke check over all nine ops.
+        let n = 16;
+        let a: Vec<f32> = (0..n * n).map(|i| ((i % 13) as f32) * 0.25 - 1.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32) * 0.5 - 1.5).collect();
+        for op in ALL_OPS {
+            let c: Vec<f32> = (0..n * n)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        op.reduce_identity_f32()
+                    } else {
+                        (i % 3) as f32 - 1.0
+                    }
+                })
+                .collect();
+            let mut want = vec![0.0f32; n * n];
+            mmo_tile(KernelIsa::Scalar, op, &a, &b, &c, &mut want, n);
+            for isa in KernelIsa::ALL {
+                if !isa.is_supported() {
+                    continue;
+                }
+                let mut got = vec![0.0f32; n * n];
+                mmo_tile(isa, op, &a, &b, &c, &mut got, n);
+                let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+                let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "{op} on {isa}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_quantize_matches_scalar_on_boundary_neighbourhoods() {
+        // Dense scans around every case boundary of the fp16 round trip:
+        // zero/subnormal (2^-25), subnormal/normal (2^-14), rounding
+        // carry into infinity, and the NaN payload rewrite. The AVX2
+        // lowering was verified exhaustively over all 2^32 patterns
+        // offline; this keeps the contract pinned in CI.
+        let mut patterns: Vec<u32> = Vec::new();
+        for base in [
+            0x0000_0000u32, // ±0 and smallest subnormals
+            0x3300_0000,    // zero/subnormal-target boundary
+            0x3880_0000,    // subnormal/normal-target boundary
+            0x3C00_0000,    // 1.0 neighbourhood
+            0x4780_0000,    // overflow-to-infinity boundary
+            0x7F80_0000,    // infinity and NaN space
+            0x7FC0_0000,    // quiet NaNs
+        ] {
+            for off in 0..512u32 {
+                patterns.push(base.wrapping_add(off).wrapping_sub(256));
+            }
+        }
+        // Every f16-exact value's neighbourhood, coarsely.
+        for h in (0..=0xFFFFu32).step_by(97) {
+            patterns.push(h << 13);
+        }
+        for sign in [0u32, 0x8000_0000] {
+            let mut xs: Vec<f32> = patterns.iter().map(|&p| f32::from_bits(p | sign)).collect();
+            let want: Vec<u32> = xs
+                .iter()
+                .map(|&x| crate::precision::quantize_f16(x).to_bits())
+                .collect();
+            for isa in KernelIsa::ALL {
+                if !isa.is_supported() {
+                    continue;
+                }
+                let mut got = xs.clone();
+                quantize_f16_slice(isa, &mut got);
+                let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got_bits, want, "sign={sign:#x} isa={isa}");
+            }
+            // Odd length exercises the scalar tail of the vector path.
+            xs.truncate(xs.len() - 3);
+            let mut got = xs.clone();
+            quantize_f16_slice(selected_isa(), &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), *w);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_TILE")]
+    fn oversized_tiles_are_rejected() {
+        let n = MAX_TILE + 1;
+        let buf = vec![0.0f32; n * n];
+        let mut d = vec![0.0f32; n * n];
+        mmo_tile(
+            KernelIsa::Scalar,
+            OpKind::PlusMul,
+            &buf,
+            &buf,
+            &buf,
+            &mut d,
+            n,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "operand A")]
+    fn shape_mismatches_are_rejected() {
+        let buf = vec![0.0f32; 9];
+        let mut d = vec![0.0f32; 16];
+        mmo_tile(
+            KernelIsa::Scalar,
+            OpKind::PlusMul,
+            &buf,
+            &d.clone(),
+            &d.clone(),
+            &mut d,
+            4,
+        );
+    }
+}

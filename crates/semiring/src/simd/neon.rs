@@ -1,0 +1,195 @@
+//! AArch64 NEON `#[target_feature]` leaf kernels.
+//!
+//! Same structure and safety contract as the x86 leaves: one output
+//! column per lane, the scalar kernel's exact tree pairing, scalar tail
+//! columns. Lowering notes specific to this target:
+//!
+//! * `min`/`max` use `vminnmq_f32`/`vmaxnmq_f32` (`fminnm`/`fmaxnm`),
+//!   which is the instruction Rust's scalar `f32::min`/`f32::max` lower
+//!   to on AArch64 — the lane-wise semantics (NaN yields the other
+//!   operand, `-0.0 < +0.0`) therefore match the host's scalar oracle by
+//!   construction. The in-repo identity proptests verify this on every
+//!   AArch64 host they run on.
+//! * or-and truthiness is `!(v == 0.0)` via `vceqq_f32` + bitwise NOT
+//!   (NaN compares unequal, so NaN lanes are truthy, matching scalar
+//!   `v != 0.0`).
+
+use core::arch::aarch64::*;
+
+use crate::kernel::SemiringKernel;
+use crate::typed::{MaxMin, MaxMul, MaxPlus, MinMax, MinMul, MinPlus, OrAnd, PlusMul, PlusNorm};
+
+use super::{scalar, MAX_TILE};
+
+/// `f32` lanes in a 128-bit NEON vector.
+const LANES: usize = 4;
+
+/// Lane mask where `v` is truthy (`v != 0.0`, NaN truthy).
+///
+/// # Safety
+///
+/// Requires NEON enabled on the calling stack.
+#[inline(always)]
+unsafe fn truthy_f32(v: float32x4_t) -> uint32x4_t {
+    // SAFETY: caller provides NEON per this function's contract.
+    unsafe { vmvnq_u32(vceqq_f32(v, vdupq_n_f32(0.0))) }
+}
+
+/// Materialises a lane mask as `1.0`/`0.0`.
+///
+/// # Safety
+///
+/// Requires NEON enabled on the calling stack.
+#[inline(always)]
+unsafe fn mask_to_bool(mask: uint32x4_t) -> float32x4_t {
+    // SAFETY: caller provides NEON per this function's contract.
+    unsafe { vreinterpretq_f32_u32(vandq_u32(mask, vreinterpretq_u32_f32(vdupq_n_f32(1.0)))) }
+}
+
+/// A semiring lowered to 128-bit NEON vector `⊗`/`⊕`.
+///
+/// Both methods must match the scalar `combine`/`reduce` lane-wise, bit
+/// for bit.
+pub(super) trait KernelNeon: SemiringKernel {
+    /// Vector `⊗`.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON enabled on the calling stack.
+    unsafe fn combine_v(a: float32x4_t, b: float32x4_t) -> float32x4_t;
+
+    /// Vector `⊕`.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON enabled on the calling stack.
+    unsafe fn reduce_v(a: float32x4_t, b: float32x4_t) -> float32x4_t;
+}
+
+/// Implements the NEON lowering for one semiring from lane-wise
+/// expressions.
+macro_rules! lower {
+    ($kernel:ty,
+     combine($ca:ident, $cb:ident) = $c:expr,
+     reduce($ra:ident, $rb:ident) = $r:expr $(,)?) => {
+        impl KernelNeon for $kernel {
+            #[inline(always)]
+            unsafe fn combine_v($ca: float32x4_t, $cb: float32x4_t) -> float32x4_t {
+                // SAFETY: NEON on the calling stack per the trait contract.
+                unsafe { $c }
+            }
+            #[inline(always)]
+            unsafe fn reduce_v($ra: float32x4_t, $rb: float32x4_t) -> float32x4_t {
+                // SAFETY: NEON on the calling stack per the trait contract.
+                unsafe { $r }
+            }
+        }
+    };
+}
+
+// plus-mul: separate mul and add — NOT fused, matching the scalar oracle.
+lower!(
+    PlusMul,
+    combine(a, b) = vmulq_f32(a, b),
+    reduce(a, b) = vaddq_f32(a, b),
+);
+lower!(
+    MinPlus,
+    combine(a, b) = vaddq_f32(a, b),
+    reduce(a, b) = vminnmq_f32(a, b),
+);
+lower!(
+    MaxPlus,
+    combine(a, b) = vaddq_f32(a, b),
+    reduce(a, b) = vmaxnmq_f32(a, b),
+);
+lower!(
+    MinMul,
+    combine(a, b) = vmulq_f32(a, b),
+    reduce(a, b) = vminnmq_f32(a, b),
+);
+lower!(
+    MaxMul,
+    combine(a, b) = vmulq_f32(a, b),
+    reduce(a, b) = vmaxnmq_f32(a, b),
+);
+lower!(
+    MinMax,
+    combine(a, b) = vmaxnmq_f32(a, b),
+    reduce(a, b) = vminnmq_f32(a, b),
+);
+lower!(
+    MaxMin,
+    combine(a, b) = vminnmq_f32(a, b),
+    reduce(a, b) = vmaxnmq_f32(a, b),
+);
+lower!(
+    OrAnd,
+    combine(a, b) = mask_to_bool(vandq_u32(truthy_f32(a), truthy_f32(b))),
+    reduce(a, b) = mask_to_bool(vorrq_u32(truthy_f32(a), truthy_f32(b))),
+);
+lower!(
+    PlusNorm,
+    combine(a, b) = {
+        let diff = vsubq_f32(a, b);
+        vmulq_f32(diff, diff)
+    },
+    reduce(a, b) = vaddq_f32(a, b),
+);
+
+/// NEON tile kernel: 4 output columns per vector, scalar tail columns.
+///
+/// # Safety
+///
+/// * The CPU must support NEON.
+/// * `a`, `b`, `c`, `d` must be flat row-major `n × n` slices with
+///   `n ≤ MAX_TILE`.
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn mmo_tile_neon<K: KernelNeon>(
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    d: &mut [f32],
+    n: usize,
+) {
+    let full = n - n % LANES;
+    let mut partials = [vdupq_n_f32(0.0); MAX_TILE];
+    for i in 0..n {
+        let row = i * n;
+        let mut j = 0;
+        while j < full {
+            for k in 0..n {
+                let av = vdupq_n_f32(a[row + k]);
+                // SAFETY: k < n and j + LANES <= n, so the 4-lane load at
+                // k*n + j ends within the n*n slice.
+                let bv = unsafe { vld1q_f32(b.as_ptr().add(k * n + j)) };
+                // SAFETY: this leaf enables NEON.
+                partials[k] = unsafe { K::combine_v(av, bv) };
+            }
+            // In-place tree halving: the exact pairing order of
+            // `tree_reduce_in_place`, one whole level per pass.
+            let mut len = n;
+            while len > 1 {
+                let pairs = len / 2;
+                for p in 0..pairs {
+                    // SAFETY: this leaf enables NEON.
+                    partials[p] = unsafe { K::reduce_v(partials[2 * p], partials[2 * p + 1]) };
+                }
+                if len % 2 == 1 {
+                    partials[pairs] = partials[len - 1];
+                }
+                len = len.div_ceil(2);
+            }
+            // SAFETY: row + j + LANES <= n*n (i < n, j + LANES <= n).
+            let cv = unsafe { vld1q_f32(c.as_ptr().add(row + j)) };
+            // SAFETY: this leaf enables NEON. Accumulator first, as in
+            // the scalar kernel.
+            let dv = unsafe { K::reduce_v(cv, partials[0]) };
+            // SAFETY: same in-bounds argument as the `c` load; `d` is
+            // exclusively borrowed.
+            unsafe { vst1q_f32(d.as_mut_ptr().add(row + j), dv) };
+            j += LANES;
+        }
+    }
+    scalar::mmo_columns::<K>(a, b, c, d, n, full);
+}

@@ -1,0 +1,120 @@
+//! Property-based bit-identity checks for the vectorized tile kernels.
+//!
+//! The dispatch layer promises that every vector tier produces the
+//! **same bits** as the scalar kernel for *arbitrary* `f32` inputs —
+//! including NaN payloads, signed zeros, infinities and subnormals —
+//! at every tile side, not just multiples of the vector width. These
+//! properties sample raw bit patterns (so specials appear with their
+//! natural density) plus a deterministic overlay of adversarial values,
+//! and compare each supported ISA against [`KernelIsa::Scalar`].
+
+use proptest::prelude::*;
+use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::simd::{self, KernelIsa, MAX_TILE};
+use simd2_semiring::{OpKind, ALL_OPS};
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    (0..ALL_OPS.len()).prop_map(|i| ALL_OPS[i])
+}
+
+/// Adversarial values every tile is seeded with (beyond the random bit
+/// patterns): NaN payload quirks, signed zeros, infinities, subnormals
+/// and f16 rounding boundaries.
+const SPECIALS: [f32; 10] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    0.0,
+    -0.0,
+    1.0e-40,
+    f32::MIN_POSITIVE,
+    65504.0,  // f16::MAX
+    65520.0,  // rounds to f16 infinity
+    6.104e-5, // near the f16 normal/subnormal boundary
+];
+
+/// A tile-side slice of `n * n` arbitrary bit patterns with a sprinkle
+/// of [`SPECIALS`] at seed-derived positions.
+fn tile_values(n: usize, bits: &[u32], salt: u32) -> Vec<f32> {
+    (0..n * n)
+        .map(|i| {
+            if (i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 7 == 0 {
+                SPECIALS[(i + salt as usize) % SPECIALS.len()]
+            } else {
+                f32::from_bits(bits[i % bits.len()].wrapping_add(i as u32))
+            }
+        })
+        .collect()
+}
+
+/// The vector tiers available on this host (never empty — scalar is
+/// always supported, and is skipped here as it is the reference).
+fn vector_tiers() -> Vec<KernelIsa> {
+    KernelIsa::ALL
+        .into_iter()
+        .filter(|isa| *isa != KernelIsa::Scalar && isa.is_supported())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supported vector tier == scalar, bit for bit, over all nine
+    /// ops × arbitrary bit-pattern operands × every tile side 1..=40
+    /// (covering tails where `n` is not a multiple of 8 or 16 lanes).
+    #[test]
+    fn vector_tiers_match_scalar_bit_for_bit(
+        op in op_strategy(),
+        n in 1usize..=40,
+        bits in proptest::collection::vec(any::<u32>(), 64),
+        salt in any::<u32>(),
+    ) {
+        prop_assume!(n <= MAX_TILE);
+        let a = tile_values(n, &bits, salt);
+        let b = tile_values(n, &bits, salt.wrapping_add(1));
+        let c = tile_values(n, &bits, salt.wrapping_add(2));
+
+        let mut want = vec![0.0f32; n * n];
+        simd::mmo_tile(KernelIsa::Scalar, op, &a, &b, &c, &mut want, n);
+
+        for isa in vector_tiers() {
+            let mut got = vec![0.0f32; n * n];
+            simd::mmo_tile(isa, op, &a, &b, &c, &mut got, n);
+            for (i, (x, y)) in want.iter().zip(&got).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} n={} isa={} element {} ({:e} vs {:e})",
+                    op, n, isa, i, x, y
+                );
+            }
+        }
+    }
+
+    /// The vectorized fp16 quantize roundtrip == the scalar `half`-based
+    /// one, bit for bit, for arbitrary bit patterns at every slice
+    /// length — including odd lengths that exercise the scalar tail.
+    #[test]
+    fn vector_quantize_matches_scalar_bit_for_bit(
+        len in 0usize..=67,
+        bits in proptest::collection::vec(any::<u32>(), 67),
+        salt in any::<u32>(),
+    ) {
+        let src: Vec<f32> = (0..len)
+            .map(|i| {
+                if (i as u32).wrapping_add(salt) % 5 == 0 {
+                    SPECIALS[i % SPECIALS.len()]
+                } else {
+                    f32::from_bits(bits[i])
+                }
+            })
+            .collect();
+        let want: Vec<u32> = src.iter().map(|&x| quantize_f16(x).to_bits()).collect();
+        for isa in KernelIsa::ALL.into_iter().filter(|isa| isa.is_supported()) {
+            let mut got = src.clone();
+            simd::quantize_f16_slice(isa, &mut got);
+            let got: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(&want, &got, "isa={} len={}", isa, len);
+        }
+    }
+}

@@ -41,6 +41,17 @@ if [ "${SIMD2_PLAN_SMOKE:-0}" = "1" ]; then
   cargo run --release -q -p simd2-bench --bin plan_smoke
 fi
 
+# Optional: SIMD kernel-dispatch smoke — runs the kernel bit-identity
+# suites (semiring dispatch/lowering tests, mxu unit tests, and the
+# SIMD==scalar proptests) twice: once on the host's detected vector
+# tier, once with SIMD2_FORCE_SCALAR=1 pinning the portable kernel, so
+# both dispatch legs stay green on every host. Enable with
+#   SIMD2_SIMD_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_SIMD_SMOKE:-0}" = "1" ]; then
+  cargo test -q -p simd2-semiring -p simd2-mxu
+  SIMD2_FORCE_SCALAR=1 cargo test -q -p simd2-semiring -p simd2-mxu
+fi
+
 # Optional: serving-layer smoke — a short seeded slice of the
 # multi-tenant serve soak: admission mirroring, WRR scheduling order,
 # deadline expiry accounting, cache-hit bit identity, panic/fault

@@ -26,6 +26,7 @@ use simd2_repro::fault::{
 };
 use simd2_repro::matrix::{gen, Matrix};
 use simd2_repro::mxu::Simd2Unit;
+use simd2_repro::semiring::simd::KernelIsa;
 use simd2_repro::semiring::OpKind;
 use simd2_repro::trace::{RingSink, Sink, Tracer};
 
@@ -43,17 +44,20 @@ fn operands(op: OpKind, n: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
 }
 
 /// Replays the scenario and returns the serialized event stream. Every
-/// segment runs on the sequential schedule, so the event order (not
-/// just the totals) is a pure function of the seeds.
+/// segment runs on the sequential schedule with the unit pinned to the
+/// scalar kernel (the `isa` span field would otherwise vary by host;
+/// the output bits would not), so the event order (not just the
+/// totals) is a pure function of the seeds on any machine.
 fn capture() -> String {
     let ring = RingSink::shared();
     let tracer = Tracer::to(ring.clone() as Arc<dyn Sink>);
     let op = OpKind::MinPlus;
+    let unit = || Simd2Unit::new().with_kernel_isa(KernelIsa::Scalar);
 
     // Segment 1: clean 64×64 tropical mmo through the tiled backend —
     // one `mmo` span wrapping one full-grid `tile_panel` summary.
     let (a, b, c) = operands(op, 64, SEED);
-    let mut clean = TiledBackend::new().with_tracer(tracer.clone());
+    let mut clean = TiledBackend::with_unit(unit()).with_tracer(tracer.clone());
     clean.mmo(op, &a, &b, &c).expect("clean mmo");
 
     // Segment 2: a seeded faulty datapath under resilient dispatch —
@@ -67,7 +71,7 @@ fn capture() -> String {
             .with_transient_nan_ppm(100_000),
     );
     let mut inner = TiledBackend::with_unit(FaultySimd2Unit::new(
-        Simd2Unit::new(),
+        unit(),
         PlannedInjector::new(plan).with_tracer(tracer.clone()),
     ));
     inner.set_tracer(tracer.clone());
@@ -87,7 +91,7 @@ fn capture() -> String {
     let (a, b, c) = operands(op, 32, SEED ^ 0xd20b);
     let plan = FaultPlan::new(FaultPlanConfig::new(SEED ^ 1).with_bit_flip_ppm(1_000_000));
     let mut starved = TiledBackend::with_unit(FaultySimd2Unit::new(
-        Simd2Unit::new(),
+        unit(),
         PlannedInjector::with_log_capacity(plan, 2).with_tracer(tracer.clone()),
     ));
     starved.set_tracer(tracer);
