@@ -1,9 +1,12 @@
 //! Randomized multi-tenant soak for the `simd2-serve` plan service.
 //!
 //! A seeded, time-bounded episode loop. Each episode builds a fresh
-//! [`PlanService`] in one of three chaos modes — clean, transient-fault
-//! injected, or worker-panic armed — registers 2–4 tenants with
-//! randomized quotas and scheduler weights, and drives a randomized
+//! [`PlanService`] in one of seven chaos modes — clean, transient-fault
+//! injected, worker-panic armed, quantum-resume, sticky-fault with
+//! circuit breakers, panic-resume with the degradation ladder, or
+//! vector-tier-only faults with the scalar-pin rung — registers 2–4
+//! tenants with randomized quotas and scheduler weights, and drives a
+//! randomized
 //! batch of submissions (op × shape × chain length × deadline × cache
 //! duplicates × quota probes × malformed probes × NaN-poisoned inputs),
 //! then asserts:
@@ -29,9 +32,23 @@
 //! 6. **Telemetry lock-step** — per-tenant counters derived from
 //!    [`span::SERVE`] events equal the scheduler's [`TenantStats`]
 //!    exactly, field by field, and both equal the soak's own mirror.
+//! 7. **Resume exactness** — with a round quantum armed, suspended jobs
+//!    resume bit-identically with exact suspension/resumption counts,
+//!    and the backend op counter proves no completed wave was ever
+//!    re-executed; terminal expiries carry exact
+//!    `{executed, budget, resumed_from, checkpoint, resumable}` math.
+//! 8. **Breaker determinism** — sticky-fault episodes replay a mirror
+//!    of the tenant/plan circuit-breaker state machine outcome by
+//!    outcome (short-circuits, half-open probes, quarantines), and two
+//!    identically seeded runs produce identical outcome streams.
+//! 9. **Degradation ladder** — repeated worker panics demote dispatch
+//!    to sequential (after which every checkpointed job completes), and
+//!    on vector hosts repeated ABFT detections pin the kernel to scalar
+//!    and disarm the vector-only injector.
 //!
 //! At exit the per-tenant SLO aggregates (admitted / rejected / expired
-//! / recovered / deadline-miss counts) are exported to
+//! / recovered / deadline-miss / suspension / breaker / quarantine /
+//! fault-log-drop counts) are exported to
 //! `results/telemetry/serve_soak.jsonl`.
 //!
 //! Usage: `cargo run -p simd2-bench --bin serve_soak [--seed S]
@@ -56,9 +73,11 @@ use simd2_fault::{
 use simd2_matrix::{gen, Matrix, ISA_TILE};
 use simd2_mxu::Simd2Unit;
 use simd2_semiring::precision::quantize_f16;
+use simd2_semiring::simd::KernelIsa;
 use simd2_semiring::{OpKind, ALL_OPS};
 use simd2_serve::{
-    plan_input_bytes, Deadline, JobSpec, JobStatus, PlanService, ServeConfig, TenantId, TenantQuota,
+    plan_input_bytes, Breaker, BreakerConfig, Deadline, DegradeConfig, JobSpec, JobStatus,
+    PlanService, ResumeConfig, ServeConfig, TenantId, TenantQuota,
 };
 use simd2_trace::{field, json_line_into, span, EventKind, RingSink, Tracer};
 
@@ -88,6 +107,22 @@ enum ChaosMode {
     Clean,
     Faults,
     Panic,
+    /// Clean backend, round quantum armed: jobs suspend at wave
+    /// boundaries and resume bit-identically, never re-executing a
+    /// completed wave (counter-verified against the backend op count).
+    Resume,
+    /// Sticky (retry-defeating) faults with tenant+plan circuit
+    /// breakers armed: short-circuits and quarantines must replay the
+    /// mirror breaker state machine exactly.
+    Sticky,
+    /// Worker panics with resume + the degradation ladder armed:
+    /// panicked jobs checkpoint, the ladder demotes dispatch to
+    /// sequential, and every job still completes bit-identically.
+    PanicResume,
+    /// Vector-tier-only faults with the scalar-pin rung armed: on
+    /// vector hosts detections pin the kernel to scalar and injection
+    /// disarms; on scalar hosts (SIMD2_FORCE_SCALAR) nothing ever arms.
+    VectorPin,
 }
 
 /// One episode's randomized parameters.
@@ -105,10 +140,20 @@ struct Episode {
     fault_seed: u64,
     workers: usize,
     data_seed: u64,
+    /// Round quantum (steps per scheduling round) for resume modes.
+    quantum: u64,
 }
 
 fn draw_episode(rng: &mut Rng) -> Episode {
-    let mode = rng.pick(&[ChaosMode::Clean, ChaosMode::Faults, ChaosMode::Panic]);
+    let mode = rng.pick(&[
+        ChaosMode::Clean,
+        ChaosMode::Faults,
+        ChaosMode::Panic,
+        ChaosMode::Resume,
+        ChaosMode::Sticky,
+        ChaosMode::PanicResume,
+        ChaosMode::VectorPin,
+    ]);
     let tenants = 2 + rng.below(3) as usize;
     Episode {
         mode,
@@ -125,6 +170,7 @@ fn draw_episode(rng: &mut Rng) -> Episode {
         fault_seed: rng.next(),
         workers: rng.pick(&[2usize, 3, 4]),
         data_seed: rng.next(),
+        quantum: 1 + rng.below(3),
     }
 }
 
@@ -236,7 +282,11 @@ fn draw_submissions(ep: &Episode, rng: &mut Rng) -> Vec<Submission> {
                 });
                 continue;
             }
-            let op = if ep.mode == ChaosMode::Faults {
+            let faulty = matches!(
+                ep.mode,
+                ChaosMode::Faults | ChaosMode::Sticky | ChaosMode::VectorPin
+            );
+            let op = if faulty {
                 rng.pick(&idempotent)
             } else {
                 rng.pick(&ALL_OPS)
@@ -244,14 +294,18 @@ fn draw_submissions(ep: &Episode, rng: &mut Rng) -> Vec<Submission> {
             let side = match (ep.mode, tenant) {
                 // Chaos tenant's jobs span >= 3 tile rows: the probe
                 // (armed at tile row 1) strikes every parallel mmo.
-                (ChaosMode::Panic, 0) => 2 * ISA_TILE + 1 + rng.below(31) as usize,
+                (ChaosMode::Panic | ChaosMode::PanicResume, 0) => {
+                    2 * ISA_TILE + 1 + rng.below(31) as usize
+                }
                 // Calm tenants stay within one tile row: sequential
                 // path, never strikes.
-                (ChaosMode::Panic, _) => 5 + rng.below(ISA_TILE as u64 - 4) as usize,
+                (ChaosMode::Panic | ChaosMode::PanicResume, _) => {
+                    5 + rng.below(ISA_TILE as u64 - 4) as usize
+                }
                 _ => 5 + rng.below(36) as usize,
             };
             let len = 1 + rng.below(3) as usize;
-            let poison = ep.mode != ChaosMode::Faults && tenant == 0 && rng.below(8) == 0;
+            let poison = !faulty && tenant == 0 && rng.below(8) == 0;
             let plan = record_chain(op, side, len, ep.data_seed ^ rng.next(), poison);
             let deadline = if rng.below(4) == 0 {
                 Deadline::Steps(rng.below(len as u64 + 2))
@@ -304,6 +358,11 @@ struct MirrorStats {
     failed: u64,
     cache_hits: u64,
     executed_steps: u64,
+    suspended: u64,
+    resumed: u64,
+    breaker_short_circuits: u64,
+    breaker_trips: u64,
+    quarantined: u64,
 }
 
 #[derive(Default)]
@@ -319,6 +378,11 @@ struct Totals {
     cache_hits: u64,
     panic_recoveries: u64,
     detections: u64,
+    suspended: u64,
+    resumed: u64,
+    breaker_trips: u64,
+    quarantined: u64,
+    fault_dropped: u64,
     /// Aggregated per tenant index across episodes, for the SLO export.
     slo: HashMap<u32, SloRow>,
 }
@@ -337,6 +401,12 @@ struct SloRow {
     recovered: u64,
     cache_hits: u64,
     deadline_misses: u64,
+    suspended: u64,
+    resumed: u64,
+    breaker_short_circuits: u64,
+    breaker_trips: u64,
+    quarantined: u64,
+    fault_dropped: u64,
 }
 
 /// Builds the service for the episode's mode, runs the batch, and
@@ -383,7 +453,301 @@ fn run_episode(ep: &Episode, subs: &[Submission], totals: &mut Totals) -> Result
             };
             check_episode(inner, config, ep, subs, totals)
         }
+        ChaosMode::Resume => {
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 2 },
+                resume: ResumeConfig {
+                    quantum: ep.quantum,
+                    max_resumes: 64,
+                },
+                ..ServeConfig::default()
+            };
+            check_episode(TiledBackend::new(), config, ep, subs, totals)
+        }
+        ChaosMode::Sticky => {
+            let build = || {
+                let plan =
+                    FaultPlan::new(FaultPlanConfig::new(ep.fault_seed).with_sticky_ppm(ep.ppm));
+                TiledBackend::with_unit(FaultySimd2Unit::new(
+                    Simd2Unit::new(),
+                    PlannedInjector::new(plan),
+                ))
+            };
+            let config = || ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 2 },
+                abft: AbftConfig {
+                    witness_samples: usize::MAX,
+                    ..AbftConfig::default()
+                },
+                breaker: BreakerConfig {
+                    trip_after: 2,
+                    cooldown: 2,
+                    quarantine_after: 2,
+                },
+                ..ServeConfig::default()
+            };
+            // Breaker state-machine determinism: two identically seeded
+            // services must land an identical outcome stream.
+            let first = outcome_fingerprint(build(), config(), ep, subs);
+            let second = outcome_fingerprint(build(), config(), ep, subs);
+            if first != second {
+                return Err(Violation {
+                    what: format!(
+                        "sticky episode outcome stream diverged between identical \
+                         runs:\n  {first:?}\n  {second:?}"
+                    ),
+                });
+            }
+            check_episode(build(), config(), ep, subs, totals)
+        }
+        ChaosMode::PanicResume => {
+            let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+            inner.set_parallelism(Parallelism::Threads(ep.workers));
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 2 },
+                resume: ResumeConfig {
+                    quantum: 0,
+                    max_resumes: 8,
+                },
+                degrade: DegradeConfig {
+                    scalar_after_detections: 0,
+                    sequential_after_panics: 2,
+                },
+                ..ServeConfig::default()
+            };
+            check_episode(inner, config, ep, subs, totals)
+        }
+        ChaosMode::VectorPin => {
+            let plan =
+                FaultPlan::new(FaultPlanConfig::new(ep.fault_seed).with_transient_nan_ppm(ep.ppm));
+            let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(plan))
+                .with_vector_only(true);
+            let inner = TiledBackend::with_unit(unit);
+            let config = ServeConfig {
+                max_queued_jobs: ep.max_queued_jobs,
+                cache_capacity: 1024,
+                policy: RecoveryPolicy::Retry { attempts: 32 },
+                backoff: RetryBackoff::unbounded(),
+                abft: AbftConfig {
+                    witness_samples: usize::MAX,
+                    ..AbftConfig::default()
+                },
+                degrade: DegradeConfig {
+                    scalar_after_detections: 1,
+                    sequential_after_panics: 0,
+                },
+                ..ServeConfig::default()
+            };
+            check_episode(inner, config, ep, subs, totals)
+        }
     }
+}
+
+/// Runs an episode's submissions to completion and reduces each outcome
+/// to a compact fingerprint — the determinism witness for breaker
+/// episodes.
+fn outcome_fingerprint<B: Backend>(
+    inner: B,
+    config: ServeConfig,
+    ep: &Episode,
+    subs: &[Submission],
+) -> Vec<String> {
+    let mut svc = PlanService::new(inner, config);
+    for t in 0..ep.tenants {
+        svc.register_tenant(
+            TenantId(t as u32),
+            TenantQuota::default()
+                .with_weight(ep.weights[t])
+                .with_max_in_flight(ep.max_in_flight[t])
+                .with_max_queued_steps(ep.max_queued_steps[t])
+                .with_max_queued_bytes(ep.max_queued_bytes[t]),
+        );
+    }
+    for sub in subs {
+        let _ = svc.submit(TenantId(sub.tenant as u32), sub.spec.clone());
+    }
+    svc.run_until_idle();
+    svc.take_outcomes()
+        .iter()
+        .map(|o| match &o.status {
+            JobStatus::Completed {
+                executed_steps,
+                cache_hit,
+                ..
+            } => format!("{} completed e={executed_steps} c={cache_hit}", o.job),
+            JobStatus::Expired {
+                executed_steps,
+                resumed_from,
+                ..
+            } => format!("{} expired e={executed_steps} r={resumed_from}", o.job),
+            JobStatus::Failed { step, error, .. } => format!("{} failed s={step} {error}", o.job),
+            JobStatus::Quarantined { trips, .. } => format!("{} quarantined t={trips}", o.job),
+        })
+        .collect()
+}
+
+/// The terminal outcome the resume simulator predicts for one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pred {
+    /// Served from the result cache on the job's first round.
+    CacheHit,
+    /// Ran to completion (possibly across suspended rounds).
+    Done,
+    /// Terminal expiry with exact resume accounting.
+    Expired {
+        executed: u64,
+        resumed_from: u64,
+        resumable: bool,
+    },
+    /// Worker panic with the resume budget exhausted.
+    Failed,
+}
+
+/// What the simulator predicts for a resume-armed episode.
+struct SimResult {
+    /// Terminal outcomes in order: (tenant, job id, submission index).
+    order: Vec<(usize, u64, usize)>,
+    /// Predicted terminal outcome per entry of `order`.
+    preds: Vec<Pred>,
+    /// Per-tenant suspension / resumption counts.
+    suspended: Vec<u64>,
+    resumed: Vec<u64>,
+    /// Total scheduling rounds (`run_until_idle`'s return value).
+    rounds: u64,
+    /// Worker-panic strikes (panic-resume episodes only).
+    strikes: u64,
+}
+
+/// Replays the scheduler's drain loop arithmetically for resume-armed
+/// episodes: weighted round-robin with suspended jobs re-entering the
+/// back of their tenant's queue, the result cache consulted only on
+/// first rounds, and (for panic episodes) the degradation ladder's
+/// sequential demotion after `panic_ladder` strikes.
+fn simulate_resume(
+    ep: &Episode,
+    subs: &[Submission],
+    queues: &[VecDeque<(u64, usize)>],
+    quantum: u64,
+    max_resumes: u64,
+    panic_ladder: Option<u64>,
+) -> SimResult {
+    struct SimJob {
+        id: u64,
+        sub: usize,
+        done: u64,
+        suspends: u64,
+    }
+    let mut q: Vec<VecDeque<SimJob>> = queues
+        .iter()
+        .map(|queue| {
+            queue
+                .iter()
+                .map(|&(id, sub)| SimJob {
+                    id,
+                    sub,
+                    done: 0,
+                    suspends: 0,
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = SimResult {
+        order: Vec::new(),
+        preds: Vec::new(),
+        suspended: vec![0; ep.tenants],
+        resumed: vec![0; ep.tenants],
+        rounds: 0,
+        strikes: 0,
+    };
+    let mut cache: HashSet<PlanKey> = HashSet::new();
+    let mut sequential = false;
+    loop {
+        let mut progressed = false;
+        for t in 0..ep.tenants {
+            for _ in 0..ep.weights[t].max(1) {
+                let Some(mut j) = q[t].pop_front() else { break };
+                out.rounds += 1;
+                progressed = true;
+                let sub = &subs[j.sub];
+                let steps = sub.plan.step_count() as u64;
+                let key = sub.plan.cache_key();
+                let budget = sub.spec.deadline.budget();
+                if j.suspends > 0 {
+                    out.resumed[t] += 1;
+                } else if cache.contains(&key) {
+                    out.order.push((t, j.id, j.sub));
+                    out.preds.push(Pred::CacheHit);
+                    continue;
+                }
+                // A tall job on a parallel backend panics at its first
+                // dispatch and makes no progress until the ladder
+                // demotes dispatch to sequential.
+                if panic_ladder.is_some() && sub.tall && !sequential {
+                    if budget.is_none_or(|b| j.done < b) {
+                        out.strikes += 1;
+                        if panic_ladder.is_some_and(|after| out.strikes >= after) {
+                            sequential = true;
+                        }
+                        if j.suspends < max_resumes {
+                            j.suspends += 1;
+                            out.suspended[t] += 1;
+                            q[t].push_back(j);
+                        } else {
+                            out.order.push((t, j.id, j.sub));
+                            out.preds.push(Pred::Failed);
+                        }
+                    } else {
+                        // The deadline cancels before any dispatch.
+                        out.order.push((t, j.id, j.sub));
+                        out.preds.push(Pred::Expired {
+                            executed: j.done,
+                            resumed_from: j.suspends,
+                            resumable: false,
+                        });
+                    }
+                    continue;
+                }
+                // One clean round under the quantum and budget caps.
+                let cap_q = if quantum == 0 { u64::MAX } else { quantum };
+                let cap_b = budget.map_or(u64::MAX, |b| b - j.done);
+                let room = (steps - j.done).min(cap_q).min(cap_b);
+                j.done += room;
+                if j.done == steps {
+                    cache.insert(key);
+                    out.order.push((t, j.id, j.sub));
+                    out.preds.push(Pred::Done);
+                } else if budget == Some(j.done) {
+                    out.order.push((t, j.id, j.sub));
+                    out.preds.push(Pred::Expired {
+                        executed: j.done,
+                        resumed_from: j.suspends,
+                        resumable: false,
+                    });
+                } else if room > 0 && j.suspends < max_resumes {
+                    j.suspends += 1;
+                    out.suspended[t] += 1;
+                    q[t].push_back(j);
+                } else {
+                    out.order.push((t, j.id, j.sub));
+                    out.preds.push(Pred::Expired {
+                        executed: j.done,
+                        resumed_from: j.suspends,
+                        resumable: true,
+                    });
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
 }
 
 #[allow(clippy::too_many_lines)]
@@ -394,6 +758,12 @@ fn check_episode<B: Backend>(
     subs: &[Submission],
     totals: &mut Totals,
 ) -> Result<(), Violation> {
+    let breaker_cfg = config.breaker;
+    let resume_cfg = config.resume;
+    let degrade_cfg = config.degrade;
+    // Which dispatch leg this host runs (SIMD2_FORCE_SCALAR lands here
+    // as KernelIsa::Scalar) — vector-pin assertions branch on it.
+    let scalar_host = inner.kernel_isa() == KernelIsa::Scalar;
     let sink: Arc<RingSink> = RingSink::shared();
     let mut svc = PlanService::new(inner, config).with_tracer(Tracer::to(sink.clone()));
     for t in 0..ep.tenants {
@@ -476,26 +846,49 @@ fn check_episode<B: Backend>(
     // --- Scheduling phase: weighted-round-robin prediction. ----------
     let admitted: u64 = mirror.iter().map(|m| m.admitted).sum();
     let executed = svc.run_until_idle();
-    soak_check!(
-        executed as u64 == admitted,
-        "run_until_idle executed {executed}, admitted {admitted}"
-    );
-    let mut expected_order: Vec<(usize, u64, usize)> = Vec::new();
-    loop {
-        let mut progressed = false;
-        for (t, queue) in queues.iter_mut().enumerate() {
-            for _ in 0..ep.weights[t].max(1) {
-                let Some((id, i)) = queue.pop_front() else {
+    // With resume armed the drain loop is simulated exactly (suspended
+    // jobs re-enter the back of their tenant's queue); otherwise plain
+    // WRR, one round per admitted job.
+    let sim = if resume_cfg.armed() {
+        Some(simulate_resume(
+            ep,
+            subs,
+            &queues,
+            resume_cfg.quantum,
+            resume_cfg.max_resumes,
+            (degrade_cfg.sequential_after_panics != 0)
+                .then_some(degrade_cfg.sequential_after_panics),
+        ))
+    } else {
+        None
+    };
+    let (expected_order, preds, want_rounds) = match sim.as_ref() {
+        Some(s) => (s.order.clone(), Some(&s.preds), s.rounds),
+        None => {
+            let mut order: Vec<(usize, u64, usize)> = Vec::new();
+            loop {
+                let mut progressed = false;
+                for (t, queue) in queues.iter_mut().enumerate() {
+                    for _ in 0..ep.weights[t].max(1) {
+                        let Some((id, i)) = queue.pop_front() else {
+                            break;
+                        };
+                        order.push((t, id, i));
+                        progressed = true;
+                    }
+                }
+                if !progressed {
                     break;
-                };
-                expected_order.push((t, id, i));
-                progressed = true;
+                }
             }
+            (order, None, admitted)
         }
-        if !progressed {
-            break;
-        }
-    }
+    };
+    soak_check!(
+        executed as u64 == want_rounds,
+        "run_until_idle ran {executed} rounds, predicted {want_rounds} \
+         (admitted {admitted})"
+    );
 
     // --- Outcome phase: exactly-one-terminal + bit identity. ---------
     let mut oracle: HashMap<PlanKey, Matrix> = HashMap::new();
@@ -510,7 +903,12 @@ fn check_episode<B: Backend>(
         outcomes.len(),
         expected_order.len()
     );
-    for (outcome, &(t, id, i)) in outcomes.iter().zip(&expected_order) {
+    // Mirror breakers, advanced in lock-step with the outcome stream:
+    // the scheduler's gate decisions must replay this state machine
+    // exactly.
+    let mut ten_breakers = vec![Breaker::new(); ep.tenants];
+    let mut plan_breakers: HashMap<PlanKey, Breaker> = HashMap::new();
+    for (pos, (outcome, &(t, id, i))) in outcomes.iter().zip(&expected_order).enumerate() {
         soak_check!(
             outcome.tenant == TenantId(t as u32) && outcome.job.0 == id,
             "WRR order diverged: expected tenant {t} job {id}, got {} {}",
@@ -521,6 +919,7 @@ fn check_episode<B: Backend>(
         let steps = sub.plan.step_count() as u64;
         let key = sub.plan.cache_key();
         let budget = sub.spec.deadline.budget();
+        let pred = preds.map(|p| p[pos]);
         match &outcome.status {
             JobStatus::Completed {
                 output,
@@ -535,22 +934,48 @@ fn check_episode<B: Backend>(
                 }
                 if *cache_hit {
                     mirror[t].cache_hits += 1;
-                    soak_check!(
-                        mirror_cache.contains(&key),
-                        "cache hit for a key never completed cold"
-                    );
-                    soak_check!(*executed_steps == 0, "cache hit executed steps");
-                } else {
-                    soak_check!(
-                        !mirror_cache.contains(&key),
-                        "cold run for a key already cached"
-                    );
-                    soak_check!(
-                        budget.is_none_or(|b| b >= steps),
-                        "completed past its deadline: budget {budget:?}, steps {steps}"
-                    );
-                    soak_check!(*executed_steps == steps, "cold run executed steps");
-                    mirror_cache.insert(key);
+                }
+                match pred {
+                    // Resume modes: the simulator owns the cache and
+                    // completion prediction (a cold completion of an
+                    // already-cached key is legal while the original
+                    // holder is suspended).
+                    Some(Pred::CacheHit) => {
+                        soak_check!(
+                            *cache_hit && *executed_steps == 0,
+                            "predicted cache hit, got cold completion"
+                        );
+                    }
+                    Some(Pred::Done) => {
+                        soak_check!(
+                            !*cache_hit && *executed_steps == steps,
+                            "predicted cold completion, got cache_hit={cache_hit} \
+                             executed={executed_steps} of {steps}"
+                        );
+                    }
+                    Some(other) => {
+                        soak_check!(false, "predicted {other:?}, job completed")
+                    }
+                    None => {
+                        if *cache_hit {
+                            soak_check!(
+                                mirror_cache.contains(&key),
+                                "cache hit for a key never completed cold"
+                            );
+                            soak_check!(*executed_steps == 0, "cache hit executed steps");
+                        } else {
+                            soak_check!(
+                                !mirror_cache.contains(&key),
+                                "cold run for a key already cached"
+                            );
+                            soak_check!(
+                                budget.is_none_or(|b| b >= steps),
+                                "completed past its deadline: budget {budget:?}, steps {steps}"
+                            );
+                            soak_check!(*executed_steps == steps, "cold run executed steps");
+                            mirror_cache.insert(key);
+                        }
+                    }
                 }
                 match ep.mode {
                     ChaosMode::Clean => {
@@ -569,6 +994,25 @@ fn check_episode<B: Backend>(
                              recovered={recovered} (tenant {t} job {id})",
                             sub.tall
                         );
+                    }
+                    // Resume rounds run clean; panic-resume handles
+                    // panics by checkpointing, never by in-place
+                    // recovery; sticky episodes either fail or run
+                    // fault-free.
+                    ChaosMode::Resume | ChaosMode::PanicResume | ChaosMode::Sticky => {
+                        soak_check!(
+                            !recovered,
+                            "{:?} episode recovered a completed job",
+                            ep.mode
+                        );
+                    }
+                    ChaosMode::VectorPin => {
+                        if scalar_host {
+                            soak_check!(
+                                !recovered,
+                                "scalar leg: vector-only faults must never arm"
+                            );
+                        }
                     }
                     ChaosMode::Faults => {}
                 }
@@ -590,27 +1034,62 @@ fn check_episode<B: Backend>(
                 executed_steps,
                 budget: got_budget,
                 total_steps,
+                resumed_from,
+                checkpoint,
+                resumable,
             } => {
                 mirror[t].expired += 1;
                 mirror[t].executed_steps += executed_steps;
                 if sub.tall {
                     tall_steps += executed_steps;
                 }
-                let b = budget.unwrap_or(u64::MAX);
-                soak_check!(
-                    !mirror_cache.contains(&key),
-                    "a cached job expired instead of hitting"
-                );
-                soak_check!(
-                    b < steps && *got_budget == b && *total_steps == steps,
-                    "expiry accounting: budget {got_budget} (want {b}), total \
-                     {total_steps} (want {steps})"
-                );
-                soak_check!(
-                    *executed_steps == b.min(steps),
-                    "expired after {executed_steps} steps, predicted {}",
-                    b.min(steps)
-                );
+                if let Some(p) = pred {
+                    let Pred::Expired {
+                        executed,
+                        resumed_from: want_resumes,
+                        resumable: want_resumable,
+                    } = p
+                    else {
+                        soak_check!(false, "predicted {p:?}, job expired");
+                        unreachable!()
+                    };
+                    soak_check!(
+                        *executed_steps == executed
+                            && *resumed_from == want_resumes
+                            && *resumable == want_resumable,
+                        "resume expiry accounting: executed {executed_steps} (want \
+                         {executed}), resumed_from {resumed_from} (want \
+                         {want_resumes}), resumable {resumable} (want {want_resumable})"
+                    );
+                    soak_check!(
+                        *got_budget == budget.unwrap_or(0)
+                            && *total_steps == steps
+                            && *checkpoint == Some(key),
+                        "expiry identity: budget {got_budget}, total {total_steps}, \
+                         checkpoint {checkpoint:?}"
+                    );
+                } else {
+                    let b = budget.unwrap_or(u64::MAX);
+                    soak_check!(
+                        !mirror_cache.contains(&key),
+                        "a cached job expired instead of hitting"
+                    );
+                    soak_check!(
+                        b < steps && *got_budget == b && *total_steps == steps,
+                        "expiry accounting: budget {got_budget} (want {b}), total \
+                         {total_steps} (want {steps})"
+                    );
+                    soak_check!(
+                        *executed_steps == b.min(steps),
+                        "expired after {executed_steps} steps, predicted {}",
+                        b.min(steps)
+                    );
+                    soak_check!(
+                        *resumed_from == 0 && checkpoint.is_none() && !resumable,
+                        "resume accounting in a non-resume episode: resumed_from \
+                         {resumed_from}, checkpoint {checkpoint:?}, resumable {resumable}"
+                    );
+                }
             }
             JobStatus::Failed {
                 step,
@@ -619,20 +1098,114 @@ fn check_episode<B: Backend>(
             } => {
                 mirror[t].failed += 1;
                 mirror[t].executed_steps += executed_steps;
-                soak_check!(
-                    ep.mode == ChaosMode::Faults,
-                    "job failed outside the fault episode: {error}"
-                );
+                if let Some(p) = pred {
+                    soak_check!(
+                        p == Pred::Failed,
+                        "unpredicted failure in a resume episode: {error}"
+                    );
+                } else {
+                    let failures_allowed = matches!(ep.mode, ChaosMode::Faults | ChaosMode::Sticky)
+                        || (ep.mode == ChaosMode::VectorPin && !scalar_host);
+                    soak_check!(
+                        failures_allowed,
+                        "job failed outside a fault episode: {error}"
+                    );
+                }
                 soak_check!(
                     (*step as u64) < steps && executed_steps < &steps && !error.is_empty(),
                     "failure attribution: step {step}, executed {executed_steps}, \
                      of {steps}"
                 );
             }
+            JobStatus::Quarantined {
+                key: got_key,
+                trips,
+            } => {
+                mirror[t].quarantined += 1;
+                soak_check!(
+                    breaker_cfg.armed() && pred.is_none(),
+                    "quarantine outside a breaker episode"
+                );
+                soak_check!(
+                    *got_key == key && *trips >= breaker_cfg.quarantine_after,
+                    "quarantine identity: key {got_key:?} (want {key:?}), trips {trips}"
+                );
+            }
+        }
+        // Replay the scheduler's pre-execution breaker gate and outcome
+        // recording against the mirror state machine.
+        if breaker_cfg.armed() {
+            let quarantined = plan_breakers
+                .get(&key)
+                .is_some_and(|b| b.quarantined(&breaker_cfg));
+            if quarantined {
+                let trips = plan_breakers[&key].trips();
+                soak_check!(
+                    matches!(&outcome.status, JobStatus::Quarantined { trips: got, .. } if *got == trips),
+                    "mirror predicted quarantine (trips {trips}), got {}",
+                    outcome.status.label()
+                );
+            } else if !plan_breakers.entry(key).or_default().admit(&breaker_cfg) {
+                soak_check!(
+                    matches!(&outcome.status, JobStatus::Failed { error, .. }
+                        if error.contains("circuit breaker open for plan")),
+                    "mirror predicted a plan short-circuit, got {}",
+                    outcome.status.label()
+                );
+                mirror[t].breaker_short_circuits += 1;
+            } else if !ten_breakers[t].admit(&breaker_cfg) {
+                soak_check!(
+                    matches!(&outcome.status, JobStatus::Failed { error, .. }
+                        if error.contains("circuit breaker open for tenant")),
+                    "mirror predicted a tenant short-circuit, got {}",
+                    outcome.status.label()
+                );
+                mirror[t].breaker_short_circuits += 1;
+            } else {
+                match &outcome.status {
+                    JobStatus::Completed { cache_hit, .. } => {
+                        // Cache hits never executed: breaker-neutral.
+                        if !cache_hit {
+                            ten_breakers[t].record_success();
+                            if let Some(b) = plan_breakers.get_mut(&key) {
+                                b.record_success();
+                            }
+                        }
+                    }
+                    JobStatus::Failed { error, .. } => {
+                        soak_check!(
+                            !error.contains("circuit breaker open"),
+                            "short-circuit without an open mirror breaker: {error}"
+                        );
+                        let mut trips = 0u64;
+                        if ten_breakers[t].record_failure(&breaker_cfg) {
+                            trips += 1;
+                        }
+                        if plan_breakers
+                            .entry(key)
+                            .or_default()
+                            .record_failure(&breaker_cfg)
+                        {
+                            trips += 1;
+                        }
+                        mirror[t].breaker_trips += trips;
+                    }
+                    JobStatus::Expired { .. } => {}
+                    JobStatus::Quarantined { .. } => {
+                        soak_check!(false, "quarantine the mirror did not predict")
+                    }
+                }
+            }
         }
     }
 
     // --- Telemetry phase: events == stats == mirror. -----------------
+    if let Some(s) = sim.as_ref() {
+        for t in 0..ep.tenants {
+            mirror[t].suspended = s.suspended[t];
+            mirror[t].resumed = s.resumed[t];
+        }
+    }
     let events = sink.events();
     for t in 0..ep.tenants {
         let stats = svc.tenant_stats(TenantId(t as u32)).expect("registered");
@@ -643,7 +1216,7 @@ fn check_episode<B: Backend>(
                 .filter(|e| e.u64("tenant") == Some(t as u64))
                 .count() as u64
         };
-        let pairs: [(&str, u64); 9] = [
+        let pairs: [(&str, u64); 14] = [
             ("submitted", stats.submitted),
             ("admitted", stats.admitted),
             ("rejected_backpressure", stats.rejected_backpressure),
@@ -653,6 +1226,11 @@ fn check_episode<B: Backend>(
             ("expired", stats.expired),
             ("failed", stats.failed),
             ("cache_hit", stats.cache_hits),
+            ("suspended", stats.suspended),
+            ("resumed", stats.resumed),
+            ("breaker_short_circuit", stats.breaker_short_circuits),
+            ("breaker_trip", stats.breaker_trips),
+            ("quarantined", stats.quarantined),
         ];
         for (stage, want) in pairs {
             soak_check!(
@@ -664,6 +1242,21 @@ fn check_episode<B: Backend>(
         soak_check!(
             count("recovered") == stats.recovered,
             "tenant {t}: recovered events != stats"
+        );
+        // Per-round step accounting: the executed_steps fields on the
+        // tenant's terminal + suspension events sum to the exact tally,
+        // so no wave is double-counted across suspensions.
+        let step_stages = ["completed", "expired", "failed", "quarantined", "suspended"];
+        let step_sum: u64 = events
+            .iter()
+            .filter(|e| step_stages.iter().any(|s| e.is_stage(span::SERVE, s)))
+            .filter(|e| e.u64("tenant") == Some(t as u64))
+            .filter_map(|e| e.u64("executed_steps"))
+            .sum();
+        soak_check!(
+            step_sum == stats.executed_steps,
+            "tenant {t}: per-round event steps ({step_sum}) != scheduler tally ({})",
+            stats.executed_steps
         );
         let m = &mirror[t];
         let flat = MirrorStats {
@@ -677,6 +1270,11 @@ fn check_episode<B: Backend>(
             failed: stats.failed,
             cache_hits: stats.cache_hits,
             executed_steps: stats.executed_steps,
+            suspended: stats.suspended,
+            resumed: stats.resumed,
+            breaker_short_circuits: stats.breaker_short_circuits,
+            breaker_trips: stats.breaker_trips,
+            quarantined: stats.quarantined,
         };
         soak_check!(
             flat == *m,
@@ -700,6 +1298,12 @@ fn check_episode<B: Backend>(
         row.recovered += stats.recovered;
         row.cache_hits += stats.cache_hits;
         row.deadline_misses += stats.expired;
+        row.suspended += stats.suspended;
+        row.resumed += stats.resumed;
+        row.breaker_short_circuits += stats.breaker_short_circuits;
+        row.breaker_trips += stats.breaker_trips;
+        row.quarantined += stats.quarantined;
+        row.fault_dropped += stats.fault_log_dropped;
         totals.submissions += stats.submitted;
         totals.admitted += stats.admitted;
         totals.rejected += stats.rejected();
@@ -708,7 +1312,27 @@ fn check_episode<B: Backend>(
         totals.failed += stats.failed;
         totals.recovered += stats.recovered;
         totals.cache_hits += stats.cache_hits;
+        totals.suspended += stats.suspended;
+        totals.resumed += stats.resumed;
+        totals.breaker_trips += stats.breaker_trips;
+        totals.quarantined += stats.quarantined;
+        totals.fault_dropped += stats.fault_log_dropped;
     }
+
+    // The per-tenant attribution of injector ring-buffer drops must
+    // account for every drop the backend saw.
+    let dropped_total: u64 = (0..ep.tenants)
+        .map(|t| {
+            svc.tenant_stats(TenantId(t as u32))
+                .expect("registered")
+                .fault_log_dropped
+        })
+        .sum();
+    soak_check!(
+        dropped_total == svc.fault_log_dropped(),
+        "fault-log drop attribution: tenants saw {dropped_total}, backend {}",
+        svc.fault_log_dropped()
+    );
 
     let recovery = svc.recovery_stats();
     match ep.mode {
@@ -729,6 +1353,86 @@ fn check_episode<B: Backend>(
             recovery.fallbacks == 0,
             "retry-only policy must never fall back"
         ),
+        ChaosMode::Resume => {
+            soak_check!(
+                recovery.detections == 0 && recovery.worker_panics == 0 && recovery.retries == 0,
+                "resume episode saw recovery activity: {recovery:?}"
+            );
+            // Counter-verified: across every suspension and resumption,
+            // the backend dispatched each plan step exactly once.
+            let total_steps: u64 = mirror.iter().map(|m| m.executed_steps).sum();
+            let mmos = Backend::op_count(svc.resilient()).matrix_mmos;
+            soak_check!(
+                mmos == total_steps,
+                "resume episode re-executed completed waves: {mmos} mmos \
+                 dispatched for {total_steps} accounted steps"
+            );
+        }
+        ChaosMode::Sticky => {
+            soak_check!(
+                recovery.fallbacks == 0,
+                "retry-only policy must never fall back"
+            );
+            // The service's breakers ended in the mirror's exact state.
+            for (t, want) in ten_breakers.iter().enumerate() {
+                let got = svc.tenant_breaker(TenantId(t as u32));
+                soak_check!(
+                    got == Some(*want),
+                    "tenant {t} breaker diverged from the mirror: {got:?} vs {want:?}"
+                );
+            }
+            for (key, want) in &plan_breakers {
+                let got = svc.plan_breaker(*key);
+                soak_check!(
+                    got == Some(*want),
+                    "plan breaker diverged from the mirror: {got:?} vs {want:?}"
+                );
+            }
+        }
+        ChaosMode::PanicResume => {
+            let strikes = sim.as_ref().map_or(0, |s| s.strikes);
+            soak_check!(
+                recovery.panic_recoveries == 0,
+                "resume owns panic handling: no in-place recovery, got {}",
+                recovery.panic_recoveries
+            );
+            soak_check!(
+                recovery.worker_panics == strikes,
+                "panic-resume strikes: backend saw {}, simulator predicted {strikes}",
+                recovery.worker_panics
+            );
+            let degrade = svc.degrade_state();
+            soak_check!(
+                degrade.panic_strikes == strikes
+                    && degrade.sequential == (strikes >= degrade_cfg.sequential_after_panics),
+                "degradation ladder accounting: {degrade:?} vs {strikes} strikes"
+            );
+        }
+        ChaosMode::VectorPin => {
+            soak_check!(
+                recovery.fallbacks == 0,
+                "retry-only policy must never fall back"
+            );
+            let degrade = svc.degrade_state();
+            if scalar_host {
+                soak_check!(
+                    recovery.detections == 0 && !degrade.scalar_pinned,
+                    "scalar leg: vector-only injection armed anyway: {recovery:?}"
+                );
+            } else {
+                soak_check!(
+                    degrade.scalar_pinned
+                        == (degrade.vector_detections >= degrade_cfg.scalar_after_detections),
+                    "scalar-pin rung accounting: {degrade:?}"
+                );
+                if degrade.scalar_pinned {
+                    soak_check!(
+                        Backend::kernel_isa(svc.resilient()) == KernelIsa::Scalar,
+                        "pinned service still reports a vector kernel tier"
+                    );
+                }
+            }
+        }
     }
     totals.panic_recoveries += recovery.panic_recoveries;
     totals.detections += recovery.detections;
@@ -770,6 +1474,12 @@ fn export_slo(seed: u64, totals: &Totals) -> std::io::Result<String> {
                 field("recovered", row.recovered),
                 field("cache_hits", row.cache_hits),
                 field("deadline_misses", row.deadline_misses),
+                field("suspended", row.suspended),
+                field("resumed", row.resumed),
+                field("breaker_short_circuits", row.breaker_short_circuits),
+                field("breaker_trips", row.breaker_trips),
+                field("quarantined", row.quarantined),
+                field("fault_dropped", row.fault_dropped),
             ],
         );
         out.push('\n');
@@ -785,8 +1495,8 @@ fn main() {
     let iter_cap = arg("--iters", 0);
     println!(
         "serve_soak: seed={seed} budget={seconds}s episode-cap={}  \
-         modes={{clean,faults,panic}} tenants=2..4 jobs/tenant=3..8 \
-         ppm={{20k,200k}} cache-dups~1/4 poison~1/8",
+         modes={{clean,faults,panic,resume,sticky,panic-resume,vector-pin}} \
+         tenants=2..4 jobs/tenant=3..8 ppm={{20k,200k}} cache-dups~1/4 poison~1/8",
         if iter_cap == 0 {
             "none".to_owned()
         } else {
@@ -840,7 +1550,8 @@ fn main() {
     println!(
         "serve_soak PASS: {} episodes  submissions={} admitted={} rejected={} \
          completed={} expired={} failed={} recovered={} cache-hits={} \
-         panic-recoveries={} detections={}",
+         panic-recoveries={} detections={} suspended={} resumed={} \
+         breaker-trips={} quarantined={} fault-dropped={}",
         totals.episodes,
         totals.submissions,
         totals.admitted,
@@ -852,5 +1563,10 @@ fn main() {
         totals.cache_hits,
         totals.panic_recoveries,
         totals.detections,
+        totals.suspended,
+        totals.resumed,
+        totals.breaker_trips,
+        totals.quarantined,
+        totals.fault_dropped,
     );
 }

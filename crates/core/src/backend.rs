@@ -170,6 +170,36 @@ pub trait Backend {
             .collect()
     }
 
+    /// The instruction set this backend's tile kernel executes with.
+    /// Backends without a selectable kernel report the scalar tier.
+    fn kernel_isa(&self) -> KernelIsa {
+        KernelIsa::Scalar
+    }
+
+    /// Pins the backend's tile kernel to `isa` — the degradation rung a
+    /// resilience layer pulls when repeated ABFT detections implicate a
+    /// vector tier. Returns whether the backend honoured the pin;
+    /// backends without a selectable kernel refuse (the default).
+    fn pin_kernel_isa(&mut self, isa: KernelIsa) -> bool {
+        let _ = isa;
+        false
+    }
+
+    /// Permanently drops the backend to its sequential schedule — the
+    /// degradation rung for repeated worker panics. Returns whether the
+    /// backend honoured the demotion; already-sequential backends
+    /// refuse (the default).
+    fn force_sequential(&mut self) -> bool {
+        false
+    }
+
+    /// Fault-log entries evicted from the backend's bounded ring buffer
+    /// (the `simd2-fault` injector `dropped` counter); zero for
+    /// backends without an injector.
+    fn fault_log_dropped(&self) -> u64 {
+        0
+    }
+
     /// Work counters accumulated so far.
     fn op_count(&self) -> OpCount;
 
@@ -733,6 +763,26 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
         }
     }
 
+    fn kernel_isa(&self) -> KernelIsa {
+        self.unit.kernel_isa()
+    }
+
+    fn pin_kernel_isa(&mut self, isa: KernelIsa) -> bool {
+        self.unit.repin_kernel(isa)
+    }
+
+    fn force_sequential(&mut self) -> bool {
+        if self.parallelism == Parallelism::Sequential {
+            return false;
+        }
+        self.parallelism = Parallelism::Sequential;
+        true
+    }
+
+    fn fault_log_dropped(&self) -> u64 {
+        self.unit.fault_dropped()
+    }
+
     fn op_count(&self) -> OpCount {
         self.count
     }
@@ -930,6 +980,10 @@ impl Backend for IsaBackend {
 
         let padded_d = exec.memory().read_matrix(c_base, np, mp, np)?;
         Ok(Matrix::from_fn(m, n, |r, c| padded_d[(r, c)]))
+    }
+
+    fn fault_log_dropped(&self) -> u64 {
+        self.injector.as_deref().map_or(0, FaultInjector::dropped)
     }
 
     fn op_count(&self) -> OpCount {
@@ -1421,6 +1475,33 @@ mod tests {
             .mmo(OpKind::PlusMul, &a, &b, &c)
             .is_err());
         assert!(IsaBackend::new().mmo(OpKind::PlusMul, &a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn degradation_seams_pin_scalar_and_demote_to_sequential() {
+        // Pinning the kernel to scalar must be honoured, observable, and
+        // bit-identical (the vector tiers are already bit-identical to
+        // scalar; the pin only changes which kernel executes).
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        let a = gen::random_operands_for(OpKind::PlusMul, 40, 40, 3);
+        let b = gen::random_operands_for(OpKind::PlusMul, 40, 40, 4);
+        let c = Matrix::zeros(40, 40);
+        let before = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert!(Backend::pin_kernel_isa(&mut be, KernelIsa::Scalar));
+        assert_eq!(Backend::kernel_isa(&be), KernelIsa::Scalar);
+        assert_eq!(be.kernel_isa(), KernelIsa::Scalar); // inherent agrees
+        assert!(be.force_sequential(), "Threads(4) -> Sequential changes");
+        assert!(!be.force_sequential(), "already sequential: refused");
+        assert_eq!(be.parallelism(), Parallelism::Sequential);
+        let after = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(be.fault_log_dropped(), 0, "pristine unit never drops");
+        // Backends without the seams refuse them.
+        let mut oracle = ReferenceBackend::new();
+        assert_eq!(Backend::kernel_isa(&oracle), KernelIsa::Scalar);
+        assert!(!oracle.pin_kernel_isa(KernelIsa::Scalar));
+        assert!(!oracle.force_sequential());
+        assert_eq!(oracle.fault_log_dropped(), 0);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use backend::{
 pub use error::BackendError;
 pub use highlevel::Simd2Context;
 pub use plan::{
-    Executor as PlanExecutor, Plan, PlanBuilder, PlanKey, Replay, ReplayControl, ReplayError,
-    ReplayHalt, ReplayProgress, SlotId, SlotOrigin,
+    Executor as PlanExecutor, HaltedReplay, Plan, PlanBuilder, PlanCheckpoint, PlanKey, Replay,
+    ReplayControl, ReplayError, ReplayHalt, ReplayProgress, SlotId, SlotOrigin,
 };
 pub use resilient::{RecoveryPolicy, RecoveryStats, ResilientBackend, RetryBackoff};
 pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

@@ -519,6 +519,14 @@ pub enum ReplayHalt {
         /// The controller's stated reason, e.g. `"deadline"`.
         reason: String,
     },
+    /// A resume was attempted with a [`PlanCheckpoint`] that does not
+    /// belong to this plan: the checkpoint's [`PlanKey`] disagrees with
+    /// the plan's, so replaying from it could splice another program's
+    /// outputs into this one. Nothing was dispatched.
+    Checkpoint {
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
 }
 
 /// A failed [`Executor::run`]: what went wrong, pinned to the step that
@@ -555,6 +563,9 @@ impl std::fmt::Display for ReplayError {
                 "plan replay cancelled before step {} after {} completed steps: {reason}",
                 self.step, self.completed_steps
             ),
+            ReplayHalt::Checkpoint { reason } => {
+                write!(f, "plan resume rejected its checkpoint: {reason}")
+            }
         }
     }
 }
@@ -563,7 +574,7 @@ impl std::error::Error for ReplayError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.halt {
             ReplayHalt::Backend(e) => Some(e),
-            ReplayHalt::Cancelled { .. } => None,
+            ReplayHalt::Cancelled { .. } | ReplayHalt::Checkpoint { .. } => None,
         }
     }
 }
@@ -573,7 +584,7 @@ impl ReplayError {
     pub fn backend_error(&self) -> Option<&BackendError> {
         match &self.halt {
             ReplayHalt::Backend(e) => Some(e),
-            ReplayHalt::Cancelled { .. } => None,
+            ReplayHalt::Cancelled { .. } | ReplayHalt::Checkpoint { .. } => None,
         }
     }
 
@@ -581,6 +592,79 @@ impl ReplayError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self.halt, ReplayHalt::Cancelled { .. })
     }
+}
+
+/// Durable snapshot of a halted replay's completed work, at step
+/// granularity: the outputs of every step that finished before the
+/// halt, pinned to the plan's [`PlanKey`] identity.
+///
+/// Produced by [`Executor::run_resumable`] when a replay halts;
+/// consumed by [`Executor::resume_from`], which re-seeds the slot arena
+/// from these outputs and dispatches *only* the incomplete steps — so a
+/// resume never re-executes completed work, and the concatenation of
+/// the halted and resumed runs is bit-identical (outputs, op counters,
+/// telemetry) to one uninterrupted replay.
+///
+/// Completion is step-exact, not wave-rounded: a sequential halt midway
+/// through a wave keeps that wave's finished prefix, and a later
+/// (possibly batched) resume dispatches just the remainder.
+#[derive(Clone, Debug)]
+pub struct PlanCheckpoint {
+    key: PlanKey,
+    total_steps: usize,
+    completed: usize,
+    /// `outputs[i]` holds step `i`'s output iff it completed.
+    outputs: Vec<Option<Matrix>>,
+    resumes: u64,
+}
+
+impl PlanCheckpoint {
+    /// The [`PlanKey`] of the plan this checkpoint belongs to.
+    /// [`Executor::resume_from`] refuses a checkpoint whose key
+    /// disagrees with the plan it is handed.
+    pub fn key(&self) -> PlanKey {
+        self.key
+    }
+
+    /// Steps whose outputs the checkpoint holds.
+    pub fn completed_steps(&self) -> usize {
+        self.completed
+    }
+
+    /// Steps a resume still has to dispatch.
+    pub fn remaining_steps(&self) -> usize {
+        self.total_steps - self.completed
+    }
+
+    /// Total steps in the checkpointed plan.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Whether step `step` completed before the halt.
+    pub fn step_completed(&self, step: usize) -> bool {
+        self.outputs.get(step).is_some_and(Option::is_some)
+    }
+
+    /// How many times this checkpoint lineage has been resumed (0 for a
+    /// first halt; each halted resume increments it).
+    pub fn resumes(&self) -> u64 {
+        self.resumes
+    }
+}
+
+/// A halted resumable replay: the step-attributed [`ReplayError`] plus
+/// the [`PlanCheckpoint`] holding every completed step's output.
+///
+/// Boxed at the API surface ([`Executor::run_resumable`]) because the
+/// checkpoint owns matrices — keeping the `Result`'s error arm pointer
+/// sized.
+#[derive(Clone, Debug)]
+pub struct HaltedReplay {
+    /// What stopped the replay, pinned to the step that died.
+    pub error: ReplayError,
+    /// The completed work, ready for [`Executor::resume_from`].
+    pub checkpoint: PlanCheckpoint,
 }
 
 /// Progress snapshot handed to a [`ReplayControl`] before each dispatch
@@ -719,23 +803,125 @@ impl Executor {
         backend: &mut B,
         control: &mut C,
     ) -> Result<Replay, ReplayError> {
-        let mut values: Vec<Option<Matrix>> = plan.slots.iter().map(|s| s.value.clone()).collect();
-        self.tracer.begin(
-            span::PLAN,
-            &[
-                field("steps", plan.step_count()),
-                field("slots", plan.slot_count()),
-                field("backend", backend.name()),
-                field(
-                    "mode",
-                    if self.batching {
-                        "batched"
-                    } else {
-                        "sequential"
+        self.run_inner(plan, backend, control, None)
+            .map_err(|halted| halted.error)
+    }
+
+    /// [`run_controlled`](Self::run_controlled), but a halt returns a
+    /// [`HaltedReplay`] carrying a [`PlanCheckpoint`] of every completed
+    /// step's output alongside the error — the durable state
+    /// [`resume_from`](Self::resume_from) continues from. A successful
+    /// run returns the same [`Replay`] as [`run`](Self::run), and the
+    /// checkpoint is built by *moving* the completed outputs (no
+    /// copies), so arming resumability costs nothing on the happy path.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_controlled`](Self::run_controlled), boxed with the
+    /// checkpoint.
+    pub fn run_resumable<B: Backend, C: ReplayControl>(
+        &self,
+        plan: &Plan,
+        backend: &mut B,
+        control: &mut C,
+    ) -> Result<Replay, Box<HaltedReplay>> {
+        self.run_inner(plan, backend, control, None)
+    }
+
+    /// Continues a halted replay from `checkpoint`, dispatching only
+    /// the steps that have not completed — completed steps are never
+    /// re-executed (their outputs seed the slot arena directly, and the
+    /// backend sees exactly `remaining_steps` dispatches). The
+    /// [`ReplayControl`] is consulted only before real dispatches, with
+    /// `completed_steps` counting checkpointed work, so total-budget
+    /// deadlines account across halt/resume exactly as they would over
+    /// one uninterrupted run.
+    ///
+    /// Telemetry is the *complement* of the halted run's: no
+    /// [`span::PLAN`] begin (the original run's stands), and a
+    /// [`span::PLAN_WAVE`] end only for waves this resume dispatched
+    /// into — so the concatenation of the halted and resumed event
+    /// streams equals an uninterrupted run's stream exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayHalt::Checkpoint`] if `checkpoint.key()` disagrees with
+    /// `plan.cache_key()`; otherwise as
+    /// [`run_resumable`](Self::run_resumable) — a halted resume returns
+    /// a fresh checkpoint with [`PlanCheckpoint::resumes`] incremented.
+    pub fn resume_from<B: Backend, C: ReplayControl>(
+        &self,
+        plan: &Plan,
+        checkpoint: PlanCheckpoint,
+        backend: &mut B,
+        control: &mut C,
+    ) -> Result<Replay, Box<HaltedReplay>> {
+        let key = plan.cache_key();
+        if checkpoint.key != key || checkpoint.total_steps != plan.step_count() {
+            let step = (0..checkpoint.total_steps.min(plan.step_count()))
+                .find(|&i| !checkpoint.step_completed(i))
+                .unwrap_or(0);
+            let slot = plan.steps.get(step).map_or(SlotId(0), |s| s.d);
+            return Err(Box::new(HaltedReplay {
+                error: ReplayError {
+                    step,
+                    slot,
+                    completed_steps: checkpoint.completed,
+                    halt: ReplayHalt::Checkpoint {
+                        reason: format!(
+                            "checkpoint key {:?} does not match plan key {key:?}",
+                            checkpoint.key
+                        ),
                     },
-                ),
-            ],
-        );
+                },
+                checkpoint,
+            }));
+        }
+        self.run_inner(plan, backend, control, Some(checkpoint))
+    }
+
+    /// The one replay loop behind [`run_controlled`](Self::run_controlled),
+    /// [`run_resumable`](Self::run_resumable) and
+    /// [`resume_from`](Self::resume_from). With `resume` set, completed
+    /// steps seed the arena and are skipped; telemetry emits only what
+    /// the halted run did not.
+    fn run_inner<B: Backend, C: ReplayControl>(
+        &self,
+        plan: &Plan,
+        backend: &mut B,
+        control: &mut C,
+        resume: Option<PlanCheckpoint>,
+    ) -> Result<Replay, Box<HaltedReplay>> {
+        let mut values: Vec<Option<Matrix>> = plan.slots.iter().map(|s| s.value.clone()).collect();
+        let resumes = match resume {
+            Some(cp) => {
+                for (i, output) in cp.outputs.into_iter().enumerate() {
+                    if let Some(d) = output {
+                        values[plan.steps[i].d.0] = Some(d);
+                    }
+                }
+                cp.resumes + 1
+            }
+            None => {
+                self.tracer.begin(
+                    span::PLAN,
+                    &[
+                        field("steps", plan.step_count()),
+                        field("slots", plan.slot_count()),
+                        field("backend", backend.name()),
+                        field(
+                            "mode",
+                            if self.batching {
+                                "batched"
+                            } else {
+                                "sequential"
+                            },
+                        ),
+                    ],
+                );
+                0
+            }
+        };
         fn operand(values: &[Option<Matrix>], slot: SlotId) -> &Matrix {
             values[slot.0]
                 .as_ref()
@@ -765,70 +951,108 @@ impl Executor {
                 })
         }
         let waves = plan.waves();
-        let mut completed = 0usize;
-        for (w, wave) in waves.iter().enumerate() {
-            if self.batching && wave.len() > 1 {
-                let first = wave[0];
-                checkpoint(control, plan, first, completed, wave.len())?;
-                let args: Vec<MmoArgs<'_>> = wave
-                    .iter()
-                    .map(|&i| {
-                        let s = &plan.steps[i];
-                        MmoArgs {
-                            op: s.op,
-                            a: operand(&values, s.a),
-                            b: operand(&values, s.b),
-                            c: operand(&values, s.c),
-                        }
-                    })
-                    .collect();
-                let outputs = backend.mmo_batch(&args).map_err(|e| {
-                    // The tiled batch dispatch reports a panicking step's
-                    // index within the batch as `panel`; anything else is
-                    // attributed to the wave's first step.
-                    let step = match &e {
-                        BackendError::WorkerPanic { panel, .. } if *panel < wave.len() => {
-                            wave[*panel]
-                        }
-                        _ => first,
-                    };
-                    ReplayError {
-                        step,
-                        slot: plan.steps[step].d,
-                        completed_steps: completed,
-                        halt: ReplayHalt::Backend(e),
+        let completed = values
+            .iter()
+            .zip(&plan.slots)
+            .filter(|(v, s)| v.is_some() && matches!(s.origin, SlotOrigin::Step(_)))
+            .count();
+        let mut run =
+            |values: &mut Vec<Option<Matrix>>, control: &mut C| -> Result<(), ReplayError> {
+                let mut completed = completed;
+                for (w, wave) in waves.iter().enumerate() {
+                    // On resume, already-completed steps are skipped — they
+                    // are neither control-checked nor dispatched, so the
+                    // backend performs exactly the remaining work.
+                    let todo: Vec<usize> = wave
+                        .iter()
+                        .copied()
+                        .filter(|&i| values[plan.steps[i].d.0].is_none())
+                        .collect();
+                    if todo.is_empty() {
+                        // The halted run finished this wave and already
+                        // emitted its summary.
+                        continue;
                     }
-                })?;
-                drop(args);
-                for (&i, d) in wave.iter().zip(outputs) {
-                    values[plan.steps[i].d.0] = Some(d);
-                }
-                completed += wave.len();
-            } else {
-                for &i in wave {
-                    checkpoint(control, plan, i, completed, 1)?;
-                    let s = &plan.steps[i];
-                    let d = backend
-                        .mmo(
-                            s.op,
-                            operand(&values, s.a),
-                            operand(&values, s.b),
-                            operand(&values, s.c),
-                        )
-                        .map_err(|e| ReplayError {
-                            step: i,
-                            slot: s.d,
-                            completed_steps: completed,
-                            halt: ReplayHalt::Backend(e),
+                    if self.batching && todo.len() > 1 {
+                        let first = todo[0];
+                        checkpoint(control, plan, first, completed, todo.len())?;
+                        let args: Vec<MmoArgs<'_>> = todo
+                            .iter()
+                            .map(|&i| {
+                                let s = &plan.steps[i];
+                                MmoArgs {
+                                    op: s.op,
+                                    a: operand(values, s.a),
+                                    b: operand(values, s.b),
+                                    c: operand(values, s.c),
+                                }
+                            })
+                            .collect();
+                        let outputs = backend.mmo_batch(&args).map_err(|e| {
+                            // The tiled batch dispatch reports a panicking
+                            // step's index within the batch as `panel`;
+                            // anything else is attributed to the dispatch's
+                            // first step.
+                            let step = match &e {
+                                BackendError::WorkerPanic { panel, .. } if *panel < todo.len() => {
+                                    todo[*panel]
+                                }
+                                _ => first,
+                            };
+                            ReplayError {
+                                step,
+                                slot: plan.steps[step].d,
+                                completed_steps: completed,
+                                halt: ReplayHalt::Backend(e),
+                            }
                         })?;
-                    values[s.d.0] = Some(d);
-                    completed += 1;
+                        drop(args);
+                        for (&i, d) in todo.iter().zip(outputs) {
+                            values[plan.steps[i].d.0] = Some(d);
+                        }
+                        completed += todo.len();
+                    } else {
+                        for &i in &todo {
+                            checkpoint(control, plan, i, completed, 1)?;
+                            let s = &plan.steps[i];
+                            let d = backend
+                                .mmo(
+                                    s.op,
+                                    operand(values, s.a),
+                                    operand(values, s.b),
+                                    operand(values, s.c),
+                                )
+                                .map_err(|e| ReplayError {
+                                    step: i,
+                                    slot: s.d,
+                                    completed_steps: completed,
+                                    halt: ReplayHalt::Backend(e),
+                                })?;
+                            values[s.d.0] = Some(d);
+                            completed += 1;
+                        }
+                    }
+                    self.tracer.end(
+                        span::PLAN_WAVE,
+                        &[field("wave", w), field("steps", wave.len())],
+                    );
                 }
-            }
-            self.tracer.end(
-                span::PLAN_WAVE,
-                &[field("wave", w), field("steps", wave.len())],
-            );
+                Ok(())
+            };
+        if let Err(error) = run(&mut values, control) {
+            let outputs: Vec<Option<Matrix>> =
+                plan.steps.iter().map(|s| values[s.d.0].take()).collect();
+            let completed = outputs.iter().filter(|o| o.is_some()).count();
+            return Err(Box::new(HaltedReplay {
+                error,
+                checkpoint: PlanCheckpoint {
+                    key: plan.cache_key(),
+                    total_steps: plan.step_count(),
+                    completed,
+                    outputs,
+                    resumes,
+                },
+            }));
         }
         self.tracer.end(
             span::PLAN,
@@ -1203,5 +1427,199 @@ mod tests {
         let replay = Executor::batched().run(&plan, &mut be).unwrap();
         assert!(replay.final_output().is_none());
         assert_eq!(be.op_count(), OpCount::default());
+    }
+
+    /// Cancels once `stop_after` steps have completed.
+    fn halt_after(stop_after: usize) -> impl FnMut(ReplayProgress) -> Result<(), String> {
+        move |p: ReplayProgress| {
+            if p.completed_steps + p.pending_steps <= stop_after {
+                Ok(())
+            } else {
+                Err("budget".to_string())
+            }
+        }
+    }
+
+    fn approve() -> impl FnMut(ReplayProgress) -> Result<(), String> {
+        |_: ReplayProgress| Ok(())
+    }
+
+    #[test]
+    fn halted_replay_resumes_bit_identically_without_reexecution() {
+        for op in ALL_OPS {
+            let (plan, eager) = record_chain(op);
+            let mut be = TiledBackend::new();
+            let halted = Executor::new()
+                .run_resumable(&plan, &mut be, &mut halt_after(1))
+                .unwrap_err();
+            assert!(halted.error.is_cancelled());
+            assert_eq!(halted.error.step, 1);
+            let cp = &halted.checkpoint;
+            assert_eq!(cp.key(), plan.cache_key());
+            assert_eq!(cp.completed_steps(), 1);
+            assert_eq!(cp.remaining_steps(), 2);
+            assert_eq!(cp.total_steps(), 3);
+            assert_eq!(cp.resumes(), 0);
+            assert!(cp.step_completed(0) && !cp.step_completed(1));
+            assert_eq!(be.op_count().matrix_mmos, 1, "halted run dispatched 1 step");
+            // The resume dispatches exactly the two incomplete steps…
+            let mut resume_be = TiledBackend::new();
+            let replay = Executor::new()
+                .resume_from(&plan, halted.checkpoint, &mut resume_be, &mut approve())
+                .unwrap();
+            assert_eq!(resume_be.op_count().matrix_mmos, 2);
+            // …and every step output (including the checkpointed one)
+            // matches the eager originals bit for bit.
+            for (i, want) in eager.iter().enumerate() {
+                assert!(bit_eq(replay.step_output(i), want), "{op} step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_op_counters_complement_the_halted_run_exactly() {
+        let (plan, _) = record_chain(OpKind::PlusMul);
+        let mut clean_be = TiledBackend::new();
+        Executor::new().run(&plan, &mut clean_be).unwrap();
+        let mut be = TiledBackend::new();
+        let halted = Executor::new()
+            .run_resumable(&plan, &mut be, &mut halt_after(2))
+            .unwrap_err();
+        Executor::new()
+            .resume_from(&plan, halted.checkpoint, &mut be, &mut approve())
+            .unwrap();
+        // Halt + resume on one backend performs exactly one clean run's
+        // work: no completed step is ever re-executed.
+        assert_eq!(be.op_count(), clean_be.op_count());
+        assert_eq!(be.op_count(), plan.predicted_op_count());
+    }
+
+    #[test]
+    fn halted_plus_resumed_telemetry_equals_an_uninterrupted_run() {
+        use simd2_trace::RingSink;
+        let (plan, _) = record_chain(OpKind::MinPlus);
+        let clean_ring = RingSink::shared();
+        Executor::new()
+            .with_tracer(Tracer::to(clean_ring.clone()))
+            .run(&plan, &mut TiledBackend::new())
+            .unwrap();
+        let ring = RingSink::shared();
+        let exec = Executor::new().with_tracer(Tracer::to(ring.clone()));
+        let mut be = TiledBackend::new();
+        let halted = exec
+            .run_resumable(&plan, &mut be, &mut halt_after(1))
+            .unwrap_err();
+        exec.resume_from(&plan, halted.checkpoint, &mut be, &mut approve())
+            .unwrap();
+        // The resume emits no second PLAN begin and only the wave
+        // summaries the halted run did not reach: the union is exactly
+        // the uninterrupted stream.
+        assert_eq!(ring.events(), clean_ring.events());
+    }
+
+    #[test]
+    fn sequential_halt_resumes_on_the_batched_executor() {
+        let ops = [OpKind::MinPlus, OpKind::MaxMin, OpKind::PlusMul];
+        let plans: Vec<Plan> = ops.into_iter().map(|op| record_chain(op).0).collect();
+        let eager: Vec<Vec<Matrix>> = ops.into_iter().map(|op| record_chain(op).1).collect();
+        let merged = Plan::merge(plans);
+        // Sequential halt mid-wave: one of wave 0's three steps done.
+        let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4));
+        let halted = Executor::new()
+            .run_resumable(&merged, &mut be, &mut halt_after(1))
+            .unwrap_err();
+        assert_eq!(halted.checkpoint.completed_steps(), 1);
+        // The batched resume dispatches wave 0's remainder as a smaller
+        // batch, then the full later waves.
+        let replay = Executor::batched()
+            .resume_from(&merged, halted.checkpoint, &mut be, &mut approve())
+            .unwrap();
+        assert_eq!(be.op_count(), merged.predicted_op_count());
+        for (p, outs) in eager.iter().enumerate() {
+            for (i, want) in outs.iter().enumerate() {
+                assert!(
+                    bit_eq(replay.step_output(3 * p + i), want),
+                    "plan {p} step {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_halts_with_a_checkpoint_and_resumes_clean() {
+        use crate::backend::Parallelism;
+        use simd2_fault::PanicProbeUnit;
+        use simd2_mxu::Simd2Unit;
+        let op = OpKind::PlusMul;
+        let a = gen::random_operands_for(op, 48, 16, 21);
+        let b = gen::random_operands_for(op, 16, 16, 22);
+        let c = Matrix::filled(48, 16, op.reduce_identity_f32());
+        let c2 = Matrix::filled(16, 16, op.reduce_identity_f32());
+        let small = gen::random_operands_for(op, 16, 16, 23);
+        let mut rec_be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut rec_be);
+        let d0 = rec.mmo(op, &small, &b, &c2).unwrap();
+        let d1 = rec.mmo(op, &a, &d0, &c).unwrap();
+        let plan = rec.finish();
+        let mut probe = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+        probe.set_parallelism(Parallelism::Threads(3));
+        let halted = Executor::new()
+            .run_resumable(&plan, &mut probe, &mut approve())
+            .unwrap_err();
+        assert!(matches!(
+            halted.error.halt,
+            ReplayHalt::Backend(BackendError::WorkerPanic { .. })
+        ));
+        assert_eq!(halted.error.step, 1);
+        assert_eq!(halted.checkpoint.completed_steps(), 1);
+        // Resume on a healthy backend finishes only the panicked step.
+        let mut clean_be = TiledBackend::new();
+        let replay = Executor::new()
+            .resume_from(&plan, halted.checkpoint, &mut clean_be, &mut approve())
+            .unwrap();
+        assert_eq!(clean_be.op_count().matrix_mmos, 1);
+        assert!(bit_eq(replay.step_output(0), &d0));
+        assert!(bit_eq(replay.step_output(1), &d1));
+    }
+
+    #[test]
+    fn a_halted_resume_rolls_the_checkpoint_forward() {
+        let (plan, eager) = record_chain(OpKind::MaxPlus);
+        let mut be = TiledBackend::new();
+        let halted = Executor::new()
+            .run_resumable(&plan, &mut be, &mut halt_after(1))
+            .unwrap_err();
+        let again = Executor::new()
+            .resume_from(&plan, halted.checkpoint, &mut be, &mut halt_after(2))
+            .unwrap_err();
+        assert!(again.error.is_cancelled());
+        assert_eq!(again.checkpoint.completed_steps(), 2);
+        assert_eq!(again.checkpoint.resumes(), 1);
+        let replay = Executor::new()
+            .resume_from(&plan, again.checkpoint, &mut be, &mut approve())
+            .unwrap();
+        assert_eq!(be.op_count(), plan.predicted_op_count());
+        assert!(bit_eq(replay.final_output().unwrap(), &eager[2]));
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected_before_any_dispatch() {
+        let (plan, _) = record_chain(OpKind::MinPlus);
+        let (other, _) = record_chain(OpKind::MaxPlus);
+        let halted = Executor::new()
+            .run_resumable(&plan, &mut TiledBackend::new(), &mut halt_after(1))
+            .unwrap_err();
+        let mut be = TiledBackend::new();
+        let err = Executor::new()
+            .resume_from(&other, halted.checkpoint, &mut be, &mut approve())
+            .unwrap_err();
+        assert!(matches!(err.error.halt, ReplayHalt::Checkpoint { .. }));
+        assert!(!err.error.is_cancelled());
+        assert!(err.error.backend_error().is_none());
+        assert_eq!(be.op_count().matrix_mmos, 0, "nothing dispatched");
+        // The checkpoint rides along unchanged, still usable against
+        // the plan it belongs to.
+        assert_eq!(err.checkpoint.key(), plan.cache_key());
+        assert!(err.error.to_string().contains("checkpoint"));
     }
 }

@@ -91,6 +91,15 @@ pub struct RetryBackoff {
     pub cap_units: u64,
     /// Total virtual budget; a retry that would exceed it is refused.
     pub budget_units: u64,
+    /// Seed for deterministic per-retry jitter, `None` by default.
+    ///
+    /// With a seed set, each retry's charged cost is drawn from
+    /// `[max(nominal/2, 1), nominal]` by a pure hash of
+    /// `(seed, retry index)` — many replicas retrying the same fault
+    /// desynchronise instead of stampeding in lock-step, yet a given
+    /// seed replays bit-identically. `None` keeps the exact
+    /// capped-exponential schedule for bit-reproducible campaigns.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryBackoff {
@@ -102,6 +111,7 @@ impl RetryBackoff {
             base_units: 0,
             cap_units: 0,
             budget_units: u64::MAX,
+            jitter_seed: None,
         }
     }
 
@@ -112,8 +122,38 @@ impl RetryBackoff {
             base_units,
             cap_units,
             budget_units,
+            jitter_seed: None,
         }
     }
+
+    /// Enables seeded jitter (see [`jitter_seed`](Self::jitter_seed)).
+    pub const fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The cost charged for retry number `retry` (0-based) whose
+    /// nominal capped-exponential cost is `nominal`: the nominal cost
+    /// itself without jitter, or a deterministic draw from
+    /// `[max(nominal/2, 1), nominal]` with it.
+    fn charge(&self, retry: u64, nominal: u64) -> u64 {
+        match self.jitter_seed {
+            None => nominal,
+            Some(_) if nominal <= 1 => nominal,
+            Some(seed) => {
+                let lo = (nominal / 2).max(1);
+                lo + splitmix(seed ^ splitmix(retry)) % (nominal - lo + 1)
+            }
+        }
+    }
+}
+
+/// SplitMix64 finaliser — the jitter draw's avalanche mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for RetryBackoff {
@@ -163,6 +203,7 @@ pub struct ResilientBackend<B: Backend> {
     policy: RecoveryPolicy,
     backoff: RetryBackoff,
     abft: AbftConfig,
+    recover_panics: bool,
     stats: RecoveryStats,
     tracer: Tracer,
 }
@@ -181,9 +222,31 @@ impl<B: Backend> ResilientBackend<B> {
             policy,
             backoff: RetryBackoff::unbounded(),
             abft,
+            recover_panics: true,
             stats: RecoveryStats::default(),
             tracer: Tracer::off(),
         }
+    }
+
+    /// Whether contained worker panics are recovered in place by a
+    /// sequential re-execution (the default), or surfaced as
+    /// [`BackendError::WorkerPanic`] after counting — letting a layer
+    /// with more context (e.g. a checkpointing executor) decide how to
+    /// resume.
+    pub fn set_recover_panics(&mut self, recover: bool) {
+        self.recover_panics = recover;
+    }
+
+    /// Surfaces or recovers worker panics (builder form); see
+    /// [`set_recover_panics`](Self::set_recover_panics).
+    pub fn with_recover_panics(mut self, recover: bool) -> Self {
+        self.recover_panics = recover;
+        self
+    }
+
+    /// Whether worker panics are recovered in place.
+    pub fn recovers_panics(&self) -> bool {
+        self.recover_panics
     }
 
     /// Bounds the retry loop with a [`RetryBackoff`] budget.
@@ -335,9 +398,13 @@ impl<B: Backend> Backend for ResilientBackend<B> {
             }
             Err(e) if e.is_worker_panic() => {
                 // Panic-containment recovery arm: re-execute immediately
-                // on the sequential schedule.
+                // on the sequential schedule (unless the caller asked
+                // for panics to surface so it can checkpoint instead).
                 self.stats.worker_panics += 1;
                 self.note_worker_panic(op);
+                if !self.recover_panics {
+                    return Err(e);
+                }
                 sequential = true;
                 match self.attempt(op, a, b, c, sequential) {
                     Ok(d) => {
@@ -360,18 +427,20 @@ impl<B: Backend> Backend for ResilientBackend<B> {
             Err(e) => return Err(e),
         };
         let mut spent = 0u64;
-        let mut next_cost = self.backoff.base_units;
-        for _ in 0..self.policy.retry_attempts() {
-            // Charge the capped-exponential cost up front; a retry the
-            // budget cannot afford is refused, ending the loop.
-            if spent.saturating_add(next_cost) > self.backoff.budget_units {
+        let mut nominal = self.backoff.base_units;
+        for retry in 0..self.policy.retry_attempts() {
+            // Charge the (possibly jittered) capped-exponential cost up
+            // front; a retry the budget cannot afford is refused, ending
+            // the loop.
+            let cost = self.backoff.charge(u64::from(retry), nominal);
+            if spent.saturating_add(cost) > self.backoff.budget_units {
                 self.stats.budget_exhausted += 1;
                 self.note(op, "budget_exhausted");
                 break;
             }
-            spent += next_cost;
-            self.stats.backoff_units += next_cost;
-            next_cost = next_cost.saturating_mul(2).min(self.backoff.cap_units);
+            spent += cost;
+            self.stats.backoff_units += cost;
+            nominal = nominal.saturating_mul(2).min(self.backoff.cap_units);
             self.stats.retries += 1;
             if self.tracer.enabled() {
                 RETRIES.add(1);
@@ -393,6 +462,9 @@ impl<B: Backend> Backend for ResilientBackend<B> {
                 Err(e) if e.is_worker_panic() => {
                     self.stats.worker_panics += 1;
                     self.note_worker_panic(op);
+                    if !self.recover_panics {
+                        return Err(e);
+                    }
                     sequential = true;
                     last = e;
                 }
@@ -411,6 +483,22 @@ impl<B: Backend> Backend for ResilientBackend<B> {
             return Ok(d);
         }
         Err(last)
+    }
+
+    fn kernel_isa(&self) -> simd2_semiring::simd::KernelIsa {
+        self.inner.kernel_isa()
+    }
+
+    fn pin_kernel_isa(&mut self, isa: simd2_semiring::simd::KernelIsa) -> bool {
+        self.inner.pin_kernel_isa(isa)
+    }
+
+    fn force_sequential(&mut self) -> bool {
+        self.inner.force_sequential()
+    }
+
+    fn fault_log_dropped(&self) -> u64 {
+        self.inner.fault_log_dropped()
     }
 
     fn op_count(&self) -> OpCount {
@@ -744,6 +832,99 @@ mod tests {
         assert_eq!(stage_count("worker_panic"), s.worker_panics);
         assert_eq!(stage_count("panic_recovery"), s.panic_recoveries);
         assert_eq!(s.panic_recoveries, 1);
+    }
+
+    #[test]
+    fn jitter_off_by_default_keeps_exact_backoff_arithmetic() {
+        assert_eq!(RetryBackoff::new(1, 8, 64).jitter_seed, None);
+        assert_eq!(RetryBackoff::unbounded().jitter_seed, None);
+        // Without a seed the charge IS the nominal cost, bit-for-bit.
+        let b = RetryBackoff::new(3, 16, 100);
+        for retry in 0..10 {
+            assert_eq!(b.charge(retry, 7), 7);
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let b = RetryBackoff::new(4, 32, u64::MAX).with_jitter(2022);
+        let again = RetryBackoff::new(4, 32, u64::MAX).with_jitter(2022);
+        let mut saw_below_nominal = false;
+        for retry in 0..64 {
+            for nominal in [2u64, 4, 8, 16, 32] {
+                let cost = b.charge(retry, nominal);
+                // Same seed, same retry index: bit-identical draw.
+                assert_eq!(cost, again.charge(retry, nominal));
+                assert!(cost >= (nominal / 2).max(1), "{retry} {nominal} {cost}");
+                assert!(cost <= nominal, "{retry} {nominal} {cost}");
+                saw_below_nominal |= cost < nominal;
+            }
+            // Degenerate nominals are never jittered.
+            assert_eq!(b.charge(retry, 0), 0);
+            assert_eq!(b.charge(retry, 1), 1);
+        }
+        assert!(saw_below_nominal, "jitter must actually perturb the cost");
+        // Different seeds desynchronise the schedules.
+        let other = RetryBackoff::new(4, 32, u64::MAX).with_jitter(7);
+        let diverged = (0..64u64).any(|r| other.charge(r, 32) != b.charge(r, 32));
+        assert!(diverged, "distinct seeds should draw distinct schedules");
+    }
+
+    #[test]
+    fn jittered_retry_loop_replays_bit_identically() {
+        // Two identical resilient backends with the same jitter seed
+        // spend identical backoff units and produce identical stats; a
+        // third with another seed diverges in spend but not in outcome.
+        let (a, b, c) = operands(OpKind::PlusMul, 16);
+        let run = |seed: u64| {
+            let mut be = ResilientBackend::new(
+                faulty_tiled(5, 1_000_000),
+                RecoveryPolicy::Retry { attempts: u32::MAX },
+            )
+            .with_backoff(RetryBackoff::new(2, 8, 40).with_jitter(seed));
+            let err = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap_err();
+            assert!(err.is_corruption());
+            be.recovery_stats()
+        };
+        let s1 = run(2022);
+        let s2 = run(2022);
+        assert_eq!(s1, s2, "same seed, same campaign");
+        assert_eq!(s1.budget_exhausted, 1);
+        assert!(s1.backoff_units <= 40);
+        // The no-jitter schedule 2,4,8,8,8,8 spends 38 of 40 over six
+        // retries; jitter halves costs at worst so it can only retry
+        // at least as many times within the same budget.
+        let exact = run_without_jitter(&a, &b, &c);
+        assert!(s1.retries >= exact.retries);
+    }
+
+    fn run_without_jitter(a: &Matrix, b: &Matrix, c: &Matrix) -> RecoveryStats {
+        let mut be = ResilientBackend::new(
+            faulty_tiled(5, 1_000_000),
+            RecoveryPolicy::Retry { attempts: u32::MAX },
+        )
+        .with_backoff(RetryBackoff::new(2, 8, 40));
+        be.mmo(OpKind::PlusMul, a, b, c).unwrap_err();
+        be.recovery_stats()
+    }
+
+    #[test]
+    fn surfaced_worker_panics_skip_sequential_recovery() {
+        use crate::backend::Parallelism;
+        use simd2_fault::PanicProbeUnit;
+        let (a, b, c) = operands(OpKind::PlusMul, 70);
+        let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 2));
+        inner.set_parallelism(Parallelism::Threads(4));
+        let mut be = ResilientBackend::new(inner, RecoveryPolicy::Retry { attempts: 8 })
+            .with_recover_panics(false);
+        assert!(!be.recovers_panics());
+        let err = be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap_err();
+        assert!(err.is_worker_panic(), "{err}");
+        let s = be.recovery_stats();
+        assert_eq!(s.worker_panics, 1, "the panic is still counted");
+        assert_eq!(s.panic_recoveries, 0, "but never recovered in place");
+        assert_eq!(s.retries, 0, "and never retried");
+        assert_eq!(s.verified, 0);
     }
 
     #[test]

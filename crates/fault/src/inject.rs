@@ -97,6 +97,16 @@ impl MmoCoord {
         let packed = (u64::from(self.ti) << 42) ^ (u64::from(self.tj) << 21) ^ u64::from(self.tk);
         mix(mix(self.mmo_seq ^ COORD_SITE_SALT) ^ packed)
     }
+
+    /// The *sequence-free* site key: a pure function of `(ti, tj, tk)`
+    /// with the mmo sequence number deliberately left out. Sticky
+    /// repeat-offender draws key on this, so re-executing the same tile
+    /// — on retry, on the sequential fallback schedule, or in a resumed
+    /// plan — strikes the identical defect every time.
+    pub fn coord_key(self) -> u64 {
+        let packed = (u64::from(self.ti) << 42) ^ (u64::from(self.tj) << 21) ^ u64::from(self.tk);
+        mix(COORD_SITE_SALT ^ packed)
+    }
 }
 
 /// One injected fault, for campaign logs and telemetry.
@@ -136,6 +146,9 @@ pub fn apply_to_tile(kind: FaultKind, d: &mut [f32], n: usize) {
         }
         FaultKind::TransientNan { row, col, inf } => {
             d[row * n + col] = if inf { f32::INFINITY } else { f32::NAN };
+        }
+        FaultKind::StickyNan { row, col } => {
+            d[row * n + col] = f32::NAN;
         }
         FaultKind::MemBitFlip { .. } => {
             debug_assert!(false, "memory fault applied to a tile");
@@ -435,8 +448,16 @@ impl FaultInjector for PlannedInjector {
             tk: coord.tk,
         };
         self.mmo_sites += 1;
-        let site = coord.site_key();
-        let kind = self.plan.fault_for_mmo_site(site, n)?;
+        // Sticky sites are tried first and keyed on the coordinate
+        // alone: a retried mmo advances `mmo_seq` and so re-draws every
+        // transient, but the sticky defect re-strikes identically.
+        let (site, kind) = match self.plan.sticky_fault_for_site(coord.coord_key(), n) {
+            Some(kind) => (coord.coord_key(), kind),
+            None => {
+                let site = coord.site_key();
+                (site, self.plan.fault_for_mmo_site(site, n)?)
+            }
+        };
         apply_to_tile(kind, d, n);
         self.injected += 1;
         let entry = FaultLogEntry {
@@ -562,6 +583,21 @@ pub trait MmoUnit: std::fmt::Debug {
         KernelIsa::Scalar
     }
 
+    /// Re-pins the unit's tile kernel to `isa` — the degradation seam a
+    /// resilience layer uses to retreat from a suspect vector tier to
+    /// the scalar kernel. Returns whether the unit honoured the pin;
+    /// units without a selectable kernel refuse (the default).
+    fn repin_kernel(&mut self, isa: KernelIsa) -> bool {
+        let _ = isa;
+        false
+    }
+
+    /// Fault-log entries evicted from the unit's bounded ring buffer
+    /// (the injector `dropped` counter); zero for pristine units.
+    fn fault_dropped(&self) -> u64 {
+        0
+    }
+
     /// The input precision mode of the underlying datapath.
     fn precision(&self) -> PrecisionMode;
 
@@ -616,6 +652,11 @@ impl MmoUnit for Simd2Unit {
         Simd2Unit::kernel_isa(self)
     }
 
+    fn repin_kernel(&mut self, isa: KernelIsa) -> bool {
+        *self = self.with_kernel_isa(isa);
+        true
+    }
+
     fn shard(&self) -> Option<Self> {
         Some(*self)
     }
@@ -626,12 +667,39 @@ impl MmoUnit for Simd2Unit {
 pub struct FaultySimd2Unit<I: FaultInjector = PlannedInjector> {
     unit: Simd2Unit,
     injector: I,
+    vector_only: bool,
 }
 
 impl<I: FaultInjector> FaultySimd2Unit<I> {
     /// Wraps `unit` with `injector`.
     pub fn new(unit: Simd2Unit, injector: I) -> Self {
-        Self { unit, injector }
+        Self {
+            unit,
+            injector,
+            vector_only: false,
+        }
+    }
+
+    /// Attributes the faults to the *vector* datapath: injection only
+    /// happens while the unit's tile kernel runs on a vector tier, and
+    /// stops entirely once the kernel is re-pinned to scalar — the
+    /// hardware model where a marginal SIMD lane corrupts results the
+    /// scalar datapath computes cleanly. This is what makes a
+    /// degradation ladder's pin-to-scalar rung *provably* effective
+    /// under chaos, not just plausibly.
+    pub fn with_vector_only(mut self, vector_only: bool) -> Self {
+        self.vector_only = vector_only;
+        self
+    }
+
+    /// Whether injection is gated on a vector kernel tier.
+    pub fn vector_only(&self) -> bool {
+        self.vector_only
+    }
+
+    /// Whether the injector is live for the unit's current kernel tier.
+    fn injection_armed(&self) -> bool {
+        !self.vector_only || self.unit.kernel_isa() != KernelIsa::Scalar
     }
 
     /// The pristine underlying unit.
@@ -659,6 +727,9 @@ impl<I: ShardableInjector> MmoUnit for FaultySimd2Unit<I> {
         c: &Tile<N>,
     ) -> Tile<N> {
         let d = self.unit.execute(op, a, b, c);
+        if !self.injection_armed() {
+            return d;
+        }
         let mut flat: Vec<f32> = (0..N * N).map(|i| d.get(i / N, i % N)).collect();
         if self.injector.inject_mmo(op, &mut flat, N).is_some() {
             return Tile::from_fn(|r, c| flat[r * N + c]);
@@ -675,6 +746,9 @@ impl<I: ShardableInjector> MmoUnit for FaultySimd2Unit<I> {
         c: &Tile<N>,
     ) -> Tile<N> {
         let d = self.unit.execute(op, a, b, c);
+        if !self.injection_armed() {
+            return d;
+        }
         let mut flat: Vec<f32> = (0..N * N).map(|i| d.get(i / N, i % N)).collect();
         if self
             .injector
@@ -702,10 +776,19 @@ impl<I: ShardableInjector> MmoUnit for FaultySimd2Unit<I> {
         self.unit.kernel_isa()
     }
 
+    fn repin_kernel(&mut self, isa: KernelIsa) -> bool {
+        MmoUnit::repin_kernel(&mut self.unit, isa)
+    }
+
+    fn fault_dropped(&self) -> u64 {
+        self.injector.dropped()
+    }
+
     fn shard(&self) -> Option<Self> {
         Some(Self {
             unit: self.unit,
             injector: self.injector.shard(),
+            vector_only: self.vector_only,
         })
     }
 
@@ -777,6 +860,10 @@ impl MmoUnit for PanicProbeUnit {
 
     fn precision(&self) -> PrecisionMode {
         self.unit.precision()
+    }
+
+    fn repin_kernel(&mut self, isa: KernelIsa) -> bool {
+        MmoUnit::repin_kernel(&mut self.unit, isa)
     }
 
     fn shard(&self) -> Option<Self> {
@@ -1142,6 +1229,91 @@ mod tests {
         assert_eq!(ring.len(), 1, "shard events land in the parent sink");
         parent.absorb(shard);
         assert_eq!(parent.injected(), 1);
+    }
+
+    #[test]
+    fn sticky_sites_defeat_retry_and_schedule_changes() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(5).with_sticky_ppm(1_000_000));
+        let mut inj = PlannedInjector::new(plan);
+        let coord = TileCoord::new(1, 2, 3);
+        let mut strike = |inj: &mut PlannedInjector| {
+            inj.begin_matrix_mmo();
+            let mut d = vec![1.0f32; 256];
+            let kind = inj.inject_mmo_at(coord, OpKind::PlusMul, &mut d, 16);
+            if let Some(FaultKind::StickyNan { row, col }) = kind {
+                assert!(d[row * 16 + col].is_nan(), "sticky site must poison d");
+            }
+            kind
+        };
+        let first = strike(&mut inj).expect("full-rate sticky strikes");
+        assert!(matches!(first, FaultKind::StickyNan { .. }), "{first:?}");
+        // A retry advances mmo_seq — transients would re-draw — but the
+        // sticky defect re-strikes identically: retry cannot help.
+        for _ in 0..4 {
+            assert_eq!(strike(&mut inj), Some(first));
+        }
+        // Worker shards see the same defect (schedule independence), and
+        // the log records the coordinate-only site key.
+        let mut shard = inj.shard();
+        let mut d = vec![1.0f32; 256];
+        assert_eq!(
+            shard.inject_mmo_at(coord, OpKind::PlusMul, &mut d, 16),
+            Some(first)
+        );
+        let log = shard.log();
+        assert_eq!(
+            log[0].site,
+            MmoCoord {
+                mmo_seq: 0,
+                ti: 1,
+                tj: 2,
+                tk: 3
+            }
+            .coord_key()
+        );
+        inj.absorb(shard);
+        assert_eq!(inj.injected(), 6);
+        // A different coordinate under the same full-rate plan draws its
+        // own (also repeatable) defect.
+        let other = TileCoord::new(2, 2, 3);
+        let mut d = vec![1.0f32; 256];
+        let elsewhere = inj.inject_mmo_at(other, OpKind::PlusMul, &mut d, 16);
+        assert!(elsewhere.is_some());
+    }
+
+    #[test]
+    fn vector_only_injection_disarms_on_a_scalar_pin() {
+        let a = Tile::<16>::from_fn(|r, c| (r + c) as f32 * 0.5);
+        let b = Tile::<16>::splat(1.0);
+        let c = Tile::<16>::splat(0.0);
+        let mk = || {
+            FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(always_plan()))
+                .with_vector_only(true)
+        };
+        let mut unit = mk();
+        assert!(unit.vector_only());
+        let armed = MmoUnit::kernel_isa(&unit) != KernelIsa::Scalar;
+        MmoUnit::begin_matrix_mmo(&mut unit);
+        unit.execute_tile_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &a, &b, &c);
+        assert_eq!(unit.injector().injected(), u64::from(armed));
+        // Re-pin to scalar: injection stops and outputs are pristine.
+        assert!(MmoUnit::repin_kernel(&mut unit, KernelIsa::Scalar));
+        let before = unit.injector().injected();
+        MmoUnit::begin_matrix_mmo(&mut unit);
+        let d = unit.execute_tile_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &a, &b, &c);
+        assert_eq!(unit.injector().injected(), before, "scalar pin disarms");
+        assert_eq!(d, Simd2Unit::new().execute(OpKind::PlusMul, &a, &b, &c));
+        // Shards inherit the gate.
+        let shard = unit.shard().unwrap();
+        assert!(shard.vector_only());
+        // Without the gate the same plan strikes on any tier.
+        let mut ungated =
+            FaultySimd2Unit::new(Simd2Unit::new().with_kernel_isa(KernelIsa::Scalar), {
+                PlannedInjector::new(always_plan())
+            });
+        MmoUnit::begin_matrix_mmo(&mut ungated);
+        ungated.execute_tile_at(TileCoord::new(0, 0, 0), OpKind::PlusMul, &a, &b, &c);
+        assert_eq!(ungated.injector().injected(), 1);
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use inject::{
     FaultInjector, FaultLogEntry, FaultySimd2Unit, MmoCoord, MmoUnit, PanicProbeUnit,
     PlannedInjector, ShardableInjector, TileCoord, PANIC_PROBE_PAYLOAD,
 };
-pub use plan::{FaultClass, FaultKind, FaultPlan, FaultPlanConfig};
+pub use plan::{FaultClass, FaultKind, FaultPlan, FaultPlanConfig, StallPlan};

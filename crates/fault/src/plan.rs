@@ -14,7 +14,7 @@ use std::fmt;
 /// built around (§4: a 4×4 grid of dot-product lanes per tile pipe).
 pub const MXU_GRID: usize = 4;
 
-/// The four modelled hardware fault classes.
+/// The modelled hardware fault classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultClass {
     /// A single bit flips in a tile output register.
@@ -26,15 +26,22 @@ pub enum FaultClass {
     TransientNan,
     /// A word of shared memory is corrupted after a store.
     MemCorruption,
+    /// A *persistent* defect pinned to a tile-grid coordinate: unlike
+    /// the transient classes, whose draws are keyed on per-attempt site
+    /// sequence numbers, a sticky site re-strikes identically on every
+    /// visit to the same coordinate — retries and post-panic sequential
+    /// re-executions included — defeating naive retry by construction.
+    StickyNan,
 }
 
 impl FaultClass {
     /// All classes, in the order they are drawn at an mmo site.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::TileBitFlip,
         FaultClass::StuckLane,
         FaultClass::TransientNan,
         FaultClass::MemCorruption,
+        FaultClass::StickyNan,
     ];
 
     /// Hash-domain separator for this class.
@@ -44,6 +51,7 @@ impl FaultClass {
             FaultClass::StuckLane => 0x57ac_4a9e_0000_0002,
             FaultClass::TransientNan => 0x7a95_0a11_0000_0003,
             FaultClass::MemCorruption => 0x3e3c_044e_0000_0004,
+            FaultClass::StickyNan => 0x571c_c1fe_0000_0005,
         }
     }
 
@@ -54,6 +62,7 @@ impl FaultClass {
             FaultClass::StuckLane => "stuck-lane",
             FaultClass::TransientNan => "transient-nan",
             FaultClass::MemCorruption => "mem-corruption",
+            FaultClass::StickyNan => "sticky-nan",
         }
     }
 }
@@ -105,6 +114,14 @@ pub enum FaultKind {
         /// Bit position in the IEEE 754 binary32 pattern.
         bit: u32,
     },
+    /// Replace the output element at `(row, col)` with NaN on *every*
+    /// visit to this tile coordinate (a persistent lane defect).
+    StickyNan {
+        /// Output row within the tile.
+        row: usize,
+        /// Output column within the tile.
+        col: usize,
+    },
 }
 
 impl FaultKind {
@@ -115,6 +132,7 @@ impl FaultKind {
             FaultKind::StuckLane { .. } => FaultClass::StuckLane,
             FaultKind::TransientNan { .. } => FaultClass::TransientNan,
             FaultKind::MemBitFlip { .. } => FaultClass::MemCorruption,
+            FaultKind::StickyNan { .. } => FaultClass::StickyNan,
         }
     }
 
@@ -125,6 +143,7 @@ impl FaultKind {
             FaultKind::StuckLane { .. } => "stuck_lane",
             FaultKind::TransientNan { .. } => "transient_nan",
             FaultKind::MemBitFlip { .. } => "mem_bit_flip",
+            FaultKind::StickyNan { .. } => "sticky_nan",
         }
     }
 }
@@ -149,6 +168,9 @@ impl fmt::Display for FaultKind {
             FaultKind::MemBitFlip { word, bit } => {
                 write!(f, "memory bit-flip b{bit} at word {word}")
             }
+            FaultKind::StickyNan { row, col } => {
+                write!(f, "sticky nan at d[{row}][{col}]")
+            }
         }
     }
 }
@@ -166,6 +188,10 @@ pub struct FaultPlanConfig {
     pub transient_nan_ppm: u32,
     /// Rate of shared-memory word corruption, per million store sites.
     pub mem_ppm: u32,
+    /// Rate of sticky (coordinate-pinned, retry-defeating) faults, per
+    /// million tile coordinates. Zero in every constructor — sticky
+    /// sites change what retry can promise, so campaigns opt in.
+    pub sticky_ppm: u32,
 }
 
 impl FaultPlanConfig {
@@ -177,10 +203,12 @@ impl FaultPlanConfig {
             stuck_lane_ppm: 0,
             transient_nan_ppm: 0,
             mem_ppm: 0,
+            sticky_ppm: 0,
         }
     }
 
-    /// A plan striking every class at the same rate.
+    /// A plan striking every *transient* class at the same rate (sticky
+    /// sites stay disarmed; see [`with_sticky_ppm`](Self::with_sticky_ppm)).
     pub fn uniform(seed: u64, ppm: u32) -> Self {
         Self {
             seed,
@@ -188,6 +216,7 @@ impl FaultPlanConfig {
             stuck_lane_ppm: ppm,
             transient_nan_ppm: ppm,
             mem_ppm: ppm,
+            sticky_ppm: 0,
         }
     }
 
@@ -215,12 +244,19 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Sets the sticky repeat-offender rate (per million coordinates).
+    pub fn with_sticky_ppm(mut self, ppm: u32) -> Self {
+        self.sticky_ppm = ppm;
+        self
+    }
+
     fn rate(&self, class: FaultClass) -> u32 {
         match class {
             FaultClass::TileBitFlip => self.bit_flip_ppm,
             FaultClass::StuckLane => self.stuck_lane_ppm,
             FaultClass::TransientNan => self.transient_nan_ppm,
             FaultClass::MemCorruption => self.mem_ppm,
+            FaultClass::StickyNan => self.sticky_ppm,
         }
     }
 }
@@ -297,7 +333,9 @@ impl FaultPlan {
                     col: ((p >> 16) as usize) % n,
                     inf: p & (1 << 32) != 0,
                 },
-                FaultClass::MemCorruption => unreachable!("not an mmo class"),
+                FaultClass::MemCorruption | FaultClass::StickyNan => {
+                    unreachable!("not a transient mmo class")
+                }
             });
         }
         None
@@ -314,6 +352,77 @@ impl FaultPlan {
             word: (p as usize) % words,
             bit: ((p >> 32) as u32) % 32,
         })
+    }
+
+    /// Draws the sticky fault (if any) for `coord_site` — a key the
+    /// caller derives from the tile-grid *coordinate alone*, with no
+    /// per-attempt sequence number mixed in. The same coordinate
+    /// therefore strikes identically every time it executes: a retry, a
+    /// sequential re-execution, or a resumed plan all hit the defect
+    /// again, which is exactly what escalation ladders must handle.
+    pub fn sticky_fault_for_site(&self, coord_site: u64, n: usize) -> Option<FaultKind> {
+        debug_assert!(n > 0);
+        if !self.strikes(FaultClass::StickyNan, coord_site) {
+            return None;
+        }
+        let p = mix(self.site_hash(FaultClass::StickyNan, coord_site) ^ 0x0fa7_a1f1_e1d5_ca1e);
+        Some(FaultKind::StickyNan {
+            row: (p as usize) % n,
+            col: ((p >> 16) as usize) % n,
+        })
+    }
+}
+
+/// Seeded stall/slow-step oracle: a stateless map from a plan-step
+/// index to *extra virtual execution cost*, modelling a straggler step
+/// (memory contention, a thermally throttled unit) that burns deadline
+/// budget without producing a detectable corruption. Naive retry cannot
+/// help — the step completes correctly, just expensively — so the only
+/// sound responses are suspending with a checkpoint or degrading the
+/// schedule, which is what the serving layer's step-quantum accounting
+/// exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPlan {
+    /// Campaign seed; all stall decisions derive from it.
+    pub seed: u64,
+    /// Rate of stalled steps, per million steps.
+    pub stall_ppm: u32,
+    /// Maximum extra units one stalled step costs (draws are uniform in
+    /// `1..=max_extra_units`).
+    pub max_extra_units: u64,
+}
+
+impl StallPlan {
+    /// Hash-domain separator for stall draws.
+    const SALT: u64 = 0x57a1_1bad_0000_0006;
+
+    /// Builds the oracle.
+    pub const fn new(seed: u64, stall_ppm: u32, max_extra_units: u64) -> Self {
+        Self {
+            seed,
+            stall_ppm,
+            max_extra_units,
+        }
+    }
+
+    /// Extra virtual units step `step` costs beyond its base cost of
+    /// one; zero for un-stalled steps.
+    pub fn stall_units(&self, step: u64) -> u64 {
+        if self.stall_ppm == 0 || self.max_extra_units == 0 {
+            return 0;
+        }
+        let h = mix(self.seed ^ Self::SALT ^ mix(step));
+        if h % 1_000_000 < u64::from(self.stall_ppm) {
+            1 + mix(h ^ 0x0fa7_a1f1_e1d5_ca1e) % self.max_extra_units
+        } else {
+            0
+        }
+    }
+
+    /// Total virtual cost (base one unit per step plus stalls) of
+    /// executing steps `0..steps`.
+    pub fn total_units(&self, steps: u64) -> u64 {
+        (0..steps).map(|s| 1 + self.stall_units(s)).sum()
     }
 }
 
@@ -369,6 +478,58 @@ mod tests {
             .count();
         // 10% nominal over 100k sites: expect within ±1% absolute.
         assert!((9_000..=11_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn sticky_sites_restrike_identically_and_stay_opt_in() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(2022).with_sticky_ppm(250_000));
+        let mut struck = 0usize;
+        for site in 0..4096u64 {
+            let first = plan.sticky_fault_for_site(site, 16);
+            assert_eq!(first, plan.sticky_fault_for_site(site, 16));
+            match first {
+                Some(FaultKind::StickyNan { row, col }) => {
+                    assert!(row < 16 && col < 16);
+                    struck += 1;
+                }
+                None => {}
+                other => panic!("sticky sites draw only StickyNan, got {other:?}"),
+            }
+        }
+        // 25% nominal over 4096 sites.
+        assert!((700..=1_350).contains(&struck), "struck = {struck}");
+        // A sticky-only config never leaks into the transient paths, and
+        // the stock constructors keep sticky disarmed.
+        for site in 0..512 {
+            assert_eq!(plan.fault_for_mmo_site(site, 16), None);
+            assert_eq!(plan.fault_for_mem_site(site, 64), None);
+        }
+        assert_eq!(FaultPlanConfig::new(1).sticky_ppm, 0);
+        assert_eq!(FaultPlanConfig::uniform(1, 500_000).sticky_ppm, 0);
+    }
+
+    #[test]
+    fn stall_plan_is_deterministic_and_bounded() {
+        let plan = StallPlan::new(7, 200_000, 5);
+        assert_eq!(plan, StallPlan::new(7, 200_000, 5));
+        let mut stalled = 0u64;
+        for step in 0..10_000u64 {
+            let units = plan.stall_units(step);
+            assert_eq!(units, plan.stall_units(step));
+            assert!(units <= 5);
+            stalled += u64::from(units > 0);
+        }
+        // 20% nominal over 10k steps.
+        assert!((1_500..=2_500).contains(&stalled), "stalled = {stalled}");
+        assert_eq!(StallPlan::new(7, 0, 5).stall_units(3), 0);
+        assert_eq!(StallPlan::new(7, 1_000_000, 0).stall_units(3), 0);
+        let total = plan.total_units(100);
+        let by_hand: u64 = (0..100).map(|s| 1 + plan.stall_units(s)).sum();
+        assert_eq!(total, by_hand);
+        assert!(total >= 100, "every step costs at least its base unit");
+        // Different seeds stall different steps.
+        let other = StallPlan::new(8, 200_000, 5);
+        assert!((0..10_000u64).any(|s| other.stall_units(s) != plan.stall_units(s)));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Deterministic, count-based circuit breakers.
+//!
+//! The service keeps one [`Breaker`] per tenant and one per plan
+//! ([`PlanKey`](simd2::PlanKey)). A breaker is a three-state machine —
+//! closed → open → half-open — driven purely by the terminal outcomes
+//! the scheduler observes, with no wall-clock input: cooldown is
+//! measured in *refused requests*, so a chaos episode replays the exact
+//! same transition sequence from the same seed.
+//!
+//! * **Closed**: requests pass. [`BreakerConfig::trip_after`]
+//!   consecutive terminal failures trip the breaker open (a success
+//!   resets the streak; expiry and suspension count as neither).
+//! * **Open**: requests are refused without executing — the scheduler
+//!   lands them as terminal failures and counts them as
+//!   short-circuits. Each refusal consumes one cooldown unit; after
+//!   [`BreakerConfig::cooldown`] refusals the breaker moves to
+//!   half-open.
+//! * **Half-open**: exactly one probe request passes. Success closes
+//!   the breaker; failure re-trips it open (another full cooldown).
+//!
+//! A *plan* whose breaker trips [`BreakerConfig::quarantine_after`]
+//! times is a repeat offender: the scheduler lands every further
+//! submission of it as [`JobStatus::Quarantined`](crate::JobStatus)
+//! without consulting the breaker again.
+
+/// Thresholds for the per-tenant and per-plan circuit breakers.
+///
+/// The default (`trip_after: 0`) disables breakers entirely — the
+/// service behaves exactly as if this module did not exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive terminal failures that trip a closed breaker open
+    /// (`0` disables breakers).
+    pub trip_after: u32,
+    /// Refused requests an open breaker absorbs before offering a
+    /// half-open probe (`0` re-probes immediately on the next request).
+    pub cooldown: u32,
+    /// Trips after which a *plan* is quarantined permanently
+    /// (`0` = never quarantine).
+    pub quarantine_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 0,
+            cooldown: 2,
+            quarantine_after: 0,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Whether breakers are armed at all.
+    pub fn armed(&self) -> bool {
+        self.trip_after != 0
+    }
+}
+
+/// The three breaker states. Transitions are deterministic functions
+/// of the observed request/outcome sequence — see the [module
+/// docs](self).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests pass; consecutive failures are counted.
+    #[default]
+    Closed,
+    /// Requests are refused while the cooldown drains.
+    Open,
+    /// The next request is the single probe.
+    HalfOpen,
+}
+
+/// One circuit breaker: state plus the counters that drive it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    trips: u32,
+}
+
+impl Breaker {
+    /// A closed breaker with no history.
+    pub const fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Consecutive terminal failures observed while closed.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Gates one request: `true` lets it execute, `false` refuses it
+    /// (short-circuit). An open breaker consumes one cooldown unit per
+    /// refusal and moves to half-open when the cooldown is spent, so
+    /// the *next* request becomes the probe. Half-open admits without
+    /// changing state — only the probe's recorded outcome moves it.
+    pub fn admit(&mut self, config: &BreakerConfig) -> bool {
+        if !config.armed() {
+            return true;
+        }
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Records an executed request's terminal success: resets the
+    /// failure streak and closes a half-open breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records an executed request's terminal failure. Returns `true`
+    /// when this failure trips the breaker open (counting toward
+    /// quarantine). Short-circuited requests must not be recorded —
+    /// they were never executed.
+    pub fn record_failure(&mut self, config: &BreakerConfig) -> bool {
+        if !config.armed() {
+            return false;
+        }
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.trip(config);
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= config.trip_after {
+                    self.trip(config);
+                    true
+                } else {
+                    false
+                }
+            }
+            // Unreachable through the scheduler (open refusals are not
+            // recorded), but harmless: stay open.
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&mut self, config: &BreakerConfig) {
+        self.trips += 1;
+        self.consecutive_failures = 0;
+        self.cooldown_left = config.cooldown;
+        self.state = if config.cooldown == 0 {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        };
+    }
+
+    /// Whether this breaker's trip count has reached the quarantine
+    /// threshold.
+    pub fn quarantined(&self, config: &BreakerConfig) -> bool {
+        config.quarantine_after != 0 && self.trips >= config.quarantine_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: BreakerConfig = BreakerConfig {
+        trip_after: 2,
+        cooldown: 2,
+        quarantine_after: 2,
+    };
+
+    #[test]
+    fn disabled_breakers_never_trip_or_refuse() {
+        let cfg = BreakerConfig::default();
+        assert!(!cfg.armed());
+        let mut b = Breaker::new();
+        for _ in 0..100 {
+            assert!(b.admit(&cfg));
+            assert!(!b.record_failure(&cfg));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        assert!(!b.quarantined(&cfg));
+    }
+
+    #[test]
+    fn closed_trips_open_after_consecutive_failures_only() {
+        let mut b = Breaker::new();
+        assert!(b.admit(&CFG));
+        assert!(!b.record_failure(&CFG));
+        // A success resets the streak.
+        b.record_success();
+        assert!(!b.record_failure(&CFG));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Second consecutive failure trips.
+        assert!(b.record_failure(&CFG));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_drains_cooldown_then_half_open_probes() {
+        let mut b = Breaker::new();
+        b.record_failure(&CFG);
+        b.record_failure(&CFG);
+        assert_eq!(b.state(), BreakerState::Open);
+        // cooldown = 2: exactly two refusals, then the probe passes.
+        assert!(!b.admit(&CFG));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(&CFG));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(&CFG), "half-open admits the probe");
+        // Probe success closes the breaker and clears the streak.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_retrips_and_reaches_quarantine() {
+        let mut b = Breaker::new();
+        b.record_failure(&CFG);
+        b.record_failure(&CFG);
+        assert!(!b.admit(&CFG));
+        assert!(!b.admit(&CFG));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(&CFG));
+        // One failed probe re-trips immediately — no new streak needed.
+        assert!(b.record_failure(&CFG));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(b.quarantined(&CFG));
+    }
+
+    #[test]
+    fn zero_cooldown_trips_straight_to_half_open() {
+        let cfg = BreakerConfig { cooldown: 0, ..CFG };
+        let mut b = Breaker::new();
+        b.record_failure(&cfg);
+        b.record_failure(&cfg);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit(&cfg), "no refusals before the probe");
+    }
+
+    #[test]
+    fn transition_sequences_replay_deterministically() {
+        // The same outcome script drives two breakers through an
+        // identical state trajectory — the property chaos episodes
+        // rely on.
+        let script = [true, false, false, true, false, false, false];
+        let run = || {
+            let mut b = Breaker::new();
+            let mut trace = Vec::new();
+            for &ok in &script {
+                let admitted = b.admit(&CFG);
+                if admitted {
+                    if ok {
+                        b.record_success();
+                    } else {
+                        b.record_failure(&CFG);
+                    }
+                }
+                trace.push((admitted, b.state(), b.trips()));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

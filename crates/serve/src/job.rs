@@ -1,7 +1,7 @@
 //! Job vocabulary: tenants, payloads, deadlines, and the explicit
 //! responses every submission receives.
 
-use simd2::Plan;
+use simd2::{Plan, PlanKey};
 use simd2_apps::AppKind;
 use simd2_matrix::Matrix;
 
@@ -202,15 +202,35 @@ pub enum JobStatus {
         /// Plan steps actually dispatched (0 on a cache hit).
         executed_steps: u64,
     },
-    /// The step budget ran out at a step boundary: `executed_steps`
-    /// completed, the next dispatch would have exceeded `budget`.
+    /// The step budget (or the scheduler's resume policy) ran out at a
+    /// step boundary: `executed_steps` completed across every round,
+    /// the next dispatch would have exceeded `budget`.
+    ///
+    /// When the service runs with checkpoint/resume armed
+    /// ([`ResumeConfig`](crate::ResumeConfig)), expiry carries the
+    /// checkpoint identity and resume accounting so callers can
+    /// distinguish *expired, resumable* (the work halted by policy with
+    /// budget math still open — resubmitting with a larger budget or
+    /// resume cap can finish it) from *expired, terminal* (the step
+    /// budget is genuinely exhausted).
     Expired {
-        /// Steps completed before the budget ran out.
+        /// Steps completed before the budget ran out, summed over the
+        /// initial round and every resumed round.
         executed_steps: u64,
-        /// The deadline's step budget.
+        /// The deadline's step budget (`0` for [`Deadline::None`]).
         budget: u64,
         /// The plan's total step count.
         total_steps: u64,
+        /// How many times the scheduler resumed this job from its
+        /// checkpoint before giving up (`0` when resume is disabled).
+        resumed_from: u64,
+        /// Identity of the checkpoint the scheduler held at expiry
+        /// (`None` when resume is disabled and no checkpoint was kept).
+        checkpoint: Option<PlanKey>,
+        /// Whether the remaining-budget math left room for more
+        /// progress: `true` means the resume cap (not the step budget)
+        /// ended the job.
+        resumable: bool,
     },
     /// Execution failed terminally (recovery exhausted, poisoned input,
     /// structural error) at `step`.
@@ -222,15 +242,27 @@ pub enum JobStatus {
         /// The rendered backend error.
         error: String,
     },
+    /// The job's plan is quarantined: its circuit breaker tripped
+    /// [`BreakerConfig::quarantine_after`](crate::BreakerConfig) times,
+    /// so the scheduler refuses to dispatch it ever again. Terminal,
+    /// without executing anything.
+    Quarantined {
+        /// Identity of the quarantined plan.
+        key: PlanKey,
+        /// Breaker trips the plan accumulated before quarantine.
+        trips: u32,
+    },
 }
 
 impl JobStatus {
-    /// The telemetry stage label (`completed` / `expired` / `failed`).
+    /// The telemetry stage label
+    /// (`completed` / `expired` / `failed` / `quarantined`).
     pub fn label(&self) -> &'static str {
         match self {
             JobStatus::Completed { .. } => "completed",
             JobStatus::Expired { .. } => "expired",
             JobStatus::Failed { .. } => "failed",
+            JobStatus::Quarantined { .. } => "quarantined",
         }
     }
 
@@ -238,6 +270,22 @@ impl JobStatus {
     pub fn output(&self) -> Option<&Matrix> {
         match self {
             JobStatus::Completed { output, .. } => Some(output),
+            _ => None,
+        }
+    }
+
+    /// For [`JobStatus::Expired`]: the step budget left unspent when
+    /// the job expired (`budget - executed_steps`). `Some(0)` means the
+    /// budget was genuinely exhausted; a non-zero remainder means
+    /// policy (the resume cap or a too-small round quantum) stopped the
+    /// job, not the budget.
+    pub fn remaining_budget(&self) -> Option<u64> {
+        match self {
+            JobStatus::Expired {
+                executed_steps,
+                budget,
+                ..
+            } => Some(budget.saturating_sub(*executed_steps)),
             _ => None,
         }
     }
@@ -266,6 +314,46 @@ mod tests {
         assert!(!Deadline::Steps(0).allows(0, 1));
         assert_eq!(Deadline::Steps(3).budget(), Some(3));
         assert_eq!(Deadline::None.budget(), None);
+    }
+
+    #[test]
+    fn expiry_carries_resume_identity_and_remaining_budget_math() {
+        let plan = {
+            use simd2::Backend;
+            use simd2_semiring::OpKind;
+            let a = Matrix::filled(16, 16, 1.0);
+            let c = Matrix::filled(16, 16, 0.0);
+            let mut be = simd2::TiledBackend::new();
+            let mut rec = simd2::PlanBuilder::over(&mut be);
+            rec.mmo(OpKind::PlusMul, &a, &a, &c).unwrap();
+            rec.finish()
+        };
+        let key = plan.cache_key();
+        // Policy-stopped: budget math still open, checkpoint attached.
+        let open = JobStatus::Expired {
+            executed_steps: 3,
+            budget: 10,
+            total_steps: 8,
+            resumed_from: 2,
+            checkpoint: Some(key),
+            resumable: true,
+        };
+        assert_eq!(open.label(), "expired");
+        assert_eq!(open.remaining_budget(), Some(7));
+        // Budget-exhausted: terminal expiry.
+        let spent = JobStatus::Expired {
+            executed_steps: 10,
+            budget: 10,
+            total_steps: 12,
+            resumed_from: 0,
+            checkpoint: None,
+            resumable: false,
+        };
+        assert_eq!(spent.remaining_budget(), Some(0));
+        let quarantined = JobStatus::Quarantined { key, trips: 3 };
+        assert_eq!(quarantined.label(), "quarantined");
+        assert!(quarantined.output().is_none());
+        assert_eq!(quarantined.remaining_budget(), None);
     }
 
     #[test]

@@ -26,14 +26,16 @@ use std::collections::VecDeque;
 
 use simd2::solve::ClosureAlgorithm;
 use simd2::{
-    Backend, Plan, PlanExecutor, RecoveryPolicy, RecoveryStats, ReplayProgress, ResilientBackend,
-    RetryBackoff, TiledBackend,
+    Backend, HaltedReplay, Plan, PlanCheckpoint, PlanExecutor, PlanKey, RecoveryPolicy,
+    RecoveryStats, ReplayProgress, ResilientBackend, RetryBackoff, TiledBackend,
 };
 use simd2_apps::{harness, AppKind};
 use simd2_fault::abft::AbftConfig;
+use simd2_semiring::simd::KernelIsa;
 use simd2_trace::{field, span, Tracer};
 
 use crate::admission::{plan_input_bytes, validate_plan, TenantLedger, TenantQuota};
+use crate::breaker::{Breaker, BreakerConfig};
 use crate::cache::{CacheStats, PlanCache};
 use crate::job::{Deadline, JobId, JobOutcome, JobPayload, JobSpec, JobStatus, Rejected, TenantId};
 
@@ -58,6 +60,16 @@ pub struct ServeConfig {
     /// (app expansion runs the generator and baseline at admission
     /// time, so it must be bounded).
     pub max_app_dimension: usize,
+    /// Per-tenant and per-plan circuit-breaker thresholds (disabled by
+    /// default).
+    pub breaker: BreakerConfig,
+    /// Wave-granular checkpoint/resume scheduling (disabled by
+    /// default). Arming this also disables the recovery layer's
+    /// in-place panic recovery: worker panics surface to the scheduler,
+    /// which checkpoints and resumes instead.
+    pub resume: ResumeConfig,
+    /// Degradation-ladder thresholds (disabled by default).
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ServeConfig {
@@ -70,8 +82,66 @@ impl Default for ServeConfig {
             abft: AbftConfig::default(),
             batched: false,
             max_app_dimension: 256,
+            breaker: BreakerConfig::default(),
+            resume: ResumeConfig::default(),
+            degrade: DegradeConfig::default(),
         }
     }
+}
+
+/// Checkpoint/resume scheduling policy.
+///
+/// With `max_resumes == 0` (the default) resume is disabled and the
+/// service discards partial work on expiry, exactly as before. Armed,
+/// a job halted by its deadline budget, the round quantum, or a worker
+/// panic is *suspended*: its [`PlanCheckpoint`] rides along on the
+/// queue entry, the job re-enqueues at the back of its tenant's queue,
+/// and a later scheduling round resumes it — completed waves are never
+/// re-executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResumeConfig {
+    /// Most plan steps one scheduling round may dispatch for a single
+    /// job (`0` = unlimited: the job runs until its deadline budget or
+    /// a failure stops it).
+    pub quantum: u64,
+    /// Most times one job may be suspended and resumed before the
+    /// scheduler gives up and lands a terminal status (`0` disables
+    /// resume entirely).
+    pub max_resumes: u64,
+}
+
+impl ResumeConfig {
+    /// Whether checkpoint/resume is armed.
+    pub fn armed(&self) -> bool {
+        self.max_resumes != 0
+    }
+}
+
+/// Degradation-ladder thresholds. Each rung fires at most once, for
+/// the life of the service, and emits a [`span::SERVE`] event when it
+/// does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// ABFT detections observed while the backend runs a vector kernel
+    /// tier after which the backend is pinned to the scalar kernel
+    /// (`0` disables the rung).
+    pub scalar_after_detections: u64,
+    /// Worker panics after which parallel dispatch is demoted to
+    /// sequential (`0` disables the rung).
+    pub sequential_after_panics: u64,
+}
+
+/// The degradation ladder's observable state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradeState {
+    /// Whether the scalar-kernel rung has fired.
+    pub scalar_pinned: bool,
+    /// Whether the sequential-dispatch rung has fired.
+    pub sequential: bool,
+    /// ABFT detections accumulated while a vector tier was active.
+    pub vector_detections: u64,
+    /// Worker panics accumulated toward the sequential rung.
+    pub panic_strikes: u64,
 }
 
 /// Per-tenant outcome counters, maintained by the scheduler and
@@ -99,8 +169,25 @@ pub struct TenantStats {
     pub recovered: u64,
     /// Completed jobs served from the plan cache.
     pub cache_hits: u64,
-    /// Plan steps actually dispatched for this tenant.
+    /// Plan steps actually dispatched for this tenant (each step
+    /// counted once, across the initial round and every resume).
     pub executed_steps: u64,
+    /// Scheduling rounds that suspended a job at a wave boundary with
+    /// its checkpoint kept.
+    pub suspended: u64,
+    /// Scheduling rounds that resumed a suspended job from its
+    /// checkpoint.
+    pub resumed: u64,
+    /// Circuit-breaker trips (tenant and plan breakers) caused by this
+    /// tenant's failures.
+    pub breaker_trips: u64,
+    /// Jobs refused by an open breaker without executing.
+    pub breaker_short_circuits: u64,
+    /// Jobs refused because their plan is quarantined.
+    pub quarantined: u64,
+    /// Fault-injector log entries dropped by ring-buffer overflow
+    /// while this tenant's jobs executed.
+    pub fault_log_dropped: u64,
 }
 
 impl TenantStats {
@@ -111,11 +198,12 @@ impl TenantStats {
 
     /// Jobs that reached a terminal status.
     pub fn terminal(&self) -> u64 {
-        self.completed + self.expired + self.failed
+        self.completed + self.expired + self.failed + self.quarantined
     }
 }
 
-/// One admitted, not-yet-executed job.
+/// One admitted job waiting for a scheduling round — fresh, or
+/// suspended mid-plan with its checkpoint riding along.
 #[derive(Clone, Debug)]
 struct QueuedJob {
     id: JobId,
@@ -123,6 +211,9 @@ struct QueuedJob {
     deadline: Deadline,
     steps: u64,
     bytes: u64,
+    /// Completed-wave state from a previous round (`None` until the
+    /// job's first suspension).
+    checkpoint: Option<PlanCheckpoint>,
 }
 
 /// Everything the service tracks per tenant.
@@ -132,6 +223,7 @@ struct TenantState {
     ledger: TenantLedger,
     queue: VecDeque<QueuedJob>,
     stats: TenantStats,
+    breaker: Breaker,
 }
 
 impl TenantState {
@@ -141,6 +233,7 @@ impl TenantState {
             ledger: TenantLedger::default(),
             queue: VecDeque::new(),
             stats: TenantStats::default(),
+            breaker: Breaker::new(),
         }
     }
 }
@@ -160,6 +253,9 @@ pub struct PlanService<B: Backend> {
     tenants: Vec<(TenantId, TenantState)>,
     cache: PlanCache,
     app_plans: HashMap<(AppKind, usize, u64), Plan>,
+    /// Per-plan circuit breakers (populated only when breakers are
+    /// armed; one entry per distinct executed plan).
+    plan_breakers: HashMap<PlanKey, Breaker>,
     outcomes: Vec<JobOutcome>,
     tracer: Tracer,
     next_job: u64,
@@ -167,18 +263,30 @@ pub struct PlanService<B: Backend> {
     max_queued_jobs: usize,
     max_app_dimension: usize,
     batched: bool,
+    breaker_config: BreakerConfig,
+    resume_config: ResumeConfig,
+    degrade_config: DegradeConfig,
+    degrade: DegradeState,
 }
 
 impl<B: Backend> PlanService<B> {
     /// Builds a service executing on `backend` under `config`.
     pub fn new(backend: B, config: ServeConfig) -> Self {
+        let mut backend = ResilientBackend::with_config(backend, config.policy, config.abft)
+            .with_backoff(config.backoff);
+        // With resume armed the scheduler owns panic handling: the
+        // recovery layer surfaces worker panics instead of re-running
+        // sequentially in place, so the halt lands a checkpoint.
+        if config.resume.armed() {
+            backend.set_recover_panics(false);
+        }
         Self {
-            backend: ResilientBackend::with_config(backend, config.policy, config.abft)
-                .with_backoff(config.backoff),
+            backend,
             recorder: TiledBackend::new(),
             tenants: Vec::new(),
             cache: PlanCache::new(config.cache_capacity),
             app_plans: HashMap::new(),
+            plan_breakers: HashMap::new(),
             outcomes: Vec::new(),
             tracer: Tracer::off(),
             next_job: 0,
@@ -186,6 +294,10 @@ impl<B: Backend> PlanService<B> {
             max_queued_jobs: config.max_queued_jobs,
             max_app_dimension: config.max_app_dimension,
             batched: config.batched,
+            breaker_config: config.breaker,
+            resume_config: config.resume,
+            degrade_config: config.degrade,
+            degrade: DegradeState::default(),
         }
     }
 
@@ -304,6 +416,7 @@ impl<B: Backend> PlanService<B> {
             deadline: spec.deadline,
             steps,
             bytes,
+            checkpoint: None,
         });
         self.queued_total += 1;
         Ok(id)
@@ -337,9 +450,11 @@ impl<B: Backend> PlanService<B> {
     /// Drains every tenant queue: each cycle visits tenants in
     /// registration order and executes up to `weight` jobs per tenant,
     /// so a weight-2 tenant drains twice as fast as a weight-1 tenant
-    /// under contention. Returns the number of jobs executed. Every
-    /// executed job lands one [`JobOutcome`] — deterministically, in
-    /// scheduling order.
+    /// under contention. Returns the number of scheduling rounds
+    /// executed (with resume disabled, exactly the number of jobs).
+    /// Every admitted job lands one [`JobOutcome`] — deterministically,
+    /// in scheduling order; suspended jobs re-enter the back of their
+    /// tenant's queue and finish in a later cycle.
     pub fn run_until_idle(&mut self) -> usize {
         let mut executed = 0;
         loop {
@@ -361,8 +476,10 @@ impl<B: Backend> PlanService<B> {
         }
     }
 
-    /// Executes one job to its terminal status.
-    fn execute(&mut self, idx: usize, job: QueuedJob) {
+    /// Executes one scheduling round of `job`: either to a terminal
+    /// status, or to a wave-boundary suspension that re-enqueues the
+    /// job with its checkpoint.
+    fn execute(&mut self, idx: usize, mut job: QueuedJob) {
         let tenant = self.tenants[idx].0;
         {
             let ledger = &mut self.tenants[idx].1.ledger;
@@ -372,73 +489,234 @@ impl<B: Backend> PlanService<B> {
         self.queued_total -= 1;
         let total_steps = job.plan.step_count() as u64;
         let key = job.plan.cache_key();
-        let status = if let Some(output) = self.cache.get(&key) {
-            JobStatus::Completed {
+
+        if self.breaker_config.armed() {
+            if let Some(status) = self.breaker_gate(idx, job.id, key) {
+                self.finish(idx, &job, key, 0, status, false);
+                return;
+            }
+        }
+
+        let resumed_round = job.checkpoint.is_some();
+        if resumed_round {
+            self.tenants[idx].1.stats.resumed += 1;
+            self.emit_stage("resumed", tenant, Some(job.id));
+        } else if let Some(output) = self.cache.get(&key) {
+            let status = JobStatus::Completed {
                 output,
                 cache_hit: true,
                 recovered: false,
                 executed_steps: 0,
-            }
-        } else {
-            let before = self.backend.recovery_stats();
-            let deadline = job.deadline;
-            let mut control = |p: ReplayProgress| {
-                if deadline.allows(p.completed_steps as u64, p.pending_steps as u64) {
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "deadline: step budget {}",
-                        deadline.budget().unwrap_or(0)
-                    ))
-                }
             };
-            let executor = if self.batched {
-                PlanExecutor::batched()
-            } else {
-                PlanExecutor::new()
+            self.finish(idx, &job, key, 0, status, false);
+            return;
+        }
+
+        let before = self.backend.recovery_stats();
+        let dropped_before = self.backend.fault_log_dropped();
+        let base = job
+            .checkpoint
+            .as_ref()
+            .map_or(0, |c| c.completed_steps() as u64);
+        let deadline = job.deadline;
+        let quantum = self.resume_config.quantum;
+        let mut control = |p: ReplayProgress| {
+            let done = p.completed_steps as u64;
+            let pending = p.pending_steps as u64;
+            if !deadline.allows(done, pending) {
+                return Err(format!(
+                    "deadline: step budget {}",
+                    deadline.budget().unwrap_or(0)
+                ));
             }
-            .with_tracer(self.tracer.clone());
-            match executor.run_controlled(&job.plan, &mut self.backend, &mut control) {
-                Ok(replay) => {
-                    let after = self.backend.recovery_stats();
-                    let recovered = after.retry_successes != before.retry_successes
-                        || after.panic_recoveries != before.panic_recoveries
-                        || after.fallbacks != before.fallbacks;
-                    let output = replay
-                        .into_final_output()
-                        .expect("admitted plans are non-empty");
-                    self.cache.insert(key, output.clone());
-                    JobStatus::Completed {
-                        output,
-                        cache_hit: false,
-                        recovered,
-                        executed_steps: total_steps,
-                    }
-                }
-                Err(err) if err.is_cancelled() => JobStatus::Expired {
-                    executed_steps: err.completed_steps as u64,
-                    budget: job.deadline.budget().unwrap_or(0),
-                    total_steps,
-                },
-                Err(err) => JobStatus::Failed {
-                    step: err.step,
-                    executed_steps: err.completed_steps as u64,
-                    error: err
-                        .backend_error()
-                        .map(ToString::to_string)
-                        .unwrap_or_default(),
-                },
+            if quantum != 0 && done - base + pending > quantum {
+                return Err(format!("quantum: round budget {quantum}"));
             }
+            Ok(())
         };
-        let executed_steps = match &status {
-            JobStatus::Completed { executed_steps, .. }
-            | JobStatus::Expired { executed_steps, .. }
-            | JobStatus::Failed { executed_steps, .. } => *executed_steps,
+        let executor = if self.batched {
+            PlanExecutor::batched()
+        } else {
+            PlanExecutor::new()
+        }
+        .with_tracer(self.tracer.clone());
+        let result = match job.checkpoint.take() {
+            Some(cp) => executor.resume_from(&job.plan, cp, &mut self.backend, &mut control),
+            None => executor.run_resumable(&job.plan, &mut self.backend, &mut control),
         };
+        let after = self.backend.recovery_stats();
+        self.tenants[idx].1.stats.fault_log_dropped +=
+            self.backend.fault_log_dropped() - dropped_before;
+        self.feed_degradation(tenant, job.id, &before, &after);
+
+        match result {
+            Ok(replay) => {
+                let recovered = after.retry_successes != before.retry_successes
+                    || after.panic_recoveries != before.panic_recoveries
+                    || after.fallbacks != before.fallbacks;
+                let output = replay
+                    .into_final_output()
+                    .expect("admitted plans are non-empty");
+                self.cache.insert(key, output.clone());
+                let status = JobStatus::Completed {
+                    output,
+                    cache_hit: false,
+                    recovered,
+                    executed_steps: total_steps,
+                };
+                self.finish(idx, &job, key, total_steps - base, status, true);
+            }
+            Err(halted) => self.finish_halted(idx, job, key, base, *halted),
+        }
+    }
+
+    /// The pre-execution breaker gate: quarantine first, then the plan
+    /// breaker, then the tenant breaker. Returns the terminal status
+    /// that short-circuits the job, or `None` to let it execute.
+    fn breaker_gate(&mut self, idx: usize, job_id: JobId, key: PlanKey) -> Option<JobStatus> {
+        let cfg = self.breaker_config;
+        let tenant = self.tenants[idx].0;
+        if let Some(b) = self.plan_breakers.get(&key) {
+            if b.quarantined(&cfg) {
+                return Some(JobStatus::Quarantined {
+                    key,
+                    trips: b.trips(),
+                });
+            }
+        }
+        if !self.plan_breakers.entry(key).or_default().admit(&cfg) {
+            self.tenants[idx].1.stats.breaker_short_circuits += 1;
+            self.emit_stage("breaker_short_circuit", tenant, Some(job_id));
+            return Some(JobStatus::Failed {
+                step: 0,
+                executed_steps: 0,
+                error: format!("circuit breaker open for plan {key:?}"),
+            });
+        }
+        if !self.tenants[idx].1.breaker.admit(&cfg) {
+            self.tenants[idx].1.stats.breaker_short_circuits += 1;
+            self.emit_stage("breaker_short_circuit", tenant, Some(job_id));
+            return Some(JobStatus::Failed {
+                step: 0,
+                executed_steps: 0,
+                error: format!("circuit breaker open for {tenant}"),
+            });
+        }
+        None
+    }
+
+    /// Lands a halted round: a wave-boundary suspension (checkpoint
+    /// kept, job re-enqueued) when the resume policy allows, otherwise
+    /// a terminal expiry or failure carrying exact resume accounting.
+    fn finish_halted(
+        &mut self,
+        idx: usize,
+        job: QueuedJob,
+        key: PlanKey,
+        base: u64,
+        halted: HaltedReplay,
+    ) {
+        let HaltedReplay { error, checkpoint } = halted;
+        let done = checkpoint.completed_steps() as u64;
+        let round_executed = done - base;
+        let resumes = checkpoint.resumes();
+        let total_steps = checkpoint.total_steps() as u64;
+        let budget = job.deadline.budget();
+        let resume_armed = self.resume_config.armed();
+        let resumes_left = resumes < self.resume_config.max_resumes;
+        if error.is_cancelled() {
+            // Deadline or round-quantum halt at a step boundary. The
+            // `round_executed > 0` guard keeps a quantum smaller than
+            // the next dispatch from suspending forever.
+            let budget_open = budget.is_none_or(|b| b > done);
+            if resume_armed && budget_open && round_executed > 0 && resumes_left {
+                self.suspend(idx, job, checkpoint, round_executed);
+                return;
+            }
+            let status = JobStatus::Expired {
+                executed_steps: done,
+                budget: budget.unwrap_or(0),
+                total_steps,
+                resumed_from: resumes,
+                checkpoint: resume_armed.then_some(key),
+                resumable: resume_armed && budget_open,
+            };
+            self.finish(idx, &job, key, round_executed, status, true);
+        } else {
+            // A backend failure. Worker panics (surfaced because resume
+            // arms `recover_panics = false`) suspend and retry in a
+            // later round — the degradation ladder makes those retries
+            // converge; everything else is terminal.
+            let panicked = error
+                .backend_error()
+                .is_some_and(simd2::BackendError::is_worker_panic);
+            if resume_armed && panicked && resumes_left {
+                self.suspend(idx, job, checkpoint, round_executed);
+                return;
+            }
+            let status = JobStatus::Failed {
+                step: error.step,
+                executed_steps: done,
+                error: error
+                    .backend_error()
+                    .map(ToString::to_string)
+                    .unwrap_or_default(),
+            };
+            self.finish(idx, &job, key, round_executed, status, true);
+        }
+    }
+
+    /// Re-enqueues a halted job at the back of its tenant's queue with
+    /// its checkpoint riding along: completed waves are never
+    /// re-executed.
+    fn suspend(
+        &mut self,
+        idx: usize,
+        mut job: QueuedJob,
+        checkpoint: PlanCheckpoint,
+        round_executed: u64,
+    ) {
+        let tenant = self.tenants[idx].0;
+        job.checkpoint = Some(checkpoint);
+        {
+            let state = &mut self.tenants[idx].1;
+            state.stats.suspended += 1;
+            state.stats.executed_steps += round_executed;
+            state.ledger.queued_steps += job.steps;
+            state.ledger.queued_bytes += job.bytes;
+        }
+        self.queued_total += 1;
+        self.tracer.instant(
+            span::SERVE,
+            &[
+                field("stage", "suspended"),
+                field("tenant", tenant.0),
+                field("job", job.id.0),
+                field("executed_steps", round_executed),
+            ],
+        );
+        self.tenants[idx].1.queue.push_back(job);
+    }
+
+    /// Lands a terminal status: stats, breaker recording (for statuses
+    /// that actually `executed`), telemetry, ledger release, and the
+    /// outcome record. The telemetry event carries this *round's*
+    /// dispatched steps, so event sums stay equal to
+    /// [`TenantStats::executed_steps`] across suspensions.
+    fn finish(
+        &mut self,
+        idx: usize,
+        job: &QueuedJob,
+        key: PlanKey,
+        round_executed: u64,
+        status: JobStatus,
+        executed: bool,
+    ) {
+        let tenant = self.tenants[idx].0;
         {
             let state = &mut self.tenants[idx].1;
             state.ledger.in_flight -= 1;
-            state.stats.executed_steps += executed_steps;
+            state.stats.executed_steps += round_executed;
             match &status {
                 JobStatus::Completed {
                     cache_hit,
@@ -455,7 +733,11 @@ impl<B: Backend> PlanService<B> {
                 }
                 JobStatus::Expired { .. } => state.stats.expired += 1,
                 JobStatus::Failed { .. } => state.stats.failed += 1,
+                JobStatus::Quarantined { .. } => state.stats.quarantined += 1,
             }
+        }
+        if executed {
+            self.record_breakers(idx, job.id, key, &status);
         }
         self.tracer.instant(
             span::SERVE,
@@ -463,7 +745,7 @@ impl<B: Backend> PlanService<B> {
                 field("stage", status.label()),
                 field("tenant", tenant.0),
                 field("job", job.id.0),
-                field("executed_steps", executed_steps),
+                field("executed_steps", round_executed),
             ],
         );
         if let JobStatus::Completed {
@@ -484,6 +766,81 @@ impl<B: Backend> PlanService<B> {
             job: job.id,
             status,
         });
+    }
+
+    /// Feeds an executed job's terminal outcome to its tenant and plan
+    /// breakers. Short-circuited and cache-hit jobs never reach here —
+    /// they executed nothing. Expiry and suspension count as neither
+    /// success nor failure.
+    fn record_breakers(&mut self, idx: usize, job_id: JobId, key: PlanKey, status: &JobStatus) {
+        if !self.breaker_config.armed() {
+            return;
+        }
+        let cfg = self.breaker_config;
+        let tenant = self.tenants[idx].0;
+        match status {
+            JobStatus::Completed { .. } => {
+                self.tenants[idx].1.breaker.record_success();
+                if let Some(b) = self.plan_breakers.get_mut(&key) {
+                    b.record_success();
+                }
+            }
+            JobStatus::Failed { .. } => {
+                let mut trips = 0u64;
+                if self.tenants[idx].1.breaker.record_failure(&cfg) {
+                    trips += 1;
+                }
+                if self
+                    .plan_breakers
+                    .entry(key)
+                    .or_default()
+                    .record_failure(&cfg)
+                {
+                    trips += 1;
+                }
+                for _ in 0..trips {
+                    self.tenants[idx].1.stats.breaker_trips += 1;
+                    self.emit_stage("breaker_trip", tenant, Some(job_id));
+                }
+            }
+            JobStatus::Expired { .. } | JobStatus::Quarantined { .. } => {}
+        }
+    }
+
+    /// Advances the degradation ladder from one round's recovery-stat
+    /// deltas: ABFT detections observed while a vector kernel tier is
+    /// active pin the backend to the scalar kernel; worker panics
+    /// demote parallel dispatch to sequential. Each rung fires at most
+    /// once and emits a [`span::SERVE`] event.
+    fn feed_degradation(
+        &mut self,
+        tenant: TenantId,
+        job: JobId,
+        before: &RecoveryStats,
+        after: &RecoveryStats,
+    ) {
+        let cfg = self.degrade_config;
+        if cfg.scalar_after_detections != 0
+            && !self.degrade.scalar_pinned
+            && self.backend.kernel_isa() != KernelIsa::Scalar
+        {
+            self.degrade.vector_detections += after.detections - before.detections;
+            if self.degrade.vector_detections >= cfg.scalar_after_detections
+                && self.backend.pin_kernel_isa(KernelIsa::Scalar)
+            {
+                self.degrade.scalar_pinned = true;
+                self.emit_stage("degraded_scalar", tenant, Some(job));
+            }
+        }
+        if cfg.sequential_after_panics != 0 && !self.degrade.sequential {
+            self.degrade.panic_strikes += after.worker_panics - before.worker_panics;
+            if self.degrade.panic_strikes >= cfg.sequential_after_panics
+                && self.backend.force_sequential()
+            {
+                self.degrade.sequential = true;
+                self.emit_stage("degraded_sequential", tenant, Some(job));
+            }
+        }
     }
 
     /// Drains the accumulated terminal outcomes, in execution order.
@@ -526,6 +883,35 @@ impl<B: Backend> PlanService<B> {
     /// install fault injectors in chaos tests).
     pub fn resilient_mut(&mut self) -> &mut ResilientBackend<B> {
         &mut self.backend
+    }
+
+    /// A tenant's circuit breaker (`None` if unregistered).
+    pub fn tenant_breaker(&self, tenant: TenantId) -> Option<Breaker> {
+        self.tenant_index(tenant).map(|i| self.tenants[i].1.breaker)
+    }
+
+    /// A plan's circuit breaker (`None` until the plan first executes
+    /// with breakers armed).
+    pub fn plan_breaker(&self, key: PlanKey) -> Option<Breaker> {
+        self.plan_breakers.get(&key).copied()
+    }
+
+    /// Whether `key`'s plan has tripped its breaker into quarantine.
+    pub fn plan_quarantined(&self, key: PlanKey) -> bool {
+        self.plan_breakers
+            .get(&key)
+            .is_some_and(|b| b.quarantined(&self.breaker_config))
+    }
+
+    /// The degradation ladder's current state.
+    pub fn degrade_state(&self) -> DegradeState {
+        self.degrade
+    }
+
+    /// Fault-injector log entries dropped by ring-buffer overflow on
+    /// the shared backend (`0` when no injector is installed).
+    pub fn fault_log_dropped(&self) -> u64 {
+        self.backend.fault_log_dropped()
     }
 }
 
@@ -708,20 +1094,29 @@ mod tests {
         .unwrap();
         assert_eq!(svc.run_until_idle(), 3);
         let outcomes = svc.take_outcomes();
+        // With resume disabled, expiry is terminal: no checkpoint, no
+        // resumability, zero resumes.
         assert!(matches!(
             outcomes[0].status,
             JobStatus::Expired {
                 executed_steps: 1,
                 budget: 1,
-                total_steps: 3
+                total_steps: 3,
+                resumed_from: 0,
+                checkpoint: None,
+                resumable: false,
             }
         ));
+        assert_eq!(outcomes[0].status.remaining_budget(), Some(0));
         assert!(matches!(
             outcomes[1].status,
             JobStatus::Expired {
                 executed_steps: 0,
                 budget: 0,
-                total_steps: 3
+                total_steps: 3,
+                resumed_from: 0,
+                checkpoint: None,
+                resumable: false,
             }
         ));
         assert!(matches!(
@@ -942,6 +1337,310 @@ mod tests {
         assert_eq!(svc.tenant_stats(chaos).unwrap().recovered, 1);
         assert_eq!(svc.tenant_stats(calm).unwrap().recovered, 0);
         assert!(svc.recovery_stats().panic_recoveries >= 1);
+    }
+
+    #[test]
+    fn suspended_jobs_resume_bit_identically_without_reexecuting_waves() {
+        let config = ServeConfig {
+            resume: ResumeConfig {
+                quantum: 1,
+                max_resumes: 8,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(TiledBackend::new(), config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan = chain_plan(3, 16, 9.0);
+        let want = clean_output(&plan);
+        svc.submit(t, JobSpec::plan(plan)).unwrap();
+        // One job, quantum 1: three rounds (run, resume, resume).
+        assert_eq!(svc.run_until_idle(), 3);
+        let outcomes = svc.take_outcomes();
+        assert_eq!(outcomes.len(), 1, "suspensions land no outcome");
+        let JobStatus::Completed {
+            output,
+            executed_steps,
+            recovered,
+            cache_hit,
+        } = &outcomes[0].status
+        else {
+            panic!("resumed job must complete, got {:?}", outcomes[0].status);
+        };
+        assert!(!recovered && !cache_hit);
+        assert_eq!(*executed_steps, 3);
+        assert_bit_identical(output, &want);
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!((stats.suspended, stats.resumed), (2, 2));
+        assert_eq!(stats.executed_steps, 3, "each step counted exactly once");
+        // Counter-verified: completed waves were never re-dispatched.
+        assert_eq!(Backend::op_count(svc.resilient()).matrix_mmos, 3);
+        assert_eq!(svc.tenant_ledger(t).unwrap(), TenantLedger::default());
+    }
+
+    #[test]
+    fn deadline_budget_spreads_across_resumed_rounds_with_exact_accounting() {
+        let config = ServeConfig {
+            resume: ResumeConfig {
+                quantum: 1,
+                max_resumes: 8,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(TiledBackend::new(), config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan = chain_plan(3, 16, 10.0);
+        let key = plan.cache_key();
+        svc.submit(t, JobSpec::plan(plan).with_deadline(Deadline::Steps(2)))
+            .unwrap();
+        svc.run_until_idle();
+        let outcomes = svc.take_outcomes();
+        // Two one-step rounds spend the budget of 2; the third step
+        // would exceed it: terminal expiry, budget genuinely spent.
+        let JobStatus::Expired {
+            executed_steps,
+            budget,
+            total_steps,
+            resumed_from,
+            checkpoint,
+            resumable,
+        } = &outcomes[0].status
+        else {
+            panic!("expected expiry, got {:?}", outcomes[0].status);
+        };
+        assert_eq!(
+            (*executed_steps, *budget, *total_steps, *resumed_from),
+            (2, 2, 3, 1)
+        );
+        assert_eq!(*checkpoint, Some(key));
+        assert!(!resumable, "budget exhausted: expired, terminal");
+        assert_eq!(outcomes[0].status.remaining_budget(), Some(0));
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!((stats.suspended, stats.resumed, stats.expired), (1, 1, 1));
+        assert_eq!(stats.executed_steps, 2);
+    }
+
+    #[test]
+    fn resume_cap_expires_with_open_budget_as_resumable() {
+        // quantum 1 over a 4-step plan with max_resumes 1: round 0
+        // suspends, round 1 (the only allowed resume) halts again with
+        // budget math still open — expired, resumable.
+        let config = ServeConfig {
+            resume: ResumeConfig {
+                quantum: 1,
+                max_resumes: 1,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(TiledBackend::new(), config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan = chain_plan(4, 16, 11.0);
+        let key = plan.cache_key();
+        svc.submit(t, JobSpec::plan(plan)).unwrap();
+        svc.run_until_idle();
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Expired {
+            executed_steps,
+            total_steps,
+            resumed_from,
+            checkpoint,
+            resumable,
+            ..
+        } = &outcomes[0].status
+        else {
+            panic!("expected expiry, got {:?}", outcomes[0].status);
+        };
+        assert_eq!((*executed_steps, *total_steps, *resumed_from), (2, 4, 1));
+        assert_eq!(*checkpoint, Some(key));
+        assert!(resumable, "resume cap, not budget: expired, resumable");
+    }
+
+    #[test]
+    fn worker_panics_checkpoint_and_the_ladder_demotes_to_sequential() {
+        let mut inner = TiledBackend::with_unit(PanicProbeUnit::new(Simd2Unit::new(), 1));
+        inner.set_parallelism(Parallelism::Threads(3));
+        let config = ServeConfig {
+            resume: ResumeConfig {
+                quantum: 0,
+                max_resumes: 4,
+            },
+            degrade: DegradeConfig {
+                scalar_after_detections: 0,
+                sequential_after_panics: 2,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(inner, config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let tall = chain_plan(2, 48, 12.0);
+        let want = clean_output(&tall);
+        svc.submit(t, JobSpec::plan(tall)).unwrap();
+        svc.run_until_idle();
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Completed { output, .. } = &outcomes[0].status else {
+            panic!(
+                "panicked job must complete after demotion, got {:?}",
+                outcomes[0].status
+            );
+        };
+        assert_bit_identical(output, &want);
+        // Two panic rounds strike the sequential rung, then the
+        // demoted resume finishes the plan.
+        let degrade = svc.degrade_state();
+        assert!(degrade.sequential);
+        assert_eq!(degrade.panic_strikes, 2);
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!((stats.suspended, stats.resumed), (2, 2));
+        assert_eq!(stats.executed_steps, 2);
+        let recovery = svc.recovery_stats();
+        assert_eq!(recovery.worker_panics, 2);
+        assert_eq!(
+            recovery.panic_recoveries, 0,
+            "resume owns panic handling: no in-place sequential recovery"
+        );
+    }
+
+    #[test]
+    fn persistent_failures_trip_breakers_and_quarantine_the_plan() {
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        // Full-rate persistent faults doom every execution.
+        let fault = FaultPlan::new(FaultPlanConfig::new(5).with_transient_nan_ppm(1_000_000));
+        let inner = TiledBackend::with_unit(FaultySimd2Unit::new(
+            Simd2Unit::new(),
+            PlannedInjector::new(fault),
+        ));
+        let config = ServeConfig {
+            policy: RecoveryPolicy::Retry { attempts: 2 },
+            abft: AbftConfig {
+                witness_samples: usize::MAX,
+                ..AbftConfig::default()
+            },
+            breaker: crate::BreakerConfig {
+                trip_after: 2,
+                cooldown: 1,
+                quarantine_after: 2,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(inner, config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let doomed = chain_plan(1, 16, 13.0);
+        let key = doomed.cache_key();
+        for _ in 0..6 {
+            svc.submit(t, JobSpec::plan(doomed.clone())).unwrap();
+        }
+        svc.run_until_idle();
+        let outcomes = svc.take_outcomes();
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.status.label()).collect();
+        // 2 real failures trip both breakers; the plan breaker then the
+        // tenant breaker each absorb one short-circuit (cooldown 1);
+        // the half-open probe fails, re-tripping both — the plan's 2nd
+        // trip quarantines it.
+        assert_eq!(
+            labels,
+            vec![
+                "failed",
+                "failed",
+                "failed",
+                "failed",
+                "failed",
+                "quarantined"
+            ]
+        );
+        let short_circuit = |s: &JobStatus| match s {
+            JobStatus::Failed { error, .. } => error.contains("circuit breaker open"),
+            _ => false,
+        };
+        assert!(!short_circuit(&outcomes[0].status));
+        assert!(!short_circuit(&outcomes[1].status));
+        assert!(short_circuit(&outcomes[2].status), "plan breaker open");
+        assert!(short_circuit(&outcomes[3].status), "tenant breaker open");
+        assert!(!short_circuit(&outcomes[4].status), "half-open probe ran");
+        assert!(matches!(
+            outcomes[5].status,
+            JobStatus::Quarantined { trips: 2, key: k } if k == key
+        ));
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!(stats.failed, 5);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.breaker_short_circuits, 2);
+        assert_eq!(stats.breaker_trips, 4, "two trips on each breaker");
+        assert_eq!(stats.terminal(), 6);
+        assert!(svc.plan_quarantined(key));
+        assert_eq!(svc.plan_breaker(key).unwrap().trips(), 2);
+        assert_eq!(svc.tenant_breaker(t).unwrap().trips(), 2);
+    }
+
+    #[test]
+    fn repeated_detections_pin_the_kernel_to_scalar_on_vector_hosts() {
+        use simd2_fault::MmoUnit;
+        use simd2_fault::{FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector};
+        use simd2_semiring::simd::KernelIsa;
+        // Vector-tier-only injection: every attempt is corrupted while
+        // a vector kernel runs, and the injector disarms the moment the
+        // ladder pins the scalar kernel.
+        let fault = FaultPlan::new(FaultPlanConfig::new(7).with_transient_nan_ppm(1_000_000));
+        let unit = FaultySimd2Unit::new(Simd2Unit::new(), PlannedInjector::new(fault))
+            .with_vector_only(true);
+        let vector_host = unit.kernel_isa() != KernelIsa::Scalar;
+        let inner = TiledBackend::with_unit(unit);
+        let config = ServeConfig {
+            policy: RecoveryPolicy::Retry { attempts: 2 },
+            abft: AbftConfig {
+                witness_samples: usize::MAX,
+                ..AbftConfig::default()
+            },
+            degrade: DegradeConfig {
+                scalar_after_detections: 1,
+                sequential_after_panics: 0,
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = PlanService::new(inner, config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        let plan_a = chain_plan(1, 16, 14.0);
+        let plan_b = chain_plan(1, 16, 15.0);
+        let want_b = clean_output(&plan_b);
+        svc.submit(t, JobSpec::plan(plan_a)).unwrap();
+        svc.submit(t, JobSpec::plan(plan_b)).unwrap();
+        svc.run_until_idle();
+        let outcomes = svc.take_outcomes();
+        let detections = svc.recovery_stats().detections;
+        if vector_host {
+            // Job 1 fails under full-rate vector corruption; its
+            // detections fire the scalar rung, so job 2 runs clean on
+            // the pinned scalar kernel.
+            assert_eq!(outcomes[0].status.label(), "failed");
+            assert!(svc.degrade_state().scalar_pinned);
+            assert!(detections >= 1);
+            assert_eq!(
+                Backend::kernel_isa(svc.resilient()),
+                KernelIsa::Scalar,
+                "backend pinned to the scalar kernel"
+            );
+        } else {
+            // Scalar host (e.g. SIMD2_FORCE_SCALAR=1): the vector-only
+            // injector never arms, nothing degrades.
+            assert_eq!(outcomes[0].status.label(), "completed");
+            assert!(!svc.degrade_state().scalar_pinned);
+            assert_eq!(detections, 0);
+        }
+        let JobStatus::Completed {
+            output, recovered, ..
+        } = &outcomes[1].status
+        else {
+            panic!(
+                "job after the pin must complete, got {:?}",
+                outcomes[1].status
+            );
+        };
+        assert!(!recovered, "no retries needed once disarmed");
+        assert_bit_identical(output, &want_b);
     }
 
     #[test]

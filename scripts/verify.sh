@@ -60,3 +60,16 @@ fi
 if [ "${SIMD2_SERVE_SMOKE:-0}" = "1" ]; then
   cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 5 --seed 2022
 fi
+
+# Optional: resilience smoke — checkpoint/resume bit-identity at every
+# wave boundary (proptest), then a short seeded serve-soak slice whose
+# chaos modes exercise suspend/resume accounting, circuit-breaker
+# determinism, plan quarantine, and the degradation ladder — run on
+# both kernel-dispatch legs (the host's detected vector tier and
+# SIMD2_FORCE_SCALAR=1). Enable with
+#   SIMD2_RESILIENCE_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_RESILIENCE_SMOKE:-0}" = "1" ]; then
+  cargo test -q -p simd2 --test proptest_checkpoint
+  cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 4 --seed 7
+  SIMD2_FORCE_SCALAR=1 cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 4 --seed 7
+fi
