@@ -12,20 +12,51 @@
 //! 3. the replayed tile-MMO count equals the plan's static
 //!    [`predicted_op_count`](simd2::Plan::predicted_op_count);
 //! 4. the fp32 [`ReferenceBackend`] and the instruction-level
-//!    [`IsaBackend`] lower the same plan without error.
+//!    [`IsaBackend`] lower the same plan without error;
+//! 5. the standard pass pipeline's optimized plan replays bit-identically
+//!    to the unoptimized sequential replay for *every* original step
+//!    (read back through the [`OptimizedPlan`] remap), and the table
+//!    reports steps before/after plus per-app merged/eliminated counts.
 //!
 //! Run via `SIMD2_PLAN_SMOKE=1 scripts/verify.sh` (or directly).
 
 use simd2::backend::{Backend, IsaBackend, ReferenceBackend, TiledBackend};
 use simd2::solve::ClosureAlgorithm;
-use simd2::{Parallelism, PlanExecutor};
+use simd2::{OptimizedPlan, Parallelism, PassPipeline, PlanExecutor};
 use simd2_apps::{harness, AppKind, AppRun};
 use simd2_bench::Table;
 
 const N: usize = 48;
 const SEED: u64 = 42;
 
-fn check_app(app: AppKind) -> (AppRun, usize, u64) {
+/// Runs the standard pipeline over the app's recorded plan and proves
+/// the optimized replay reproduces every original step's bits through
+/// the remap.
+fn check_pipeline(app: AppKind, run: &AppRun, seq: &simd2::Replay) -> OptimizedPlan {
+    let optimized = PassPipeline::standard().run(run.plan.clone());
+    let mut opt_be = TiledBackend::new();
+    let opt = PlanExecutor::new()
+        .run_optimized(&optimized, &mut opt_be)
+        .expect("optimized replay");
+    assert_eq!(
+        opt_be.op_count(),
+        optimized.plan().predicted_op_count(),
+        "{app:?}: optimized replay work"
+    );
+    for step in 0..run.plan.step_count() {
+        let got = optimized
+            .step_output(&opt, step)
+            .unwrap_or_else(|| panic!("{app:?}: step {step} unreachable after optimization"));
+        assert_eq!(
+            got,
+            seq.step_output(step),
+            "{app:?}: optimized replay diverged at step {step}"
+        );
+    }
+    optimized
+}
+
+fn check_app(app: AppKind) -> (AppRun, usize, u64, OptimizedPlan) {
     let mut rec_be = TiledBackend::new();
     let run = harness::run_app(&mut rec_be, app, N, SEED, ClosureAlgorithm::Leyzorek, true);
     assert!(run.passed(), "{app:?}: diff {} out of tolerance", run.diff);
@@ -73,20 +104,36 @@ fn check_app(app: AppKind) -> (AppRun, usize, u64) {
         .run(&run.plan, &mut IsaBackend::new())
         .expect("isa replay");
 
+    let optimized = check_pipeline(app, &run, &seq);
+
     let waves = run.plan.waves().len();
-    (run, waves, predicted.tile_mmos)
+    (run, waves, predicted.tile_mmos, optimized)
 }
 
 fn main() {
     let mut t = Table::new(
-        format!("Plan smoke at n = {N}: record once, replay everywhere"),
-        &["app", "steps", "waves", "tile mmos", "diff", "verdict"],
+        format!("Plan smoke at n = {N}: record once, optimize, replay everywhere"),
+        &[
+            "app",
+            "steps",
+            "opt",
+            "merged",
+            "elim",
+            "waves",
+            "tile mmos",
+            "diff",
+            "verdict",
+        ],
     );
     for app in AppKind::all() {
-        let (run, waves, tile_mmos) = check_app(app);
+        let (run, waves, tile_mmos, optimized) = check_app(app);
+        let report = optimized.report();
         t.row(&[
             app.spec().label.to_owned(),
-            run.plan.step_count().to_string(),
+            report.steps_before.to_string(),
+            report.steps_after.to_string(),
+            report.steps_merged.to_string(),
+            report.steps_eliminated.to_string(),
             waves.to_string(),
             tile_mmos.to_string(),
             format!("{:.3e}", run.diff),

@@ -28,7 +28,7 @@
 
 use std::time::Instant;
 
-use simd2::{Backend, Parallelism, Plan, PlanBuilder, PlanExecutor, TiledBackend};
+use simd2::{Backend, Parallelism, PassPipeline, Plan, PlanBuilder, PlanExecutor, TiledBackend};
 use simd2_bench::{report::fmt_speedup, Table};
 use simd2_matrix::tiling::TileGrid;
 use simd2_matrix::{gen, tiling, Matrix, Tile, ISA_TILE};
@@ -239,6 +239,81 @@ fn plan_batch_sweep(quick: bool, thread_counts: &[usize], reps: usize) {
     t.print();
 }
 
+/// Pass-pipeline replay speedup: records every op's MMO *twice* (a
+/// duplicated instruction stream, the shape a naive recording loop
+/// produces), lets the standard pipeline CSE the duplicates away, and
+/// times unoptimized vs optimized sequential replay. Every original
+/// step's output — including the merged duplicates — is asserted
+/// bit-identical through the [`OptimizedPlan`](simd2::OptimizedPlan)
+/// remap, so the speedup row is also an end-to-end equivalence check.
+fn pass_pipeline_sweep(quick: bool, reps: usize) {
+    let n = if quick { 96 } else { 256 };
+    let plan = Plan::merge(ALL_OPS.iter().map(|&op| {
+        let (a, b, c) = operands(op, n, n, n);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(op, &a, &b, &c).expect("recording mmo");
+        rec.mmo(op, &a, &b, &c).expect("recording duplicate mmo");
+        rec.finish()
+    }));
+    let optimized = PassPipeline::standard().run(plan.clone());
+    let report = optimized.report().clone();
+    assert_eq!(report.steps_before, 2 * ALL_OPS.len());
+    assert_eq!(report.steps_merged, ALL_OPS.len());
+    assert_eq!(report.steps_after, ALL_OPS.len());
+
+    let seq = PlanExecutor::new()
+        .run(&plan, &mut TiledBackend::new())
+        .expect("unoptimized replay");
+    let mut opt_be = TiledBackend::new();
+    let opt = PlanExecutor::new()
+        .run_optimized(&optimized, &mut opt_be)
+        .expect("optimized replay");
+    assert_eq!(
+        opt_be.op_count(),
+        optimized.plan().predicted_op_count(),
+        "optimized replay work"
+    );
+    for step in 0..plan.step_count() {
+        assert_eq!(
+            optimized.step_output(&opt, step),
+            Some(seq.step_output(step)),
+            "optimized replay diverged at original step {step}"
+        );
+    }
+
+    let base_s = time_best(reps, || {
+        PlanExecutor::new()
+            .run(&plan, &mut TiledBackend::new())
+            .expect("unoptimized replay")
+    });
+    let opt_s = time_best(reps, || {
+        PlanExecutor::new()
+            .run_optimized(&optimized, &mut TiledBackend::new())
+            .expect("optimized replay")
+    });
+
+    let mut t = Table::new(
+        format!("Pass-pipeline replay: duplicated {n}x{n} op stream, CSE'd"),
+        &["plan", "steps", "merged", "seconds", "replay speedup"],
+    );
+    t.row(&[
+        "recorded".to_owned(),
+        report.steps_before.to_string(),
+        "-".to_owned(),
+        format!("{base_s:.4}"),
+        fmt_speedup(1.0),
+    ]);
+    t.row(&[
+        "optimized".to_owned(),
+        report.steps_after.to_string(),
+        report.steps_merged.to_string(),
+        format!("{opt_s:.4}"),
+        fmt_speedup(base_s / opt_s),
+    ]);
+    t.print();
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (sizes, reps): (&[usize], usize) = if quick {
@@ -354,6 +429,7 @@ fn main() {
     t.print();
     println!();
     plan_batch_sweep(quick, thread_counts, reps);
+    pass_pipeline_sweep(quick, reps);
     let json = render_json(quick, &entries);
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     eprintln!("wrote BENCH_throughput.json ({} entries)", entries.len());

@@ -200,6 +200,16 @@ pub trait Backend {
         0
     }
 
+    /// Advisory hint from the plan optimizer that a fused RAW chain of
+    /// `steps` same-shape MMOs with output shape `shape` is about to
+    /// replay, letting the backend pre-allocate shared output slab
+    /// residency off the replay's critical path. Purely an allocation
+    /// hint: it must never change outputs, counters, or telemetry
+    /// spans. The default ignores it.
+    fn prepare_chain(&mut self, shape: (usize, usize), steps: usize) {
+        let _ = (shape, steps);
+    }
+
     /// Work counters accumulated so far.
     fn op_count(&self) -> OpCount;
 
@@ -378,6 +388,27 @@ pub struct TiledBackend<U: MmoUnit = Simd2Unit> {
     count: OpCount,
     parallelism: Parallelism,
     tracer: Tracer,
+    /// Zero-filled output slabs pre-allocated by
+    /// [`Backend::prepare_chain`], consumed newest-fit-first by
+    /// subsequent MMOs. Never reused after hand-off (outputs are owned
+    /// by the caller), so every pooled slab is all-zero — exactly what
+    /// the non-pooled paths allocate.
+    slab_pool: Vec<Vec<f32>>,
+}
+
+/// Upper bound on pooled output slabs held by [`Backend::prepare_chain`]
+/// between replays, so a pathological chain hint cannot pin unbounded
+/// memory.
+const SLAB_POOL_CAP: usize = 64;
+
+/// Takes a pooled zero-filled `m × n` slab if one fits, else allocates —
+/// bit-identical either way, since pooled slabs are zero-filled and
+/// single-use.
+fn pooled_output(pool: &mut Vec<Vec<f32>>, m: usize, n: usize) -> Matrix {
+    match pool.iter().position(|slab| slab.len() == m * n) {
+        Some(i) => Matrix::from_vec(m, n, pool.swap_remove(i)),
+        None => Matrix::zeros(m, n),
+    }
 }
 
 // A single, non-generic `Default` impl so `TiledBackend::default()`
@@ -411,6 +442,7 @@ impl<U: MmoUnit> TiledBackend<U> {
             count: OpCount::default(),
             parallelism: Parallelism::default(),
             tracer: Tracer::off(),
+            slab_pool: Vec::new(),
         }
     }
 
@@ -524,6 +556,7 @@ fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// still joined (the output buffer is only dropped once no thread can
 /// touch it) and its shard is still absorbed, so the process never
 /// aborts and telemetry from surviving workers is never lost.
+#[allow(clippy::too_many_arguments)]
 fn mmo_parallel<U: MmoUnit + Send>(
     parent: &mut U,
     tracer: &Tracer,
@@ -532,8 +565,10 @@ fn mmo_parallel<U: MmoUnit + Send>(
     (a, b, c): (&Matrix, &Matrix, &Matrix),
     grid: &TileGrid,
     panels: Vec<std::ops::Range<usize>>,
+    // Caller-provided zero-filled `grid.m × grid.n` output (possibly a
+    // pooled slab from a `prepare_chain` hint).
+    mut d: Matrix,
 ) -> Result<(Matrix, OpCount), BackendError> {
-    let mut d = Matrix::zeros(grid.m, grid.n);
     let mut total = OpCount::default();
     let mut first_panic: Option<BackendError> = None;
     std::thread::scope(|s| {
@@ -609,6 +644,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
                 let panels = grid.row_panels(workers);
                 let shards: Option<Vec<U>> = panels.iter().map(|_| self.unit.shard()).collect();
                 if let Some(shards) = shards {
+                    let out = pooled_output(&mut self.slab_pool, grid.m, grid.n);
                     let (dp, count) = mmo_parallel(
                         &mut self.unit,
                         &self.tracer,
@@ -617,6 +653,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
                         (a, b, c),
                         &grid,
                         panels,
+                        out,
                     )?;
                     d = dp;
                     delta = count;
@@ -627,7 +664,7 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
             // starting at element row 0), executed in the exact Figure 6
             // loop order `run_panel` preserves — bit-identical to the
             // panel-parallel schedule and to the pre-unification loop.
-            let mut ds = Matrix::zeros(grid.m, grid.n);
+            let mut ds = pooled_output(&mut self.slab_pool, grid.m, grid.n);
             let panel = 0..grid.m_tiles;
             let rows = grid.panel_rows(&panel).len();
             let count = run_panel(
@@ -710,10 +747,13 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
                     let mut shard = shards.next().expect("one shard per step");
                     begin_mmo(&self.tracer, step.op, grid, 1, self.unit.kernel_isa());
                     let worker_tracer = self.tracer.clone();
+                    // Pooled slabs are taken on the dispatch thread so a
+                    // `prepare_chain` hint moves the allocation off the
+                    // worker's critical path.
+                    let mut d = pooled_output(&mut self.slab_pool, grid.m, grid.n);
                     handles.push((
                         idx,
                         s.spawn(move || {
-                            let mut d = Matrix::zeros(grid.m, grid.n);
                             let panel = 0..grid.m_tiles;
                             let rows = grid.panel_rows(&panel).len();
                             let count = run_panel(
@@ -769,6 +809,21 @@ impl<U: MmoUnit + Send> Backend for TiledBackend<U> {
 
     fn pin_kernel_isa(&mut self, isa: KernelIsa) -> bool {
         self.unit.repin_kernel(isa)
+    }
+
+    /// Pre-allocates zero-filled output slabs for a fused RAW chain, up
+    /// to [`SLAB_POOL_CAP`] pooled slabs total. Subsequent MMOs with a
+    /// matching output size take a pooled slab instead of allocating;
+    /// outputs, counters and telemetry are unchanged.
+    fn prepare_chain(&mut self, shape: (usize, usize), steps: usize) {
+        let (m, n) = shape;
+        if m * n == 0 {
+            return;
+        }
+        let room = SLAB_POOL_CAP.saturating_sub(self.slab_pool.len());
+        for _ in 0..steps.min(room) {
+            self.slab_pool.push(vec![0.0; m * n]);
+        }
     }
 
     fn force_sequential(&mut self) -> bool {

@@ -49,6 +49,10 @@ pub use backend::{
 };
 pub use error::BackendError;
 pub use highlevel::Simd2Context;
+pub use plan::passes::{
+    CsePass, DsePass, FusedChain, FusionPass, OptimizedPlan, OptimizingRecorder, PassPipeline,
+    PassReport, PassStats, PlanPass, RootPolicy, WaveSchedulerPass,
+};
 pub use plan::{
     Executor as PlanExecutor, HaltedReplay, Plan, PlanBuilder, PlanCheckpoint, PlanKey, Replay,
     ReplayControl, ReplayError, ReplayHalt, ReplayProgress, SlotId, SlotOrigin,

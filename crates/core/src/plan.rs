@@ -20,6 +20,8 @@
 //! exports shape-level traces ([`Plan::traces`]) that drive the GPU
 //! pipeline cost model — one recording, three lowerings.
 
+pub mod passes;
+
 use std::collections::HashMap;
 
 use simd2_gpu::MmoTrace;
@@ -59,6 +61,14 @@ struct Slot {
     shape: (usize, usize),
     origin: SlotOrigin,
     value: Option<Matrix>,
+    /// Earliest slot whose recorded content was bit-identical to this
+    /// one (`None` when this slot's bits were novel at record time).
+    /// Only step outputs carry twins — interning already dedups inputs —
+    /// and the link is what lets the CSE pass recognise the
+    /// post-fixed-point steps of a convergence-free closure as
+    /// redundant. Twins are value-derived, so they are deliberately
+    /// excluded from [`Plan::structural_hash`].
+    twin: Option<SlotId>,
 }
 
 /// One recorded `D = C ⊕ (A ⊗ B)` step over the slot arena. Slots are
@@ -127,6 +137,15 @@ impl Plan {
     /// The captured value of an input slot (`None` for step outputs).
     pub fn input_value(&self, slot: SlotId) -> Option<&Matrix> {
         self.slots[slot.0].value.as_ref()
+    }
+
+    /// The earliest slot whose recorded content was bit-identical to
+    /// `slot`'s, if the recorder observed one — the content-equality
+    /// link [`passes::CsePass`] canonicalises operands through. Twins
+    /// hold on the recording backend's bit-identity class and are not
+    /// part of the structural hash.
+    pub fn slot_twin(&self, slot: SlotId) -> Option<SlotId> {
+        self.slots[slot.0].twin
     }
 
     /// Every input slot, in arena order — the slots whose captured
@@ -304,6 +323,7 @@ impl Plan {
                 if let SlotOrigin::Step(i) = slot.origin {
                     slot.origin = SlotOrigin::Step(i + step_base);
                 }
+                slot.twin = slot.twin.map(|t| SlotId(t.0 + slot_base));
                 merged.slots.push(slot);
             }
             for step in plan.steps {
@@ -430,22 +450,42 @@ impl<'b, B: Backend> PlanBuilder<'b, B> {
             shape: m.shape(),
             origin: SlotOrigin::Input,
             value: Some(m.clone()),
+            twin: None,
         });
         self.values.push(m.clone());
         self.index.entry(h).or_default().push(slot);
         slot
     }
 
+    /// The *earliest* recorded slot whose content is bit-identical to
+    /// `m`, if any — the twin link the CSE pass canonicalises through.
+    /// (Interning wants the most recent match; twins want the first, so
+    /// every bit-equal slot chains to one canonical root.)
+    fn earliest_twin(&self, h: u64, m: &Matrix) -> Option<SlotId> {
+        self.index.get(&h)?.iter().copied().find(|&slot| {
+            let held = &self.values[slot.0];
+            held.shape() == m.shape()
+                && held
+                    .as_slice()
+                    .iter()
+                    .zip(m.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+    }
+
     /// Registers a step's freshly computed output as a new slot.
     fn record_output(&mut self, d: &Matrix, step: usize) -> SlotId {
+        let h = content_hash(d);
+        let twin = self.earliest_twin(h, d);
         let slot = SlotId(self.plan.slots.len());
         self.plan.slots.push(Slot {
             shape: d.shape(),
             origin: SlotOrigin::Step(step),
             value: None,
+            twin,
         });
         self.values.push(d.clone());
-        self.index.entry(content_hash(d)).or_default().push(slot);
+        self.index.entry(h).or_default().push(slot);
         slot
     }
 

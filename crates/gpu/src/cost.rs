@@ -136,6 +136,17 @@ pub fn effective_dim(m: usize, n: usize, k: usize) -> f64 {
     ((m as f64) * (n as f64) * (k as f64)).cbrt()
 }
 
+/// Predicted relative cost of one whole `m×n×k` MMO step: the analytic
+/// per-element issue-slot price of `op` ([`cuda_op_cost`]) times the
+/// `m·n·k` multiply-reduce volume. A *relative* price signal for
+/// schedulers ordering independent steps (e.g. the plan optimizer's
+/// longest-processing-time-first wave scheduler), not a wall-clock
+/// estimate — it deliberately ignores utilisation and launch overheads,
+/// which are schedule-invariant within a wave.
+pub fn predicted_mmo_cost(op: OpKind, m: usize, n: usize, k: usize) -> f64 {
+    cuda_op_cost(op).total_slots() * (m as f64) * (n as f64) * (k as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

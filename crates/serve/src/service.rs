@@ -26,8 +26,8 @@ use std::collections::VecDeque;
 
 use simd2::solve::ClosureAlgorithm;
 use simd2::{
-    Backend, HaltedReplay, Plan, PlanCheckpoint, PlanExecutor, PlanKey, RecoveryPolicy,
-    RecoveryStats, ReplayProgress, ResilientBackend, RetryBackoff, TiledBackend,
+    Backend, HaltedReplay, PassPipeline, Plan, PlanCheckpoint, PlanExecutor, PlanKey,
+    RecoveryPolicy, RecoveryStats, ReplayProgress, ResilientBackend, RetryBackoff, TiledBackend,
 };
 use simd2_apps::{harness, AppKind};
 use simd2_fault::abft::AbftConfig;
@@ -70,6 +70,16 @@ pub struct ServeConfig {
     pub resume: ResumeConfig,
     /// Degradation-ladder thresholds (disabled by default).
     pub degrade: DegradeConfig,
+    /// Run every admitted plan through the serving pass pipeline
+    /// ([`PassPipeline::serving`]: CSE, final-output-rooted dead-step
+    /// elimination, chain fusion, cost-model wave scheduling) before
+    /// quota accounting and queueing (disabled by default). Quotas,
+    /// deadlines, and the plan cache then all see the *optimized*
+    /// plan — in particular the cache keys on the post-optimization
+    /// structural hash, so differently-recorded but
+    /// post-optimization-identical plans share one entry. Final
+    /// outputs are bit-identical to replaying the unoptimized plan.
+    pub optimize_plans: bool,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             resume: ResumeConfig::default(),
             degrade: DegradeConfig::default(),
+            optimize_plans: false,
         }
     }
 }
@@ -267,6 +278,7 @@ pub struct PlanService<B: Backend> {
     resume_config: ResumeConfig,
     degrade_config: DegradeConfig,
     degrade: DegradeState,
+    optimize_plans: bool,
 }
 
 impl<B: Backend> PlanService<B> {
@@ -298,6 +310,7 @@ impl<B: Backend> PlanService<B> {
             resume_config: config.resume,
             degrade_config: config.degrade,
             degrade: DegradeState::default(),
+            optimize_plans: config.optimize_plans,
         }
     }
 
@@ -392,6 +405,16 @@ impl<B: Backend> PlanService<B> {
             JobPayload::App { app, n, seed } => self.app_plan(app, n, seed)?,
         };
         validate_plan(&plan)?;
+        // Optimization happens before quota accounting and queueing, so
+        // steps/bytes ledgers, deadline budgets, and — crucially — the
+        // plan cache key all describe the plan that actually replays.
+        // The serving pipeline's final-output-rooted DSE guarantees the
+        // optimized plan's final output is the original's, bit for bit.
+        let plan = if self.optimize_plans {
+            PassPipeline::serving().run(plan).into_plan()
+        } else {
+            plan
+        };
         if self.queued_total >= self.max_queued_jobs {
             return Err(Rejected::Backpressure {
                 queued: self.queued_total,

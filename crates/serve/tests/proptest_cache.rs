@@ -65,6 +65,19 @@ fn record_chain(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Plan {
     rec.finish()
 }
 
+/// Records the same computation as [`record_chain`] the *wasteful* way:
+/// the root subexpression is evaluated twice and the chain continues
+/// off the duplicate. Structurally different from the clean recording,
+/// but post-CSE identical.
+fn record_dup_chain(op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix) -> Plan {
+    let mut be = TiledBackend::new();
+    let mut rec = PlanBuilder::over(&mut be);
+    rec.mmo(op, a, b, c).expect("recording step 0");
+    let dup = rec.mmo(op, a, b, c).expect("recording duplicate step");
+    rec.mmo(op, a, b, &dup).expect("recording step 2");
+    rec.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -147,5 +160,60 @@ proptest! {
         prop_assert_eq!(svc.run_until_idle(), 2);
         let stats = svc.cache_stats();
         prop_assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    /// The pre-optimization keying fix: two *differently-recorded*
+    /// plans of the same computation — one clean, one evaluating its
+    /// root subexpression twice — key apart raw, but with
+    /// `optimize_plans` armed the service's admission-time CSE folds
+    /// them onto one post-optimization cache entry: the second
+    /// submission is a cache hit serving the first run's exact bits,
+    /// which also equal the clean recording's eager final output.
+    #[test]
+    fn post_cse_identical_recordings_share_one_cache_entry(
+        op in op_strategy(),
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..16,
+        seed in any::<u32>(),
+    ) {
+        let (a, b, c) = gen_operands(op, m, n, k, seed);
+        let clean = record_chain(op, &a, &b, &c);
+        let wasteful = record_dup_chain(op, &a, &b, &c);
+        // Raw recordings key apart — this is exactly the miss the
+        // pre-optimization keying suffered.
+        prop_assert_ne!(clean.cache_key(), wasteful.cache_key());
+
+        // The eager bits of the computation, for the end-to-end check.
+        let mut eager_be = TiledBackend::new();
+        let d0 = eager_be.mmo(op, &a, &b, &c).expect("eager step 0");
+        let want = eager_be.mmo(op, &a, &b, &d0).expect("eager step 1");
+
+        let config = ServeConfig { optimize_plans: true, ..ServeConfig::default() };
+        let mut svc = PlanService::new(TiledBackend::new(), config);
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+        svc.submit(t, JobSpec::plan(wasteful)).unwrap();
+        svc.submit(t, JobSpec::plan(clean)).unwrap();
+        prop_assert_eq!(svc.run_until_idle(), 2);
+        let outcomes = svc.take_outcomes();
+        let JobStatus::Completed { output: cold, cache_hit: false, .. } = &outcomes[0].status
+        else {
+            panic!("cold run must complete, got {:?}", outcomes[0].status);
+        };
+        let JobStatus::Completed { output: warm, cache_hit: true, executed_steps: 0, .. } =
+            &outcomes[1].status
+        else {
+            panic!("post-CSE twin must hit the cache, got {:?}", outcomes[1].status);
+        };
+        prop_assert_eq!(cold.shape(), want.shape());
+        for (x, y) in cold.as_slice().iter().zip(want.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in warm.as_slice().iter().zip(want.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let stats = svc.cache_stats();
+        prop_assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
 }

@@ -73,3 +73,17 @@ if [ "${SIMD2_RESILIENCE_SMOKE:-0}" = "1" ]; then
   cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 4 --seed 7
   SIMD2_FORCE_SCALAR=1 cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 4 --seed 7
 fi
+
+# Optional: pass-pipeline smoke — the pass-equivalence proptests (every
+# pass and the full pipeline preserve replay bit-identity, checkpoints
+# resume through optimized plans), the adversarial pass unit tests, and
+# the eight-app differential with its snapshot-pinned optimization
+# table — run on both kernel-dispatch legs (the host's detected vector
+# tier and SIMD2_FORCE_SCALAR=1). Enable with
+#   SIMD2_PASS_PIPELINE_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_PASS_PIPELINE_SMOKE:-0}" = "1" ]; then
+  cargo test -q -p simd2 --test proptest_passes --test passes_adversarial
+  cargo test -q --test passes_differential
+  SIMD2_FORCE_SCALAR=1 cargo test -q -p simd2 --test proptest_passes --test passes_adversarial
+  SIMD2_FORCE_SCALAR=1 cargo test -q --test passes_differential
+fi
