@@ -16,7 +16,7 @@ use simd2::{Backend, Plan};
 use simd2_semiring::OpKind;
 
 use crate::registry::AppKind;
-use crate::{aplp, apsp, gtc, knn, mst, paths};
+use crate::{aplp, apsp, gtc, knn, mst, paths, streaming};
 
 /// Extra edge density (beyond the spanning backbone) of the MST
 /// workload, shared by the harness and the timing model's hop estimate.
@@ -139,6 +139,17 @@ pub fn run_app<B: Backend>(
             let (got, plan) = knn::record(backend, &pts, knn::K);
             ((1.0 - knn::recall(&want, &got)) as f32, 1, plan)
         }
+        AppKind::StreamingApsp | AppKind::StreamingBfs => {
+            let op = app.spec().op;
+            let w = streaming::generate(op, n, streaming::DEFAULT_BATCHES, seed);
+            let want = streaming::baseline(&w);
+            let (got, stats, plan) = streaming::record(backend, &w);
+            (
+                compare_outputs(app.spec().label, &want, &got, 0.0).max_abs_diff,
+                stats.steps,
+                plan,
+            )
+        }
     };
     AppRun {
         app,
@@ -177,6 +188,26 @@ mod tests {
             );
             assert!(run.passed(), "{app:?} fp16: diff {}", run.diff);
             assert_eq!(run.plan.step_count(), run.iterations, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_apps_validate_and_record_sparse_plans() {
+        for app in AppKind::streaming() {
+            let run = run_app(
+                &mut TiledBackend::new(),
+                app,
+                N,
+                SEED,
+                ClosureAlgorithm::Leyzorek,
+                true,
+            );
+            assert!(run.passed(), "{app:?}: diff {}", run.diff);
+            assert_eq!(run.plan.step_count(), run.iterations, "{app:?}");
+            assert!(
+                run.plan.has_sparse_slots(),
+                "{app:?} must record CSR delta declarations"
+            );
         }
     }
 

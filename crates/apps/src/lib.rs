@@ -35,6 +35,7 @@ pub mod knn;
 pub mod mst;
 pub mod paths;
 pub mod registry;
+pub mod streaming;
 pub mod timing;
 pub mod unionfind;
 

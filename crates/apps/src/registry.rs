@@ -22,6 +22,13 @@ pub enum AppKind {
     Gtc,
     /// K-nearest neighbours.
     Knn,
+    /// Streaming all-pairs shortest path: min-plus closure maintenance
+    /// under edge-insertion batches with CSR-declared deltas (not part
+    /// of the Table 4 figure set — see [`AppKind::streaming`]).
+    StreamingApsp,
+    /// Streaming reachability (BFS-style or-and closure maintenance)
+    /// under edge-insertion batches with CSR-declared deltas.
+    StreamingBfs,
 }
 
 /// Static description of one application (a row of Table 4).
@@ -47,7 +54,10 @@ pub struct AppSpec {
 }
 
 impl AppKind {
-    /// All eight applications in figure order.
+    /// The eight Table 4 applications in figure order. The streaming
+    /// workloads are deliberately *not* here: the figure sweeps, the
+    /// timing model, and the validation harness iterate this set, and
+    /// the paper's Table 4 has exactly eight rows.
     pub fn all() -> [AppKind; 8] {
         [
             AppKind::Apsp,
@@ -59,6 +69,13 @@ impl AppKind {
             AppKind::Gtc,
             AppKind::Knn,
         ]
+    }
+
+    /// The streaming-update workloads (beyond Table 4): closure
+    /// maintenance under edge-insertion batches, exercising the sparse
+    /// operand seam end to end.
+    pub fn streaming() -> [AppKind; 2] {
+        [AppKind::StreamingApsp, AppKind::StreamingBfs]
     }
 
     /// The Table 4 row for this application.
@@ -136,6 +153,24 @@ impl AppKind {
                 small_dimension: 4096,
                 tolerance: 0.05,
             },
+            AppKind::StreamingApsp => AppSpec {
+                kind: self,
+                label: "S-APSP",
+                full_name: "Streaming All Pair Shortest Path",
+                op: OpKind::MinPlus,
+                baseline_source: "full FW recompute",
+                small_dimension: 1024,
+                tolerance: 0.0,
+            },
+            AppKind::StreamingBfs => AppSpec {
+                kind: self,
+                label: "S-BFS",
+                full_name: "Streaming Reachability",
+                op: OpKind::OrAnd,
+                baseline_source: "full or-and recompute",
+                small_dimension: 1024,
+                tolerance: 0.0,
+            },
         }
     }
 
@@ -183,5 +218,20 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             AppKind::all().iter().map(|a| a.spec().label).collect();
         assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn streaming_workloads_extend_but_never_enter_table4() {
+        for app in AppKind::streaming() {
+            assert!(!AppKind::all().contains(&app), "{app:?}");
+            let spec = app.spec();
+            assert_eq!(spec.tolerance, 0.0, "streaming validation is exact");
+            assert!(
+                spec.op.no_edge_f32().is_some(),
+                "streaming algebras must have a sparse-skippable no-edge"
+            );
+        }
+        assert_eq!(AppKind::StreamingApsp.spec().op, OpKind::MinPlus);
+        assert_eq!(AppKind::StreamingBfs.spec().op, OpKind::OrAnd);
     }
 }

@@ -59,16 +59,18 @@ impl Config {
 /// rate (see module docs for the calibration rationale).
 fn baseline_efficiency(app: AppKind) -> f64 {
     match app {
-        // ECL-APSP: modern, highly optimised blocked FW.
-        AppKind::Apsp | AppKind::Aplp => 0.25,
+        // ECL-APSP: modern, highly optimised blocked FW (the streaming
+        // APSP baseline is the same code, re-run from scratch).
+        AppKind::Apsp | AppKind::Aplp | AppKind::StreamingApsp => 0.25,
         // CUDA-FW (research code); the max-min variant additionally eats
         // the shared-port hazard, which its naive kernel cannot hide.
         AppKind::Mcp => 0.13,
         // CUDA-FW multiplicative variants pipeline better (mul is a
         // full-rate op) — closer to peak.
         AppKind::MaxRp | AppKind::MinRp => 0.28,
-        // cuBool dense-mode boolean kernels.
-        AppKind::Gtc => 0.38,
+        // cuBool dense-mode boolean kernels (streaming reachability's
+        // recompute baseline included).
+        AppKind::Gtc | AppKind::StreamingBfs => 0.38,
         // kNN-CUDA's hand-rolled distance kernel (vs CUTLASS).
         AppKind::Knn => 0.15,
         // Kruskal is priced separately (serial-ish union-find).
@@ -126,7 +128,9 @@ impl AppTiming {
         let eff = baseline_efficiency(app);
         match app {
             // Blocked FW: n³ steps, 3 kernels per 32-wide block phase.
-            AppKind::Apsp | AppKind::Aplp => {
+            // The streaming APSP baseline throws the stream away and
+            // re-closes the final graph with the same kernels.
+            AppKind::Apsp | AppKind::Aplp | AppKind::StreamingApsp => {
                 let op = app.spec().op;
                 self.gpu.kernel_time(&KernelProfile {
                     element_steps: nf * nf * nf,
@@ -157,7 +161,7 @@ impl AppTiming {
             // cuBool: boolean closure by repeated squaring on CUDA cores
             // (with its own convergence checking), or/and port hazard and
             // all.
-            AppKind::Gtc => {
+            AppKind::Gtc | AppKind::StreamingBfs => {
                 let iters = self.iterations(app, n, ClosureAlgorithm::Leyzorek, true) as f64;
                 self.gpu.kernel_time(&KernelProfile {
                     element_steps: iters * nf * nf * nf,
@@ -379,10 +383,14 @@ pub fn hop_estimate(app: AppKind, n: usize) -> usize {
     match app {
         AppKind::Aplp => dag_depth(&aplp::generate(n, seed)),
         AppKind::MinRp => dag_depth(&paths::generate_minrp(n, seed)),
-        AppKind::Apsp => 2 * bfs_diameter(&apsp::generate(n, seed)),
+        // Streaming workloads share the structural profile of their
+        // static counterparts (out-degree-4/8 G(n,p) plus a Hamiltonian
+        // backbone); insertions only shorten chains, so the static
+        // diameter is a safe upper estimate.
+        AppKind::Apsp | AppKind::StreamingApsp => 2 * bfs_diameter(&apsp::generate(n, seed)),
         AppKind::Mcp => 4 * bfs_diameter(&paths::generate_mcp(n, seed)), // widest paths stretch far
         AppKind::MaxRp => 2 * bfs_diameter(&paths::generate_maxrp(n, seed)),
-        AppKind::Gtc => bfs_diameter(&gtc::generate(n, seed)),
+        AppKind::Gtc | AppKind::StreamingBfs => bfs_diameter(&gtc::generate(n, seed)),
         AppKind::Mst => 4 * bfs_diameter(&mst::generate(n, 0.1, seed)), // bottleneck paths stretch far
         AppKind::Knn => 1,
     }

@@ -10,7 +10,7 @@ fn bench_spgemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm_256");
     for sparsity in [0.90, 0.99, 0.999] {
         let d = gen::random_sparse_matrix(256, sparsity, 5);
-        let a = Csr::from_dense(&d, 0.0);
+        let a = Csr::from_dense(&d, 0.0).unwrap();
         group.bench_with_input(
             BenchmarkId::new("plus_mul", format!("{sparsity}")),
             &a,
@@ -19,7 +19,7 @@ fn bench_spgemm(c: &mut Criterion) {
     }
     // Semiring variant on a graph adjacency.
     let g = gen::gnp_graph(256, 0.02, 1.0, 9.0, 3);
-    let adj = Csr::from_dense(&g.adjacency(OpKind::MinPlus), f32::INFINITY);
+    let adj = Csr::from_dense(&g.adjacency(OpKind::MinPlus), f32::INFINITY).unwrap();
     group.bench_function("min_plus/graph", |bench| {
         bench.iter(|| adj.spgemm(OpKind::MinPlus, &adj));
     });

@@ -28,7 +28,7 @@ use simd2::backend::{Backend, IsaBackend, Parallelism, TiledBackend};
 use simd2::resilient::{RecoveryPolicy, ResilientBackend};
 use simd2::solve::ClosureAlgorithm;
 use simd2::validate::compare_outputs;
-use simd2_apps::{aplp, apsp, gtc, knn, mst, paths, AppKind};
+use simd2_apps::{aplp, apsp, gtc, knn, mst, paths, streaming, AppKind};
 use simd2_bench::Table;
 use simd2_fault::{
     AbftConfig, FaultInjector, FaultPlan, FaultPlanConfig, FaultySimd2Unit, PlannedInjector,
@@ -148,6 +148,11 @@ fn run_app_and_check<B: Backend>(app: AppKind, n: usize, seed: u64, be: &mut B) 
             let want = knn::baseline(&pts, knn::K);
             let got = knn::simd2(be, &pts, knn::K);
             knn::recall(&want, &got) >= 0.95
+        }
+        AppKind::StreamingApsp | AppKind::StreamingBfs => {
+            let w = streaming::generate(app.spec().op, n, streaming::DEFAULT_BATCHES, seed);
+            let (got, _) = streaming::simd2(be, &w);
+            compare_outputs(app.spec().label, &streaming::baseline(&w), &got, 0.0).passed()
         }
     }
 }

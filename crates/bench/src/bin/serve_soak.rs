@@ -1439,6 +1439,135 @@ fn check_episode<B: Backend>(
     Ok(())
 }
 
+/// Deterministic sparse-serving episode (`--sparse`): the two
+/// streaming-update registry apps, expanded at admission into plans
+/// with CSR-declared delta slots, served over a `SparseTiledBackend`
+/// worker pool with the serving pass pipeline and a round quantum
+/// armed. Runs on whichever kernel dispatch leg the host provides —
+/// re-run under `SIMD2_FORCE_SCALAR=1` to cover the scalar leg.
+///
+/// Asserts: every job (including a cross-tenant duplicate per app)
+/// lands `Completed` bit-identical to a clean sequential dense replay,
+/// suspensions balance resumptions, and the compressed kernels
+/// genuinely executed (`sparse_mmos` / `skipped_terms` nonzero).
+fn run_sparse_episode(seed: u64) -> Result<(), Violation> {
+    use simd2_sparse::SparseTiledBackend;
+    let config = ServeConfig {
+        max_queued_jobs: 64,
+        cache_capacity: 1024,
+        policy: RecoveryPolicy::Retry { attempts: 2 },
+        batched: true,
+        optimize_plans: true,
+        resume: ResumeConfig {
+            quantum: 4,
+            max_resumes: 64,
+        },
+        ..ServeConfig::default()
+    };
+    let inner = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(4));
+    let mut svc = PlanService::new(inner, config);
+    svc.register_tenant(TenantId(0), TenantQuota::default().with_weight(2));
+    svc.register_tenant(TenantId(1), TenantQuota::default().with_weight(1));
+
+    // The admission expansion is deterministic per (app, n, seed):
+    // recompute it locally for the clean-replay oracles. Tenant 1
+    // duplicates tenant 0's submissions, probing the plan cache (or a
+    // legal cold re-run while the original holder is suspended).
+    let mut wants: HashMap<u64, (AppKind, Matrix)> = HashMap::new();
+    for app in AppKind::streaming() {
+        for (tenant, n) in [(0u32, 32usize), (1, 32), (0, 24)] {
+            let run = harness::run_app(
+                &mut TiledBackend::new(),
+                app,
+                n,
+                seed,
+                ClosureAlgorithm::Leyzorek,
+                true,
+            );
+            soak_check!(
+                run.passed() && run.plan.has_sparse_slots(),
+                "sparse episode: {app:?} n={n} failed local validation \
+                 (diff {}, sparse_slots {})",
+                run.diff,
+                run.plan.has_sparse_slots()
+            );
+            let id = match svc.submit(TenantId(tenant), JobSpec::app(app, n, seed)) {
+                Ok(id) => id,
+                Err(e) => {
+                    return Err(Violation {
+                        what: format!("sparse episode: {app:?} n={n} rejected: {e:?}"),
+                    })
+                }
+            };
+            wants.insert(id.0, (app, clean_replay(&run.plan)));
+        }
+    }
+    svc.run_until_idle();
+
+    let outcomes = svc.take_outcomes();
+    soak_check!(
+        outcomes.len() == wants.len(),
+        "sparse episode: {} outcomes for {} submissions",
+        outcomes.len(),
+        wants.len()
+    );
+    let mut cache_hits = 0u64;
+    for outcome in &outcomes {
+        let (app, want) = &wants[&outcome.job.0];
+        let JobStatus::Completed {
+            output, cache_hit, ..
+        } = &outcome.status
+        else {
+            return Err(Violation {
+                what: format!(
+                    "sparse episode: {app:?} job {} must complete, got {}",
+                    outcome.job,
+                    outcome.status.label()
+                ),
+            });
+        };
+        cache_hits += u64::from(*cache_hit);
+        soak_check!(
+            output.shape() == want.shape(),
+            "sparse episode: {app:?} output shape diverged"
+        );
+        for (x, y) in output.as_slice().iter().zip(want.as_slice()) {
+            soak_check!(
+                x.to_bits() == y.to_bits(),
+                "sparse episode: {app:?} job {} diverged from the clean \
+                 sequential dense replay",
+                outcome.job
+            );
+        }
+    }
+    let mut suspended = 0u64;
+    let mut resumed = 0u64;
+    for t in 0..2 {
+        let stats = svc.tenant_stats(TenantId(t)).expect("registered");
+        suspended += stats.suspended;
+        resumed += stats.resumed;
+    }
+    soak_check!(
+        suspended > 0 && suspended == resumed,
+        "sparse episode: quantum must suspend and resume in balance \
+         (suspended {suspended}, resumed {resumed})"
+    );
+    let counts = svc.resilient().inner().sparse_count();
+    soak_check!(
+        counts.sparse_mmos > 0 && counts.skipped_terms > 0,
+        "sparse episode: compressed kernels never executed: {counts:?}"
+    );
+    println!(
+        "serve_soak sparse PASS: seed={seed} isa={:?} jobs={} cache-hits={cache_hits} \
+         suspended={suspended} sparse-mmos={} skipped-terms={}",
+        Backend::kernel_isa(svc.resilient()),
+        outcomes.len(),
+        counts.sparse_mmos,
+        counts.skipped_terms,
+    );
+    Ok(())
+}
+
 fn arg(name: &str, default: u64) -> u64 {
     std::env::args()
         .skip_while(|a| a != name)
@@ -1493,6 +1622,13 @@ fn main() {
     let seed = arg("--seed", 2022);
     let seconds = arg("--seconds", 10);
     let iter_cap = arg("--iters", 0);
+    if std::env::args().any(|a| a == "--sparse") {
+        if let Err(v) = run_sparse_episode(seed) {
+            eprintln!("serve_soak VIOLATION in the sparse episode: {}", v.what);
+            std::process::exit(1);
+        }
+        return;
+    }
     println!(
         "serve_soak: seed={seed} budget={seconds}s episode-cap={}  \
          modes={{clean,faults,panic,resume,sticky,panic-resume,vector-pin}} \

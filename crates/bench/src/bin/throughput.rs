@@ -18,6 +18,11 @@
 //! a view of the telemetry stream, cross-checked against the engine's
 //! own accounting.
 //!
+//! A `sparse_crossover` section sweeps input density through
+//! [`SparseTiledBackend`] with CSR-declared operands vs the same
+//! backend's dense path (bit-identity asserted at every point), locating
+//! the density below which the sharded Gustavson path wins on this host.
+//!
 //! A final section replays a merged nine-step [`Plan`] (one independent
 //! MMO per op) sequentially vs batched across the thread sweep — the
 //! plan-IR dispatch path over the same worker pool — asserting the
@@ -28,11 +33,15 @@
 
 use std::time::Instant;
 
-use simd2::{Backend, Parallelism, PassPipeline, Plan, PlanBuilder, PlanExecutor, TiledBackend};
+use simd2::{
+    Backend, MatrixRef, OperandRepr, Parallelism, PassPipeline, Plan, PlanBuilder, PlanExecutor,
+    TiledBackend,
+};
 use simd2_bench::{report::fmt_speedup, Table};
 use simd2_matrix::tiling::TileGrid;
 use simd2_matrix::{gen, tiling, Matrix, Tile, ISA_TILE};
 use simd2_semiring::{precision::quantize_f16, OpKind, ALL_OPS};
+use simd2_sparse::SparseTiledBackend;
 use simd2_trace::{span, EventKind, RingSink, Tracer};
 
 /// The pre-optimization reduction: materializes a fresh `Vec` per tree
@@ -128,6 +137,17 @@ struct Entry {
     speedup_vs_scalar: f64,
 }
 
+struct SparseEntry {
+    op: OpKind,
+    n: usize,
+    density: f64,
+    threads: usize,
+    dense_seconds: f64,
+    sparse_seconds: f64,
+    speedup_sparse_vs_dense: f64,
+    skipped_term_frac: f64,
+}
+
 /// Times `f` over `reps` runs (after one warmup) and returns the best.
 fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     f();
@@ -148,7 +168,7 @@ fn jnum(x: f64) -> String {
     }
 }
 
-fn render_json(quick: bool, entries: &[Entry]) -> String {
+fn render_json(quick: bool, entries: &[Entry], sparse: &[SparseEntry]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -170,8 +190,148 @@ fn render_json(quick: bool, entries: &[Entry]) -> String {
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"sparse_crossover\": [\n");
+    for (i, e) in sparse.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"n\": {}, \"density\": {}, \"threads\": {}, \
+             \"dense_seconds\": {}, \"sparse_seconds\": {}, \
+             \"speedup_sparse_vs_dense\": {}, \"skipped_term_frac\": {}}}{}\n",
+            e.op.name(),
+            e.n,
+            jnum(e.density),
+            e.threads,
+            jnum(e.dense_seconds),
+            jnum(e.sparse_seconds),
+            jnum(e.speedup_sparse_vs_dense),
+            jnum(e.skipped_term_frac),
+            if i + 1 == sparse.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Thins `m` to roughly `density` by writing the op's annihilator into
+/// the complement, with a fixed splitmix-style stream so every run of
+/// the bench sees the same operand.
+fn sparsify(op: OpKind, m: &Matrix, density: f64, seed: u64) -> Matrix {
+    let zero = op.no_edge_f32().expect("sparsify needs an annihilator");
+    let mut out = m.clone();
+    let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for v in out.as_mut_slice().iter_mut() {
+        s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        if ((s >> 11) as f64 / (1u64 << 53) as f64) >= density {
+            *v = zero;
+        }
+    }
+    out
+}
+
+/// Dense/sparse crossover: the same MMO dispatched through
+/// [`SparseTiledBackend`] twice — once with all-dense operand
+/// declarations (the tiled kernel path) and once with `A`/`B` declared
+/// [`OperandRepr::csr`] (the sharded Gustavson path) — across an input
+/// density sweep. The sparse leg is asserted bit-identical to the dense
+/// leg at every point (the representation contract), so the speedup
+/// column doubles as an equivalence check; the crossover density is
+/// wherever the speedup column passes 1.0 on this host.
+fn sparse_crossover_sweep(quick: bool, reps: usize) -> Vec<SparseEntry> {
+    let n = if quick { 128 } else { 256 };
+    let densities: &[f64] = if quick {
+        &[0.01, 0.1, 0.5]
+    } else {
+        &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0]
+    };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 4] };
+    let ops = [OpKind::PlusMul, OpKind::MinPlus];
+
+    let mut entries = Vec::new();
+    let mut t = Table::new(
+        format!("Sparse crossover: CSR-declared vs dense dispatch ({n}x{n})"),
+        &[
+            "op",
+            "density",
+            "threads",
+            "dense s",
+            "sparse s",
+            "sparse vs dense",
+            "skipped",
+        ],
+    );
+    for op in ops {
+        let csr = OperandRepr::csr_for(op).expect("crossover ops carry an annihilator");
+        let (a0, b0, c) = operands(op, n, n, n);
+        for &density in densities {
+            let a = sparsify(op, &a0, density, 21);
+            let b = sparsify(op, &b0, density, 22);
+            for &threads in thread_counts {
+                let par = Parallelism::Threads(threads);
+                let mut dense_be = SparseTiledBackend::new().with_parallelism(par);
+                let mut sparse_be = SparseTiledBackend::new().with_parallelism(par);
+                let dense_out = dense_be.mmo(op, &a, &b, &c).expect("dense mmo");
+                let sparse_out = sparse_be
+                    .mmo_ref(
+                        op,
+                        MatrixRef::new(&a, csr),
+                        MatrixRef::new(&b, csr),
+                        MatrixRef::dense(&c),
+                    )
+                    .expect("sparse mmo");
+                assert!(
+                    dense_out
+                        .as_slice()
+                        .iter()
+                        .zip(sparse_out.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "sparse dispatch diverged from dense: {op} d={density} T={threads}"
+                );
+                let counts = sparse_be.sparse_count();
+                assert!(counts.sparse_mmos > 0, "sparse leg must route sparse");
+                let terms = (counts.fma_terms + counts.skipped_terms) as f64;
+                let skipped_term_frac = if terms > 0.0 {
+                    counts.skipped_terms as f64 / terms
+                } else {
+                    0.0
+                };
+                let dense_seconds = time_best(reps, || dense_be.mmo(op, &a, &b, &c).expect("mmo"));
+                let sparse_seconds = time_best(reps, || {
+                    sparse_be
+                        .mmo_ref(
+                            op,
+                            MatrixRef::new(&a, csr),
+                            MatrixRef::new(&b, csr),
+                            MatrixRef::dense(&c),
+                        )
+                        .expect("mmo")
+                });
+                let e = SparseEntry {
+                    op,
+                    n,
+                    density,
+                    threads,
+                    dense_seconds,
+                    sparse_seconds,
+                    speedup_sparse_vs_dense: dense_seconds / sparse_seconds,
+                    skipped_term_frac,
+                };
+                t.row(&[
+                    op.name().to_owned(),
+                    format!("{density:.2}"),
+                    threads.to_string(),
+                    format!("{dense_seconds:.4}"),
+                    format!("{sparse_seconds:.4}"),
+                    fmt_speedup(e.speedup_sparse_vs_dense),
+                    format!("{:.1}%", 100.0 * skipped_term_frac),
+                ]);
+                entries.push(e);
+            }
+        }
+    }
+    t.print();
+    entries
 }
 
 /// Plan-IR batch dispatch: records one independent MMO per op as a
@@ -428,9 +588,10 @@ fn main() {
 
     t.print();
     println!();
+    let sparse_entries = sparse_crossover_sweep(quick, reps);
     plan_batch_sweep(quick, thread_counts, reps);
     pass_pipeline_sweep(quick, reps);
-    let json = render_json(quick, &entries);
+    let json = render_json(quick, &entries, &sparse_entries);
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     eprintln!("wrote BENCH_throughput.json ({} entries)", entries.len());
 }

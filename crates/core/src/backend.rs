@@ -20,6 +20,7 @@ use simd2_isa::{Dtype, ExecStats, Executor, Instruction, MatrixReg, SharedMemory
 use simd2_trace::{field, span, Counter, Tracer};
 
 use crate::error::BackendError;
+use crate::repr::{MatrixRef, OperandRepr};
 
 /// Process-global whole-matrix mmo count (traced backends only).
 static MATRIX_MMOS: Counter = Counter::new("core.matrix_mmos");
@@ -150,6 +151,34 @@ pub trait Backend {
         self.mmo(op, a, b, c)
     }
 
+    /// Executes `D = C ⊕ (A ⊗ B)` with per-operand *representation*
+    /// declarations ([`MatrixRef`]) — the seam that lets a recorded
+    /// algorithm run unchanged while a lowering decision (dense, CSR,
+    /// 2:4-structured) rides along with each operand.
+    ///
+    /// A declaration is a schedule hint, never a semantic change:
+    /// whatever the representation, the output must be **bit-identical**
+    /// to the dense datapath. The default therefore validates the
+    /// declarations ([`crate::validate::check_mmo_operands_ref`]) and
+    /// falls back to [`Backend::mmo`]; representation-aware backends
+    /// (e.g. `simd2-sparse`'s Gustavson spGEMM) override it with
+    /// compressed kernels that preserve the bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::mmo`], plus [`BackendError::Repr`] when a
+    /// declaration is invalid for the operation.
+    fn mmo_ref(
+        &mut self,
+        op: OpKind,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
+    ) -> Result<Matrix, BackendError> {
+        crate::validate::check_mmo_operands_ref(op, a, b, c)?;
+        self.mmo(op, a.matrix, b.matrix, c.matrix)
+    }
+
     /// Executes a batch of *mutually independent* `D = C ⊕ (A ⊗ B)`
     /// steps, returning one output per step in submission order.
     ///
@@ -229,6 +258,44 @@ pub struct MmoArgs<'a> {
     pub b: &'a Matrix,
     /// Accumulator (`m×n`).
     pub c: &'a Matrix,
+    /// Declared representation of `[a, b, c]` — dense unless the plan
+    /// (or caller) lowered an operand to a sparse form. Backends
+    /// without sparse kernels may ignore this: representation never
+    /// changes the answer.
+    pub reprs: [OperandRepr; 3],
+}
+
+impl<'a> MmoArgs<'a> {
+    /// Dense-operand step args (the common case).
+    pub fn new(op: OpKind, a: &'a Matrix, b: &'a Matrix, c: &'a Matrix) -> Self {
+        Self {
+            op,
+            a,
+            b,
+            c,
+            reprs: [OperandRepr::Dense; 3],
+        }
+    }
+
+    /// The left operand as a [`MatrixRef`] with its declared repr.
+    pub fn a_ref(&self) -> MatrixRef<'a> {
+        MatrixRef::new(self.a, self.reprs[0])
+    }
+
+    /// The right operand as a [`MatrixRef`] with its declared repr.
+    pub fn b_ref(&self) -> MatrixRef<'a> {
+        MatrixRef::new(self.b, self.reprs[1])
+    }
+
+    /// The accumulator as a [`MatrixRef`] with its declared repr.
+    pub fn c_ref(&self) -> MatrixRef<'a> {
+        MatrixRef::new(self.c, self.reprs[2])
+    }
+
+    /// Whether every operand is declared dense.
+    pub fn is_dense(&self) -> bool {
+        self.reprs.iter().all(|r| r.is_dense())
+    }
 }
 
 /// Emits the [`span::MMO`] begin event for a whole-matrix operation.
@@ -1182,7 +1249,7 @@ mod tests {
         let steps = batch_operands();
         let args: Vec<MmoArgs<'_>> = steps
             .iter()
-            .map(|(op, a, b, c)| MmoArgs { op: *op, a, b, c })
+            .map(|(op, a, b, c)| MmoArgs::new(*op, a, b, c))
             .collect();
         let mut seq = TiledBackend::new();
         let want: Vec<Matrix> = steps
@@ -1218,7 +1285,7 @@ mod tests {
         let steps = batch_operands();
         let args: Vec<MmoArgs<'_>> = steps
             .iter()
-            .map(|(op, a, b, c)| MmoArgs { op: *op, a, b, c })
+            .map(|(op, a, b, c)| MmoArgs::new(*op, a, b, c))
             .collect();
         let ring = RingSink::shared();
         let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4))
@@ -1252,7 +1319,7 @@ mod tests {
             let outputs = if batched {
                 let args: Vec<MmoArgs<'_>> = steps
                     .iter()
-                    .map(|(a, b, c)| MmoArgs { op, a, b, c })
+                    .map(|(a, b, c)| MmoArgs::new(op, a, b, c))
                     .collect();
                 be.mmo_batch(&args).unwrap()
             } else {
@@ -1284,7 +1351,7 @@ mod tests {
         be.set_parallelism(Parallelism::Threads(2));
         let args: Vec<MmoArgs<'_>> = steps
             .iter()
-            .map(|(a, b, c)| MmoArgs { op, a, b, c })
+            .map(|(a, b, c)| MmoArgs::new(op, a, b, c))
             .collect();
         let err = be.mmo_batch(&args).unwrap_err();
         match &err {
@@ -1305,18 +1372,8 @@ mod tests {
         let good = operands(op, 40, 40, 40);
         let bad_b = Matrix::zeros(17, 40);
         let args = [
-            MmoArgs {
-                op,
-                a: &good.0,
-                b: &good.1,
-                c: &good.2,
-            },
-            MmoArgs {
-                op,
-                a: &good.0,
-                b: &bad_b,
-                c: &good.2,
-            },
+            MmoArgs::new(op, &good.0, &good.1, &good.2),
+            MmoArgs::new(op, &good.0, &bad_b, &good.2),
         ];
         let mut be = TiledBackend::with_parallelism(Parallelism::Threads(4));
         assert!(be.mmo_batch(&args).is_err());

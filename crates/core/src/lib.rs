@@ -39,6 +39,7 @@ pub mod highlevel;
 pub mod micro;
 pub mod plan;
 pub mod program;
+pub mod repr;
 pub mod resilient;
 pub mod solve;
 pub mod typed;
@@ -50,12 +51,14 @@ pub use backend::{
 pub use error::BackendError;
 pub use highlevel::Simd2Context;
 pub use plan::passes::{
-    CsePass, DsePass, FusedChain, FusionPass, OptimizedPlan, OptimizingRecorder, PassPipeline,
-    PassReport, PassStats, PlanPass, RootPolicy, WaveSchedulerPass,
+    CsePass, DensityLoweringPass, DsePass, FusedChain, FusionPass, OptimizedPlan,
+    OptimizingRecorder, PassPipeline, PassReport, PassStats, PlanPass, RootPolicy,
+    WaveSchedulerPass,
 };
 pub use plan::{
     Executor as PlanExecutor, HaltedReplay, Plan, PlanBuilder, PlanCheckpoint, PlanKey, Replay,
     ReplayControl, ReplayError, ReplayHalt, ReplayProgress, SlotId, SlotOrigin,
 };
+pub use repr::{MatrixRef, OperandRepr};
 pub use resilient::{RecoveryPolicy, RecoveryStats, ResilientBackend, RetryBackoff};
 pub use solve::{ClosureAlgorithm, ClosureResult, ClosureStats};

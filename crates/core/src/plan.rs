@@ -32,6 +32,7 @@ use simd2_trace::{field, span, Tracer};
 use crate::backend::{Backend, MmoArgs, OpCount};
 use crate::error::BackendError;
 use crate::program::{compile_mmo, CompiledKernel};
+use crate::repr::{MatrixRef, OperandRepr};
 
 /// Index of a value slot in a plan's arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,6 +70,11 @@ struct Slot {
     /// redundant. Twins are value-derived, so they are deliberately
     /// excluded from [`Plan::structural_hash`].
     twin: Option<SlotId>,
+    /// The slot's execution representation (dense unless a sparse MMO
+    /// recorded through [`Backend::mmo_ref`] or a lowering pass declared
+    /// otherwise). Part of [`Plan::structural_hash`]: the lowering is a
+    /// plan property, so differently-lowered plans cache separately.
+    repr: OperandRepr,
 }
 
 /// One recorded `D = C ⊕ (A ⊗ B)` step over the slot arena. Slots are
@@ -137,6 +143,26 @@ impl Plan {
     /// The captured value of an input slot (`None` for step outputs).
     pub fn input_value(&self, slot: SlotId) -> Option<&Matrix> {
         self.slots[slot.0].value.as_ref()
+    }
+
+    /// A slot's declared execution representation.
+    pub fn slot_repr(&self, slot: SlotId) -> OperandRepr {
+        self.slots[slot.0].repr
+    }
+
+    /// The declared representations of a step's `[a, b, c]` operands.
+    pub fn step_reprs(&self, step: usize) -> [OperandRepr; 3] {
+        let s = &self.steps[step];
+        [
+            self.slots[s.a.0].repr,
+            self.slots[s.b.0].repr,
+            self.slots[s.c.0].repr,
+        ]
+    }
+
+    /// Whether any slot carries a sparse representation.
+    pub fn has_sparse_slots(&self) -> bool {
+        self.slots.iter().any(|s| !s.repr.is_dense())
     }
 
     /// The earliest slot whose recorded content was bit-identical to
@@ -270,6 +296,12 @@ impl Plan {
                     SlotOrigin::Step(i) => 1 + i as u64,
                 },
             );
+            // Representation is a lowering decision and thus part of the
+            // structure. Dense slots mix nothing, so all-dense plans
+            // keep their pre-seam hashes.
+            if !slot.repr.is_dense() {
+                h = fnv_mix(h, slot.repr.hash_tag());
+            }
         }
         h = fnv_mix(h, self.steps.len() as u64);
         for step in &self.steps {
@@ -287,12 +319,25 @@ impl Plan {
     /// slot order). Flipping any single bit of any input changes the
     /// fingerprint, so a cache keyed on [`Plan::cache_key`] can never
     /// serve a stale result for perturbed inputs.
+    ///
+    /// Sparse-declared inputs fingerprint through their CSR raw parts
+    /// ([`crate::repr::fingerprint_sparse`]) instead of the dense
+    /// walk — the same bits a sparse kernel actually reads. The parts
+    /// are filtered on *bit* equality with the sentinel, so they remain
+    /// a bijection with the element bits and the single-bit-flip
+    /// guarantee holds for sparse slots too.
     pub fn input_fingerprint(&self) -> u64 {
         let mut h = FNV_OFFSET;
         for (i, slot) in self.slots.iter().enumerate() {
             if let Some(value) = &slot.value {
                 h = fnv_mix(h, i as u64);
-                h = fnv_mix(h, content_hash(value));
+                match slot.repr.zero() {
+                    None => h = fnv_mix(h, content_hash(value)),
+                    Some(zero) => {
+                        h = fnv_mix(h, slot.repr.hash_tag());
+                        h = fnv_mix(h, crate::repr::fingerprint_sparse(value, zero));
+                    }
+                }
             }
         }
         h
@@ -341,11 +386,11 @@ impl Plan {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// One FNV-1a mixing round.
-fn fnv_mix(h: u64, word: u64) -> u64 {
+pub(crate) fn fnv_mix(h: u64, word: u64) -> u64 {
     (h ^ word).wrapping_mul(FNV_PRIME)
 }
 
@@ -428,8 +473,14 @@ impl<'b, B: Backend> PlanBuilder<'b, B> {
     }
 
     /// Interns `m`: returns the most recent slot with bit-identical
-    /// content, or captures it as a fresh input slot.
-    fn intern(&mut self, m: &Matrix) -> SlotId {
+    /// content, or captures it as a fresh input slot carrying `repr`.
+    ///
+    /// When an existing dense slot is re-declared sparse, the slot is
+    /// *promoted* to the sparse representation (demotion never happens
+    /// here — [`record_mmo`](Self::record_mmo) separately forces
+    /// accumulator slots dense, which wins, because dense execution is
+    /// universally valid while a sparse accumulator is not).
+    fn intern(&mut self, m: &Matrix, repr: OperandRepr) -> SlotId {
         let h = content_hash(m);
         if let Some(candidates) = self.index.get(&h) {
             for &slot in candidates.iter().rev() {
@@ -441,6 +492,9 @@ impl<'b, B: Backend> PlanBuilder<'b, B> {
                         .zip(m.as_slice())
                         .all(|(x, y)| x.to_bits() == y.to_bits())
                 {
+                    if self.plan.slots[slot.0].repr.is_dense() && !repr.is_dense() {
+                        self.plan.slots[slot.0].repr = repr;
+                    }
                     return slot;
                 }
             }
@@ -451,6 +505,7 @@ impl<'b, B: Backend> PlanBuilder<'b, B> {
             origin: SlotOrigin::Input,
             value: Some(m.clone()),
             twin: None,
+            repr,
         });
         self.values.push(m.clone());
         self.index.entry(h).or_default().push(slot);
@@ -483,14 +538,30 @@ impl<'b, B: Backend> PlanBuilder<'b, B> {
             origin: SlotOrigin::Step(step),
             value: None,
             twin,
+            repr: OperandRepr::Dense,
         });
         self.values.push(d.clone());
         self.index.entry(h).or_default().push(slot);
         slot
     }
 
-    fn record_mmo(&mut self, op: OpKind, a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) {
-        let (sa, sb, sc) = (self.intern(a), self.intern(b), self.intern(c));
+    fn record_mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+        d: &Matrix,
+        reprs: [OperandRepr; 3],
+    ) {
+        let (sa, sb) = (self.intern(a, reprs[0]), self.intern(b, reprs[1]));
+        let sc = self.intern(c, OperandRepr::Dense);
+        // Accumulator slots stay dense unconditionally: C seeds every
+        // output element, so it has no skippable terms — and a slot
+        // promoted through an earlier A/B use must be demoted the
+        // moment it is also read as C (dense replay is bit-identical,
+        // so the demotion costs speed, never correctness).
+        self.plan.slots[sc.0].repr = OperandRepr::Dense;
         let step = self.plan.steps.len();
         let sd = self.record_output(d, step);
         self.plan.steps.push(Step {
@@ -522,7 +593,7 @@ impl<B: Backend> Backend for PlanBuilder<'_, B> {
         // Execute first: a failed operation records nothing, matching
         // the counter/telemetry convention everywhere else.
         let d = self.backend.mmo(op, a, b, c)?;
-        self.record_mmo(op, a, b, c, &d);
+        self.record_mmo(op, a, b, c, &d, [OperandRepr::Dense; 3]);
         Ok(d)
     }
 
@@ -534,7 +605,29 @@ impl<B: Backend> Backend for PlanBuilder<'_, B> {
         c: &Matrix,
     ) -> Result<Matrix, BackendError> {
         let d = self.backend.mmo_sequential(op, a, b, c)?;
-        self.record_mmo(op, a, b, c, &d);
+        self.record_mmo(op, a, b, c, &d, [OperandRepr::Dense; 3]);
+        Ok(d)
+    }
+
+    fn mmo_ref(
+        &mut self,
+        op: OpKind,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
+    ) -> Result<Matrix, BackendError> {
+        // The inner backend validates the declarations (and may execute
+        // through its sparse kernels); only a successful step records,
+        // with the operand reprs riding into the slot arena.
+        let d = self.backend.mmo_ref(op, a, b, c)?;
+        self.record_mmo(
+            op,
+            a.matrix,
+            b.matrix,
+            c.matrix,
+            &d,
+            [a.repr, b.repr, c.repr],
+        );
         Ok(d)
     }
 
@@ -1025,6 +1118,7 @@ impl Executor {
                                     a: operand(values, s.a),
                                     b: operand(values, s.b),
                                     c: operand(values, s.c),
+                                    reprs: plan.step_reprs(i),
                                 }
                             })
                             .collect();
@@ -1055,19 +1149,33 @@ impl Executor {
                         for &i in &todo {
                             checkpoint(control, plan, i, completed, 1)?;
                             let s = &plan.steps[i];
-                            let d = backend
-                                .mmo(
+                            let reprs = plan.step_reprs(i);
+                            // All-dense steps dispatch through `mmo`
+                            // exactly as before the representation seam;
+                            // sparse-declared steps go through `mmo_ref`
+                            // so representation-aware backends can honour
+                            // the lowering (bit-identical either way).
+                            let d = if reprs.iter().all(|r| r.is_dense()) {
+                                backend.mmo(
                                     s.op,
                                     operand(values, s.a),
                                     operand(values, s.b),
                                     operand(values, s.c),
                                 )
-                                .map_err(|e| ReplayError {
-                                    step: i,
-                                    slot: s.d,
-                                    completed_steps: completed,
-                                    halt: ReplayHalt::Backend(e),
-                                })?;
+                            } else {
+                                backend.mmo_ref(
+                                    s.op,
+                                    MatrixRef::new(operand(values, s.a), reprs[0]),
+                                    MatrixRef::new(operand(values, s.b), reprs[1]),
+                                    MatrixRef::new(operand(values, s.c), reprs[2]),
+                                )
+                            }
+                            .map_err(|e| ReplayError {
+                                step: i,
+                                slot: s.d,
+                                completed_steps: completed,
+                                halt: ReplayHalt::Backend(e),
+                            })?;
                             values[s.d.0] = Some(d);
                             completed += 1;
                         }

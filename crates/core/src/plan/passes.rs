@@ -24,10 +24,22 @@
 //!   as [`Backend::prepare_chain`] hints so the tiled backend can give
 //!   the chain shared slab residency (output buffers pre-allocated off
 //!   the replay's critical path).
+//! * [`DensityLoweringPass`] — the Fig 14 density crossover as a plan
+//!   rewrite: input slots whose measured
+//!   [`density`](crate::repr::density) makes every reader step cheaper
+//!   under the sparse cost model
+//!   ([`predicted_sparse_mmo_cost`](simd2_gpu::cost::predicted_sparse_mmo_cost))
+//!   are re-declared [`Csr`](OperandRepr::Csr) (or
+//!   [`Structured24`](OperandRepr::Structured24) when 2:4-compliant).
+//!   Representation is a schedule hint, never a semantics change, so
+//!   the rewrite is bit-identity-preserving by construction; slots read
+//!   as an accumulator anywhere, and steps without a no-edge
+//!   annihilator (`PlusNorm`), are never touched.
 //! * [`WaveSchedulerPass`] — orders the mutually independent steps of
 //!   each dependency wave longest-processing-time-first by the
 //!   `simd2-gpu` analytic step cost
-//!   ([`predicted_mmo_cost`](simd2_gpu::cost::predicted_mmo_cost)), so
+//!   ([`predicted_mmo_cost`](simd2_gpu::cost::predicted_mmo_cost); the
+//!   sparse variant for steps with sparse-declared operands), so
 //!   batched dispatch starts its most expensive steps first instead of
 //!   in record order. Steps never move across a RAW edge: only the
 //!   order *within* a wave changes.
@@ -49,7 +61,7 @@
 
 use std::collections::HashMap;
 
-use simd2_gpu::cost::predicted_mmo_cost;
+use simd2_gpu::cost::{predicted_mmo_cost, predicted_sparse_mmo_cost};
 use simd2_matrix::Matrix;
 use simd2_semiring::OpKind;
 use simd2_trace::Counter;
@@ -57,6 +69,7 @@ use simd2_trace::Counter;
 use super::{Executor, Plan, PlanBuilder, PlanKey, Replay, ReplayError, SlotId, SlotOrigin};
 use crate::backend::{Backend, OpCount};
 use crate::error::BackendError;
+use crate::repr::{self, OperandRepr};
 
 /// Process-global count of pipeline runs.
 static PASS_RUNS: Counter = Counter::new("core.pass.runs");
@@ -68,6 +81,8 @@ static PASS_STEPS_ELIMINATED: Counter = Counter::new("core.pass.steps_eliminated
 static PASS_STEPS_REORDERED: Counter = Counter::new("core.pass.steps_reordered");
 /// Process-global count of RAW chains annotated by fusion.
 static PASS_CHAINS_FUSED: Counter = Counter::new("core.pass.chains_fused");
+/// Process-global count of slots re-declared sparse by density lowering.
+static PASS_SLOTS_RELOWERED: Counter = Counter::new("core.pass.slots_relowered");
 
 /// What one pass did to the plan it was handed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -82,6 +97,8 @@ pub struct PassStats {
     pub steps_reordered: usize,
     /// RAW chains annotated for slab residency (fusion).
     pub chains_fused: usize,
+    /// Input slots re-declared sparse (density lowering).
+    pub slots_relowered: usize,
 }
 
 /// Aggregate telemetry of one [`PassPipeline::run`]: per-pass stats
@@ -100,18 +117,20 @@ pub struct PassReport {
     pub steps_reordered: usize,
     /// Total RAW chains annotated by fusion passes.
     pub chains_fused: usize,
+    /// Total input slots re-declared sparse by density-lowering passes.
+    pub slots_relowered: usize,
     /// Per-pass breakdown, in execution order.
     pub passes: Vec<PassStats>,
 }
 
 impl PassReport {
-    /// Whether any pass changed the plan's steps (merges, eliminations,
-    /// or reorders — fusion is annotation-only and does not count).
-    /// When this is `false` the optimized plan's replay is
-    /// event-stream-identical to the unoptimized replay, not just
-    /// output-identical.
+    /// Whether any pass changed the plan's steps or lowerings (merges,
+    /// eliminations, reorders, or representation rewrites — fusion is
+    /// annotation-only and does not count). When this is `false` the
+    /// optimized plan's replay is event-stream-identical to the
+    /// unoptimized replay, not just output-identical.
     pub fn changed(&self) -> bool {
-        self.steps_merged + self.steps_eliminated + self.steps_reordered > 0
+        self.steps_merged + self.steps_eliminated + self.steps_reordered + self.slots_relowered > 0
     }
 }
 
@@ -609,13 +628,139 @@ impl PlanPass for FusionPass {
     }
 }
 
+/// Density-crossover representation lowering (the Fig 14 decision as a
+/// plan rewrite).
+///
+/// For every *input* slot still declared dense, the pass measures the
+/// captured value's [`density`](crate::repr::density) against each
+/// reader step's no-edge sentinel and promotes the slot to
+/// [`OperandRepr::Csr`] — or [`OperandRepr::Structured24`] when the
+/// value satisfies the 2:4 constraint — exactly when the sparse cost
+/// model predicts every reader step gets cheaper
+/// ([`predicted_sparse_mmo_cost`] vs [`predicted_mmo_cost`] on the
+/// step's recorded geometry; the per-step instantiation of
+/// [`sparse_crossover_density`](simd2_gpu::cost::sparse_crossover_density)).
+///
+/// The rewrite can never change an answer or invalidate a replay:
+///
+/// * a representation is a schedule hint — every backend's sparse
+///   kernels are bit-identical to its dense datapath, and backends
+///   without sparse kernels validate the declaration and fall back
+///   dense;
+/// * a slot is only promoted when **all** its reader steps share one
+///   no-edge annihilator equal to the new sentinel (so
+///   [`check_mmo_operands_ref`](crate::validate::check_mmo_operands_ref)
+///   accepts every dispatch), which also excludes `PlusNorm` readers
+///   (no annihilator exists);
+/// * slots read as the accumulator `C` anywhere stay dense — `C` seeds
+///   every output element and has no skippable terms;
+/// * step-output slots stay dense — their values exist only at replay
+///   time, so no density measurement exists at lowering time.
+///
+/// Promotion changes [`Plan::structural_hash`] (lowering is a plan
+/// property), so differently-lowered plans cache separately by design.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DensityLoweringPass;
+
+impl PlanPass for DensityLoweringPass {
+    fn name(&self) -> &'static str {
+        "density-lower"
+    }
+
+    fn run(&self, optimized: &mut OptimizedPlan) -> PassStats {
+        let plan = &optimized.plan;
+        let n_slots = plan.slots.len();
+        // Which steps read each slot as A/B, and whether any step reads
+        // it as the accumulator.
+        let mut used_as_c = vec![false; n_slots];
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+        for (j, step) in plan.steps.iter().enumerate() {
+            used_as_c[step.c.0] = true;
+            readers[step.a.0].push(j);
+            readers[step.b.0].push(j);
+        }
+        let mut relowered = 0usize;
+        let mut new_reprs: Vec<Option<OperandRepr>> = vec![None; n_slots];
+        for (i, slot) in plan.slots.iter().enumerate() {
+            if !slot.repr.is_dense() || used_as_c[i] || readers[i].is_empty() {
+                continue;
+            }
+            let Some(value) = &slot.value else {
+                continue; // step output: no value to measure at lowering time
+            };
+            // Every reader op must share one no-edge annihilator — the
+            // sentinel the promoted declaration validates against.
+            let mut sentinel: Option<f32> = None;
+            let agreed = readers[i].iter().all(|&j| {
+                let Some(z) = plan.steps[j].op.no_edge_f32() else {
+                    return false;
+                };
+                match sentinel {
+                    None => {
+                        sentinel = Some(z);
+                        true
+                    }
+                    Some(prev) => prev.to_bits() == z.to_bits(),
+                }
+            });
+            let Some(zero) = sentinel.filter(|_| agreed) else {
+                continue;
+            };
+            let d = repr::density(value, zero);
+            // Below the crossover for *every* reader: the sparse model
+            // (this slot at its measured density, the other operand at
+            // its already-declared density) must beat the dense model
+            // on each reader step's recorded geometry.
+            let cheaper_everywhere = readers[i].iter().all(|&j| {
+                let s = &plan.steps[j];
+                let (m, n, k) = plan.step_geometry(j);
+                let other = |slot: SlotId| match (
+                    plan.slots[slot.0].repr.zero(),
+                    &plan.slots[slot.0].value,
+                ) {
+                    (Some(z), Some(v)) => repr::density(v, z),
+                    _ => 1.0,
+                };
+                let (da, db) = if s.a.0 == i {
+                    (d, if s.b.0 == i { d } else { other(s.b) })
+                } else {
+                    (other(s.a), d)
+                };
+                predicted_sparse_mmo_cost(s.op, m, n, k, da, db) < predicted_mmo_cost(s.op, m, n, k)
+            });
+            if !cheaper_everywhere {
+                continue;
+            }
+            new_reprs[i] = Some(if repr::is_2_4_compliant(value, zero) {
+                OperandRepr::structured(zero)
+            } else {
+                OperandRepr::csr(zero)
+            });
+            relowered += 1;
+        }
+        for (i, repr) in new_reprs.into_iter().enumerate() {
+            if let Some(r) = repr {
+                optimized.plan.slots[i].repr = r;
+            }
+        }
+        PassStats {
+            pass: self.name(),
+            slots_relowered: relowered,
+            ..PassStats::default()
+        }
+    }
+}
+
 /// Cost-model wave scheduler: within each dependency wave, orders the
 /// mutually independent steps longest-processing-time-first by the
 /// `simd2-gpu` predicted step cost (per-element issue slots × `m·n·k`
-/// volume), so batched dispatch launches its most expensive steps
-/// first. Waves are concatenated in order and dependency edges never
-/// cross — each step's dependencies keep strictly smaller indices, and
-/// the optimized plan's wave *partition* is identical to the input's.
+/// volume; the sparse cost model for steps whose operands carry sparse
+/// declarations, so a density-lowered plan schedules by its *actual*
+/// predicted work), so batched dispatch launches its most expensive
+/// steps first. Waves are concatenated in order and dependency edges
+/// never cross — each step's dependencies keep strictly smaller
+/// indices, and the optimized plan's wave *partition* is identical to
+/// the input's.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WaveSchedulerPass;
 
@@ -630,7 +775,29 @@ impl PlanPass for WaveSchedulerPass {
         let costs: Vec<f64> = (0..n)
             .map(|j| {
                 let (m, cols, k) = plan.step_geometry(j);
-                predicted_mmo_cost(plan.steps[j].op, m, cols, k)
+                let s = &plan.steps[j];
+                let reprs = plan.step_reprs(j);
+                if reprs.iter().all(|r| r.is_dense()) {
+                    return predicted_mmo_cost(s.op, m, cols, k);
+                }
+                // Sparse-declared operands cost by measured density
+                // (1.0 when no value is captured, i.e. never for the
+                // sparse slots the density pass produces).
+                let density_of = |slot: SlotId, r: OperandRepr| match (
+                    r.zero(),
+                    plan.slots[slot.0].value.as_ref(),
+                ) {
+                    (Some(z), Some(v)) => repr::density(v, z),
+                    _ => 1.0,
+                };
+                predicted_sparse_mmo_cost(
+                    s.op,
+                    m,
+                    cols,
+                    k,
+                    density_of(s.a, reprs[0]),
+                    density_of(s.b, reprs[1]),
+                )
             })
             .collect();
         let mut order = Vec::with_capacity(n);
@@ -732,6 +899,23 @@ impl PassPipeline {
         ])
     }
 
+    /// The sparse pipeline: [`standard`](Self::standard) plus a
+    /// [`DensityLoweringPass`] between DSE and fusion, so the Fig 14
+    /// density crossover re-declares cold input slots sparse and the
+    /// wave scheduler then costs those steps with the sparse model.
+    /// Kept out of `standard()`/`serving()` on purpose: promotion moves
+    /// the plan's structural hash, and callers who did not opt into
+    /// sparse lowering keep their pre-seam cache identities.
+    pub fn sparse() -> Self {
+        Self::new(vec![
+            Box::new(CsePass),
+            Box::new(DsePass::new(RootPolicy::Leaves)),
+            Box::new(DensityLoweringPass),
+            Box::new(FusionPass),
+            Box::new(WaveSchedulerPass),
+        ])
+    }
+
     /// The configured passes' names, in order.
     pub fn pass_names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
@@ -747,6 +931,7 @@ impl PassPipeline {
             report.steps_eliminated += stats.steps_eliminated;
             report.steps_reordered += stats.steps_reordered;
             report.chains_fused += stats.chains_fused;
+            report.slots_relowered += stats.slots_relowered;
             report.passes.push(stats);
         }
         optimized.report.steps_after = optimized.plan.step_count();
@@ -756,6 +941,7 @@ impl PassPipeline {
         PASS_STEPS_ELIMINATED.add(report.steps_eliminated as u64);
         PASS_STEPS_REORDERED.add(report.steps_reordered as u64);
         PASS_CHAINS_FUSED.add(report.chains_fused as u64);
+        PASS_SLOTS_RELOWERED.add(report.slots_relowered as u64);
         optimized
     }
 }
@@ -975,6 +1161,168 @@ mod tests {
         let replay = Executor::new().run_optimized(&optimized, &mut be).unwrap();
         assert!(bit_eq(optimized.step_output(&replay, 0).unwrap(), &da));
         assert!(bit_eq(optimized.step_output(&replay, 1).unwrap(), &db));
+    }
+
+    /// A 48×48 MinPlus adjacency with ~10% finite edges — far below
+    /// any op's predicted density crossover, and deliberately *not*
+    /// 2:4-compliant (every seventh row opens with three finite
+    /// entries) so promotion lands on CSR.
+    fn sparse_minplus_input() -> Matrix {
+        Matrix::from_fn(48, 48, |r, c| {
+            if (r * 31 + c * 17) % 10 == 0 || (r % 7 == 0 && c < 3) {
+                1.0 + ((r + c) % 7) as f32
+            } else {
+                f32::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn density_lowering_promotes_cold_inputs_and_preserves_bits() {
+        let op = OpKind::MinPlus;
+        let a = sparse_minplus_input();
+        let b = gen::random_operands_for(op, 48, 48, 11);
+        let c = Matrix::filled(48, 48, op.reduce_identity_f32());
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let d0 = rec.mmo(op, &a, &b, &c).unwrap();
+        let d1 = rec.mmo(op, &d0, &b, &c).unwrap();
+        let plan = rec.finish();
+        let standard = PassPipeline::standard().run(plan.clone());
+        let optimized = PassPipeline::sparse().run(plan);
+        assert_eq!(optimized.report().slots_relowered, 1, "only A is cold");
+        assert!(optimized.report().changed());
+        assert!(optimized.plan().has_sparse_slots());
+        // Lowering is part of the plan's structure: the sparse pipeline
+        // produces a distinct cache identity.
+        assert_ne!(optimized.cache_key(), standard.cache_key());
+        // The promoted slot is A's, as a CSR over the op's no-edge.
+        let promoted: Vec<OperandRepr> = optimized
+            .plan()
+            .input_slots()
+            .into_iter()
+            .map(|s| optimized.plan().slot_repr(s))
+            .filter(|r| !r.is_dense())
+            .collect();
+        assert_eq!(promoted, vec![OperandRepr::csr(f32::INFINITY)]);
+        // Replays — sequential and batched — stay bit-identical to the
+        // eager recording on the dense-fallback backend.
+        for executor in [Executor::new(), Executor::batched()] {
+            let mut be = TiledBackend::new();
+            let replay = executor.run_optimized(&optimized, &mut be).unwrap();
+            assert!(bit_eq(optimized.step_output(&replay, 0).unwrap(), &d0));
+            assert!(bit_eq(optimized.final_output(&replay).unwrap(), &d1));
+        }
+    }
+
+    #[test]
+    fn density_lowering_prefers_structured_for_2_4_compliant_inputs() {
+        let op = OpKind::PlusMul;
+        // One nonzero per 8 columns: density 1/8, 2:4-compliant.
+        let a = Matrix::from_fn(48, 48, |r, c| {
+            if c % 8 == 0 {
+                1.0 + (r % 5) as f32
+            } else {
+                0.0
+            }
+        });
+        let b = gen::random_operands_for(op, 48, 48, 3);
+        let c = Matrix::filled(48, 48, op.reduce_identity_f32());
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        let d0 = rec.mmo(op, &a, &b, &c).unwrap();
+        let optimized = PassPipeline::sparse().run(rec.finish());
+        assert_eq!(optimized.report().slots_relowered, 1);
+        let reprs: Vec<OperandRepr> = optimized
+            .plan()
+            .input_slots()
+            .into_iter()
+            .map(|s| optimized.plan().slot_repr(s))
+            .filter(|r| !r.is_dense())
+            .collect();
+        assert_eq!(reprs, vec![OperandRepr::structured(0.0)]);
+        let mut be = TiledBackend::new();
+        let replay = Executor::new().run_optimized(&optimized, &mut be).unwrap();
+        assert!(bit_eq(optimized.final_output(&replay).unwrap(), &d0));
+    }
+
+    #[test]
+    fn density_lowering_never_touches_accumulator_reads_or_plusnorm() {
+        let op = OpKind::MinPlus;
+        let a = sparse_minplus_input();
+        let b = gen::random_operands_for(op, 48, 48, 5);
+        let x = gen::random_operands_for(op, 48, 48, 6);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        // `a` is read as A in step 0 and as the accumulator in step 1:
+        // it must stay dense even though its density is promotable.
+        rec.mmo(
+            op,
+            &a,
+            &b,
+            &Matrix::filled(48, 48, op.reduce_identity_f32()),
+        )
+        .unwrap();
+        rec.mmo(op, &x, &b, &a).unwrap();
+        let optimized = PassPipeline::sparse().run(rec.finish());
+        assert_eq!(optimized.report().slots_relowered, 0);
+        assert!(!optimized.plan().has_sparse_slots());
+        // PlusNorm has no annihilator: nothing promotes regardless of
+        // how many exact zeros the input holds.
+        let op = OpKind::PlusNorm;
+        let zeroed = Matrix::from_fn(48, 48, |r, c| if (r + c) % 9 == 0 { 2.0 } else { 0.0 });
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(
+            op,
+            &zeroed,
+            &gen::random_operands_for(op, 48, 48, 7),
+            &Matrix::filled(48, 48, op.reduce_identity_f32()),
+        )
+        .unwrap();
+        let optimized = PassPipeline::sparse().run(rec.finish());
+        assert_eq!(optimized.report().slots_relowered, 0);
+        assert!(!optimized.plan().has_sparse_slots());
+    }
+
+    #[test]
+    fn mixed_annihilator_readers_stay_dense() {
+        // `a` is sparse under +inf, but its two readers disagree on the
+        // no-edge sentinel (MinPlus: +inf, MaxPlus: -inf) — a single
+        // declaration cannot validate for both, so it stays dense.
+        let a = sparse_minplus_input();
+        let b = gen::random_operands_for(OpKind::MinPlus, 48, 48, 8);
+        let mut be = TiledBackend::new();
+        let mut rec = PlanBuilder::over(&mut be);
+        rec.mmo(
+            OpKind::MinPlus,
+            &a,
+            &b,
+            &Matrix::filled(48, 48, OpKind::MinPlus.reduce_identity_f32()),
+        )
+        .unwrap();
+        rec.mmo(
+            OpKind::MaxPlus,
+            &a,
+            &b,
+            &Matrix::filled(48, 48, OpKind::MaxPlus.reduce_identity_f32()),
+        )
+        .unwrap();
+        let optimized = PassPipeline::sparse().run(rec.finish());
+        assert_eq!(optimized.report().slots_relowered, 0);
+        assert!(!optimized.plan().has_sparse_slots());
+    }
+
+    #[test]
+    fn sparse_pipeline_is_identity_on_dense_plans() {
+        // Fully dense inputs sit above every crossover: the sparse
+        // pipeline must keep the standard pipeline's cache identity, so
+        // callers opting in pay nothing on dense workloads.
+        let (plan, _) = record_with_duplicate(OpKind::MinPlus);
+        let standard = PassPipeline::standard().run(plan.clone());
+        let sparse = PassPipeline::sparse().run(plan);
+        assert_eq!(sparse.report().slots_relowered, 0);
+        assert_eq!(standard.cache_key(), sparse.cache_key());
     }
 
     #[test]

@@ -18,8 +18,9 @@ use simd2_mxu::PrecisionMode;
 use simd2_semiring::OpKind;
 use simd2_trace::{field, span, Counter, Tracer};
 
-use crate::backend::{Backend, OpCount, ReferenceBackend};
+use crate::backend::{Backend, MmoArgs, OpCount, ReferenceBackend};
 use crate::error::BackendError;
+use crate::repr::MatrixRef;
 
 /// Process-global count of ABFT corruption detections.
 static DETECTIONS: Counter = Counter::new("resilient.detections");
@@ -337,19 +338,29 @@ impl<B: Backend> ResilientBackend<B> {
 
     /// One verified execution attempt on the inner backend, on its
     /// configured schedule or (after a worker panic) a sequential one.
+    ///
+    /// Sparse operand declarations ride through to the inner backend's
+    /// [`Backend::mmo_ref`]; the sequential panic-recovery arm drops to
+    /// the dense [`Backend::mmo_sequential`] schedule, which the repr
+    /// bit-identity contract makes an exact substitute.
     fn attempt(
         &mut self,
         op: OpKind,
-        a: &Matrix,
-        b: &Matrix,
-        c: &Matrix,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
         sequential: bool,
     ) -> Result<Matrix, BackendError> {
+        let all_dense = a.repr.is_dense() && b.repr.is_dense() && c.repr.is_dense();
         let d = if sequential {
-            self.inner.mmo_sequential(op, a, b, c)?
+            self.inner
+                .mmo_sequential(op, a.matrix, b.matrix, c.matrix)?
+        } else if all_dense {
+            self.inner.mmo(op, a.matrix, b.matrix, c.matrix)?
         } else {
-            self.inner.mmo(op, a, b, c)?
+            self.inner.mmo_ref(op, a, b, c)?
         };
+        let (a, b, c) = (a.matrix, b.matrix, c.matrix);
         // Mirror the inner datapath's quantisation so clean fp16 results
         // are not flagged as corrupt.
         let mode = if self.inner.reduced_precision() {
@@ -361,23 +372,16 @@ impl<B: Backend> ResilientBackend<B> {
             .map_err(|violation| BackendError::Corruption { op, violation })?;
         Ok(d)
     }
-}
 
-impl<B: Backend> Backend for ResilientBackend<B> {
-    fn name(&self) -> &'static str {
-        "resilient (ABFT-verified)"
-    }
-
-    fn reduced_precision(&self) -> bool {
-        self.inner.reduced_precision()
-    }
-
-    fn mmo(
+    /// The full detection → retry → fallback ladder for one operation,
+    /// shared by [`Backend::mmo`] (dense declarations) and
+    /// [`Backend::mmo_ref`] (caller-declared representations).
+    fn recover(
         &mut self,
         op: OpKind,
-        a: &Matrix,
-        b: &Matrix,
-        c: &Matrix,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
     ) -> Result<Matrix, BackendError> {
         self.stats.mmos += 1;
         self.note(op, "mmo");
@@ -477,12 +481,71 @@ impl<B: Backend> Backend for ResilientBackend<B> {
                 FALLBACKS.add(1);
             }
             self.note(op, "fallback");
-            let d = self.fallback.mmo(op, a, b, c)?;
+            let d = self.fallback.mmo(op, a.matrix, b.matrix, c.matrix)?;
             self.stats.verified += 1;
             self.note(op, "verified");
             return Ok(d);
         }
         Err(last)
+    }
+}
+
+impl<B: Backend> Backend for ResilientBackend<B> {
+    fn name(&self) -> &'static str {
+        "resilient (ABFT-verified)"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        self.inner.reduced_precision()
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        self.recover(
+            op,
+            MatrixRef::dense(a),
+            MatrixRef::dense(b),
+            MatrixRef::dense(c),
+        )
+    }
+
+    /// Repr-aware entry: the declarations ride through the whole
+    /// recovery ladder to the inner backend's compressed kernels, so a
+    /// sparse plan replayed under resilience still takes its sparse
+    /// datapath. Recovery arms (sequential panic re-execution, the
+    /// reference fallback) run dense — bit-identical by the repr
+    /// contract.
+    fn mmo_ref(
+        &mut self,
+        op: OpKind,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
+    ) -> Result<Matrix, BackendError> {
+        crate::validate::check_mmo_operands_ref(op, a, b, c)?;
+        self.recover(op, a, b, c)
+    }
+
+    /// Sequential loop over the steps, each through the full verified
+    /// ladder with its declared representations — a batch submitted to
+    /// the resilient layer never silently drops sparse declarations.
+    fn mmo_batch(&mut self, steps: &[MmoArgs<'_>]) -> Result<Vec<Matrix>, BackendError> {
+        steps
+            .iter()
+            .map(|s| {
+                self.mmo_ref(
+                    s.op,
+                    MatrixRef::new(s.a, s.reprs[0]),
+                    MatrixRef::new(s.b, s.reprs[1]),
+                    MatrixRef::new(s.c, s.reprs[2]),
+                )
+            })
+            .collect()
     }
 
     fn kernel_isa(&self) -> simd2_semiring::simd::KernelIsa {

@@ -1667,6 +1667,97 @@ mod tests {
     }
 
     #[test]
+    fn streaming_app_jobs_serve_sparse_plans_end_to_end() {
+        use simd2::solve::ClosureAlgorithm;
+        use simd2_sparse::SparseTiledBackend;
+        // The full sparse-serving path in one pass: a streaming-update
+        // registry app expands at admission into a plan with
+        // CSR-declared delta slots, survives the serving pass pipeline,
+        // suspends/resumes at wave boundaries under a round quantum,
+        // replays its sparse steps through SparseTiledBackend's CSR
+        // kernels on a sharded worker pool — and still lands bits
+        // identical to a clean sequential dense replay.
+        let sink = RingSink::shared();
+        let config = ServeConfig {
+            batched: true,
+            optimize_plans: true,
+            resume: ResumeConfig {
+                quantum: 4,
+                max_resumes: 16,
+            },
+            ..ServeConfig::default()
+        };
+        let inner = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(4));
+        let mut svc = PlanService::new(inner, config).with_tracer(Tracer::to(sink.clone()));
+        let t = TenantId(0);
+        svc.register_tenant(t, TenantQuota::default());
+
+        let mut wants = HashMap::new();
+        for app in AppKind::streaming() {
+            // The admission expansion is deterministic per (app, n,
+            // seed): recompute it here for the clean-replay oracle.
+            let run = harness::run_app(
+                &mut TiledBackend::new(),
+                app,
+                32,
+                7,
+                ClosureAlgorithm::Leyzorek,
+                true,
+            );
+            assert!(run.passed(), "{app:?}: diff {}", run.diff);
+            assert!(run.plan.has_sparse_slots(), "{app:?}");
+            let id = svc.submit(t, JobSpec::app(app, 32, 7)).unwrap();
+            wants.insert(id, clean_output(&run.plan));
+        }
+        svc.run_until_idle();
+
+        let outcomes = svc.take_outcomes();
+        assert_eq!(outcomes.len(), 2);
+        // Suspensions reorder completion, so match oracles by job id.
+        for outcome in &outcomes {
+            let want = &wants[&outcome.job];
+            let JobStatus::Completed {
+                output, cache_hit, ..
+            } = &outcome.status
+            else {
+                panic!("streaming job must complete, got {:?}", outcome.status);
+            };
+            assert!(!cache_hit);
+            assert_bit_identical(output, want);
+        }
+        // The sparse kernels genuinely executed on the shared backend.
+        let counts = svc.resilient().inner().sparse_count();
+        assert!(counts.sparse_mmos > 0, "{counts:?}");
+        assert!(counts.skipped_terms > 0, "{counts:?}");
+        // Per-tenant telemetry: the quantum forced suspensions, every
+        // counter mirrors its SERVE event stream exactly.
+        let stats = svc.tenant_stats(t).unwrap();
+        assert_eq!(stats.completed, 2);
+        assert!(stats.suspended > 0 && stats.suspended == stats.resumed);
+        assert!(stats.executed_steps > 0);
+        let count = |stage: &str| -> u64 {
+            sink.events()
+                .iter()
+                .filter(|e| e.is_stage(span::SERVE, stage))
+                .filter(|e| e.u64("tenant") == Some(t.0 as u64))
+                .count() as u64
+        };
+        assert_eq!(count("completed"), stats.completed);
+        assert_eq!(count("suspended"), stats.suspended);
+        assert_eq!(count("resumed"), stats.resumed);
+        let executed: u64 = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                (e.is_stage(span::SERVE, "completed") || e.is_stage(span::SERVE, "suspended"))
+                    && e.u64("tenant") == Some(t.0 as u64)
+            })
+            .filter_map(|e| e.u64("executed_steps"))
+            .sum();
+        assert_eq!(executed, stats.executed_steps);
+    }
+
+    #[test]
     fn telemetry_events_mirror_tenant_stats_exactly() {
         let sink = RingSink::shared();
         let mut svc = service().with_tracer(Tracer::to(sink.clone()));

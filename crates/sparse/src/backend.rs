@@ -1,36 +1,88 @@
-//! Functional sparse-SIMD²-unit backend.
+//! Representation-aware sparse execution backend.
 //!
-//! The Fig 13 experiment runs SIMD² applications on the *sparse* tile
-//! pipe: the `A` operand is pre-pruned to 2:4 structure and stored
-//! compressed, and the unit skips the pruned lanes (2× throughput). This
-//! backend provides the functional half of that experiment: `A` passes
-//! through [`prune_2_4`]/[`Compressed24`] before every operation, so the
-//! *numerical consequences* of structured pruning — which the paper
-//! sidesteps by assuming pre-processed inputs — can be measured.
+//! [`SparseTiledBackend`] implements the core [`Backend`] trait, so any
+//! algorithm written against the trait — the closure solvers, the plan
+//! recorder/executor, the serving layer — runs on sparse operands
+//! unchanged. Representation declarations arrive through
+//! [`Backend::mmo_ref`]: an operand declared [`OperandRepr::Csr`] is
+//! walked through a Gustavson-style compressed kernel, one declared
+//! [`OperandRepr::Structured24`] takes the 2:4 sparse-pipe fast path
+//! ([`Compressed24`]), and dense declarations fall back to a scalar
+//! kernel that reproduces [`simd2_matrix::reference::mmo`] bit for bit.
+//!
+//! **The bit-identity contract.** A representation declaration is a
+//! schedule hint, never a semantic change: every compressed kernel skips
+//! only terms that combine through the algebra's annihilator
+//! ([`OpKind::no_edge_f32`]), and such terms leave the reduction
+//! bit-identical for every extension op — except max-mul, where a skipped
+//! `0.0` product can still lift a `-∞`-seeded accumulator; those rows
+//! fold a single `⊕ 0.0` correction at the end, exactly reproducing the
+//! dense fold. Outputs are therefore bit-identical between the dense
+//! datapath and every compressed kernel, at any worker count.
+//!
+//! **Sharded CSR panels.** Row panels of the output are disjoint slabs
+//! handed to a [`std::thread::scope`] worker pool via `split_at_mut`;
+//! each worker folds its rows in the reference order and returns its own
+//! [`SparseOpCount`], merged in panel order. A panicking worker is
+//! contained and surfaces as [`BackendError::WorkerPanic`] after the
+//! remaining workers drain.
+//!
+//! The Fig 13 pruning experiment (`A` forced through 2:4 magnitude
+//! pruning, losses measured honestly) lives on as
+//! [`SparseTiledBackend::mmo_pruned`] and [`pruning_quality`].
 
-use simd2_matrix::{Matrix, ShapeError};
+use std::ops::Range;
+
+use simd2::{Backend, BackendError, MatrixRef, MmoArgs, OpCount, OperandRepr, Parallelism};
+use simd2_matrix::{reference, Matrix, ShapeError};
 use simd2_mxu::Simd2Unit;
+use simd2_semiring::precision::quantize_f16;
 use simd2_semiring::OpKind;
 
 use crate::structured::{prune_2_4, Compressed24};
+use crate::Csr;
 
 /// Work counters of the sparse backend.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SparseOpCount {
     /// Whole-matrix operations executed.
     pub matrix_mmos: u64,
-    /// 16×16 tile operations executed on the sparse pipe.
+    /// 16×16 tile operations executed on the sparse pipe (the
+    /// [`SparseTiledBackend::mmo_pruned`] datapath).
     pub tile_mmos: u64,
     /// Operand values discarded by 2:4 pruning across all operations.
     pub pruned_values: u64,
+    /// Whole-matrix operations that ran through a compressed kernel
+    /// (CSR Gustavson or the 2:4 fast path) rather than the dense
+    /// datapath.
+    pub sparse_mmos: u64,
+    /// Semiring `⊕(⊗)` terms actually folded by the scalar kernels.
+    pub fma_terms: u64,
+    /// Annihilator terms skipped by compressed kernels relative to the
+    /// dense `m·n·k` term count.
+    pub skipped_terms: u64,
 }
 
-/// A whole-matrix engine that compresses the `A` operand to 2:4 structure
-/// before computing — the functional model of a sparse SIMD² unit.
+impl std::ops::AddAssign for SparseOpCount {
+    fn add_assign(&mut self, rhs: Self) {
+        self.matrix_mmos += rhs.matrix_mmos;
+        self.tile_mmos += rhs.tile_mmos;
+        self.pruned_values += rhs.pruned_values;
+        self.sparse_mmos += rhs.sparse_mmos;
+        self.fma_terms += rhs.fma_terms;
+        self.skipped_terms += rhs.skipped_terms;
+    }
+}
+
+/// A representation-aware whole-matrix engine: dense scalar execution
+/// bit-identical to the reference oracle, Gustavson CSR kernels and a
+/// 2:4 compressed fast path behind [`Backend::mmo_ref`], and row-panel
+/// sharding across a scoped worker pool.
 ///
 /// # Example
 ///
 /// ```
+/// use simd2::Backend;
 /// use simd2_matrix::Matrix;
 /// use simd2_semiring::OpKind;
 /// use simd2_sparse::backend::SparseTiledBackend;
@@ -39,44 +91,120 @@ pub struct SparseOpCount {
 /// let b = Matrix::filled(4, 1, 1.0);
 /// let c = Matrix::zeros(1, 1);
 /// let mut be = SparseTiledBackend::new();
+///
+/// // The trait datapath is exact: no silent pruning.
 /// let d = be.mmo(OpKind::PlusMul, &a, &b, &c)?;
-/// // Magnitude pruning kept 3 and 4 only: 3·1 + 4·1.
+/// assert_eq!(d[(0, 0)], 10.0);
+///
+/// // The Fig 13 experiment prunes `A` to 2:4 first: 3·1 + 4·1.
+/// let d = be.mmo_pruned(OpKind::PlusMul, &a, &b, &c).unwrap();
 /// assert_eq!(d[(0, 0)], 7.0);
-/// assert_eq!(be.op_count().pruned_values, 2);
-/// # Ok::<(), simd2_matrix::ShapeError>(())
+/// assert_eq!(be.sparse_count().pruned_values, 2);
+/// # Ok::<(), simd2::BackendError>(())
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SparseTiledBackend {
     unit: Simd2Unit,
+    reduced: bool,
+    parallelism: Parallelism,
     count: SparseOpCount,
 }
 
+/// One worker's contribution: scalar-kernel term counters, merged back
+/// into [`SparseOpCount`] in panel order.
+#[derive(Clone, Copy, Debug, Default)]
+struct TermCount {
+    fma_terms: u64,
+    skipped_terms: u64,
+}
+
+impl std::ops::AddAssign for TermCount {
+    fn add_assign(&mut self, rhs: Self) {
+        self.fma_terms += rhs.fma_terms;
+        self.skipped_terms += rhs.skipped_terms;
+    }
+}
+
+/// Stringifies a contained worker-panic payload (the `&str` / `String`
+/// cases cover `panic!` and `assert!`).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Splits `rows` output rows into `workers` contiguous, near-equal
+/// panels (the first `rows % workers` panels take one extra row).
+fn row_panels(rows: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, rows.max(1));
+    let base = rows / workers;
+    let extra = rows % workers;
+    let mut panels = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        panels.push(start..start + len);
+        start += len;
+    }
+    panels
+}
+
 impl SparseTiledBackend {
-    /// Creates the backend with the default fp16-input unit.
+    /// Creates the backend: exact (fp32) scalar kernels, sequential
+    /// schedule, default fp16-input unit for the pruned-pipe path.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Work counters accumulated so far.
-    pub fn op_count(&self) -> SparseOpCount {
+    /// Sets the worker-pool configuration for row-panel sharding.
+    /// Results are bit-identical at any worker count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Quantizes `A`/`B` element loads through fp16 (accumulation stays
+    /// fp32) — the tile pipe's operand precision, applied uniformly to
+    /// the dense and compressed kernels so they stay bit-identical to
+    /// each other.
+    pub fn with_reduced_precision(mut self, reduced: bool) -> Self {
+        self.reduced = reduced;
+        self
+    }
+
+    /// The configured worker-pool setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Extended work counters accumulated so far (a superset of the
+    /// trait-level [`Backend::op_count`]).
+    pub fn sparse_count(&self) -> SparseOpCount {
         self.count
     }
 
     /// Executes `D = C ⊕ (A|₂:₄ ⊗ B)`: `A` is pruned to 2:4 structure
     /// (round-tripped through the compressed format, as the hardware
-    /// would consume it), then the tiled unit computes as usual.
+    /// would consume it), then the tiled fp16 unit computes as usual —
+    /// the Fig 13 experiment, which *changes the answer* when `A` is
+    /// non-compliant and is therefore not part of the [`Backend`]
+    /// contract.
     ///
     /// # Errors
     ///
     /// Returns a [`ShapeError`] when operand shapes are incompatible.
-    pub fn mmo(
+    pub fn mmo_pruned(
         &mut self,
         op: OpKind,
         a: &Matrix,
         b: &Matrix,
         c: &Matrix,
     ) -> Result<Matrix, ShapeError> {
-        simd2_matrix::reference::check_mmo_shapes(a, b, c)?;
+        reference::check_mmo_shapes(a, b, c)?;
         let zero = op.no_edge_f32().unwrap_or(0.0);
         let pruned = prune_2_4(a, op);
         let nnz_before = a.as_slice().iter().filter(|&&x| x != zero).count();
@@ -110,6 +238,410 @@ impl SparseTiledBackend {
         }
         self.count.matrix_mmos += 1;
         Ok(d)
+    }
+
+    /// fp16 load quantisation when the reduced knob is on.
+    #[inline]
+    fn load(&self, x: f32) -> f32 {
+        if self.reduced {
+            quantize_f16(x)
+        } else {
+            x
+        }
+    }
+
+    /// Runs `kernel` over row panels of an `m×n` output, sequentially or
+    /// across a scoped worker pool, merging per-worker term counters in
+    /// panel order. Bit-identity across worker counts holds because the
+    /// panels are disjoint and each row's fold order never changes.
+    fn run_panels<F>(
+        &self,
+        m: usize,
+        n: usize,
+        workers: usize,
+        kernel: F,
+    ) -> Result<(Matrix, TermCount), BackendError>
+    where
+        F: Fn(Range<usize>, &mut [f32]) -> TermCount + Sync,
+    {
+        let mut d = Matrix::zeros(m, n);
+        let panels = row_panels(m, workers);
+        let mut total = TermCount::default();
+        if panels.len() <= 1 {
+            let range = 0..m;
+            total += kernel(range, d.as_mut_slice());
+            return Ok((d, total));
+        }
+        let mut slabs: Vec<(Range<usize>, &mut [f32])> = Vec::with_capacity(panels.len());
+        let mut rest = d.as_mut_slice();
+        for range in panels {
+            let (head, tail) = rest.split_at_mut((range.end - range.start) * n);
+            slabs.push((range, head));
+            rest = tail;
+        }
+        let kernel = &kernel;
+        let joined: Vec<Result<TermCount, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slabs
+                .into_iter()
+                .map(|(range, slab)| scope.spawn(move || kernel(range, slab)))
+                .collect();
+            // Join every worker (draining the pool even past a panic)
+            // before reporting, so a contained panic never leaks threads.
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|payload| panic_payload_message(payload.as_ref()))
+                })
+                .collect()
+        });
+        for (panel, outcome) in joined.into_iter().enumerate() {
+            match outcome {
+                Ok(count) => total += count,
+                Err(payload) => return Err(BackendError::WorkerPanic { panel, payload }),
+            }
+        }
+        Ok((d, total))
+    }
+
+    /// Dense scalar rows: the reference triple loop restricted to a row
+    /// range, with optional fp16 load quantisation.
+    fn dense_rows(
+        &self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> TermCount {
+        let (n, k) = (b.cols(), a.cols());
+        for (local, i) in rows.enumerate() {
+            let arow = a.row(i);
+            let orow = &mut out[local * n..(local + 1) * n];
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let mut acc = op.reduce_identity_f32();
+                for (l, &av) in arow.iter().enumerate().take(k) {
+                    acc = op.fma_f32(acc, self.load(av), self.load(b[(l, j)]));
+                }
+                *slot = op.reduce_f32(c[(i, j)], acc);
+            }
+        }
+        TermCount {
+            fma_terms: (n * k) as u64,
+            skipped_terms: 0,
+        }
+    }
+
+    /// CSR `A` × dense `B` rows (Gustavson outer loop over the stored
+    /// entries of each `A` row, inner dense sweep over `B`'s columns).
+    /// Per-`(i,j)` terms arrive in ascending-`k` order, so the fold is
+    /// bit-identical to [`Self::dense_rows`] modulo skipped-annihilator
+    /// terms, which are exact no-ops (max-mul corrected at row end).
+    fn csr_dense_rows(
+        &self,
+        op: OpKind,
+        a: &Csr,
+        b: &Matrix,
+        c: &Matrix,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> TermCount {
+        let (n, k) = (b.cols(), a.cols());
+        let mut count = TermCount::default();
+        for (local, i) in rows.enumerate() {
+            let orow = &mut out[local * n..(local + 1) * n];
+            let nnz = a.row_entries(i).count();
+            count.fma_terms += (nnz * n) as u64;
+            count.skipped_terms += ((k - nnz) * n) as u64;
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let mut acc = op.reduce_identity_f32();
+                for (l, av) in a.row_entries(i) {
+                    acc = op.fma_f32(acc, self.load(av), self.load(b[(l, j)]));
+                }
+                if op == OpKind::MaxMul && nnz < k {
+                    // Skipped 0·b products still fold a 0.0 into a
+                    // max-reduce; one fold reproduces them all exactly.
+                    acc = op.reduce_f32(acc, 0.0);
+                }
+                *slot = op.reduce_f32(c[(i, j)], acc);
+            }
+        }
+        count
+    }
+
+    /// Dense `A` × CSR `B` rows: the IKJ loop, scattering each stored
+    /// `B(k, j)` into a per-row accumulator. Iterating `k` ascending in
+    /// the outer loop keeps every `(i,j)` fold in ascending-`k` order.
+    /// `col_nnz` holds per-column stored-entry counts of `B` (shared by
+    /// all workers) for the max-mul end correction.
+    #[allow(clippy::too_many_arguments)]
+    fn dense_csr_rows(
+        &self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Csr,
+        c: &Matrix,
+        col_nnz: &[usize],
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> TermCount {
+        let (n, k) = (b.cols(), a.cols());
+        let mut count = TermCount::default();
+        let mut acc = vec![op.reduce_identity_f32(); n];
+        for (local, i) in rows.enumerate() {
+            acc.fill(op.reduce_identity_f32());
+            let arow = a.row(i);
+            for (l, &av) in arow.iter().enumerate().take(k) {
+                let av = self.load(av);
+                for (j, bv) in b.row_entries(l) {
+                    acc[j] = op.fma_f32(acc[j], av, self.load(bv));
+                    count.fma_terms += 1;
+                }
+            }
+            let orow = &mut out[local * n..(local + 1) * n];
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let mut v = acc[j];
+                count.skipped_terms += (k - col_nnz[j]) as u64;
+                if op == OpKind::MaxMul && col_nnz[j] < k {
+                    v = op.reduce_f32(v, 0.0);
+                }
+                *slot = op.reduce_f32(c[(i, j)], v);
+            }
+        }
+        count
+    }
+
+    /// CSR `A` × CSR `B` rows: Gustavson's algorithm with a dense SPA
+    /// accumulator per output row plus a contribution counter per
+    /// column (for the max-mul end correction). The outer walk over
+    /// `A`'s stored `k` is ascending, so each `(i,j)` fold matches the
+    /// dense order over the surviving terms.
+    #[allow(clippy::too_many_arguments)]
+    fn csr_csr_rows(
+        &self,
+        op: OpKind,
+        a: &Csr,
+        b: &Csr,
+        c: &Matrix,
+        k_dim: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> TermCount {
+        let n = b.cols();
+        let mut count = TermCount::default();
+        let mut acc = vec![op.reduce_identity_f32(); n];
+        let mut contributions = vec![0usize; n];
+        for (local, i) in rows.enumerate() {
+            acc.fill(op.reduce_identity_f32());
+            contributions.fill(0);
+            for (l, av) in a.row_entries(i) {
+                let av = self.load(av);
+                for (j, bv) in b.row_entries(l) {
+                    acc[j] = op.fma_f32(acc[j], av, self.load(bv));
+                    contributions[j] += 1;
+                    count.fma_terms += 1;
+                }
+            }
+            let orow = &mut out[local * n..(local + 1) * n];
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let mut v = acc[j];
+                count.skipped_terms += (k_dim - contributions[j]) as u64;
+                if op == OpKind::MaxMul && contributions[j] < k_dim {
+                    v = op.reduce_f32(v, 0.0);
+                }
+                *slot = op.reduce_f32(c[(i, j)], v);
+            }
+        }
+        count
+    }
+
+    /// 2:4-structured `A` × dense `B` rows: the compressed operand is
+    /// walked slot by slot ([`Compressed24::row_slots`], ascending `k`),
+    /// which is exactly how the sparse tensor pipe skips pruned lanes.
+    fn structured_rows(
+        &self,
+        op: OpKind,
+        a24: &Compressed24,
+        b: &Matrix,
+        c: &Matrix,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> TermCount {
+        let (n, k) = (b.cols(), a24.cols());
+        let mut count = TermCount::default();
+        for (local, i) in rows.enumerate() {
+            let orow = &mut out[local * n..(local + 1) * n];
+            let nnz = a24.row_slots(i).count();
+            count.fma_terms += (nnz * n) as u64;
+            count.skipped_terms += ((k - nnz) * n) as u64;
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let mut acc = op.reduce_identity_f32();
+                for (l, av) in a24.row_slots(i) {
+                    acc = op.fma_f32(acc, self.load(av), self.load(b[(l, j)]));
+                }
+                if op == OpKind::MaxMul && nnz < k {
+                    acc = op.reduce_f32(acc, 0.0);
+                }
+                *slot = op.reduce_f32(c[(i, j)], acc);
+            }
+        }
+        count
+    }
+
+    /// Shape-checked, repr-validated execution core shared by the trait
+    /// entry points. `workers` is already resolved.
+    fn execute(
+        &mut self,
+        op: OpKind,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
+        workers: usize,
+    ) -> Result<Matrix, BackendError> {
+        let (m, n) = (a.matrix.rows(), b.matrix.cols());
+        let k = a.matrix.cols();
+        let sparse_step = !(a.repr.is_dense() && b.repr.is_dense());
+        let (d, terms) = match (a.repr, b.repr) {
+            (OperandRepr::Structured24 { .. }, _) => {
+                let zero = a.repr.zero().expect("structured repr carries a sentinel");
+                let a24 = Compressed24::compress(a.matrix, zero)
+                    .expect("validated 2:4-compliant operand");
+                self.run_panels(m, n, workers, |rows, out| {
+                    self.structured_rows(op, &a24, b.matrix, c.matrix, rows, out)
+                })?
+            }
+            (OperandRepr::Csr { .. }, OperandRepr::Csr { .. })
+            | (OperandRepr::Csr { .. }, OperandRepr::Structured24 { .. }) => {
+                let az = a.repr.zero().expect("csr repr carries a sentinel");
+                let bz = b.repr.zero().expect("sparse repr carries a sentinel");
+                let acsr = Csr::from_dense(a.matrix, az).expect("validated non-NaN sentinel");
+                let bcsr = Csr::from_dense(b.matrix, bz).expect("validated non-NaN sentinel");
+                self.run_panels(m, n, workers, |rows, out| {
+                    self.csr_csr_rows(op, &acsr, &bcsr, c.matrix, k, rows, out)
+                })?
+            }
+            (OperandRepr::Csr { .. }, OperandRepr::Dense) => {
+                let az = a.repr.zero().expect("csr repr carries a sentinel");
+                let acsr = Csr::from_dense(a.matrix, az).expect("validated non-NaN sentinel");
+                self.run_panels(m, n, workers, |rows, out| {
+                    self.csr_dense_rows(op, &acsr, b.matrix, c.matrix, rows, out)
+                })?
+            }
+            (OperandRepr::Dense, OperandRepr::Csr { .. })
+            | (OperandRepr::Dense, OperandRepr::Structured24 { .. }) => {
+                let bz = b.repr.zero().expect("sparse repr carries a sentinel");
+                let bcsr = Csr::from_dense(b.matrix, bz).expect("validated non-NaN sentinel");
+                let mut col_nnz = vec![0usize; n];
+                for l in 0..k {
+                    for (j, _) in bcsr.row_entries(l) {
+                        col_nnz[j] += 1;
+                    }
+                }
+                self.run_panels(m, n, workers, |rows, out| {
+                    self.dense_csr_rows(op, a.matrix, &bcsr, c.matrix, &col_nnz, rows, out)
+                })?
+            }
+            (OperandRepr::Dense, OperandRepr::Dense) => {
+                self.run_panels(m, n, workers, |rows, out| {
+                    self.dense_rows(op, a.matrix, b.matrix, c.matrix, rows, out)
+                })?
+            }
+        };
+        self.count.matrix_mmos += 1;
+        self.count.fma_terms += terms.fma_terms;
+        self.count.skipped_terms += terms.skipped_terms;
+        if sparse_step {
+            self.count.sparse_mmos += 1;
+        }
+        Ok(d)
+    }
+}
+
+impl Backend for SparseTiledBackend {
+    fn name(&self) -> &'static str {
+        "sparse-tiled"
+    }
+
+    fn reduced_precision(&self) -> bool {
+        self.reduced
+    }
+
+    fn mmo(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        reference::check_mmo_shapes(a, b, c)?;
+        let workers = self.parallelism.worker_count();
+        self.execute(
+            op,
+            MatrixRef::dense(a),
+            MatrixRef::dense(b),
+            MatrixRef::dense(c),
+            workers,
+        )
+    }
+
+    fn mmo_sequential(
+        &mut self,
+        op: OpKind,
+        a: &Matrix,
+        b: &Matrix,
+        c: &Matrix,
+    ) -> Result<Matrix, BackendError> {
+        reference::check_mmo_shapes(a, b, c)?;
+        self.execute(
+            op,
+            MatrixRef::dense(a),
+            MatrixRef::dense(b),
+            MatrixRef::dense(c),
+            1,
+        )
+    }
+
+    fn mmo_ref(
+        &mut self,
+        op: OpKind,
+        a: MatrixRef<'_>,
+        b: MatrixRef<'_>,
+        c: MatrixRef<'_>,
+    ) -> Result<Matrix, BackendError> {
+        simd2::validate::check_mmo_operands_ref(op, a, b, c)?;
+        let workers = self.parallelism.worker_count();
+        self.execute(op, a, b, c, workers)
+    }
+
+    fn mmo_batch(&mut self, steps: &[MmoArgs<'_>]) -> Result<Vec<Matrix>, BackendError> {
+        // Unlike the trait default this routes each step's declared
+        // representations through to the compressed kernels.
+        steps
+            .iter()
+            .map(|s| self.mmo_ref(s.op, s.a_ref(), s.b_ref(), s.c_ref()))
+            .collect()
+    }
+
+    fn force_sequential(&mut self) -> bool {
+        if self.parallelism == Parallelism::Sequential {
+            return false;
+        }
+        self.parallelism = Parallelism::Sequential;
+        true
+    }
+
+    fn op_count(&self) -> OpCount {
+        OpCount {
+            matrix_mmos: self.count.matrix_mmos,
+            tile_mmos: self.count.tile_mmos,
+            tile_loads: 0,
+            tile_stores: 0,
+        }
+    }
+
+    fn reset_count(&mut self) {
+        self.count = SparseOpCount::default();
     }
 }
 
@@ -151,8 +683,272 @@ pub fn pruning_quality(dense: &Matrix, sparse: &Matrix) -> PruningQuality {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
     use simd2_matrix::gen;
     use simd2_matrix::Graph;
+    use simd2_semiring::ALL_OPS;
+
+    /// A seeded operand in `op`'s value domain with roughly
+    /// `density` of its entries kept and the rest at `zero`.
+    fn sparse_operand(rows: usize, cols: usize, zero: f32, density: f64, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen_bool(density) {
+                rng.gen_range(0.5..9.5)
+            } else {
+                zero
+            }
+        })
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn dense_trait_path_is_bit_identical_to_reference() {
+        for (s, &op) in ALL_OPS.iter().enumerate() {
+            let a = sparse_operand(9, 7, 0.0, 1.0, 100 + s as u64);
+            let b = sparse_operand(7, 11, 0.0, 1.0, 200 + s as u64);
+            let c = sparse_operand(9, 11, 0.0, 1.0, 300 + s as u64);
+            let mut be = SparseTiledBackend::new();
+            let got = be.mmo(op, &a, &b, &c).unwrap();
+            let want = reference::mmo(op, &a, &b, &c).unwrap();
+            assert_eq!(bits(&got), bits(&want), "{op}");
+        }
+        let mut be = SparseTiledBackend::new();
+        assert_eq!(be.name(), "sparse-tiled");
+        assert!(!be.reduced_precision());
+        be.mmo(
+            OpKind::PlusMul,
+            &Matrix::zeros(2, 2),
+            &Matrix::zeros(2, 2),
+            &Matrix::zeros(2, 2),
+        )
+        .unwrap();
+        assert_eq!(be.op_count().matrix_mmos, 1);
+        be.reset_count();
+        assert_eq!(be.sparse_count(), SparseOpCount::default());
+    }
+
+    #[test]
+    fn every_sparse_kernel_is_bit_identical_to_the_dense_datapath() {
+        // All ops with a no-edge annihilator (plus-norm has no sparse
+        // lowering), every operand-side combination of declarations.
+        for (s, &op) in ALL_OPS.iter().enumerate() {
+            let Some(zero) = op.no_edge_f32() else {
+                continue;
+            };
+            let a = sparse_operand(17, 13, zero, 0.3, 400 + s as u64);
+            let b = sparse_operand(13, 15, zero, 0.3, 500 + s as u64);
+            let c = sparse_operand(17, 15, zero, 0.8, 600 + s as u64);
+            let mut be = SparseTiledBackend::new();
+            let want = be.mmo(op, &a, &b, &c).unwrap();
+            let csr = OperandRepr::csr(zero);
+            for (ra, rb) in [
+                (csr, OperandRepr::Dense),
+                (OperandRepr::Dense, csr),
+                (csr, csr),
+            ] {
+                let got = be
+                    .mmo_ref(
+                        op,
+                        MatrixRef::new(&a, ra),
+                        MatrixRef::new(&b, rb),
+                        MatrixRef::dense(&c),
+                    )
+                    .unwrap();
+                assert_eq!(bits(&got), bits(&want), "{op} {}×{}", ra.name(), rb.name());
+            }
+            assert!(be.sparse_count().sparse_mmos >= 3, "{op}");
+            assert!(be.sparse_count().skipped_terms > 0, "{op}");
+        }
+    }
+
+    #[test]
+    fn structured_fast_path_is_bit_identical_to_dense() {
+        for op in [
+            OpKind::PlusMul,
+            OpKind::MinPlus,
+            OpKind::MaxMul,
+            OpKind::OrAnd,
+        ] {
+            let zero = op.no_edge_f32().unwrap();
+            let a = prune_2_4(&sparse_operand(12, 20, zero, 0.9, 7), op);
+            let b = sparse_operand(20, 9, zero, 0.9, 8);
+            let c = sparse_operand(12, 9, zero, 0.9, 9);
+            let mut be = SparseTiledBackend::new();
+            let want = be.mmo(op, &a, &b, &c).unwrap();
+            let got = be
+                .mmo_ref(
+                    op,
+                    MatrixRef::new(&a, OperandRepr::structured(zero)),
+                    MatrixRef::dense(&b),
+                    MatrixRef::dense(&c),
+                )
+                .unwrap();
+            assert_eq!(bits(&got), bits(&want), "{op}");
+        }
+    }
+
+    #[test]
+    fn sharded_panels_are_bit_identical_at_every_worker_count() {
+        let op = OpKind::MinPlus;
+        let zero = op.no_edge_f32().unwrap();
+        let a = sparse_operand(33, 29, zero, 0.2, 42);
+        let b = sparse_operand(29, 31, zero, 0.2, 43);
+        let c = Matrix::filled(33, 31, zero);
+        let mut seq = SparseTiledBackend::new();
+        let want = seq
+            .mmo_ref(
+                op,
+                MatrixRef::new(&a, OperandRepr::csr(zero)),
+                MatrixRef::new(&b, OperandRepr::csr(zero)),
+                MatrixRef::dense(&c),
+            )
+            .unwrap();
+        for workers in [1, 2, 4, 8] {
+            let mut be = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(workers));
+            let got = be
+                .mmo_ref(
+                    op,
+                    MatrixRef::new(&a, OperandRepr::csr(zero)),
+                    MatrixRef::new(&b, OperandRepr::csr(zero)),
+                    MatrixRef::dense(&c),
+                )
+                .unwrap();
+            assert_eq!(bits(&got), bits(&want), "workers={workers}");
+            // Panel-order merge keeps counters exact, not approximate.
+            assert_eq!(be.sparse_count(), seq.sparse_count(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn reduced_precision_keeps_sparse_and_dense_paths_aligned() {
+        let op = OpKind::PlusMul;
+        let a = sparse_operand(10, 14, 0.0, 0.4, 77);
+        let b = sparse_operand(14, 6, 0.0, 0.4, 78);
+        let c = sparse_operand(10, 6, 0.0, 1.0, 79);
+        let mut be = SparseTiledBackend::new().with_reduced_precision(true);
+        assert!(be.reduced_precision());
+        let want = be.mmo(op, &a, &b, &c).unwrap();
+        let got = be
+            .mmo_ref(
+                op,
+                MatrixRef::new(&a, OperandRepr::csr(0.0)),
+                MatrixRef::dense(&b),
+                MatrixRef::dense(&c),
+            )
+            .unwrap();
+        assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn batched_steps_route_representations_through() {
+        let op = OpKind::MinPlus;
+        let zero = op.no_edge_f32().unwrap();
+        let a = sparse_operand(8, 8, zero, 0.25, 91);
+        let b = sparse_operand(8, 8, zero, 0.25, 92);
+        let c = Matrix::filled(8, 8, zero);
+        let mut sparse_args = MmoArgs::new(op, &a, &b, &c);
+        sparse_args.reprs = [
+            OperandRepr::csr(zero),
+            OperandRepr::csr(zero),
+            OperandRepr::Dense,
+        ];
+        let steps = [MmoArgs::new(op, &a, &b, &c), sparse_args];
+        let mut be = SparseTiledBackend::new();
+        let out = be.mmo_batch(&steps).unwrap();
+        assert_eq!(bits(&out[0]), bits(&out[1]));
+        assert_eq!(be.sparse_count().matrix_mmos, 2);
+        assert_eq!(be.sparse_count().sparse_mmos, 1);
+    }
+
+    #[test]
+    fn term_accounting_is_exact_for_csr_a() {
+        let op = OpKind::PlusMul;
+        let a = sparse_operand(6, 10, 0.0, 0.3, 13);
+        let b = sparse_operand(10, 4, 0.0, 1.0, 14);
+        let c = Matrix::zeros(6, 4);
+        let mut be = SparseTiledBackend::new();
+        be.mmo_ref(
+            op,
+            MatrixRef::new(&a, OperandRepr::csr(0.0)),
+            MatrixRef::dense(&b),
+            MatrixRef::dense(&c),
+        )
+        .unwrap();
+        let count = be.sparse_count();
+        // Folded + skipped terms together tile the dense m·n·k space.
+        assert_eq!(count.fma_terms + count.skipped_terms, 6 * 4 * 10);
+        let nnz = a.as_slice().iter().filter(|&&x| x != 0.0).count() as u64;
+        assert_eq!(count.fma_terms, nnz * 4);
+    }
+
+    #[test]
+    fn invalid_declarations_are_rejected() {
+        let a = Matrix::zeros(4, 4);
+        let c = Matrix::zeros(4, 4);
+        let mut be = SparseTiledBackend::new();
+        // Wrong sentinel for the op's annihilator.
+        let err = be
+            .mmo_ref(
+                OpKind::MinPlus,
+                MatrixRef::new(&a, OperandRepr::csr(0.0)),
+                MatrixRef::dense(&a),
+                MatrixRef::dense(&c),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BackendError::Repr { .. }), "{err}");
+        // Non-compliant 2:4 declaration.
+        let dense_row = Matrix::filled(4, 4, 1.0);
+        let err = be
+            .mmo_ref(
+                OpKind::PlusMul,
+                MatrixRef::new(&dense_row, OperandRepr::structured(0.0)),
+                MatrixRef::dense(&a),
+                MatrixRef::dense(&c),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("2:4"), "{err}");
+        assert_eq!(be.sparse_count().matrix_mmos, 0);
+    }
+
+    #[test]
+    fn force_sequential_demotes_the_pool() {
+        let mut be = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(4));
+        assert_eq!(be.parallelism(), Parallelism::Threads(4));
+        assert!(be.force_sequential());
+        assert!(!be.force_sequential());
+        assert_eq!(be.parallelism(), Parallelism::Sequential);
+    }
+
+    #[test]
+    fn row_panels_cover_without_overlap() {
+        for (rows, workers) in [(10, 3), (4, 8), (1, 1), (16, 4), (7, 2)] {
+            let panels = row_panels(rows, workers);
+            assert_eq!(panels[0].start, 0);
+            assert_eq!(panels.last().unwrap().end, rows);
+            for pair in panels.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            assert!(panels.len() <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn pruning_count_is_reported() {
+        let a = Matrix::filled(4, 8, 1.0); // every group violates 2:4
+        let b = Matrix::filled(8, 4, 1.0);
+        let c = Matrix::zeros(4, 4);
+        let mut be = SparseTiledBackend::new();
+        be.mmo_pruned(OpKind::PlusMul, &a, &b, &c).unwrap();
+        // 4 rows × 2 groups × 2 pruned each.
+        assert_eq!(be.sparse_count().pruned_values, 16);
+        assert_eq!(be.sparse_count().matrix_mmos, 1);
+        assert!(be.sparse_count().tile_mmos > 0);
+    }
 
     #[test]
     fn dense_compliant_inputs_pass_through_unchanged() {
@@ -164,23 +960,12 @@ mod tests {
         }
         let c = Matrix::filled(32, 32, f32::INFINITY);
         let mut sparse_be = SparseTiledBackend::new();
-        let got = sparse_be.mmo(OpKind::MinPlus, &adj, &adj, &c).unwrap();
+        let got = sparse_be
+            .mmo_pruned(OpKind::MinPlus, &adj, &adj, &c)
+            .unwrap();
         let want = simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &adj, &c).unwrap();
         assert_eq!(got, want);
-        assert_eq!(sparse_be.op_count().pruned_values, 0);
-    }
-
-    #[test]
-    fn pruning_count_is_reported() {
-        let a = Matrix::filled(4, 8, 1.0); // every group violates 2:4
-        let b = Matrix::filled(8, 4, 1.0);
-        let c = Matrix::zeros(4, 4);
-        let mut be = SparseTiledBackend::new();
-        be.mmo(OpKind::PlusMul, &a, &b, &c).unwrap();
-        // 4 rows × 2 groups × 2 pruned each.
-        assert_eq!(be.op_count().pruned_values, 16);
-        assert_eq!(be.op_count().matrix_mmos, 1);
-        assert!(be.op_count().tile_mmos > 0);
+        assert_eq!(sparse_be.sparse_count().pruned_values, 0);
     }
 
     #[test]
@@ -192,7 +977,7 @@ mod tests {
         let c = Matrix::filled(24, 24, f32::INFINITY);
         let dense = simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &adj, &c).unwrap();
         let sparse = SparseTiledBackend::new()
-            .mmo(OpKind::MinPlus, &adj, &adj, &c)
+            .mmo_pruned(OpKind::MinPlus, &adj, &adj, &c)
             .unwrap();
         for (d, s) in dense.as_slice().iter().zip(sparse.as_slice()) {
             assert!(s >= d, "pruning shortened a path: {s} < {d}");
@@ -236,7 +1021,7 @@ mod tests {
             for _ in 0..n {
                 let next = if sparse {
                     SparseTiledBackend::new()
-                        .mmo(OpKind::MinPlus, &adj, &dist, &dist)
+                        .mmo_pruned(OpKind::MinPlus, &adj, &dist, &dist)
                         .unwrap()
                 } else {
                     simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()
@@ -276,7 +1061,7 @@ mod tests {
             for _ in 0..48 {
                 let next = if sparse {
                     SparseTiledBackend::new()
-                        .mmo(OpKind::MinPlus, &adj, &dist, &dist)
+                        .mmo_pruned(OpKind::MinPlus, &adj, &dist, &dist)
                         .unwrap()
                 } else {
                     simd2_matrix::reference::mmo(OpKind::MinPlus, &adj, &dist, &dist).unwrap()

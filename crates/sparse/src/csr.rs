@@ -71,6 +71,11 @@ pub enum CsrError {
         /// Duplicated column.
         col: usize,
     },
+    /// The implicit-value sentinel is NaN, which compares unequal to
+    /// every element — [`Csr::from_dense`] would silently store the
+    /// whole matrix as "non-zero" entries. (`±∞` sentinels are legal:
+    /// path algebras use them as their no-edge value.)
+    NanZero,
 }
 
 impl fmt::Display for CsrError {
@@ -110,6 +115,9 @@ impl fmt::Display for CsrError {
             CsrError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate entry at ({row},{col})")
             }
+            CsrError::NanZero => {
+                write!(f, "NaN is not a usable implicit-zero sentinel")
+            }
         }
     }
 }
@@ -129,9 +137,10 @@ impl std::error::Error for CsrError {}
 /// use simd2_sparse::Csr;
 ///
 /// let d = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]);
-/// let s = Csr::from_dense(&d, 0.0);
+/// let s = Csr::from_dense(&d, 0.0)?;
 /// assert_eq!(s.nnz(), 1);
 /// assert_eq!(s.to_dense(0.0), d);
+/// # Ok::<(), simd2_sparse::CsrError>(())
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Csr {
@@ -144,8 +153,18 @@ pub struct Csr {
 
 impl Csr {
     /// Builds a CSR matrix from a dense one, treating `zero` as the
-    /// implicit value.
-    pub fn from_dense(m: &Matrix, zero: f32) -> Self {
+    /// implicit value. `±∞` sentinels are legal (path algebras encode
+    /// no-edge as `±∞`); a NaN sentinel is rejected because `v != NaN`
+    /// holds for every element, which would silently build a fully
+    /// dense "sparse" image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError::NanZero`] when `zero` is NaN.
+    pub fn from_dense(m: &Matrix, zero: f32) -> Result<Self, CsrError> {
+        if zero.is_nan() {
+            return Err(CsrError::NanZero);
+        }
         let mut row_ptr = Vec::with_capacity(m.rows() + 1);
         let mut col_idx = Vec::new();
         let mut values = Vec::new();
@@ -159,13 +178,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Self {
+        Ok(Self {
             rows: m.rows(),
             cols: m.cols(),
             row_ptr,
             col_idx,
             values,
-        }
+        })
     }
 
     /// Builds from explicit triplets `(row, col, value)`.
@@ -422,6 +441,68 @@ impl Csr {
         }
         total
     }
+
+    /// The transposed matrix, rebuilt in CSR form (a CSC view of the
+    /// original). Two counting passes: per-column histogram, then a
+    /// stable scatter, so each output row's columns stay sorted.
+    pub fn transpose(&self) -> Csr {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            row_ptr[c + 1] += row_ptr[c];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                let at = cursor[c];
+                col_idx[at] = r as u32;
+                values[at] = v;
+                cursor[c] += 1;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Sparse matrix × dense vector under the algebra of `op`:
+    /// `y(i) = ⊕ₖ A(i,k) ⊗ x(k)`, folded over the stored entries in
+    /// ascending-`k` order — one relaxation step of single-source
+    /// BFS/SSSP when `x` is a frontier/distance vector. Matches the
+    /// dense fold bit for bit on in-domain inputs (skipped terms
+    /// combine through the annihilator; max-mul rows with skipped
+    /// terms fold the `⊕ 0.0` end correction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.cols()` or `op` has no no-edge
+    /// encoding (plus-norm is not a sparse path algebra).
+    pub fn spmv(&self, op: OpKind, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        assert!(op.no_edge_f32().is_some(), "{op} has no sparse zero");
+        let mut y = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let mut acc = op.reduce_identity_f32();
+            let mut folded = 0usize;
+            for (k, v) in self.row_entries(i) {
+                acc = op.fma_f32(acc, v, x[k]);
+                folded += 1;
+            }
+            if op == OpKind::MaxMul && folded < self.cols {
+                acc = op.reduce_f32(acc, 0.0);
+            }
+            y.push(acc);
+        }
+        y
+    }
 }
 
 #[cfg(test)]
@@ -432,7 +513,7 @@ mod tests {
     #[test]
     fn dense_roundtrip() {
         let d = gen::random_sparse_matrix(24, 0.8, 3);
-        let s = Csr::from_dense(&d, 0.0);
+        let s = Csr::from_dense(&d, 0.0).unwrap();
         assert_eq!(s.to_dense(0.0), d);
         assert_eq!(s.nnz(), d.as_slice().iter().filter(|&&x| x != 0.0).count());
     }
@@ -443,7 +524,7 @@ mod tests {
         let mut d = Matrix::filled(4, 4, f32::INFINITY);
         d[(1, 2)] = 3.0;
         d[(0, 0)] = 0.0;
-        let s = Csr::from_dense(&d, f32::INFINITY);
+        let s = Csr::from_dense(&d, f32::INFINITY).unwrap();
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.to_dense(f32::INFINITY), d);
     }
@@ -484,7 +565,7 @@ mod tests {
     #[test]
     fn from_raw_roundtrips_valid_images() {
         let d = gen::random_sparse_matrix(16, 0.6, 4);
-        let s = Csr::from_dense(&d, 0.0);
+        let s = Csr::from_dense(&d, 0.0).unwrap();
         let (row_ptr, col_idx, values) = s.clone().into_raw();
         let rebuilt = Csr::from_raw(16, 16, row_ptr, col_idx, values).unwrap();
         assert_eq!(rebuilt, s);
@@ -555,8 +636,8 @@ mod tests {
     fn spgemm_plus_mul_matches_dense_reference() {
         let a_d = gen::random_sparse_matrix(20, 0.7, 5);
         let b_d = gen::random_sparse_matrix(20, 0.7, 6);
-        let a = Csr::from_dense(&a_d, 0.0);
-        let b = Csr::from_dense(&b_d, 0.0);
+        let a = Csr::from_dense(&a_d, 0.0).unwrap();
+        let b = Csr::from_dense(&b_d, 0.0).unwrap();
         let c = a.spgemm(OpKind::PlusMul, &b);
         let want = reference::mmo(OpKind::PlusMul, &a_d, &b_d, &Matrix::zeros(20, 20)).unwrap();
         assert!(c.to_dense(0.0).max_abs_diff(&want).unwrap() < 1e-5);
@@ -566,7 +647,7 @@ mod tests {
     fn spgemm_min_plus_matches_dense_reference() {
         let g = gen::gnp_graph(16, 0.2, 1.0, 9.0, 7);
         let adj = g.adjacency(OpKind::MinPlus);
-        let a = Csr::from_dense(&adj, f32::INFINITY);
+        let a = Csr::from_dense(&adj, f32::INFINITY).unwrap();
         let c = a.spgemm(OpKind::MinPlus, &a);
         let cid = Matrix::filled(16, 16, f32::INFINITY);
         let want = reference::mmo(OpKind::MinPlus, &adj, &adj, &cid).unwrap();
@@ -577,7 +658,7 @@ mod tests {
     fn spgemm_or_and_reachability() {
         let g = gen::gnp_graph(12, 0.25, 1.0, 2.0, 11);
         let reach = g.reachability();
-        let a = Csr::from_dense(&reach, 0.0);
+        let a = Csr::from_dense(&reach, 0.0).unwrap();
         let two_hop = a.spgemm(OpKind::OrAnd, &a);
         let want = reference::mmo(OpKind::OrAnd, &reach, &reach, &Matrix::zeros(12, 12)).unwrap();
         assert_eq!(two_hop.to_dense(0.0), want);
@@ -586,22 +667,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "no sparse zero")]
     fn plus_norm_rejected() {
-        let s = Csr::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let s = Csr::from_dense(&Matrix::zeros(2, 2), 0.0).unwrap();
         let _ = s.spgemm(OpKind::PlusNorm, &s);
     }
 
     #[test]
     #[should_panic(expected = "inner dimension")]
     fn shape_mismatch_panics() {
-        let a = Csr::from_dense(&Matrix::zeros(2, 3), 0.0);
-        let b = Csr::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let a = Csr::from_dense(&Matrix::zeros(2, 3), 0.0).unwrap();
+        let b = Csr::from_dense(&Matrix::zeros(2, 2), 0.0).unwrap();
         let _ = a.spgemm(OpKind::PlusMul, &b);
     }
 
     #[test]
     fn product_count_bounds_work() {
         let a_d = gen::random_sparse_matrix(30, 0.9, 9);
-        let a = Csr::from_dense(&a_d, 0.0);
+        let a = Csr::from_dense(&a_d, 0.0).unwrap();
         let products = a.spgemm_products(&a);
         // Products ≈ n³ d² on average.
         let expect = 30.0f64.powi(3) * 0.01;
@@ -617,6 +698,81 @@ mod tests {
         // 2 values + 2 col indices + 5 row pointers, 4 bytes each.
         assert_eq!(s.device_bytes(), (2 + 2 + 5) * 4);
         assert_eq!(s.density(), 2.0 / 16.0);
+    }
+
+    #[test]
+    fn nan_zero_sentinel_is_rejected() {
+        let d = Matrix::zeros(3, 3);
+        assert_eq!(Csr::from_dense(&d, f32::NAN), Err(CsrError::NanZero));
+        assert!(CsrError::NanZero.to_string().contains("NaN"));
+        // ±∞ sentinels stay legal — path algebras depend on them.
+        assert!(Csr::from_dense(&d, f32::INFINITY).is_ok());
+        assert!(Csr::from_dense(&d, f32::NEG_INFINITY).is_ok());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let d = gen::random_sparse_matrix(17, 0.7, 13);
+        let s = Csr::from_dense(&d, 0.0).unwrap();
+        let t = s.transpose();
+        assert_eq!(t.to_dense(0.0), d.transposed());
+        assert_eq!(t.nnz(), s.nnz());
+        // Round trip: (Aᵀ)ᵀ = A, structurally identical.
+        assert_eq!(t.transpose(), s);
+        // Non-square shapes swap.
+        let r = Csr::from_triplets(2, 5, [(0, 4, 1.0), (1, 0, 2.0)]);
+        let rt = r.transpose();
+        assert_eq!((rt.rows(), rt.cols()), (5, 2));
+        assert_eq!(rt.to_dense(0.0)[(4, 0)], 1.0);
+    }
+
+    #[test]
+    fn transposed_columns_stay_sorted() {
+        let d = gen::random_sparse_matrix(12, 0.5, 29);
+        let t = Csr::from_dense(&d, 0.0).unwrap().transpose();
+        let (row_ptr, col_idx, values) = t.clone().into_raw();
+        // from_raw re-validates every structural invariant.
+        assert_eq!(Csr::from_raw(12, 12, row_ptr, col_idx, values).unwrap(), t);
+    }
+
+    #[test]
+    fn spmv_matches_dense_single_column_mmo() {
+        for op in [
+            OpKind::PlusMul,
+            OpKind::MinPlus,
+            OpKind::MaxMul,
+            OpKind::OrAnd,
+        ] {
+            let zero = op.no_edge_f32().unwrap();
+            let d = Matrix::from_fn(9, 9, |r, c| {
+                if (r * 9 + c) % 3 == 0 {
+                    1.0 + (r + 2 * c) as f32
+                } else {
+                    zero
+                }
+            });
+            let x: Vec<f32> = (0..9).map(|i| 0.5 + i as f32).collect();
+            let xm = Matrix::from_fn(9, 1, |r, _| x[r]);
+            let cid = Matrix::filled(9, 1, op.reduce_identity_f32());
+            let want = reference::mmo(op, &d, &xm, &cid).unwrap();
+            let got = Csr::from_dense(&d, zero).unwrap().spmv(op, &x);
+            for i in 0..9 {
+                assert_eq!(
+                    got[i].to_bits(),
+                    want[(i, 0)].to_bits(),
+                    "{op} row {i}: {} vs {}",
+                    got[i],
+                    want[(i, 0)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn spmv_rejects_wrong_length() {
+        let s = Csr::from_dense(&Matrix::zeros(2, 3), 0.0).unwrap();
+        let _ = s.spmv(OpKind::PlusMul, &[1.0, 2.0]);
     }
 
     #[test]

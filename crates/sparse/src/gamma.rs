@@ -47,7 +47,7 @@ pub fn sparse_closure(op: OpKind, adj: &Matrix, max_iters: usize) -> (Matrix, us
     assert!(op.is_closure_algebra(), "{op} has no fixed-point closure");
     assert!(adj.is_square());
     let zero = op.no_edge_f32().expect("closure algebra");
-    let a = Csr::from_dense(adj, zero);
+    let a = Csr::from_dense(adj, zero).expect("no-edge sentinels are never NaN");
     let mut dist = a.clone();
     let mut iters = 0;
     for _ in 0..max_iters {
@@ -60,7 +60,7 @@ pub fn sparse_closure(op: OpKind, adj: &Matrix, max_iters: usize) -> (Matrix, us
             let out = Matrix::from_fn(d_dense.rows(), d_dense.cols(), |r, c| {
                 op.reduce_f32(d_dense[(r, c)], e_dense[(r, c)])
             });
-            Csr::from_dense(&out, zero)
+            Csr::from_dense(&out, zero).expect("no-edge sentinels are never NaN")
         };
         iters += 1;
         if merged == dist {

@@ -13,6 +13,12 @@
 //!   over any SIMD² algebra (the substrate a GAMMA-style SIMD² sparse
 //!   accelerator would run, cf. §6.5),
 //! * [`structured`] — 2:4 structured-sparsity pruning/validation,
+//! * [`backend`] — [`SparseTiledBackend`], a representation-aware
+//!   implementation of the core [`simd2::Backend`] trait: dense scalar
+//!   execution bit-identical to the reference oracle, Gustavson CSR
+//!   kernels and a 2:4 compressed fast path behind
+//!   [`simd2::Backend::mmo_ref`], and row-panel sharding across a
+//!   scoped worker pool,
 //! * [`model`] — calibrated cuSPARSE-vs-cuBLAS timing and peak-memory
 //!   models for the Fig 14 sweep,
 //! * [`gamma`] — the §6.5 GAMMA-PE extension estimate.
@@ -26,4 +32,5 @@ pub mod gamma;
 pub mod model;
 pub mod structured;
 
+pub use backend::{SparseOpCount, SparseTiledBackend};
 pub use csr::{Csr, CsrError};

@@ -170,6 +170,21 @@ impl Compressed24 {
         m
     }
 
+    /// Stored `(k, value)` pairs of row `r`, in ascending-`k` order —
+    /// the exact traversal the sparse tile pipe performs when it skips
+    /// the pruned lanes. Within each group the two slots were filled in
+    /// element order, so chaining the groups yields a sorted walk.
+    pub fn row_slots(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let groups_per_row = self.cols.div_ceil(4);
+        (0..groups_per_row).flat_map(move |g| {
+            let base = (r * groups_per_row + g) * 2;
+            (0..2).filter_map(move |s| {
+                let idx = self.indices[base + s];
+                (idx != 0xFF).then(|| (g * 4 + idx as usize, self.values[base + s]))
+            })
+        })
+    }
+
     /// Device bytes of the compressed image (fp16 values + 2-bit indices,
     /// rounded up per group).
     pub fn device_bytes(&self) -> u64 {
@@ -251,6 +266,17 @@ mod tests {
             // At most half the entries survive pruning.
             assert!(c.nnz() <= 12 * 20 / 2);
         }
+    }
+
+    #[test]
+    fn row_slots_walk_in_ascending_k_order() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 4.0, 0.0, 6.0], &[0.0; 6]]);
+        let c = Compressed24::compress(&m, 0.0).unwrap();
+        assert_eq!(
+            c.row_slots(0).collect::<Vec<_>>(),
+            vec![(0, 1.0), (3, 4.0), (5, 6.0)]
+        );
+        assert_eq!(c.row_slots(1).count(), 0);
     }
 
     #[test]

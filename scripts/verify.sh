@@ -74,6 +74,21 @@ if [ "${SIMD2_RESILIENCE_SMOKE:-0}" = "1" ]; then
   SIMD2_FORCE_SCALAR=1 cargo run --release -q -p simd2-bench --bin serve_soak -- --seconds 4 --seed 7
 fi
 
+# Optional: sparse-execution smoke — the sparse crate's unit suite, the
+# sparse-vs-dense replay + wave-boundary resume proptests, and the
+# deterministic sparse serve-soak episode (streaming-update apps with
+# CSR-declared deltas served over the sharded sparse backend) — run on
+# both kernel-dispatch legs (the host's detected vector tier and
+# SIMD2_FORCE_SCALAR=1). Enable with
+#   SIMD2_SPARSE_SMOKE=1 scripts/verify.sh
+if [ "${SIMD2_SPARSE_SMOKE:-0}" = "1" ]; then
+  cargo test -q -p simd2-sparse
+  cargo test -q --test proptest_stack sparse_
+  cargo run --release -q -p simd2-bench --bin serve_soak -- --sparse --seed 7
+  SIMD2_FORCE_SCALAR=1 cargo test -q --test proptest_stack sparse_
+  SIMD2_FORCE_SCALAR=1 cargo run --release -q -p simd2-bench --bin serve_soak -- --sparse --seed 7
+fi
+
 # Optional: pass-pipeline smoke — the pass-equivalence proptests (every
 # pass and the full pipeline preserve replay bit-identity, checkpoints
 # resume through optimized plans), the adversarial pass unit tests, and

@@ -107,7 +107,7 @@ fn gtc_on_fully_disconnected_graph_is_identity() {
 #[test]
 fn empty_csr_behaves() {
     let m = Matrix::zeros(4, 4);
-    let s = Csr::from_dense(&m, 0.0);
+    let s = Csr::from_dense(&m, 0.0).unwrap();
     assert_eq!(s.nnz(), 0);
     assert_eq!(s.density(), 0.0);
     let p = s.spgemm(OpKind::PlusMul, &s);

@@ -3,10 +3,39 @@
 use proptest::prelude::*;
 use simd2_repro::core::backend::{Backend, Parallelism, ReferenceBackend, TiledBackend};
 use simd2_repro::core::solve::{closure, floyd_warshall_closure, ClosureAlgorithm};
+use simd2_repro::core::{MatrixRef, OperandRepr, Plan, PlanBuilder, PlanExecutor};
 use simd2_repro::matrix::{gen, Graph, Matrix};
+use simd2_repro::semiring::precision::quantize_f16;
 use simd2_repro::semiring::{OpKind, ALL_OPS};
-use simd2_repro::sparse::Csr;
+use simd2_repro::sparse::structured::prune_2_4;
+use simd2_repro::sparse::{Csr, SparseTiledBackend};
 use simd2_repro::trace::{span, EventKind, RingSink, Tracer};
+
+/// An fp16-exact operand in `op`'s input domain with roughly `density`
+/// of its entries kept; the rest become the op's no-edge sentinel (ops
+/// without one — plus-norm — stay fully dense).
+fn sparse_operand(op: OpKind, rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    let mut m = gen::random_operands_for(op, rows, cols, seed);
+    for v in m.as_mut_slice().iter_mut() {
+        *v = quantize_f16(*v);
+    }
+    if let Some(zero) = op.no_edge_f32() {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for v in m.as_mut_slice().iter_mut() {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            if ((s >> 11) as f64 / (1u64 << 53) as f64) >= density {
+                *v = zero;
+            }
+        }
+    }
+    m
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
 
 fn closure_ops() -> impl Strategy<Value = OpKind> {
     prop_oneof![
@@ -76,7 +105,7 @@ proptest! {
     #[test]
     fn csr_roundtrip(n in 1usize..40, sparsity in 0.0f64..1.0, seed in 0u64..1000) {
         let m = gen::random_sparse_matrix(n, sparsity, seed);
-        let s = Csr::from_dense(&m, 0.0);
+        let s = Csr::from_dense(&m, 0.0).unwrap();
         prop_assert_eq!(s.to_dense(0.0), m);
     }
 
@@ -90,7 +119,7 @@ proptest! {
             _ => g.adjacency(op),
         };
         let zero = op.no_edge_f32().unwrap();
-        let a = Csr::from_dense(&adj, zero);
+        let a = Csr::from_dense(&adj, zero).unwrap();
         let got = a.spgemm(op, &a).to_dense(zero);
         let c = Matrix::filled(n, n, op.reduce_identity_f32());
         let want = simd2_repro::matrix::reference::mmo(op, &adj, &adj, &c).unwrap();
@@ -160,6 +189,151 @@ proptest! {
             let (par_totals, par_count) = run(Parallelism::Threads(workers));
             prop_assert_eq!(par_totals, par_count, "{} workers={}", op, workers);
             prop_assert_eq!(par_totals, seq_totals, "{} workers={} vs sequential", op, workers);
+        }
+    }
+
+    /// A plan recorded with sparse operand declarations replays bit-
+    /// identically to the same steps recorded dense, across every op,
+    /// density regime {0.01, 0.1, 0.5, 2:4-structured}, both input
+    /// precisions, sequential + batched executors, and worker counts
+    /// {1, 2, 4, 8}. Plus-norm has no no-edge annihilator, so its
+    /// declarations stay dense — the replay must agree all the same.
+    #[test]
+    fn sparse_replay_is_bit_identical_to_dense_replay(
+        op_idx in 0usize..9, density_idx in 0usize..4, reduced in any::<bool>(),
+        n in 6usize..26, seed in 0u64..500
+    ) {
+        let op = ALL_OPS[op_idx];
+        let structured = density_idx == 3;
+        let density = [0.01, 0.1, 0.5, 0.5][density_idx];
+        let sentinel = op.no_edge_f32();
+        let mut a = sparse_operand(op, n, n, density, seed);
+        if structured && sentinel.is_some() {
+            a = prune_2_4(&a, op);
+        }
+        let b = sparse_operand(op, n, n, density.max(0.3), seed ^ 0x5eed);
+        let c = Matrix::filled(n, n, op.reduce_identity_f32());
+        let (ra, rb) = match sentinel {
+            None => (OperandRepr::Dense, OperandRepr::Dense),
+            Some(z) if structured => (OperandRepr::structured(z), OperandRepr::csr(z)),
+            Some(z) => (OperandRepr::csr(z), OperandRepr::csr(z)),
+        };
+        // The same two-step chain recorded twice: with declarations and
+        // without. Declarations are schedule hints, so the two plans
+        // must replay to identical bits.
+        let record = |declare: bool| -> Plan {
+            let mut be = SparseTiledBackend::new().with_reduced_precision(reduced);
+            let mut rec = PlanBuilder::over(&mut be);
+            let (r0, r1) = if declare { (ra, rb) } else { (OperandRepr::Dense, OperandRepr::Dense) };
+            let d0 = rec
+                .mmo_ref(op, MatrixRef::new(&a, r0), MatrixRef::new(&b, r1), MatrixRef::dense(&c))
+                .unwrap();
+            rec.mmo_ref(op, MatrixRef::dense(&d0), MatrixRef::new(&b, r1), MatrixRef::dense(&c))
+                .unwrap();
+            rec.finish()
+        };
+        let sparse_plan = record(true);
+        let dense_plan = record(false);
+        prop_assert_eq!(sparse_plan.has_sparse_slots(), sentinel.is_some());
+        let want = PlanExecutor::new()
+            .run(&dense_plan, &mut SparseTiledBackend::new().with_reduced_precision(reduced))
+            .unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            for batched in [false, true] {
+                let exec = if batched { PlanExecutor::batched() } else { PlanExecutor::new() };
+                let mut be = SparseTiledBackend::new()
+                    .with_reduced_precision(reduced)
+                    .with_parallelism(Parallelism::Threads(workers));
+                let got = exec.run(&sparse_plan, &mut be).unwrap();
+                for step in 0..sparse_plan.step_count() {
+                    prop_assert_eq!(
+                        bits(got.step_output(step)), bits(want.step_output(step)),
+                        "{} density_idx={} reduced={} workers={} batched={} step={}",
+                        op, density_idx, reduced, workers, batched, step
+                    );
+                }
+                if sentinel.is_some() {
+                    prop_assert!(
+                        be.sparse_count().sparse_mmos > 0,
+                        "{}: declared operands must take the compressed kernels", op
+                    );
+                }
+            }
+        }
+        // The fp32 leg also agrees with the dense scalar reference,
+        // which ignores declarations entirely (trait-default lowering).
+        if !reduced {
+            let refr = PlanExecutor::new()
+                .run(&sparse_plan, &mut ReferenceBackend::new())
+                .unwrap();
+            for step in 0..sparse_plan.step_count() {
+                prop_assert_eq!(
+                    bits(refr.step_output(step)), bits(want.step_output(step)),
+                    "{} reference step={}", op, step
+                );
+            }
+        }
+    }
+
+    /// A recorded sparse plan halted at *every* wave boundary and
+    /// resumed from its checkpoint lands bit-identical to one
+    /// uninterrupted replay — and the resume never re-executes a
+    /// completed wave (counter-verified on the backend).
+    #[test]
+    fn sparse_plan_resumes_bit_identically_at_every_wave_boundary(
+        op_idx in 0usize..9, len in 3usize..6, n in 6usize..20, seed in 0u64..500
+    ) {
+        let op = ALL_OPS[op_idx];
+        let a = sparse_operand(op, n, n, 0.15, seed);
+        let b = sparse_operand(op, n, n, 0.3, seed ^ 0x5eed);
+        let c = Matrix::filled(n, n, op.reduce_identity_f32());
+        let ra = op.no_edge_f32().map_or(OperandRepr::Dense, OperandRepr::csr);
+        let plan = {
+            let mut be = SparseTiledBackend::new();
+            let mut rec = PlanBuilder::over(&mut be);
+            let mut acc = rec
+                .mmo_ref(op, MatrixRef::new(&a, ra), MatrixRef::dense(&b), MatrixRef::dense(&c))
+                .unwrap();
+            for _ in 1..len {
+                acc = rec
+                    .mmo_ref(op, MatrixRef::new(&a, ra), MatrixRef::dense(&b), MatrixRef::dense(&acc))
+                    .unwrap();
+            }
+            rec.finish()
+        };
+        let want = PlanExecutor::new()
+            .run(&plan, &mut SparseTiledBackend::new())
+            .unwrap();
+        // A dependent chain: every wave is one step, so halting after
+        // each completed-step count covers every wave boundary.
+        let waves = plan.waves().len();
+        prop_assert_eq!(waves, plan.step_count());
+        for halt_after in 1..waves {
+            let exec = PlanExecutor::batched();
+            let mut first = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(2));
+            let halted = exec
+                .run_resumable(&plan, &mut first, &mut |p: simd2_repro::core::ReplayProgress| {
+                    if p.completed_steps >= halt_after { Err("wave halt".to_owned()) } else { Ok(()) }
+                })
+                .expect_err("control must halt the replay");
+            prop_assert!(halted.error.is_cancelled());
+            prop_assert_eq!(halted.checkpoint.completed_steps(), halt_after);
+            let mut second = SparseTiledBackend::new().with_parallelism(Parallelism::Threads(2));
+            let done = exec
+                .resume_from(&plan, halted.checkpoint, &mut second, &mut |_| Ok(()))
+                .expect("resume runs to completion");
+            for step in 0..plan.step_count() {
+                prop_assert_eq!(
+                    bits(done.step_output(step)), bits(want.step_output(step)),
+                    "{} halt_after={} step={}", op, halt_after, step
+                );
+            }
+            // The checkpointed waves were never re-dispatched.
+            prop_assert_eq!(
+                Backend::op_count(&second).matrix_mmos as usize,
+                plan.step_count() - halt_after,
+                "{} halt_after={}", op, halt_after
+            );
         }
     }
 
